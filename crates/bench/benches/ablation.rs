@@ -1,0 +1,100 @@
+//! Ablation benches for the design knobs DESIGN.md calls out:
+//!
+//! * PR push conflict resolution: CAS loop vs. sharded locks (vs. pull);
+//! * direction-optimizing BFS: α threshold sweep (when to go bottom-up);
+//! * Frontier-Exploit seeding density (`seed_stride`);
+//! * sharded-lock table size for the float-scatter path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::bfs::{self, BfsMode};
+use pp_core::coloring::{self, GcOptions};
+use pp_core::pagerank::{self, PrOptions, PushSync};
+use pp_core::sync::ShardedLocks;
+use pp_core::Direction;
+use pp_graph::datasets::{Dataset, Scale};
+use pp_telemetry::NullProbe;
+
+fn ablate_pr_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pr_sync");
+    group.sample_size(10);
+    let g = Dataset::Ljn.generate(Scale::Test);
+    let opts = PrOptions {
+        iters: 3,
+        damping: 0.85,
+    };
+    group.bench_function("push_cas", |b| {
+        b.iter(|| pagerank::pagerank_push(&g, &opts, PushSync::Cas, &NullProbe))
+    });
+    group.bench_function("push_locks", |b| {
+        b.iter(|| pagerank::pagerank_push(&g, &opts, PushSync::Locks, &NullProbe))
+    });
+    group.bench_function("pull_no_sync", |b| {
+        b.iter(|| pagerank::pagerank_pull(&g, &opts, &NullProbe))
+    });
+    group.finish();
+}
+
+fn ablate_bfs_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bfs_alpha");
+    group.sample_size(20);
+    let g = Dataset::Orc.generate(Scale::Test);
+    for alpha in [2usize, 15, 64, usize::MAX] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| {
+                bfs::bfs(
+                    &g,
+                    0,
+                    BfsMode::DirectionOptimizing { alpha, beta: 18 },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_fe_seed_stride(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fe_seed_stride");
+    group.sample_size(10);
+    let g = Dataset::Rca.generate(Scale::Test);
+    for stride in [1usize, 4, 16, 64] {
+        let opts = GcOptions {
+            seed_stride: stride,
+            ..GcOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(stride), &opts, |b, opts| {
+            b.iter(|| coloring::frontier_exploit(&g, Direction::Push, opts))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_lock_shards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lock_shards");
+    group.sample_size(20);
+    for shards in [1usize, 16, 256, 4096] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let locks = ShardedLocks::new(shards);
+                let mut acc = 0u64;
+                b.iter(|| {
+                    for i in 0..4096usize {
+                        locks.with(i, || acc = acc.wrapping_add(i as u64));
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_pr_sync,
+    ablate_bfs_alpha,
+    ablate_fe_seed_stride,
+    ablate_lock_shards
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench behind Figure 5: betweenness centrality push vs. pull
+//! (float-lock scatters vs. synchronization-free gathers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::bc::{self, BcOptions};
+use pp_core::Direction;
+use pp_graph::datasets::{Dataset, Scale};
+
+fn bench_bc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("betweenness");
+    group.sample_size(10);
+    let opts = BcOptions {
+        max_sources: Some(12),
+    };
+    for ds in [Dataset::Orc, Dataset::Ljn] {
+        let g = ds.generate(Scale::Test);
+        for dir in Direction::BOTH {
+            let name = match dir {
+                Direction::Push => "push",
+                Direction::Pull => "pull",
+            };
+            group.bench_with_input(BenchmarkId::new(name, ds.id()), &g, |b, g| {
+                b.iter(|| bc::betweenness(g, dir, &opts))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bc);
+criterion_main!(benches);

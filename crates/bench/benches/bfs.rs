@@ -1,0 +1,27 @@
+//! Criterion bench behind §6.1's BFS discussion: top-down, bottom-up, and
+//! direction-optimizing traversals across sparsity regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::bfs::{self, BfsMode};
+use pp_graph::datasets::{Dataset, Scale};
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs");
+    group.sample_size(20);
+    for ds in [Dataset::Orc, Dataset::Am, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for (name, mode) in [
+            ("push", BfsMode::Push),
+            ("pull", BfsMode::Pull),
+            ("direction_optimizing", BfsMode::direction_optimizing()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, ds.id()), &g, |b, g| {
+                b.iter(|| bfs::bfs(g, 0, mode))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench behind Figure 1 and Figure 6b: Boman coloring push vs.
+//! pull and the §5 strategy ablation (FE / GS / GrS / CR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::coloring::{self, GcOptions};
+use pp_core::Direction;
+use pp_graph::datasets::{Dataset, Scale};
+
+fn bench_boman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring_boman");
+    group.sample_size(20);
+    let opts = GcOptions::default();
+    let parts = rayon::current_num_threads().max(2);
+    for ds in [Dataset::Orc, Dataset::Ljn, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for dir in Direction::BOTH {
+            let name = match dir {
+                Direction::Push => "push",
+                Direction::Pull => "pull",
+            };
+            group.bench_with_input(BenchmarkId::new(name, ds.id()), &g, |b, g| {
+                b.iter(|| coloring::boman(g, parts, dir, &opts))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    // The §5 ablation: each strategy against the same workloads.
+    let mut group = c.benchmark_group("coloring_strategies");
+    group.sample_size(20);
+    let opts = GcOptions::default();
+    let parts = rayon::current_num_threads().max(2);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        group.bench_with_input(BenchmarkId::new("frontier_exploit", ds.id()), &g, |b, g| {
+            b.iter(|| coloring::frontier_exploit(g, Direction::Push, &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("generic_switch", ds.id()), &g, |b, g| {
+            b.iter(|| coloring::generic_switch(g, 0.2, &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_switch", ds.id()), &g, |b, g| {
+            b.iter(|| coloring::greedy_switch(g, 0.1, &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("conflict_removal", ds.id()), &g, |b, g| {
+            b.iter(|| coloring::conflict_removal(g, parts))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_seq", ds.id()), &g, |b, g| {
+            b.iter(|| coloring::greedy_seq(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_boman, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench behind Figure 3: the distributed-memory simulation
+//! itself (simulator throughput across variants and rank counts — the
+//! modeled times it produces are printed by `tables fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_dm::{dm_pagerank, dm_triangle_count, CostModel, DmVariant};
+use pp_graph::datasets::{Dataset, Scale};
+
+fn bench_dm_pr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dm_pagerank");
+    group.sample_size(10);
+    let g = Dataset::Ljn.generate(Scale::Test);
+    for variant in DmVariant::ALL {
+        for p in [4usize, 64, 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.label(), p),
+                &p,
+                |b, &p| b.iter(|| dm_pagerank(&g, variant, p, 1, 0.85, CostModel::xc40())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_dm_tc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dm_triangle_count");
+    group.sample_size(10);
+    let g = Dataset::Am.generate(Scale::Test);
+    for variant in DmVariant::ALL {
+        for p in [4usize, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.label(), p),
+                &p,
+                |b, &p| b.iter(|| dm_triangle_count(&g, variant, p, CostModel::xc40())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dm_pr, bench_dm_tc);
+criterion_main!(benches);

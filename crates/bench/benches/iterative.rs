@@ -1,0 +1,100 @@
+//! Criterion bench for the tech-report extension algorithms: connected
+//! components, k-core, label propagation, Bellman–Ford, and Kruskal, each
+//! push vs. pull, plus the Kruskal-vs-Boruvka MST baseline race.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::{
+    bellman_ford::bellman_ford, components::connected_components, kcore::kcore,
+    kruskal::kruskal, labelprop::label_propagation, mst::boruvka, Direction,
+};
+use pp_graph::datasets::{Dataset, Scale};
+use pp_graph::gen;
+
+fn dir_name(dir: Direction) -> &'static str {
+    match dir {
+        Direction::Push => "push",
+        Direction::Pull => "pull",
+    }
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group.sample_size(20);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for dir in Direction::BOTH {
+            group.bench_with_input(BenchmarkId::new(dir_name(dir), ds.id()), &g, |b, g| {
+                b.iter(|| connected_components(g, dir))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_kcore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kcore");
+    group.sample_size(20);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for dir in Direction::BOTH {
+            group.bench_with_input(BenchmarkId::new(dir_name(dir), ds.id()), &g, |b, g| {
+                b.iter(|| kcore(g, dir))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_labelprop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labelprop");
+    group.sample_size(20);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for dir in Direction::BOTH {
+            group.bench_with_input(BenchmarkId::new(dir_name(dir), ds.id()), &g, |b, g| {
+                b.iter(|| label_propagation(g, dir, 10))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bellman_ford(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bellman_ford");
+    group.sample_size(20);
+    for ds in [Dataset::Pok, Dataset::Rca] {
+        let g = gen::with_random_weights(&ds.generate(Scale::Test), 1, 100, 5);
+        for dir in Direction::BOTH {
+            group.bench_with_input(BenchmarkId::new(dir_name(dir), ds.id()), &g, |b, g| {
+                b.iter(|| bellman_ford(g, 0, dir))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_mst_baselines(c: &mut Criterion) {
+    // Kruskal (eager vs lazy) against parallel Boruvka: the classical
+    // work-optimal baseline vs the paper's parallel scheme.
+    let mut group = c.benchmark_group("mst_baselines");
+    group.sample_size(20);
+    let g = gen::with_random_weights(&Dataset::Orc.generate(Scale::Test), 1, 1000, 9);
+    group.bench_function("kruskal_eager_push", |b| {
+        b.iter(|| kruskal(&g, Direction::Push))
+    });
+    group.bench_function("kruskal_unionfind_pull", |b| {
+        b.iter(|| kruskal(&g, Direction::Pull))
+    });
+    group.bench_function("boruvka_pull", |b| b.iter(|| boruvka(&g, Direction::Pull)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_components,
+    bench_kcore,
+    bench_labelprop,
+    bench_bellman_ford,
+    bench_mst_baselines
+);
+criterion_main!(benches);

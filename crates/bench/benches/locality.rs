@@ -1,0 +1,67 @@
+//! Criterion bench for the memory-locality ablation: vertex ordering
+//! (shuffled / original / degree-sorted / BFS-ordered) under pull PageRank
+//! and pull Bellman–Ford — the software lever over the cache effects §6
+//! measures with PAPI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::{bellman_ford::bellman_ford, pagerank, Direction};
+use pp_graph::datasets::{Dataset, Scale};
+use pp_graph::{gen, reorder, CsrGraph};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn shuffle(g: &CsrGraph, seed: u64) -> CsrGraph {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    ids.shuffle(&mut rng);
+    reorder::apply_permutation(g, &reorder::Permutation::new(ids))
+}
+
+fn layouts(g: &CsrGraph) -> Vec<(&'static str, CsrGraph)> {
+    let shuffled = shuffle(g, 42);
+    vec![
+        ("original", g.clone()),
+        ("shuffled", shuffled.clone()),
+        (
+            "degree",
+            reorder::apply_permutation(&shuffled, &reorder::degree_order(&shuffled)),
+        ),
+        (
+            "bfs",
+            reorder::apply_permutation(&shuffled, &reorder::bfs_order(&shuffled, 0)),
+        ),
+    ]
+}
+
+fn bench_pagerank_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_pagerank_pull");
+    group.sample_size(20);
+    let opts = pagerank::PrOptions {
+        iters: 3,
+        damping: 0.85,
+    };
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for (name, h) in layouts(&g) {
+            group.bench_with_input(BenchmarkId::new(name, ds.id()), &h, |b, h| {
+                b.iter(|| pagerank::pagerank(h, Direction::Pull, &opts))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bellman_ford_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_bellman_ford_pull");
+    group.sample_size(20);
+    let g = gen::with_random_weights(&Dataset::Rca.generate(Scale::Test), 1, 100, 3);
+    for (name, h) in layouts(&g) {
+        group.bench_with_input(BenchmarkId::new(name, "rca"), &h, |b, h| {
+            b.iter(|| bellman_ford(h, 0, Direction::Pull))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank_layouts, bench_bellman_ford_layouts);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench behind Figure 4: Boruvka MST push vs. pull (with the
+//! sequential Kruskal baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::{mst, Direction};
+use pp_graph::datasets::{Dataset, Scale};
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst");
+    group.sample_size(10);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate_weighted(Scale::Test, 1, 1_000_000);
+        for dir in Direction::BOTH {
+            let name = match dir {
+                Direction::Push => "boruvka_push",
+                Direction::Pull => "boruvka_pull",
+            };
+            group.bench_with_input(BenchmarkId::new(name, ds.id()), &g, |b, g| {
+                b.iter(|| mst::boruvka(g, dir))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("kruskal_seq", ds.id()), &g, |b, g| {
+            b.iter(|| mst::kruskal_seq(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst);
+criterion_main!(benches);

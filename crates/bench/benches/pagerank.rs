@@ -1,0 +1,41 @@
+//! Criterion bench behind Table 3 (PR columns), Table 4, and Figure 6a:
+//! PageRank push vs. pull vs. push+PA per dataset stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::pagerank::{self, PrOptions, PushSync};
+use pp_core::Direction;
+use pp_graph::datasets::{Dataset, Scale};
+use pp_graph::{BlockPartition, PartitionAwareGraph};
+use pp_telemetry::NullProbe;
+
+fn bench_pagerank(c: &mut Criterion) {
+    let opts = PrOptions {
+        iters: 3,
+        damping: 0.85,
+    };
+    let mut group = c.benchmark_group("pagerank");
+    group.sample_size(10);
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Test);
+        let pa = PartitionAwareGraph::new(
+            &g,
+            BlockPartition::new(g.num_vertices(), rayon::current_num_threads()),
+        );
+        group.bench_with_input(BenchmarkId::new("push", ds.id()), &g, |b, g| {
+            b.iter(|| pagerank::pagerank(g, Direction::Push, &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("pull", ds.id()), &g, |b, g| {
+            b.iter(|| pagerank::pagerank(g, Direction::Pull, &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("push_pa", ds.id()), &g, |b, g| {
+            b.iter(|| pagerank::pagerank_push_pa(g, &pa, &opts, PushSync::Cas, &NullProbe))
+        });
+        group.bench_with_input(BenchmarkId::new("push_locks", ds.id()), &g, |b, g| {
+            b.iter(|| pagerank::pagerank_push(g, &opts, PushSync::Locks, &NullProbe))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench behind §7.1: CSR SpMV (pull) vs. CSC SpMV (push) vs.
+//! SpMSpV over a sparse frontier — the storage-layout face of the
+//! dichotomy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::algebra::{self, BoolOr, PlusTimes};
+use pp_graph::datasets::{Dataset, Scale};
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(20);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        let csr_vals = algebra::pagerank_values_csr(&g);
+        let csc_vals = algebra::pagerank_values_csc(&g);
+        let x: Vec<f64> = (0..g.num_vertices()).map(|i| 1.0 + (i % 3) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("csr_pull", ds.id()), &g, |b, g| {
+            b.iter(|| algebra::spmv_csr::<PlusTimes>(g, &csr_vals, &x))
+        });
+        group.bench_with_input(BenchmarkId::new("csc_push", ds.id()), &g, |b, g| {
+            b.iter(|| algebra::spmv_csc::<PlusTimes>(g, &csc_vals, &x))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmspv(c: &mut Criterion) {
+    // The §7.1 point: with a sparse operand, CSC work tracks the frontier
+    // while dense CSR scans everything.
+    let mut group = c.benchmark_group("spmspv_vs_spmv");
+    group.sample_size(20);
+    let g = Dataset::Orc.generate(Scale::Test);
+    let vals = algebra::pattern_values::<BoolOr>(&g, true);
+    for frontier in [1usize, 16, 256] {
+        let sparse: Vec<(u32, bool)> = (0..frontier as u32)
+            .map(|v| (v % g.num_vertices() as u32, true))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("csc_spmspv", frontier),
+            &sparse,
+            |b, sparse| b.iter(|| algebra::spmspv_csc::<BoolOr>(&g, &vals, sparse)),
+        );
+    }
+    let mut dense = vec![false; g.num_vertices()];
+    dense[0] = true;
+    group.bench_function("csr_dense_equivalent", |b| {
+        b.iter(|| algebra::spmv_csr::<BoolOr>(&g, &vals, &dense))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_spmspv);
+criterion_main!(benches);

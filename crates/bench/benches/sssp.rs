@@ -1,0 +1,48 @@
+//! Criterion bench behind Figure 2: Δ-stepping push vs. pull, and the Δ
+//! sweep that controls the push/pull gap (Figure 2c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::sssp::{self, SsspOptions};
+use pp_core::Direction;
+use pp_graph::datasets::{Dataset, Scale};
+
+fn bench_directions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sssp_direction");
+    group.sample_size(10);
+    for ds in [Dataset::Orc, Dataset::Am, Dataset::Rca] {
+        let g = ds.generate_weighted(Scale::Test, 1, 100);
+        for dir in Direction::BOTH {
+            let name = match dir {
+                Direction::Push => "push",
+                Direction::Pull => "pull",
+            };
+            group.bench_with_input(BenchmarkId::new(name, ds.id()), &g, |b, g| {
+                b.iter(|| sssp::sssp_delta(g, 0, dir, &SsspOptions { delta: 64 }))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_delta_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sssp_delta_sweep");
+    group.sample_size(10);
+    let g = Dataset::Orc.generate_weighted(Scale::Test, 1, 100);
+    for delta in [4u64, 64, 1024, 1 << 16] {
+        for dir in Direction::BOTH {
+            let name = match dir {
+                Direction::Push => "push",
+                Direction::Pull => "pull",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, delta),
+                &delta,
+                |b, &delta| b.iter(|| sssp::sssp_delta(&g, 0, dir, &SsspOptions { delta })),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_directions, bench_delta_sweep);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench behind Table 3 (TC columns): triangle counting push vs.
+//! pull per dataset stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::{triangles, Direction};
+use pp_graph::datasets::{Dataset, Scale};
+
+fn bench_tc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle_count");
+    group.sample_size(10);
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Test);
+        for dir in Direction::BOTH {
+            let name = match dir {
+                Direction::Push => "push",
+                Direction::Pull => "pull",
+            };
+            group.bench_with_input(BenchmarkId::new(name, ds.id()), &g, |b, g| {
+                b.iter(|| triangles::triangle_counts(g, dir))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc);
+criterion_main!(benches);

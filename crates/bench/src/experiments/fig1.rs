@@ -1,0 +1,60 @@
+//! Figure 1: Boman graph coloring time per iteration — Pushing, Pulling,
+//! and Greedy-Switch — on orc, ljn, and rca stand-ins.
+
+use pp_core::{coloring, Direction};
+use pp_graph::datasets::Dataset;
+
+use crate::with_threads;
+
+use super::{header, print_series, Ctx};
+
+/// Prints the per-iteration time series for each of the three graphs.
+pub fn run(ctx: Ctx) {
+    header(
+        "Figure 1: BGC time per iteration — Pushing / Pulling / GrS",
+        "§6.1/§6.2, Figure 1",
+    );
+    with_threads(ctx.threads, || {
+        let opts = coloring::GcOptions::default();
+        for ds in [Dataset::Orc, Dataset::Ljn, Dataset::Rca] {
+            let g = ds.generate(ctx.scale);
+            let push = coloring::boman(&g, ctx.threads, Direction::Push, &opts);
+            let pull = coloring::boman(&g, ctx.threads, Direction::Pull, &opts);
+            let grs = coloring::greedy_switch(&g, 0.1, &opts);
+
+            let rounds = push
+                .iter_times
+                .len()
+                .max(pull.iter_times.len())
+                .max(grs.iter_times.len());
+            let xs: Vec<String> = (0..rounds).map(|i| i.to_string()).collect();
+            let fmt = |r: &coloring::GcResult| -> Vec<String> {
+                r.iter_times
+                    .iter()
+                    .map(|t| format!("{:.6}", t.as_secs_f64()))
+                    .collect()
+            };
+            println!(
+                "-- {} (colors: push {}, pull {}, GrS {}) --",
+                ds.id(),
+                push.num_colors(),
+                pull.num_colors(),
+                grs.num_colors()
+            );
+            print_series(
+                "iteration",
+                &xs,
+                &[
+                    ("Pushing [s]", fmt(&push)),
+                    ("Pulling [s]", fmt(&pull)),
+                    ("GrS [s]", fmt(&grs)),
+                ],
+            );
+            println!(
+                "   iterations to finish: push {}, pull {}, GrS {}",
+                push.iterations, pull.iterations, grs.iterations
+            );
+            println!();
+        }
+    });
+}

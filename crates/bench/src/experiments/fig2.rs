@@ -1,0 +1,61 @@
+//! Figure 2: SSSP-Δ shared-memory analysis — per-epoch time push vs. pull
+//! on orc and am, and the total-time-vs-Δ sweep on orc.
+
+use pp_core::{sssp, Direction};
+use pp_graph::datasets::Dataset;
+
+use crate::{time_once, with_threads};
+
+use super::{header, print_series, Ctx};
+
+/// Prints Figure 2's three panels.
+pub fn run(ctx: Ctx) {
+    header(
+        "Figure 2: SSSP-Δ — per-epoch times and the Δ sweep",
+        "§6.1, Figure 2",
+    );
+    with_threads(ctx.threads, || {
+        let opts = sssp::SsspOptions { delta: 64 };
+        // Panels (a), (b): per-epoch times.
+        for ds in [Dataset::Orc, Dataset::Am] {
+            let g = ds.generate_weighted(ctx.scale, 1, 100);
+            let push = sssp::sssp_delta(&g, 0, Direction::Push, &opts);
+            let pull = sssp::sssp_delta(&g, 0, Direction::Pull, &opts);
+            let rounds = push.epochs.len().max(pull.epochs.len());
+            let xs: Vec<String> = (0..rounds).map(|i| (i + 1).to_string()).collect();
+            let fmt = |r: &sssp::SsspResult| -> Vec<String> {
+                r.epochs
+                    .iter()
+                    .map(|e| format!("{:.6}", e.time.as_secs_f64()))
+                    .collect()
+            };
+            println!("-- {} (Δ = {}) --", ds.id(), opts.delta);
+            print_series(
+                "epoch",
+                &xs,
+                &[("Pushing [s]", fmt(&push)), ("Pulling [s]", fmt(&pull))],
+            );
+            println!();
+        }
+
+        // Panel (c): total time vs Δ on orc.
+        let g = Dataset::Orc.generate_weighted(ctx.scale, 1, 100);
+        let deltas = [4u64, 16, 64, 256, 1 << 12, 1 << 16, 1 << 20];
+        let xs: Vec<String> = deltas.iter().map(|d| d.to_string()).collect();
+        let mut push_col = Vec::new();
+        let mut pull_col = Vec::new();
+        for &delta in &deltas {
+            let o = sssp::SsspOptions { delta };
+            let (t, _) = time_once(|| sssp::sssp_delta(&g, 0, Direction::Push, &o));
+            push_col.push(format!("{:.4}", t.as_secs_f64()));
+            let (t, _) = time_once(|| sssp::sssp_delta(&g, 0, Direction::Pull, &o));
+            pull_col.push(format!("{:.4}", t.as_secs_f64()));
+        }
+        println!("-- orc: total time vs Δ --");
+        print_series(
+            "Delta",
+            &xs,
+            &[("Pushing [s]", push_col), ("Pulling [s]", pull_col)],
+        );
+    });
+}

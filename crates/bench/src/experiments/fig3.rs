@@ -1,0 +1,90 @@
+//! Figure 3: distributed-memory strong scaling — PageRank on orc, ljn, and
+//! two R-MAT sizes; Triangle Counting on orc and ljn. Three variants each:
+//! Pushing (RMA), Pulling (RMA), Msg-Passing.
+
+use pp_dm::{dm_bfs, dm_pagerank, dm_triangle_count, CostModel, DmBfsVariant, DmVariant};
+use pp_graph::datasets::{Dataset, Scale};
+use pp_graph::{gen, CsrGraph};
+
+use super::{header, print_series, Ctx};
+
+const RANKS: [usize; 8] = [2, 4, 8, 16, 32, 64, 256, 1024];
+
+fn pr_panel(name: &str, g: &CsrGraph) {
+    let xs: Vec<String> = RANKS.iter().map(|p| p.to_string()).collect();
+    let mut cols: Vec<(&str, Vec<String>)> = Vec::new();
+    for variant in DmVariant::ALL {
+        let col = RANKS
+            .iter()
+            .map(|&p| {
+                let r = dm_pagerank(g, variant, p, 2, 0.85, CostModel::xc40());
+                format!("{:.5}", r.modeled_seconds)
+            })
+            .collect();
+        cols.push((variant.label(), col));
+    }
+    println!("-- PR, {name} (modeled s/iteration) --");
+    print_series("P", &xs, &cols);
+    println!();
+}
+
+fn tc_panel(name: &str, g: &CsrGraph) {
+    let xs: Vec<String> = RANKS.iter().map(|p| p.to_string()).collect();
+    let mut cols: Vec<(&str, Vec<String>)> = Vec::new();
+    for variant in DmVariant::ALL {
+        let col = RANKS
+            .iter()
+            .map(|&p| {
+                let r = dm_triangle_count(g, variant, p, CostModel::xc40());
+                format!("{:.5}", r.modeled_seconds)
+            })
+            .collect();
+        cols.push((variant.label(), col));
+    }
+    println!("-- TC, {name} (modeled s total) --");
+    print_series("P", &xs, &cols);
+    println!();
+}
+
+/// Prints Figure 3's six panels.
+pub fn run(ctx: Ctx) {
+    header(
+        "Figure 3: DM strong scaling (simulated ranks, modeled time)",
+        "§6.3, Figure 3",
+    );
+    let orc = Dataset::Orc.generate(ctx.scale);
+    let ljn = Dataset::Ljn.generate(ctx.scale);
+    pr_panel("orc", &orc);
+    pr_panel("ljn", &ljn);
+    // The rmat panels: two sizes one doubling apart (stand-ins for the
+    // paper's n = 2^25 / 2^27 pair, scaled down).
+    let (s1, s2) = match ctx.scale {
+        Scale::Test => (10, 12),
+        Scale::Small => (13, 15),
+        Scale::Medium => (16, 18),
+    };
+    pr_panel(&format!("rmat 2^{s1}"), &gen::rmat(s1, 8, 0x333));
+    pr_panel(&format!("rmat 2^{s2}"), &gen::rmat(s2, 8, 0x334));
+    // TC panels use the test scale (quadratic kernel, simulated serially).
+    let orc_t = Dataset::Orc.generate(Scale::Test);
+    let ljn_t = Dataset::Ljn.generate(Scale::Test);
+    tc_panel("orc", &orc_t);
+    tc_panel("ljn", &ljn_t);
+
+    // Bonus panel (§7.2): distributed BFS — traversals get their best
+    // performance from push–pull switching.
+    let xs: Vec<String> = RANKS.iter().map(|p| p.to_string()).collect();
+    let mut cols: Vec<(&str, Vec<String>)> = Vec::new();
+    for variant in DmBfsVariant::ALL {
+        let col = RANKS
+            .iter()
+            .map(|&p| {
+                let r = dm_bfs(&ljn, 0, variant, p, CostModel::xc40());
+                format!("{:.5}", r.modeled_seconds)
+            })
+            .collect();
+        cols.push((variant.label(), col));
+    }
+    println!("-- BFS, ljn (modeled s total; §7.2 switching) --");
+    print_series("P", &xs, &cols);
+}

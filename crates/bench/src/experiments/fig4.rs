@@ -1,0 +1,72 @@
+//! Figure 4: Boruvka MST phase times per round — "Find Minimum",
+//! "Build Merge Tree", "Merge" — push vs. pull on the orc stand-in.
+
+use pp_core::{mst, Direction};
+use pp_graph::datasets::Dataset;
+
+use crate::with_threads;
+
+use super::{header, print_series, Ctx};
+
+/// Prints the three phase-time panels.
+pub fn run(ctx: Ctx) {
+    header(
+        "Figure 4: MST phase times per round (orc)",
+        "§6.1, Figure 4",
+    );
+    with_threads(ctx.threads, || {
+        let g = Dataset::Orc.generate_weighted(ctx.scale, 1, 1_000_000);
+        let push = mst::boruvka(&g, Direction::Push);
+        let pull = mst::boruvka(&g, Direction::Pull);
+        assert_eq!(
+            push.total_weight, pull.total_weight,
+            "directions must agree on the MST weight"
+        );
+        let rounds = push.rounds.len().max(pull.rounds.len());
+        let xs: Vec<String> = (0..rounds).map(|i| i.to_string()).collect();
+        let phase = |r: &mst::MstResult,
+                     f: fn(&mst::MstRoundInfo) -> std::time::Duration|
+         -> Vec<String> {
+            r.rounds
+                .iter()
+                .map(|ri| format!("{:.6}", f(ri).as_secs_f64()))
+                .collect()
+        };
+        println!("-- Find Minimum [s] --");
+        print_series(
+            "round",
+            &xs,
+            &[
+                ("Pushing", phase(&push, |r| r.find_min)),
+                ("Pulling", phase(&pull, |r| r.find_min)),
+            ],
+        );
+        println!();
+        println!("-- Build Merge Tree [s] --");
+        print_series(
+            "round",
+            &xs,
+            &[
+                ("Pushing", phase(&push, |r| r.build_merge_tree)),
+                ("Pulling", phase(&pull, |r| r.build_merge_tree)),
+            ],
+        );
+        println!();
+        println!("-- Merge [s] --");
+        print_series(
+            "round",
+            &xs,
+            &[
+                ("Pushing", phase(&push, |r| r.merge)),
+                ("Pulling", phase(&pull, |r| r.merge)),
+            ],
+        );
+        println!();
+        println!(
+            "MST weight: {} ({} edges, {} rounds)",
+            push.total_weight,
+            push.edges.len(),
+            push.rounds.len()
+        );
+    });
+}

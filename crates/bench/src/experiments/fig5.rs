@@ -1,0 +1,58 @@
+//! Figure 5: betweenness centrality scalability — first-BFS, second-BFS,
+//! and total runtime vs. thread count, push vs. pull, on the orc stand-in.
+
+use pp_core::{bc, Direction};
+use pp_graph::datasets::{Dataset, Scale};
+
+use crate::with_threads;
+
+use super::{header, print_series, Ctx};
+
+/// Prints the three scalability panels.
+pub fn run(ctx: Ctx) {
+    header(
+        "Figure 5: BC scalability (orc)",
+        "§6.1, Figure 5 — first BFS / second BFS / total vs threads",
+    );
+    // BC runs one forward+backward pass per source: sample sources so the
+    // sweep stays interactive while the per-phase ratios are preserved.
+    let g = Dataset::Orc.generate(match ctx.scale {
+        Scale::Medium => Scale::Small,
+        s => s,
+    });
+    let opts = bc::BcOptions {
+        max_sources: Some(24),
+    };
+    let threads: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= ctx.threads.max(1) * 2)
+        .collect();
+    let xs: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+
+    let mut cols: Vec<(&str, Vec<String>)> = vec![
+        ("Push fwd [s]", Vec::new()),
+        ("Pull fwd [s]", Vec::new()),
+        ("Push bwd [s]", Vec::new()),
+        ("Pull bwd [s]", Vec::new()),
+        ("Push tot [s]", Vec::new()),
+        ("Pull tot [s]", Vec::new()),
+    ];
+    for &t in &threads {
+        let (push, pull) = with_threads(t, || {
+            (
+                bc::betweenness(&g, Direction::Push, &opts),
+                bc::betweenness(&g, Direction::Pull, &opts),
+            )
+        });
+        let s = |d: std::time::Duration| format!("{:.4}", d.as_secs_f64());
+        cols[0].1.push(s(push.forward_time));
+        cols[1].1.push(s(pull.forward_time));
+        cols[2].1.push(s(push.backward_time));
+        cols[3].1.push(s(pull.backward_time));
+        cols[4].1.push(s(push.forward_time + push.backward_time));
+        cols[5].1.push(s(pull.forward_time + pull.backward_time));
+    }
+    print_series("threads", &xs, &cols);
+    println!();
+    println!("(24 sampled sources; the paper amortizes over all sources)");
+}

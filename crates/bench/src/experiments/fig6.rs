@@ -1,0 +1,87 @@
+//! Figure 6 (the two §6.2 tables): (a) PageRank push vs. push+PA time per
+//! iteration; (b) BGC iterations to finish under Push / +FE / +GS / +GrS.
+
+use pp_core::{coloring, pagerank, Direction};
+use pp_graph::datasets::Dataset;
+use pp_graph::{BlockPartition, PartitionAwareGraph};
+use pp_telemetry::NullProbe;
+
+use crate::{median_time, with_threads};
+
+use super::{header, print_series, Ctx};
+
+/// Prints panel (a): PR Push vs Push+PA.
+pub fn run_a(ctx: Ctx) {
+    header(
+        "Figure 6a: PR time/iteration [ms] — Push vs Push+PA",
+        "§6.2, Figure 6 left table",
+    );
+    with_threads(ctx.threads, || {
+        let iters = 5usize;
+        let opts = pagerank::PrOptions {
+            iters,
+            damping: 0.85,
+        };
+        let xs: Vec<String> = Dataset::ALL.iter().map(|d| d.id().to_string()).collect();
+        let mut push = Vec::new();
+        let mut pa_col = Vec::new();
+        for ds in Dataset::ALL {
+            let g = ds.generate(ctx.scale);
+            let pa = PartitionAwareGraph::new(
+                &g,
+                BlockPartition::new(g.num_vertices(), ctx.threads),
+            );
+            let ms =
+                |t: std::time::Duration| format!("{:.3}", t.as_secs_f64() * 1e3 / iters as f64);
+            push.push(ms(median_time(ctx.samples, || {
+                pagerank::pagerank(&g, Direction::Push, &opts)
+            })));
+            pa_col.push(ms(median_time(ctx.samples, || {
+                pagerank::pagerank_push_pa(&g, &pa, &opts, pagerank::PushSync::Cas, &NullProbe)
+            })));
+        }
+        print_series("graph", &xs, &[("Push", push), ("+PA", pa_col)]);
+    });
+}
+
+/// Prints panel (b): BGC iteration counts per strategy.
+pub fn run_b(ctx: Ctx) {
+    header(
+        "Figure 6b: BGC iterations to finish — Push / +FE / +GS / +GrS",
+        "§6.2, Figure 6 right table",
+    );
+    with_threads(ctx.threads, || {
+        let opts = coloring::GcOptions::default();
+        let xs: Vec<String> = Dataset::ALL.iter().map(|d| d.id().to_string()).collect();
+        let mut push = Vec::new();
+        let mut fe = Vec::new();
+        let mut gs = Vec::new();
+        let mut grs = Vec::new();
+        for ds in Dataset::ALL {
+            let g = ds.generate(ctx.scale);
+            push.push(
+                coloring::boman(&g, ctx.threads, Direction::Push, &opts)
+                    .iterations
+                    .to_string(),
+            );
+            fe.push(
+                coloring::frontier_exploit(&g, Direction::Push, &opts)
+                    .iterations
+                    .to_string(),
+            );
+            gs.push(coloring::generic_switch(&g, 0.2, &opts).iterations.to_string());
+            grs.push(coloring::greedy_switch(&g, 0.1, &opts).iterations.to_string());
+        }
+        print_series(
+            "graph",
+            &xs,
+            &[("Push", push), ("+FE", fe), ("+GS", gs), ("+GrS", grs)],
+        );
+    });
+}
+
+/// Prints both panels.
+pub fn run(ctx: Ctx) {
+    run_a(ctx);
+    run_b(ctx);
+}

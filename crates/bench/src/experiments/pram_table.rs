@@ -1,0 +1,90 @@
+//! The §4 analysis summary as a generated table: time/work bounds and the
+//! conflict/atomic/lock profile of every algorithm in both directions,
+//! evaluated on a concrete workload. This regenerates the in-text analysis
+//! (§4.1–§4.7 and the §4.9 summary) the way the figures regenerate §6.
+
+use pp_pram::{algos, Direction, PramModel, Workload};
+
+use super::{header, Ctx};
+use pp_graph::datasets::Dataset;
+use pp_telemetry::report::human_count;
+
+/// Prints the per-algorithm PRAM analysis for the ljn stand-in's parameters.
+pub fn run(ctx: Ctx) {
+    header(
+        "PRAM analysis (§4): time/work and synchronization per variant",
+        "§4.1–§4.7, §4.9 — evaluated on the ljn stand-in's parameters",
+    );
+    let g = Dataset::Ljn.generate(ctx.scale);
+    let w = Workload::new(g.num_vertices(), g.num_edges())
+        .with_d_max(g.max_degree() as f64)
+        .with_diameter(pp_graph::stats::double_sweep_diameter(&g) as f64)
+        .with_iters(20);
+    let p = ctx.threads;
+    println!(
+        "workload: n = {}, m = {}, d̂ = {}, D = {}, L = 20, P = {p}\n",
+        w.n as u64, w.m as u64, w.d_max as u64, w.diameter as u64
+    );
+
+    type AnalysisFn = Box<dyn Fn(PramModel, Direction) -> algos::Analysis>;
+    let rows: Vec<(&str, AnalysisFn)> = vec![
+        (
+            "PageRank (§4.1)",
+            Box::new(move |m, d| algos::pagerank(&w, p, m, d)),
+        ),
+        (
+            "Triangle count (§4.2)",
+            Box::new(move |m, d| algos::triangle_count(&w, p, m, d)),
+        ),
+        ("BFS (§4.3)", Box::new(move |m, d| algos::bfs(&w, p, m, d))),
+        (
+            "SSSP-Δ (§4.4)",
+            Box::new(move |m, d| algos::sssp_delta(&w, p, m, d, 8.0, 3.0)),
+        ),
+        ("BC (§4.5)", Box::new(move |m, d| algos::bc(&w, p, m, d))),
+        (
+            "Coloring (§4.6)",
+            Box::new(move |m, d| algos::coloring(&w, p, m, d)),
+        ),
+        (
+            "Boruvka (§4.7)",
+            Box::new(move |m, d| algos::boruvka(&w, p, m, d)),
+        ),
+    ];
+
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "algorithm", "dir", "time", "work", "rd-confl", "wr-confl", "atomics", "locks"
+    );
+    for (name, f) in &rows {
+        for dir in Direction::BOTH {
+            let a = f(PramModel::CrcwCb, dir);
+            println!(
+                "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                match dir {
+                    Direction::Push => "push",
+                    Direction::Pull => "pull",
+                },
+                human_count(a.cost.time as u64),
+                human_count(a.cost.work as u64),
+                human_count(a.profile.read_conflicts as u64),
+                human_count(a.profile.write_conflicts as u64),
+                human_count(a.profile.atomics as u64),
+                human_count(a.profile.locks as u64),
+            );
+        }
+    }
+    println!();
+    println!("CREW slowdown of pushing (work ratio vs CRCW-CB):");
+    for (name, f) in &rows {
+        let crcw = f(PramModel::CrcwCb, Direction::Push);
+        let crew = f(PramModel::Crew, Direction::Push);
+        println!(
+            "  {:<22} ×{:.2}  (log2 d̂ = {:.2})",
+            name,
+            crew.cost.work / crcw.cost.work,
+            w.d_max.log2()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Table 2: the analyzed graphs and their structural statistics.
+
+use pp_graph::datasets::Dataset;
+use pp_graph::stats;
+
+use super::{header, Ctx};
+
+/// Prints the dataset table (n, m, d̄, D as in Table 2).
+pub fn run(ctx: Ctx) {
+    header("Table 2: analyzed graphs", "§6, Table 2");
+    println!(
+        "{:>6} {:>42} {:>10} {:>12} {:>8} {:>8} {:>8}",
+        "ID", "type", "n", "m", "d̄", "d̂", "D≥"
+    );
+    for d in Dataset::ALL {
+        let g = d.generate(ctx.scale);
+        let s = stats::stats(&g);
+        println!(
+            "{:>6} {:>42} {:>10} {:>12} {:>8.2} {:>8} {:>8}",
+            d.id(),
+            d.description(),
+            s.n,
+            s.m,
+            s.avg_degree,
+            s.max_degree,
+            s.diameter_lb,
+        );
+    }
+}

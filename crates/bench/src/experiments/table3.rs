@@ -1,0 +1,69 @@
+//! Table 3: PageRank time per iteration \[ms\] and Triangle Counting total
+//! time \[s\], push vs. pull, across all five datasets.
+
+use pp_core::{pagerank, triangles, Direction};
+use pp_graph::datasets::{Dataset, Scale};
+
+use crate::{median_time, with_threads};
+
+use super::{header, print_series, Ctx};
+
+/// Prints Table 3's two blocks.
+pub fn run(ctx: Ctx) {
+    header(
+        "Table 3: PR time/iteration [ms] and TC total time [s]",
+        "§6.1, Table 3",
+    );
+    with_threads(ctx.threads, || {
+        let iters = 5usize;
+        let opts = pagerank::PrOptions {
+            iters,
+            damping: 0.85,
+        };
+        let xs: Vec<String> = Dataset::ALL.iter().map(|d| d.id().to_string()).collect();
+
+        let mut push_col = Vec::new();
+        let mut pull_col = Vec::new();
+        for ds in Dataset::ALL {
+            let g = ds.generate(ctx.scale);
+            let t_push = median_time(ctx.samples, || {
+                pagerank::pagerank(&g, Direction::Push, &opts)
+            });
+            let t_pull = median_time(ctx.samples, || {
+                pagerank::pagerank(&g, Direction::Pull, &opts)
+            });
+            push_col.push(format!("{:.3}", t_push.as_secs_f64() * 1e3 / iters as f64));
+            pull_col.push(format!("{:.3}", t_pull.as_secs_f64() * 1e3 / iters as f64));
+        }
+        println!("PageRank [ms/iteration]:");
+        print_series(
+            "graph",
+            &xs,
+            &[("Pushing", push_col), ("Pulling", pull_col)],
+        );
+
+        // TC is O(m·d̂): stick to the test scale for the dense graphs so the
+        // harness stays interactive.
+        let tc_scale = Scale::Test;
+        let mut push_col = Vec::new();
+        let mut pull_col = Vec::new();
+        for ds in Dataset::ALL {
+            let g = ds.generate(tc_scale);
+            let t_push = median_time(ctx.samples, || {
+                triangles::triangle_counts(&g, Direction::Push)
+            });
+            let t_pull = median_time(ctx.samples, || {
+                triangles::triangle_counts(&g, Direction::Pull)
+            });
+            push_col.push(format!("{:.4}", t_push.as_secs_f64()));
+            pull_col.push(format!("{:.4}", t_pull.as_secs_f64()));
+        }
+        println!();
+        println!("Triangle Counting [s total] (test scale):");
+        print_series(
+            "graph",
+            &xs,
+            &[("Pushing", push_col), ("Pulling", pull_col)],
+        );
+    });
+}

@@ -1,0 +1,44 @@
+//! Weak scaling (§6 lists "strong- and weak-scaling" among the measured
+//! configurations): the per-rank problem size is held constant while ranks
+//! grow — R-MAT scale rises with `log2 P`, so each rank always owns the same
+//! number of vertices. Ideal weak scaling keeps the modeled time flat;
+//! communication growth (the cut) bends it upward.
+
+use pp_dm::{dm_pagerank, CostModel, DmVariant};
+use pp_graph::datasets::Scale;
+use pp_graph::gen;
+
+use super::{header, print_series, Ctx};
+
+/// Prints the weak-scaling panel for PageRank, all three DM variants.
+pub fn run(ctx: Ctx) {
+    header(
+        "Weak scaling: PR, R-MAT with n/P held constant",
+        "§6 (weak-scaling configuration); modeled s/iteration",
+    );
+    let base_scale = match ctx.scale {
+        Scale::Test => 8,
+        Scale::Small => 10,
+        Scale::Medium => 12,
+    };
+    let steps: Vec<(usize, u32)> = (0..6).map(|i| (1usize << i, base_scale + i as u32)).collect();
+    let xs: Vec<String> = steps
+        .iter()
+        .map(|(p, s)| format!("{p}/2^{s}"))
+        .collect();
+    let mut cols: Vec<(&str, Vec<String>)> = Vec::new();
+    for variant in DmVariant::ALL {
+        let col = steps
+            .iter()
+            .map(|&(p, scale)| {
+                let g = gen::rmat(scale, 8, 0x7777 + scale as u64);
+                let r = dm_pagerank(&g, variant, p, 1, 0.85, CostModel::xc40());
+                format!("{:.5}", r.modeled_seconds)
+            })
+            .collect();
+        cols.push((variant.label(), col));
+    }
+    print_series("P / n", &xs, &cols);
+    println!();
+    println!("(flat = ideal weak scaling; the rise tracks cut growth)");
+}

@@ -1,0 +1,450 @@
+//! The linear-algebraic formulation of §7.1.
+//!
+//! Graph algorithms as `y = A ⊗ x` over a semiring. The storage dichotomy
+//! mirrors push/pull exactly:
+//!
+//! * **CSR SpMV** — iterate rows, gather row entries against `x`, each
+//!   output cell written by one task: *pulling*.
+//! * **CSC SpMV** — iterate columns, scatter `x[j]` into the output through
+//!   the column's entries: *pushing*, with synchronization on `y`.
+//! * **SpMSpV** — with a sparse `x`, CSC simply skips columns matching zero
+//!   entries (push exploits frontier sparsity); CSR has no comparable
+//!   shortcut and scans every row (the §7.1 observation).
+//!
+//! Conventions: a `CsrGraph` plus a value array `vals` (parallel to its
+//! target array) encodes a matrix. Read as CSR, entry `(i, targets[k])` of
+//! row `i` has value `vals[k]`; the same storage read as CSC encodes the
+//! *transpose* (each "row" becomes a column). [`spmv_csc`] therefore
+//! computes `Aᵀ⊗x` of the matrix [`spmv_csr`] would compute — callers pass
+//! transposed values to multiply by the same matrix both ways (see
+//! [`pagerank_values_csr`]/[`pagerank_values_csc`]).
+
+use pp_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+use crate::sync::{ShardedLocks, SyncSlice};
+use crate::Direction;
+
+/// A semiring `(⊕, ⊗, 0)`; `⊕` must be commutative and associative (the
+/// same requirement Algorithm 3 places on its accumulation operator).
+pub trait Semiring: Send + Sync {
+    /// Element type.
+    type Elem: Copy + Send + Sync + PartialEq + std::fmt::Debug;
+    /// The additive identity (annihilator of `⊕`).
+    fn zero() -> Self::Elem;
+    /// The addition `⊕`.
+    fn plus(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+    /// The multiplication `⊗`.
+    fn times(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+}
+
+/// The arithmetic semiring `(+, ×, 0)` over `f64` — PageRank's home.
+pub struct PlusTimes;
+
+impl Semiring for PlusTimes {
+    type Elem = f64;
+    fn zero() -> f64 {
+        0.0
+    }
+    fn plus(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn times(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// The tropical semiring `(min, +, ∞)` over `u64` — shortest paths.
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type Elem = u64;
+    fn zero() -> u64 {
+        u64::MAX
+    }
+    fn plus(a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+    fn times(a: u64, b: u64) -> u64 {
+        a.saturating_add(b)
+    }
+}
+
+/// The boolean semiring `(∨, ∧, false)` — reachability / BFS.
+pub struct BoolOr;
+
+impl Semiring for BoolOr {
+    type Elem = bool;
+    fn zero() -> bool {
+        false
+    }
+    fn plus(a: bool, b: bool) -> bool {
+        a || b
+    }
+    fn times(a: bool, b: bool) -> bool {
+        a && b
+    }
+}
+
+/// CSR SpMV (*pulling*): `y[i] = ⊕_k vals[k] ⊗ x[targets[k]]` over row `i`.
+/// Each output cell is computed by exactly one task — no synchronization.
+pub fn spmv_csr<S: Semiring>(g: &CsrGraph, vals: &[S::Elem], x: &[S::Elem]) -> Vec<S::Elem> {
+    assert_eq!(vals.len(), g.num_arcs());
+    assert_eq!(x.len(), g.num_vertices());
+    let offsets = g.offsets();
+    (0..g.num_vertices())
+        .into_par_iter()
+        .map(|i| {
+            let lo = offsets[i] as usize;
+            let mut acc = S::zero();
+            for (k, &j) in g.neighbors(i as VertexId).iter().enumerate() {
+                acc = S::plus(acc, S::times(vals[lo + k], x[j as usize]));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// CSC SpMV (*pushing*): iterating the storage as columns, scatter
+/// `vals[k] ⊗ x[j]` into `y[targets[k]]`. Concurrent column tasks write the
+/// same output cells, so each scatter takes a sharded lock (§7.1: "atomics
+/// or a reduction tree are necessary").
+pub fn spmv_csc<S: Semiring>(g: &CsrGraph, vals: &[S::Elem], x: &[S::Elem]) -> Vec<S::Elem> {
+    assert_eq!(vals.len(), g.num_arcs());
+    assert_eq!(x.len(), g.num_vertices());
+    let n = g.num_vertices();
+    let mut y = vec![S::zero(); n];
+    let locks = ShardedLocks::new(1024);
+    {
+        let ys = SyncSlice::new(&mut y);
+        let offsets = g.offsets();
+        (0..n).into_par_iter().for_each(|j| {
+            let xj = x[j];
+            if xj == S::zero() {
+                // ⊗ by zero annihilates; skipping is what makes SpMSpV
+                // cheap in CSC.
+                return;
+            }
+            let lo = offsets[j] as usize;
+            for (k, &i) in g.neighbors(j as VertexId).iter().enumerate() {
+                let contrib = S::times(vals[lo + k], xj);
+                locks.with(i as usize, || {
+                    // SAFETY: the shard lock serializes writers of y[i].
+                    unsafe { ys.write(i as usize, S::plus(ys.read(i as usize), contrib)) };
+                });
+            }
+        });
+    }
+    y
+}
+
+/// Sparse-vector SpMSpV in CSC form (*pushing*): only the columns matching
+/// nonzeros of `x` are touched — work proportional to the frontier's edges.
+pub fn spmspv_csc<S: Semiring>(
+    g: &CsrGraph,
+    vals: &[S::Elem],
+    x: &[(VertexId, S::Elem)],
+) -> Vec<(VertexId, S::Elem)> {
+    assert_eq!(vals.len(), g.num_arcs());
+    let n = g.num_vertices();
+    let mut y = vec![S::zero(); n];
+    let offsets = g.offsets();
+    // Sequentially scatter per nonzero column: the sparse frontier is small
+    // by assumption; parallelism across columns would need the same locks
+    // as spmv_csc.
+    for &(j, xj) in x {
+        let lo = offsets[j as usize] as usize;
+        for (k, &i) in g.neighbors(j).iter().enumerate() {
+            y[i as usize] = S::plus(y[i as usize], S::times(vals[lo + k], xj));
+        }
+    }
+    y.into_iter()
+        .enumerate()
+        .filter(|&(_, v)| v != S::zero())
+        .map(|(i, v)| (i as VertexId, v))
+        .collect()
+}
+
+/// All-ones value array (the adjacency pattern itself).
+pub fn pattern_values<S: Semiring>(g: &CsrGraph, one: S::Elem) -> Vec<S::Elem> {
+    vec![one; g.num_arcs()]
+}
+
+/// Values for the PageRank matrix `A[i][j] = 1/d(j)` in CSR storage:
+/// slot `k` of row `i` holds `1/d(targets[k])`.
+pub fn pagerank_values_csr(g: &CsrGraph) -> Vec<f64> {
+    let mut vals = Vec::with_capacity(g.num_arcs());
+    for i in g.vertices() {
+        for &j in g.neighbors(i) {
+            vals.push(1.0 / g.degree(j) as f64);
+        }
+    }
+    vals
+}
+
+/// Values for the same PageRank matrix in CSC storage (so that
+/// `spmv_csc` computes `A⊗x`, not `Aᵀ⊗x`): column `j`'s slots all hold
+/// `1/d(j)`.
+pub fn pagerank_values_csc(g: &CsrGraph) -> Vec<f64> {
+    let mut vals = Vec::with_capacity(g.num_arcs());
+    for j in g.vertices() {
+        let v = 1.0 / g.degree(j).max(1) as f64;
+        vals.extend(std::iter::repeat_n(v, g.degree(j)));
+    }
+    vals
+}
+
+/// Algebraic PageRank: `x ← f·(A⊗x) + (1-f)/n` per iteration, with the
+/// SpMV direction chosen by `dir` (CSR = pull, CSC = push).
+pub fn pagerank_algebraic(g: &CsrGraph, dir: Direction, iters: usize, damping: f64) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let vals = match dir {
+        Direction::Pull => pagerank_values_csr(g),
+        Direction::Push => pagerank_values_csc(g),
+    };
+    let base = (1.0 - damping) / n as f64;
+    let mut x = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        let ax = match dir {
+            Direction::Pull => spmv_csr::<PlusTimes>(g, &vals, &x),
+            Direction::Push => spmv_csc::<PlusTimes>(g, &vals, &x),
+        };
+        for (xi, axi) in x.iter_mut().zip(ax) {
+            *xi = base + damping * axi;
+        }
+    }
+    x
+}
+
+/// Algebraic BFS over the boolean semiring: levels by repeated
+/// `frontier' = (A ⊗ frontier) ∧ ¬visited`. Pull does dense SpMV every
+/// round; push does SpMSpV over the sparse frontier (§7.1).
+pub fn bfs_algebraic(g: &CsrGraph, root: VertexId, dir: Direction) -> Vec<u32> {
+    let n = g.num_vertices();
+    let vals = pattern_values::<BoolOr>(g, true);
+    let mut level = vec![u32::MAX; n];
+    level[root as usize] = 0;
+    let mut frontier: Vec<VertexId> = vec![root];
+    let mut cur = 0u32;
+    while !frontier.is_empty() {
+        let next: Vec<VertexId> = match dir {
+            Direction::Push => {
+                let x: Vec<(VertexId, bool)> = frontier.iter().map(|&v| (v, true)).collect();
+                spmspv_csc::<BoolOr>(g, &vals, &x)
+                    .into_iter()
+                    .map(|(v, _)| v)
+                    .filter(|&v| level[v as usize] == u32::MAX)
+                    .collect()
+            }
+            Direction::Pull => {
+                let mut x = vec![false; n];
+                for &v in &frontier {
+                    x[v as usize] = true;
+                }
+                let y = spmv_csr::<BoolOr>(g, &vals, &x);
+                (0..n as VertexId)
+                    .filter(|&v| y[v as usize] && level[v as usize] == u32::MAX)
+                    .collect()
+            }
+        };
+        cur += 1;
+        for &v in &next {
+            level[v as usize] = cur;
+        }
+        frontier = next;
+    }
+    level
+}
+
+/// Arc weights as tropical-semiring values: slot `k` holds the weight of
+/// arc `k` as a `u64` (the `A[i][j] = w(i,j)` matrix of min-plus shortest
+/// paths).
+pub fn weight_values(g: &CsrGraph) -> Vec<u64> {
+    let mut vals = Vec::with_capacity(g.num_arcs());
+    for i in g.vertices() {
+        vals.extend(g.neighbor_weights(i).iter().map(|&w| w as u64));
+    }
+    vals
+}
+
+/// Algebraic SSSP over the tropical semiring: Bellman–Ford as the fixpoint
+/// of `x ← x ⊕ (A ⊗ x)` with `⊕ = min`, `⊗ = +` (§7.1 applied to §3.4's
+/// baseline). Pull runs CSR SpMV (dense rescans, no synchronization); push
+/// runs SpMSpV over the improved frontier (sparse scatters). Converges to
+/// the Dijkstra metric in at most `n - 1` products.
+pub fn sssp_algebraic(g: &CsrGraph, root: VertexId, dir: Direction) -> Vec<u64> {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root out of range");
+    assert!(g.is_weighted(), "algebraic SSSP requires weights");
+    let vals = weight_values(g);
+    let mut x = vec![MinPlus::zero(); n];
+    x[root as usize] = 0;
+    match dir {
+        Direction::Pull => loop {
+            let ax = spmv_csr::<MinPlus>(g, &vals, &x);
+            let mut changed = false;
+            for (xi, axi) in x.iter_mut().zip(ax) {
+                if axi < *xi {
+                    *xi = axi;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        },
+        Direction::Push => {
+            // The sparse frontier: entries of x that improved last round.
+            let mut frontier: Vec<(VertexId, u64)> = vec![(root, 0)];
+            while !frontier.is_empty() {
+                let products = spmspv_csc::<MinPlus>(g, &vals, &frontier);
+                frontier = products
+                    .into_iter()
+                    .filter(|&(v, d)| d < x[v as usize])
+                    .collect();
+                for &(v, d) in &frontier {
+                    x[v as usize] = d;
+                }
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::{gen, stats};
+
+    #[test]
+    fn csr_and_csc_agree_on_symmetric_values() {
+        // With symmetric values (pattern matrix), A = Aᵀ and both layouts
+        // compute the same product.
+        let g = gen::rmat(7, 4, 2);
+        let vals = pattern_values::<PlusTimes>(&g, 1.0);
+        let x: Vec<f64> = (0..g.num_vertices()).map(|i| (i % 7) as f64).collect();
+        let a = spmv_csr::<PlusTimes>(&g, &vals, &x);
+        let b = spmv_csc::<PlusTimes>(&g, &vals, &x);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csc_with_transposed_values_matches_csr() {
+        let g = gen::rmat(6, 4, 5);
+        let x: Vec<f64> = (0..g.num_vertices()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let a = spmv_csr::<PlusTimes>(&g, &pagerank_values_csr(&g), &x);
+        let b = spmv_csc::<PlusTimes>(&g, &pagerank_values_csc(&g), &x);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn algebraic_pagerank_matches_direct_implementation() {
+        let g = gen::rmat(6, 5, 8);
+        let opts = crate::pagerank::PrOptions {
+            iters: 10,
+            damping: 0.85,
+        };
+        let direct = crate::pagerank::pagerank(&g, Direction::Pull, &opts);
+        for dir in Direction::BOTH {
+            let algebraic = pagerank_algebraic(&g, dir, 10, 0.85);
+            let diff = crate::pagerank::l1_distance(&direct, &algebraic);
+            assert!(diff < 1e-9, "{dir:?}: L1 diff {diff}");
+        }
+    }
+
+    #[test]
+    fn algebraic_bfs_matches_traversal() {
+        for g in [gen::path(30), gen::rmat(6, 4, 3), gen::star(20)] {
+            let (expected, _, _) = stats::bfs_levels(&g, 0);
+            for dir in Direction::BOTH {
+                assert_eq!(bfs_algebraic(&g, 0, dir), expected, "{dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmspv_only_visits_frontier_columns() {
+        let g = gen::star(10);
+        let vals = pattern_values::<BoolOr>(&g, true);
+        // Frontier = {3}: the only reachable output is the hub 0.
+        let y = spmspv_csc::<BoolOr>(&g, &vals, &[(3, true)]);
+        assert_eq!(y, vec![(0, true)]);
+    }
+
+    #[test]
+    fn min_plus_relaxation_converges_to_shortest_paths() {
+        // Iterating x ← min(x, A ⊗ x) over MinPlus is Bellman-Ford.
+        let g = gen::with_random_weights(&gen::cycle(12), 1, 9, 4);
+        let mut vals = Vec::with_capacity(g.num_arcs());
+        for v in g.vertices() {
+            for w in g.neighbor_weights(v) {
+                vals.push(*w as u64);
+            }
+        }
+        let mut x = vec![u64::MAX; 12];
+        x[0] = 0;
+        for _ in 0..12 {
+            let ax = spmv_csr::<MinPlus>(&g, &vals, &x);
+            for (xi, a) in x.iter_mut().zip(ax) {
+                *xi = (*xi).min(a);
+            }
+        }
+        let expected = crate::sssp::dijkstra(&g, 0);
+        assert_eq!(x, expected);
+    }
+
+    #[test]
+    fn algebraic_sssp_matches_dijkstra_both_directions() {
+        for seed in 0..4 {
+            let g = gen::with_random_weights(&gen::erdos_renyi(120, 360, seed), 1, 20, seed);
+            let expected = crate::sssp::dijkstra(&g, 0);
+            for dir in Direction::BOTH {
+                assert_eq!(sssp_algebraic(&g, 0, dir), expected, "{dir:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn algebraic_sssp_on_disconnected_graph() {
+        let g = gen::with_random_weights(
+            &pp_graph::GraphBuilder::undirected(5).edge(0, 1).edge(2, 3).build(),
+            2,
+            2,
+            0,
+        );
+        for dir in Direction::BOTH {
+            let d = sssp_algebraic(&g, 0, dir);
+            assert_eq!(d, vec![0, 2, u64::MAX, u64::MAX, u64::MAX], "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn weight_values_align_with_arcs() {
+        let g = gen::with_random_weights(&gen::cycle(6), 1, 9, 3);
+        let vals = weight_values(&g);
+        assert_eq!(vals.len(), g.num_arcs());
+        let mut k = 0;
+        for i in g.vertices() {
+            for (j, w) in g.weighted_neighbors(i) {
+                assert_eq!(vals[k], w as u64, "arc ({i},{j})");
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn semiring_laws_hold_for_samples() {
+        // ⊕ commutative/associative, 0 annihilates ⊗ — spot checks.
+        assert_eq!(PlusTimes::plus(2.0, 3.0), PlusTimes::plus(3.0, 2.0));
+        assert_eq!(MinPlus::plus(5, 9), 5);
+        assert_eq!(MinPlus::times(MinPlus::zero(), 3), u64::MAX, "∞ + w = ∞");
+        assert!(!BoolOr::times(BoolOr::zero(), true));
+    }
+}

@@ -1,0 +1,558 @@
+//! Brandes betweenness centrality in push and pull form (§3.5, §4.5).
+//!
+//! Per source, two traversals (Algorithm 5):
+//!
+//! 1. **Forward BFS** counts shortest-path multiplicities `σ`. Push
+//!    scatters `σ[v]` into each newly discovered neighbor with integer
+//!    FAA/CAS; pull gathers from all frontier neighbors into the owned cell.
+//! 2. **Backward accumulation** folds partial dependencies
+//!    `δ[v] += σ[v]/σ[w] · (1 + δ[w])` down the shortest-path DAG. Pushing
+//!    scatters *floating-point* partials into predecessors — the conflict
+//!    type the paper highlights (§4.9): floats force locks. Pulling has each
+//!    vertex read its successors: no synchronization at all.
+//!
+//! Per-phase wall-clock totals are recorded to regenerate Figure 5.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pp_graph::{BlockPartition, CsrGraph, VertexId};
+use pp_telemetry::{addr_of_index, NullProbe, Probe};
+use rayon::prelude::*;
+
+use crate::bfs::UNVISITED;
+use crate::sync::{ShardedLocks, SyncSlice};
+use crate::Direction;
+
+/// Betweenness options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BcOptions {
+    /// Limit the number of source vertices (sources `0..k`); `None` runs the
+    /// exact algorithm from every vertex. The paper's experiments also
+    /// amortize over many sources (Figure 5); sampling is the standard
+    /// approximation [Bader et al. 2007].
+    pub max_sources: Option<usize>,
+}
+
+/// Result of a betweenness computation.
+#[derive(Clone, Debug)]
+pub struct BcResult {
+    /// Centrality scores (undirected convention: each unordered pair counted
+    /// once).
+    pub scores: Vec<f64>,
+    /// Total time in forward (σ-counting) traversals — "first BFS" of Fig 5.
+    pub forward_time: Duration,
+    /// Total time in backward accumulation — "second BFS" of Fig 5.
+    pub backward_time: Duration,
+}
+
+/// Betweenness centrality with the default probe.
+pub fn betweenness(g: &CsrGraph, dir: Direction, opts: &BcOptions) -> BcResult {
+    betweenness_probed(g, dir, opts, &NullProbe)
+}
+
+/// Instrumented betweenness centrality.
+pub fn betweenness_probed<P: Probe>(
+    g: &CsrGraph,
+    dir: Direction,
+    opts: &BcOptions,
+    probe: &P,
+) -> BcResult {
+    let n = g.num_vertices();
+    let limit = opts.max_sources.unwrap_or(n).min(n);
+    let mut scores = vec![0.0f64; n];
+    let mut forward_time = Duration::ZERO;
+    let mut backward_time = Duration::ZERO;
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+
+    let mut sigma = vec![0u64; n];
+    let mut delta = vec![0.0f64; n];
+    for s in 0..limit as VertexId {
+        let t0 = Instant::now();
+        let levels_by_round = forward_phase(g, &part, s, &mut sigma, dir, probe);
+        forward_time += t0.elapsed();
+
+        let t1 = Instant::now();
+        backward_phase(g, &levels_by_round, &sigma, &mut delta, dir, probe);
+        backward_time += t1.elapsed();
+
+        for v in 0..n {
+            if v != s as usize {
+                scores[v] += delta[v];
+            }
+        }
+    }
+    // Undirected graphs see each (s, t) pair from both endpoints.
+    if !g.is_directed() {
+        for x in &mut scores {
+            *x /= 2.0;
+        }
+    }
+    BcResult {
+        scores,
+        forward_time,
+        backward_time,
+    }
+}
+
+/// Approximate betweenness by uniform source sampling [Bader et al. 2007,
+/// cited as \[2\]]: run the two-phase Brandes computation from `samples`
+/// random sources and scale the accumulated dependencies by `n / samples`.
+/// An unbiased estimator of the exact scores; with `samples == n` every
+/// source is distinct and the result is exact.
+pub fn approx_betweenness(
+    g: &CsrGraph,
+    dir: Direction,
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let n = g.num_vertices();
+    if n == 0 || samples == 0 {
+        return vec![0.0; n];
+    }
+    let samples = samples.min(n);
+    let mut sources: Vec<VertexId> = (0..n as VertexId).collect();
+    sources.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+    sources.truncate(samples);
+
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+    let mut scores = vec![0.0f64; n];
+    let mut sigma = vec![0u64; n];
+    let mut delta = vec![0.0f64; n];
+    for &s in &sources {
+        let info = forward_phase(g, &part, s, &mut sigma, dir, &NullProbe);
+        backward_phase(g, &info, &sigma, &mut delta, dir, &NullProbe);
+        for v in 0..n {
+            if v != s as usize {
+                scores[v] += delta[v];
+            }
+        }
+    }
+    let scale = n as f64 / samples as f64 / if g.is_directed() { 1.0 } else { 2.0 };
+    for x in &mut scores {
+        *x *= scale;
+    }
+    scores
+}
+
+/// Forward σ-counting BFS. Returns the per-round frontiers (the level
+/// structure the backward phase walks in reverse). `sigma` is reset inside.
+fn forward_phase<P: Probe>(
+    g: &CsrGraph,
+    part: &BlockPartition,
+    s: VertexId,
+    sigma_out: &mut [u64],
+    dir: Direction,
+    probe: &P,
+) -> ForwardInfo {
+    let n = g.num_vertices();
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNVISITED)).collect();
+    level[s as usize].store(0, Ordering::Relaxed);
+    let sigma: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    sigma[s as usize].store(1, Ordering::Relaxed);
+
+    let mut frontiers = vec![vec![s]];
+    let mut cur = 0u32;
+    loop {
+        let frontier = frontiers.last().unwrap();
+        if frontier.is_empty() {
+            frontiers.pop();
+            break;
+        }
+        let next: Vec<VertexId> = match dir {
+            Direction::Push => frontier
+                .par_iter()
+                .fold(Vec::new, |mut my_f, &v| {
+                    let sv = sigma[v as usize].load(Ordering::Relaxed);
+                    for &w in g.neighbors(v) {
+                        probe.branch_cond();
+                        probe.read(addr_of_index(&level, w as usize), 4);
+                        let lw = level[w as usize].load(Ordering::Relaxed);
+                        if lw == UNVISITED {
+                            // W(i): discovery race, integer CAS (§4.5).
+                            probe.atomic_rmw(addr_of_index(&level, w as usize), 4);
+                            if level[w as usize]
+                                .compare_exchange(
+                                    UNVISITED,
+                                    cur + 1,
+                                    Ordering::AcqRel,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                            {
+                                my_f.push(w);
+                            }
+                        }
+                        if level[w as usize].load(Ordering::Relaxed) == cur + 1 {
+                            // W(i): multiplicity scatter, integer FAA.
+                            probe.atomic_rmw(addr_of_index(&sigma, w as usize), 8);
+                            sigma[w as usize].fetch_add(sv, Ordering::Relaxed);
+                        }
+                    }
+                    my_f
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                }),
+            Direction::Pull => (0..part.num_parts())
+                .into_par_iter()
+                .fold(Vec::new, |mut my_f, t| {
+                    for v in part.range(t) {
+                        probe.branch_cond();
+                        if level[v as usize].load(Ordering::Relaxed) != UNVISITED {
+                            continue;
+                        }
+                        let mut acc = 0u64;
+                        for &u in g.neighbors(v) {
+                            // R: read conflicts on level/σ of neighbors.
+                            probe.read(addr_of_index(&level, u as usize), 4);
+                            probe.branch_cond();
+                            if level[u as usize].load(Ordering::Relaxed) == cur {
+                                probe.read(addr_of_index(&sigma, u as usize), 8);
+                                acc += sigma[u as usize].load(Ordering::Relaxed);
+                            }
+                        }
+                        if acc > 0 {
+                            // Own-cell writes only (§3.8).
+                            probe.write(addr_of_index(&level, v as usize), 4);
+                            probe.write(addr_of_index(&sigma, v as usize), 8);
+                            level[v as usize].store(cur + 1, Ordering::Relaxed);
+                            sigma[v as usize].store(acc, Ordering::Relaxed);
+                            my_f.push(v);
+                        }
+                    }
+                    my_f
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                }),
+        };
+        frontiers.push(next);
+        cur += 1;
+    }
+
+    for (dst, src) in sigma_out.iter_mut().zip(&sigma) {
+        *dst = src.load(Ordering::Relaxed);
+    }
+    ForwardInfo {
+        frontiers,
+        level: level.into_iter().map(AtomicU32::into_inner).collect(),
+    }
+}
+
+/// Level structure produced by the forward phase.
+struct ForwardInfo {
+    frontiers: Vec<Vec<VertexId>>,
+    level: Vec<u32>,
+}
+
+/// Backward dependency accumulation over the shortest-path DAG, deepest
+/// level first. `delta` is reset inside.
+fn backward_phase<P: Probe>(
+    g: &CsrGraph,
+    fwd: &ForwardInfo,
+    sigma: &[u64],
+    delta: &mut [f64],
+    dir: Direction,
+    probe: &P,
+) {
+    delta.fill(0.0);
+    let level = &fwd.level;
+    let rounds = fwd.frontiers.len();
+    if rounds <= 1 {
+        return;
+    }
+    let locks = ShardedLocks::new(1024);
+    // Walk levels deepest → 1; vertices at level l receive from level l+1.
+    for l in (0..rounds - 1).rev() {
+        match dir {
+            Direction::Push => {
+                // Vertices w at level l+1 push partials into their
+                // predecessors at level l: float write conflicts → locks
+                // (§4.5, §4.9).
+                let delta_s = SyncSlice::new(&mut *delta);
+                fwd.frontiers[l + 1].par_iter().for_each(|&w| {
+                    // SAFETY: w's own delta is final (level l+1 is fully
+                    // accumulated when level l is processed).
+                    let dw = unsafe { delta_s.read(w as usize) };
+                    let coeff = (1.0 + dw) / sigma[w as usize] as f64;
+                    for &v in g.neighbors(w) {
+                        probe.branch_cond();
+                        probe.read(addr_of_index(level, v as usize), 4);
+                        if level[v as usize] == l as u32 {
+                            probe.lock();
+                            probe.write(delta_s.addr(v as usize), 8);
+                            locks.with(v as usize, || {
+                                // SAFETY: the shard lock serializes writers
+                                // of v.
+                                unsafe {
+                                    let cur = delta_s.read(v as usize);
+                                    delta_s.write(
+                                        v as usize,
+                                        cur + sigma[v as usize] as f64 * coeff,
+                                    );
+                                }
+                            });
+                        }
+                    }
+                });
+            }
+            Direction::Pull => {
+                // Vertices v at level l pull from successors at level l+1:
+                // pure reads of finished cells, own-cell write (§4.9).
+                let delta_s = SyncSlice::new(&mut *delta);
+                fwd.frontiers[l].par_iter().for_each(|&v| {
+                    let mut acc = 0.0f64;
+                    for &w in g.neighbors(v) {
+                        probe.branch_cond();
+                        probe.read(addr_of_index(level, w as usize), 4);
+                        if level[w as usize] == (l + 1) as u32 {
+                            probe.read(delta_s.addr(w as usize), 8);
+                            // SAFETY: level-(l+1) deltas are final.
+                            let dw = unsafe { delta_s.read(w as usize) };
+                            acc += (1.0 + dw) / sigma[w as usize] as f64;
+                        }
+                    }
+                    probe.write(delta_s.addr(v as usize), 8);
+                    // SAFETY: each frontier vertex is processed by exactly
+                    // one task; v's cell is written only here.
+                    unsafe { delta_s.write(v as usize, sigma[v as usize] as f64 * acc) };
+                });
+            }
+        }
+    }
+}
+
+/// Sequential Brandes reference (stack-based) for validation.
+pub fn betweenness_seq(g: &CsrGraph, max_sources: Option<usize>) -> Vec<f64> {
+    let n = g.num_vertices();
+    let limit = max_sources.unwrap_or(n).min(n);
+    let mut bc = vec![0.0f64; n];
+    for s in 0..limit as VertexId {
+        let mut stack = Vec::new();
+        let mut preds: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut sigma = vec![0u64; n];
+        let mut dist = vec![i64::MAX; n];
+        sigma[s as usize] = 1;
+        dist[s as usize] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in g.neighbors(v) {
+                if dist[w as usize] == i64::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dist[v as usize] + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w as usize] {
+                delta[v as usize] += sigma[v as usize] as f64 / sigma[w as usize] as f64
+                    * (1.0 + delta[w as usize]);
+            }
+            if w != s {
+                bc[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    if !g.is_directed() {
+        for x in &mut bc {
+            *x /= 2.0;
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::gen;
+    use pp_telemetry::CountingProbe;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64, ctx: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "{ctx}: vertex {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn path_graph_analytic() {
+        // Path 0-1-2-3-4: bc(middle) = 4 (pairs (0,2),(0,3),(0,4)... counted
+        // once per unordered pair crossing the vertex): bc(2) = 2·2 = 4.
+        let g = gen::path(5);
+        for dir in Direction::BOTH {
+            let r = betweenness(&g, dir, &BcOptions::default());
+            assert_close(&r.scores, &[0.0, 3.0, 4.0, 3.0, 0.0], 1e-9, "path");
+        }
+    }
+
+    #[test]
+    fn star_center_carries_all_pairs() {
+        // Star K_{1,5}: center lies on every pair of leaves: C(5,2) = 10.
+        let g = gen::star(6);
+        for dir in Direction::BOTH {
+            let r = betweenness(&g, dir, &BcOptions::default());
+            assert!((r.scores[0] - 10.0).abs() < 1e-9, "{dir:?}");
+            for &leaf in &r.scores[1..] {
+                assert!(leaf.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_symmetry() {
+        let g = gen::cycle(8);
+        for dir in Direction::BOTH {
+            let r = betweenness(&g, dir, &BcOptions::default());
+            for w in r.scores.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1e-9, "cycle must be uniform");
+            }
+        }
+    }
+
+    #[test]
+    fn push_pull_and_seq_agree_on_random_graphs() {
+        for seed in [1, 2] {
+            let g = gen::rmat(6, 4, seed);
+            let reference = betweenness_seq(&g, None);
+            for dir in Direction::BOTH {
+                let r = betweenness(&g, dir, &BcOptions::default());
+                assert_close(&r.scores, &reference, 1e-6, &format!("{dir:?} seed {seed}"));
+            }
+        }
+    }
+
+    #[test]
+    fn multiplicities_handled_on_diamond() {
+        // Diamond 0-1, 0-2, 1-3, 2-3: two shortest paths 0→3 split the
+        // dependency between 1 and 2.
+        let g = pp_graph::GraphBuilder::undirected(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        let reference = betweenness_seq(&g, None);
+        for dir in Direction::BOTH {
+            let r = betweenness(&g, dir, &BcOptions::default());
+            assert_close(&r.scores, &reference, 1e-9, "diamond");
+        }
+        assert!((reference[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_sources_matches_seq_sampling() {
+        let g = gen::rmat(6, 5, 9);
+        let opts = BcOptions {
+            max_sources: Some(10),
+        };
+        let reference = betweenness_seq(&g, Some(10));
+        for dir in Direction::BOTH {
+            let r = betweenness(&g, dir, &opts);
+            assert_close(&r.scores, &reference, 1e-6, "sampled");
+        }
+    }
+
+    #[test]
+    fn push_locks_floats_pull_lock_free() {
+        // §4.9: BC push conflicts are on floats → locks; pull removes them.
+        let g = gen::rmat(6, 4, 4);
+        let probe = CountingProbe::new();
+        betweenness_probed(&g, Direction::Push, &BcOptions { max_sources: Some(4) }, &probe);
+        let push = probe.counts();
+        assert!(push.locks > 0, "push backward phase must lock");
+        assert!(push.atomics > 0, "push forward phase uses integer atomics");
+
+        let probe = CountingProbe::new();
+        betweenness_probed(&g, Direction::Pull, &BcOptions { max_sources: Some(4) }, &probe);
+        let pull = probe.counts();
+        assert_eq!(pull.locks, 0);
+        assert_eq!(pull.atomics, 0);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let g = gen::rmat(6, 4, 8);
+        let r = betweenness(&g, Direction::Push, &BcOptions { max_sources: Some(8) });
+        assert!(r.forward_time > Duration::ZERO);
+        assert!(r.backward_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn approx_with_all_sources_is_exact() {
+        let g = gen::rmat(6, 4, 3);
+        let n = g.num_vertices();
+        let exact = betweenness(&g, Direction::Pull, &BcOptions::default()).scores;
+        for dir in Direction::BOTH {
+            let approx = approx_betweenness(&g, dir, n, 0);
+            assert_close(&approx, &exact, 1e-6, &format!("{dir:?}"));
+        }
+    }
+
+    #[test]
+    fn approx_converges_with_sample_count() {
+        // More samples → smaller error, on average, against the exact
+        // scores. Use the total absolute error of the ranking vector.
+        let g = gen::community(3, 40, 300, 40, 5);
+        let exact = betweenness(&g, Direction::Pull, &BcOptions::default()).scores;
+        let err = |k: usize| {
+            let a = approx_betweenness(&g, Direction::Pull, k, 42);
+            a.iter()
+                .zip(&exact)
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f64>()
+        };
+        let coarse = err(6);
+        let fine = err(60);
+        assert!(
+            fine < coarse,
+            "sampling 60 sources (err {fine:.1}) must beat 6 (err {coarse:.1})"
+        );
+    }
+
+    #[test]
+    fn approx_is_deterministic_per_seed_and_direction_free() {
+        let g = gen::rmat(6, 4, 9);
+        let a = approx_betweenness(&g, Direction::Push, 10, 7);
+        let b = approx_betweenness(&g, Direction::Push, 10, 7);
+        assert_eq!(a, b);
+        let c = approx_betweenness(&g, Direction::Pull, 10, 7);
+        assert_close(&a, &c, 1e-9, "same sampled sources, either direction");
+    }
+
+    #[test]
+    fn approx_identifies_the_bridge_vertex() {
+        // Two cliques joined through vertex 8: it must dominate the scores
+        // even under sampling.
+        let mut b = pp_graph::GraphBuilder::undirected(17);
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                b.add_edge(u, v);
+                b.add_edge(u + 9, v + 9);
+            }
+            b.add_edge(u, 8);
+            b.add_edge(8, u + 9);
+        }
+        let g = b.build();
+        let scores = approx_betweenness(&g, Direction::Pull, 12, 3);
+        let best = (0..17).max_by(|&a, &b| scores[a].total_cmp(&scores[b])).unwrap();
+        assert_eq!(best, 8, "bridge vertex must rank first: {scores:?}");
+    }
+
+    #[test]
+    fn approx_edge_cases() {
+        let empty = pp_graph::GraphBuilder::undirected(0).build();
+        assert!(approx_betweenness(&empty, Direction::Pull, 5, 0).is_empty());
+        let g = gen::path(4);
+        assert_eq!(approx_betweenness(&g, Direction::Pull, 0, 0), vec![0.0; 4]);
+    }
+}

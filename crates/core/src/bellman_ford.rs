@@ -1,0 +1,342 @@
+//! Push- and pull-based Bellman–Ford: the baseline Δ-stepping interpolates
+//! away from.
+//!
+//! §3.4 of the paper describes Δ-stepping as "combining the well-known
+//! Dijkstra's and Bellman-Ford algorithms by trading work-optimality for
+//! more parallelism". This module implements the Bellman–Ford end of that
+//! spectrum (equivalently, Δ-stepping with a single bucket, Δ ≥ the graph's
+//! weighted diameter) so the Δ sweep of Figure 2c has its limit point:
+//!
+//! * **push**: only vertices whose distance improved last round relax their
+//!   out-edges, with a CAS-min on the neighbor's distance (§2.3) — the
+//!   frontier-driven scheme, write conflicts on integers;
+//! * **pull**: every unsettled vertex rescans all its neighbors and relaxes
+//!   itself — no synchronization, `O(m)` reads per round, `O(D·m)` work.
+//!
+//! Both converge to the Dijkstra distances ([`crate::sssp::dijkstra`] is the
+//! test oracle) in at most `n - 1` rounds on non-negative weights.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pp_graph::{BlockPartition, CsrGraph, VertexId};
+use pp_telemetry::{addr_of_index, NullProbe, Probe};
+use rayon::prelude::*;
+
+use crate::sssp::INF;
+use crate::sync::atomic_min_u64;
+use crate::Direction;
+
+/// Result of a Bellman–Ford run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BellmanFordResult {
+    /// Shortest distance from the root ([`INF`] if unreachable).
+    pub dist: Vec<u64>,
+    /// Relaxation rounds until fixpoint.
+    pub rounds: usize,
+}
+
+/// Bellman–Ford with the default probe.
+pub fn bellman_ford(g: &CsrGraph, root: VertexId, dir: Direction) -> BellmanFordResult {
+    bellman_ford_probed(g, root, dir, &NullProbe)
+}
+
+/// Instrumented push/pull Bellman–Ford over non-negative weights.
+pub fn bellman_ford_probed<P: Probe>(
+    g: &CsrGraph,
+    root: VertexId,
+    dir: Direction,
+    probe: &P,
+) -> BellmanFordResult {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root out of range");
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[root as usize].store(0, Ordering::Relaxed);
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+    let mut rounds = 0usize;
+
+    match dir {
+        Direction::Push => {
+            let mut frontier: Vec<VertexId> = vec![root];
+            while !frontier.is_empty() {
+                rounds += 1;
+                let next: Vec<VertexId> = frontier
+                    .par_iter()
+                    .fold(Vec::new, |mut my_f, &v| {
+                        let dv = dist[v as usize].load(Ordering::Relaxed);
+                        for (u, w) in g.weighted_neighbors(v) {
+                            probe.branch_cond();
+                            let cand = dv + w as u64;
+                            if cand < dist[u as usize].load(Ordering::Relaxed) {
+                                // W(i): CAS-min on the shared distance.
+                                probe.atomic_rmw(addr_of_index(&dist, u as usize), 8);
+                                let (improved, _) = atomic_min_u64(&dist[u as usize], cand);
+                                if improved {
+                                    my_f.push(u);
+                                }
+                            }
+                        }
+                        my_f
+                    })
+                    .reduce(Vec::new, |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    });
+                frontier = next;
+                frontier.sort_unstable();
+                frontier.dedup();
+            }
+        }
+        Direction::Pull => {
+            loop {
+                rounds += 1;
+                let changed = (0..part.num_parts())
+                    .into_par_iter()
+                    .map(|t| {
+                        let mut any = false;
+                        for v in part.range(t) {
+                            let mut best = dist[v as usize].load(Ordering::Relaxed);
+                            for (u, w) in g.weighted_neighbors(v) {
+                                // R: read conflicts only — the §4.4 pull
+                                // pattern of scanning for relaxing neighbors.
+                                probe.read(addr_of_index(&dist, u as usize), 8);
+                                probe.branch_cond();
+                                let du = dist[u as usize].load(Ordering::Relaxed);
+                                if du != INF && du + (w as u64) < best {
+                                    best = du + w as u64;
+                                }
+                            }
+                            if best < dist[v as usize].load(Ordering::Relaxed) {
+                                probe.write(addr_of_index(&dist, v as usize), 8);
+                                // Own-cell store: `v` is owned by this thread.
+                                dist[v as usize].store(best, Ordering::Relaxed);
+                                any = true;
+                            }
+                        }
+                        any
+                    })
+                    .reduce(|| false, |a, b| a || b);
+                if !changed {
+                    break;
+                }
+            }
+        }
+    }
+
+    BellmanFordResult {
+        dist: dist.into_iter().map(AtomicU64::into_inner).collect(),
+        rounds,
+    }
+}
+
+/// Direction-optimizing Bellman–Ford: the §5 Generic-Switch applied to
+/// SSSP relaxation, mirroring what direction optimization does for BFS.
+/// Rounds push while the improved frontier is small (its out-arcs below
+/// `m / alpha`) and pull once the frontier saturates — per-round the same
+/// crossover the [`crate::pram::bfs_round`]-style analysis predicts.
+///
+/// Returns the distances plus the direction every round actually ran
+/// (`true` = pull), so tests and benches can see the switch happen.
+pub fn bellman_ford_switching(
+    g: &CsrGraph,
+    root: VertexId,
+    alpha: usize,
+) -> (BellmanFordResult, Vec<bool>) {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root out of range");
+    assert!(alpha >= 1);
+    let m = g.num_arcs().max(1);
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[root as usize].store(0, Ordering::Relaxed);
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+    let mut rounds = 0usize;
+    let mut dirs = Vec::new();
+
+    // The frontier of vertices improved last round; in pull rounds it is
+    // recomputed as "every vertex that improved".
+    let mut frontier: Vec<VertexId> = vec![root];
+    while !frontier.is_empty() {
+        rounds += 1;
+        let frontier_arcs: usize = frontier.iter().map(|&v| g.degree(v)).sum();
+        let pull_round = frontier_arcs > m / alpha;
+        dirs.push(pull_round);
+        let next: Vec<VertexId> = if pull_round {
+            (0..part.num_parts())
+                .into_par_iter()
+                .fold(Vec::new, |mut my_f, t| {
+                    for v in part.range(t) {
+                        let mut best = dist[v as usize].load(Ordering::Relaxed);
+                        for (u, w) in g.weighted_neighbors(v) {
+                            let du = dist[u as usize].load(Ordering::Relaxed);
+                            if du != INF && du + (w as u64) < best {
+                                best = du + w as u64;
+                            }
+                        }
+                        if best < dist[v as usize].load(Ordering::Relaxed) {
+                            dist[v as usize].store(best, Ordering::Relaxed);
+                            my_f.push(v);
+                        }
+                    }
+                    my_f
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                })
+        } else {
+            let mut next: Vec<VertexId> = frontier
+                .par_iter()
+                .fold(Vec::new, |mut my_f, &v| {
+                    let dv = dist[v as usize].load(Ordering::Relaxed);
+                    for (u, w) in g.weighted_neighbors(v) {
+                        let cand = dv + w as u64;
+                        if cand < dist[u as usize].load(Ordering::Relaxed)
+                            && atomic_min_u64(&dist[u as usize], cand).0
+                        {
+                            my_f.push(u);
+                        }
+                    }
+                    my_f
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+            next.sort_unstable();
+            next.dedup();
+            next
+        };
+        frontier = next;
+    }
+
+    (
+        BellmanFordResult {
+            dist: dist.into_iter().map(AtomicU64::into_inner).collect(),
+            rounds,
+        },
+        dirs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::dijkstra;
+    use pp_graph::{gen, GraphBuilder};
+    use pp_telemetry::CountingProbe;
+
+    fn weighted(seed: u64) -> CsrGraph {
+        gen::with_random_weights(&gen::erdos_renyi(250, 900, seed), 1, 20, seed)
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..5 {
+            let g = weighted(seed);
+            let expected = dijkstra(&g, 0);
+            for dir in Direction::BOTH {
+                let r = bellman_ford(&g, 0, dir);
+                assert_eq!(r.dist, expected, "{dir:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn handcomputed_distances() {
+        // 0 -5- 1 -2- 2, 0 -9- 2: the two-hop path wins.
+        let g = GraphBuilder::undirected(4)
+            .weighted_edges([(0, 1, 5), (1, 2, 2), (0, 2, 9)])
+            .build();
+        for dir in Direction::BOTH {
+            let r = bellman_ford(&g, 0, dir);
+            assert_eq!(r.dist, vec![0, 5, 7, INF], "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn push_rounds_bounded_by_hop_radius() {
+        // On a unit-weight path the frontier advances one hop per round.
+        let g = gen::with_random_weights(&gen::path(30), 1, 1, 0);
+        let r = bellman_ford(&g, 0, Direction::Push);
+        // 29 hops plus the final round that discovers the empty frontier.
+        assert_eq!(r.rounds, 30);
+        let r = bellman_ford(&g, 0, Direction::Pull);
+        // Pull needs one extra no-change round to detect the fixpoint.
+        assert!(r.rounds >= 2);
+    }
+
+    #[test]
+    fn agrees_with_delta_stepping() {
+        use crate::sssp::{sssp_delta, SsspOptions};
+        let g = weighted(9);
+        let bf = bellman_ford(&g, 3, Direction::Push);
+        let ds = sssp_delta(&g, 3, Direction::Push, &SsspOptions::default());
+        assert_eq!(bf.dist, ds.dist);
+    }
+
+    #[test]
+    fn push_atomics_pull_reads() {
+        let g = weighted(4);
+        let probe = CountingProbe::new();
+        bellman_ford_probed(&g, 0, Direction::Push, &probe);
+        assert!(probe.counts().atomics > 0);
+        assert_eq!(probe.counts().locks, 0);
+
+        let probe = CountingProbe::new();
+        bellman_ford_probed(&g, 0, Direction::Pull, &probe);
+        assert_eq!(probe.counts().atomics, 0);
+        assert!(probe.counts().reads as usize >= g.num_arcs());
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let g = GraphBuilder::undirected(5)
+            .weighted_edges([(0, 1, 1), (2, 3, 1)])
+            .build();
+        for dir in Direction::BOTH {
+            let r = bellman_ford(&g, 0, dir);
+            assert_eq!(r.dist[1], 1, "{dir:?}");
+            assert_eq!(r.dist[2], INF, "{dir:?}");
+            assert_eq!(r.dist[4], INF, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn root_out_of_range_panics() {
+        let g = gen::with_random_weights(&gen::path(3), 1, 5, 0);
+        assert!(std::panic::catch_unwind(|| bellman_ford(&g, 9, Direction::Push)).is_err());
+    }
+
+    #[test]
+    fn switching_matches_dijkstra() {
+        for seed in 0..4 {
+            let g = weighted(seed);
+            let expected = dijkstra(&g, 0);
+            for alpha in [1, 4, 15, 1000] {
+                let (r, _) = bellman_ford_switching(&g, 0, alpha);
+                assert_eq!(r.dist, expected, "alpha {alpha} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn switching_actually_switches_on_dense_graphs() {
+        // On a dense graph the frontier saturates quickly: the run must
+        // start pushing (singleton frontier) and flip to pulling.
+        let g = gen::with_random_weights(&gen::erdos_renyi(300, 4000, 1), 1, 20, 1);
+        let (_, dirs) = bellman_ford_switching(&g, 0, 15);
+        assert!(!dirs[0], "first round must push from the singleton frontier");
+        assert!(dirs.iter().any(|&d| d), "a dense run must pull at least once");
+    }
+
+    #[test]
+    fn switching_extremes_degenerate_to_pure_directions() {
+        let g = weighted(2);
+        // alpha so large the threshold m/alpha is ~0: every round pulls
+        // (after the singleton root round, whose zero..small arcs may push).
+        let (_, dirs) = bellman_ford_switching(&g, 0, 100_000);
+        assert!(dirs.iter().skip(1).all(|&d| d));
+        // alpha = 1: threshold is m, nothing exceeds it, every round pushes.
+        let (_, dirs) = bellman_ford_switching(&g, 0, 1);
+        assert!(dirs.iter().all(|&d| !d));
+    }
+}

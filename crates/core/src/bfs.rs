@@ -1,0 +1,586 @@
+//! Breadth-first search: top-down (push), bottom-up (pull), the
+//! direction-optimizing switch, and the *generalized* BFS of Algorithm 3
+//! with ready counters and a user accumulation operator (the engine behind
+//! betweenness centrality, §4.5).
+
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use pp_graph::{BlockPartition, CsrGraph, VertexId};
+use pp_telemetry::{addr_of_index, NullProbe, Probe};
+use rayon::prelude::*;
+
+use crate::sync::{ShardedLocks, SyncSlice};
+use crate::Direction;
+
+/// Marker for an unvisited vertex in `parent`.
+pub const NO_PARENT: VertexId = VertexId::MAX;
+/// Marker for an unvisited vertex in `level`.
+pub const UNVISITED: u32 = u32::MAX;
+
+/// How a BFS chooses its direction each round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BfsMode {
+    /// Top-down every round (the paper's pushing).
+    Push,
+    /// Bottom-up every round (the paper's pulling).
+    Pull,
+    /// Beamer-style direction optimization \[4\]: go bottom-up when the
+    /// frontier's out-edges exceed `m/alpha`, return top-down when the
+    /// frontier shrinks below `n/beta`. An instance of Generic-Switch (§5).
+    DirectionOptimizing {
+        /// Push→pull threshold divisor (Beamer's α, typically 15).
+        alpha: usize,
+        /// Pull→push threshold divisor (Beamer's β, typically 18).
+        beta: usize,
+    },
+}
+
+impl BfsMode {
+    /// The standard direction-optimizing parameters.
+    pub fn direction_optimizing() -> Self {
+        BfsMode::DirectionOptimizing {
+            alpha: 15,
+            beta: 18,
+        }
+    }
+}
+
+/// Statistics for one BFS round.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundInfo {
+    /// Round index (distance of the vertices discovered in it).
+    pub round: u32,
+    /// Size of the input frontier.
+    pub frontier: usize,
+    /// Direction executed.
+    pub dir: Direction,
+    /// Wall-clock time of the round.
+    pub time: Duration,
+}
+
+/// Result of a BFS traversal.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// Parent of each vertex in the BFS tree ([`NO_PARENT`] if unreached;
+    /// the root is its own parent).
+    pub parent: Vec<VertexId>,
+    /// Distance from the root ([`UNVISITED`] if unreached).
+    pub level: Vec<u32>,
+    /// Per-round statistics.
+    pub rounds: Vec<RoundInfo>,
+}
+
+impl BfsResult {
+    /// Number of vertices reached (including the root).
+    pub fn reached(&self) -> usize {
+        self.level.iter().filter(|&&l| l != UNVISITED).count()
+    }
+}
+
+/// BFS from `root` with the default probe.
+pub fn bfs(g: &CsrGraph, root: VertexId, mode: BfsMode) -> BfsResult {
+    bfs_probed(g, root, mode, &NullProbe)
+}
+
+/// Instrumented BFS from `root`.
+pub fn bfs_probed<P: Probe>(g: &CsrGraph, root: VertexId, mode: BfsMode, probe: &P) -> BfsResult {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root out of range");
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
+    parent[root as usize].store(root, Ordering::Relaxed);
+    // Levels are atomics because pulling reads arbitrary vertices' levels
+    // while their owners write them (a benign same-round race the PRAM
+    // model calls a read conflict; Rust still demands atomic access).
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNVISITED)).collect();
+    level[root as usize].store(0, Ordering::Relaxed);
+
+    let mut frontier = vec![root];
+    let mut rounds = Vec::new();
+    let mut cur = 0u32;
+    let m = g.num_arcs().max(1);
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+
+    while !frontier.is_empty() {
+        let dir = match mode {
+            BfsMode::Push => Direction::Push,
+            BfsMode::Pull => Direction::Pull,
+            BfsMode::DirectionOptimizing { alpha, beta } => {
+                let frontier_arcs: usize = frontier.iter().map(|&v| g.degree(v)).sum();
+                if frontier_arcs > m / alpha && frontier.len() > n / beta {
+                    Direction::Pull
+                } else {
+                    Direction::Push
+                }
+            }
+        };
+        let started = Instant::now();
+        let next = match dir {
+            Direction::Push => push_round(g, &frontier, &parent, &level, cur, probe),
+            Direction::Pull => pull_round(g, &part, &parent, &level, cur, probe),
+        };
+        rounds.push(RoundInfo {
+            round: cur,
+            frontier: frontier.len(),
+            dir,
+            time: started.elapsed(),
+        });
+        frontier = next;
+        cur += 1;
+    }
+
+    BfsResult {
+        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
+        level: level.into_iter().map(AtomicU32::into_inner).collect(),
+        rounds,
+    }
+}
+
+/// Top-down round (Algorithm 3, pushing): frontier vertices claim their
+/// unvisited neighbors with a CAS each; per-thread `my_F` buffers merge into
+/// the next frontier (line 8).
+fn push_round<P: Probe>(
+    g: &CsrGraph,
+    frontier: &[VertexId],
+    parent: &[AtomicU32],
+    level: &[AtomicU32],
+    cur: u32,
+    probe: &P,
+) -> Vec<VertexId> {
+    frontier
+        .par_iter()
+        .fold(Vec::new, |mut my_f, &v| {
+            for &w in g.neighbors(v) {
+                probe.branch_cond();
+                probe.read(addr_of_index(parent, w as usize), 4);
+                if parent[w as usize].load(Ordering::Relaxed) == NO_PARENT {
+                    // W: write conflict — many frontier vertices may race on
+                    // w; one CAS decides (§4.3: O(m) CAS atomics).
+                    probe.atomic_rmw(addr_of_index(parent, w as usize), 4);
+                    if parent[w as usize]
+                        .compare_exchange(NO_PARENT, v, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        probe.write(addr_of_index(level, w as usize), 4);
+                        level[w as usize].store(cur + 1, Ordering::Relaxed);
+                        my_f.push(w);
+                    }
+                }
+            }
+            my_f
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+}
+
+/// Bottom-up round (Algorithm 3, pulling): every unvisited vertex scans its
+/// neighbors for a parent in the frontier. Writes touch only the scanned
+/// vertex's own cells — no synchronization (§4.3), at the cost of reading
+/// up to all `m` edges per round.
+fn pull_round<P: Probe>(
+    g: &CsrGraph,
+    part: &BlockPartition,
+    parent: &[AtomicU32],
+    level: &[AtomicU32],
+    cur: u32,
+    probe: &P,
+) -> Vec<VertexId> {
+    // Dense frontier membership: `level[u] == cur`.
+    (0..part.num_parts())
+        .into_par_iter()
+        .fold(Vec::new, |mut my_f, t| {
+            for v in part.range(t) {
+                probe.branch_cond();
+                if level[v as usize].load(Ordering::Relaxed) != UNVISITED {
+                    continue;
+                }
+                for &u in g.neighbors(v) {
+                    // R: read conflict — many pullers may read level[u]
+                    // concurrently (§4.3: O(Dm) read conflicts). A vertex
+                    // discovered *this* round reads as cur+1, never cur, so
+                    // the frontier test is stable under the race.
+                    probe.read(addr_of_index(level, u as usize), 4);
+                    probe.branch_cond();
+                    if level[u as usize].load(Ordering::Relaxed) == cur {
+                        parent[v as usize].store(u, Ordering::Relaxed);
+                        probe.write(addr_of_index(level, v as usize), 4);
+                        level[v as usize].store(cur + 1, Ordering::Relaxed);
+                        my_f.push(v);
+                        break;
+                    }
+                }
+            }
+            my_f
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Generalized BFS (Algorithm 3 in full).
+// ---------------------------------------------------------------------------
+
+/// Result of a [`generalized_bfs`] run.
+#[derive(Clone, Debug)]
+pub struct GenBfsResult<T> {
+    /// Final per-vertex values (`R` in Algorithm 3).
+    pub values: Vec<T>,
+    /// The frontier of every round, in discovery order.
+    pub frontiers: Vec<Vec<VertexId>>,
+}
+
+/// The generalized BFS of Algorithm 3: vertices carry `ready` counters and
+/// enter the frontier once the counter reaches zero; an accumulation
+/// operator `⇐` (commutative and associative, §4.3) folds predecessor
+/// values into each vertex.
+///
+/// * `out_g` supplies the edges a pushing frontier vertex follows;
+/// * `in_g` supplies the edges a pulling vertex scans (pass the same graph
+///   for undirected traversals, the transpose for directed ones);
+/// * `ready`: vertices with `ready[v] == 0` form the initial frontier.
+///
+/// Each round has the two PRAM sub-steps of Algorithm 3: all accumulations
+/// (guarded by `ready > 0` at round start), then all counter decrements. In
+/// push mode accumulation into a shared cell is a write conflict resolved
+/// with a lock (the operator may be floating-point, §4.5); in pull mode each
+/// vertex folds into its own cell with no synchronization.
+pub fn generalized_bfs<T, F, P>(
+    out_g: &CsrGraph,
+    in_g: &CsrGraph,
+    ready: &[i64],
+    mut values: Vec<T>,
+    op: F,
+    dir: Direction,
+    probe: &P,
+) -> GenBfsResult<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&mut T, &T) + Sync,
+    P: Probe,
+{
+    let n = out_g.num_vertices();
+    assert_eq!(in_g.num_vertices(), n);
+    assert_eq!(ready.len(), n);
+    assert_eq!(values.len(), n);
+    let ready: Vec<AtomicI64> = ready.iter().map(|&r| AtomicI64::new(r)).collect();
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+    let locks = ShardedLocks::new(1024);
+
+    let mut frontier: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| ready[v as usize].load(Ordering::Relaxed) == 0)
+        .collect();
+    // Mark initial frontier as consumed so it never re-enters.
+    for &v in &frontier {
+        ready[v as usize].store(-1, Ordering::Relaxed);
+    }
+    let mut frontiers = Vec::new();
+    let mut in_frontier = vec![false; n];
+
+    while !frontier.is_empty() {
+        let next = match dir {
+            Direction::Push => {
+                let vals = SyncSlice::new(&mut values);
+                // Sub-step 1: accumulate R[w] ⇐ R[v] for every frontier edge
+                // with ready[w] > 0 (value at round start — no decrements
+                // have happened yet).
+                frontier.par_iter().for_each(|&v| {
+                    for &w in out_g.neighbors(v) {
+                        probe.branch_cond();
+                        probe.read(addr_of_index(&ready, w as usize), 8);
+                        if ready[w as usize].load(Ordering::Relaxed) > 0 {
+                            // W: concurrent pushes into R[w]; serialize with
+                            // a lock (float-capable operator, §4.5).
+                            probe.lock();
+                            locks.with(w as usize, || {
+                                // SAFETY: lock serializes writers of w;
+                                // sources (frontier) have ready ≤ 0 and are
+                                // never written here.
+                                unsafe {
+                                    let target = &mut *(vals.addr(w as usize) as *mut T);
+                                    let source = &*(vals.addr(v as usize) as *const T);
+                                    op(target, source);
+                                }
+                            });
+                        }
+                    }
+                });
+                probe.barrier();
+                // Sub-step 2: decrement counters; exactly the decrement that
+                // reaches zero enlists w.
+                frontier
+                    .par_iter()
+                    .fold(Vec::new, |mut my_f, &v| {
+                        for &w in out_g.neighbors(v) {
+                            probe.atomic_rmw(addr_of_index(&ready, w as usize), 8);
+                            let prev = ready[w as usize].fetch_sub(1, Ordering::AcqRel);
+                            probe.branch_cond();
+                            if prev == 1 {
+                                my_f.push(w);
+                            }
+                        }
+                        my_f
+                    })
+                    .reduce(Vec::new, |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    })
+            }
+            Direction::Pull => {
+                for &v in &frontier {
+                    in_frontier[v as usize] = true;
+                }
+                let vals = SyncSlice::new(&mut values);
+                let in_f = &in_frontier;
+                let next = (0..part.num_parts())
+                    .into_par_iter()
+                    .fold(Vec::new, |mut my_f, t| {
+                        for v in part.range(t) {
+                            probe.read(addr_of_index(&ready, v as usize), 8);
+                            probe.branch_cond();
+                            if ready[v as usize].load(Ordering::Relaxed) <= 0 {
+                                continue;
+                            }
+                            let mut remaining = ready[v as usize].load(Ordering::Relaxed);
+                            for &w in in_g.neighbors(v) {
+                                // R: read conflict on the frontier flag and
+                                // the neighbor's value (§4.3).
+                                probe.read(addr_of_index(in_f, w as usize), 1);
+                                probe.branch_cond();
+                                if in_f[w as usize] {
+                                    // Own-cell fold: t == t[v], no sync.
+                                    // SAFETY: v is owned by this task; w is
+                                    // in the frontier (ready ≤ 0), stable.
+                                    unsafe {
+                                        let target = &mut *(vals.addr(v as usize) as *mut T);
+                                        let source = &*(vals.addr(w as usize) as *const T);
+                                        op(target, source);
+                                    }
+                                    remaining -= 1;
+                                }
+                            }
+                            ready[v as usize].store(remaining, Ordering::Relaxed);
+                            probe.write(addr_of_index(&ready, v as usize), 8);
+                            // The counter was positive at round start, so
+                            // crossing into ≤ 0 happens at most once —
+                            // mirroring push's unique `prev == 1` decrement.
+                            if remaining <= 0 {
+                                my_f.push(v);
+                            }
+                        }
+                        my_f
+                    })
+                    .reduce(Vec::new, |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    });
+                for &v in &frontier {
+                    in_frontier[v as usize] = false;
+                }
+                next
+            }
+        };
+        // Newly enlisted vertices leave the countdown state.
+        for &v in &next {
+            ready[v as usize].store(-1, Ordering::Relaxed);
+        }
+        frontiers.push(std::mem::replace(&mut frontier, next));
+    }
+
+    GenBfsResult { values, frontiers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::{gen, stats};
+    use pp_telemetry::CountingProbe;
+
+    fn assert_valid_bfs(g: &CsrGraph, root: VertexId, r: &BfsResult) {
+        let (expected_levels, _, _) = stats::bfs_levels(g, root);
+        assert_eq!(
+            r.level, expected_levels,
+            "levels must match sequential BFS"
+        );
+        for v in g.vertices() {
+            if v == root {
+                assert_eq!(r.parent[v as usize], root);
+            } else if r.level[v as usize] != UNVISITED {
+                let p = r.parent[v as usize];
+                assert!(g.has_edge(p, v), "parent edge must exist");
+                assert_eq!(r.level[p as usize] + 1, r.level[v as usize]);
+            } else {
+                assert_eq!(r.parent[v as usize], NO_PARENT);
+            }
+        }
+    }
+
+    #[test]
+    fn all_modes_agree_with_sequential_levels() {
+        for g in [gen::path(50), gen::rmat(8, 4, 7), gen::road_grid(10, 12, 0.6, 3)] {
+            for mode in [BfsMode::Push, BfsMode::Pull, BfsMode::direction_optimizing()] {
+                let r = bfs(&g, 0, mode);
+                assert_valid_bfs(&g, 0, &r);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unvisited() {
+        let g = pp_graph::GraphBuilder::undirected(4).edge(0, 1).build();
+        for mode in [BfsMode::Push, BfsMode::Pull] {
+            let r = bfs(&g, 0, mode);
+            assert_eq!(r.reached(), 2);
+            assert_eq!(r.level[2], UNVISITED);
+            assert_eq!(r.parent[3], NO_PARENT);
+        }
+    }
+
+    #[test]
+    fn rounds_record_frontier_progression() {
+        let g = gen::path(6);
+        let r = bfs(&g, 0, BfsMode::Push);
+        // Frontiers on a path are all singletons; 5 productive rounds + none.
+        assert_eq!(r.rounds.len(), 6);
+        assert!(r.rounds.iter().all(|ri| ri.frontier == 1));
+        assert!(r.rounds.iter().all(|ri| ri.dir == Direction::Push));
+    }
+
+    #[test]
+    fn direction_optimizing_switches_on_dense_graphs() {
+        // On a star from a leaf, round 2 has a huge frontier: DO must pull.
+        let g = gen::complete(64);
+        let r = bfs(&g, 0, BfsMode::direction_optimizing());
+        assert!(
+            r.rounds.iter().any(|ri| ri.dir == Direction::Pull),
+            "expected at least one bottom-up round"
+        );
+        assert_valid_bfs(&g, 0, &r);
+    }
+
+    #[test]
+    fn push_uses_cas_pull_uses_none() {
+        let g = gen::rmat(7, 4, 1);
+        let probe = CountingProbe::new();
+        bfs_probed(&g, 0, BfsMode::Push, &probe);
+        assert!(probe.counts().atomics > 0, "push BFS must CAS");
+        assert_eq!(probe.counts().locks, 0);
+
+        let probe = CountingProbe::new();
+        bfs_probed(&g, 0, BfsMode::Pull, &probe);
+        assert_eq!(probe.counts().atomics, 0, "pull BFS is sync-free");
+        assert_eq!(probe.counts().locks, 0);
+        assert!(probe.counts().reads > 0);
+    }
+
+    #[test]
+    fn pull_reads_dominate_push_reads_on_high_diameter() {
+        // §4.3: pull does O(Dm) reads vs push O(m).
+        let g = gen::path(200);
+        let push = CountingProbe::new();
+        bfs_probed(&g, 0, BfsMode::Push, &push);
+        let pull = CountingProbe::new();
+        bfs_probed(&g, 0, BfsMode::Pull, &pull);
+        assert!(
+            pull.counts().reads > 10 * push.counts().reads,
+            "pull reads {} vs push reads {}",
+            pull.counts().reads,
+            push.counts().reads
+        );
+    }
+
+    // --- generalized BFS ---
+
+    #[test]
+    fn generalized_bfs_with_max_op_computes_levels() {
+        // ready=1 everywhere except root; op = max(level)+1 encoded by
+        // accumulating predecessor level and adding 1 on entry is awkward;
+        // instead accumulate "max distance + 1" directly: R starts at 0,
+        // target takes max(target, source+1).
+        let g = gen::binary_tree(31);
+        let mut ready = vec![1i64; 31];
+        ready[0] = 0;
+        for dir in Direction::BOTH {
+            let r = generalized_bfs(
+                &g,
+                &g,
+                &ready,
+                vec![0u32; 31],
+                |t, s| *t = (*t).max(s + 1),
+                dir,
+                &NullProbe,
+            );
+            let (expected, _, _) = stats::bfs_levels(&g, 0);
+            assert_eq!(
+                r.values,
+                expected,
+                "{dir:?} generalized BFS must reproduce levels"
+            );
+        }
+    }
+
+    #[test]
+    fn generalized_bfs_counts_shortest_paths() {
+        // σ-counting (BC phase 1): accumulate path multiplicities. On a
+        // 4-cycle plus diagonal-free square, vertex opposite the root has 2
+        // shortest paths.
+        let g = gen::cycle(4);
+        let mut ready = vec![1i64; 4];
+        ready[0] = 0;
+        for dir in Direction::BOTH {
+            let r = generalized_bfs(
+                &g,
+                &g,
+                &ready,
+                vec![1u64, 0, 0, 0],
+                |t, s| *t += s,
+                dir,
+                &NullProbe,
+            );
+            assert_eq!(r.values, vec![1, 1, 2, 1], "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn generalized_bfs_ready_counters_gate_entry() {
+        // A vertex with ready=2 enters the frontier only after two distinct
+        // frontier neighbors have decremented it (the BC phase-2 mechanism).
+        // Diamond: 0-1, 0-2, 1-3, 2-3; ready[3]=2.
+        let g = pp_graph::GraphBuilder::undirected(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        let ready = vec![0i64, 1, 1, 2];
+        for dir in Direction::BOTH {
+            let r = generalized_bfs(
+                &g,
+                &g,
+                &ready,
+                vec![1u64, 0, 0, 0],
+                |t, s| *t += s,
+                dir,
+                &NullProbe,
+            );
+            assert_eq!(r.frontiers.len(), 3, "{dir:?}");
+            assert_eq!(r.frontiers[2], vec![3], "3 enters last, {dir:?}");
+            assert_eq!(r.values[3], 2, "both paths accumulate, {dir:?}");
+        }
+    }
+
+    #[test]
+    fn generalized_bfs_push_locks_pull_does_not() {
+        let g = gen::rmat(6, 4, 5);
+        let n = g.num_vertices();
+        let mut ready = vec![1i64; n];
+        ready[0] = 0;
+        let probe = CountingProbe::new();
+        generalized_bfs(&g, &g, &ready, vec![0u64; n], |t, s| *t += s, Direction::Push, &probe);
+        assert!(probe.counts().locks > 0);
+
+        let probe = CountingProbe::new();
+        generalized_bfs(&g, &g, &ready, vec![0u64; n], |t, s| *t += s, Direction::Pull, &probe);
+        assert_eq!(probe.counts().locks, 0);
+    }
+}

@@ -1,0 +1,750 @@
+//! Boman graph coloring and its acceleration strategies
+//! (§3.6, §4.6, §5 — Figures 1 and 6b).
+//!
+//! The base algorithm alternates a parallel per-partition greedy coloring
+//! (phase 1) with cross-partition conflict detection over border vertices
+//! (phase 2). The push variant *scatters* the recolor request to the
+//! offending remote neighbor; the pull variant schedules *itself*. On top of
+//! it sit the §5 strategies:
+//!
+//! * **Frontier-Exploit (FE)** — wave coloring from a stable seed set,
+//!   touching only frontier neighborhoods per iteration;
+//! * **Generic-Switch (GS)** — FE pushing while productive, switching to the
+//!   conflict-free pulling formulation when conflicts dominate;
+//! * **Greedy-Switch (GrS)** — switching to a sequential greedy scheme once
+//!   the uncolored remainder is small;
+//! * **Conflict-Removal (CR)** — pre-coloring the border set sequentially so
+//!   the parallel phase cannot conflict at all.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use pp_graph::{BlockPartition, CsrGraph, VertexId};
+use pp_telemetry::{addr_of_index, NullProbe, Probe};
+use rayon::prelude::*;
+
+use crate::Direction;
+
+/// Marker for an uncolored vertex.
+pub const NO_COLOR: u32 = u32::MAX;
+
+/// Coloring options.
+#[derive(Clone, Copy, Debug)]
+pub struct GcOptions {
+    /// Safety cap on iterations (the algorithms converge much earlier; the
+    /// paper plots up to 50).
+    pub max_iters: usize,
+    /// Seed sparsity for Frontier-Exploit: the initial stable set is drawn
+    /// from every `seed_stride`-th vertex, so waves must propagate from few
+    /// sources (the paper selects "a set of vertices F ⊆ V that form a
+    /// stable set", not a maximal one). 1 = maximal independent set.
+    pub seed_stride: usize,
+}
+
+impl Default for GcOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 500,
+            seed_stride: 16,
+        }
+    }
+}
+
+/// Result of a coloring run.
+#[derive(Clone, Debug)]
+pub struct GcResult {
+    /// Per-vertex colors (dense from 0).
+    pub colors: Vec<u32>,
+    /// Iterations until conflict-free.
+    pub iterations: usize,
+    /// Wall-clock time of each iteration (Figure 1's y-axis).
+    pub iter_times: Vec<Duration>,
+    /// Cross-partition conflicts detected per iteration.
+    pub conflicts_per_iter: Vec<usize>,
+}
+
+impl GcResult {
+    /// Number of distinct colors used.
+    pub fn num_colors(&self) -> usize {
+        self.colors
+            .iter()
+            .filter(|&&c| c != NO_COLOR)
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Checks that `colors` is a proper coloring of `g` with no vertex left
+/// uncolored.
+pub fn is_proper_coloring(g: &CsrGraph, colors: &[u32]) -> bool {
+    colors.len() == g.num_vertices()
+        && colors.iter().all(|&c| c != NO_COLOR)
+        && g.arcs().all(|(u, v)| colors[u as usize] != colors[v as usize])
+}
+
+/// Sequential greedy coloring in vertex order (the "optimized greedy
+/// variant" Greedy-Switch falls back to, §5).
+pub fn greedy_seq(g: &CsrGraph) -> Vec<u32> {
+    let mut colors = vec![NO_COLOR; g.num_vertices()];
+    let mut scratch = ColorScratch::new(g.max_degree());
+    for v in g.vertices() {
+        colors[v as usize] = scratch.smallest_free(g.neighbors(v).iter().map(|&u| colors[u as usize]));
+    }
+    colors
+}
+
+/// Reusable bitset for "smallest color not among these".
+struct ColorScratch {
+    banned: Vec<u64>,
+}
+
+impl ColorScratch {
+    fn new(max_degree: usize) -> Self {
+        // A greedy scheme never needs more than d̂ + 1 colors.
+        Self {
+            banned: vec![0u64; max_degree / 64 + 2],
+        }
+    }
+
+    fn smallest_free(&mut self, neighbor_colors: impl Iterator<Item = u32>) -> u32 {
+        for b in &mut self.banned {
+            *b = 0;
+        }
+        let cap = (self.banned.len() * 64) as u32;
+        for c in neighbor_colors {
+            if c != NO_COLOR && c < cap {
+                self.banned[(c / 64) as usize] |= 1 << (c % 64);
+            }
+        }
+        for (i, &b) in self.banned.iter().enumerate() {
+            if b != u64::MAX {
+                return i as u32 * 64 + (!b).trailing_zeros();
+            }
+        }
+        cap
+    }
+}
+
+/// Boman graph coloring (Algorithm 6) under a block partition with
+/// `parts` parts. `dir` selects how phase 2 schedules recoloring: push
+/// writes the remote offender's flag, pull writes the own flag.
+pub fn boman(g: &CsrGraph, parts: usize, dir: Direction, opts: &GcOptions) -> GcResult {
+    boman_probed(g, parts, dir, opts, &NullProbe)
+}
+
+/// Instrumented [`boman`].
+pub fn boman_probed<P: Probe>(
+    g: &CsrGraph,
+    parts: usize,
+    dir: Direction,
+    opts: &GcOptions,
+    probe: &P,
+) -> GcResult {
+    let n = g.num_vertices();
+    let part = BlockPartition::new(n, parts.max(1));
+    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_COLOR)).collect();
+    let needs_color: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
+    // `init(B, P)` of Algorithm 6: the border set under the partition.
+    let border: Vec<VertexId> = part.border_vertices(g);
+    let max_degree = g.max_degree();
+
+    let mut iter_times = Vec::new();
+    let mut conflicts_per_iter = Vec::new();
+
+    for _ in 0..opts.max_iters {
+        let started = Instant::now();
+        // Deterministic remote snapshot: phase 1 reads other partitions'
+        // colors as of the iteration start, its own in program order.
+        let snapshot: Vec<u32> = colors.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        // Phase 1: seq_color_partition(P) for every partition in parallel.
+        (0..part.num_parts()).into_par_iter().for_each(|t| {
+            let range = part.range(t);
+            let mut scratch = ColorScratch::new(max_degree);
+            for v in range.clone() {
+                probe.branch_cond();
+                if !needs_color[v as usize].swap(false, Ordering::Relaxed) {
+                    continue;
+                }
+                let free = scratch.smallest_free(g.neighbors(v).iter().map(|&u| {
+                    probe.read(addr_of_index(&colors, u as usize), 4);
+                    if range.contains(&u) {
+                        colors[u as usize].load(Ordering::Relaxed)
+                    } else {
+                        snapshot[u as usize]
+                    }
+                }));
+                probe.write(addr_of_index(&colors, v as usize), 4);
+                colors[v as usize].store(free, Ordering::Relaxed);
+            }
+        });
+
+        // Phase 2: fix_conflicts() over border vertices. The higher-id
+        // endpoint of a conflicting cross edge is rescheduled, so lower ids
+        // stabilize first and the process terminates.
+        let conflicts = AtomicUsize::new(0);
+        border.par_iter().for_each(|&v| {
+            let owner = part.owner(v);
+            let cv = colors[v as usize].load(Ordering::Relaxed);
+            for &u in g.neighbors(v) {
+                probe.branch_cond();
+                if part.owner(u) == owner {
+                    continue;
+                }
+                probe.read(addr_of_index(&colors, u as usize), 4);
+                if colors[u as usize].load(Ordering::Relaxed) == cv {
+                    conflicts.fetch_add(1, Ordering::Relaxed);
+                    match dir {
+                        Direction::Push => {
+                            // W(i): scatter the recolor request to the
+                            // remote offender (Algorithm 6 line 16).
+                            if u > v {
+                                probe.atomic_rmw(addr_of_index(&needs_color, u as usize), 1);
+                                needs_color[u as usize].store(true, Ordering::Relaxed);
+                            }
+                        }
+                        Direction::Pull => {
+                            // Own-flag write (line 18).
+                            if v > u {
+                                probe.write(addr_of_index(&needs_color, v as usize), 1);
+                                needs_color[v as usize].store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        let conflicts = conflicts.into_inner();
+        iter_times.push(started.elapsed());
+        conflicts_per_iter.push(conflicts);
+        if conflicts == 0 {
+            break;
+        }
+    }
+
+    GcResult {
+        colors: colors.into_iter().map(AtomicU32::into_inner).collect(),
+        iterations: iter_times.len(),
+        iter_times,
+        conflicts_per_iter,
+    }
+}
+
+/// A greedily built maximal independent set (in id order) — the stable seed
+/// set `F` of the Frontier-Exploit strategy at its densest.
+pub fn maximal_independent_set(g: &CsrGraph) -> Vec<VertexId> {
+    stable_seed_set(g, 1)
+}
+
+/// A greedy independent set drawn from every `stride`-th vertex. Larger
+/// strides give fewer seeds, so Frontier-Exploit's waves must travel
+/// further — the knob behind the iteration-count contrasts of Figure 6b.
+pub fn stable_seed_set(g: &CsrGraph, stride: usize) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let stride = stride.max(1);
+    let mut blocked = vec![false; n];
+    let mut seeds = Vec::new();
+    for v in (0..n).step_by(stride) {
+        let v = v as VertexId;
+        if !blocked[v as usize] {
+            seeds.push(v);
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    seeds
+}
+
+/// Frontier-Exploit coloring (§5): BFS-like waves from a stable seed set.
+/// Wave `i` colors the uncolored neighbors of wave `i-1` with color `cᵢ`;
+/// same-wave conflicts bump the higher-id endpoint to the next wave's color
+/// (push), or are avoided entirely by deferring to the next wave (pull —
+/// "no conflicts are generated").
+pub fn frontier_exploit(g: &CsrGraph, dir: Direction, opts: &GcOptions) -> GcResult {
+    frontier_exploit_probed(g, dir, opts, &NullProbe)
+}
+
+/// Instrumented [`frontier_exploit`]. `switch_to_pull_after`: see
+/// [`generic_switch`].
+pub fn frontier_exploit_probed<P: Probe>(
+    g: &CsrGraph,
+    dir: Direction,
+    opts: &GcOptions,
+    probe: &P,
+) -> GcResult {
+    fe_engine(g, opts, probe, move |_stats| dir, 0)
+}
+
+/// Generic-Switch coloring (§5): Frontier-Exploit that starts pushing and
+/// switches to pulling once the conflicts of an iteration exceed
+/// `switch_ratio` × the vertices colored in it.
+pub fn generic_switch(g: &CsrGraph, switch_ratio: f64, opts: &GcOptions) -> GcResult {
+    // The switch is sticky: once conflicts have dominated an iteration the
+    // engine stays in the conflict-free pulling formulation (flapping back
+    // would just reintroduce the conflicts that triggered the switch).
+    let mut switched = false;
+    fe_engine(
+        g,
+        opts,
+        &NullProbe,
+        move |stats| {
+            if stats.conflicts as f64 > switch_ratio * (stats.colored.max(1)) as f64 {
+                switched = true;
+            }
+            if switched {
+                Direction::Pull
+            } else {
+                Direction::Push
+            }
+        },
+        0,
+    )
+}
+
+/// Greedy-Switch coloring (§5, the GrS of Figure 1): Frontier-Exploit that
+/// abandons parallelism once fewer than `tail_fraction` of the vertices
+/// remain uncolored, finishing them with the sequential greedy scheme in one
+/// final iteration.
+pub fn greedy_switch(g: &CsrGraph, tail_fraction: f64, opts: &GcOptions) -> GcResult {
+    let tail = ((g.num_vertices() as f64) * tail_fraction).ceil() as usize;
+    fe_engine(g, opts, &NullProbe, |_stats| Direction::Push, tail)
+}
+
+/// Per-iteration feedback for switch policies.
+#[derive(Clone, Copy, Debug)]
+pub struct FeIterStats {
+    /// Vertices colored in the last iteration.
+    pub colored: usize,
+    /// Same-wave conflicts detected in the last iteration.
+    pub conflicts: usize,
+}
+
+/// The engine shared by FE / GS / GrS: wave coloring with a per-iteration
+/// direction policy and a greedy tail threshold.
+/// Deterministic hashed vertex priority: raw ids would serialize graphs
+/// whose adjacent vertices have consecutive ids (communities, grids).
+#[inline]
+fn vertex_prio(v: VertexId) -> (u32, VertexId) {
+    (v.wrapping_mul(0x9E37_79B9).rotate_left(16), v)
+}
+
+fn fe_engine<P: Probe>(
+    g: &CsrGraph,
+    opts: &GcOptions,
+    probe: &P,
+    mut policy: impl FnMut(FeIterStats) -> Direction,
+    greedy_tail: usize,
+) -> GcResult {
+    let n = g.num_vertices();
+    let max_degree = g.max_degree();
+    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_COLOR)).collect();
+    let mut iter_times = Vec::new();
+    let mut conflicts_per_iter = Vec::new();
+
+    // Iteration 0: the stable seed set, color c₀ = 0.
+    let t0 = Instant::now();
+    let mut frontier = stable_seed_set(g, opts.seed_stride);
+    for &v in &frontier {
+        colors[v as usize].store(0, Ordering::Relaxed);
+    }
+    let mut uncolored = n - frontier.len();
+    iter_times.push(t0.elapsed());
+    conflicts_per_iter.push(0);
+
+    let mut stats = FeIterStats {
+        colored: frontier.len(),
+        conflicts: 0,
+    };
+    let mut wave_color = 1u32;
+    while uncolored > 0 && iter_times.len() < opts.max_iters {
+        // Greedy-Switch: finish the small remainder sequentially.
+        if uncolored <= greedy_tail {
+            let started = Instant::now();
+            let mut scratch = ColorScratch::new(g.max_degree());
+            for v in g.vertices() {
+                if colors[v as usize].load(Ordering::Relaxed) == NO_COLOR {
+                    let c = scratch.smallest_free(
+                        g.neighbors(v)
+                            .iter()
+                            .map(|&u| colors[u as usize].load(Ordering::Relaxed)),
+                    );
+                    colors[v as usize].store(c, Ordering::Relaxed);
+                }
+            }
+            iter_times.push(started.elapsed());
+            conflicts_per_iter.push(0);
+            uncolored = 0;
+            break;
+        }
+
+        let dir = policy(stats);
+        let started = Instant::now();
+        let next: Vec<VertexId> = match dir {
+            Direction::Push => {
+                // Wave: frontier vertices claim uncolored neighbors.
+                let claimed: Vec<VertexId> = frontier
+                    .par_iter()
+                    .fold(Vec::new, |mut acc, &v| {
+                        for &u in g.neighbors(v) {
+                            probe.branch_cond();
+                            probe.read(addr_of_index(&colors, u as usize), 4);
+                            if colors[u as usize].load(Ordering::Relaxed) == NO_COLOR {
+                                // W(i): claim race, CAS (§4.6).
+                                probe.atomic_rmw(addr_of_index(&colors, u as usize), 4);
+                                if colors[u as usize]
+                                    .compare_exchange(
+                                        NO_COLOR,
+                                        wave_color,
+                                        Ordering::AcqRel,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                                {
+                                    acc.push(u);
+                                }
+                            }
+                        }
+                        acc
+                    })
+                    .reduce(Vec::new, |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    });
+                // Conflict pass: adjacent same-wave vertices — the higher id
+                // is deferred to receive the next wave's color (it stays
+                // adjacent to this wave's survivors, so the next wave's
+                // claim reaches it). Conflicts therefore cost iterations,
+                // the effect Figure 6b measures.
+                let bumped: Vec<VertexId> = claimed
+                    .par_iter()
+                    .filter(|&&v| {
+                        g.neighbors(v).iter().any(|&u| {
+                            probe.read(addr_of_index(&colors, u as usize), 4);
+                            u < v && colors[u as usize].load(Ordering::Relaxed) == wave_color
+                        })
+                    })
+                    .copied()
+                    .collect();
+                stats.conflicts = bumped.len();
+                for &v in &bumped {
+                    colors[v as usize].store(NO_COLOR, Ordering::Relaxed);
+                }
+                let bumped_set: std::collections::HashSet<VertexId> =
+                    bumped.into_iter().collect();
+                claimed
+                    .into_iter()
+                    .filter(|v| !bumped_set.contains(v))
+                    .collect()
+            }
+            Direction::Pull => {
+                // Bulk pulling (§5: switching to pulling "may prevent new
+                // iterations as no conflicts are generated"): partitions
+                // greedily color their whole uncolored remainder against a
+                // snapshot of the other partitions; a vertex whose choice
+                // collided across the cut *uncolors itself* (own write) and
+                // retries next round. Rounds to converge are Boman-like
+                // (a handful), not wave-count-like.
+                let snapshot: Vec<u32> =
+                    colors.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                let part =
+                    BlockPartition::new(n, rayon::current_num_threads().max(1));
+                stats.conflicts = 0;
+                let newly: Vec<VertexId> = (0..part.num_parts())
+                    .into_par_iter()
+                    .fold(Vec::new, |mut acc, t| {
+                        let range = part.range(t);
+                        let mut scratch = ColorScratch::new(max_degree);
+                        for v in range.clone() {
+                            probe.branch_cond();
+                            if colors[v as usize].load(Ordering::Relaxed) != NO_COLOR {
+                                continue;
+                            }
+                            let c = scratch.smallest_free(g.neighbors(v).iter().map(|&u| {
+                                probe.read(addr_of_index(&colors, u as usize), 4);
+                                if range.contains(&u) {
+                                    colors[u as usize].load(Ordering::Relaxed)
+                                } else {
+                                    snapshot[u as usize]
+                                }
+                            }));
+                            probe.write(addr_of_index(&colors, v as usize), 4);
+                            colors[v as usize].store(c, Ordering::Relaxed);
+                            acc.push(v);
+                        }
+                        acc
+                    })
+                    .reduce(Vec::new, |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    });
+                // Self-deferral pass: keep the lower hashed priority of any
+                // same-round cross-partition clash.
+                let deferred: Vec<VertexId> = newly
+                    .par_iter()
+                    .filter(|&&v| {
+                        let cv = colors[v as usize].load(Ordering::Relaxed);
+                        let owner = part.owner(v);
+                        g.neighbors(v).iter().any(|&u| {
+                            probe.read(addr_of_index(&colors, u as usize), 4);
+                            part.owner(u) != owner
+                                && colors[u as usize].load(Ordering::Relaxed) == cv
+                                && vertex_prio(u) < vertex_prio(v)
+                        })
+                    })
+                    .copied()
+                    .collect();
+                for &v in &deferred {
+                    colors[v as usize].store(NO_COLOR, Ordering::Relaxed);
+                }
+                let deferred_set: std::collections::HashSet<VertexId> =
+                    deferred.into_iter().collect();
+                newly
+                    .into_iter()
+                    .filter(|v| !deferred_set.contains(v))
+                    .collect()
+            }
+        };
+        stats.colored = next.len();
+        uncolored = uncolored.saturating_sub(next.len());
+        iter_times.push(started.elapsed());
+        conflicts_per_iter.push(stats.conflicts);
+        frontier = next;
+        wave_color += 1;
+        // Dead-end rescue: remnants with no frontier neighbors (other
+        // components, or pockets isolated by deferrals) seed a fresh stable
+        // set with the next wave's color.
+        if frontier.is_empty() && uncolored > 0 {
+            let mut seeded = vec![false; n];
+            let mut seeds = Vec::new();
+            for v in g.vertices() {
+                if colors[v as usize].load(Ordering::Relaxed) == NO_COLOR
+                    && !g.neighbors(v).iter().any(|&u| seeded[u as usize])
+                {
+                    seeded[v as usize] = true;
+                    seeds.push(v);
+                }
+            }
+            for &v in &seeds {
+                colors[v as usize].store(wave_color, Ordering::Relaxed);
+            }
+            uncolored -= seeds.len();
+            wave_color += 1;
+            frontier = seeds;
+        }
+    }
+
+    // Iteration-cap safety net: never return a partial coloring.
+    if uncolored > 0 {
+        let mut scratch = ColorScratch::new(g.max_degree());
+        for v in g.vertices() {
+            if colors[v as usize].load(Ordering::Relaxed) == NO_COLOR {
+                let c = scratch.smallest_free(
+                    g.neighbors(v)
+                        .iter()
+                        .map(|&u| colors[u as usize].load(Ordering::Relaxed)),
+                );
+                colors[v as usize].store(c, Ordering::Relaxed);
+            }
+        }
+    }
+
+    GcResult {
+        colors: colors.into_iter().map(AtomicU32::into_inner).collect(),
+        iterations: iter_times.len(),
+        iter_times,
+        conflicts_per_iter,
+    }
+}
+
+/// Conflict-Removal coloring (§5, Algorithm 9): the border set is colored
+/// sequentially first; the partitions then color their interiors in
+/// parallel with no possibility of conflict — one parallel iteration total.
+pub fn conflict_removal(g: &CsrGraph, parts: usize) -> GcResult {
+    let n = g.num_vertices();
+    let part = BlockPartition::new(n, parts.max(1));
+    let started = Instant::now();
+    let border = part.border_vertices(g);
+    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_COLOR)).collect();
+
+    // seq_color_partition(B): greedy over the border set.
+    let mut scratch = ColorScratch::new(g.max_degree());
+    for &v in &border {
+        let c = scratch.smallest_free(
+            g.neighbors(v)
+                .iter()
+                .map(|&u| colors[u as usize].load(Ordering::Relaxed)),
+        );
+        colors[v as usize].store(c, Ordering::Relaxed);
+    }
+    // Parallel interiors: every cross-partition neighbor is border and
+    // already colored, so partitions cannot conflict.
+    (0..part.num_parts()).into_par_iter().for_each(|t| {
+        let mut scratch = ColorScratch::new(g.max_degree());
+        for v in part.range(t) {
+            if colors[v as usize].load(Ordering::Relaxed) != NO_COLOR {
+                continue;
+            }
+            let c = scratch.smallest_free(
+                g.neighbors(v)
+                    .iter()
+                    .map(|&u| colors[u as usize].load(Ordering::Relaxed)),
+            );
+            colors[v as usize].store(c, Ordering::Relaxed);
+        }
+    });
+
+    GcResult {
+        colors: colors.into_iter().map(AtomicU32::into_inner).collect(),
+        iterations: 1,
+        iter_times: vec![started.elapsed()],
+        conflicts_per_iter: vec![0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::gen;
+    use pp_telemetry::CountingProbe;
+
+    fn graphs() -> Vec<CsrGraph> {
+        vec![
+            gen::path(30),
+            gen::cycle(31),
+            gen::complete(17),
+            gen::star(25),
+            gen::rmat(7, 5, 3),
+            gen::road_grid(8, 8, 0.6, 1),
+        ]
+    }
+
+    #[test]
+    fn boman_produces_proper_colorings() {
+        for g in graphs() {
+            for dir in Direction::BOTH {
+                for parts in [1, 2, 4] {
+                    let r = boman(&g, parts, dir, &GcOptions::default());
+                    assert!(
+                        is_proper_coloring(&g, &r.colors),
+                        "{dir:?} parts={parts} n={}",
+                        g.num_vertices()
+                    );
+                    assert!(r.iterations <= GcOptions::default().max_iters);
+                    assert_eq!(*r.conflicts_per_iter.last().unwrap(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_produce_proper_colorings() {
+        for g in graphs() {
+            for dir in Direction::BOTH {
+                let r = frontier_exploit(&g, dir, &GcOptions::default());
+                assert!(is_proper_coloring(&g, &r.colors), "FE {dir:?}");
+            }
+            let r = generic_switch(&g, 0.2, &GcOptions::default());
+            assert!(is_proper_coloring(&g, &r.colors), "GS");
+            let r = greedy_switch(&g, 0.1, &GcOptions::default());
+            assert!(is_proper_coloring(&g, &r.colors), "GrS");
+            let r = conflict_removal(&g, 4);
+            assert!(is_proper_coloring(&g, &r.colors), "CR");
+            assert_eq!(r.iterations, 1, "CR is single-iteration by design");
+        }
+    }
+
+    #[test]
+    fn greedy_seq_is_proper_and_bounded() {
+        for g in graphs() {
+            let colors = greedy_seq(&g);
+            assert!(is_proper_coloring(&g, &colors));
+            let used = colors.iter().max().unwrap() + 1;
+            assert!(used as usize <= g.max_degree() + 1, "greedy bound violated");
+        }
+    }
+
+    #[test]
+    fn complete_graph_needs_n_colors() {
+        let g = gen::complete(9);
+        for dir in Direction::BOTH {
+            let r = boman(&g, 3, dir, &GcOptions::default());
+            assert_eq!(r.num_colors(), 9);
+        }
+    }
+
+    #[test]
+    fn bipartite_uses_two_colors_with_greedy() {
+        let colors = greedy_seq(&gen::path(20));
+        assert!(colors.iter().max().unwrap() <= &1);
+    }
+
+    #[test]
+    fn single_partition_converges_in_one_iteration() {
+        // With one partition there are no border vertices, hence no
+        // conflicts: the first phase-1 pass is final.
+        let g = gen::rmat(7, 4, 5);
+        let r = boman(&g, 1, Direction::Push, &GcOptions::default());
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn mis_is_independent_and_maximal() {
+        for g in graphs() {
+            let mis = maximal_independent_set(&g);
+            let in_set: std::collections::HashSet<_> = mis.iter().copied().collect();
+            for &v in &mis {
+                for &u in g.neighbors(v) {
+                    assert!(!in_set.contains(&u), "MIS not independent");
+                }
+            }
+            // Maximality: every vertex outside is adjacent to the set.
+            for v in g.vertices() {
+                if !in_set.contains(&v) {
+                    assert!(
+                        g.neighbors(v).iter().any(|u| in_set.contains(u)),
+                        "MIS not maximal at {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_schedules_remote_pull_schedules_own() {
+        // §4.6: the directions differ in *whose* state phase 2 writes.
+        let g = gen::rmat(7, 5, 7);
+        let probe = CountingProbe::new();
+        boman_probed(&g, 4, Direction::Push, &GcOptions::default(), &probe);
+        let push = probe.counts();
+        let probe = CountingProbe::new();
+        boman_probed(&g, 4, Direction::Pull, &GcOptions::default(), &probe);
+        let pull = probe.counts();
+        // Push marks remote flags with atomics; pull never does.
+        assert!(push.atomics > 0);
+        assert_eq!(pull.atomics, 0);
+    }
+
+    #[test]
+    fn greedy_switch_uses_fewer_iterations_than_fe_on_dense_graphs() {
+        // Figure 6b's pattern: FE alone needs many waves on dense community
+        // graphs; the switching strategies cut them down.
+        let g = gen::rmat(9, 8, 11);
+        let fe = frontier_exploit(&g, Direction::Push, &GcOptions::default());
+        let grs = greedy_switch(&g, 0.5, &GcOptions::default());
+        assert!(
+            grs.iterations < fe.iterations,
+            "GrS {} !< FE {}",
+            grs.iterations,
+            fe.iterations
+        );
+    }
+
+    #[test]
+    fn fe_pull_generates_no_conflicts() {
+        let g = gen::rmat(7, 5, 13);
+        let r = frontier_exploit(&g, Direction::Pull, &GcOptions::default());
+        assert!(r.conflicts_per_iter.iter().all(|&c| c == 0));
+        assert!(is_proper_coloring(&g, &r.colors));
+    }
+}

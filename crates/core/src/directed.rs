@@ -1,0 +1,522 @@
+//! Directed-graph push/pull variants (§4.8 "Directed Graphs").
+//!
+//! On directed graphs the dichotomy sharpens: *pushing iterates the
+//! out-edges of a subset of vertices, pulling iterates the in-edges of all
+//! (or most) vertices*, so cost bounds split into `d̂_out` (push) and
+//! `d̂_in` (pull). A [`DirectedGraph`] pairs a directed CSR with its
+//! transpose so both directions have the adjacency they need — exactly the
+//! CSR/CSC pairing of §7.1.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use pp_graph::{BlockPartition, CsrGraph, VertexId};
+use pp_telemetry::{addr_of_index, NullProbe, Probe};
+use rayon::prelude::*;
+
+use crate::bfs::{NO_PARENT, UNVISITED};
+use crate::sync::AtomicF64;
+use crate::Direction;
+
+/// A directed graph with both incidence views: `out` (CSR) for pushing,
+/// `in` (CSC, the transpose) for pulling.
+#[derive(Clone, Debug)]
+pub struct DirectedGraph {
+    out_g: CsrGraph,
+    in_g: CsrGraph,
+}
+
+impl DirectedGraph {
+    /// Builds both views from a directed CSR graph.
+    ///
+    /// # Panics
+    /// Panics if `g` is undirected (use the plain algorithms there).
+    pub fn new(g: CsrGraph) -> Self {
+        assert!(g.is_directed(), "DirectedGraph requires a directed CSR");
+        let in_g = g.transpose();
+        Self { out_g: g, in_g }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out_g.num_vertices()
+    }
+
+    /// The out-edge (CSR) view.
+    pub fn out_view(&self) -> &CsrGraph {
+        &self.out_g
+    }
+
+    /// The in-edge (CSC) view.
+    pub fn in_view(&self) -> &CsrGraph {
+        &self.in_g
+    }
+
+    /// Out-degree of `v` (drives push costs, §4.8).
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_g.degree(v)
+    }
+
+    /// In-degree of `v` (drives pull costs, §4.8).
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_g.degree(v)
+    }
+
+    /// Maximum out-degree `d̂_out`.
+    pub fn max_out_degree(&self) -> usize {
+        self.out_g.max_degree()
+    }
+
+    /// Maximum in-degree `d̂_in`.
+    pub fn max_in_degree(&self) -> usize {
+        self.in_g.max_degree()
+    }
+}
+
+/// Directed PageRank. Push scatters `f·pr[v]/d_out(v)` along out-edges
+/// (CAS-emulated float atomics); pull gathers `pr[u]/d_out(u)` over
+/// in-edges with no synchronization.
+pub fn pagerank_directed<P: Probe>(
+    dg: &DirectedGraph,
+    dir: Direction,
+    opts: &crate::pagerank::PrOptions,
+    probe: &P,
+) -> Vec<f64> {
+    let n = dg.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = (1.0 - opts.damping) / n as f64;
+    let mut pr = vec![1.0 / n as f64; n];
+    let mut new_pr = vec![0.0f64; n];
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+
+    for _ in 0..opts.iters {
+        new_pr.fill(base);
+        {
+            let pr_ref = &pr;
+            match dir {
+                Direction::Push => {
+                    let cells = AtomicF64::from_mut_slice(&mut new_pr);
+                    (0..part.num_parts()).into_par_iter().for_each(|t| {
+                        for v in part.range(t) {
+                            let d = dg.out_degree(v);
+                            if d == 0 {
+                                continue;
+                            }
+                            probe.read(addr_of_index(pr_ref, v as usize), 8);
+                            let share = opts.damping * pr_ref[v as usize] / d as f64;
+                            for &u in dg.out_view().neighbors(v) {
+                                probe.branch_cond();
+                                let attempts = cells[u as usize].fetch_add(share);
+                                for _ in 0..attempts {
+                                    probe.atomic_rmw(cells.as_ptr() as usize + 8 * u as usize, 8);
+                                }
+                            }
+                        }
+                    });
+                }
+                Direction::Pull => {
+                    let out = crate::sync::SyncSlice::new(&mut new_pr);
+                    (0..part.num_parts()).into_par_iter().for_each(|t| {
+                        for v in part.range(t) {
+                            let mut acc = 0.0;
+                            for &u in dg.in_view().neighbors(v) {
+                                probe.read(addr_of_index(pr_ref, u as usize), 8);
+                                probe.branch_cond();
+                                acc += pr_ref[u as usize] / dg.out_degree(u).max(1) as f64;
+                            }
+                            probe.write(out.addr(v as usize), 8);
+                            // SAFETY: v is in this task's owned range.
+                            unsafe {
+                                out.write(v as usize, base + opts.damping * acc);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        std::mem::swap(&mut pr, &mut new_pr);
+    }
+    pr
+}
+
+/// Directed BFS levels from `root`. Push follows out-edges of the frontier;
+/// pull has every unvisited vertex scan its in-edges for a frontier member.
+pub fn bfs_directed(dg: &DirectedGraph, root: VertexId, dir: Direction) -> Vec<u32> {
+    bfs_directed_probed(dg, root, dir, &NullProbe)
+}
+
+/// Instrumented [`bfs_directed`].
+pub fn bfs_directed_probed<P: Probe>(
+    dg: &DirectedGraph,
+    root: VertexId,
+    dir: Direction,
+    probe: &P,
+) -> Vec<u32> {
+    let n = dg.num_vertices();
+    assert!((root as usize) < n);
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNVISITED)).collect();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
+    level[root as usize].store(0, Ordering::Relaxed);
+    parent[root as usize].store(root, Ordering::Relaxed);
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+
+    let mut frontier = vec![root];
+    let mut cur = 0u32;
+    while !frontier.is_empty() {
+        let next: Vec<VertexId> = match dir {
+            Direction::Push => frontier
+                .par_iter()
+                .fold(Vec::new, |mut my_f, &v| {
+                    for &w in dg.out_view().neighbors(v) {
+                        probe.branch_cond();
+                        if parent[w as usize].load(Ordering::Relaxed) == NO_PARENT {
+                            probe.atomic_rmw(addr_of_index(&parent, w as usize), 4);
+                            if parent[w as usize]
+                                .compare_exchange(NO_PARENT, v, Ordering::AcqRel, Ordering::Relaxed)
+                                .is_ok()
+                            {
+                                level[w as usize].store(cur + 1, Ordering::Relaxed);
+                                my_f.push(w);
+                            }
+                        }
+                    }
+                    my_f
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                }),
+            Direction::Pull => (0..part.num_parts())
+                .into_par_iter()
+                .fold(Vec::new, |mut my_f, t| {
+                    for v in part.range(t) {
+                        probe.branch_cond();
+                        if level[v as usize].load(Ordering::Relaxed) != UNVISITED {
+                            continue;
+                        }
+                        for &u in dg.in_view().neighbors(v) {
+                            probe.read(addr_of_index(&level, u as usize), 4);
+                            probe.branch_cond();
+                            if level[u as usize].load(Ordering::Relaxed) == cur {
+                                parent[v as usize].store(u, Ordering::Relaxed);
+                                level[v as usize].store(cur + 1, Ordering::Relaxed);
+                                my_f.push(v);
+                                break;
+                            }
+                        }
+                    }
+                    my_f
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                }),
+        };
+        frontier = next;
+        cur += 1;
+    }
+    level.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Directed single-source shortest paths (Bellman–Ford style): the §4.8
+/// degree split in its weighted form. Push relaxes *out*-edges of the
+/// improved frontier with a CAS-min (bounds depend on `d̂_out`); pull has
+/// every vertex rescan its *in*-edges each round (`d̂_in`). Weights must be
+/// attached to the underlying graph.
+pub fn sssp_directed(dg: &DirectedGraph, root: VertexId, dir: Direction) -> Vec<u64> {
+    sssp_directed_probed(dg, root, dir, &NullProbe)
+}
+
+/// Instrumented [`sssp_directed`].
+pub fn sssp_directed_probed<P: Probe>(
+    dg: &DirectedGraph,
+    root: VertexId,
+    dir: Direction,
+    probe: &P,
+) -> Vec<u64> {
+    use crate::sssp::INF;
+    use crate::sync::atomic_min_u64;
+    use std::sync::atomic::AtomicU64;
+
+    let n = dg.num_vertices();
+    assert!((root as usize) < n, "root out of range");
+    assert!(dg.out_view().is_weighted(), "directed SSSP requires weights");
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[root as usize].store(0, Ordering::Relaxed);
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+
+    match dir {
+        Direction::Push => {
+            let mut frontier = vec![root];
+            while !frontier.is_empty() {
+                let next: Vec<VertexId> = frontier
+                    .par_iter()
+                    .fold(Vec::new, |mut my_f, &v| {
+                        let dv = dist[v as usize].load(Ordering::Relaxed);
+                        for (w, wt) in dg.out_view().weighted_neighbors(v) {
+                            probe.branch_cond();
+                            let cand = dv + wt as u64;
+                            if cand < dist[w as usize].load(Ordering::Relaxed) {
+                                probe.atomic_rmw(addr_of_index(&dist, w as usize), 8);
+                                if atomic_min_u64(&dist[w as usize], cand).0 {
+                                    my_f.push(w);
+                                }
+                            }
+                        }
+                        my_f
+                    })
+                    .reduce(Vec::new, |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    });
+                frontier = next;
+                frontier.sort_unstable();
+                frontier.dedup();
+            }
+        }
+        Direction::Pull => loop {
+            let changed = (0..part.num_parts())
+                .into_par_iter()
+                .map(|t| {
+                    let mut any = false;
+                    for v in part.range(t) {
+                        let mut best = dist[v as usize].load(Ordering::Relaxed);
+                        for (u, wt) in dg.in_view().weighted_neighbors(v) {
+                            probe.read(addr_of_index(&dist, u as usize), 8);
+                            probe.branch_cond();
+                            let du = dist[u as usize].load(Ordering::Relaxed);
+                            if du != INF && du + (wt as u64) < best {
+                                best = du + wt as u64;
+                            }
+                        }
+                        if best < dist[v as usize].load(Ordering::Relaxed) {
+                            probe.write(addr_of_index(&dist, v as usize), 8);
+                            dist[v as usize].store(best, Ordering::Relaxed);
+                            any = true;
+                        }
+                    }
+                    any
+                })
+                .reduce(|| false, |a, b| a || b);
+            if !changed {
+                break;
+            }
+        },
+    }
+    dist.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::GraphBuilder;
+    use pp_telemetry::CountingProbe;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dag(n: usize, m: usize, seed: u64) -> DirectedGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::directed(n);
+        for _ in 0..m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        DirectedGraph::new(b.build())
+    }
+
+    fn seq_pagerank_directed(dg: &DirectedGraph, iters: usize, f: f64) -> Vec<f64> {
+        let n = dg.num_vertices();
+        let base = (1.0 - f) / n as f64;
+        let mut pr = vec![1.0 / n as f64; n];
+        for _ in 0..iters {
+            let mut next = vec![base; n];
+            for v in 0..n as u32 {
+                let d = dg.out_degree(v);
+                if d > 0 {
+                    let share = f * pr[v as usize] / d as f64;
+                    for &u in dg.out_view().neighbors(v) {
+                        next[u as usize] += share;
+                    }
+                }
+            }
+            pr = next;
+        }
+        pr
+    }
+
+    fn seq_bfs_directed(dg: &DirectedGraph, root: u32) -> Vec<u32> {
+        let n = dg.num_vertices();
+        let mut level = vec![u32::MAX; n];
+        level[root as usize] = 0;
+        let mut q = std::collections::VecDeque::from([root]);
+        while let Some(v) = q.pop_front() {
+            for &w in dg.out_view().neighbors(v) {
+                if level[w as usize] == u32::MAX {
+                    level[w as usize] = level[v as usize] + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        level
+    }
+
+    #[test]
+    fn degree_views_are_consistent() {
+        let dg = random_dag(64, 256, 1);
+        let out_sum: usize = (0..64u32).map(|v| dg.out_degree(v)).sum();
+        let in_sum: usize = (0..64u32).map(|v| dg.in_degree(v)).sum();
+        assert_eq!(out_sum, in_sum, "every arc has one head and one tail");
+        assert_eq!(out_sum, dg.out_view().num_arcs());
+    }
+
+    #[test]
+    fn directed_pagerank_push_equals_pull_equals_seq() {
+        let dg = random_dag(100, 500, 3);
+        let opts = crate::pagerank::PrOptions {
+            iters: 10,
+            damping: 0.85,
+        };
+        let reference = seq_pagerank_directed(&dg, 10, 0.85);
+        for dir in Direction::BOTH {
+            let r = pagerank_directed(&dg, dir, &opts, &NullProbe);
+            let diff = crate::pagerank::l1_distance(&reference, &r);
+            assert!(diff < 1e-10, "{dir:?}: {diff}");
+        }
+    }
+
+    #[test]
+    fn directed_bfs_push_equals_pull_equals_seq() {
+        for seed in 0..3 {
+            let dg = random_dag(80, 300, seed);
+            let expected = seq_bfs_directed(&dg, 0);
+            for dir in Direction::BOTH {
+                assert_eq!(bfs_directed(&dg, 0, dir), expected, "{dir:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_reachability() {
+        // 0 → 1 → 2, plus 3 → 0: from 0 only {0,1,2} are reachable.
+        let g = GraphBuilder::directed(4).edges([(0, 1), (1, 2), (3, 0)]).build();
+        let dg = DirectedGraph::new(g);
+        for dir in Direction::BOTH {
+            let levels = bfs_directed(&dg, 0, dir);
+            assert_eq!(levels, vec![0, 1, 2, u32::MAX], "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn pull_reads_in_edges_push_touches_out_edges() {
+        // §4.8: the two directions traverse different incidence arrays.
+        let dg = random_dag(60, 240, 9);
+        let probe = CountingProbe::new();
+        pagerank_directed(
+            &dg,
+            Direction::Pull,
+            &crate::pagerank::PrOptions {
+                iters: 1,
+                damping: 0.85,
+            },
+            &probe,
+        );
+        assert_eq!(probe.counts().atomics, 0, "directed pull is sync-free");
+        let probe = CountingProbe::new();
+        pagerank_directed(
+            &dg,
+            Direction::Push,
+            &crate::pagerank::PrOptions {
+                iters: 1,
+                damping: 0.85,
+            },
+            &probe,
+        );
+        assert!(probe.counts().atomics > 0, "directed push scatters");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a directed")]
+    fn rejects_undirected_graphs() {
+        DirectedGraph::new(pp_graph::gen::path(3));
+    }
+
+    fn dijkstra_directed(dg: &DirectedGraph, root: VertexId) -> Vec<u64> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = dg.num_vertices();
+        let mut dist = vec![u64::MAX; n];
+        dist[root as usize] = 0;
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((0u64, root)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            for (w, wt) in dg.out_view().weighted_neighbors(v) {
+                let cand = d + wt as u64;
+                if cand < dist[w as usize] {
+                    dist[w as usize] = cand;
+                    heap.push(Reverse((cand, w)));
+                }
+            }
+        }
+        dist
+    }
+
+    fn random_weighted_digraph(n: usize, m: usize, seed: u64) -> DirectedGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::directed(n);
+        for _ in 0..m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                b.add_weighted_edge(u, v, rng.gen_range(1..50));
+            }
+        }
+        DirectedGraph::new(b.build())
+    }
+
+    #[test]
+    fn directed_sssp_matches_dijkstra() {
+        for seed in 0..4 {
+            let dg = random_weighted_digraph(150, 600, seed);
+            let expected = dijkstra_directed(&dg, 0);
+            for dir in Direction::BOTH {
+                assert_eq!(sssp_directed(&dg, 0, dir), expected, "{dir:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn directed_sssp_respects_edge_direction() {
+        // 0 -> 1 -> 2 with no way back: distances from 2 are all INF.
+        let mut b = GraphBuilder::directed(3);
+        b.add_weighted_edge(0, 1, 4);
+        b.add_weighted_edge(1, 2, 3);
+        let dg = DirectedGraph::new(b.build());
+        for dir in Direction::BOTH {
+            assert_eq!(sssp_directed(&dg, 0, dir), vec![0, 4, 7], "{dir:?}");
+            assert_eq!(
+                sssp_directed(&dg, 2, dir),
+                vec![u64::MAX, u64::MAX, 0],
+                "{dir:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn directed_sssp_sync_profile() {
+        let dg = random_weighted_digraph(120, 500, 7);
+        let probe = CountingProbe::new();
+        sssp_directed_probed(&dg, 0, Direction::Push, &probe);
+        assert!(probe.counts().atomics > 0);
+        let probe = CountingProbe::new();
+        sssp_directed_probed(&dg, 0, Direction::Pull, &probe);
+        assert_eq!(probe.counts().atomics, 0);
+        assert!(probe.counts().reads > 0);
+    }
+}

@@ -1,0 +1,447 @@
+//! The Gather-Apply-Scatter abstraction (§7.4) and its push/pull
+//! realizations.
+//!
+//! A [`GasProgram`] supplies the three PowerGraph-style functions: *gather*
+//! data from a neighbor, *apply* the combined gather to the vertex state,
+//! and (implicitly) *scatter* activation to neighbors when the state
+//! changed. The engine runs it in either direction:
+//!
+//! * **pull**: every scheduled vertex gathers over its own neighborhood and
+//!   applies locally — no synchronization;
+//! * **push**: every scheduled vertex scatters its state into neighbors'
+//!   gather accumulators under a sharded lock, and targets apply afterward.
+//!
+//! §7.4's two worked examples (SSSP and graph coloring) are provided as
+//! programs; tests check them against the dedicated implementations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use pp_graph::{BlockPartition, CsrGraph, VertexId, Weight};
+use rayon::prelude::*;
+
+use crate::sync::{ShardedLocks, SyncSlice};
+use crate::Direction;
+
+/// A vertex program in the GAS model.
+pub trait GasProgram: Sync {
+    /// Per-vertex state.
+    type State: Clone + Send + Sync;
+    /// The gathered/accumulated type.
+    type Gather: Clone + Send + Sync;
+
+    /// Neutral element of [`GasProgram::merge`].
+    fn gather_init(&self) -> Self::Gather;
+
+    /// Contribution of neighbor `u` (state `u_state`) to vertex `v` (state
+    /// `v_state`) over an edge of weight `w`. Access to both endpoint
+    /// states matches PowerGraph's gather signature and is what lets
+    /// programs break symmetry (e.g. priority-based coloring).
+    fn gather(
+        &self,
+        v: VertexId,
+        v_state: &Self::State,
+        u: VertexId,
+        w: Weight,
+        u_state: &Self::State,
+    ) -> Self::Gather;
+
+    /// Combines two gathered values (must be commutative + associative,
+    /// like Algorithm 3's `⇐`).
+    fn merge(&self, a: Self::Gather, b: Self::Gather) -> Self::Gather;
+
+    /// Applies the combined gather; returns `true` if the state changed
+    /// (which schedules the neighbors — the scatter step).
+    fn apply(&self, v: VertexId, state: &mut Self::State, gathered: Self::Gather) -> bool;
+
+    /// Whether `apply` needs the gather over the *entire* neighborhood.
+    /// Monotone programs (SSSP's min) can fold partial push-side deltas;
+    /// programs like coloring cannot — for them, pushing only *signals*
+    /// recomputation ("any conflicting vertices are then scheduled for the
+    /// color recomputation", §7.4) and the apply re-gathers fully.
+    fn needs_full_gather(&self) -> bool {
+        false
+    }
+}
+
+/// Result of a GAS execution.
+#[derive(Clone, Debug)]
+pub struct GasResult<S> {
+    /// Final per-vertex states.
+    pub states: Vec<S>,
+    /// Supersteps executed.
+    pub supersteps: usize,
+}
+
+/// Runs `program` to fixpoint from the given initial states and active set.
+///
+/// `max_supersteps` bounds divergence for ill-behaved programs.
+pub fn gas_execute<Prog: GasProgram>(
+    g: &CsrGraph,
+    program: &Prog,
+    mut states: Vec<Prog::State>,
+    initially_active: &[VertexId],
+    dir: Direction,
+    max_supersteps: usize,
+) -> GasResult<Prog::State> {
+    let n = g.num_vertices();
+    assert_eq!(states.len(), n);
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+    let locks = ShardedLocks::new(1024);
+
+    let mut scheduled = vec![false; n];
+    for &v in initially_active {
+        scheduled[v as usize] = true;
+        if dir == Direction::Pull {
+            // Pull-mode activation means "this vertex's state is news":
+            // the neighbors are the ones that must re-gather.
+            for &u in g.neighbors(v) {
+                scheduled[u as usize] = true;
+            }
+        }
+    }
+    let mut supersteps = 0;
+    while supersteps < max_supersteps && scheduled.iter().any(|&s| s) {
+        supersteps += 1;
+        let next: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        match dir {
+            Direction::Pull => {
+                // Scheduled vertices gather over their whole neighborhood
+                // and apply to their own state: owner-only writes.
+                let st = SyncSlice::new(&mut states);
+                let sched = &scheduled;
+                (0..part.num_parts()).into_par_iter().for_each(|t| {
+                    for v in part.range(t) {
+                        if !sched[v as usize] {
+                            continue;
+                        }
+                        let mut acc = program.gather_init();
+                        // SAFETY: v is owned by this task; reading before
+                        // the apply below is single-threaded per vertex.
+                        let v_state =
+                            unsafe { (*(st.addr(v as usize) as *const Prog::State)).clone() };
+                        for (i, &u) in g.neighbors(v).iter().enumerate() {
+                            let w = if g.is_weighted() {
+                                g.neighbor_weights(v)[i]
+                            } else {
+                                1
+                            };
+                            // SAFETY: u's state is only read; writers in
+                            // this phase write only their own cell, and a
+                            // stale read is re-converged on a later
+                            // superstep (monotone programs).
+                            let u_state = unsafe { &*(st.addr(u as usize) as *const Prog::State) };
+                            acc = program.merge(acc, program.gather(v, &v_state, u, w, u_state));
+                        }
+                        // SAFETY: v is owned by this task.
+                        let state = unsafe { &mut *(st.addr(v as usize) as *mut Prog::State) };
+                        if program.apply(v, state, acc) {
+                            for &u in g.neighbors(v) {
+                                next[u as usize].store(true, Ordering::Relaxed);
+                            }
+                            next[v as usize].store(true, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            Direction::Push => {
+                // Scheduled vertices scatter their contribution into each
+                // neighbor's accumulator (lock-guarded), then every touched
+                // vertex applies.
+                let mut accs: Vec<Option<Prog::Gather>> = vec![None; n];
+                {
+                    let acc_s = SyncSlice::new(&mut accs);
+                    let st = &states;
+                    let sched = &scheduled;
+                    (0..part.num_parts()).into_par_iter().for_each(|t| {
+                        for v in part.range(t) {
+                            if !sched[v as usize] {
+                                continue;
+                            }
+                            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                                let w = if g.is_weighted() {
+                                    g.neighbor_weights(v)[i]
+                                } else {
+                                    1
+                                };
+                                let contrib = program.gather(
+                                    u,
+                                    &st[u as usize],
+                                    v,
+                                    w,
+                                    &st[v as usize],
+                                );
+                                locks.with(u as usize, || {
+                                    // SAFETY: the shard lock serializes
+                                    // writers of accs[u].
+                                    let cell = unsafe {
+                                        &mut *(acc_s.addr(u as usize) as *mut Option<Prog::Gather>)
+                                    };
+                                    let merged = match cell.take() {
+                                        Some(prev) => program.merge(prev, contrib),
+                                        None => contrib,
+                                    };
+                                    *cell = Some(merged);
+                                });
+                            }
+                        }
+                    });
+                }
+                // Apply phase: owner-only. For full-gather programs the
+                // scattered value is only a signal; re-gather in place.
+                let full = program.needs_full_gather();
+                let st = SyncSlice::new(&mut states);
+                let accs_ref = &accs;
+                let sched = &scheduled;
+                (0..part.num_parts()).into_par_iter().for_each(|t| {
+                    for v in part.range(t) {
+                        // A scheduled vertex with no incoming contribution
+                        // (e.g. isolated) still applies once on the neutral
+                        // gather — otherwise it could never initialize.
+                        let signal = accs_ref[v as usize]
+                            .clone()
+                            .or_else(|| sched[v as usize].then(|| program.gather_init()));
+                        if let Some(acc) = signal {
+                            let acc = if full {
+                                // SAFETY: v owned by this task; neighbor
+                                // states are read-only in this phase except
+                                // their own cells (benign same-superstep
+                                // staleness, reconverged next round).
+                                let v_state = unsafe {
+                                    (*(st.addr(v as usize) as *const Prog::State)).clone()
+                                };
+                                let mut a = program.gather_init();
+                                for (i, &u) in g.neighbors(v).iter().enumerate() {
+                                    let w = if g.is_weighted() {
+                                        g.neighbor_weights(v)[i]
+                                    } else {
+                                        1
+                                    };
+                                    let u_state = unsafe {
+                                        &*(st.addr(u as usize) as *const Prog::State)
+                                    };
+                                    a = program.merge(
+                                        a,
+                                        program.gather(v, &v_state, u, w, u_state),
+                                    );
+                                }
+                                a
+                            } else {
+                                acc
+                            };
+                            // SAFETY: v is owned by this task.
+                            let state = unsafe { &mut *(st.addr(v as usize) as *mut Prog::State) };
+                            if program.apply(v, state, acc) {
+                                for &u in g.neighbors(v) {
+                                    next[u as usize].store(true, Ordering::Relaxed);
+                                }
+                                next[v as usize].store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        scheduled = next.into_iter().map(AtomicBool::into_inner).collect();
+    }
+
+    GasResult { states, supersteps }
+}
+
+/// §7.4's SSSP as a GAS program: gather = `dist[u] + w`, merge = min,
+/// apply = relax own distance.
+pub struct GasSssp;
+
+impl GasProgram for GasSssp {
+    type State = u64;
+    type Gather = u64;
+
+    fn gather_init(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn gather(&self, _v: VertexId, _vs: &u64, _u: VertexId, w: Weight, u_state: &u64) -> u64 {
+        u_state.saturating_add(w as u64)
+    }
+
+    fn merge(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: VertexId, state: &mut u64, gathered: u64) -> bool {
+        if gathered < *state {
+            *state = gathered;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Runs SSSP through the GAS engine (Bellman-Ford-style fixpoint).
+pub fn gas_sssp(g: &CsrGraph, root: VertexId, dir: Direction) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut init = vec![u64::MAX; n];
+    init[root as usize] = 0;
+    gas_execute(g, &GasSssp, init, &[root], dir, 4 * n + 4).states
+}
+
+/// §7.4's graph coloring as a GAS program: gather collects neighbor colors
+/// into a banned-bitmask and flags whether a *lower-priority* neighbor
+/// shares the vertex's color; apply recolors only the uncolored and the
+/// conflicting-but-outranked, which breaks the lockstep-flip symmetry and
+/// guarantees convergence (lowest-priority vertices stabilize first). This
+/// is Boman coloring in the limit where every vertex is its own partition
+/// (§7.4).
+pub struct GasColoring;
+
+/// Gather payload of [`GasColoring`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ColorGather {
+    banned: [u64; 2],
+    must_move: bool,
+}
+
+fn color_prio(v: VertexId) -> (u32, VertexId) {
+    (v.wrapping_mul(0x9E37_79B9).rotate_left(16), v)
+}
+
+impl GasProgram for GasColoring {
+    /// Current color (`u32::MAX` = uncolored).
+    type State = u32;
+    type Gather = ColorGather;
+
+    fn gather_init(&self) -> ColorGather {
+        ColorGather::default()
+    }
+
+    fn gather(
+        &self,
+        v: VertexId,
+        v_state: &u32,
+        u: VertexId,
+        _w: Weight,
+        u_state: &u32,
+    ) -> ColorGather {
+        let mut g = ColorGather::default();
+        let c = *u_state;
+        if c != u32::MAX && c < 128 {
+            g.banned[(c / 64) as usize] |= 1 << (c % 64);
+        }
+        // Conflict: the neighbor holds my color and outranks me (lower
+        // priority keeps its color — the Boman tie-break of §3.6).
+        if c != u32::MAX && c == *v_state && color_prio(u) < color_prio(v) {
+            g.must_move = true;
+        }
+        g
+    }
+
+    fn merge(&self, a: ColorGather, b: ColorGather) -> ColorGather {
+        ColorGather {
+            banned: [a.banned[0] | b.banned[0], a.banned[1] | b.banned[1]],
+            must_move: a.must_move || b.must_move,
+        }
+    }
+
+    fn needs_full_gather(&self) -> bool {
+        true
+    }
+
+    fn apply(&self, _v: VertexId, state: &mut u32, g: ColorGather) -> bool {
+        if *state != u32::MAX && !g.must_move {
+            return false;
+        }
+        let free = if g.banned[0] != u64::MAX {
+            (!g.banned[0]).trailing_zeros()
+        } else {
+            64 + (!g.banned[1]).trailing_zeros()
+        };
+        if *state != free {
+            *state = free;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Runs coloring through the GAS engine. The *pull* direction is
+/// deterministic and terminates (each vertex recomputes from stable
+/// neighbor colors); convergence is detected by an unchanged sweep.
+pub fn gas_coloring(g: &CsrGraph, dir: Direction) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!(
+        g.max_degree() < 128,
+        "GasColoring's two-word mask caps colors at 128"
+    );
+    let all: Vec<VertexId> = (0..n as VertexId).collect();
+    let r = gas_execute(g, &GasColoring, vec![u32::MAX; n], &all, dir, 16 * n + 16);
+    r.states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::is_proper_coloring;
+    use crate::sssp;
+    use pp_graph::gen;
+
+    #[test]
+    fn gas_sssp_matches_dijkstra_both_directions() {
+        for seed in 0..3 {
+            let g = gen::with_random_weights(&gen::rmat(6, 4, seed), 1, 50, seed);
+            let reference = sssp::dijkstra(&g, 0);
+            for dir in Direction::BOTH {
+                assert_eq!(gas_sssp(&g, 0, dir), reference, "{dir:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn gas_sssp_on_path_and_star() {
+        let g = gen::with_random_weights(&gen::path(20), 2, 2, 1);
+        let r = gas_sssp(&g, 0, Direction::Pull);
+        for (i, &d) in r.iter().enumerate() {
+            assert_eq!(d, 2 * i as u64);
+        }
+        let g = gen::with_random_weights(&gen::star(10), 3, 3, 1);
+        let r = gas_sssp(&g, 1, Direction::Push);
+        assert_eq!(r[0], 3);
+        assert_eq!(r[2], 6, "leaf to leaf goes through the hub");
+    }
+
+    #[test]
+    fn gas_coloring_is_proper_both_directions() {
+        for g in [gen::path(30), gen::cycle(15), gen::rmat(6, 3, 2), gen::star(20)] {
+            for dir in Direction::BOTH {
+                let colors = gas_coloring(&g, dir);
+                assert!(is_proper_coloring(&g, &colors), "{dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gas_coloring_bipartite_uses_two_colors() {
+        let colors = gas_coloring(&gen::path(24), Direction::Pull);
+        assert!(colors.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn gas_supersteps_are_bounded_by_graph_distance() {
+        // SSSP activation travels one hop per superstep: path of length k
+        // needs ≈ k supersteps.
+        let g = gen::with_random_weights(&gen::path(16), 1, 1, 1);
+        let mut init = vec![u64::MAX; 16];
+        init[0] = 0;
+        let r = gas_execute(&g, &GasSssp, init, &[0], Direction::Pull, 1000);
+        assert!(r.supersteps >= 15, "too few supersteps: {}", r.supersteps);
+        assert!(r.supersteps <= 20, "too many supersteps: {}", r.supersteps);
+    }
+
+    #[test]
+    fn inactive_fixpoint_terminates_immediately() {
+        let g = gen::path(4);
+        let r = gas_execute(&g, &GasSssp, vec![0, 1, 2, 3], &[], Direction::Push, 100);
+        assert_eq!(r.supersteps, 0);
+        assert_eq!(r.states, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,331 @@
+//! Kruskal's MST with the tech-report push/pull dichotomy, plus a reusable
+//! disjoint-set substrate.
+//!
+//! §3.7 of the paper notes that "more details on pushing and pulling in Prim
+//! and Kruskal are still provided in the technical report". The dichotomy in
+//! Kruskal sits in how component identity is maintained while edges are
+//! consumed in weight order:
+//!
+//! * **push** ([`Direction::Push`]): *eager relabeling*. Every vertex always
+//!   knows its component id; accepting an edge *pushes* the winning label
+//!   onto every member of the smaller component (smaller-into-larger keeps
+//!   the total relabel work at `O(n log n)`). Queries are a single read;
+//!   updates write cells owned by other "threads" — the defining push
+//!   property of §3.8.
+//! * **pull** ([`Direction::Pull`]): *lazy union–find*. Components are
+//!   represented by parent pointers; a query *pulls* the root by chasing
+//!   (and path-halving) pointers, touching only state along its own query
+//!   path. Updates are a single root write.
+//!
+//! Edge sorting is parallel (rayon); the union phase is inherently
+//! sequential in edge order, which is exactly why the paper centers Boruvka
+//! ([`crate::mst`]) — Kruskal here is the work-optimal baseline the parallel
+//! algorithm is validated against and raced in the `mst` bench.
+
+use pp_graph::{CsrGraph, VertexId, Weight};
+use pp_telemetry::{addr_of_index, NullProbe, Probe};
+use rayon::prelude::*;
+
+use crate::Direction;
+
+/// Lazy disjoint sets: parent pointers with path halving + union by size.
+/// The "pull" representation — queries chase pointers to the root.
+#[derive(Clone, Debug)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl DisjointSets {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Root of `x`'s set, with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if they were already
+    /// together.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        // Union by size, tie toward the smaller root id for determinism.
+        let (big, small) = if (self.size[ra as usize], rb) > (self.size[rb as usize], ra) {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Eager component labels: every vertex stores its component id directly and
+/// unions relabel the smaller side. The "push" representation.
+#[derive(Clone, Debug)]
+struct EagerLabels {
+    label: Vec<u32>,
+    /// Members of each *live* component, indexed by label.
+    members: Vec<Vec<u32>>,
+}
+
+impl EagerLabels {
+    fn new(n: usize) -> Self {
+        Self {
+            label: (0..n as u32).collect(),
+            members: (0..n as u32).map(|v| vec![v]).collect(),
+        }
+    }
+
+    #[inline]
+    fn label_of(&self, x: u32) -> u32 {
+        self.label[x as usize]
+    }
+
+    /// Pushes the label of the larger component onto the smaller one.
+    /// Returns `false` if already joined.
+    fn union<P: Probe>(&mut self, a: u32, b: u32, probe: &P) -> bool {
+        let (la, lb) = (self.label_of(a), self.label_of(b));
+        if la == lb {
+            return false;
+        }
+        let (big, small) =
+            if (self.members[la as usize].len(), lb) > (self.members[lb as usize].len(), la) {
+                (la, lb)
+            } else {
+                (lb, la)
+            };
+        let moved = std::mem::take(&mut self.members[small as usize]);
+        for &v in &moved {
+            // W: scatter the winning label onto vertices of the losing side.
+            probe.write(addr_of_index(&self.label, v as usize), 4);
+            self.label[v as usize] = big;
+        }
+        self.members[big as usize].extend(moved);
+        true
+    }
+}
+
+/// Result of a Kruskal run.
+#[derive(Clone, Debug)]
+pub struct KruskalResult {
+    /// Selected forest edges in acceptance (weight) order.
+    pub edges: Vec<(VertexId, VertexId, Weight)>,
+    /// Sum of selected edge weights.
+    pub total_weight: u64,
+}
+
+/// Kruskal MST/MSF with the default probe.
+pub fn kruskal(g: &CsrGraph, dir: Direction) -> KruskalResult {
+    kruskal_probed(g, dir, &NullProbe)
+}
+
+/// Instrumented Kruskal: parallel sort, then weight-order scan with eager
+/// (push) or lazy (pull) component maintenance.
+pub fn kruskal_probed<P: Probe>(g: &CsrGraph, dir: Direction, probe: &P) -> KruskalResult {
+    assert!(g.is_weighted(), "Kruskal requires edge weights");
+    let n = g.num_vertices();
+    let mut edges: Vec<(Weight, VertexId, VertexId)> =
+        g.edges().map(|(u, v, w)| (w, u, v)).collect();
+    edges.par_sort_unstable();
+
+    let mut chosen = Vec::new();
+    let mut total = 0u64;
+    match dir {
+        Direction::Push => {
+            let mut labels = EagerLabels::new(n);
+            for (w, u, v) in edges {
+                probe.read(addr_of_index(&labels.label, u as usize), 4);
+                probe.read(addr_of_index(&labels.label, v as usize), 4);
+                probe.branch_cond();
+                if labels.union(u, v, probe) {
+                    chosen.push((u, v, w));
+                    total += w as u64;
+                }
+            }
+        }
+        Direction::Pull => {
+            let mut dsu = DisjointSets::new(n);
+            for (w, u, v) in edges {
+                // Pointer chases are the pull reads; the probe charges the
+                // actual path length.
+                let mut x = u;
+                while dsu.parent[x as usize] != x {
+                    probe.read(addr_of_index(&dsu.parent, x as usize), 4);
+                    x = dsu.parent[x as usize];
+                }
+                let mut y = v;
+                while dsu.parent[y as usize] != y {
+                    probe.read(addr_of_index(&dsu.parent, y as usize), 4);
+                    y = dsu.parent[y as usize];
+                }
+                probe.branch_cond();
+                if dsu.union(u, v) {
+                    chosen.push((u, v, w));
+                    total += w as u64;
+                }
+            }
+        }
+    }
+
+    KruskalResult {
+        edges: chosen,
+        total_weight: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::{boruvka, kruskal_seq};
+    use pp_graph::{gen, GraphBuilder};
+    use pp_telemetry::CountingProbe;
+
+    fn weighted(seed: u64) -> CsrGraph {
+        gen::with_random_weights(&gen::rmat(7, 5, seed), 1, 1000, seed ^ 0xaa)
+    }
+
+    #[test]
+    fn dsu_basics() {
+        let mut d = DisjointSets::new(5);
+        assert_eq!(d.num_sets(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(1, 2));
+        assert!(!d.union(0, 2));
+        assert!(d.connected(0, 2));
+        assert!(!d.connected(0, 3));
+        assert_eq!(d.num_sets(), 3);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn dsu_find_is_idempotent_and_canonical() {
+        let mut d = DisjointSets::new(8);
+        for i in 0..7 {
+            d.union(i, i + 1);
+        }
+        let root = d.find(0);
+        for i in 0..8 {
+            assert_eq!(d.find(i), root);
+        }
+        assert_eq!(d.num_sets(), 1);
+    }
+
+    #[test]
+    fn matches_reference_weight() {
+        for seed in 0..5 {
+            let g = weighted(seed);
+            let (_, expected) = kruskal_seq(&g);
+            for dir in Direction::BOTH {
+                let r = kruskal(&g, dir);
+                assert_eq!(r.total_weight, expected, "{dir:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_and_pull_choose_identical_forests() {
+        // Both scan the same sorted order and accept iff components differ,
+        // so the chosen edge *sequence* matches exactly.
+        for seed in 0..3 {
+            let g = weighted(seed);
+            let push = kruskal(&g, Direction::Push);
+            let pull = kruskal(&g, Direction::Pull);
+            assert_eq!(push.edges, pull.edges, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_boruvka_total() {
+        let g = weighted(11);
+        let b = boruvka(&g, Direction::Pull);
+        let k = kruskal(&g, Direction::Pull);
+        assert_eq!(k.total_weight, b.total_weight);
+        assert_eq!(k.edges.len(), b.edges.len());
+    }
+
+    #[test]
+    fn forest_spans_components() {
+        let g = gen::with_random_weights(&gen::erdos_renyi(100, 120, 3), 1, 9, 3);
+        let r = kruskal(&g, Direction::Pull);
+        let comps = pp_graph::stats::num_components(&g);
+        assert_eq!(r.edges.len(), g.num_vertices() - comps);
+    }
+
+    #[test]
+    fn handbuilt_mst() {
+        // Square with diagonal: 0-1:1, 1-2:2, 2-3:3, 3-0:4, 0-2:5.
+        let g = GraphBuilder::undirected(4)
+            .weighted_edges([(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)])
+            .build();
+        for dir in Direction::BOTH {
+            let r = kruskal(&g, dir);
+            assert_eq!(r.total_weight, 6, "{dir:?}");
+            assert_eq!(r.edges, vec![(0, 1, 1), (1, 2, 2), (2, 3, 3)], "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn push_writes_scale_with_relabels_pull_reads_with_chases() {
+        let g = weighted(7);
+        let push = CountingProbe::new();
+        kruskal_probed(&g, Direction::Push, &push);
+        let pull = CountingProbe::new();
+        kruskal_probed(&g, Direction::Pull, &pull);
+        // Eager relabeling writes per moved vertex; lazy union writes almost
+        // nothing but pays pointer-chase reads.
+        assert!(push.counts().writes > 0);
+        assert!(pull.counts().reads > 0);
+        assert!(pull.counts().writes == 0);
+        // Smaller-into-larger bounds push writes by n log n.
+        let n = g.num_vertices() as u64;
+        let bound = n * (64 - n.leading_zeros() as u64);
+        assert!(push.counts().writes <= bound, "{} > {bound}", push.counts().writes);
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        let g = GraphBuilder::undirected(3).weighted_edges([] as [(u32, u32, u32); 0]).build();
+        for dir in Direction::BOTH {
+            let r = kruskal(&g, dir);
+            assert!(r.edges.is_empty());
+            assert_eq!(r.total_weight, 0);
+        }
+    }
+}

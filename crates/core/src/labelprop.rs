@@ -1,0 +1,295 @@
+//! Community detection by label propagation, in push and pull form.
+//!
+//! Unlike the connected-components scheme of [`crate::components`] (which
+//! propagates the *minimum* label), community label propagation adopts the
+//! *most frequent* label among a vertex's neighbors [Raghavan et al. 2007].
+//! The update is synchronous (double-buffered), so both directions compute
+//! the identical label sequence and differ only in how the neighbor-label
+//! multiset reaches the deciding thread:
+//!
+//! * **push**: each vertex *scatters* its label as a vote into a shared
+//!   per-vertex ballot. Ballots are mutable shared state, so every deposit
+//!   takes a lock — the push side of the §3.8 dichotomy with the same
+//!   lock-heavy signature as push-PR (§4.1);
+//! * **pull**: each vertex *gathers* the labels of its neighbors into a
+//!   private scratch buffer and counts them locally — no synchronization,
+//!   more reads (§4.9).
+//!
+//! Ties are broken toward the smallest label, which makes the iteration
+//! deterministic; tests exploit that to require exact push == pull
+//! agreement per iteration.
+
+use parking_lot::Mutex;
+use pp_graph::{BlockPartition, CsrGraph, VertexId};
+use pp_telemetry::{addr_of_index, NullProbe, Probe};
+use rayon::prelude::*;
+
+use crate::Direction;
+
+/// Result of a label-propagation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabelPropResult {
+    /// Final per-vertex community label.
+    pub labels: Vec<u32>,
+    /// Iterations executed (≤ the caller's cap).
+    pub iterations: usize,
+    /// Whether a fixpoint was reached before the cap (synchronous LP can
+    /// oscillate on bipartite-ish structures, so the cap is load-bearing).
+    pub converged: bool,
+}
+
+impl LabelPropResult {
+    /// Number of distinct communities.
+    pub fn num_communities(&self) -> usize {
+        let mut ls = self.labels.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        ls.len()
+    }
+}
+
+/// Label propagation with the default probe.
+pub fn label_propagation(g: &CsrGraph, dir: Direction, max_iters: usize) -> LabelPropResult {
+    label_propagation_probed(g, dir, max_iters, &NullProbe)
+}
+
+/// Picks the winning label from a *sorted* vote slice: most frequent,
+/// smallest on ties. Returns `None` for an empty ballot (isolated vertex).
+fn tally(sorted_votes: &[u32]) -> Option<u32> {
+    if sorted_votes.is_empty() {
+        return None;
+    }
+    let (mut best, mut best_count) = (sorted_votes[0], 0usize);
+    let mut i = 0;
+    while i < sorted_votes.len() {
+        let label = sorted_votes[i];
+        let mut j = i;
+        while j < sorted_votes.len() && sorted_votes[j] == label {
+            j += 1;
+        }
+        // Strict `>` keeps the first (smallest) label on equal counts.
+        if j - i > best_count {
+            best = label;
+            best_count = j - i;
+        }
+        i = j;
+    }
+    Some(best)
+}
+
+/// Instrumented synchronous label propagation.
+pub fn label_propagation_probed<P: Probe>(
+    g: &CsrGraph,
+    dir: Direction,
+    max_iters: usize,
+    probe: &P,
+) -> LabelPropResult {
+    let n = g.num_vertices();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut new_labels = labels.clone();
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+    let mut iterations = 0;
+    let mut converged = false;
+
+    // Push-side ballots: one vote box per vertex, refilled every iteration.
+    // parking_lot mutexes are one byte, so this costs n bytes of locks plus
+    // the vote storage (bounded by the arc count across all boxes).
+    let ballots: Vec<Mutex<Vec<u32>>> = if dir == Direction::Push {
+        (0..n).map(|_| Mutex::new(Vec::new())).collect()
+    } else {
+        Vec::new()
+    };
+
+    while iterations < max_iters {
+        iterations += 1;
+        match dir {
+            Direction::Push => {
+                // Scatter: every vertex deposits its label with each
+                // neighbor. W: lock-guarded shared writes.
+                (0..part.num_parts()).into_par_iter().for_each(|t| {
+                    for v in part.range(t) {
+                        let lv = labels[v as usize];
+                        for &u in g.neighbors(v) {
+                            probe.lock();
+                            probe.write(addr_of_index(&ballots, u as usize), 4);
+                            ballots[u as usize].lock().push(lv);
+                        }
+                    }
+                });
+                probe.barrier();
+                // Apply: owners tally their own ballots; no shared writes.
+                let next: Vec<(VertexId, u32)> = (0..part.num_parts())
+                    .into_par_iter()
+                    .fold(Vec::new, |mut acc, t| {
+                        for v in part.range(t) {
+                            let mut votes = ballots[v as usize].lock();
+                            votes.sort_unstable();
+                            if let Some(l) = tally(&votes) {
+                                acc.push((v, l));
+                            }
+                            votes.clear();
+                        }
+                        acc
+                    })
+                    .reduce(Vec::new, |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    });
+                for (v, l) in next {
+                    new_labels[v as usize] = l;
+                }
+            }
+            Direction::Pull => {
+                // Gather into a per-thread workhorse buffer; R-only
+                // conflicts on the shared label array.
+                let next: Vec<(VertexId, u32)> = (0..part.num_parts())
+                    .into_par_iter()
+                    .fold(Vec::new, |mut acc, t| {
+                        let mut votes: Vec<u32> = Vec::new();
+                        for v in part.range(t) {
+                            votes.clear();
+                            for &u in g.neighbors(v) {
+                                probe.read(addr_of_index(&labels, u as usize), 4);
+                                votes.push(labels[u as usize]);
+                            }
+                            votes.sort_unstable();
+                            if let Some(l) = tally(&votes) {
+                                acc.push((v, l));
+                            }
+                        }
+                        acc
+                    })
+                    .reduce(Vec::new, |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    });
+                for (v, l) in next {
+                    new_labels[v as usize] = l;
+                }
+            }
+        }
+
+        if new_labels == labels {
+            converged = true;
+            break;
+        }
+        labels.copy_from_slice(&new_labels);
+    }
+
+    LabelPropResult {
+        labels,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::{gen, GraphBuilder};
+    use pp_telemetry::CountingProbe;
+
+    #[test]
+    fn tally_prefers_frequency_then_smallest() {
+        assert_eq!(tally(&[]), None);
+        assert_eq!(tally(&[5]), Some(5));
+        assert_eq!(tally(&[1, 2, 2, 3]), Some(2));
+        assert_eq!(tally(&[1, 1, 2, 2]), Some(1));
+        assert_eq!(tally(&[0, 3, 3, 3, 9, 9]), Some(3));
+    }
+
+    #[test]
+    fn two_cliques_with_bridge_form_two_communities() {
+        // Two 6-cliques joined by one edge: LP must separate them.
+        let mut b = GraphBuilder::undirected(12);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.add_edge(u, v);
+                b.add_edge(u + 6, v + 6);
+            }
+        }
+        b.add_edge(0, 6);
+        let g = b.build();
+        for dir in Direction::BOTH {
+            let r = label_propagation(&g, dir, 50);
+            assert!(r.converged, "{dir:?}");
+            // Each clique agrees internally.
+            let left = r.labels[0];
+            let right = r.labels[6];
+            assert!(r.labels[..6].iter().all(|&l| l == left), "{dir:?}");
+            assert!(r.labels[6..].iter().all(|&l| l == right), "{dir:?}");
+            assert_ne!(left, right, "{dir:?}: bridge must not merge cliques");
+        }
+    }
+
+    #[test]
+    fn push_and_pull_agree_exactly() {
+        for seed in 0..4 {
+            let g = gen::community(4, 30, 150, 20, seed);
+            let push = label_propagation(&g, Direction::Push, 30);
+            let pull = label_propagation(&g, Direction::Pull, 30);
+            assert_eq!(push.labels, pull.labels, "seed {seed}");
+            assert_eq!(push.iterations, pull.iterations, "seed {seed}");
+            assert_eq!(push.converged, pull.converged, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn planted_communities_are_recovered() {
+        // Strong planted partition: 3 communities, dense inside, few
+        // cross edges.
+        let g = gen::community(3, 40, 400, 10, 42);
+        let r = label_propagation(&g, Direction::Pull, 50);
+        // Most pairs inside a block share a label; communities should be few
+        // compared to n.
+        assert!(r.num_communities() <= 12, "got {}", r.num_communities());
+        let same = |a: usize, b: usize| r.labels[a] == r.labels[b];
+        let intra_agree = (0..40).filter(|&v| same(v, 0)).count();
+        assert!(intra_agree > 30, "community 0 fragmented: {intra_agree}");
+    }
+
+    #[test]
+    fn iteration_cap_halts_oscillation() {
+        // A star oscillates under synchronous LP: the center adopts the
+        // leaves' label while the leaves adopt the center's.
+        let g = gen::star(8);
+        for dir in Direction::BOTH {
+            let r = label_propagation(&g, dir, 10);
+            assert_eq!(r.iterations, 10, "{dir:?}");
+            assert!(!r.converged, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_label() {
+        let g = GraphBuilder::undirected(4).edge(0, 1).build();
+        for dir in Direction::BOTH {
+            let r = label_propagation(&g, dir, 20);
+            assert_eq!(r.labels[2], 2, "{dir:?}");
+            assert_eq!(r.labels[3], 3, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn push_locks_pull_reads() {
+        let g = gen::community(2, 20, 60, 5, 1);
+        let probe = CountingProbe::new();
+        label_propagation_probed(&g, Direction::Push, 5, &probe);
+        assert!(probe.counts().locks > 0);
+
+        let probe = CountingProbe::new();
+        label_propagation_probed(&g, Direction::Pull, 5, &probe);
+        assert_eq!(probe.counts().locks, 0);
+        assert!(probe.counts().reads > 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::undirected(0).build();
+        for dir in Direction::BOTH {
+            let r = label_propagation(&g, dir, 5);
+            assert!(r.labels.is_empty());
+            assert!(r.converged);
+        }
+    }
+}

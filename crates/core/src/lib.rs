@@ -1,0 +1,88 @@
+//! Push- and pull-based graph algorithms (§3–§5 of the paper).
+//!
+//! Every algorithm the paper analyzes exists here in both directions:
+//!
+//! | Algorithm | Module | Push sync | Pull sync |
+//! |-----------|--------|-----------|-----------|
+//! | PageRank (§3.1, §4.1) | [`pagerank`] | float locks / CAS | none |
+//! | Triangle counting (§3.2, §4.2) | [`triangles`] | integer FAA | none |
+//! | BFS, generalized (§3.3, §4.3) | [`bfs`] | CAS | none |
+//! | Δ-stepping SSSP (§3.4, §4.4) | [`sssp`] | CAS min | none |
+//! | Betweenness centrality (§3.5, §4.5) | [`bc`] | float locks | none |
+//! | Boman graph coloring (§3.6, §4.6) | [`coloring`] | CAS | CAS |
+//! | Boruvka MST (§3.7, §4.7) | [`mst`] | packed CAS min | none |
+//!
+//! The tech-report extensions — further members of the two §3.8 algorithm
+//! classes — follow the same contract:
+//!
+//! | Algorithm | Module | Push sync | Pull sync |
+//! |-----------|--------|-----------|-----------|
+//! | Bellman–Ford SSSP (the Δ→∞ end of §3.4) | [`bellman_ford`] | CAS min | none |
+//! | k-core decomposition | [`kcore`] | integer FAA | none |
+//! | Label-propagation communities | [`labelprop`] | ballot locks | none |
+//! | Connected components | [`components`] | CAS min | none |
+//! | Kruskal MST (eager relabel vs. union–find) | [`kruskal`] | — | — |
+//! | Prim MST | [`prim`] | CAS min | none |
+//!
+//! [`validate`] provides Graph500-style result validators so tests check
+//! specification conformance rather than one blessed output.
+//!
+//! The five acceleration strategies of §5 live in [`strategies`] and inside
+//! the algorithm modules they specialize (partition-aware PageRank,
+//! frontier-exploit/switching coloring). The linear-algebra formulation of
+//! §7.1 (CSR SpMV = pull, CSC SpMV = push) is in [`algebra`].
+//!
+//! All kernels are generic over a [`pp_telemetry::Probe`], so the same code
+//! path produces Table-1-style event counts (with `CountingProbe` /
+//! `CacheSimProbe`) or runs at full speed (`NullProbe`, whose hooks compile
+//! away).
+
+pub mod algebra;
+pub mod bc;
+pub mod bellman_ford;
+pub mod bfs;
+pub mod coloring;
+pub mod components;
+pub mod directed;
+pub mod gas;
+pub mod kcore;
+pub mod kruskal;
+pub mod labelprop;
+pub mod mst;
+pub mod pagerank;
+pub mod prim;
+pub mod sssp;
+pub mod strategies;
+pub mod sync;
+pub mod triangles;
+pub mod validate;
+
+/// Push or pull — the dichotomy of §3.8. Pushing means a thread may modify
+/// vertices it does not own (`∃t,v: t ⤳ v ∧ t ≠ t[v]`); pulling means every
+/// thread modifies only its own vertices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Updates flow from the processed vertex to its neighbors.
+    Push,
+    /// Updates are gathered from the neighbors into the processed vertex.
+    Pull,
+}
+
+impl Direction {
+    /// Both directions, for parameter sweeps.
+    pub const BOTH: [Direction; 2] = [Direction::Push, Direction::Pull];
+
+    /// Label used by the figure/table harness (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Push => "Pushing",
+            Direction::Pull => "Pulling",
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}

@@ -1,0 +1,442 @@
+//! Boruvka minimum spanning tree in push and pull form
+//! (§3.7, §4.7, Algorithm 7 — Figure 4).
+//!
+//! Each round has the three phases the paper times separately:
+//!
+//! * **Find Minimum (FM)** — elect the minimum-weight outgoing edge of every
+//!   supervertex. Pushing: every edge CAS-mins itself into *both* endpoint
+//!   supervertices' shared slots. Pulling: each supervertex scans its own
+//!   members' incident edges and writes its private slot.
+//! * **Build Merge Tree (BMT)** — the elected edges define merge pointers;
+//!   2-cycles are broken (lower label becomes root) and pointer jumping
+//!   flattens every tree to its root.
+//! * **Merge (M)** — vertices are relabeled to their root supervertex.
+//!   Pushing scatters new labels into the merged members; pulling has every
+//!   vertex look its own root up.
+//!
+//! Ties are broken by packing `(weight, edge index)` into the 64-bit slot
+//! value, making all edge keys distinct — the classic fix that keeps the
+//! merge-pointer graph free of long cycles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pp_graph::{CsrGraph, VertexId, Weight};
+use pp_telemetry::{addr_of_index, NullProbe, Probe};
+use rayon::prelude::*;
+
+use crate::sync::atomic_min_u64;
+use crate::Direction;
+
+/// An empty minimum-edge slot.
+const EMPTY: u64 = u64::MAX;
+
+/// Per-round phase timings (Figure 4's three subplots).
+#[derive(Clone, Copy, Debug)]
+pub struct MstRoundInfo {
+    /// Round index.
+    pub round: usize,
+    /// Active supervertices at round start.
+    pub supervertices: usize,
+    /// "Find Minimum" phase time.
+    pub find_min: Duration,
+    /// "Build Merge Tree" phase time.
+    pub build_merge_tree: Duration,
+    /// "Merge" phase time.
+    pub merge: Duration,
+}
+
+/// Result of a Boruvka run.
+#[derive(Clone, Debug)]
+pub struct MstResult {
+    /// The spanning forest's edges (one tree per connected component).
+    pub edges: Vec<(VertexId, VertexId, Weight)>,
+    /// Sum of the selected edge weights.
+    pub total_weight: u64,
+    /// Per-round phase statistics.
+    pub rounds: Vec<MstRoundInfo>,
+}
+
+/// Boruvka MST/MSF with the default probe.
+pub fn boruvka(g: &CsrGraph, dir: Direction) -> MstResult {
+    boruvka_probed(g, dir, &NullProbe)
+}
+
+/// Instrumented Boruvka.
+pub fn boruvka_probed<P: Probe>(g: &CsrGraph, dir: Direction, probe: &P) -> MstResult {
+    assert!(g.is_weighted(), "Boruvka requires edge weights");
+    let n = g.num_vertices();
+    let edges: Vec<(VertexId, VertexId, Weight)> = g.edges().collect();
+    assert!(edges.len() < u32::MAX as usize, "edge index must fit u32");
+
+    // Incident-edge index lists (CSR over the undirected edge list), used by
+    // the pulling FM phase.
+    let mut inc_off = vec![0u32; n + 1];
+    for &(u, v, _) in &edges {
+        inc_off[u as usize + 1] += 1;
+        inc_off[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        inc_off[i + 1] += inc_off[i];
+    }
+    let mut inc_idx = vec![0u32; edges.len() * 2];
+    {
+        let mut cursor = inc_off.clone();
+        for (i, &(u, v, _)) in edges.iter().enumerate() {
+            inc_idx[cursor[u as usize] as usize] = i as u32;
+            cursor[u as usize] += 1;
+            inc_idx[cursor[v as usize] as usize] = i as u32;
+            cursor[v as usize] += 1;
+        }
+    }
+
+    let mut sv: Vec<u32> = (0..n as u32).collect();
+    let mut mst_edges: Vec<u32> = Vec::new();
+    let mut rounds = Vec::new();
+
+    loop {
+        // Member lists: vertices of each active supervertex (counting sort).
+        let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for v in 0..n {
+            members[sv[v] as usize].push(v as VertexId);
+        }
+        let active: Vec<u32> = (0..n as u32)
+            .filter(|&f| !members[f as usize].is_empty())
+            .collect();
+
+        // --- Phase FM: elect each supervertex's minimum outgoing edge. ---
+        let t_fm = Instant::now();
+        let min_slot: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(EMPTY)).collect();
+        match dir {
+            Direction::Push => {
+                // Every edge overrides both endpoint supervertices' slots
+                // (Algorithm 7 lines 10-14): shared writes, CAS-min.
+                edges.par_iter().enumerate().for_each(|(i, &(u, v, w))| {
+                    probe.branch_cond();
+                    let (su, svv) = (sv[u as usize], sv[v as usize]);
+                    if su != svv {
+                        let packed = pack(w, i as u32);
+                        for s in [su, svv] {
+                            // W(i): write conflict on min_e[s] (§4.7).
+                            let (_, attempts) = atomic_min_u64(&min_slot[s as usize], packed);
+                            for _ in 0..attempts {
+                                probe.atomic_rmw(addr_of_index(&min_slot, s as usize), 8);
+                            }
+                        }
+                    }
+                });
+            }
+            Direction::Pull => {
+                // Each supervertex picks its own minimum (lines 15-17): the
+                // slot is private to the task — no synchronization.
+                active.par_iter().for_each(|&f| {
+                    let mut best = EMPTY;
+                    for &v in &members[f as usize] {
+                        let lo = inc_off[v as usize] as usize;
+                        let hi = inc_off[v as usize + 1] as usize;
+                        for &ei in &inc_idx[lo..hi] {
+                            probe.branch_cond();
+                            let (u, w2, wt) = edges[ei as usize];
+                            let other = if u == v { w2 } else { u };
+                            // R: read conflict on the neighbor's label.
+                            probe.read(addr_of_index(&sv, other as usize), 4);
+                            if sv[other as usize] != f {
+                                best = best.min(pack(wt, ei));
+                            }
+                        }
+                    }
+                    probe.write(addr_of_index(&min_slot, f as usize), 8);
+                    min_slot[f as usize].store(best, Ordering::Relaxed);
+                });
+            }
+        }
+        let fm = t_fm.elapsed();
+
+        // --- Phase BMT: merge pointers, cycle breaking, pointer jumping. ---
+        let t_bmt = Instant::now();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        let mut any_merge = false;
+        for &f in &active {
+            let slot = min_slot[f as usize].load(Ordering::Relaxed);
+            if slot != EMPTY {
+                let (u, v, _) = edges[unpack_idx(slot) as usize];
+                let target = if sv[u as usize] == f {
+                    sv[v as usize]
+                } else {
+                    sv[u as usize]
+                };
+                parent[f as usize] = target;
+                any_merge = true;
+            }
+        }
+        if !any_merge {
+            rounds.push(MstRoundInfo {
+                round: rounds.len(),
+                supervertices: active.len(),
+                find_min: fm,
+                build_merge_tree: t_bmt.elapsed(),
+                merge: Duration::ZERO,
+            });
+            break;
+        }
+        // Break mutual pairs: the lower label roots the merged tree.
+        for &f in &active {
+            let p = parent[f as usize];
+            if parent[p as usize] == f && f < p {
+                parent[f as usize] = f;
+            }
+        }
+        // Pointer jumping to the root (O(log n) sweeps).
+        loop {
+            let mut changed = false;
+            for &f in &active {
+                let p = parent[f as usize];
+                let gp = parent[p as usize];
+                if p != gp {
+                    parent[f as usize] = gp;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Every non-root supervertex contributes its elected edge.
+        for &f in &active {
+            if parent[f as usize] != f {
+                let slot = min_slot[f as usize].load(Ordering::Relaxed);
+                debug_assert_ne!(slot, EMPTY, "non-root must have an edge");
+                mst_edges.push(unpack_idx(slot));
+            }
+        }
+        let bmt = t_bmt.elapsed();
+
+        // --- Phase M: relabel vertices to their root supervertex. ---
+        let t_m = Instant::now();
+        match dir {
+            Direction::Push => {
+                // Scatter the root label into merged members (remote-style
+                // stores through an atomic view of the label array).
+                let sv_cells: Vec<std::sync::atomic::AtomicU32> =
+                    sv.iter().map(|&s| std::sync::atomic::AtomicU32::new(s)).collect();
+                active.par_iter().for_each(|&f| {
+                    let root = parent[f as usize];
+                    if root != f {
+                        for &v in &members[f as usize] {
+                            probe.atomic_rmw(addr_of_index(&sv_cells, v as usize), 4);
+                            sv_cells[v as usize].store(root, Ordering::Relaxed);
+                        }
+                    }
+                });
+                sv = sv_cells.into_iter().map(|c| c.into_inner()).collect();
+            }
+            Direction::Pull => {
+                // Every vertex looks up its own root: owned writes only.
+                let parent_ref = &parent;
+                sv.par_iter_mut().for_each(|s| {
+                    probe.read(addr_of_index(parent_ref, *s as usize), 4);
+                    *s = parent_ref[*s as usize];
+                });
+            }
+        }
+        let m = t_m.elapsed();
+
+        rounds.push(MstRoundInfo {
+            round: rounds.len(),
+            supervertices: active.len(),
+            find_min: fm,
+            build_merge_tree: bmt,
+            merge: m,
+        });
+    }
+
+    mst_edges.sort_unstable();
+    mst_edges.dedup();
+    let chosen: Vec<(VertexId, VertexId, Weight)> =
+        mst_edges.iter().map(|&i| edges[i as usize]).collect();
+    let total_weight = chosen.iter().map(|&(_, _, w)| w as u64).sum();
+    MstResult {
+        edges: chosen,
+        total_weight,
+        rounds,
+    }
+}
+
+#[inline]
+fn pack(weight: Weight, idx: u32) -> u64 {
+    ((weight as u64) << 32) | idx as u64
+}
+
+#[inline]
+fn unpack_idx(packed: u64) -> u32 {
+    packed as u32
+}
+
+/// Sequential Kruskal reference (union–find) for validation.
+pub fn kruskal_seq(g: &CsrGraph) -> (Vec<(VertexId, VertexId, Weight)>, u64) {
+    assert!(g.is_weighted());
+    let n = g.num_vertices();
+    let mut edges: Vec<(Weight, VertexId, VertexId)> =
+        g.edges().map(|(u, v, w)| (w, u, v)).collect();
+    edges.sort_unstable();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut chosen = Vec::new();
+    let mut total = 0u64;
+    for (w, u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+            chosen.push((u, v, w));
+            total += w as u64;
+        }
+    }
+    (chosen, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::{gen, GraphBuilder};
+    use pp_telemetry::CountingProbe;
+
+    fn weighted(seed: u64) -> CsrGraph {
+        gen::with_random_weights(&gen::rmat(7, 5, seed), 1, 1000, seed ^ 0xff)
+    }
+
+    #[test]
+    fn matches_kruskal_weight_on_random_graphs() {
+        for seed in 0..4 {
+            let g = weighted(seed);
+            let (_, expected) = kruskal_seq(&g);
+            for dir in Direction::BOTH {
+                let r = boruvka(&g, dir);
+                assert_eq!(r.total_weight, expected, "{dir:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn spanning_tree_edge_count() {
+        // A connected graph's MST has exactly n-1 edges.
+        let g = gen::with_random_weights(&gen::road_grid(7, 8, 0.8, 2), 1, 50, 3);
+        assert!(pp_graph::stats::is_connected(&g));
+        for dir in Direction::BOTH {
+            let r = boruvka(&g, dir);
+            assert_eq!(r.edges.len(), g.num_vertices() - 1, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        // Two components: n - 2 edges in the spanning forest.
+        let g = GraphBuilder::undirected(6)
+            .weighted_edges([(0, 1, 3), (1, 2, 4), (3, 4, 1), (4, 5, 2)])
+            .build();
+        for dir in Direction::BOTH {
+            let r = boruvka(&g, dir);
+            assert_eq!(r.edges.len(), 4, "{dir:?}");
+            assert_eq!(r.total_weight, 10);
+        }
+    }
+
+    #[test]
+    fn unique_mst_matches_exactly() {
+        // Distinct weights ⇒ unique MST ⇒ identical edge sets across
+        // directions and the reference.
+        let g = GraphBuilder::undirected(5)
+            .weighted_edges([
+                (0, 1, 10),
+                (0, 2, 20),
+                (1, 2, 30),
+                (1, 3, 40),
+                (2, 4, 50),
+                (3, 4, 60),
+            ])
+            .build();
+        let (mut kedges, kw) = kruskal_seq(&g);
+        kedges.sort_unstable();
+        for dir in Direction::BOTH {
+            let mut r = boruvka(&g, dir);
+            r.edges.sort_unstable();
+            assert_eq!(r.edges, kedges, "{dir:?}");
+            assert_eq!(r.total_weight, kw);
+        }
+    }
+
+    #[test]
+    fn heavy_ties_still_yield_optimal_weight() {
+        // All weights equal: any spanning tree is minimal; weight must be
+        // (n-1)·w.
+        let g = GraphBuilder::undirected(8)
+            .weighted_edges(
+                gen::complete(8)
+                    .edges()
+                    .map(|(u, v, _)| (u, v, 7))
+                    .collect::<Vec<_>>(),
+            )
+            .build();
+        for dir in Direction::BOTH {
+            let r = boruvka(&g, dir);
+            assert_eq!(r.total_weight, 7 * 7, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let g = gen::with_random_weights(&gen::path(64), 1, 9, 4);
+        for dir in Direction::BOTH {
+            let r = boruvka(&g, dir);
+            assert!(
+                r.rounds.len() <= 8,
+                "{dir:?}: {} rounds for 64 vertices",
+                r.rounds.len()
+            );
+            // Supervertex counts decline geometrically.
+            for pair in r.rounds.windows(2) {
+                assert!(pair[1].supervertices <= pair[0].supervertices);
+            }
+        }
+    }
+
+    #[test]
+    fn push_uses_cas_pull_does_not() {
+        // §4.7: pushing resolves FM write conflicts via CAS; pulling has
+        // only private writes.
+        let g = weighted(9);
+        let probe = CountingProbe::new();
+        boruvka_probed(&g, Direction::Push, &probe);
+        assert!(probe.counts().atomics > 0);
+
+        let probe = CountingProbe::new();
+        boruvka_probed(&g, Direction::Pull, &probe);
+        assert_eq!(probe.counts().atomics, 0);
+        assert_eq!(probe.counts().locks, 0);
+    }
+
+    #[test]
+    fn single_vertex_and_empty() {
+        let empty = GraphBuilder::undirected(0)
+            .weighted_edges(std::iter::empty::<(u32, u32, u32)>())
+            .build();
+        let single = GraphBuilder::undirected(1)
+            .weighted_edges(std::iter::empty::<(u32, u32, u32)>())
+            .build();
+        for dir in Direction::BOTH {
+            assert_eq!(boruvka(&empty, dir).edges.len(), 0);
+            assert_eq!(boruvka(&single, dir).total_weight, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires edge weights")]
+    fn rejects_unweighted() {
+        boruvka(&gen::path(3), Direction::Push);
+    }
+}

@@ -1,0 +1,208 @@
+//! Prim's MST with push/pull key maintenance (§3.7 notes that pushing and
+//! pulling in Prim are covered in the paper's technical report).
+//!
+//! Prim grows one tree; each round adds the non-tree vertex with the
+//! cheapest edge into the tree. The dichotomy lives in the *key update*
+//! after a vertex joins:
+//!
+//! * **push**: the newly added vertex scatters improved keys into its
+//!   non-tree neighbors (writes to vertices it does not own);
+//! * **pull**: every non-tree vertex checks its own adjacency against the
+//!   newcomer and updates its own key (owner-only writes, one adjacency
+//!   probe per vertex per round).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pp_graph::{CsrGraph, VertexId, Weight};
+use pp_telemetry::{addr_of_index, NullProbe, Probe};
+use rayon::prelude::*;
+
+use crate::sync::atomic_min_u64;
+use crate::Direction;
+
+/// Result of a Prim run: tree edges and their total weight. On a
+/// disconnected graph only the root's component is spanned.
+#[derive(Clone, Debug)]
+pub struct PrimResult {
+    /// Chosen tree edges `(tree_vertex, added_vertex, weight)`.
+    pub edges: Vec<(VertexId, VertexId, Weight)>,
+    /// Total weight of the tree.
+    pub total_weight: u64,
+}
+
+/// Prim from `root` with the default probe.
+pub fn prim(g: &CsrGraph, root: VertexId, dir: Direction) -> PrimResult {
+    prim_probed(g, root, dir, &NullProbe)
+}
+
+/// Instrumented Prim.
+pub fn prim_probed<P: Probe>(
+    g: &CsrGraph,
+    root: VertexId,
+    dir: Direction,
+    probe: &P,
+) -> PrimResult {
+    assert!(g.is_weighted(), "Prim requires edge weights");
+    let n = g.num_vertices();
+    assert!((root as usize) < n);
+
+    const NO_KEY: u64 = u64::MAX;
+    // key[w] packs (weight << 32 | tree-parent) so a CAS-min keeps both.
+    let key: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NO_KEY)).collect();
+    let mut in_tree = vec![false; n];
+    in_tree[root as usize] = true;
+    let mut edges = Vec::new();
+    let mut total = 0u64;
+
+    let mut newcomer = root;
+    loop {
+        // --- Key update for the newcomer's neighborhood. ---
+        match dir {
+            Direction::Push => {
+                // Scatter: the newcomer updates its neighbors' keys. A CAS
+                // keeps the code shape identical to the concurrent multi-
+                // source variants even though rounds add one vertex.
+                let in_tree_ref = &in_tree;
+                g.weighted_neighbors(newcomer)
+                    .collect::<Vec<_>>()
+                    .par_iter()
+                    .for_each(|&(w, wt)| {
+                        probe.branch_cond();
+                        if !in_tree_ref[w as usize] {
+                            let packed = ((wt as u64) << 32) | newcomer as u64;
+                            let (updated, attempts) =
+                                atomic_min_u64(&key[w as usize], packed);
+                            if updated {
+                                for _ in 0..attempts {
+                                    probe.atomic_rmw(addr_of_index(&key, w as usize), 8);
+                                }
+                            }
+                        }
+                    });
+            }
+            Direction::Pull => {
+                // Gather: every non-tree vertex probes its own adjacency
+                // against the newcomer and improves its own key.
+                let in_tree_ref = &in_tree;
+                (0..n as VertexId).into_par_iter().for_each(|w| {
+                    probe.branch_cond();
+                    if in_tree_ref[w as usize] {
+                        return;
+                    }
+                    probe.read(addr_of_index(in_tree_ref, newcomer as usize), 1);
+                    if let Some(wt) = g.edge_weight(w, newcomer) {
+                        let packed = ((wt as u64) << 32) | newcomer as u64;
+                        let cur = key[w as usize].load(Ordering::Relaxed);
+                        if packed < cur {
+                            probe.write(addr_of_index(&key, w as usize), 8);
+                            // Owner-only write: w is processed by exactly
+                            // one task.
+                            key[w as usize].store(packed, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        }
+
+        // --- Select the cheapest fringe vertex. ---
+        let best = (0..n as VertexId)
+            .into_par_iter()
+            .filter(|&w| !in_tree[w as usize])
+            .map(|w| (key[w as usize].load(Ordering::Relaxed), w))
+            .min();
+        match best {
+            Some((packed, w)) if packed != NO_KEY => {
+                let parent = (packed & 0xFFFF_FFFF) as VertexId;
+                let wt = (packed >> 32) as Weight;
+                in_tree[w as usize] = true;
+                edges.push((parent, w, wt));
+                total += wt as u64;
+                newcomer = w;
+            }
+            _ => break, // component exhausted (or no vertices left)
+        }
+    }
+
+    PrimResult {
+        edges,
+        total_weight: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::kruskal_seq;
+    use pp_graph::{gen, stats, GraphBuilder};
+    use pp_telemetry::CountingProbe;
+
+    #[test]
+    fn matches_kruskal_on_connected_graphs() {
+        for seed in 0..3 {
+            let g = gen::with_random_weights(&gen::road_grid(6, 7, 0.7, seed), 1, 99, seed);
+            assert!(stats::is_connected(&g));
+            let (_, expected) = kruskal_seq(&g);
+            for dir in Direction::BOTH {
+                let r = prim(&g, 0, dir);
+                assert_eq!(r.total_weight, expected, "{dir:?} seed {seed}");
+                assert_eq!(r.edges.len(), g.num_vertices() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_boruvka_weight() {
+        let g = gen::with_random_weights(&gen::rmat(6, 6, 5), 1, 500, 5);
+        // Boruvka spans all components; compare on the root component by
+        // using a connected graph.
+        if stats::is_connected(&g) {
+            let b = crate::mst::boruvka(&g, Direction::Pull);
+            let p = prim(&g, 0, Direction::Push);
+            assert_eq!(p.total_weight, b.total_weight);
+        }
+    }
+
+    #[test]
+    fn spans_only_the_roots_component() {
+        let g = GraphBuilder::undirected(5)
+            .weighted_edges([(0, 1, 2), (1, 2, 3), (3, 4, 7)])
+            .build();
+        for dir in Direction::BOTH {
+            let r = prim(&g, 0, dir);
+            assert_eq!(r.total_weight, 5, "{dir:?}");
+            assert_eq!(r.edges.len(), 2);
+            let r = prim(&g, 3, dir);
+            assert_eq!(r.total_weight, 7, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn tree_edges_are_real_edges() {
+        let g = gen::with_random_weights(&gen::rmat(5, 4, 8), 1, 50, 8);
+        let r = prim(&g, 0, Direction::Pull);
+        for (u, v, w) in r.edges {
+            assert_eq!(g.edge_weight(u, v), Some(w));
+        }
+    }
+
+    #[test]
+    fn push_synchronizes_pull_does_not() {
+        let g = gen::with_random_weights(&gen::complete(24), 1, 9999, 3);
+        let probe = CountingProbe::new();
+        prim_probed(&g, 0, Direction::Push, &probe);
+        assert!(probe.counts().atomics > 0);
+        let probe = CountingProbe::new();
+        prim_probed(&g, 0, Direction::Pull, &probe);
+        assert_eq!(probe.counts().atomics, 0);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = GraphBuilder::undirected(1)
+            .weighted_edges(std::iter::empty::<(u32, u32, u32)>())
+            .build();
+        let r = prim(&g, 0, Direction::Push);
+        assert_eq!(r.total_weight, 0);
+        assert!(r.edges.is_empty());
+    }
+}

@@ -1,0 +1,377 @@
+//! Δ-stepping single-source shortest paths in push and pull form
+//! (§3.4, §4.4, Algorithm 4).
+//!
+//! The algorithm proceeds in *epochs*, one per distance bucket of width Δ;
+//! within an epoch, *phases* repeat until the bucket stops changing. The
+//! push variant relaxes outgoing edges of bucket members with CAS-min
+//! atomics on the shared distance array; the pull variant has every
+//! unsettled vertex scan its neighbors for active bucket members and relax
+//! its own distance — no synchronization, more reads. Per-epoch timings are
+//! recorded to regenerate Figure 2.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pp_graph::{BlockPartition, CsrGraph, VertexId};
+use pp_telemetry::{addr_of_index, NullProbe, Probe};
+use rayon::prelude::*;
+
+use crate::sync::atomic_min_u64;
+use crate::Direction;
+
+/// Distance of an unreached vertex.
+pub const INF: u64 = u64::MAX;
+
+/// Δ-stepping parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SsspOptions {
+    /// Bucket width Δ. Δ = 1 degenerates to Dijkstra-like behaviour, large Δ
+    /// to Bellman-Ford (§3.4); Figure 2c sweeps this.
+    pub delta: u64,
+}
+
+impl Default for SsspOptions {
+    fn default() -> Self {
+        Self { delta: 16 }
+    }
+}
+
+/// Statistics for one epoch (one bucket).
+#[derive(Clone, Copy, Debug)]
+pub struct EpochInfo {
+    /// Bucket index `b` (distances in `[bΔ, (b+1)Δ)`).
+    pub bucket: u64,
+    /// Inner phases until the bucket settled.
+    pub phases: usize,
+    /// Edge relaxations attempted in the epoch.
+    pub relaxations: u64,
+    /// Wall-clock time of the epoch.
+    pub time: Duration,
+}
+
+/// Result of a Δ-stepping run.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// Shortest distance from the root ([`INF`] if unreachable).
+    pub dist: Vec<u64>,
+    /// Per-epoch statistics (Figure 2 plots epoch times).
+    pub epochs: Vec<EpochInfo>,
+}
+
+/// Δ-stepping from `root` with the default probe.
+pub fn sssp_delta(g: &CsrGraph, root: VertexId, dir: Direction, opts: &SsspOptions) -> SsspResult {
+    sssp_delta_probed(g, root, dir, opts, &NullProbe)
+}
+
+/// Instrumented Δ-stepping.
+pub fn sssp_delta_probed<P: Probe>(
+    g: &CsrGraph,
+    root: VertexId,
+    dir: Direction,
+    opts: &SsspOptions,
+    probe: &P,
+) -> SsspResult {
+    assert!(g.is_weighted(), "Δ-stepping requires edge weights");
+    assert!(opts.delta >= 1, "Δ must be at least 1");
+    assert!((root as usize) < g.num_vertices(), "root out of range");
+    match dir {
+        Direction::Push => sssp_push(g, root, opts, probe),
+        Direction::Pull => sssp_pull(g, root, opts, probe),
+    }
+}
+
+/// Sequential Dijkstra reference for validation.
+pub fn dijkstra(g: &CsrGraph, root: VertexId) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    dist[root as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, root)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (w, wt) in g.weighted_neighbors(v) {
+            let nd = d + wt as u64;
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+    dist
+}
+
+/// Next bucket containing a finite unsettled distance strictly above `b`,
+/// or `None` when every finite distance is settled.
+fn next_bucket(dist: &[AtomicU64], delta: u64, b: u64) -> Option<u64> {
+    dist.par_iter()
+        .filter_map(|d| {
+            let d = d.load(Ordering::Relaxed);
+            (d != INF && d / delta > b).then_some(d / delta)
+        })
+        .min()
+}
+
+fn sssp_push<P: Probe>(g: &CsrGraph, root: VertexId, opts: &SsspOptions, probe: &P) -> SsspResult {
+    let n = g.num_vertices();
+    let delta = opts.delta;
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[root as usize].store(0, Ordering::Relaxed);
+
+    // Bucket work-lists; lazily validated on drain (a vertex whose distance
+    // improved out of the bucket is skipped).
+    let mut buckets: Vec<Vec<VertexId>> = vec![vec![root]];
+    let mut epochs = Vec::new();
+    let mut b = 0u64;
+
+    loop {
+        let started = Instant::now();
+        let mut phases = 0usize;
+        let relaxations = AtomicU64::new(0);
+        while (b as usize) < buckets.len() && !buckets[b as usize].is_empty() {
+            phases += 1;
+            let mut frontier = std::mem::take(&mut buckets[b as usize]);
+            frontier.sort_unstable();
+            frontier.dedup();
+            // Lazy validation: only vertices still in this bucket count.
+            frontier.retain(|&v| dist[v as usize].load(Ordering::Relaxed) / delta == b);
+            if frontier.is_empty() {
+                break;
+            }
+            // Relax all outgoing edges of the bucket members; collect
+            // re-insertions per thread (the my_F pattern of Algorithm 3).
+            let inserts: Vec<(u64, VertexId)> = frontier
+                .par_iter()
+                .fold(Vec::new, |mut acc, &v| {
+                    let dv = dist[v as usize].load(Ordering::Relaxed);
+                    for (w, wt) in g.weighted_neighbors(v) {
+                        relaxations.fetch_add(1, Ordering::Relaxed);
+                        probe.branch_cond();
+                        let cand = dv.saturating_add(wt as u64);
+                        probe.read(addr_of_index(&dist, w as usize), 8);
+                        // W(i): write conflict on d[w]; CAS-min (§4.4).
+                        let (updated, attempts) = atomic_min_u64(&dist[w as usize], cand);
+                        for _ in 0..attempts {
+                            probe.atomic_rmw(addr_of_index(&dist, w as usize), 8);
+                        }
+                        if updated {
+                            acc.push((cand / delta, w));
+                        }
+                    }
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+            for (bk, w) in inserts {
+                let bk = bk as usize;
+                if bk >= buckets.len() {
+                    buckets.resize_with(bk + 1, Vec::new);
+                }
+                buckets[bk].push(w);
+            }
+        }
+        epochs.push(EpochInfo {
+            bucket: b,
+            phases,
+            relaxations: relaxations.into_inner(),
+            time: started.elapsed(),
+        });
+        match next_bucket(&dist, delta, b) {
+            Some(nb) => b = nb,
+            None => break,
+        }
+    }
+
+    SsspResult {
+        dist: dist.into_iter().map(AtomicU64::into_inner).collect(),
+        epochs,
+    }
+}
+
+fn sssp_pull<P: Probe>(g: &CsrGraph, root: VertexId, opts: &SsspOptions, probe: &P) -> SsspResult {
+    let n = g.num_vertices();
+    let delta = opts.delta;
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[root as usize].store(0, Ordering::Relaxed);
+    let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
+
+    let mut epochs = Vec::new();
+    let mut b = 0u64;
+
+    loop {
+        let started = Instant::now();
+        let mut phases = 0usize;
+        let relaxations = AtomicU64::new(0);
+        // itr == 0: every bucket member is an implicit source (Algorithm 4
+        // line 24's `active[w] or itr == 0`).
+        let mut active: Vec<AtomicBool> = (0..n)
+            .map(|v| {
+                let d = dist[v].load(Ordering::Relaxed);
+                AtomicBool::new(d != INF && d / delta == b)
+            })
+            .collect();
+        loop {
+            phases += 1;
+            let next_active: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+            let changed = AtomicBool::new(false);
+            (0..part.num_parts()).into_par_iter().for_each(|t| {
+                for v in part.range(t) {
+                    let dv = dist[v as usize].load(Ordering::Relaxed);
+                    probe.branch_cond();
+                    // Only vertices that can still improve relative to this
+                    // bucket participate as targets (line 23: d[v] > b).
+                    if dv <= b * delta {
+                        continue;
+                    }
+                    let mut best = dv;
+                    for (w, wt) in g.weighted_neighbors(v) {
+                        relaxations.fetch_add(1, Ordering::Relaxed);
+                        // R: read conflicts on d[w] and active[w] (§4.4).
+                        probe.read(addr_of_index(&dist, w as usize), 8);
+                        probe.read(addr_of_index(&active, w as usize), 1);
+                        probe.branch_cond();
+                        let dw = dist[w as usize].load(Ordering::Relaxed);
+                        if dw != INF
+                            && dw / delta == b
+                            && active[w as usize].load(Ordering::Relaxed)
+                        {
+                            best = best.min(dw.saturating_add(wt as u64));
+                        }
+                    }
+                    if best < dv {
+                        // Own-cell write: t[v] == t, no conflict (§3.8).
+                        probe.write(addr_of_index(&dist, v as usize), 8);
+                        dist[v as usize].store(best, Ordering::Relaxed);
+                        if best / delta == b {
+                            next_active[v as usize].store(true, Ordering::Relaxed);
+                            changed.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+            if !changed.into_inner() {
+                break;
+            }
+            active = next_active;
+        }
+        epochs.push(EpochInfo {
+            bucket: b,
+            phases,
+            relaxations: relaxations.into_inner(),
+            time: started.elapsed(),
+        });
+        match next_bucket(&dist, delta, b) {
+            Some(nb) => b = nb,
+            None => break,
+        }
+    }
+
+    SsspResult {
+        dist: dist.into_iter().map(AtomicU64::into_inner).collect(),
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::{gen, GraphBuilder};
+    use pp_telemetry::CountingProbe;
+
+    fn weighted_test_graphs() -> Vec<CsrGraph> {
+        vec![
+            gen::with_random_weights(&gen::path(40), 1, 20, 1),
+            gen::with_random_weights(&gen::rmat(7, 4, 5), 1, 50, 2),
+            gen::with_random_weights(&gen::road_grid(8, 9, 0.7, 4), 1, 9, 3),
+            gen::with_random_weights(&gen::complete(20), 1, 100, 4),
+        ]
+    }
+
+    #[test]
+    fn matches_dijkstra_for_both_directions_and_various_delta() {
+        for g in weighted_test_graphs() {
+            let reference = dijkstra(&g, 0);
+            for dir in Direction::BOTH {
+                for delta in [1, 4, 64, 1 << 20] {
+                    let r = sssp_delta(&g, 0, dir, &SsspOptions { delta });
+                    assert_eq!(r.dist, reference, "{dir:?} Δ={delta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        let g = GraphBuilder::undirected(4)
+            .weighted_edges([(0, 1, 5)])
+            .build();
+        for dir in Direction::BOTH {
+            let r = sssp_delta(&g, 0, dir, &SsspOptions::default());
+            assert_eq!(r.dist, vec![0, 5, INF, INF]);
+        }
+    }
+
+    #[test]
+    fn trivial_single_vertex() {
+        let g = GraphBuilder::undirected(1)
+            .weighted_edges(std::iter::empty::<(u32, u32, u32)>())
+            .build();
+        for dir in Direction::BOTH {
+            let r = sssp_delta(&g, 0, dir, &SsspOptions::default());
+            assert_eq!(r.dist, vec![0]);
+            assert_eq!(r.epochs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn epoch_count_shrinks_with_larger_delta() {
+        // Figure 2c's mechanism: larger Δ ⇒ fewer buckets ⇒ fewer epochs.
+        let g = gen::with_random_weights(&gen::rmat(8, 4, 9), 1, 100, 7);
+        let small = sssp_delta(&g, 0, Direction::Push, &SsspOptions { delta: 2 });
+        let large = sssp_delta(&g, 0, Direction::Push, &SsspOptions { delta: 1 << 12 });
+        assert!(small.epochs.len() > large.epochs.len());
+        assert_eq!(large.epochs.len(), 1, "huge Δ is Bellman-Ford: one epoch");
+    }
+
+    #[test]
+    fn push_uses_cas_pull_uses_none() {
+        // §4.4: push resolves each relaxation with a CAS; pull needs none.
+        let g = gen::with_random_weights(&gen::rmat(7, 4, 3), 1, 30, 5);
+        let probe = CountingProbe::new();
+        sssp_delta_probed(&g, 0, Direction::Push, &SsspOptions::default(), &probe);
+        assert!(probe.counts().atomics > 0);
+        assert_eq!(probe.counts().locks, 0);
+
+        let probe = CountingProbe::new();
+        sssp_delta_probed(&g, 0, Direction::Pull, &SsspOptions::default(), &probe);
+        assert_eq!(probe.counts().atomics, 0);
+        assert_eq!(probe.counts().locks, 0);
+    }
+
+    #[test]
+    fn pull_relaxes_more_edges_than_push() {
+        // §4.4 cost asymmetry: pull scans all unsettled vertices' edges each
+        // phase; push touches only the current bucket's edges.
+        let g = gen::with_random_weights(&gen::road_grid(10, 10, 0.7, 2), 1, 9, 6);
+        let push = sssp_delta(&g, 0, Direction::Push, &SsspOptions { delta: 4 });
+        let pull = sssp_delta(&g, 0, Direction::Pull, &SsspOptions { delta: 4 });
+        let push_total: u64 = push.epochs.iter().map(|e| e.relaxations).sum();
+        let pull_total: u64 = pull.epochs.iter().map(|e| e.relaxations).sum();
+        assert!(
+            pull_total > 2 * push_total,
+            "pull {pull_total} vs push {push_total}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires edge weights")]
+    fn rejects_unweighted_graphs() {
+        let g = gen::path(4);
+        sssp_delta(&g, 0, Direction::Push, &SsspOptions::default());
+    }
+}

@@ -1,0 +1,92 @@
+//! The acceleration strategies of §5, as a catalog and a reusable switching
+//! controller.
+//!
+//! The strategies themselves are implemented inside the algorithms they
+//! specialize — this module re-exports them and provides the shared
+//! threshold machinery:
+//!
+//! | Strategy | Reduces | Lives in |
+//! |----------|---------|----------|
+//! | Partition-Awareness (PA) | atomics in pushing | [`crate::pagerank::pagerank_push_pa`] |
+//! | Frontier-Exploit (FE) | reads/writes in both | [`crate::coloring::frontier_exploit`] |
+//! | Generic-Switch (GS) | iteration count | [`crate::coloring::generic_switch`], [`crate::bfs::BfsMode::DirectionOptimizing`] |
+//! | Greedy-Switch (GrS) | parallel tail overhead | [`crate::coloring::greedy_switch`] |
+//! | Conflict-Removal (CR) | conflicts entirely | [`crate::coloring::conflict_removal`] |
+
+pub use crate::bfs::BfsMode;
+pub use crate::coloring::{conflict_removal, frontier_exploit, generic_switch, greedy_switch};
+pub use crate::pagerank::pagerank_push_pa;
+
+use crate::Direction;
+
+/// A hysteresis-based direction switcher: the generic mechanism behind both
+/// direction-optimizing BFS and Generic-Switch coloring (§5). The measured
+/// quantity is algorithm-specific (frontier arc share, conflict share); the
+/// controller turns it into a direction with two thresholds so the decision
+/// does not flap.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchController {
+    /// Switch Push→Pull when the load share rises above this.
+    pub to_pull_above: f64,
+    /// Switch Pull→Push when the load share falls below this.
+    pub to_push_below: f64,
+    current: Direction,
+}
+
+impl SwitchController {
+    /// A controller starting in the given direction.
+    pub fn new(start: Direction, to_pull_above: f64, to_push_below: f64) -> Self {
+        assert!(
+            to_push_below <= to_pull_above,
+            "hysteresis window must be ordered"
+        );
+        Self {
+            to_pull_above,
+            to_push_below,
+            current: start,
+        }
+    }
+
+    /// The direction currently selected.
+    pub fn current(&self) -> Direction {
+        self.current
+    }
+
+    /// Feeds the latest load share (0..1) and returns the direction to use
+    /// next.
+    pub fn observe(&mut self, load_share: f64) -> Direction {
+        self.current = match self.current {
+            Direction::Push if load_share > self.to_pull_above => Direction::Pull,
+            Direction::Pull if load_share < self.to_push_below => Direction::Push,
+            d => d,
+        };
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switches_with_hysteresis() {
+        let mut c = SwitchController::new(Direction::Push, 0.6, 0.2);
+        assert_eq!(c.observe(0.5), Direction::Push, "below high threshold");
+        assert_eq!(c.observe(0.7), Direction::Pull, "crossed high threshold");
+        assert_eq!(c.observe(0.4), Direction::Pull, "inside hysteresis band");
+        assert_eq!(c.observe(0.1), Direction::Push, "below low threshold");
+    }
+
+    #[test]
+    fn stable_at_boundaries() {
+        let mut c = SwitchController::new(Direction::Push, 0.5, 0.5);
+        assert_eq!(c.observe(0.5), Direction::Push, "equal is not above");
+        assert_eq!(c.observe(0.500001), Direction::Pull);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis window")]
+    fn rejects_inverted_window() {
+        SwitchController::new(Direction::Push, 0.2, 0.6);
+    }
+}

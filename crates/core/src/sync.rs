@@ -1,0 +1,317 @@
+//! Synchronization building blocks for the push variants.
+//!
+//! The paper's push algorithms resolve write conflicts with CPU atomics
+//! (FAA/CAS on integers, §2.3) or — where the payload is floating point and
+//! no CPU atomic exists (§4.1) — with locks. This module provides both:
+//! a CAS-loop [`AtomicF64`], a sharded lock table ([`ShardedLocks`]), an
+//! atomic-min helper, and [`SyncSlice`], the unsafe-but-audited shared slice
+//! used where a partition proof guarantees disjoint writes (the
+//! partition-aware local phase of §5).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// An `f64` updatable with atomic read-modify-write built from a CAS loop on
+/// the bit representation. The paper notes no CPU offers float atomics; this
+/// is the software emulation, and instrumented kernels count each
+/// `fetch_add` as one atomic per CAS attempt.
+#[derive(Debug)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// A new atomic with the given value.
+    pub fn new(v: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(v.to_bits()),
+        }
+    }
+
+    /// Relaxed load.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store.
+    #[inline]
+    pub fn store(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomic `+= delta` via a CAS loop; returns the number of CAS attempts
+    /// (≥ 1), which instrumented callers report as atomics.
+    #[inline]
+    pub fn fetch_add(&self, delta: f64) -> u32 {
+        let mut attempts = 1;
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return attempts,
+                Err(actual) => {
+                    cur = actual;
+                    attempts += 1;
+                }
+            }
+        }
+    }
+
+    /// Reinterprets a `&mut [f64]` as atomics. Safe: `AtomicF64` is
+    /// `repr(transparent)`-compatible in layout with `u64`/`f64` and the
+    /// exclusive borrow guarantees no other access during the reborrow.
+    pub fn from_mut_slice(s: &mut [f64]) -> &[AtomicF64] {
+        // SAFETY: AtomicF64 wraps AtomicU64 which has the same size and
+        // alignment as u64/f64; the lifetime ties the cast to the unique
+        // borrow.
+        unsafe { &*(s as *mut [f64] as *const [AtomicF64]) }
+    }
+}
+
+/// Atomic `min` on an `AtomicU64` via CAS; returns `(updated, attempts)`.
+/// Used by Δ-stepping's push relaxation and Boruvka's minimum-edge election.
+#[inline]
+pub fn atomic_min_u64(cell: &AtomicU64, value: u64) -> (bool, u32) {
+    let mut attempts = 0;
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        if value >= cur {
+            return (false, attempts.max(1));
+        }
+        attempts += 1;
+        match cell.compare_exchange_weak(cur, value, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return (true, attempts),
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A table of locks sharded by index: the lock-based alternative for float
+/// accumulation (push PageRank, push BC phase 2). Sharding bounds memory at
+/// a fixed lock count while keeping contention low.
+pub struct ShardedLocks {
+    shards: Vec<Mutex<()>>,
+    mask: usize,
+}
+
+impl ShardedLocks {
+    /// Creates a table with `shards` locks, rounded up to a power of two.
+    pub fn new(shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(1);
+        Self {
+            shards: (0..n).map(|_| Mutex::new(())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Runs `f` while holding the lock guarding index `i`.
+    #[inline]
+    pub fn with<R>(&self, i: usize, f: impl FnOnce() -> R) -> R {
+        // Fibonacci hash spreads consecutive indices across shards.
+        let shard = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15_usize) >> 7) & self.mask;
+        let _guard = self.shards[shard].lock();
+        f()
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false (the table has ≥ 1 shard).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A shared mutable slice for phases where disjointness of writes is
+/// guaranteed *structurally* (each thread writes only vertices it owns —
+/// the defining property of pulling and of the PA local phase, §3.8/§5)
+/// rather than through the type system.
+pub struct SyncSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: Sync requires callers to uphold the disjoint-write contract of
+// `write`; reads of cells concurrently written are excluded by the same
+// contract.
+unsafe impl<T: Send + Sync> Sync for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    /// Wraps an exclusive slice.
+    pub fn new(data: &'a mut [T]) -> Self {
+        // SAFETY: &mut [T] -> &[UnsafeCell<T>] is sound; UnsafeCell<T> has
+        // the same layout as T, and the unique borrow is surrendered to the
+        // wrapper for its lifetime.
+        let data = unsafe { &*(data as *mut [T] as *const [UnsafeCell<T>]) };
+        Self { data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Writes `value` at `i`.
+    ///
+    /// # Safety
+    /// No other thread may read or write index `i` concurrently. In this
+    /// crate every call site is inside a loop over vertices owned by the
+    /// calling thread under a [`pp_graph::BlockPartition`], which makes the
+    /// index sets disjoint.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        *self.data[i].get() = value;
+    }
+
+    /// Reads the value at `i`.
+    ///
+    /// # Safety
+    /// No other thread may write index `i` concurrently.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        *self.data[i].get()
+    }
+
+    /// The address of element `i`, for probe accounting.
+    #[inline]
+    pub fn addr(&self, i: usize) -> usize {
+        self.data[i].get() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn atomic_f64_add_is_exact_under_contention() {
+        let a = AtomicF64::new(0.0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        a.fetch_add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(), 80_000.0);
+    }
+
+    #[test]
+    fn atomic_f64_load_store() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-2.25);
+        assert_eq!(a.load(), -2.25);
+    }
+
+    #[test]
+    fn from_mut_slice_views_in_place() {
+        let mut v = vec![1.0f64, 2.0];
+        {
+            let atomics = AtomicF64::from_mut_slice(&mut v);
+            atomics[0].fetch_add(0.5);
+            atomics[1].store(7.0);
+        }
+        assert_eq!(v, vec![1.5, 7.0]);
+    }
+
+    #[test]
+    fn atomic_min_keeps_minimum() {
+        let c = AtomicU64::new(100);
+        let (updated, _) = atomic_min_u64(&c, 50);
+        assert!(updated);
+        let (updated, _) = atomic_min_u64(&c, 75);
+        assert!(!updated);
+        assert_eq!(c.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn atomic_min_under_contention_finds_global_min() {
+        let c = AtomicU64::new(u64::MAX);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        atomic_min_u64(c, (t * 1000 + i) ^ 0x5a5a);
+                    }
+                });
+            }
+        });
+        let expected = (0..8u64)
+            .flat_map(|t| (0..1000).map(move |i| (t * 1000 + i) ^ 0x5a5a))
+            .min()
+            .unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn sharded_locks_serialize_same_index() {
+        let locks = ShardedLocks::new(16);
+        assert_eq!(locks.len(), 16);
+        let mut total = 0u64;
+        let cell = SyncSlice::new(std::slice::from_mut(&mut total));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let locks = &locks;
+                let cell = &cell;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        locks.with(3, || {
+                            // SAFETY: the shard lock for index 3 serializes
+                            // all accesses to this cell.
+                            unsafe { cell.write(0, cell.read(0) + 1) };
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total, 40_000);
+    }
+
+    #[test]
+    fn sync_slice_disjoint_parallel_writes() {
+        let mut v = vec![0usize; 64];
+        {
+            let s = SyncSlice::new(&mut v);
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let s = &s;
+                    scope.spawn(move || {
+                        for i in (t * 16)..((t + 1) * 16) {
+                            // SAFETY: each thread owns a disjoint range.
+                            unsafe { s.write(i, i * 10) };
+                        }
+                    });
+                }
+            });
+        }
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 10);
+        }
+    }
+
+    #[test]
+    fn sharded_lock_rounds_to_power_of_two() {
+        assert_eq!(ShardedLocks::new(10).len(), 16);
+        assert_eq!(ShardedLocks::new(1).len(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Graph500-style result validators.
+//!
+//! The paper benchmarks BFS "used [by] the HPC benchmark Graph500" (§3.3);
+//! Graph500 specifies an output *validator* rather than a reference output,
+//! because any valid BFS tree is acceptable. These validators implement the
+//! same idea for the traversal results in this workspace, so integration and
+//! property tests can check *specification conformance* instead of
+//! comparing against one blessed implementation (push and pull legitimately
+//! produce different parents for equal-level vertices).
+//!
+//! Each validator returns `Ok(())` or a description of the first violated
+//! rule.
+
+use pp_graph::{CsrGraph, VertexId};
+
+use crate::bfs::{BfsResult, NO_PARENT, UNVISITED};
+use crate::sssp::INF;
+
+/// Validates a BFS tree against the Graph500 rules:
+///
+/// 1. the root has level 0 and is its own parent;
+/// 2. a vertex has a parent iff it has a level;
+/// 3. every tree edge `(parent[v], v)` exists in the graph;
+/// 4. levels increase by exactly one along tree edges;
+/// 5. every graph edge spans at most one level (the BFS "no shortcut" rule);
+/// 6. a vertex is reached iff it is connected to the root (checked via the
+///    edge-spanning rule plus a reachability sweep).
+pub fn validate_bfs(g: &CsrGraph, root: VertexId, r: &BfsResult) -> Result<(), String> {
+    let n = g.num_vertices();
+    if r.parent.len() != n || r.level.len() != n {
+        return Err(format!(
+            "result arrays sized {}/{} for n = {n}",
+            r.parent.len(),
+            r.level.len()
+        ));
+    }
+    if r.level[root as usize] != 0 {
+        return Err(format!("root level is {}", r.level[root as usize]));
+    }
+    if r.parent[root as usize] != root {
+        return Err("root is not its own parent".into());
+    }
+    for v in 0..n {
+        let (p, l) = (r.parent[v], r.level[v]);
+        match (p == NO_PARENT, l == UNVISITED) {
+            (true, true) => continue,
+            (false, true) => return Err(format!("vertex {v} has a parent but no level")),
+            (true, false) => return Err(format!("vertex {v} has a level but no parent")),
+            (false, false) => {}
+        }
+        if v as VertexId != root {
+            if !g.has_edge(p, v as VertexId) {
+                return Err(format!("tree edge ({p}, {v}) not in graph"));
+            }
+            if r.level[p as usize] + 1 != l {
+                return Err(format!(
+                    "tree edge ({p}, {v}) spans levels {} -> {l}",
+                    r.level[p as usize]
+                ));
+            }
+        }
+    }
+    // Rule 5: for undirected graphs each edge connects vertices at most one
+    // level apart, and both endpoints share visited status.
+    if !g.is_directed() {
+        for (u, v, _) in g.edges() {
+            let (lu, lv) = (r.level[u as usize], r.level[v as usize]);
+            match (lu == UNVISITED, lv == UNVISITED) {
+                (true, true) => {}
+                (false, false) => {
+                    if lu.abs_diff(lv) > 1 {
+                        return Err(format!("edge ({u}, {v}) spans levels {lu}/{lv}"));
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "edge ({u}, {v}) crosses the visited/unvisited boundary"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates SSSP distances against the shortest-path optimality conditions:
+///
+/// 1. `dist[root] == 0`;
+/// 2. triangle inequality: `dist[v] ≤ dist[u] + w(u, v)` for every edge;
+/// 3. attainability: every finite `dist[v] > 0` is witnessed by a neighbor
+///    `u` with `dist[v] == dist[u] + w(u, v)`;
+/// 4. unreached vertices have no reached neighbor.
+///
+/// Together these force `dist` to be exactly the shortest-path metric.
+pub fn validate_sssp(g: &CsrGraph, root: VertexId, dist: &[u64]) -> Result<(), String> {
+    let n = g.num_vertices();
+    if dist.len() != n {
+        return Err(format!("dist sized {} for n = {n}", dist.len()));
+    }
+    if dist[root as usize] != 0 {
+        return Err(format!("dist[root] = {}", dist[root as usize]));
+    }
+    for v in g.vertices() {
+        let dv = dist[v as usize];
+        if dv == INF {
+            for (u, _) in g.weighted_neighbors(v) {
+                if dist[u as usize] != INF {
+                    return Err(format!("unreached {v} has reached neighbor {u}"));
+                }
+            }
+            continue;
+        }
+        let mut witnessed = dv == 0;
+        for (u, w) in g.weighted_neighbors(v) {
+            let du = dist[u as usize];
+            if du != INF && du + (w as u64) < dv {
+                return Err(format!(
+                    "triangle violation: dist[{v}] = {dv} > {du} + {w} via {u}"
+                ));
+            }
+            if du != INF && du + w as u64 == dv {
+                witnessed = true;
+            }
+        }
+        if !witnessed {
+            return Err(format!("dist[{v}] = {dv} is not attained by any edge"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a vertex coloring: no edge joins same-colored endpoints and
+/// every vertex is colored (`colors[v] != u32::MAX`).
+pub fn validate_coloring(g: &CsrGraph, colors: &[u32]) -> Result<(), String> {
+    if colors.len() != g.num_vertices() {
+        return Err(format!(
+            "colors sized {} for n = {}",
+            colors.len(),
+            g.num_vertices()
+        ));
+    }
+    if let Some(v) = colors.iter().position(|&c| c == u32::MAX) {
+        return Err(format!("vertex {v} is uncolored"));
+    }
+    for (u, v, _) in g.edges() {
+        if u != v && colors[u as usize] == colors[v as usize] {
+            return Err(format!(
+                "edge ({u}, {v}) endpoints share color {}",
+                colors[u as usize]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a spanning forest: the edges exist in the graph with the
+/// claimed weights, contain no cycle, and connect exactly the graph's
+/// connected components (i.e., the forest has `n - #components` edges).
+pub fn validate_spanning_forest(
+    g: &CsrGraph,
+    edges: &[(VertexId, VertexId, pp_graph::Weight)],
+) -> Result<(), String> {
+    let n = g.num_vertices();
+    let mut dsu = crate::kruskal::DisjointSets::new(n);
+    for &(u, v, w) in edges {
+        if g.edge_weight(u, v) != Some(w) {
+            return Err(format!("({u}, {v}, {w}) is not a graph edge"));
+        }
+        if !dsu.union(u, v) {
+            return Err(format!("edge ({u}, {v}) closes a cycle"));
+        }
+    }
+    let expected = n - pp_graph::stats::num_components(g);
+    if edges.len() != expected {
+        return Err(format!(
+            "forest has {} edges, spanning needs {expected}",
+            edges.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{bfs, BfsMode};
+    use crate::sssp::dijkstra;
+    use pp_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn accepts_real_bfs_results() {
+        let g = gen::rmat(8, 4, 1);
+        for mode in [BfsMode::Push, BfsMode::Pull, BfsMode::direction_optimizing()] {
+            let r = bfs(&g, 0, mode);
+            validate_bfs(&g, 0, &r).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_forged_parent() {
+        let g = gen::path(5);
+        let mut r = bfs(&g, 0, BfsMode::Push);
+        r.parent[4] = 0; // not an edge
+        assert!(validate_bfs(&g, 0, &r).is_err());
+    }
+
+    #[test]
+    fn rejects_level_shortcut() {
+        let g = gen::cycle(6);
+        let mut r = bfs(&g, 0, BfsMode::Push);
+        r.level[3] = 1; // claims a shortcut on the far side of the cycle
+        assert!(validate_bfs(&g, 0, &r).is_err());
+    }
+
+    #[test]
+    fn rejects_unvisited_reachable() {
+        let g = gen::path(4);
+        let mut r = bfs(&g, 0, BfsMode::Push);
+        r.level[3] = crate::bfs::UNVISITED;
+        r.parent[3] = crate::bfs::NO_PARENT;
+        assert!(validate_bfs(&g, 0, &r).is_err());
+    }
+
+    #[test]
+    fn accepts_real_sssp_and_rejects_perturbations() {
+        let g = gen::with_random_weights(&gen::erdos_renyi(60, 150, 2), 1, 9, 2);
+        let mut d = dijkstra(&g, 0);
+        validate_sssp(&g, 0, &d).unwrap();
+        // Any perturbation of a reached vertex breaks a condition.
+        if let Some(v) = (1..60).find(|&v| d[v] != INF) {
+            d[v] += 1;
+            assert!(validate_sssp(&g, 0, &d).is_err());
+        }
+    }
+
+    #[test]
+    fn coloring_validator() {
+        let g = gen::cycle(4);
+        validate_coloring(&g, &[0, 1, 0, 1]).unwrap();
+        assert!(validate_coloring(&g, &[0, 1, 0, 0]).is_err());
+        assert!(validate_coloring(&g, &[0, 1, 0, u32::MAX]).is_err());
+        assert!(validate_coloring(&g, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn forest_validator() {
+        let g = GraphBuilder::undirected(4)
+            .weighted_edges([(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4)])
+            .build();
+        validate_spanning_forest(&g, &[(0, 1, 1), (1, 2, 2), (2, 3, 3)]).unwrap();
+        // Cycle.
+        assert!(
+            validate_spanning_forest(&g, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4)]).is_err()
+        );
+        // Wrong weight.
+        assert!(validate_spanning_forest(&g, &[(0, 1, 7), (1, 2, 2), (2, 3, 3)]).is_err());
+        // Too few edges.
+        assert!(validate_spanning_forest(&g, &[(0, 1, 1)]).is_err());
+    }
+}

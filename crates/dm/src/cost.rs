@@ -1,0 +1,135 @@
+//! The communication cost model and per-rank network statistics.
+
+/// LogGP-style cost parameters, in microseconds (µs) and µs/byte. Defaults
+/// approximate a Cray Aries interconnect with the §6.5 asymmetry between
+//  float accumulates and integer FAAs.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Message/remote-op startup latency α (µs).
+    pub alpha: f64,
+    /// Per-byte transfer cost β (µs/byte).
+    pub beta: f64,
+    /// Extra cost of one remote get beyond α+β·bytes (µs).
+    pub rma_get: f64,
+    /// Extra cost of one remote put (µs).
+    pub rma_put: f64,
+    /// Remote integer FAA — hardware fast path (µs). §6.5: "the utilized
+    /// RMA library offers fast path codes of remote atomic FAAs that access
+    /// 64-bit integers".
+    pub rma_faa_int: f64,
+    /// Remote float accumulate — "implemented with costly underlying
+    /// locking protocol" (§6.3.1), hence several times the FAA cost (µs).
+    pub rma_accumulate_float: f64,
+    /// Per-message software overhead of message passing (buffer
+    /// preparation, §6.3.1) on top of α (µs).
+    pub msg_overhead: f64,
+    /// Modeled cost of one local memory operation (µs) — calibrates the
+    /// compute/communication ratio.
+    pub local_op: f64,
+    /// Barrier base cost; a barrier costs `barrier · log2(P)` (µs).
+    pub barrier: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::xc40()
+    }
+}
+
+impl CostModel {
+    /// Parameters approximating the paper's XC40/Aries setting.
+    pub fn xc40() -> Self {
+        Self {
+            alpha: 1.6,
+            beta: 0.0003,
+            rma_get: 0.9,
+            rma_put: 0.7,
+            rma_faa_int: 0.8,
+            rma_accumulate_float: 6.5,
+            msg_overhead: 0.15,
+            local_op: 0.002,
+            barrier: 1.2,
+        }
+    }
+
+    /// Cost of one point-to-point transfer of `bytes`.
+    pub fn transfer(&self, bytes: usize) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+}
+
+/// Per-rank communication statistics (the distributed analogue of the
+/// PAPI/manual counters: "in distributed settings we count sent/received
+/// messages, issued collective operations, and remote reads/writes/atomics",
+/// §6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Point-to-point or collective messages sent.
+    pub messages: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Remote gets issued.
+    pub remote_gets: u64,
+    /// Remote puts issued.
+    pub remote_puts: u64,
+    /// Remote integer FAAs issued.
+    pub remote_faas: u64,
+    /// Remote float accumulates issued.
+    pub remote_accumulates: u64,
+    /// Collective operations participated in.
+    pub collectives: u64,
+    /// Peak bytes of send/receive buffering (MP's memory price, §6.3.1).
+    pub peak_buffer_bytes: u64,
+}
+
+impl NetStats {
+    /// Element-wise sum.
+    pub fn merge(&self, o: &NetStats) -> NetStats {
+        NetStats {
+            messages: self.messages + o.messages,
+            bytes_sent: self.bytes_sent + o.bytes_sent,
+            remote_gets: self.remote_gets + o.remote_gets,
+            remote_puts: self.remote_puts + o.remote_puts,
+            remote_faas: self.remote_faas + o.remote_faas,
+            remote_accumulates: self.remote_accumulates + o.remote_accumulates,
+            collectives: self.collectives + o.collectives,
+            peak_buffer_bytes: self.peak_buffer_bytes.max(o.peak_buffer_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_accumulate_is_slower_than_int_faa() {
+        // The §6.5 asymmetry the whole PR-vs-TC contrast rests on.
+        let c = CostModel::xc40();
+        assert!(c.rma_accumulate_float > 3.0 * c.rma_faa_int);
+    }
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let c = CostModel::xc40();
+        assert!(c.transfer(1 << 20) > 100.0 * c.transfer(8));
+        assert!(c.transfer(0) == c.alpha);
+    }
+
+    #[test]
+    fn stats_merge_adds_and_maxes() {
+        let a = NetStats {
+            messages: 2,
+            peak_buffer_bytes: 100,
+            ..Default::default()
+        };
+        let b = NetStats {
+            messages: 3,
+            peak_buffer_bytes: 40,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.messages, 5);
+        assert_eq!(m.peak_buffer_bytes, 100, "buffers peak, not add");
+    }
+}

@@ -1,0 +1,35 @@
+//! Distributed-memory simulation substrate (§6.3 of the paper).
+//!
+//! The paper's DM experiments ran on Cray XC40 nodes with up to ~1000 MPI
+//! processes, comparing three variants per algorithm: push over RMA (remote
+//! atomics), pull over RMA (remote gets), and Message Passing (buffered
+//! `MPI_Alltoallv`). Reproducing that hardware is impossible here, so this
+//! crate provides a *deterministic BSP simulator*:
+//!
+//! * ranks execute supersteps against real in-memory state, so algorithm
+//!   results are exact and comparable with the shared-memory versions;
+//! * every communication primitive charges a [`cost::CostModel`] price to
+//!   the issuing rank's clock — a LogGP-style model with the asymmetry the
+//!   paper identifies in §6.5: float `MPI_Accumulate` takes a slow locking
+//!   protocol while integer FAA has a fast path;
+//! * modeled wall-clock = max over rank clocks, advanced at barriers.
+//!
+//! Message/byte/remote-op *counts* are exact; only the time mapping is
+//! modeled. Figure 3's strong-scaling shapes (MP ≫ RMA for PageRank,
+//! RMA > MP for triangle counting, pushing slowest for PR) emerge from the
+//! counts × the documented cost asymmetries, not from curve fitting.
+
+// Rank loops index per-rank arrays by rank id; enumerate() would obscure
+// the BSP structure.
+#![allow(clippy::needless_range_loop)]
+
+pub mod algos;
+pub mod cost;
+pub mod machine;
+
+pub use algos::{
+    dm_bfs, dm_coloring, dm_pagerank, dm_sssp, dm_triangle_count, DmBfsReport, DmBfsVariant,
+    DmColoringReport, DmReport, DmSsspReport, DmVariant,
+};
+pub use cost::{CostModel, NetStats};
+pub use machine::Machine;

@@ -1,0 +1,231 @@
+//! The BSP rank machine: clocks, statistics, and communication accounting.
+//!
+//! Algorithms manipulate real Rust arrays for correctness and call the
+//! machine's accounting hooks for every modeled communication event. Ranks
+//! within a superstep are executed sequentially (the state updates commute —
+//! the same property that makes them safe under real RMA), and a barrier
+//! advances every clock to the straggler's time, which is exactly the BSP
+//! semantics of the paper's `MPI_Win_flush_all`/`MPI_Barrier` epochs.
+
+use pp_graph::BlockPartition;
+
+use crate::cost::{CostModel, NetStats};
+
+/// A simulated `P`-rank distributed machine.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    cost: CostModel,
+    clocks: Vec<f64>,
+    stats: Vec<NetStats>,
+}
+
+impl Machine {
+    /// A machine with `p ≥ 1` ranks.
+    pub fn new(p: usize, cost: CostModel) -> Self {
+        assert!(p >= 1);
+        Self {
+            cost,
+            clocks: vec![0.0; p],
+            stats: vec![NetStats::default(); p],
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The 1D block partition of `n` items over the ranks (§2.2).
+    pub fn partition(&self, n: usize) -> BlockPartition {
+        BlockPartition::new(n, self.num_ranks())
+    }
+
+    /// Charges `ops` local operations to rank `r`.
+    #[inline]
+    pub fn local_work(&mut self, r: usize, ops: u64) {
+        self.clocks[r] += self.cost.local_op * ops as f64;
+    }
+
+    /// Rank `r` reads `bytes` from `owner`'s window. One-sided ops are
+    /// serviced by the NIC (the foMPI premise): the issuing rank pays the
+    /// op cost plus bandwidth, the owner's CPU pays nothing.
+    pub fn rma_get(&mut self, r: usize, owner: usize, bytes: usize) {
+        if r == owner {
+            self.local_work(r, 1);
+        } else {
+            self.clocks[r] += self.cost.rma_get + self.cost.beta * bytes as f64;
+            self.stats[r].remote_gets += 1;
+            self.stats[r].bytes_sent += 8; // the request descriptor
+        }
+    }
+
+    /// Rank `r` writes `bytes` into `owner`'s window (one-sided).
+    pub fn rma_put(&mut self, r: usize, owner: usize, bytes: usize) {
+        if r == owner {
+            self.local_work(r, 1);
+        } else {
+            self.clocks[r] += self.cost.rma_put + self.cost.beta * bytes as f64;
+            self.stats[r].remote_puts += 1;
+            self.stats[r].bytes_sent += bytes as u64;
+        }
+    }
+
+    /// Rank `r` issues an integer FAA on `owner`'s window (hardware fast
+    /// path, §6.5).
+    pub fn rma_faa_int(&mut self, r: usize, owner: usize) {
+        if r == owner {
+            self.local_work(r, 1);
+        } else {
+            self.clocks[r] += self.cost.rma_faa_int + self.cost.beta * 8.0;
+            self.stats[r].remote_faas += 1;
+            self.stats[r].bytes_sent += 8;
+        }
+    }
+
+    /// Rank `r` issues a float accumulate on `owner`'s window (slow locking
+    /// protocol, §6.3.1).
+    pub fn rma_accumulate_float(&mut self, r: usize, owner: usize) {
+        if r == owner {
+            self.local_work(r, 1);
+        } else {
+            self.clocks[r] += self.cost.rma_accumulate_float + self.cost.beta * 8.0;
+            self.stats[r].remote_accumulates += 1;
+            self.stats[r].bytes_sent += 8;
+        }
+    }
+
+    /// Rank `r` fetches `bytes` from `owner` through a two-sided
+    /// request/response message pair — how a pure Message-Passing variant
+    /// reads remote data (§6.3.2's MP triangle count). The requester pays
+    /// two message startups; crucially the *owner's CPU* must service the
+    /// request too, so owners of high-degree hubs become stragglers. This
+    /// two-sided service cost is what makes MP lose to one-sided RMA on
+    /// read-heavy algorithms.
+    pub fn msg_fetch(&mut self, r: usize, owner: usize, bytes: usize) {
+        if r == owner {
+            self.local_work(r, 1);
+        } else {
+            self.clocks[r] +=
+                2.0 * (self.cost.alpha + self.cost.msg_overhead) + self.cost.beta * bytes as f64;
+            self.clocks[owner] += self.cost.alpha + self.cost.msg_overhead;
+            self.stats[r].messages += 2;
+            self.stats[r].bytes_sent += 8 + bytes as u64;
+        }
+    }
+
+    /// Charges an `MPI_Alltoallv`-style exchange: `send_bytes[r][d]` is what
+    /// rank `r` sends to rank `d`. Buffer preparation charges the per-
+    /// message software overhead the paper attributes to MP (§6.3.1), and
+    /// peak buffer sizes are recorded (MP's memory price).
+    pub fn alltoallv(&mut self, send_bytes: &[Vec<usize>]) {
+        let p = self.num_ranks();
+        assert_eq!(send_bytes.len(), p);
+        for r in 0..p {
+            assert_eq!(send_bytes[r].len(), p);
+            let total: usize = send_bytes[r].iter().sum();
+            let nonzero = send_bytes[r].iter().filter(|&&b| b > 0).count();
+            self.clocks[r] += self.cost.transfer(total)
+                + nonzero as f64 * self.cost.msg_overhead
+                + (p as f64).log2().max(1.0) * self.cost.alpha;
+            self.stats[r].messages += nonzero as u64;
+            self.stats[r].bytes_sent += total as u64;
+            self.stats[r].collectives += 1;
+            let recv: usize = (0..p).map(|s| send_bytes[s][r]).sum();
+            self.stats[r].peak_buffer_bytes =
+                self.stats[r].peak_buffer_bytes.max((total + recv) as u64);
+        }
+        self.barrier();
+    }
+
+    /// Synchronizes all clocks to the slowest rank plus the barrier cost.
+    pub fn barrier(&mut self) {
+        let p = self.num_ranks() as f64;
+        let max = self.clocks.iter().cloned().fold(0.0f64, f64::max);
+        let t = max + self.cost.barrier * p.log2().max(1.0);
+        for c in &mut self.clocks {
+            *c = t;
+        }
+    }
+
+    /// Modeled elapsed seconds: the slowest rank's clock.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.clocks.iter().cloned().fold(0.0f64, f64::max) / 1e6
+    }
+
+    /// Per-rank statistics.
+    pub fn stats(&self) -> &[NetStats] {
+        &self.stats
+    }
+
+    /// Aggregated statistics over all ranks.
+    pub fn total_stats(&self) -> NetStats {
+        self.stats
+            .iter()
+            .fold(NetStats::default(), |acc, s| acc.merge(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_accesses_cost_less_than_remote() {
+        let mut m = Machine::new(2, CostModel::xc40());
+        m.rma_get(0, 0, 8);
+        let local = m.elapsed_seconds();
+        let mut m2 = Machine::new(2, CostModel::xc40());
+        m2.rma_get(0, 1, 8);
+        assert!(m2.elapsed_seconds() > 100.0 * local);
+        assert_eq!(m2.stats()[0].remote_gets, 1);
+        assert_eq!(m.stats()[0].remote_gets, 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_to_straggler() {
+        let mut m = Machine::new(4, CostModel::xc40());
+        m.local_work(2, 1_000_000);
+        let straggler = m.elapsed_seconds();
+        m.barrier();
+        // All ranks now share the straggler's time (plus barrier cost):
+        // further work on rank 0 starts from there.
+        m.local_work(0, 1);
+        assert!(m.elapsed_seconds() >= straggler);
+        let mut m2 = Machine::new(4, CostModel::xc40());
+        m2.local_work(0, 1);
+        assert!(m.elapsed_seconds() > 1000.0 * m2.elapsed_seconds());
+    }
+
+    #[test]
+    fn alltoallv_records_buffers_and_messages() {
+        let mut m = Machine::new(2, CostModel::xc40());
+        m.alltoallv(&[vec![0, 1000], vec![500, 0]]);
+        let s = m.total_stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes_sent, 1500);
+        assert_eq!(s.collectives, 2);
+        assert!(s.peak_buffer_bytes >= 1500);
+    }
+
+    #[test]
+    fn accumulate_float_slower_than_faa() {
+        let mut acc = Machine::new(2, CostModel::xc40());
+        let mut faa = Machine::new(2, CostModel::xc40());
+        for _ in 0..100 {
+            acc.rma_accumulate_float(0, 1);
+            faa.rma_faa_int(0, 1);
+        }
+        assert!(acc.elapsed_seconds() > 2.0 * faa.elapsed_seconds());
+    }
+
+    #[test]
+    fn partition_matches_rank_count() {
+        let m = Machine::new(8, CostModel::xc40());
+        assert_eq!(m.partition(100).num_parts(), 8);
+    }
+}

@@ -1,0 +1,203 @@
+//! Edge-list graph construction with normalization.
+//!
+//! The builder accepts arbitrary edge lists (unsorted, with duplicates and
+//! self-loops) and produces a canonical [`CsrGraph`]: sorted adjacency,
+//! duplicate edges collapsed, self-loops dropped unless requested, and — for
+//! undirected graphs — both arc directions materialized with symmetric
+//! weights.
+
+use crate::{CsrGraph, VertexId, Weight};
+
+/// Incremental builder for [`CsrGraph`].
+pub struct GraphBuilder {
+    n: usize,
+    directed: bool,
+    keep_self_loops: bool,
+    weighted: bool,
+    edges: Vec<(VertexId, VertexId, Weight)>,
+}
+
+impl GraphBuilder {
+    /// Builder for an undirected graph on `n` vertices.
+    pub fn undirected(n: usize) -> Self {
+        Self::new(n, false)
+    }
+
+    /// Builder for a directed graph on `n` vertices.
+    pub fn directed(n: usize) -> Self {
+        Self::new(n, true)
+    }
+
+    fn new(n: usize, directed: bool) -> Self {
+        assert!(n <= VertexId::MAX as usize, "vertex count exceeds VertexId");
+        Self {
+            n,
+            directed,
+            keep_self_loops: false,
+            weighted: false,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Keep self-loops instead of dropping them (the default drops them; none
+    /// of the paper's algorithms are defined over self-loops).
+    pub fn keep_self_loops(mut self) -> Self {
+        self.keep_self_loops = true;
+        self
+    }
+
+    /// Adds a single unweighted edge.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.push(u, v, 1);
+        self
+    }
+
+    /// Adds many unweighted edges.
+    pub fn edges(mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        for (u, v) in it {
+            self.push(u, v, 1);
+        }
+        self
+    }
+
+    /// Adds many weighted edges; marks the output graph as weighted.
+    pub fn weighted_edges(
+        mut self,
+        it: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
+        self.weighted = true;
+        for (u, v, w) in it {
+            self.push(u, v, w);
+        }
+        self
+    }
+
+    /// Adds edges from a mutable reference (for loop-driven construction).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.push(u, v, 1);
+    }
+
+    /// Adds a weighted edge from a mutable reference.
+    pub fn add_weighted_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        self.weighted = true;
+        self.push(u, v, w);
+    }
+
+    fn push(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        assert!((u as usize) < self.n, "source {u} out of range");
+        assert!((v as usize) < self.n, "target {v} out of range");
+        self.edges.push((u, v, w));
+    }
+
+    /// Number of (raw, possibly duplicated) edges added so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a canonical [`CsrGraph`]. Duplicate arcs keep the
+    /// *minimum* weight (the natural choice for shortest-path workloads and
+    /// irrelevant for unweighted ones).
+    pub fn build(self) -> CsrGraph {
+        let Self {
+            n,
+            directed,
+            keep_self_loops,
+            weighted,
+            edges,
+        } = self;
+
+        let mut arcs: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(
+            edges.len() * if directed { 1 } else { 2 },
+        );
+        for (u, v, w) in edges {
+            if u == v && !keep_self_loops {
+                continue;
+            }
+            arcs.push((u, v, w));
+            if !directed && u != v {
+                arcs.push((v, u, w));
+            }
+        }
+        arcs.sort_unstable();
+        // Collapse duplicates; sorted order means equal (u, v) are adjacent
+        // and the first holds the minimum weight.
+        arcs.dedup_by(|next, prev| next.0 == prev.0 && next.1 == prev.1);
+
+        let mut offsets = vec![0u64; n + 1];
+        for &(u, _, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<VertexId> = arcs.iter().map(|&(_, v, _)| v).collect();
+        let weights = weighted.then(|| arcs.iter().map(|&(_, _, w)| w).collect());
+        CsrGraph::from_parts(offsets, targets, weights, directed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_symmetrizes() {
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 0), (0, 1), (2, 3)])
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn drops_self_loops_by_default() {
+        let g = GraphBuilder::undirected(2).edges([(0, 0), (0, 1)]).build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn keeps_self_loops_on_request() {
+        let g = GraphBuilder::directed(2)
+            .keep_self_loops()
+            .edges([(0, 0), (0, 1)])
+            .build();
+        assert_eq!(g.neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn duplicate_weighted_edges_keep_minimum() {
+        let g = GraphBuilder::undirected(2)
+            .weighted_edges([(0, 1, 9), (0, 1, 3), (1, 0, 5)])
+            .build();
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+        assert_eq!(g.edge_weight(1, 0), Some(3));
+    }
+
+    #[test]
+    fn directed_builder_keeps_direction() {
+        let g = GraphBuilder::directed(3).edges([(0, 1), (2, 1)]).build();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(g.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn incremental_construction() {
+        let mut b = GraphBuilder::undirected(3);
+        b.add_edge(0, 1);
+        b.add_weighted_edge(1, 2, 4);
+        assert_eq!(b.pending_edges(), 2);
+        let g = b.build();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+        assert_eq!(g.edge_weight(2, 1), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_vertices() {
+        GraphBuilder::undirected(2).edge(0, 2);
+    }
+}

@@ -1,0 +1,403 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on power-law Kronecker (R-MAT) graphs, Erdős–Rényi
+//! graphs (§6, "Selected Benchmarks & Parameters"), and real-world graphs of
+//! three sparsity regimes. These generators produce all of those families
+//! deterministically from a seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CsrGraph, GraphBuilder, VertexId, Weight};
+
+/// Erdős–Rényi `G(n, m)`: `m` edges sampled uniformly (duplicates collapse,
+/// so the realized edge count can be slightly below `m`).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let mut v = rng.gen_range(0..n) as VertexId;
+        while v == u {
+            v = rng.gen_range(0..n) as VertexId;
+        }
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// R-MAT / stochastic-Kronecker generator [Leskovec et al. 2010] with the
+/// Graph500 partition probabilities by default. `scale` gives `n = 2^scale`,
+/// `edge_factor` gives `m ≈ edge_factor · n`.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    rmat_with_probs(scale, edge_factor, (0.57, 0.19, 0.19), seed)
+}
+
+/// R-MAT with explicit quadrant probabilities `(a, b, c)`; `d = 1 - a - b - c`.
+pub fn rmat_with_probs(
+    scale: u32,
+    edge_factor: usize,
+    (a, b, c): (f64, f64, f64),
+    seed: u64,
+) -> CsrGraph {
+    assert!(scale < 31, "scale too large for VertexId");
+    assert!(a + b + c < 1.0 + 1e-9, "probabilities must sum below 1");
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::undirected(n);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // upper-left: both bits 0
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            builder.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    builder.build()
+}
+
+/// Road-network stand-in: an `rows × cols` 2D grid with each grid edge kept
+/// with probability `keep`, plus a spanning "highway" path through all
+/// vertices so the graph stays connected. Produces the low-`d̄`, high-`D`
+/// regime of the paper's `rca` graph.
+pub fn road_grid(rows: usize, cols: usize, keep: f64, seed: u64) -> CsrGraph {
+    let n = rows * cols;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.gen_bool(keep) {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows && rng.gen_bool(keep) {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    // Spanning serpentine path (row 0 left→right, row 1 right→left, …):
+    // guarantees connectivity and a large diameter, matching road-network
+    // topology. Most of its edges coincide with kept grid edges.
+    let serp = |i: usize| {
+        let r = i / cols;
+        let c = if r.is_multiple_of(2) { i % cols } else { cols - 1 - (i % cols) };
+        id(r, c)
+    };
+    for i in 1..n {
+        b.add_edge(serp(i - 1), serp(i));
+    }
+    b.build()
+}
+
+/// Community graph: `k` dense Erdős–Rényi communities of size `cs` with
+/// `inter` random cross-community edges. Social-network stand-in with low
+/// diameter and high average degree.
+pub fn community(k: usize, cs: usize, intra_m: usize, inter: usize, seed: u64) -> CsrGraph {
+    let n = k * cs;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    for comm in 0..k {
+        let base = comm * cs;
+        for _ in 0..intra_m {
+            let u = base + rng.gen_range(0..cs);
+            let mut v = base + rng.gen_range(0..cs);
+            while v == u {
+                v = base + rng.gen_range(0..cs);
+            }
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    for _ in 0..inter {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        while v == u {
+            v = rng.gen_range(0..n);
+        }
+        b.add_edge(u as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::undirected(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as VertexId, i as VertexId);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3);
+    let mut b = GraphBuilder::undirected(n);
+    for i in 0..n {
+        b.add_edge(i as VertexId, ((i + 1) % n) as VertexId);
+    }
+    b.build()
+}
+
+/// Star graph: vertex 0 connected to all others.
+pub fn star(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::undirected(n);
+    for i in 1..n {
+        b.add_edge(0, i as VertexId);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::undirected(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree on `n` vertices (vertex `i` has children `2i+1`,
+/// `2i+2`).
+pub fn binary_tree(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::undirected(n);
+    for i in 1..n {
+        b.add_edge(((i - 1) / 2) as VertexId, i as VertexId);
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `m_per_vertex + 1` vertices, then every new vertex attaches to
+/// `m_per_vertex` existing vertices sampled proportionally to degree.
+/// Produces the heavy-tailed degree distribution of citation/social graphs —
+/// an alternative skewed family to [`rmat`] that is connected by
+/// construction.
+pub fn barabasi_albert(n: usize, m_per_vertex: usize, seed: u64) -> CsrGraph {
+    assert!(m_per_vertex >= 1);
+    assert!(
+        n > m_per_vertex,
+        "need more vertices than attachments per vertex"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    // Repeated-endpoint list: sampling an index uniformly from it is
+    // sampling a vertex proportionally to its degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m_per_vertex);
+    let core = m_per_vertex + 1;
+    for u in 0..core {
+        for v in (u + 1)..core {
+            b.add_edge(u as VertexId, v as VertexId);
+            endpoints.push(u as VertexId);
+            endpoints.push(v as VertexId);
+        }
+    }
+    for v in core..n {
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m_per_vertex);
+        while chosen.len() < m_per_vertex {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for t in chosen {
+            b.add_edge(v as VertexId, t);
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: a ring lattice where each vertex connects to
+/// its `k` nearest neighbors on each side, with every lattice edge rewired
+/// to a random endpoint with probability `beta`. `beta = 0` is a pure
+/// lattice (large `D`), `beta = 1` approaches Erdős–Rényi (low `D`); the
+/// interesting regime is small `beta`, which keeps high clustering but gains
+/// short paths — a third structural regime next to R-MAT and road grids.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 1 && 2 * k < n, "ring lattice needs 2k < n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire the far endpoint anywhere except `u` itself.
+                let mut w = rng.gen_range(0..n);
+                while w == u {
+                    w = rng.gen_range(0..n);
+                }
+                b.add_edge(u as VertexId, w as VertexId);
+            } else {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random bipartite graph: `left + right` vertices (left side first), `m`
+/// edges sampled uniformly across the cut, no intra-side edges. This is the
+/// §5 worst case for Partition-Awareness: if each thread owns vertices from
+/// only one side, *every* pushed update crosses an ownership boundary, so
+/// the PA local phase is empty and all `2m` updates stay atomic.
+pub fn bipartite(left: usize, right: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(left >= 1 && right >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(left + right);
+    for _ in 0..m {
+        let u = rng.gen_range(0..left) as VertexId;
+        let v = (left + rng.gen_range(0..right)) as VertexId;
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Attaches symmetric uniform random weights in `[lo, hi]` to a graph. Both
+/// directions of an undirected edge receive the same weight (required by the
+/// shortest-path and MST algorithms).
+pub fn with_random_weights(g: &CsrGraph, lo: Weight, hi: Weight, seed: u64) -> CsrGraph {
+    assert!(lo <= hi);
+    assert!(lo > 0, "zero weights break Δ-stepping bucket math");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let edges: Vec<_> = g
+        .edges()
+        .map(|(u, v, _)| (u, v, rng.gen_range(lo..=hi)))
+        .collect();
+    // `weighted_edges` marks the graph weighted even when the edge list is
+    // empty, so downstream weight accessors stay valid on edgeless graphs.
+    if g.is_directed() {
+        GraphBuilder::directed(g.num_vertices()).weighted_edges(edges).build()
+    } else {
+        GraphBuilder::undirected(g.num_vertices()).weighted_edges(edges).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed() {
+        let a = erdos_renyi(100, 300, 7);
+        let b = erdos_renyi(100, 300, 7);
+        let c = erdos_renyi(100, 300, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.num_edges() <= 300);
+        assert!(a.num_edges() > 250, "too many collisions: {}", a.num_edges());
+    }
+
+    #[test]
+    fn rmat_has_skewed_degrees() {
+        let g = rmat(10, 8, 42);
+        assert_eq!(g.num_vertices(), 1024);
+        // Power-law-ish skew: the max degree should far exceed the average.
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn road_grid_is_connected_and_sparse() {
+        let g = road_grid(20, 30, 0.5, 1);
+        assert_eq!(g.num_vertices(), 600);
+        assert!(stats::is_connected(&g));
+        assert!(g.avg_degree() < 5.0);
+    }
+
+    #[test]
+    fn road_grid_full_keep_has_grid_degree() {
+        let g = road_grid(10, 10, 1.0, 1);
+        // Interior vertices have degree 4 (serpentine edges coincide with
+        // grid edges except at row turns).
+        assert!(g.max_degree() <= 5);
+        assert!(stats::is_connected(&g));
+    }
+
+    #[test]
+    fn community_generator_shape() {
+        let g = community(4, 50, 300, 100, 3);
+        assert_eq!(g.num_vertices(), 200);
+        assert!(g.avg_degree() > 4.0);
+    }
+
+    #[test]
+    fn small_topologies() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(binary_tree(7).num_edges(), 6);
+        assert_eq!(binary_tree(7).degree(0), 2);
+        assert_eq!(complete(5).degree(0), 4);
+    }
+
+    #[test]
+    fn barabasi_albert_connected_and_skewed() {
+        let g = barabasi_albert(500, 3, 5);
+        assert_eq!(g.num_vertices(), 500);
+        assert!(stats::is_connected(&g));
+        // Every vertex has degree >= m (its own attachments).
+        assert!(g.vertices().all(|v| g.degree(v) >= 3));
+        // Preferential attachment produces hubs.
+        assert!(g.max_degree() as f64 > 3.0 * g.avg_degree());
+        assert_eq!(g, barabasi_albert(500, 3, 5));
+        assert_ne!(g, barabasi_albert(500, 3, 6));
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(40, 2, 0.0, 1);
+        // Pure lattice: every vertex has exactly 2k = 4 neighbors.
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(stats::is_connected(&g));
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_shrinks_diameter() {
+        let lattice = watts_strogatz(400, 2, 0.0, 2);
+        let small_world = watts_strogatz(400, 2, 0.1, 2);
+        let d0 = stats::double_sweep_diameter(&lattice);
+        let d1 = stats::double_sweep_diameter(&small_world);
+        assert!(
+            d1 < d0 / 2,
+            "rewiring should shrink diameter: {d0} -> {d1}"
+        );
+    }
+
+    #[test]
+    fn bipartite_has_no_intra_side_edges() {
+        let g = bipartite(30, 20, 200, 9);
+        assert_eq!(g.num_vertices(), 50);
+        for (u, v, _) in g.edges() {
+            assert!((u < 30) != (v < 30), "edge ({u},{v}) stays inside a side");
+        }
+    }
+
+    #[test]
+    fn random_weights_are_symmetric_and_in_range() {
+        let g = with_random_weights(&cycle(10), 2, 9, 11);
+        assert!(g.is_weighted());
+        for (u, v, w) in g.edges() {
+            assert!((2..=9).contains(&w));
+            assert_eq!(g.edge_weight(v, u), Some(w));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Plain-text edge-list I/O.
+//!
+//! The format is the SNAP/Graph500 convention the paper's datasets ship in:
+//! one `u v [w]` triple per line, `#`-prefixed comment lines ignored.
+//! Round-tripping through this format is what lets users swap the synthetic
+//! stand-ins for the real downloads when they have them.
+
+use std::io::{BufRead, BufReader, Read, Write as IoWrite};
+
+use crate::{CsrGraph, GraphBuilder, VertexId, Weight};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and content).
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed(line, content) => {
+                write!(f, "malformed edge list at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads an undirected graph from `u v [w]` lines. Vertex count is
+/// `max id + 1` unless `min_vertices` demands more.
+pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<CsrGraph, ParseError> {
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let mut weighted = false;
+    let mut max_id: u64 = 0;
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let bad = || ParseError::Malformed(i + 1, trimmed.to_string());
+        let u: VertexId = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let v: VertexId = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let w = match it.next() {
+            Some(tok) => {
+                weighted = true;
+                tok.parse().map_err(|_| bad())?
+            }
+            None => 1,
+        };
+        if it.next().is_some() {
+            return Err(bad());
+        }
+        max_id = max_id.max(u as u64).max(v as u64);
+        edges.push((u, v, w));
+    }
+    let n = if edges.is_empty() {
+        min_vertices
+    } else {
+        min_vertices.max(max_id as usize + 1)
+    };
+    let b = GraphBuilder::undirected(n);
+    Ok(if weighted {
+        b.weighted_edges(edges).build()
+    } else {
+        b.edges(edges.into_iter().map(|(u, v, _)| (u, v))).build()
+    })
+}
+
+/// Writes a graph as `u v [w]` lines (each undirected edge once), with a
+/// header comment carrying the counts.
+pub fn write_edge_list<W: IoWrite>(g: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# pushpull edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    for (u, v, w) in g.edges() {
+        if g.is_weighted() {
+            writeln!(writer, "{u} {v} {w}")?;
+        } else {
+            writeln!(writer, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn parses_comments_blanks_and_edges() {
+        let text = "# header\n\n0 1\n 1 2 \n# tail\n3 0\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_weighted());
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn parses_weights() {
+        let g = read_edge_list("0 1 5\n1 2 7\n".as_bytes(), 0).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(2, 1), Some(7));
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated_tail() {
+        let g = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["0\n", "0 x\n", "0 1 2 3\n", "a b\n"] {
+            let err = read_edge_list(bad.as_bytes(), 0).unwrap_err();
+            assert!(matches!(err, ParseError::Malformed(1, _)), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn round_trip_unweighted_and_weighted() {
+        for g in [
+            gen::rmat(6, 4, 3),
+            gen::with_random_weights(&gen::cycle(12), 1, 9, 5),
+        ] {
+            let mut buf = Vec::new();
+            write_edge_list(&g, &mut buf).unwrap();
+            let back = read_edge_list(buf.as_slice(), g.num_vertices()).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_edge_list("nope\n".as_bytes(), 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"));
+        assert!(msg.contains("nope"));
+    }
+}

@@ -1,0 +1,164 @@
+//! 1D vertex partitioning (§2.2): the graph is distributed over `P`
+//! threads/processes by vertex blocks, and `t[v]` names the owner of `v`.
+//!
+//! The block layout makes ownership a constant-time computation and keeps
+//! each thread's vertices contiguous, which is what the partition-aware
+//! strategy (§5) and the distributed-memory substrate both build on.
+
+use crate::{CsrGraph, VertexId};
+
+/// Block 1D partition of `n` vertices over `p` parts. Part `t` owns the
+/// half-open vertex range `[t·⌈n/p⌉, min((t+1)·⌈n/p⌉, n))`, except that when
+/// `n` is not divisible the remainder is spread so sizes differ by at most 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockPartition {
+    n: usize,
+    p: usize,
+}
+
+impl BlockPartition {
+    /// Partition `n` vertices over `p ≥ 1` parts.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p >= 1, "need at least one part");
+        Self { n, p }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of parts `P`.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.p
+    }
+
+    /// The owner `t[v]` of vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        debug_assert!((v as usize) < self.n);
+        let (q, r) = (self.n / self.p, self.n % self.p);
+        let v = v as usize;
+        // The first r parts have q+1 vertices, the rest have q.
+        let big = r * (q + 1);
+        if v < big {
+            v / (q + 1)
+        } else {
+            r + (v - big) / q.max(1)
+        }
+    }
+
+    /// The vertex range owned by part `t`.
+    #[inline]
+    pub fn range(&self, t: usize) -> std::ops::Range<VertexId> {
+        debug_assert!(t < self.p);
+        let (q, r) = (self.n / self.p, self.n % self.p);
+        let start = if t < r { t * (q + 1) } else { r * (q + 1) + (t - r) * q };
+        let len = if t < r { q + 1 } else { q };
+        (start as VertexId)..((start + len) as VertexId)
+    }
+
+    /// Number of vertices owned by part `t`.
+    #[inline]
+    pub fn part_size(&self, t: usize) -> usize {
+        let r = self.range(t);
+        (r.end - r.start) as usize
+    }
+
+    /// Border vertices (the set `B` of §3.6): vertices with at least one
+    /// neighbor owned by a different part.
+    pub fn border_vertices(&self, g: &CsrGraph) -> Vec<VertexId> {
+        g.vertices()
+            .filter(|&v| {
+                let t = self.owner(v);
+                g.neighbors(v).iter().any(|&u| self.owner(u) != t)
+            })
+            .collect()
+    }
+
+    /// Number of cut arcs: arcs `(u, v)` with `t[u] ≠ t[v]`. For an
+    /// undirected graph each cut edge counts twice (both directions), which
+    /// is exactly the number of *remote updates* a push algorithm issues per
+    /// sweep (§5's bound of `2m` remote atomics in the worst case).
+    pub fn cut_arcs(&self, g: &CsrGraph) -> usize {
+        g.arcs()
+            .filter(|&(u, v)| self.owner(u) != self.owner(v))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn ranges_cover_all_vertices_exactly_once() {
+        for n in [0usize, 1, 7, 16, 100, 101] {
+            for p in [1usize, 2, 3, 7, 16] {
+                let part = BlockPartition::new(n, p);
+                let mut covered = 0usize;
+                for t in 0..p {
+                    let r = part.range(t);
+                    covered += (r.end - r.start) as usize;
+                    for v in r.clone() {
+                        assert_eq!(part.owner(v), t, "n={n} p={p} v={v}");
+                    }
+                    assert_eq!(part.part_size(t), (r.end - r.start) as usize);
+                }
+                assert_eq!(covered, n, "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_balanced_within_one() {
+        let part = BlockPartition::new(10, 3);
+        let sizes: Vec<_> = (0..3).map(|t| part.part_size(t)).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn single_part_owns_everything() {
+        let part = BlockPartition::new(5, 1);
+        assert_eq!(part.range(0), 0..5);
+        assert_eq!(part.owner(4), 0);
+    }
+
+    #[test]
+    fn more_parts_than_vertices() {
+        let part = BlockPartition::new(2, 4);
+        // Two parts own one vertex each, the rest own none.
+        let total: usize = (0..4).map(|t| part.part_size(t)).sum();
+        assert_eq!(total, 2);
+        assert_eq!(part.owner(0), 0);
+        assert_eq!(part.owner(1), 1);
+    }
+
+    #[test]
+    fn border_vertices_on_a_path() {
+        // Path 0-1-2-3 split in two: 1 and 2 are border vertices.
+        let g = gen::path(4);
+        let part = BlockPartition::new(4, 2);
+        assert_eq!(part.border_vertices(&g), vec![1, 2]);
+        assert_eq!(part.cut_arcs(&g), 2);
+    }
+
+    #[test]
+    fn no_borders_with_one_part() {
+        let g = gen::complete(6);
+        let part = BlockPartition::new(6, 1);
+        assert!(part.border_vertices(&g).is_empty());
+        assert_eq!(part.cut_arcs(&g), 0);
+    }
+
+    #[test]
+    fn complete_graph_everyone_is_border() {
+        let g = gen::complete(6);
+        let part = BlockPartition::new(6, 3);
+        assert_eq!(part.border_vertices(&g).len(), 6);
+    }
+}

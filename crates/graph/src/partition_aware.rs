@@ -1,0 +1,195 @@
+//! The Partition-Awareness representation of §5.
+//!
+//! Each vertex's adjacency array is split into a *local* part (neighbors
+//! owned by the same thread as `v`) and a *remote* part (neighbors owned by
+//! other threads). All local and remote arrays form two contiguous arrays
+//! with separate offsets, growing the representation from `n + 2m` to
+//! `2n + 2m` cells but letting a pushing thread update local neighbors with
+//! plain writes and reserve atomics for remote ones.
+
+use crate::{BlockPartition, CsrGraph, VertexId};
+
+/// Partition-aware adjacency: per-vertex local/remote neighbor split under a
+/// fixed [`BlockPartition`].
+#[derive(Clone, Debug)]
+pub struct PartitionAwareGraph {
+    partition: BlockPartition,
+    local_offsets: Vec<u64>,
+    local_targets: Vec<VertexId>,
+    remote_offsets: Vec<u64>,
+    remote_targets: Vec<VertexId>,
+}
+
+impl PartitionAwareGraph {
+    /// Builds the split representation from a graph and a partition.
+    pub fn new(g: &CsrGraph, partition: BlockPartition) -> Self {
+        assert_eq!(partition.num_vertices(), g.num_vertices());
+        let n = g.num_vertices();
+        let mut local_offsets = vec![0u64; n + 1];
+        let mut remote_offsets = vec![0u64; n + 1];
+        for v in g.vertices() {
+            let owner = partition.owner(v);
+            let local = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| partition.owner(u) == owner)
+                .count() as u64;
+            local_offsets[v as usize + 1] = local;
+            remote_offsets[v as usize + 1] = g.degree(v) as u64 - local;
+        }
+        for i in 0..n {
+            local_offsets[i + 1] += local_offsets[i];
+            remote_offsets[i + 1] += remote_offsets[i];
+        }
+        let mut local_targets = vec![0 as VertexId; *local_offsets.last().unwrap() as usize];
+        let mut remote_targets = vec![0 as VertexId; *remote_offsets.last().unwrap() as usize];
+        for v in g.vertices() {
+            let owner = partition.owner(v);
+            let (mut li, mut ri) = (
+                local_offsets[v as usize] as usize,
+                remote_offsets[v as usize] as usize,
+            );
+            for &u in g.neighbors(v) {
+                if partition.owner(u) == owner {
+                    local_targets[li] = u;
+                    li += 1;
+                } else {
+                    remote_targets[ri] = u;
+                    ri += 1;
+                }
+            }
+        }
+        Self {
+            partition,
+            local_offsets,
+            local_targets,
+            remote_offsets,
+            remote_targets,
+        }
+    }
+
+    /// The partition this representation was built for.
+    #[inline]
+    pub fn partition(&self) -> BlockPartition {
+        self.partition
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.local_offsets.len() - 1
+    }
+
+    /// Neighbors of `v` owned by the same thread as `v`.
+    #[inline]
+    pub fn local_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.local_offsets[v as usize] as usize;
+        let hi = self.local_offsets[v as usize + 1] as usize;
+        &self.local_targets[lo..hi]
+    }
+
+    /// Neighbors of `v` owned by other threads.
+    #[inline]
+    pub fn remote_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.remote_offsets[v as usize] as usize;
+        let hi = self.remote_offsets[v as usize + 1] as usize;
+        &self.remote_targets[lo..hi]
+    }
+
+    /// Degree of `v` (local + remote).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.local_neighbors(v).len() + self.remote_neighbors(v).len()
+    }
+
+    /// Total number of remote arcs: the upper bound on atomics a
+    /// partition-aware push sweep issues (§5: between 0 and `2m`).
+    pub fn num_remote_arcs(&self) -> usize {
+        self.remote_targets.len()
+    }
+
+    /// Total number of local arcs.
+    pub fn num_local_arcs(&self) -> usize {
+        self.local_targets.len()
+    }
+
+    /// Representation size in cells: `2n + 2m` for an undirected graph, per
+    /// §5 (two offset arrays of `n`, adjacency split preserving `2m` slots).
+    pub fn representation_cells(&self) -> usize {
+        2 * self.num_vertices() + self.local_targets.len() + self.remote_targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, GraphBuilder};
+
+    #[test]
+    fn split_preserves_all_arcs() {
+        let g = gen::rmat(8, 4, 9);
+        let pa = PartitionAwareGraph::new(&g, BlockPartition::new(g.num_vertices(), 4));
+        assert_eq!(
+            pa.num_local_arcs() + pa.num_remote_arcs(),
+            g.num_arcs(),
+            "split must not lose arcs"
+        );
+        for v in g.vertices() {
+            let mut merged: Vec<_> = pa
+                .local_neighbors(v)
+                .iter()
+                .chain(pa.remote_neighbors(v))
+                .copied()
+                .collect();
+            merged.sort_unstable();
+            assert_eq!(merged, g.neighbors(v), "vertex {v}");
+            assert_eq!(pa.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn locality_classification_is_correct() {
+        let g = gen::path(6);
+        let part = BlockPartition::new(6, 2);
+        let pa = PartitionAwareGraph::new(&g, part);
+        for v in g.vertices() {
+            for &u in pa.local_neighbors(v) {
+                assert_eq!(part.owner(u), part.owner(v));
+            }
+            for &u in pa.remote_neighbors(v) {
+                assert_ne!(part.owner(u), part.owner(v));
+            }
+        }
+        // Only the middle edge 2-3 crosses the cut.
+        assert_eq!(pa.num_remote_arcs(), 2);
+    }
+
+    #[test]
+    fn representation_grows_to_2n_plus_2m() {
+        let g = gen::cycle(10);
+        let pa = PartitionAwareGraph::new(&g, BlockPartition::new(10, 2));
+        assert_eq!(pa.representation_cells(), 2 * 10 + 2 * 10);
+        assert_eq!(g.representation_cells(), 10 + 2 * 10);
+    }
+
+    #[test]
+    fn single_part_means_no_remote_arcs() {
+        let g = gen::complete(8);
+        let pa = PartitionAwareGraph::new(&g, BlockPartition::new(8, 1));
+        assert_eq!(pa.num_remote_arcs(), 0);
+        assert_eq!(pa.num_local_arcs(), g.num_arcs());
+    }
+
+    #[test]
+    fn bipartite_cross_partition_is_all_remote() {
+        // §5: the all-remote extreme occurs when the graph is bipartite and
+        // each thread owns only one side. Build K_{2,2} with sides {0,1} and
+        // {2,3} and a 2-part block partition that matches the sides.
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 2), (0, 3), (1, 2), (1, 3)])
+            .build();
+        let pa = PartitionAwareGraph::new(&g, BlockPartition::new(4, 2));
+        assert_eq!(pa.num_local_arcs(), 0);
+        assert_eq!(pa.num_remote_arcs(), g.num_arcs());
+    }
+}

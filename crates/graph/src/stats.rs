@@ -1,0 +1,299 @@
+//! Structural statistics: degree distribution, connectivity, and the
+//! double-sweep diameter estimate used to verify the dataset stand-ins match
+//! the regimes of Table 2.
+
+use std::collections::VecDeque;
+
+use crate::{CsrGraph, VertexId};
+
+/// Summary statistics matching the columns of the paper's Table 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertices `n`.
+    pub n: usize,
+    /// Undirected edges `m`.
+    pub m: usize,
+    /// Average degree `d̄`.
+    pub avg_degree: f64,
+    /// Maximum degree `d̂`.
+    pub max_degree: usize,
+    /// Lower bound on the diameter from a BFS double sweep (exact on trees;
+    /// a tight estimate in practice).
+    pub diameter_lb: usize,
+}
+
+/// Computes [`GraphStats`] for a graph.
+pub fn stats(g: &CsrGraph) -> GraphStats {
+    GraphStats {
+        n: g.num_vertices(),
+        m: g.num_edges(),
+        avg_degree: g.avg_degree(),
+        max_degree: g.max_degree(),
+        diameter_lb: double_sweep_diameter(g),
+    }
+}
+
+/// Sequential BFS returning `(levels, farthest_vertex, eccentricity)`.
+/// `u32::MAX` marks unreachable vertices.
+pub fn bfs_levels(g: &CsrGraph, root: VertexId) -> (Vec<u32>, VertexId, u32) {
+    let n = g.num_vertices();
+    let mut level = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    level[root as usize] = 0;
+    queue.push_back(root);
+    let (mut far, mut ecc) = (root, 0);
+    while let Some(v) = queue.pop_front() {
+        let lv = level[v as usize];
+        if lv > ecc {
+            ecc = lv;
+            far = v;
+        }
+        for &w in g.neighbors(v) {
+            if level[w as usize] == u32::MAX {
+                level[w as usize] = lv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    (level, far, ecc)
+}
+
+/// Diameter lower bound by the classic double sweep: BFS from vertex 0, then
+/// BFS from the farthest vertex found.
+pub fn double_sweep_diameter(g: &CsrGraph) -> usize {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let (_, far, _) = bfs_levels(g, 0);
+    let (_, _, ecc) = bfs_levels(g, far);
+    ecc as usize
+}
+
+/// Whether the graph is connected (trivially true for `n ≤ 1`).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return true;
+    }
+    let (levels, _, _) = bfs_levels(g, 0);
+    levels.iter().all(|&l| l != u32::MAX)
+}
+
+/// Number of connected components.
+pub fn num_components(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut components = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        components += 1;
+        seen[s] = true;
+        stack.push(s as VertexId);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Number of closed wedges (triangle corners): for each vertex, ordered
+/// neighbor pairs that are themselves adjacent. Equals `6 × #triangles`.
+pub fn closed_wedges(g: &CsrGraph) -> u64 {
+    let mut closed = 0u64;
+    for v in g.vertices() {
+        let ns = g.neighbors(v);
+        for (i, &a) in ns.iter().enumerate() {
+            for &b in &ns[i + 1..] {
+                if a != v && b != v && g.has_edge(a, b) {
+                    closed += 2; // (a,b) and (b,a)
+                }
+            }
+        }
+    }
+    closed
+}
+
+/// Global clustering coefficient (transitivity): closed wedges over all
+/// wedges, `C = 3·triangles / paths-of-length-two`. The structural statistic
+/// separating community graphs (high C) from random and road graphs (≈0) —
+/// the regimes Table 2 contrasts.
+pub fn global_clustering(g: &CsrGraph) -> f64 {
+    let wedges: u64 = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1)
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    closed_wedges(g) as f64 / wedges as f64
+}
+
+/// Degree assortativity: the Pearson correlation of endpoint degrees over
+/// all arcs. Positive for social networks (hubs befriend hubs), near zero
+/// for Erdős–Rényi, negative for stars and many technological graphs.
+pub fn degree_assortativity(g: &CsrGraph) -> f64 {
+    let mut count = 0u64;
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    for (u, v) in g.arcs() {
+        let (x, y) = (g.degree(u) as f64, g.degree(v) as f64);
+        count += 1;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+    }
+    if count == 0 {
+        return 0.0;
+    }
+    let n = count as f64;
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let var_x = sxx / n - (sx / n) * (sx / n);
+    let var_y = syy / n - (sy / n) * (sy / n);
+    let denom = (var_x * var_y).sqrt();
+    if denom < 1e-12 {
+        0.0 // regular graphs: degrees are constant, correlation undefined
+    } else {
+        cov / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn path_diameter_is_exact() {
+        let g = gen::path(10);
+        assert_eq!(double_sweep_diameter(&g), 9);
+        let s = stats(&g);
+        assert_eq!(s.n, 10);
+        assert_eq!(s.m, 9);
+        assert_eq!(s.diameter_lb, 9);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(double_sweep_diameter(&gen::cycle(10)), 5);
+        assert_eq!(double_sweep_diameter(&gen::cycle(11)), 5);
+    }
+
+    #[test]
+    fn star_and_complete() {
+        assert_eq!(double_sweep_diameter(&gen::star(50)), 2);
+        assert_eq!(double_sweep_diameter(&gen::complete(10)), 1);
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let g = gen::path(5);
+        assert!(is_connected(&g));
+        assert_eq!(num_components(&g), 1);
+        let disconnected = crate::GraphBuilder::undirected(4).edges([(0, 1), (2, 3)]).build();
+        assert!(!is_connected(&disconnected));
+        assert_eq!(num_components(&disconnected), 2);
+        // Isolated vertices each form a component.
+        let isolated = crate::GraphBuilder::undirected(3).edge(0, 1).build();
+        assert_eq!(num_components(&isolated), 2);
+    }
+
+    #[test]
+    fn bfs_levels_unreachable_marked() {
+        let g = crate::GraphBuilder::undirected(3).edge(0, 1).build();
+        let (levels, _, ecc) = bfs_levels(&g, 0);
+        assert_eq!(levels, vec![0, 1, u32::MAX]);
+        assert_eq!(ecc, 1);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = gen::rmat(8, 4, 5);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.num_vertices());
+        // hist weighted by degree sums to arc count.
+        let arcs: usize = hist.iter().enumerate().map(|(d, c)| d * c).sum();
+        assert_eq!(arcs, g.num_arcs());
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::GraphBuilder::undirected(0).build();
+        assert_eq!(double_sweep_diameter(&g), 0);
+        assert!(is_connected(&g));
+        assert_eq!(num_components(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        // A triangle-free graph clusters at 0; a clique at 1.
+        assert_eq!(global_clustering(&gen::path(10)), 0.0);
+        assert_eq!(global_clustering(&gen::star(10)), 0.0);
+        assert!((global_clustering(&gen::complete(8)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_counts_wedges_exactly() {
+        // Triangle plus a pendant: vertex 2 has neighbors {0,1,3}. Closed
+        // wedges = 6 (the triangle's corners, both orders); total wedges =
+        // 2·1 + 2·1 + 3·2 + 1·0 = 10.
+        let g = crate::GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build();
+        assert_eq!(closed_wedges(&g), 6);
+        assert!((global_clustering(&g) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn community_graphs_cluster_more_than_random() {
+        let community = gen::community(4, 50, 500, 30, 1);
+        let random = gen::erdos_renyi(200, community.num_edges(), 1);
+        assert!(
+            global_clustering(&community) > 2.0 * global_clustering(&random),
+            "{} vs {}",
+            global_clustering(&community),
+            global_clustering(&random)
+        );
+    }
+
+    #[test]
+    fn assortativity_sign_structure() {
+        // Stars are maximally disassortative: every edge joins the hub
+        // (degree n-1) to a leaf (degree 1) — but with only one such edge
+        // *type* the correlation degenerates; use a double star instead.
+        let mut b = crate::GraphBuilder::undirected(10);
+        for leaf in 2..6u32 {
+            b.add_edge(0, leaf);
+        }
+        for leaf in 6..10u32 {
+            b.add_edge(1, leaf);
+        }
+        b.add_edge(0, 1);
+        let double_star = b.build();
+        assert!(degree_assortativity(&double_star) < -0.5);
+        // Regular graphs have no degree variance: defined as 0.
+        assert_eq!(degree_assortativity(&gen::cycle(10)), 0.0);
+    }
+}

@@ -1,0 +1,582 @@
+//! Per-algorithm cost formulas from §4.1–§4.7.
+//!
+//! Every function returns an [`Analysis`]: an asymptotic [`Cost`] plus a
+//! [`ConflictProfile`] (read/write conflicts and the atomics/locks they
+//! translate into, §4.9). Conflict counts are upper bounds with unit
+//! constants, suitable for variant-vs-variant comparison and for
+//! order-of-magnitude cross-checks against instrumented runs.
+
+use crate::model::{log2c, Cost, Direction, PramModel};
+use crate::primitives::{k_bar, k_filter, k_relaxation};
+
+/// Graph/algorithm parameters feeding the formulas. Mirrors the notation of
+/// §2.2: `n`, `m`, `d̂`, `D`, and the iteration count `L` where applicable.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Vertex count `n`.
+    pub n: f64,
+    /// Edge count `m`.
+    pub m: f64,
+    /// Maximum degree `d̂`.
+    pub d_max: f64,
+    /// Diameter `D` (drives BFS/BC rounds).
+    pub diameter: f64,
+    /// Iteration count `L` (PR power iterations, BGC rounds).
+    pub iters: f64,
+}
+
+impl Workload {
+    /// A workload with defaults `d̂ = 2m/n`, `D = log2 n`, `L = 1`.
+    pub fn new(n: usize, m: usize) -> Self {
+        let (nf, mf) = (n as f64, m as f64);
+        Self {
+            n: nf,
+            m: mf,
+            d_max: (2.0 * mf / nf.max(1.0)).max(1.0),
+            diameter: log2c(nf),
+            iters: 1.0,
+        }
+    }
+
+    /// Sets the maximum degree `d̂`.
+    pub fn with_d_max(mut self, d_max: f64) -> Self {
+        self.d_max = d_max;
+        self
+    }
+
+    /// Sets the diameter `D`.
+    pub fn with_diameter(mut self, d: f64) -> Self {
+        self.diameter = d;
+        self
+    }
+
+    /// Sets the iteration count `L`.
+    pub fn with_iters(mut self, l: usize) -> Self {
+        self.iters = l as f64;
+        self
+    }
+}
+
+/// Conflicts and the synchronization they induce (§4.9). Values are
+/// asymptotic upper bounds (unit constants).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ConflictProfile {
+    /// Concurrent reads of one cell (must be resolved only under EREW).
+    pub read_conflicts: f64,
+    /// Concurrent writes to one cell.
+    pub write_conflicts: f64,
+    /// CAS/FAA operations resolving integer write conflicts.
+    pub atomics: f64,
+    /// Lock acquisitions resolving float write conflicts (no CPU float
+    /// atomics, §4.1).
+    pub locks: f64,
+}
+
+/// The outcome of analyzing one (algorithm, direction, model) combination.
+#[derive(Clone, Copy, Debug)]
+pub struct Analysis {
+    /// Asymptotic time/work.
+    pub cost: Cost,
+    /// Conflict and synchronization profile.
+    pub profile: ConflictProfile,
+}
+
+/// §4.1 PageRank: `L` power-iteration steps, each relaxing all `m` edges.
+/// Pull: `O(L(m/P + d̂))` time, `O(Lm)` work, no sync. Push: same in
+/// CRCW-CB, `log d̂` more in CREW; `O(Lm)` float write conflicts → locks.
+pub fn pagerank(w: &Workload, p: usize, model: PramModel, dir: Direction) -> Analysis {
+    let per_iter = k_relaxation(w.m, p, model, dir, w.d_max)
+        .par(Cost::new(w.d_max, 0.0))
+        .then(Cost::new(k_bar(w.n, p), w.n)); // rank write-back sweep
+    let cost = per_iter.repeat(w.iters);
+    let profile = match dir {
+        Direction::Push => ConflictProfile {
+            write_conflicts: w.iters * w.m,
+            locks: w.iters * w.m,
+            ..Default::default()
+        },
+        Direction::Pull => ConflictProfile {
+            read_conflicts: w.iters * w.m,
+            ..Default::default()
+        },
+    };
+    Analysis { cost, profile }
+}
+
+/// §4.2 Triangle counting (NodeIterator): `O(m·d̂)` relaxation volume. Both
+/// directions read-conflict `O(m·d̂)`; push adds as many write conflicts,
+/// resolved by FAA.
+pub fn triangle_count(w: &Workload, p: usize, model: PramModel, dir: Direction) -> Analysis {
+    let volume = w.m * w.d_max;
+    let cost = k_relaxation(volume, p, model, dir, w.d_max).par(Cost::new(w.d_max, 0.0));
+    let profile = match dir {
+        Direction::Push => ConflictProfile {
+            read_conflicts: volume,
+            write_conflicts: volume,
+            atomics: volume,
+            ..Default::default()
+        },
+        Direction::Pull => ConflictProfile {
+            read_conflicts: volume,
+            ..Default::default()
+        },
+    };
+    Analysis { cost, profile }
+}
+
+/// §4.3 BFS over `D` rounds with frontier sizes summing to `n`.
+/// Pull: `O(D(m/P + d̂))` time, `O(Dm)` work (every round scans all edges).
+/// Push CRCW-CB: `O(m/P + D(d̂ + log P))` time, `O(m)` work; CREW adds a
+/// `log d̂` factor. Push issues `O(m)` CAS; pull has `O(Dm)` read conflicts.
+pub fn bfs(w: &Workload, p: usize, model: PramModel, dir: Direction) -> Analysis {
+    let pf = p as f64;
+    let cost = match dir {
+        Direction::Pull => Cost::new(w.diameter * (w.m / pf + w.d_max), w.diameter * w.m),
+        Direction::Push => {
+            let lg = match model {
+                PramModel::CrcwCb => 1.0,
+                _ => log2c(w.d_max),
+            };
+            Cost::new(
+                (w.m / pf + w.diameter * (w.d_max + log2c(pf))) * lg,
+                w.m * lg,
+            )
+        }
+    };
+    let profile = match dir {
+        Direction::Push => ConflictProfile {
+            write_conflicts: w.m,
+            atomics: w.m,
+            ..Default::default()
+        },
+        Direction::Pull => ConflictProfile {
+            read_conflicts: w.diameter * w.m,
+            ..Default::default()
+        },
+    };
+    Analysis { cost, profile }
+}
+
+/// §4.4 Δ-stepping SSSP. `epochs = L/Δ` (max weighted distance over Δ) and
+/// `l_delta` inner iterations per epoch. Pull: `O((L/Δ)·lΔ·(m/P + d̂))` time,
+/// `O((L/Δ)·m·lΔ)` work. Push: `O(m·lΔ/P + (L/Δ)·lΔ·d̂)` time, `O(m·lΔ)`
+/// work in CRCW-CB (edges of each vertex relax in only one epoch).
+pub fn sssp_delta(
+    w: &Workload,
+    p: usize,
+    model: PramModel,
+    dir: Direction,
+    epochs: f64,
+    l_delta: f64,
+) -> Analysis {
+    let pf = p as f64;
+    let cost = match dir {
+        Direction::Pull => Cost::new(
+            epochs * l_delta * (w.m / pf + w.d_max),
+            epochs * l_delta * w.m,
+        ),
+        Direction::Push => {
+            let lg = match model {
+                PramModel::CrcwCb => 1.0,
+                _ => log2c(w.d_max),
+            };
+            Cost::new(
+                (w.m * l_delta / pf + epochs * l_delta * w.d_max) * lg,
+                w.m * l_delta * lg,
+            )
+        }
+    };
+    let profile = match dir {
+        Direction::Push => ConflictProfile {
+            write_conflicts: w.m * l_delta,
+            atomics: w.m * l_delta,
+            ..Default::default()
+        },
+        Direction::Pull => ConflictProfile {
+            read_conflicts: epochs * w.m * l_delta,
+            ..Default::default()
+        },
+    };
+    Analysis { cost, profile }
+}
+
+/// §4.5 Betweenness centrality: dominated by `2n` BFS invocations (forward
+/// counting + backward accumulation). The float accumulation operator turns
+/// push's conflicts into locks; pull's stay integer-resolvable (Madduri et
+/// al.'s observation, reproduced in §4.9).
+pub fn bc(w: &Workload, p: usize, model: PramModel, dir: Direction) -> Analysis {
+    let per_source = bfs(w, p, model, dir);
+    let cost = per_source.cost.repeat(2.0 * w.n);
+    let b = per_source.profile;
+    // §4.9: BC is the exception where both directions conflict on updates —
+    // the *type* differs: floats when pushing (→ locks), integers when
+    // pulling (ready-counter bookkeeping à la Madduri et al. → atomics).
+    // Each traversal has O(m) conflicting updates.
+    let updates = 2.0 * w.n * w.m;
+    let profile = match dir {
+        Direction::Push => ConflictProfile {
+            read_conflicts: 2.0 * w.n * b.read_conflicts,
+            write_conflicts: updates,
+            locks: updates,
+            atomics: 0.0,
+        },
+        Direction::Pull => ConflictProfile {
+            read_conflicts: 2.0 * w.n * b.read_conflicts,
+            write_conflicts: 0.0,
+            atomics: updates,
+            locks: 0.0,
+        },
+    };
+    Analysis { cost, profile }
+}
+
+/// §4.6 Boman graph coloring: `L` rounds, each a `|B|`-relaxation with
+/// `|B| = Θ(n)` worst case plus a full conflict sweep: `O(L(m/P + d̂))`
+/// time, `O(Lm)` work; push pays `log d̂` in CREW. Both directions resolve
+/// conflicts with CAS (§4.6).
+pub fn coloring(w: &Workload, p: usize, model: PramModel, dir: Direction) -> Analysis {
+    let per_iter = k_relaxation(w.m, p, model, dir, w.d_max).par(Cost::new(w.d_max, 0.0));
+    let cost = per_iter.repeat(w.iters);
+    let conflicts = w.iters * w.m;
+    let profile = match dir {
+        Direction::Push => ConflictProfile {
+            write_conflicts: conflicts,
+            atomics: conflicts,
+            ..Default::default()
+        },
+        Direction::Pull => ConflictProfile {
+            read_conflicts: conflicts,
+            atomics: conflicts,
+            ..Default::default()
+        },
+    };
+    Analysis { cost, profile }
+}
+
+/// §4.7 Boruvka MST: `O(log n)` rounds of find-minimum + merge;
+/// `O(n²/P)` time and `O(n²)` work overall (supervertex degrees can reach
+/// `Θ(n)`), with a further `log n` factor for push in CREW. Push handles
+/// write conflicts with `O(n²)` CAS.
+pub fn boruvka(w: &Workload, p: usize, model: PramModel, dir: Direction) -> Analysis {
+    let n2 = w.n * w.n;
+    let base = Cost::new(n2 / p as f64, n2);
+    let cost = match (dir, model) {
+        (Direction::Push, PramModel::Crew) | (Direction::Push, PramModel::Erew) => {
+            base.scale(log2c(w.n))
+        }
+        _ => base,
+    };
+    let profile = match dir {
+        Direction::Push => ConflictProfile {
+            write_conflicts: n2,
+            atomics: n2,
+            ..Default::default()
+        },
+        Direction::Pull => ConflictProfile {
+            read_conflicts: n2,
+            ..Default::default()
+        },
+    };
+    Analysis { cost, profile }
+}
+
+/// Connected components by label propagation (the connectivity core of
+/// §3.7's supervertex machinery, isolated as the simplest iterative scheme).
+/// `rounds` is the label-propagation distance (≤ diameter). Pull rescans all
+/// edges every round: `O(R(m/P + d̂))` time, `O(Rm)` work, no sync. Push
+/// relaxes an edge only when its source label improves — `O(Rm)` CAS worst
+/// case but `O(m)` typical — and pays the CREW `log d̂` merge factor.
+pub fn connected_components(
+    w: &Workload,
+    p: usize,
+    model: PramModel,
+    dir: Direction,
+    rounds: f64,
+) -> Analysis {
+    let pf = p as f64;
+    let cost = match dir {
+        Direction::Pull => Cost::new(rounds * (w.m / pf + w.d_max), rounds * w.m),
+        Direction::Push => {
+            let lg = match model {
+                PramModel::CrcwCb => 1.0,
+                _ => log2c(w.d_max),
+            };
+            Cost::new(
+                (w.m / pf + rounds * (w.d_max + log2c(pf))) * lg,
+                rounds * w.m * lg,
+            )
+        }
+    };
+    let profile = match dir {
+        Direction::Push => ConflictProfile {
+            write_conflicts: rounds * w.m,
+            atomics: rounds * w.m,
+            ..Default::default()
+        },
+        Direction::Pull => ConflictProfile {
+            read_conflicts: rounds * w.m,
+            ..Default::default()
+        },
+    };
+    Analysis { cost, profile }
+}
+
+/// k-core decomposition by parallel peeling over `rounds` waves (bounded by
+/// the degeneracy times the per-level wave count). Structurally BFS-like:
+/// push decrements each arc's counter at most once overall (`O(m)` FAAs,
+/// `O(m)` work), pull recounts live neighbors every wave (`O(R·m)` reads,
+/// no synchronization) — §4.9's trade in its purest integer form.
+pub fn kcore(w: &Workload, p: usize, model: PramModel, dir: Direction, rounds: f64) -> Analysis {
+    let pf = p as f64;
+    let cost = match dir {
+        Direction::Pull => Cost::new(rounds * (w.m / pf + w.d_max), rounds * w.m),
+        Direction::Push => {
+            let lg = match model {
+                PramModel::CrcwCb => 1.0,
+                _ => log2c(w.d_max),
+            };
+            Cost::new(
+                (w.m / pf + rounds * (w.d_max + log2c(pf))) * lg,
+                w.m * lg,
+            )
+        }
+    };
+    let profile = match dir {
+        Direction::Push => ConflictProfile {
+            write_conflicts: w.m,
+            atomics: w.m,
+            ..Default::default()
+        },
+        Direction::Pull => ConflictProfile {
+            read_conflicts: rounds * w.m,
+            ..Default::default()
+        },
+    };
+    Analysis { cost, profile }
+}
+
+/// Bellman–Ford SSSP (the Δ→∞ limit of §4.4) over `rounds` relaxation
+/// rounds (the weighted hop radius). Push relaxes only improved frontiers
+/// (`O(m)` typical, `O(Rm)` worst-case CAS); pull rescans everything every
+/// round.
+pub fn bellman_ford(
+    w: &Workload,
+    p: usize,
+    model: PramModel,
+    dir: Direction,
+    rounds: f64,
+) -> Analysis {
+    // Identical shape to Δ-stepping with a single epoch whose inner
+    // iteration count is the hop radius.
+    sssp_delta(w, p, model, dir, 1.0, rounds)
+}
+
+/// Community label propagation: `L` synchronous iterations, each moving all
+/// `m` arc labels. The vote *multiset* must reach the deciding thread: pull
+/// gathers it read-only; push deposits into shared ballots, one lock per
+/// arc per iteration — the lock-heavy profile of push-PR (§4.1) with `L·m`
+/// locks.
+pub fn label_propagation(
+    w: &Workload,
+    p: usize,
+    model: PramModel,
+    dir: Direction,
+) -> Analysis {
+    let per_iter = k_relaxation(w.m, p, model, dir, w.d_max).par(Cost::new(w.d_max, 0.0));
+    let cost = per_iter.repeat(w.iters);
+    let volume = w.iters * w.m;
+    let profile = match dir {
+        Direction::Push => ConflictProfile {
+            write_conflicts: volume,
+            locks: volume,
+            ..Default::default()
+        },
+        Direction::Pull => ConflictProfile {
+            read_conflicts: volume,
+            ..Default::default()
+        },
+    };
+    Analysis { cost, profile }
+}
+
+/// §4.8 "Directed Graphs": on digraphs, pushing iterates out-edges of a
+/// subset of vertices while pulling iterates in-edges of all vertices, so
+/// the `d̂` in each bound specializes to `d̂_out` (push) or `d̂_in` (pull).
+/// This wraps any of the undirected analyses with the appropriate maximum
+/// degree substituted.
+pub fn directed<F>(analysis: F, w: &Workload, d_out: f64, d_in: f64, dir: Direction) -> Analysis
+where
+    F: Fn(&Workload) -> Analysis,
+{
+    let w_dir = match dir {
+        Direction::Push => w.with_d_max(d_out),
+        Direction::Pull => w.with_d_max(d_in),
+    };
+    analysis(&w_dir)
+}
+
+/// BFS per-round frontier cost, exposed for fine-grained comparisons (the
+/// push/pull switching analyses of §5 reason about single rounds): cost of
+/// round with frontier size `f` where pushing explores `f·d̂` arcs and
+/// pulling scans all `m`.
+pub fn bfs_round(w: &Workload, p: usize, model: PramModel, dir: Direction, frontier: f64) -> Cost {
+    match dir {
+        Direction::Pull => Cost::new(w.m / p as f64 + w.d_max, w.m),
+        Direction::Push => {
+            let explored = frontier * w.d_max;
+            k_relaxation(explored, p, model, dir, w.d_max)
+                .then(k_filter(explored, p, w.n, dir))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> Workload {
+        Workload::new(1 << 16, 1 << 20)
+            .with_d_max(512.0)
+            .with_diameter(12.0)
+            .with_iters(20)
+    }
+
+    #[test]
+    fn pagerank_push_crew_is_log_slower() {
+        let pull = pagerank(&w(), 16, PramModel::Crew, Direction::Pull);
+        let push = pagerank(&w(), 16, PramModel::Crew, Direction::Push);
+        let ratio = push.cost.work / pull.cost.work;
+        assert!(ratio > 4.0, "expected ≈log d̂ work blowup, got {ratio}");
+        assert_eq!(push.profile.locks, 20.0 * (1 << 20) as f64);
+        assert_eq!(pull.profile.locks, 0.0);
+    }
+
+    #[test]
+    fn bfs_push_is_work_efficient() {
+        // §4.3: push does O(m) work, pull O(Dm).
+        let push = bfs(&w(), 16, PramModel::CrcwCb, Direction::Push);
+        let pull = bfs(&w(), 16, PramModel::CrcwCb, Direction::Pull);
+        assert!(pull.cost.work / push.cost.work > 10.0);
+    }
+
+    #[test]
+    fn sssp_push_cheaper_since_single_epoch_relaxation() {
+        // §4.4: "Pushing achieves a smaller cost, since we relax the edges
+        // leaving each node in only one of L/Δ epochs."
+        let push = sssp_delta(&w(), 16, PramModel::CrcwCb, Direction::Push, 10.0, 3.0);
+        let pull = sssp_delta(&w(), 16, PramModel::CrcwCb, Direction::Pull, 10.0, 3.0);
+        assert!(push.cost.work < pull.cost.work);
+        assert_eq!(push.profile.atomics, (1 << 20) as f64 * 3.0);
+    }
+
+    #[test]
+    fn bc_push_uses_locks_pull_uses_atomics() {
+        // §4.9: BC changes the conflict type from float to int.
+        let push = bc(&w(), 16, PramModel::CrcwCb, Direction::Push);
+        let pull = bc(&w(), 16, PramModel::CrcwCb, Direction::Pull);
+        assert!(push.profile.locks > 0.0);
+        assert_eq!(push.profile.atomics, 0.0);
+        assert!(pull.profile.atomics > 0.0);
+        assert_eq!(pull.profile.locks, 0.0);
+    }
+
+    #[test]
+    fn coloring_both_directions_use_cas() {
+        for dir in Direction::BOTH {
+            let a = coloring(&w(), 16, PramModel::CrcwCb, dir);
+            assert!(a.profile.atomics > 0.0, "{dir:?}");
+            assert_eq!(a.profile.locks, 0.0);
+        }
+    }
+
+    #[test]
+    fn boruvka_quadratic_work() {
+        let a = boruvka(&w(), 16, PramModel::CrcwCb, Direction::Pull);
+        let n = (1 << 16) as f64;
+        assert_eq!(a.cost.work, n * n);
+        assert_eq!(a.cost.time, n * n / 16.0);
+    }
+
+    #[test]
+    fn bfs_round_crossover_with_frontier_size() {
+        // Small frontier: pushing explores few arcs and wins. Frontier ≈ n:
+        // pushing explores ≈ m arcs plus filter overhead and the advantage
+        // evaporates — the crossover behind direction-optimizing BFS.
+        let wl = w();
+        let small_push = bfs_round(&wl, 16, PramModel::CrcwCb, Direction::Push, 4.0);
+        let pull = bfs_round(&wl, 16, PramModel::CrcwCb, Direction::Pull, 4.0);
+        assert!(small_push.work < pull.work);
+        let huge_push = bfs_round(&wl, 16, PramModel::CrcwCb, Direction::Push, wl.n);
+        assert!(huge_push.work > pull.work * 8.0);
+    }
+
+    #[test]
+    fn components_pull_work_scales_with_rounds() {
+        let pull8 = connected_components(&w(), 16, PramModel::CrcwCb, Direction::Pull, 8.0);
+        let pull16 = connected_components(&w(), 16, PramModel::CrcwCb, Direction::Pull, 16.0);
+        assert_eq!(pull16.cost.work, 2.0 * pull8.cost.work);
+        assert_eq!(pull8.profile.atomics, 0.0);
+        let push = connected_components(&w(), 16, PramModel::CrcwCb, Direction::Push, 8.0);
+        assert!(push.profile.atomics > 0.0);
+    }
+
+    #[test]
+    fn kcore_push_atomics_bounded_by_m() {
+        let m = (1 << 20) as f64;
+        let push = kcore(&w(), 16, PramModel::CrcwCb, Direction::Push, 40.0);
+        assert_eq!(push.profile.atomics, m);
+        assert_eq!(push.cost.work, m);
+        let pull = kcore(&w(), 16, PramModel::CrcwCb, Direction::Pull, 40.0);
+        assert_eq!(pull.profile.read_conflicts, 40.0 * m);
+        assert!(pull.cost.work > push.cost.work);
+    }
+
+    #[test]
+    fn kcore_push_pays_log_in_crew() {
+        let cb = kcore(&w(), 16, PramModel::CrcwCb, Direction::Push, 10.0);
+        let crew = kcore(&w(), 16, PramModel::Crew, Direction::Push, 10.0);
+        assert!(crew.cost.work > 4.0 * cb.cost.work);
+    }
+
+    #[test]
+    fn bellman_ford_is_single_epoch_delta_stepping() {
+        let bf = bellman_ford(&w(), 16, PramModel::CrcwCb, Direction::Push, 7.0);
+        let ds = sssp_delta(&w(), 16, PramModel::CrcwCb, Direction::Push, 1.0, 7.0);
+        assert_eq!(bf.cost.work, ds.cost.work);
+        assert_eq!(bf.profile.atomics, ds.profile.atomics);
+    }
+
+    #[test]
+    fn label_propagation_push_locks_like_pagerank() {
+        // Both deposit float/ballot updates under locks; same L·m profile.
+        let lp = label_propagation(&w(), 16, PramModel::CrcwCb, Direction::Push);
+        let pr = pagerank(&w(), 16, PramModel::CrcwCb, Direction::Push);
+        assert_eq!(lp.profile.locks, pr.profile.locks);
+        let pull = label_propagation(&w(), 16, PramModel::CrcwCb, Direction::Pull);
+        assert_eq!(pull.profile.locks, 0.0);
+        assert!(pull.profile.read_conflicts > 0.0);
+    }
+
+    #[test]
+    fn workload_defaults() {
+        let wl = Workload::new(1024, 4096);
+        assert_eq!(wl.d_max, 8.0);
+        assert_eq!(wl.diameter, 10.0);
+        assert_eq!(wl.iters, 1.0);
+    }
+
+    #[test]
+    fn directed_substitutes_the_right_degree() {
+        // §4.8: a digraph with huge in-degrees but small out-degrees makes
+        // pulling pay and pushing cheap in the CREW merge-tree factor.
+        let wl = w();
+        let (d_out, d_in) = (4.0, 4096.0);
+        let mk = |w: &Workload| pagerank(w, 16, PramModel::Crew, Direction::Push);
+        let push = directed(mk, &wl, d_out, d_in, Direction::Push);
+        let mk = |w: &Workload| pagerank(w, 16, PramModel::Crew, Direction::Push);
+        let pull_view = directed(mk, &wl, d_out, d_in, Direction::Pull);
+        // The same (push) analysis evaluated at d̂_out vs d̂_in differs by
+        // the log factor ratio: log2(4096)/log2(4) = 6.
+        assert!(pull_view.cost.work / push.cost.work > 5.0);
+    }
+}

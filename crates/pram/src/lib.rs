@@ -1,0 +1,80 @@
+//! PRAM machine models and the push/pull cost analysis of §4.
+//!
+//! The paper derives time/work bounds, conflict counts, and atomic/lock
+//! counts for push and pull variants of seven algorithms under the CRCW-CB
+//! and CREW PRAM variants (§2.1), built from two primitives:
+//!
+//! * **`k`-relaxation** — simultaneously propagating updates from/to `k`
+//!   vertices to/from one of their neighbors (push/pull respectively);
+//! * **`k`-filter** — extracting the vertices updated by one or more
+//!   relaxations (non-trivial only when pushing).
+//!
+//! This crate implements those primitives and the per-algorithm formulas as
+//! executable cost models, plus the two simulation lemmas of §2.1 (limiting
+//! processors, CRCW→CREW/EREW slowdown). Costs are asymptotic estimates with
+//! unit constants: they are meant for *comparisons between variants* (who is
+//! slower, by what factor, in which model), which is exactly how §4 uses
+//! them. Integration tests cross-check the conflict/atomic predictions
+//! against the instrumented kernels of `pp-core`.
+
+pub mod algos;
+pub mod model;
+pub mod primitives;
+
+pub use algos::{Analysis, ConflictProfile, Workload};
+pub use model::{Cost, Direction, PramModel};
+pub use primitives::{k_filter, k_relaxation};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §4.9 "Complexity": for PR and TC, pulling beats pushing in CREW by a
+    /// logarithmic factor; in CRCW-CB they tie.
+    #[test]
+    fn section_4_9_complexity_claims() {
+        let w = Workload::new(1 << 20, 1 << 24).with_iters(10);
+        let p = 16;
+
+        let pr_pull = algos::pagerank(&w, p, PramModel::Crew, Direction::Pull);
+        let pr_push_crew = algos::pagerank(&w, p, PramModel::Crew, Direction::Push);
+        let pr_push_crcw = algos::pagerank(&w, p, PramModel::CrcwCb, Direction::Push);
+        assert!(pr_push_crew.cost.time > pr_pull.cost.time * 2.0);
+        assert!((pr_push_crcw.cost.time - pr_pull.cost.time).abs() < 1e-9);
+
+        let tc_pull = algos::triangle_count(&w, p, PramModel::Crew, Direction::Pull);
+        let tc_push_crew = algos::triangle_count(&w, p, PramModel::Crew, Direction::Push);
+        assert!(tc_push_crew.cost.work > tc_pull.cost.work);
+    }
+
+    /// §4.9 "Atomics/Locks": pulling removes atomics/locks completely for
+    /// TC, PR, BFS, Δ-stepping, and MST.
+    #[test]
+    fn section_4_9_pull_removes_sync() {
+        let w = Workload::new(1 << 16, 1 << 20).with_iters(5);
+        let p = 8;
+        for analysis in [
+            algos::pagerank(&w, p, PramModel::CrcwCb, Direction::Pull),
+            algos::triangle_count(&w, p, PramModel::CrcwCb, Direction::Pull),
+            algos::bfs(&w, p, PramModel::CrcwCb, Direction::Pull),
+            algos::sssp_delta(&w, p, PramModel::CrcwCb, Direction::Pull, 8.0, 4.0),
+            algos::boruvka(&w, p, PramModel::CrcwCb, Direction::Pull),
+        ] {
+            assert_eq!(analysis.profile.atomics, 0.0);
+            assert_eq!(analysis.profile.locks, 0.0);
+        }
+    }
+
+    /// §4.9 "Write/Read Conflicts": traversals entail more read conflicts
+    /// with pulling; pushing entails write conflicts.
+    #[test]
+    fn section_4_9_conflict_asymmetry() {
+        let w = Workload::new(1 << 16, 1 << 20);
+        let p = 8;
+        let push = algos::bfs(&w, p, PramModel::CrcwCb, Direction::Push);
+        let pull = algos::bfs(&w, p, PramModel::CrcwCb, Direction::Pull);
+        assert!(push.profile.write_conflicts > 0.0);
+        assert_eq!(pull.profile.write_conflicts, 0.0);
+        assert!(pull.profile.read_conflicts > push.profile.write_conflicts);
+    }
+}

@@ -1,0 +1,160 @@
+//! PRAM variants, direction, cost algebra, and the simulation lemmas of
+//! §2.1.
+
+/// The three PRAM variants the paper considers, ordered weakest to
+/// strongest (§2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PramModel {
+    /// Exclusive-read exclusive-write: no concurrent accesses to a cell.
+    Erew,
+    /// Concurrent-read exclusive-write.
+    Crew,
+    /// Combining concurrent-read concurrent-write: concurrent writes combine
+    /// through an associative, commutative operator.
+    CrcwCb,
+}
+
+/// Push or pull (§3.8): pushing lets any thread modify any vertex; pulling
+/// restricts each thread to the vertices it owns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Updates flow from a thread's vertices to the shared state.
+    Push,
+    /// Updates are gathered into a thread's private state.
+    Pull,
+}
+
+impl Direction {
+    /// Both directions, for sweeps.
+    pub const BOTH: [Direction; 2] = [Direction::Push, Direction::Pull];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Push => "Pushing",
+            Direction::Pull => "Pulling",
+        }
+    }
+}
+
+/// An asymptotic (unit-constant) time/work pair: `time` is the span `S`,
+/// `work` the total instruction count `W` (§2.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cost {
+    /// Longest execution path.
+    pub time: f64,
+    /// Total instruction count.
+    pub work: f64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost {
+        time: 0.0,
+        work: 0.0,
+    };
+
+    /// Constructs a cost.
+    pub fn new(time: f64, work: f64) -> Self {
+        Self { time, work }
+    }
+
+    /// Sequential composition: times and works add.
+    pub fn then(self, other: Cost) -> Cost {
+        Cost::new(self.time + other.time, self.work + other.work)
+    }
+
+    /// `k` sequential repetitions.
+    pub fn repeat(self, k: f64) -> Cost {
+        Cost::new(self.time * k, self.work * k)
+    }
+
+    /// Uniform scaling of both components (model slowdowns).
+    pub fn scale(self, f: f64) -> Cost {
+        Cost::new(self.time * f, self.work * f)
+    }
+
+    /// Parallel composition: times max, works add.
+    pub fn par(self, other: Cost) -> Cost {
+        Cost::new(self.time.max(other.time), self.work + other.work)
+    }
+}
+
+/// `log2(x)` clamped below at 1 — the paper's `log` factors are slowdowns
+/// and never speed anything up for tiny arguments.
+pub fn log2c(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// §2.1 "Limiting P" (Brent-style): a problem solvable on a `p`-processor
+/// PRAM in time `S` runs on `p' < p` processors in `⌈S·p/p'⌉`.
+pub fn limit_processors(cost: Cost, p: usize, p_new: usize) -> Cost {
+    assert!(p_new >= 1 && p_new <= p, "p' must satisfy 1 ≤ p' ≤ p");
+    Cost::new(
+        (cost.time * p as f64 / p_new as f64).ceil(),
+        cost.work,
+    )
+}
+
+/// §2.1: simulating a CRCW (or CREW) algorithm on the next-weaker model
+/// costs a `Θ(log n)` slowdown (and `M·P` memory, not tracked here). Applied
+/// zero or more times to bridge from `from` down to `to`.
+pub fn simulate_on_weaker(cost: Cost, from: PramModel, to: PramModel, n: f64) -> Cost {
+    assert!(to <= from, "can only simulate on a weaker or equal model");
+    let steps = (from as u8 - to as u8) as i32;
+    cost.scale(log2c(n).powi(steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_algebra() {
+        let a = Cost::new(2.0, 10.0);
+        let b = Cost::new(3.0, 5.0);
+        assert_eq!(a.then(b), Cost::new(5.0, 15.0));
+        assert_eq!(a.par(b), Cost::new(3.0, 15.0));
+        assert_eq!(a.repeat(4.0), Cost::new(8.0, 40.0));
+        assert_eq!(a.scale(2.0), Cost::new(4.0, 20.0));
+    }
+
+    #[test]
+    fn limit_processors_is_brents_lemma() {
+        // S' = ceil(S * P / P').
+        let c = limit_processors(Cost::new(100.0, 1000.0), 64, 16);
+        assert_eq!(c.time, 400.0);
+        assert_eq!(c.work, 1000.0, "work is unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ p'")]
+    fn limit_processors_rejects_growth() {
+        limit_processors(Cost::ZERO, 4, 8);
+    }
+
+    #[test]
+    fn simulation_slowdown_is_log_per_step() {
+        let c = Cost::new(1.0, 1.0);
+        let n = 1024.0;
+        let one = simulate_on_weaker(c, PramModel::CrcwCb, PramModel::Crew, n);
+        assert_eq!(one.time, 10.0);
+        let two = simulate_on_weaker(c, PramModel::CrcwCb, PramModel::Erew, n);
+        assert_eq!(two.time, 100.0);
+        let zero = simulate_on_weaker(c, PramModel::Crew, PramModel::Crew, n);
+        assert_eq!(zero.time, 1.0);
+    }
+
+    #[test]
+    fn model_ordering_weakest_first() {
+        assert!(PramModel::Erew < PramModel::Crew);
+        assert!(PramModel::Crew < PramModel::CrcwCb);
+    }
+
+    #[test]
+    fn log2c_clamps() {
+        assert_eq!(log2c(1.0), 1.0);
+        assert_eq!(log2c(0.0), 1.0);
+        assert_eq!(log2c(8.0), 3.0);
+    }
+}

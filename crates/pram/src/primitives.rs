@@ -1,0 +1,93 @@
+//! The two cost primitives of §4 ("Cost Derivations").
+//!
+//! All per-algorithm analyses are assembled from `k`-relaxation and
+//! `k`-filter. Let `k̄ = max(1, k/P)`:
+//!
+//! * pulling `k`-relaxation: `O(k̄)` time, `O(k)` work;
+//! * pushing `k`-relaxation in CRCW-CB: `O(k̄)` time, `O(k)` work (concurrent
+//!   writes combine);
+//! * pushing `k`-relaxation in CREW: `O(k̄·log d̂)` time, `O(k·log d̂)` work
+//!   via forests of incomplete binary merge-trees;
+//! * `k`-filter: `O(log P + k̄)` time, `O(min(k, n))` work via a prefix sum
+//!   (needed only when pushing — pulling inspects every vertex anyway).
+
+use crate::model::{log2c, Cost, Direction, PramModel};
+
+/// `k̄ = max(1, k/P)`.
+pub fn k_bar(k: f64, p: usize) -> f64 {
+    (k / p as f64).max(1.0)
+}
+
+/// Cost of one `k`-relaxation (§4): propagating updates from/to `k` vertices
+/// to/from one neighbor each. `d_max` is `d̂`, the maximum degree, which
+/// bounds the height of the CREW merge trees.
+pub fn k_relaxation(k: f64, p: usize, model: PramModel, dir: Direction, d_max: f64) -> Cost {
+    let kb = k_bar(k, p);
+    match (dir, model) {
+        (Direction::Pull, _) => Cost::new(kb, k),
+        (Direction::Push, PramModel::CrcwCb) => Cost::new(kb, k),
+        // CREW (and EREW, which is no stronger) pay the merge-tree factor.
+        (Direction::Push, PramModel::Crew) | (Direction::Push, PramModel::Erew) => {
+            let lg = log2c(d_max);
+            Cost::new(kb * lg, k * lg)
+        }
+    }
+}
+
+/// Cost of one `k`-filter (§4): extracting the set of updated vertices via a
+/// prefix sum over at most `n` candidates. Pulling never needs it (it scans
+/// all vertices regardless), so its cost there is zero.
+pub fn k_filter(k: f64, p: usize, n: f64, dir: Direction) -> Cost {
+    match dir {
+        Direction::Pull => Cost::ZERO,
+        Direction::Push => Cost::new(log2c(p as f64) + k_bar(k, p), k.min(n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_bar_floors_at_one() {
+        assert_eq!(k_bar(4.0, 16), 1.0);
+        assert_eq!(k_bar(64.0, 16), 4.0);
+    }
+
+    #[test]
+    fn pull_relaxation_is_model_independent() {
+        for model in [PramModel::Erew, PramModel::Crew, PramModel::CrcwCb] {
+            let c = k_relaxation(1024.0, 16, model, Direction::Pull, 100.0);
+            assert_eq!(c, Cost::new(64.0, 1024.0));
+        }
+    }
+
+    #[test]
+    fn push_crcw_matches_pull() {
+        let push = k_relaxation(1024.0, 16, PramModel::CrcwCb, Direction::Push, 100.0);
+        let pull = k_relaxation(1024.0, 16, PramModel::CrcwCb, Direction::Pull, 100.0);
+        assert_eq!(push, pull);
+    }
+
+    #[test]
+    fn push_crew_pays_log_dmax() {
+        let crcw = k_relaxation(1024.0, 16, PramModel::CrcwCb, Direction::Push, 256.0);
+        let crew = k_relaxation(1024.0, 16, PramModel::Crew, Direction::Push, 256.0);
+        assert_eq!(crew.time, crcw.time * 8.0);
+        assert_eq!(crew.work, crcw.work * 8.0);
+    }
+
+    #[test]
+    fn filter_only_costs_when_pushing() {
+        assert_eq!(k_filter(100.0, 4, 1000.0, Direction::Pull), Cost::ZERO);
+        let f = k_filter(100.0, 4, 1000.0, Direction::Push);
+        assert_eq!(f.time, 2.0 + 25.0);
+        assert_eq!(f.work, 100.0);
+    }
+
+    #[test]
+    fn filter_work_capped_at_n() {
+        let f = k_filter(5000.0, 4, 1000.0, Direction::Push);
+        assert_eq!(f.work, 1000.0);
+    }
+}

@@ -1,0 +1,616 @@
+//! Set-associative cache and TLB simulation.
+//!
+//! The cache-miss and TLB-miss columns of Table 1 come from PAPI on Xeon
+//! nodes. We substitute a software model: an inclusive three-level
+//! set-associative hierarchy with LRU replacement plus a data TLB, driven by
+//! the actual addresses instrumented kernels touch. Defaults mirror the
+//! paper's XC30 Sandy Bridge nodes (32 KiB L1d/8-way, 256 KiB L2/8-way,
+//! 20 MiB shared L3/16-way ≈ 8 MiB per-thread share here, 64-entry dTLB with
+//! 4 KiB pages).
+
+use parking_lot::Mutex;
+
+use crate::{counters::CountingProbe, EventCounts, Probe};
+
+/// Geometry of one cache level (or a TLB, where a "line" is a page).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (for a TLB: entries × page size).
+    pub size_bytes: usize,
+    /// Line size in bytes (for a TLB: the page size).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(lines >= self.ways, "cache smaller than one set");
+        let sets = lines / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// One set-associative cache level with LRU replacement.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    /// `sets × ways` tags in LRU order (front = most recent). `u64::MAX`
+    /// marks an invalid way.
+    tags: Vec<u64>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let slots = config.sets() * config.ways;
+        Self {
+            config,
+            tags: vec![u64::MAX; slots],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses `addr`; returns `true` on hit. On miss the line is filled
+    /// (evicting the set's LRU way).
+    pub fn access(&mut self, addr: usize) -> bool {
+        self.accesses += 1;
+        let line = (addr / self.config.line_bytes) as u64;
+        let sets = self.config.sets();
+        let set = (line as usize) & (sets - 1);
+        let ways = self.config.ways;
+        let base = set * ways;
+        let slot = &mut self.tags[base..base + ways];
+        if let Some(pos) = slot.iter().position(|&t| t == line) {
+            // Hit: move to MRU position.
+            slot[..=pos].rotate_right(1);
+            true
+        } else {
+            self.misses += 1;
+            slot.rotate_right(1);
+            slot[0] = line;
+            false
+        }
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.accesses = 0;
+        self.misses = 0;
+    }
+
+    /// Installs `line` without touching the access/miss statistics — the
+    /// fill path used by the prefetcher (prefetch fills are not demand
+    /// accesses). The line lands in the MRU way of its set.
+    pub fn fill(&mut self, line: u64) {
+        let sets = self.config.sets();
+        let set = (line as usize) & (sets - 1);
+        let ways = self.config.ways;
+        let base = set * ways;
+        let slot = &mut self.tags[base..base + ways];
+        if let Some(pos) = slot.iter().position(|&t| t == line) {
+            slot[..=pos].rotate_right(1);
+        } else {
+            slot.rotate_right(1);
+            slot[0] = line;
+        }
+    }
+}
+
+/// A stream/stride hardware prefetcher model (the "cache prefetchers" §6.5
+/// credits for push-PR's contiguous-scan advantage).
+///
+/// A small fully-associative table tracks recent access streams as
+/// `(last_line, stride)` pairs. An access that continues a stream (its line
+/// equals `last_line + stride`) confirms it and prefetches the *next* line
+/// of the stride; an access one line after any recent access starts a new
+/// unit-stride stream. Random gathers never confirm a stream, so they get
+/// no help — exactly the asymmetry between CSR offset/target sweeps
+/// (streaming) and rank gathers (random) that the paper's PR data shows.
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    /// `(last_line, stride)` per tracked stream, LRU order (front = MRU).
+    streams: Vec<(u64, i64)>,
+    issued: u64,
+}
+
+impl StridePrefetcher {
+    /// A prefetcher tracking up to `streams` concurrent streams (hardware
+    /// prefetchers track 8–32).
+    pub fn new(streams: usize) -> Self {
+        assert!(streams >= 1);
+        Self {
+            streams: Vec::with_capacity(streams),
+            issued: 0,
+        }
+    }
+
+    /// Number of prefetches issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Clears stream state and statistics.
+    pub fn reset(&mut self) {
+        self.streams.clear();
+        self.issued = 0;
+    }
+
+    /// Observes a demand access to `line`; returns the line to prefetch, if
+    /// any.
+    pub fn observe(&mut self, line: u64) -> Option<u64> {
+        // Continue a confirmed stream?
+        if let Some(pos) = self
+            .streams
+            .iter()
+            .position(|&(last, stride)| last.wrapping_add(stride as u64) == line)
+        {
+            let (_, stride) = self.streams.remove(pos);
+            self.streams.insert(0, (line, stride));
+            self.issued += 1;
+            return Some(line.wrapping_add(stride as u64));
+        }
+        // Detect a new stream from any recent line at distance ±1.
+        if let Some(pos) = self
+            .streams
+            .iter()
+            .position(|&(last, _)| line.abs_diff(last) == 1)
+        {
+            let (last, _) = self.streams.remove(pos);
+            let stride = line as i64 - last as i64;
+            self.streams.insert(0, (line, stride));
+            return None;
+        }
+        // Track as a potential stream head, evicting the LRU entry.
+        if self.streams.len() == self.streams.capacity() {
+            self.streams.pop();
+        }
+        self.streams.insert(0, (line, 1));
+        None
+    }
+}
+
+/// Three cache levels plus a data TLB, probed in hierarchy order: an access
+/// that hits L1 does not reach L2; every access consults the TLB.
+#[derive(Clone, Debug)]
+pub struct CacheHierarchy {
+    /// L1 data cache.
+    pub l1: SetAssocCache,
+    /// Unified L2.
+    pub l2: SetAssocCache,
+    /// Last-level cache.
+    pub l3: SetAssocCache,
+    /// Data TLB.
+    pub dtlb: SetAssocCache,
+    /// Optional stream prefetcher (fills L1/L2/L3 on confirmed strides).
+    pub prefetcher: Option<StridePrefetcher>,
+}
+
+impl CacheHierarchy {
+    /// Geometry matching the paper's Cray XC30 nodes (per-thread L3 share).
+    pub fn xc30() -> Self {
+        Self {
+            l1: SetAssocCache::new(CacheConfig {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                ways: 8,
+            }),
+            l2: SetAssocCache::new(CacheConfig {
+                size_bytes: 256 << 10,
+                line_bytes: 64,
+                ways: 8,
+            }),
+            l3: SetAssocCache::new(CacheConfig {
+                size_bytes: 8 << 20,
+                line_bytes: 64,
+                ways: 16,
+            }),
+            dtlb: SetAssocCache::new(CacheConfig {
+                size_bytes: 64 * 4096,
+                line_bytes: 4096,
+                ways: 4,
+            }),
+            prefetcher: None,
+        }
+    }
+
+    /// A small hierarchy for tests (64-line L1 etc.) so miss behaviour is
+    /// easy to trigger deliberately.
+    pub fn tiny() -> Self {
+        Self {
+            l1: SetAssocCache::new(CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 64,
+                ways: 2,
+            }),
+            l2: SetAssocCache::new(CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 64,
+                ways: 4,
+            }),
+            l3: SetAssocCache::new(CacheConfig {
+                size_bytes: 16384,
+                line_bytes: 64,
+                ways: 4,
+            }),
+            dtlb: SetAssocCache::new(CacheConfig {
+                size_bytes: 4 * 4096,
+                line_bytes: 4096,
+                ways: 2,
+            }),
+            prefetcher: None,
+        }
+    }
+
+    /// Attaches a 16-stream stride prefetcher (builder style).
+    pub fn with_prefetcher(mut self) -> Self {
+        self.prefetcher = Some(StridePrefetcher::new(16));
+        self
+    }
+
+    /// Runs one access through the hierarchy, updating miss counters.
+    pub fn access(&mut self, addr: usize) {
+        self.dtlb.access(addr);
+        if !self.l1.access(addr) && !self.l2.access(addr) {
+            self.l3.access(addr);
+        }
+        if let Some(pf) = &mut self.prefetcher {
+            let line_bytes = self.l1.config.line_bytes as u64;
+            if let Some(next) = pf.observe(addr as u64 / line_bytes) {
+                // Prefetch fills all levels without counting as demand
+                // traffic (inclusive hierarchy).
+                self.l1.fill(next);
+                self.l2.fill(next);
+                self.l3.fill(next);
+            }
+        }
+    }
+
+    /// Snapshot of the four miss counters.
+    pub fn miss_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.l1.misses(),
+            self.l2.misses(),
+            self.l3.misses(),
+            self.dtlb.misses(),
+        )
+    }
+
+    /// Clears all levels and the prefetcher.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.l3.reset();
+        self.dtlb.reset();
+        if let Some(pf) = &mut self.prefetcher {
+            pf.reset();
+        }
+    }
+
+    /// Prefetches issued so far (0 when no prefetcher is attached).
+    pub fn prefetches_issued(&self) -> u64 {
+        self.prefetcher.as_ref().map_or(0, StridePrefetcher::issued)
+    }
+}
+
+/// A probe that counts events *and* feeds every address through a
+/// [`CacheHierarchy`].
+///
+/// The hierarchy sits behind a mutex: instrumented runs are about exact
+/// counts, not time, and Table-1 experiments run at small scale. Accesses
+/// from concurrent threads interleave in the shared hierarchy the way they
+/// would in a shared LLC; per-thread L1/L2 behaviour is approximated, which
+/// is adequate for the order-of-magnitude contrasts the paper draws.
+pub struct CacheSimProbe {
+    counting: CountingProbe,
+    hierarchy: Mutex<CacheHierarchy>,
+}
+
+impl CacheSimProbe {
+    /// XC30-geometry probe.
+    pub fn new() -> Self {
+        Self::with_hierarchy(CacheHierarchy::xc30())
+    }
+
+    /// Probe with explicit geometry.
+    pub fn with_hierarchy(hierarchy: CacheHierarchy) -> Self {
+        Self {
+            counting: CountingProbe::new(),
+            hierarchy: Mutex::new(hierarchy),
+        }
+    }
+
+    /// Snapshot: event counters plus cache/TLB misses.
+    pub fn counts(&self) -> EventCounts {
+        let mut c = self.counting.counts();
+        let (l1, l2, l3, dtlb) = self.hierarchy.lock().miss_counts();
+        c.l1_misses = l1;
+        c.l2_misses = l2;
+        c.l3_misses = l3;
+        c.dtlb_misses = dtlb;
+        c
+    }
+
+    /// Reset counters and cache contents.
+    pub fn reset(&self) {
+        self.counting.reset();
+        self.hierarchy.lock().reset();
+    }
+
+    /// Prefetches issued by the hierarchy's prefetcher (0 without one).
+    pub fn prefetches_issued(&self) -> u64 {
+        self.hierarchy.lock().prefetches_issued()
+    }
+
+    fn touch(&self, addr: usize, bytes: usize) {
+        let mut h = self.hierarchy.lock();
+        // A wide access crossing a line boundary touches both lines.
+        let first = addr / 64;
+        let last = (addr + bytes.max(1) - 1) / 64;
+        h.access(addr);
+        if last != first {
+            h.access(last * 64);
+        }
+    }
+}
+
+impl Default for CacheSimProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Probe for CacheSimProbe {
+    fn read(&self, addr: usize, bytes: usize) {
+        self.counting.read(addr, bytes);
+        self.touch(addr, bytes);
+    }
+
+    fn write(&self, addr: usize, bytes: usize) {
+        self.counting.write(addr, bytes);
+        self.touch(addr, bytes);
+    }
+
+    fn atomic_rmw(&self, addr: usize, bytes: usize) {
+        self.counting.atomic_rmw(addr, bytes);
+        self.touch(addr, bytes);
+    }
+
+    fn lock(&self) {
+        self.counting.lock();
+    }
+
+    fn branch_cond(&self) {
+        self.counting.branch_cond();
+    }
+
+    fn branch_uncond(&self) {
+        self.counting.branch_uncond();
+    }
+
+    fn barrier(&self) {
+        self.counting.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_cache(lines: usize, ways: usize) -> SetAssocCache {
+        SetAssocCache::new(CacheConfig {
+            size_bytes: lines * 64,
+            line_bytes: 64,
+            ways,
+        })
+    }
+
+    #[test]
+    fn geometry_computes_sets() {
+        let c = CacheConfig {
+            size_bytes: 32 << 10,
+            line_bytes: 64,
+            ways: 8,
+        };
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = line_cache(4, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.accesses(), 4);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set, 2 ways: lines map to the same set.
+        let mut c = line_cache(2, 2);
+        c.access(0); // miss, cache: [0]
+        c.access(64); // miss, cache: [64, 0]
+        c.access(0); // hit, cache: [0, 64]
+        c.access(128); // miss, evicts 64
+        assert!(c.access(0), "0 was MRU, must survive");
+        assert!(!c.access(64), "64 was LRU, must be gone");
+    }
+
+    #[test]
+    fn streaming_beats_random_on_misses() {
+        // The phenomenon behind Table 1's pull-PR numbers: sequential sweeps
+        // miss once per line, random gathers miss almost every access.
+        let mut seq = CacheHierarchy::tiny();
+        let mut rnd = CacheHierarchy::tiny();
+        let n = 4096usize;
+        for i in 0..n {
+            seq.access(i * 8); // stride-8 stream
+        }
+        let mut x = 1usize;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rnd.access((x >> 16) % (1 << 22));
+        }
+        assert!(
+            seq.l1.misses() * 4 < rnd.l1.misses(),
+            "seq {} vs rnd {}",
+            seq.l1.misses(),
+            rnd.l1.misses()
+        );
+    }
+
+    #[test]
+    fn hierarchy_filters_l2_behind_l1() {
+        let mut h = CacheHierarchy::tiny();
+        h.access(0);
+        h.access(0);
+        h.access(0);
+        // Only the cold miss reaches L2/L3.
+        assert_eq!(h.l1.misses(), 1);
+        assert_eq!(h.l2.accesses(), 1);
+        assert_eq!(h.l3.accesses(), 1);
+        assert_eq!(h.dtlb.accesses(), 3, "TLB sees every access");
+    }
+
+    #[test]
+    fn probe_combines_counts_and_misses() {
+        let p = CacheSimProbe::with_hierarchy(CacheHierarchy::tiny());
+        p.read(0, 8);
+        p.read(0, 8);
+        p.write(4096 * 8, 8);
+        p.atomic_rmw(0, 8);
+        let c = p.counts();
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 1);
+        assert_eq!(c.atomics, 1);
+        assert!(c.l1_misses >= 2);
+        assert!(c.dtlb_misses >= 2);
+    }
+
+    #[test]
+    fn line_crossing_access_touches_two_lines() {
+        let p = CacheSimProbe::with_hierarchy(CacheHierarchy::tiny());
+        p.read(60, 8); // crosses the 64-byte boundary
+        let c = p.counts();
+        assert_eq!(c.l1_misses, 2);
+    }
+
+    #[test]
+    fn prefetcher_confirms_unit_strides() {
+        let mut pf = StridePrefetcher::new(4);
+        assert_eq!(pf.observe(10), None); // head (assumed unit stride)
+        assert_eq!(pf.observe(11), Some(12)); // next-line: confirmed
+        assert_eq!(pf.observe(12), Some(13));
+        assert_eq!(pf.observe(13), Some(14));
+        assert_eq!(pf.issued(), 3);
+    }
+
+    #[test]
+    fn prefetcher_tracks_negative_and_wide_strides() {
+        let mut pf = StridePrefetcher::new(4);
+        pf.observe(100);
+        pf.observe(99); // stride -1 detected
+        assert_eq!(pf.observe(98), Some(97));
+    }
+
+    #[test]
+    fn prefetcher_ignores_random_accesses() {
+        let mut pf = StridePrefetcher::new(8);
+        let mut x = 7usize;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+            pf.observe((x >> 20) as u64);
+        }
+        // A few accidental adjacencies are possible; a stream is not.
+        assert!(pf.issued() < 20, "issued {}", pf.issued());
+    }
+
+    #[test]
+    fn prefetcher_interleaved_streams() {
+        // Two interleaved sequential sweeps, as in PR's offsets+targets
+        // scans: both must be tracked simultaneously.
+        let mut pf = StridePrefetcher::new(8);
+        let mut hits = 0;
+        for i in 0..100u64 {
+            if pf.observe(i).is_some() {
+                hits += 1;
+            }
+            if pf.observe(1_000_000 + i).is_some() {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 190, "both streams must confirm: {hits}");
+    }
+
+    #[test]
+    fn prefetching_eliminates_streaming_misses() {
+        let mut plain = CacheHierarchy::tiny();
+        let mut pf = CacheHierarchy::tiny().with_prefetcher();
+        for i in 0..4096usize {
+            plain.access(i * 8);
+            pf.access(i * 8);
+        }
+        assert!(pf.prefetches_issued() > 0);
+        assert!(
+            pf.l1.misses() * 4 < plain.l1.misses(),
+            "prefetch {} vs plain {}",
+            pf.l1.misses(),
+            plain.l1.misses()
+        );
+    }
+
+    #[test]
+    fn prefetching_does_not_help_random_gathers() {
+        let mut plain = CacheHierarchy::tiny();
+        let mut pf = CacheHierarchy::tiny().with_prefetcher();
+        let mut x = 1usize;
+        for _ in 0..4096 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = (x >> 16) % (1 << 22);
+            plain.access(addr);
+            pf.access(addr);
+        }
+        let (p, q) = (plain.l1.misses() as f64, pf.l1.misses() as f64);
+        assert!((q / p) > 0.9, "random misses {q} vs {p} should be ~equal");
+    }
+
+    #[test]
+    fn fill_does_not_count_as_demand_access() {
+        let mut c = line_cache(4, 2);
+        c.fill(0);
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(c.access(0), "filled line must hit");
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let p = CacheSimProbe::with_hierarchy(CacheHierarchy::tiny());
+        p.read(0, 8);
+        p.reset();
+        let c = p.counts();
+        assert_eq!(c.reads, 0);
+        assert_eq!(c.l1_misses, 0);
+        p.read(0, 8);
+        assert_eq!(p.counts().l1_misses, 1, "cache must be cold after reset");
+    }
+}

@@ -1,0 +1,220 @@
+//! Relaxed-atomic event counters: the software analogue of the manually
+//! counted atomics/locks and the PAPI read/write/branch events of Table 1.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::Probe;
+
+/// A snapshot of counted events. Field names follow Table 1's rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Memory reads issued.
+    pub reads: u64,
+    /// Memory writes issued.
+    pub writes: u64,
+    /// Atomic RMW operations (FAA/CAS).
+    pub atomics: u64,
+    /// Lock acquisitions.
+    pub locks: u64,
+    /// Conditional branches.
+    pub branches_cond: u64,
+    /// Unconditional branches.
+    pub branches_uncond: u64,
+    /// Barrier synchronizations.
+    pub barriers: u64,
+    /// L1 data-cache misses (filled by the cache simulator probe).
+    pub l1_misses: u64,
+    /// L2 cache misses.
+    pub l2_misses: u64,
+    /// L3 cache misses.
+    pub l3_misses: u64,
+    /// Data-TLB misses.
+    pub dtlb_misses: u64,
+}
+
+impl EventCounts {
+    /// Total synchronization events in the paper's sense (§2.4): atomics,
+    /// locks, and barriers.
+    pub fn synchronization(&self) -> u64 {
+        self.atomics + self.locks + self.barriers
+    }
+
+    /// Total communication events in the paper's sense (§2.4): reads and
+    /// writes.
+    pub fn communication(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Element-wise difference, saturating at zero.
+    pub fn saturating_sub(&self, other: &EventCounts) -> EventCounts {
+        EventCounts {
+            reads: self.reads.saturating_sub(other.reads),
+            writes: self.writes.saturating_sub(other.writes),
+            atomics: self.atomics.saturating_sub(other.atomics),
+            locks: self.locks.saturating_sub(other.locks),
+            branches_cond: self.branches_cond.saturating_sub(other.branches_cond),
+            branches_uncond: self.branches_uncond.saturating_sub(other.branches_uncond),
+            barriers: self.barriers.saturating_sub(other.barriers),
+            l1_misses: self.l1_misses.saturating_sub(other.l1_misses),
+            l2_misses: self.l2_misses.saturating_sub(other.l2_misses),
+            l3_misses: self.l3_misses.saturating_sub(other.l3_misses),
+            dtlb_misses: self.dtlb_misses.saturating_sub(other.dtlb_misses),
+        }
+    }
+}
+
+/// Thread-safe counting probe. Counters use relaxed ordering: totals are
+/// exact once the instrumented region has joined all its threads, and no
+/// ordering with the counted operations themselves is needed.
+#[derive(Debug, Default)]
+pub struct CountingProbe {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    atomics: AtomicU64,
+    locks: AtomicU64,
+    branches_cond: AtomicU64,
+    branches_uncond: AtomicU64,
+    barriers: AtomicU64,
+}
+
+impl CountingProbe {
+    /// A fresh probe with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the counters.
+    pub fn counts(&self) -> EventCounts {
+        EventCounts {
+            reads: self.reads.load(Relaxed),
+            writes: self.writes.load(Relaxed),
+            atomics: self.atomics.load(Relaxed),
+            locks: self.locks.load(Relaxed),
+            branches_cond: self.branches_cond.load(Relaxed),
+            branches_uncond: self.branches_uncond.load(Relaxed),
+            barriers: self.barriers.load(Relaxed),
+            ..EventCounts::default()
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Relaxed);
+        self.writes.store(0, Relaxed);
+        self.atomics.store(0, Relaxed);
+        self.locks.store(0, Relaxed);
+        self.branches_cond.store(0, Relaxed);
+        self.branches_uncond.store(0, Relaxed);
+        self.barriers.store(0, Relaxed);
+    }
+}
+
+impl Probe for CountingProbe {
+    #[inline]
+    fn read(&self, _addr: usize, _bytes: usize) {
+        self.reads.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    fn write(&self, _addr: usize, _bytes: usize) {
+        self.writes.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    fn atomic_rmw(&self, _addr: usize, _bytes: usize) {
+        self.atomics.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    fn lock(&self) {
+        self.locks.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    fn branch_cond(&self) {
+        self.branches_cond.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    fn branch_uncond(&self) {
+        self.branches_uncond.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    fn barrier(&self) {
+        self.barriers.fetch_add(1, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let p = CountingProbe::new();
+        p.read(0, 8);
+        p.read(8, 8);
+        p.write(0, 8);
+        p.atomic_rmw(0, 8);
+        p.lock();
+        p.branch_cond();
+        p.branch_uncond();
+        p.barrier();
+        let c = p.counts();
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 1);
+        assert_eq!(c.atomics, 1);
+        assert_eq!(c.locks, 1);
+        assert_eq!(c.branches_cond, 1);
+        assert_eq!(c.branches_uncond, 1);
+        assert_eq!(c.barriers, 1);
+        assert_eq!(c.synchronization(), 3);
+        assert_eq!(c.communication(), 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let p = CountingProbe::new();
+        p.read(0, 8);
+        p.lock();
+        p.reset();
+        assert_eq!(p.counts(), EventCounts::default());
+    }
+
+    #[test]
+    fn counting_is_thread_safe() {
+        let p = CountingProbe::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        p.read(0, 8);
+                        p.atomic_rmw(0, 8);
+                    }
+                });
+            }
+        });
+        let c = p.counts();
+        assert_eq!(c.reads, 4000);
+        assert_eq!(c.atomics, 4000);
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows() {
+        let a = EventCounts {
+            reads: 5,
+            ..Default::default()
+        };
+        let b = EventCounts {
+            reads: 7,
+            writes: 1,
+            ..Default::default()
+        };
+        let d = a.saturating_sub(&b);
+        assert_eq!(d.reads, 0);
+        assert_eq!(d.writes, 0);
+        let e = b.saturating_sub(&a);
+        assert_eq!(e.reads, 2);
+    }
+}

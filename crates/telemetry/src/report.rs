@@ -1,0 +1,154 @@
+//! Table-1-style event reports: named columns of [`EventCounts`] with
+//! human-scaled formatting (`234M`, `10,815B`, …) mirroring the paper's
+//! presentation.
+
+use std::fmt;
+
+use crate::EventCounts;
+
+/// A collection of named event-count columns, printable as a Table-1-style
+/// block (events as rows, variants as columns).
+#[derive(Clone, Debug, Default)]
+pub struct EventReport {
+    columns: Vec<(String, EventCounts)>,
+}
+
+/// Formats a count the way the paper's Table 1 does: `k`, `M`, `B`, `T`
+/// suffixes with three significant digits.
+pub fn human_count(v: u64) -> String {
+    const UNITS: [(u64, &str); 4] = [
+        (1_000_000_000_000, "T"),
+        (1_000_000_000, "B"),
+        (1_000_000, "M"),
+        (1_000, "k"),
+    ];
+    for (scale, suffix) in UNITS {
+        if v >= scale {
+            let scaled = v as f64 / scale as f64;
+            return if scaled >= 100.0 {
+                format!("{scaled:.0}{suffix}")
+            } else if scaled >= 10.0 {
+                format!("{scaled:.1}{suffix}")
+            } else {
+                format!("{scaled:.2}{suffix}")
+            };
+        }
+    }
+    v.to_string()
+}
+
+impl EventReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named column (e.g. "Push", "Push+PA", "Pull").
+    pub fn add_column(&mut self, name: impl Into<String>, counts: EventCounts) {
+        self.columns.push((name.into(), counts));
+    }
+
+    /// The columns added so far.
+    pub fn columns(&self) -> &[(String, EventCounts)] {
+        &self.columns
+    }
+
+    /// Looks a column up by name.
+    pub fn get(&self, name: &str) -> Option<&EventCounts> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+    }
+
+    fn rows(&self) -> Vec<(&'static str, Vec<u64>)> {
+        let col = |f: fn(&EventCounts) -> u64| -> Vec<u64> {
+            self.columns.iter().map(|(_, c)| f(c)).collect()
+        };
+        vec![
+            ("L1 misses", col(|c| c.l1_misses)),
+            ("L2 misses", col(|c| c.l2_misses)),
+            ("L3 misses", col(|c| c.l3_misses)),
+            ("TLB misses (data)", col(|c| c.dtlb_misses)),
+            ("atomics", col(|c| c.atomics)),
+            ("locks", col(|c| c.locks)),
+            ("reads", col(|c| c.reads)),
+            ("writes", col(|c| c.writes)),
+            ("branches (uncond)", col(|c| c.branches_uncond)),
+            ("branches (cond)", col(|c| c.branches_cond)),
+        ]
+    }
+}
+
+impl fmt::Display for EventReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<18}", "Event")?;
+        for (name, _) in &self.columns {
+            write!(f, " {name:>10}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in self.rows() {
+            write!(f, "{label:<18}")?;
+            for v in values {
+                write!(f, " {:>10}", human_count(v))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_count_matches_paper_style() {
+        assert_eq!(human_count(0), "0");
+        assert_eq!(human_count(999), "999");
+        assert_eq!(human_count(1_500), "1.50k");
+        assert_eq!(human_count(234_000_000), "234M");
+        assert_eq!(human_count(10_815_000_000_000), "10.8T");
+        assert_eq!(human_count(76_117_000), "76.1M");
+    }
+
+    #[test]
+    fn report_renders_columns_and_rows() {
+        let mut r = EventReport::new();
+        r.add_column(
+            "Push",
+            EventCounts {
+                atomics: 234_000_000,
+                ..Default::default()
+            },
+        );
+        r.add_column("Pull", EventCounts::default());
+        let s = r.to_string();
+        assert!(s.contains("Push"));
+        assert!(s.contains("Pull"));
+        assert!(s.contains("atomics"));
+        assert!(s.contains("234M"));
+        assert_eq!(r.get("Push").unwrap().atomics, 234_000_000);
+        assert!(r.get("missing").is_none());
+    }
+
+    #[test]
+    fn rows_cover_all_table1_events() {
+        let r = EventReport::new();
+        let labels: Vec<_> = r.rows().iter().map(|(l, _)| *l).collect();
+        for expected in [
+            "L1 misses",
+            "L2 misses",
+            "L3 misses",
+            "TLB misses (data)",
+            "atomics",
+            "locks",
+            "reads",
+            "writes",
+            "branches (uncond)",
+            "branches (cond)",
+        ] {
+            assert!(labels.contains(&expected), "{expected} missing");
+        }
+    }
+}

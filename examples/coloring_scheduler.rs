@@ -1,0 +1,78 @@
+//! Conflict-free task scheduling via graph coloring.
+//!
+//! Vertices are tasks, edges are resource conflicts, colors are time slots.
+//! Runs Boman coloring in both directions and all four §5 acceleration
+//! strategies, reporting slots used and iterations — the Figure 1 / 6b
+//! story on a scheduling workload.
+//!
+//! ```text
+//! cargo run --release --example coloring_scheduler
+//! ```
+
+use std::time::Instant;
+
+use pushpull::core::coloring::{self, GcOptions};
+use pushpull::core::Direction;
+use pushpull::graph::datasets::{Dataset, Scale};
+
+fn main() {
+    let threads = rayon::current_num_threads();
+    let opts = GcOptions::default();
+
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Small);
+        println!(
+            "\nworkload: {} ({} tasks, {} conflicts)",
+            ds.description(),
+            g.num_vertices(),
+            g.num_edges()
+        );
+        println!(
+            "{:>24} {:>8} {:>8} {:>10} {:>8}",
+            "strategy", "slots", "iters", "time[ms]", "valid"
+        );
+
+        let run = |name: &str, f: &dyn Fn() -> coloring::GcResult| {
+            let t = Instant::now();
+            let r = f();
+            let elapsed = t.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "{:>24} {:>8} {:>8} {:>10.2} {:>8}",
+                name,
+                r.num_colors(),
+                r.iterations,
+                elapsed,
+                coloring::is_proper_coloring(&g, &r.colors)
+            );
+        };
+
+        run("Boman push", &|| {
+            coloring::boman(&g, threads, Direction::Push, &opts)
+        });
+        run("Boman pull", &|| {
+            coloring::boman(&g, threads, Direction::Pull, &opts)
+        });
+        run("Frontier-Exploit", &|| {
+            coloring::frontier_exploit(&g, Direction::Push, &opts)
+        });
+        run("Generic-Switch", &|| coloring::generic_switch(&g, 0.2, &opts));
+        run("Greedy-Switch", &|| coloring::greedy_switch(&g, 0.1, &opts));
+        run("Conflict-Removal", &|| {
+            coloring::conflict_removal(&g, threads)
+        });
+        run("sequential greedy", &|| {
+            let t = Instant::now();
+            let colors = coloring::greedy_seq(&g);
+            coloring::GcResult {
+                iterations: 1,
+                iter_times: vec![t.elapsed()],
+                conflicts_per_iter: vec![0],
+                colors,
+            }
+        });
+    }
+    println!("\nTakeaway (§5/§6.2): Frontier-Exploit trades per-iteration cost");
+    println!("for iteration count on dense conflict graphs; the switching");
+    println!("strategies recover, and Conflict-Removal needs one pass when");
+    println!("the border set is small.");
+}

@@ -1,0 +1,81 @@
+//! Distributed-memory what-if: pick a variant before you buy the cluster.
+//!
+//! Sweeps simulated rank counts for PageRank and triangle counting in all
+//! three §6.3 variants and prints the modeled strong-scaling curves plus the
+//! communication profile that explains them.
+//!
+//! ```text
+//! cargo run --release --example distributed_scaling
+//! ```
+
+use pushpull::dm::{dm_pagerank, dm_triangle_count, CostModel, DmVariant};
+use pushpull::graph::datasets::{Dataset, Scale};
+
+fn main() {
+    let cost = CostModel::xc40();
+    println!("cost model (µs): α={}, int FAA={}, float accumulate={}", cost.alpha, cost.rma_faa_int, cost.rma_accumulate_float);
+
+    // --- PageRank. ---
+    let g = Dataset::Orc.generate(Scale::Small);
+    println!(
+        "\nPageRank on orkut stand-in ({} vertices, {} edges), modeled s/iter:",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "P", "Pushing", "Pulling", "Msg-Passing"
+    );
+    for p in [4usize, 16, 64, 256, 1024] {
+        let row: Vec<f64> = DmVariant::ALL
+            .iter()
+            .map(|&v| dm_pagerank(&g, v, p, 1, 0.85, cost).modeled_seconds)
+            .collect();
+        println!(
+            "{:>6} {:>12.5} {:>12.5} {:>12.5}",
+            p, row[0], row[1], row[2]
+        );
+    }
+    let push = dm_pagerank(&g, DmVariant::PushRma, 64, 1, 0.85, cost);
+    let pull = dm_pagerank(&g, DmVariant::PullRma, 64, 1, 0.85, cost);
+    let mp = dm_pagerank(&g, DmVariant::MsgPassing, 64, 1, 0.85, cost);
+    println!("\nwhy (P = 64):");
+    println!(
+        "  push   issues {:>10} float accumulates (slow locking protocol)",
+        push.stats.remote_accumulates
+    );
+    println!(
+        "  pull   issues {:>10} remote gets (rank + degree per neighbor)",
+        pull.stats.remote_gets
+    );
+    println!(
+        "  MP     sends  {:>10} messages, peak buffer {} KiB (its memory price)",
+        mp.stats.messages,
+        mp.stats.peak_buffer_bytes / 1024
+    );
+
+    // --- Triangle counting: the asymmetry flips. ---
+    let g = Dataset::Ljn.generate(Scale::Test);
+    println!(
+        "\nTriangle counting on livejournal stand-in ({} vertices), modeled s total:",
+        g.num_vertices()
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "P", "Pushing", "Pulling", "Msg-Passing"
+    );
+    for p in [4usize, 16, 64, 256] {
+        let row: Vec<f64> = DmVariant::ALL
+            .iter()
+            .map(|&v| dm_triangle_count(&g, v, p, cost).modeled_seconds)
+            .collect();
+        println!(
+            "{:>6} {:>12.5} {:>12.5} {:>12.5}",
+            p, row[0], row[1], row[2]
+        );
+    }
+    println!("\nTakeaway (§6.5): the same RMA machinery serves PR badly and TC");
+    println!("well — TC's counters are integers with a hardware FAA fast path,");
+    println!("PR's float accumulate takes the slow locking protocol. Variant");
+    println!("choice is per-algorithm, not per-system.");
+}

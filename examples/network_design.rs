@@ -1,0 +1,95 @@
+//! Network design on a road-grid stand-in: build a minimum-cost backbone
+//! three ways (Boruvka push/pull, Kruskal eager/lazy, Prim), then check the
+//! reachability budget with push/pull Bellman–Ford.
+//!
+//! The scenario: a utility planning cable along existing roads wants the
+//! cheapest spanning backbone, and then the worst-case distance from a
+//! depot over that backbone. MST algorithms and SSSP baselines are exactly
+//! the paper's §3.4/§3.7 material.
+//!
+//! ```text
+//! cargo run --release --example network_design
+//! ```
+
+use pushpull::core::{bellman_ford, kruskal, mst, prim, validate, Direction};
+use pushpull::graph::{gen, GraphBuilder};
+
+fn main() {
+    // A 40x50 road grid with some washed-out segments, metered costs.
+    let roads = gen::with_random_weights(&gen::road_grid(40, 50, 0.85, 7), 10, 250, 7);
+    println!(
+        "road network: {} junctions, {} segments",
+        roads.num_vertices(),
+        roads.num_edges()
+    );
+
+    // --- The backbone, five ways. All must agree on total cost. ---
+    println!("\nminimum spanning backbone:");
+    let mut totals = Vec::new();
+    for dir in Direction::BOTH {
+        let b = mst::boruvka(&roads, dir);
+        println!(
+            "  boruvka {dir:>7}: cost {} over {} segments ({} merge rounds)",
+            b.total_weight,
+            b.edges.len(),
+            b.rounds.len()
+        );
+        validate::validate_spanning_forest(&roads, &b.edges).expect("boruvka forest invalid");
+        totals.push(b.total_weight);
+    }
+    for dir in Direction::BOTH {
+        let k = kruskal::kruskal(&roads, dir);
+        let scheme = match dir {
+            Direction::Push => "eager relabel",
+            Direction::Pull => "union-find",
+        };
+        println!(
+            "  kruskal {dir:>7}: cost {} ({scheme})",
+            k.total_weight
+        );
+        validate::validate_spanning_forest(&roads, &k.edges).expect("kruskal forest invalid");
+        totals.push(k.total_weight);
+    }
+    let p = prim::prim(&roads, 0, Direction::Pull);
+    println!("  prim       pull: cost {}", p.total_weight);
+    totals.push(p.total_weight);
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "all MST algorithms must agree"
+    );
+
+    // --- Worst-case depot distance over the backbone. ---
+    let k = kruskal::kruskal(&roads, Direction::Pull);
+    let backbone = GraphBuilder::undirected(roads.num_vertices())
+        .weighted_edges(k.edges.iter().copied())
+        .build();
+    let depot = 0;
+    println!("\ndepot reachability over the backbone (Bellman-Ford):");
+    for dir in Direction::BOTH {
+        let r = bellman_ford::bellman_ford(&backbone, depot, dir);
+        validate::validate_sssp(&backbone, depot, &r.dist).expect("distances invalid");
+        let reached = r.dist.iter().filter(|&&d| d != u64::MAX).count();
+        let worst = r.dist.iter().filter(|&&d| d != u64::MAX).max().unwrap();
+        println!(
+            "  {dir:>7}: {reached} junctions reachable, worst cost {worst}, {} rounds",
+            r.rounds
+        );
+    }
+
+    // Against the full road network the backbone detour factor:
+    let full = bellman_ford::bellman_ford(&roads, depot, Direction::Push);
+    let tree = bellman_ford::bellman_ford(&backbone, depot, Direction::Push);
+    let (mut worst_ratio, mut at) = (1.0f64, 0usize);
+    for v in 0..roads.num_vertices() {
+        if full.dist[v] != u64::MAX && full.dist[v] > 0 {
+            let ratio = tree.dist[v] as f64 / full.dist[v] as f64;
+            if ratio > worst_ratio {
+                worst_ratio = ratio;
+                at = v;
+            }
+        }
+    }
+    println!(
+        "\nworst backbone detour: {worst_ratio:.2}x the direct cost (junction {at})"
+    );
+}

@@ -1,0 +1,77 @@
+//! Web/social ranking scenario: pick the right PageRank variant for your
+//! graph.
+//!
+//! The paper's §6.2 finding is subtle: partition-aware pushing is the
+//! *fastest* variant on dense social graphs but the *slowest* on sparse
+//! road-like graphs — the atomics it removes only matter when atomics
+//! dominate. This example measures all three variants on both regimes and
+//! prints the crossover.
+//!
+//! ```text
+//! cargo run --release --example pagerank_web
+//! ```
+
+use std::time::Instant;
+
+use pushpull::core::pagerank::{self, PrOptions, PushSync};
+use pushpull::core::Direction;
+use pushpull::graph::datasets::{Dataset, Scale};
+use pushpull::graph::{BlockPartition, PartitionAwareGraph};
+use pushpull::telemetry::NullProbe;
+
+fn main() {
+    let opts = PrOptions {
+        iters: 10,
+        damping: 0.85,
+    };
+    let threads = rayon::current_num_threads();
+    println!("threads: {threads}\n");
+
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Small);
+        let pa = PartitionAwareGraph::new(&g, BlockPartition::new(g.num_vertices(), threads));
+        println!(
+            "{} — {} vertices, {} edges, d̄ = {:.1}, remote arcs {:.0}%",
+            ds.description(),
+            g.num_vertices(),
+            g.num_edges(),
+            g.avg_degree(),
+            100.0 * pa.num_remote_arcs() as f64 / g.num_arcs() as f64
+        );
+
+        let t = Instant::now();
+        let ranks = pagerank::pagerank(&g, Direction::Push, &opts);
+        let t_push = t.elapsed();
+        let t = Instant::now();
+        pagerank::pagerank(&g, Direction::Pull, &opts);
+        let t_pull = t.elapsed();
+        let t = Instant::now();
+        pagerank::pagerank_push_pa(&g, &pa, &opts, PushSync::Cas, &NullProbe);
+        let t_pa = t.elapsed();
+
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3 / opts.iters as f64;
+        println!(
+            "  push {:8.3} ms/iter | pull {:8.3} ms/iter | push+PA {:8.3} ms/iter",
+            ms(t_push),
+            ms(t_pull),
+            ms(t_pa)
+        );
+        let best = [(ms(t_push), "push"), (ms(t_pull), "pull"), (ms(t_pa), "push+PA")]
+            .into_iter()
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .unwrap();
+        println!("  fastest here: {}\n", best.1);
+
+        // The ranking itself: top five hubs.
+        let mut idx: Vec<usize> = (0..ranks.len()).collect();
+        idx.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
+        print!("  top-5 ranked vertices:");
+        for &v in idx.iter().take(5) {
+            print!(" {v} ({:.5})", ranks[v]);
+        }
+        println!("\n");
+    }
+    println!("Takeaway (§6.2): PA pays off when remote-update synchronization");
+    println!("dominates (dense graphs); on sparse graphs its extra phase and");
+    println!("second offset array cost more than the atomics it saves.");
+}

@@ -1,0 +1,72 @@
+//! Road-network navigation: Δ-stepping shortest paths on a road grid.
+//!
+//! Demonstrates §6.1/Figure 2: pushing wins on high-diameter sparse graphs
+//! (the pull variant rescans every unsettled vertex each phase), and the
+//! bucket width Δ trades epochs against wasted relaxations.
+//!
+//! ```text
+//! cargo run --release --example road_navigation
+//! ```
+
+use std::time::Instant;
+
+use pushpull::core::sssp::{self, SsspOptions};
+use pushpull::core::Direction;
+use pushpull::graph::datasets::{Dataset, Scale};
+
+fn main() {
+    let g = Dataset::Rca.generate_weighted(Scale::Small, 1, 100);
+    println!(
+        "road network: {} vertices, {} edges, d̄ = {:.1}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.avg_degree()
+    );
+
+    // Route from a corner: compare directions.
+    println!("\npush vs pull (Δ = 64):");
+    let opts = SsspOptions { delta: 64 };
+    for dir in Direction::BOTH {
+        let t = Instant::now();
+        let r = sssp::sssp_delta(&g, 0, dir, &opts);
+        let elapsed = t.elapsed();
+        let total_relax: u64 = r.epochs.iter().map(|e| e.relaxations).sum();
+        let reached = r.dist.iter().filter(|&&d| d != sssp::INF).count();
+        println!(
+            "  {dir:>7}: {:>8.2} ms, {:>4} epochs, {:>12} relaxations, {} reached",
+            elapsed.as_secs_f64() * 1e3,
+            r.epochs.len(),
+            total_relax,
+            reached
+        );
+    }
+
+    // Δ sweep: small Δ = Dijkstra-like (many epochs, little waste),
+    // huge Δ = Bellman-Ford-like (one epoch, many re-relaxations).
+    println!("\nΔ sweep (pushing):");
+    println!(
+        "{:>10} {:>8} {:>10} {:>14}",
+        "Delta", "epochs", "time[ms]", "relaxations"
+    );
+    for delta in [1u64, 8, 64, 512, 4096, 1 << 16] {
+        let t = Instant::now();
+        let r = sssp::sssp_delta(&g, 0, Direction::Push, &SsspOptions { delta });
+        let elapsed = t.elapsed().as_secs_f64() * 1e3;
+        let total_relax: u64 = r.epochs.iter().map(|e| e.relaxations).sum();
+        println!(
+            "{:>10} {:>8} {:>10.2} {:>14}",
+            delta,
+            r.epochs.len(),
+            elapsed,
+            total_relax
+        );
+    }
+
+    // Sanity: agreement with Dijkstra.
+    let reference = sssp::dijkstra(&g, 0);
+    let check = sssp::sssp_delta(&g, 0, Direction::Pull, &SsspOptions { delta: 32 });
+    assert_eq!(reference, check.dist, "Δ-stepping must match Dijkstra");
+    println!("\nverified against sequential Dijkstra ✓");
+    println!("\nTakeaway (Fig. 2c): larger Δ shrinks the push/pull gap — fewer");
+    println!("epochs mean fewer full-graph rescans for the pull variant.");
+}

@@ -1,0 +1,146 @@
+//! Theory vs. practice: the §4 PRAM predictions against measured counters.
+//!
+//! For each algorithm, computes the paper's conflict/synchronization
+//! profile from the `pp-pram` cost formulas and compares it with the event
+//! counts the instrumented kernels actually produce. Upper bounds must
+//! dominate measurements; zero predictions must measure zero.
+//!
+//! ```text
+//! cargo run --release --example theory_vs_practice
+//! ```
+
+use pushpull::core as algos;
+use pushpull::graph::datasets::{Dataset, Scale};
+use pushpull::pram;
+use pushpull::telemetry::CountingProbe;
+
+fn check(name: &str, predicted_zero: bool, measured: u64, bound: f64) {
+    let status = if predicted_zero {
+        if measured == 0 {
+            "✓ zero as predicted"
+        } else {
+            "✗ UNEXPECTED SYNC"
+        }
+    } else if (measured as f64) <= bound {
+        "✓ within bound"
+    } else {
+        "✗ BOUND EXCEEDED"
+    };
+    println!("{name:>34}: measured {measured:>12}  bound {bound:>14.0}  {status}");
+}
+
+fn main() {
+    let g = Dataset::Ljn.generate(Scale::Test);
+    let (n, m) = (g.num_vertices(), g.num_edges());
+    let w = pram::Workload::new(n, m)
+        .with_d_max(g.max_degree() as f64)
+        .with_iters(4);
+    let p = rayon::current_num_threads();
+    let model = pram::PramModel::CrcwCb;
+    println!("workload: n = {n}, m = {m}, d̂ = {}, P = {p}\n", g.max_degree());
+
+    // --- PageRank (§4.1): push O(Lm) float conflicts; pull none. ---
+    let opts = algos::pagerank::PrOptions {
+        iters: 4,
+        damping: 0.85,
+    };
+    let probe = CountingProbe::new();
+    algos::pagerank::pagerank_push(&g, &opts, algos::pagerank::PushSync::Cas, &probe);
+    let push_pred = pram::algos::pagerank(&w, p, model, pram::Direction::Push);
+    // The formula counts undirected edges; the implementation touches both
+    // arc directions, hence the factor 2 (plus CAS retries ≤ small constant).
+    check(
+        "PR push atomics ≤ 4·L·m",
+        false,
+        probe.counts().atomics,
+        4.0 * push_pred.profile.locks.max(push_pred.profile.write_conflicts),
+    );
+    let probe = CountingProbe::new();
+    algos::pagerank::pagerank_pull(&g, &opts, &probe);
+    check("PR pull sync = 0", true, probe.counts().synchronization(), 0.0);
+
+    // --- Triangle counting (§4.2): push O(m·d̂) FAAs; pull none. ---
+    let probe = CountingProbe::new();
+    algos::triangles::triangle_counts_probed(&g, algos::Direction::Push, &probe);
+    let tc_pred = pram::algos::triangle_count(&w, p, model, pram::Direction::Push);
+    check(
+        "TC push atomics ≤ 2·m·d̂",
+        false,
+        probe.counts().atomics,
+        2.0 * tc_pred.profile.atomics,
+    );
+    let probe = CountingProbe::new();
+    algos::triangles::triangle_counts_probed(&g, algos::Direction::Pull, &probe);
+    check("TC pull sync = 0", true, probe.counts().synchronization(), 0.0);
+
+    // --- BFS (§4.3): push O(m) CAS; pull none. ---
+    let probe = CountingProbe::new();
+    algos::bfs::bfs_probed(&g, 0, algos::bfs::BfsMode::Push, &probe);
+    let bfs_pred = pram::algos::bfs(&w, p, model, pram::Direction::Push);
+    check(
+        "BFS push atomics ≤ 2·m",
+        false,
+        probe.counts().atomics,
+        2.0 * bfs_pred.profile.atomics,
+    );
+    let probe = CountingProbe::new();
+    algos::bfs::bfs_probed(&g, 0, algos::bfs::BfsMode::Pull, &probe);
+    check("BFS pull sync = 0", true, probe.counts().synchronization(), 0.0);
+
+    // --- Δ-stepping (§4.4): push O(m·lΔ) CAS; pull none. ---
+    let gw = Dataset::Ljn.generate_weighted(Scale::Test, 1, 100);
+    let probe = CountingProbe::new();
+    let r = algos::sssp::sssp_delta_probed(
+        &gw,
+        0,
+        algos::Direction::Push,
+        &algos::sssp::SsspOptions { delta: 64 },
+        &probe,
+    );
+    let l_delta = r.epochs.iter().map(|e| e.phases).max().unwrap_or(1) as f64;
+    let sssp_pred =
+        pram::algos::sssp_delta(&w, p, model, pram::Direction::Push, r.epochs.len() as f64, l_delta);
+    check(
+        "SSSP push atomics ≤ 2·m·lΔ",
+        false,
+        probe.counts().atomics,
+        2.0 * sssp_pred.profile.atomics,
+    );
+    let probe = CountingProbe::new();
+    algos::sssp::sssp_delta_probed(
+        &gw,
+        0,
+        algos::Direction::Pull,
+        &algos::sssp::SsspOptions { delta: 64 },
+        &probe,
+    );
+    check("SSSP pull sync = 0", true, probe.counts().synchronization(), 0.0);
+
+    // --- BC (§4.5/§4.9): push locks floats; pull lock-free. ---
+    let bc_opts = algos::bc::BcOptions {
+        max_sources: Some(8),
+    };
+    let probe = CountingProbe::new();
+    algos::bc::betweenness_probed(&g, algos::Direction::Push, &bc_opts, &probe);
+    let c = probe.counts();
+    println!(
+        "{:>34}: locks {} > 0 and atomics {} > 0 (float locks + int CAS) {}",
+        "BC push conflict types",
+        c.locks,
+        c.atomics,
+        if c.locks > 0 && c.atomics > 0 { "✓" } else { "✗" }
+    );
+    let probe = CountingProbe::new();
+    algos::bc::betweenness_probed(&g, algos::Direction::Pull, &bc_opts, &probe);
+    check("BC pull sync = 0", true, probe.counts().synchronization(), 0.0);
+
+    // --- CREW vs CRCW: the log(d̂) gap (§4.9 "Complexity"). ---
+    println!();
+    let crew = pram::algos::pagerank(&w, p, pram::PramModel::Crew, pram::Direction::Push);
+    let crcw = pram::algos::pagerank(&w, p, pram::PramModel::CrcwCb, pram::Direction::Push);
+    println!(
+        "PR push CREW/CRCW work ratio: {:.2} (≈ log2 d̂ = {:.2})",
+        crew.cost.work / crcw.cost.work,
+        (g.max_degree() as f64).log2()
+    );
+}

@@ -1,0 +1,43 @@
+//! # pushpull — the push–pull dichotomy in graph computations
+//!
+//! A Rust reproduction of *"To Push or To Pull: On Reducing Communication
+//! and Synchronization in Graph Computations"* (Besta, Podstawski, Groner,
+//! Solomonik, Hoefler — HPDC 2017).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — CSR graphs, generators, 1D partitioning, the
+//!   partition-aware representation (§2.2, §5).
+//! * [`telemetry`] — event probes (reads/writes/atomics/locks/branches) and
+//!   a cache+TLB simulator standing in for PAPI (§6, Table 1).
+//! * [`pram`] — PRAM machine models and the §4 cost analysis.
+//! * [`core`] — push- and pull-based PR, TC, BFS, SSSP-Δ, BC (exact and
+//!   sampled), Boman graph coloring, Boruvka/Prim/Kruskal MST, connected
+//!   components, k-core decomposition, Bellman–Ford, and community label
+//!   propagation, plus the five acceleration strategies (§5),
+//!   directed-graph variants (§4.8), the GAS abstraction (§7.4), the
+//!   linear-algebra formulation (§7.1), and Graph500-style validators.
+//! * [`dm`] — the distributed-memory simulation substrate with Message
+//!   Passing and RMA backends (§6.3): PR, TC, BFS (with §7.2's
+//!   push–pull switching), SSSP-Δ (reproducing §6.5's SM/DM inversion),
+//!   and Boman coloring.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pushpull::graph::{datasets::{Dataset, Scale}};
+//! use pushpull::core::{pagerank, Direction};
+//!
+//! let g = Dataset::Ljn.generate(Scale::Test);
+//! let opts = pagerank::PrOptions::default();
+//! let push = pagerank::pagerank(&g, Direction::Push, &opts);
+//! let pull = pagerank::pagerank(&g, Direction::Pull, &opts);
+//! let diff: f64 = push.iter().zip(&pull).map(|(a, b)| (a - b).abs()).sum();
+//! assert!(diff < 1e-9, "push and pull must agree");
+//! ```
+
+pub use pp_core as core;
+pub use pp_dm as dm;
+pub use pp_graph as graph;
+pub use pp_pram as pram;
+pub use pp_telemetry as telemetry;

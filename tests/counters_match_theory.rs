@@ -1,0 +1,194 @@
+//! Cross-validation of §4's synchronization table against instrumented
+//! runs: the qualitative statements of §4.9 (who needs atomics, who needs
+//! locks, who reads more) must hold as *measured facts* on every dataset
+//! stand-in, and the counted events must respect the PRAM upper bounds.
+
+use pushpull::core::{bc, bfs, coloring, mst, pagerank, sssp, triangles, Direction};
+use pushpull::graph::datasets::{Dataset, Scale};
+use pushpull::pram;
+use pushpull::telemetry::CountingProbe;
+
+fn pr_opts() -> pagerank::PrOptions {
+    pagerank::PrOptions {
+        iters: 3,
+        damping: 0.85,
+    }
+}
+
+#[test]
+fn pull_variants_are_completely_synchronization_free() {
+    // §4.9 "Atomics/Locks": pulling removes atomics/locks for TC, PR, BFS,
+    // Δ-stepping, and MST.
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Test);
+        let gw = ds.generate_weighted(Scale::Test, 1, 100);
+
+        let probe = CountingProbe::new();
+        pagerank::pagerank_pull(&g, &pr_opts(), &probe);
+        assert_eq!(probe.counts().synchronization(), 0, "{} PR", ds.id());
+
+        let probe = CountingProbe::new();
+        triangles::triangle_counts_probed(&g, Direction::Pull, &probe);
+        assert_eq!(probe.counts().synchronization(), 0, "{} TC", ds.id());
+
+        let probe = CountingProbe::new();
+        bfs::bfs_probed(&g, 0, bfs::BfsMode::Pull, &probe);
+        assert_eq!(probe.counts().synchronization(), 0, "{} BFS", ds.id());
+
+        let probe = CountingProbe::new();
+        sssp::sssp_delta_probed(&gw, 0, Direction::Pull, &sssp::SsspOptions::default(), &probe);
+        assert_eq!(probe.counts().synchronization(), 0, "{} SSSP", ds.id());
+
+        let probe = CountingProbe::new();
+        mst::boruvka_probed(&gw, Direction::Pull, &probe);
+        assert_eq!(probe.counts().atomics, 0, "{} MST", ds.id());
+        assert_eq!(probe.counts().locks, 0, "{} MST", ds.id());
+    }
+}
+
+#[test]
+fn push_variants_synchronize_with_the_predicted_primitive() {
+    // §4's table: PR push → float conflicts (locks or CAS emulation);
+    // TC push → FAA; BFS/SSSP/MST push → CAS; BC push → locks *and* ints.
+    for ds in [Dataset::Ljn, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        let gw = ds.generate_weighted(Scale::Test, 1, 100);
+
+        let probe = CountingProbe::new();
+        pagerank::pagerank_push(&g, &pr_opts(), pagerank::PushSync::Locks, &probe);
+        let c = probe.counts();
+        assert!(c.locks > 0, "{} PR", ds.id());
+        assert_eq!(c.locks as usize, pr_opts().iters * g.num_arcs(), "{}", ds.id());
+
+        let probe = CountingProbe::new();
+        triangles::triangle_counts_probed(&g, Direction::Push, &probe);
+        assert_eq!(probe.counts().locks, 0, "{} TC uses FAA, not locks", ds.id());
+
+        let probe = CountingProbe::new();
+        bfs::bfs_probed(&g, 0, bfs::BfsMode::Push, &probe);
+        let c = probe.counts();
+        assert!(c.atomics > 0, "{} BFS", ds.id());
+        assert_eq!(c.locks, 0, "{} BFS", ds.id());
+
+        let probe = CountingProbe::new();
+        sssp::sssp_delta_probed(&gw, 0, Direction::Push, &sssp::SsspOptions::default(), &probe);
+        assert!(probe.counts().atomics > 0, "{} SSSP", ds.id());
+
+        let probe = CountingProbe::new();
+        let r = bc::betweenness_probed(
+            &g,
+            Direction::Push,
+            &bc::BcOptions {
+                max_sources: Some(6),
+            },
+            &probe,
+        );
+        assert!(probe.counts().locks > 0, "{} BC backward floats", ds.id());
+        assert!(r.scores.iter().all(|s| s.is_finite()));
+    }
+}
+
+#[test]
+fn measured_atomics_respect_pram_upper_bounds() {
+    for ds in [Dataset::Am, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        let w = pram::Workload::new(g.num_vertices(), g.num_edges())
+            .with_d_max(g.max_degree() as f64)
+            .with_iters(pr_opts().iters);
+        let p = rayon::current_num_threads();
+
+        // PR push: O(L·m) conflicts — implementation touches both arc
+        // directions and may retry a CAS, so allow 4×.
+        let probe = CountingProbe::new();
+        pagerank::pagerank_push(&g, &pr_opts(), pagerank::PushSync::Cas, &probe);
+        let predicted = pram::algos::pagerank(&w, p, pram::PramModel::CrcwCb, pram::Direction::Push);
+        assert!(
+            (probe.counts().atomics as f64) <= 4.0 * predicted.profile.write_conflicts,
+            "{} PR: {} > 4×{}",
+            ds.id(),
+            probe.counts().atomics,
+            predicted.profile.write_conflicts
+        );
+
+        // TC push: O(m·d̂) FAAs.
+        let probe = CountingProbe::new();
+        triangles::triangle_counts_probed(&g, Direction::Push, &probe);
+        let predicted =
+            pram::algos::triangle_count(&w, p, pram::PramModel::CrcwCb, pram::Direction::Push);
+        assert!(
+            (probe.counts().atomics as f64) <= 2.0 * predicted.profile.atomics,
+            "{} TC",
+            ds.id()
+        );
+
+        // BFS push: O(m) CAS.
+        let probe = CountingProbe::new();
+        bfs::bfs_probed(&g, 0, bfs::BfsMode::Push, &probe);
+        let predicted = pram::algos::bfs(&w, p, pram::PramModel::CrcwCb, pram::Direction::Push);
+        assert!(
+            (probe.counts().atomics as f64) <= 2.0 * predicted.profile.atomics,
+            "{} BFS",
+            ds.id()
+        );
+    }
+}
+
+#[test]
+fn traversal_pulls_read_more_than_pushes() {
+    // §4.9 "Write/Read Conflicts": traversals entail more read conflicts
+    // with pulling — O(Dm) vs O(m). Most visible on the road network.
+    let g = Dataset::Rca.generate(Scale::Test);
+    let push = CountingProbe::new();
+    bfs::bfs_probed(&g, 0, bfs::BfsMode::Push, &push);
+    let pull = CountingProbe::new();
+    bfs::bfs_probed(&g, 0, bfs::BfsMode::Pull, &pull);
+    assert!(
+        pull.counts().reads > 5 * push.counts().reads,
+        "pull reads {} vs push reads {}",
+        pull.counts().reads,
+        push.counts().reads
+    );
+
+    let gw = Dataset::Rca.generate_weighted(Scale::Test, 1, 100);
+    let push = CountingProbe::new();
+    sssp::sssp_delta_probed(&gw, 0, Direction::Push, &sssp::SsspOptions::default(), &push);
+    let pull = CountingProbe::new();
+    sssp::sssp_delta_probed(&gw, 0, Direction::Pull, &sssp::SsspOptions::default(), &pull);
+    assert!(
+        pull.counts().reads > 5 * push.counts().reads,
+        "SSSP pull reads {} vs push reads {}",
+        pull.counts().reads,
+        push.counts().reads
+    );
+}
+
+#[test]
+fn coloring_directions_differ_only_in_write_target() {
+    // §4.6/§6.1: the same conflicts are detected either way — push resolves
+    // them with remote (atomic) writes, pull with own writes.
+    let g = Dataset::Ljn.generate(Scale::Test);
+    let opts = coloring::GcOptions::default();
+    let push = CountingProbe::new();
+    coloring::boman_probed(&g, 4, Direction::Push, &opts, &push);
+    let pull = CountingProbe::new();
+    coloring::boman_probed(&g, 4, Direction::Pull, &opts, &pull);
+    assert!(push.counts().atomics > 0);
+    assert_eq!(pull.counts().atomics, 0);
+    assert_eq!(
+        push.counts().reads,
+        pull.counts().reads,
+        "identical schedules must read identically"
+    );
+}
+
+#[test]
+fn pram_brents_lemma_consistency() {
+    // Halving the processors at most doubles predicted time (LP lemma).
+    let w = pram::Workload::new(1 << 14, 1 << 18).with_iters(4);
+    for dir in pram::Direction::BOTH {
+        let t16 = pram::algos::pagerank(&w, 16, pram::PramModel::CrcwCb, dir);
+        let t8 = pram::algos::pagerank(&w, 8, pram::PramModel::CrcwCb, dir);
+        assert!(t8.cost.time <= 2.0 * t16.cost.time + 1.0, "{dir:?}");
+        assert!(t8.cost.time >= t16.cost.time, "{dir:?}");
+    }
+}

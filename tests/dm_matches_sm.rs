@@ -1,0 +1,120 @@
+//! The distributed-memory substrate must compute exactly what the
+//! shared-memory algorithms compute — the simulation models *costs*, never
+//! results — and its communication statistics must obey the §6.3 structure.
+
+use pushpull::core::{pagerank, triangles, Direction};
+use pushpull::dm::{dm_pagerank, dm_triangle_count, CostModel, DmVariant};
+use pushpull::graph::datasets::{Dataset, Scale};
+use pushpull::graph::BlockPartition;
+
+#[test]
+fn dm_pagerank_equals_sm_pagerank_for_all_variants_and_rank_counts() {
+    let opts = pagerank::PrOptions {
+        iters: 6,
+        damping: 0.85,
+    };
+    for ds in [Dataset::Ljn, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        let reference = pagerank::pagerank_seq(&g, &opts);
+        for variant in DmVariant::ALL {
+            for p in [1usize, 3, 16, 128] {
+                let r = dm_pagerank(&g, variant, p, 6, 0.85, CostModel::xc40());
+                let diff = pagerank::l1_distance(&reference, &r.ranks);
+                assert!(
+                    diff < 1e-9,
+                    "{} {variant:?} P={p}: L1 {diff}",
+                    ds.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dm_triangle_count_equals_sm_triangle_count() {
+    for ds in [Dataset::Am, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        let expected = triangles::total_triangles(&g, Direction::Pull);
+        for variant in DmVariant::ALL {
+            for p in [1usize, 4, 32] {
+                let r = dm_triangle_count(&g, variant, p, CostModel::xc40());
+                assert_eq!(r.triangles, expected, "{} {variant:?} P={p}", ds.id());
+            }
+        }
+    }
+}
+
+#[test]
+fn communication_counts_match_cut_structure() {
+    // Push-RMA PageRank issues exactly one accumulate per remote arc per
+    // iteration; pull-RMA issues exactly two gets per remote arc.
+    let g = Dataset::Ljn.generate(Scale::Test);
+    let iters = 3usize;
+    for p in [2usize, 8, 64] {
+        let part = BlockPartition::new(g.num_vertices(), p);
+        let cut = part.cut_arcs(&g) as u64;
+        let push = dm_pagerank(&g, DmVariant::PushRma, p, iters, 0.85, CostModel::xc40());
+        assert_eq!(
+            push.stats.remote_accumulates,
+            iters as u64 * cut,
+            "P={p} accumulates"
+        );
+        let pull = dm_pagerank(&g, DmVariant::PullRma, p, iters, 0.85, CostModel::xc40());
+        assert_eq!(pull.stats.remote_gets, iters as u64 * 2 * cut, "P={p} gets");
+    }
+}
+
+#[test]
+fn cut_grows_with_rank_count_and_so_does_communication() {
+    let g = Dataset::Orc.generate(Scale::Test);
+    let mut last = 0u64;
+    for p in [2usize, 4, 16, 64] {
+        let r = dm_pagerank(&g, DmVariant::PushRma, p, 1, 0.85, CostModel::xc40());
+        assert!(
+            r.stats.remote_accumulates >= last,
+            "P={p}: communication shrank with more ranks?"
+        );
+        last = r.stats.remote_accumulates;
+    }
+}
+
+#[test]
+fn figure3_orderings_hold_on_dataset_standins() {
+    // §6.3.1: PR — MP fastest, push slowest. §6.3.2: TC — RMA beats MP,
+    // pull beats push.
+    let g = Dataset::Ljn.generate(Scale::Test);
+    let p = 32;
+    let push = dm_pagerank(&g, DmVariant::PushRma, p, 2, 0.85, CostModel::xc40());
+    let pull = dm_pagerank(&g, DmVariant::PullRma, p, 2, 0.85, CostModel::xc40());
+    let mp = dm_pagerank(&g, DmVariant::MsgPassing, p, 2, 0.85, CostModel::xc40());
+    assert!(mp.modeled_seconds < pull.modeled_seconds, "PR: MP !< pull");
+    assert!(pull.modeled_seconds < push.modeled_seconds, "PR: pull !< push");
+
+    let g = Dataset::Am.generate(Scale::Test);
+    let push = dm_triangle_count(&g, DmVariant::PushRma, p, CostModel::xc40());
+    let pull = dm_triangle_count(&g, DmVariant::PullRma, p, CostModel::xc40());
+    let mp = dm_triangle_count(&g, DmVariant::MsgPassing, p, CostModel::xc40());
+    assert!(pull.modeled_seconds <= push.modeled_seconds, "TC: pull !≤ push");
+    assert!(push.modeled_seconds < mp.modeled_seconds, "TC: RMA !< MP");
+}
+
+#[test]
+fn modeled_time_is_deterministic() {
+    let g = Dataset::Am.generate(Scale::Test);
+    let a = dm_pagerank(&g, DmVariant::MsgPassing, 16, 2, 0.85, CostModel::xc40());
+    let b = dm_pagerank(&g, DmVariant::MsgPassing, 16, 2, 0.85, CostModel::xc40());
+    assert_eq!(a.modeled_seconds, b.modeled_seconds);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn rma_variants_use_constant_buffering() {
+    // §6.3.1 "Memory Consumption": RMA is O(1) extra storage; MP buffers.
+    let g = Dataset::Ljn.generate(Scale::Test);
+    for variant in [DmVariant::PushRma, DmVariant::PullRma] {
+        let r = dm_pagerank(&g, variant, 16, 1, 0.85, CostModel::xc40());
+        assert_eq!(r.stats.peak_buffer_bytes, 0, "{variant:?}");
+    }
+    let mp = dm_pagerank(&g, DmVariant::MsgPassing, 16, 1, 0.85, CostModel::xc40());
+    assert!(mp.stats.peak_buffer_bytes > 0);
+}

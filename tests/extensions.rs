@@ -1,0 +1,249 @@
+//! Integration tests for the paper's extension material: directed graphs
+//! (§4.8), the GAS abstraction (§7.4), Prim's algorithm (§3.7 tech report),
+//! distributed BFS with switching (§7.2), and edge-list I/O round-trips
+//! against the dataset stand-ins.
+
+use pushpull::core::{directed, gas, mst, prim, sssp, Direction};
+use pushpull::dm::{dm_bfs, CostModel, DmBfsVariant};
+use pushpull::graph::datasets::{Dataset, Scale};
+use pushpull::graph::{gen, io, stats, GraphBuilder};
+
+#[test]
+fn directed_pagerank_matches_algebraic_formulation() {
+    // A directed PR must equal the algebraic PR over the same directed
+    // matrix. Build a small digraph, compare both directions.
+    let mut b = GraphBuilder::directed(50);
+    for i in 0..50u32 {
+        b.add_edge(i, (i + 1) % 50);
+        b.add_edge(i, (i * 7 + 3) % 50);
+    }
+    let g = b.build();
+    let dg = directed::DirectedGraph::new(g);
+    let opts = pushpull::core::pagerank::PrOptions {
+        iters: 12,
+        damping: 0.85,
+    };
+    let push = directed::pagerank_directed(&dg, Direction::Push, &opts, &pushpull::telemetry::NullProbe);
+    let pull = directed::pagerank_directed(&dg, Direction::Pull, &opts, &pushpull::telemetry::NullProbe);
+    let diff = pushpull::core::pagerank::l1_distance(&push, &pull);
+    assert!(diff < 1e-10, "directed push/pull diverge: {diff}");
+    // Every vertex has out-degree ≥ 1, so rank mass is conserved.
+    let sum: f64 = pull.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9, "mass {sum}");
+}
+
+#[test]
+fn directed_degree_asymmetry_drives_cost_split() {
+    // §4.8: a "fan-in" digraph (everyone points at vertex 0) has d̂_in = n-1
+    // but d̂_out = 1; the views must expose exactly that.
+    let n = 40;
+    let mut b = GraphBuilder::directed(n);
+    for i in 1..n as u32 {
+        b.add_edge(i, 0);
+    }
+    let dg = directed::DirectedGraph::new(b.build());
+    assert_eq!(dg.max_out_degree(), 1);
+    assert_eq!(dg.max_in_degree(), n - 1);
+    for dir in Direction::BOTH {
+        let levels = directed::bfs_directed(&dg, 1, dir);
+        assert_eq!(levels[0], 1, "{dir:?}");
+        assert_eq!(levels[2], u32::MAX, "{dir:?}: no path 1→2");
+    }
+}
+
+#[test]
+fn gas_sssp_agrees_with_delta_stepping_on_datasets() {
+    for ds in [Dataset::Am, Dataset::Rca] {
+        let g = ds.generate_weighted(Scale::Test, 1, 50);
+        let reference = sssp::dijkstra(&g, 0);
+        for dir in Direction::BOTH {
+            assert_eq!(gas::gas_sssp(&g, 0, dir), reference, "{} {dir:?}", ds.id());
+        }
+    }
+}
+
+#[test]
+fn gas_coloring_is_proper_on_datasets() {
+    for ds in [Dataset::Am, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        if g.max_degree() >= 128 {
+            continue; // GasColoring's mask is two words wide
+        }
+        for dir in Direction::BOTH {
+            let colors = gas::gas_coloring(&g, dir);
+            assert!(
+                pushpull::core::coloring::is_proper_coloring(&g, &colors),
+                "{} {dir:?}",
+                ds.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn prim_boruvka_and_kruskal_agree_on_connected_datasets() {
+    let g = Dataset::Rca.generate_weighted(Scale::Test, 1, 1000);
+    assert!(stats::is_connected(&g));
+    let (_, kruskal) = mst::kruskal_seq(&g);
+    for dir in Direction::BOTH {
+        assert_eq!(mst::boruvka(&g, dir).total_weight, kruskal, "boruvka {dir:?}");
+        assert_eq!(prim::prim(&g, 0, dir).total_weight, kruskal, "prim {dir:?}");
+    }
+}
+
+#[test]
+fn dm_bfs_variants_agree_with_sequential_levels_on_datasets() {
+    for ds in [Dataset::Ljn, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        let (expected, _, _) = stats::bfs_levels(&g, 0);
+        for variant in DmBfsVariant::ALL {
+            let r = dm_bfs(&g, 0, variant, 16, CostModel::xc40());
+            assert_eq!(r.levels, expected, "{} {variant:?}", ds.id());
+        }
+    }
+}
+
+#[test]
+fn dm_bfs_pull_reads_more_on_high_diameter_graphs() {
+    // The §4.3 read asymmetry survives the DM formulation: bottom-up rounds
+    // re-probe every unvisited vertex's neighborhood.
+    let g = Dataset::Rca.generate(Scale::Test);
+    let push = dm_bfs(&g, 0, DmBfsVariant::Push, 8, CostModel::xc40());
+    let pull = dm_bfs(&g, 0, DmBfsVariant::Pull, 8, CostModel::xc40());
+    assert!(
+        pull.stats.remote_gets > 4 * push.stats.remote_puts,
+        "pull gets {} vs push puts {}",
+        pull.stats.remote_gets,
+        push.stats.remote_puts
+    );
+}
+
+#[test]
+fn edge_list_round_trips_every_dataset_standin() {
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Test);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let back = io::read_edge_list(buf.as_slice(), g.num_vertices()).unwrap();
+        assert_eq!(back, g, "{}", ds.id());
+
+        let gw = ds.generate_weighted(Scale::Test, 1, 77);
+        let mut buf = Vec::new();
+        io::write_edge_list(&gw, &mut buf).unwrap();
+        let back = io::read_edge_list(buf.as_slice(), gw.num_vertices()).unwrap();
+        assert_eq!(back, gw, "{} weighted", ds.id());
+    }
+}
+
+#[test]
+fn io_graphs_run_through_algorithms_unchanged() {
+    // A graph loaded from text must behave identically to the generated
+    // one — guards against ordering/canonicalization drift in the parser.
+    let g = Dataset::Am.generate(Scale::Test);
+    let mut buf = Vec::new();
+    io::write_edge_list(&g, &mut buf).unwrap();
+    let loaded = io::read_edge_list(buf.as_slice(), g.num_vertices()).unwrap();
+    let a = pushpull::core::pagerank::pagerank(
+        &g,
+        Direction::Pull,
+        &pushpull::core::pagerank::PrOptions::default(),
+    );
+    let b = pushpull::core::pagerank::pagerank(
+        &loaded,
+        Direction::Pull,
+        &pushpull::core::pagerank::PrOptions::default(),
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn gas_engine_rejects_mismatched_state_length() {
+    let g = gen::path(4);
+    let result = std::panic::catch_unwind(|| {
+        gas::gas_execute(&g, &gas::GasSssp, vec![0u64; 3], &[0], Direction::Pull, 10)
+    });
+    assert!(result.is_err(), "length mismatch must panic");
+}
+
+#[test]
+fn clustering_coefficient_agrees_with_triangle_counting() {
+    // Two independent implementations of the same quantity: the stats
+    // module's wedge census and the §3.2 triangle counter must satisfy
+    // closed_wedges == 6 · total_triangles on every stand-in.
+    use pushpull::core::triangles;
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Test);
+        let triangles = triangles::total_triangles(&g, Direction::Pull);
+        assert_eq!(
+            stats::closed_wedges(&g),
+            6 * triangles,
+            "{}: wedge census vs triangle count",
+            ds.id()
+        );
+    }
+}
+
+#[test]
+fn dataset_standins_have_the_right_clustering_regimes() {
+    // The community stand-ins must cluster far above the road network —
+    // the structural contrast Table 2's regimes encode.
+    let orc = Dataset::Orc.generate(Scale::Test);
+    let rca = Dataset::Rca.generate(Scale::Test);
+    assert!(
+        stats::global_clustering(&orc) > 4.0 * stats::global_clustering(&rca).max(1e-3),
+        "orc C = {}, rca C = {}",
+        stats::global_clustering(&orc),
+        stats::global_clustering(&rca)
+    );
+}
+
+#[test]
+fn dm_coloring_passes_the_shared_validator() {
+    use pushpull::core::validate;
+    use pushpull::dm::dm_coloring;
+    for ds in [Dataset::Ljn, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for push in [true, false] {
+            let r = dm_coloring(&g, push, 8, CostModel::xc40());
+            validate::validate_coloring(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{} push={push}: {e}", ds.id()));
+        }
+    }
+}
+
+#[test]
+fn directed_sssp_degenerates_to_undirected_on_symmetric_digraphs() {
+    // A digraph with both arc directions for every edge must reproduce the
+    // undirected distances.
+    let und = gen::with_random_weights(&gen::erdos_renyi(100, 300, 4), 1, 30, 4);
+    let mut b = GraphBuilder::directed(100);
+    for (u, v, w) in und.edges() {
+        b.add_weighted_edge(u, v, w);
+        b.add_weighted_edge(v, u, w);
+    }
+    let dg = directed::DirectedGraph::new(b.build());
+    let expected = sssp::dijkstra(&und, 0);
+    for dir in Direction::BOTH {
+        assert_eq!(directed::sssp_directed(&dg, 0, dir), expected, "{dir:?}");
+    }
+}
+
+#[test]
+fn approx_bc_ranks_correlate_with_exact_on_standins() {
+    use pushpull::core::bc;
+    let g = Dataset::Am.generate(Scale::Test);
+    let exact = bc::betweenness(&g, Direction::Pull, &bc::BcOptions::default()).scores;
+    let approx = bc::approx_betweenness(&g, Direction::Pull, g.num_vertices() / 2, 1);
+    // The top exact vertex must sit in the approximate top decile.
+    let top_exact = (0..exact.len())
+        .max_by(|&a, &b| exact[a].total_cmp(&exact[b]))
+        .unwrap();
+    let mut order: Vec<usize> = (0..approx.len()).collect();
+    order.sort_by(|&a, &b| approx[b].total_cmp(&approx[a]));
+    let rank = order.iter().position(|&v| v == top_exact).unwrap();
+    assert!(
+        rank <= exact.len() / 10,
+        "exact top vertex ranked {rank} of {} under sampling",
+        exact.len()
+    );
+}

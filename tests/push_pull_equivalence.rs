@@ -1,0 +1,187 @@
+//! The paper's foundational invariant (§3): push and pull are two
+//! *schedules* of the same algorithm — results must be identical across
+//! directions, and identical to a sequential reference, on every graph
+//! family the paper evaluates.
+
+use pushpull::core::{bc, bfs, coloring, mst, pagerank, sssp, triangles, Direction};
+use pushpull::graph::datasets::{Dataset, Scale};
+use pushpull::graph::{gen, stats, CsrGraph};
+
+fn families() -> Vec<(&'static str, CsrGraph)> {
+    let mut v: Vec<(&'static str, CsrGraph)> = vec![
+        ("path", gen::path(64)),
+        ("cycle", gen::cycle(65)),
+        ("star", gen::star(64)),
+        ("complete", gen::complete(24)),
+        ("binary-tree", gen::binary_tree(63)),
+        ("erdos-renyi", gen::erdos_renyi(256, 1024, 7)),
+        ("rmat", gen::rmat(8, 8, 7)),
+        ("road-grid", gen::road_grid(12, 14, 0.6, 7)),
+    ];
+    for ds in Dataset::ALL {
+        v.push((ds.id(), ds.generate(Scale::Test)));
+    }
+    v
+}
+
+#[test]
+fn pagerank_directions_agree_everywhere() {
+    let opts = pagerank::PrOptions {
+        iters: 12,
+        damping: 0.85,
+    };
+    for (name, g) in families() {
+        let reference = pagerank::pagerank_seq(&g, &opts);
+        for dir in Direction::BOTH {
+            let r = pagerank::pagerank(&g, dir, &opts);
+            let diff = pagerank::l1_distance(&reference, &r);
+            assert!(diff < 1e-9, "{name} {dir:?}: L1 {diff}");
+        }
+    }
+}
+
+#[test]
+fn triangle_counts_agree_everywhere() {
+    for (name, g) in families() {
+        let reference = triangles::triangle_counts_seq(&g);
+        for dir in Direction::BOTH {
+            assert_eq!(
+                triangles::triangle_counts(&g, dir),
+                reference,
+                "{name} {dir:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bfs_levels_agree_everywhere() {
+    for (name, g) in families() {
+        if g.num_vertices() == 0 {
+            continue;
+        }
+        let (expected, _, _) = stats::bfs_levels(&g, 0);
+        for mode in [
+            bfs::BfsMode::Push,
+            bfs::BfsMode::Pull,
+            bfs::BfsMode::direction_optimizing(),
+        ] {
+            let r = bfs::bfs(&g, 0, mode);
+            assert_eq!(r.level, expected, "{name} {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn sssp_agrees_with_dijkstra_everywhere() {
+    for (name, g) in families() {
+        let gw = gen::with_random_weights(&g, 1, 64, 0xabc);
+        let reference = sssp::dijkstra(&gw, 0);
+        for dir in Direction::BOTH {
+            for delta in [4u64, 64, 1 << 14] {
+                let r = sssp::sssp_delta(&gw, 0, dir, &sssp::SsspOptions { delta });
+                assert_eq!(r.dist, reference, "{name} {dir:?} Δ={delta}");
+            }
+        }
+    }
+}
+
+#[test]
+fn betweenness_agrees_with_brandes_everywhere() {
+    for (name, g) in families() {
+        // Exact BC is O(n·m): cap sources on the larger families.
+        let cap = Some(24usize.min(g.num_vertices()));
+        let reference = bc::betweenness_seq(&g, cap);
+        for dir in Direction::BOTH {
+            let r = bc::betweenness(&g, dir, &bc::BcOptions { max_sources: cap });
+            for (i, (a, b)) in r.scores.iter().zip(&reference).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-6 * (1.0 + b.abs()),
+                    "{name} {dir:?} vertex {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mst_weight_agrees_with_kruskal_everywhere() {
+    for (name, g) in families() {
+        let gw = gen::with_random_weights(&g, 1, 1000, 0xdef);
+        let (kedges, kweight) = mst::kruskal_seq(&gw);
+        for dir in Direction::BOTH {
+            let r = mst::boruvka(&gw, dir);
+            assert_eq!(r.total_weight, kweight, "{name} {dir:?}");
+            assert_eq!(r.edges.len(), kedges.len(), "{name} {dir:?} edge count");
+        }
+    }
+}
+
+#[test]
+fn coloring_proper_in_both_directions_everywhere() {
+    let opts = coloring::GcOptions::default();
+    for (name, g) in families() {
+        for dir in Direction::BOTH {
+            for parts in [2usize, 5] {
+                let r = coloring::boman(&g, parts, dir, &opts);
+                assert!(
+                    coloring::is_proper_coloring(&g, &r.colors),
+                    "{name} {dir:?} parts={parts}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coloring_push_and_pull_schedule_identically() {
+    // §6.1: "the number of locks acquired is the same in both variants" —
+    // our deterministic tie-breaking makes the whole iteration trace equal.
+    let opts = coloring::GcOptions::default();
+    for (name, g) in families() {
+        let push = coloring::boman(&g, 4, Direction::Push, &opts);
+        let pull = coloring::boman(&g, 4, Direction::Pull, &opts);
+        assert_eq!(push.iterations, pull.iterations, "{name}");
+        assert_eq!(push.conflicts_per_iter, pull.conflicts_per_iter, "{name}");
+        assert_eq!(push.colors, pull.colors, "{name}: same schedule, same colors");
+    }
+}
+
+#[test]
+fn generalized_bfs_matches_plain_bfs_levels() {
+    for (name, g) in families() {
+        let n = g.num_vertices();
+        if n == 0 {
+            continue;
+        }
+        let mut ready = vec![1i64; n];
+        ready[0] = 0;
+        let (expected, _, _) = stats::bfs_levels(&g, 0);
+        for dir in Direction::BOTH {
+            let r = bfs::generalized_bfs(
+                &g,
+                &g,
+                &ready,
+                vec![0u32; n],
+                |t, s| *t = (*t).max(s + 1),
+                dir,
+                &pushpull::telemetry::NullProbe,
+            );
+            let levels: Vec<u32> = r
+                .values
+                .iter()
+                .enumerate()
+                .map(|(v, &x)| {
+                    if v == 0 {
+                        0
+                    } else if x == 0 {
+                        u32::MAX
+                    } else {
+                        x
+                    }
+                })
+                .collect();
+            assert_eq!(levels, expected, "{name} {dir:?}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The §5 acceleration strategies must change *cost*, never *meaning*:
+//! partition-aware PageRank returns the same ranks, every coloring strategy
+//! returns a proper coloring, direction-optimizing BFS the same levels.
+
+use pushpull::core::{bfs, coloring, pagerank, Direction};
+use pushpull::graph::datasets::{Dataset, Scale};
+use pushpull::graph::{stats, BlockPartition, PartitionAwareGraph};
+use pushpull::telemetry::{CountingProbe, NullProbe};
+
+#[test]
+fn partition_awareness_preserves_ranks_for_any_part_count() {
+    let opts = pagerank::PrOptions {
+        iters: 10,
+        damping: 0.85,
+    };
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Test);
+        let reference = pagerank::pagerank_seq(&g, &opts);
+        for parts in [1usize, 2, 3, 8, 17] {
+            let pa = PartitionAwareGraph::new(&g, BlockPartition::new(g.num_vertices(), parts));
+            for sync in [pagerank::PushSync::Locks, pagerank::PushSync::Cas] {
+                let r = pagerank::pagerank_push_pa(&g, &pa, &opts, sync, &NullProbe);
+                let diff = pagerank::l1_distance(&reference, &r);
+                assert!(
+                    diff < 1e-9,
+                    "{} parts={parts} {sync:?}: L1 {diff}",
+                    ds.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_awareness_strictly_reduces_synchronization() {
+    // §5: PA's atomic count is bounded by the remote arcs, strictly below
+    // plain push's 2m whenever any edge is partition-local.
+    let opts = pagerank::PrOptions {
+        iters: 2,
+        damping: 0.85,
+    };
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Test);
+        let pa = PartitionAwareGraph::new(&g, BlockPartition::new(g.num_vertices(), 4));
+        if pa.num_local_arcs() == 0 {
+            continue;
+        }
+        let plain = CountingProbe::new();
+        pagerank::pagerank_push(&g, &opts, pagerank::PushSync::Locks, &plain);
+        let aware = CountingProbe::new();
+        pagerank::pagerank_push_pa(&g, &pa, &opts, pagerank::PushSync::Locks, &aware);
+        assert!(
+            aware.counts().locks < plain.counts().locks,
+            "{}: PA {} !< plain {}",
+            ds.id(),
+            aware.counts().locks,
+            plain.counts().locks
+        );
+        assert_eq!(
+            aware.counts().locks as usize,
+            opts.iters * pa.num_remote_arcs(),
+            "{}: PA locks must equal remote arcs × iterations",
+            ds.id()
+        );
+    }
+}
+
+#[test]
+fn every_coloring_strategy_yields_proper_colorings_on_all_datasets() {
+    let opts = coloring::GcOptions::default();
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Test);
+        let runs: Vec<(&str, coloring::GcResult)> = vec![
+            ("FE-push", coloring::frontier_exploit(&g, Direction::Push, &opts)),
+            ("FE-pull", coloring::frontier_exploit(&g, Direction::Pull, &opts)),
+            ("GS", coloring::generic_switch(&g, 0.2, &opts)),
+            ("GrS", coloring::greedy_switch(&g, 0.1, &opts)),
+            ("CR", coloring::conflict_removal(&g, 8)),
+        ];
+        for (name, r) in runs {
+            assert!(
+                coloring::is_proper_coloring(&g, &r.colors),
+                "{} {name}",
+                ds.id()
+            );
+            assert!(r.num_colors() >= 2, "{} {name}: implausibly few colors", ds.id());
+        }
+    }
+}
+
+#[test]
+fn switching_strategies_do_not_exceed_fe_iterations_on_dense_graphs() {
+    // Figure 6b's ordering on community graphs: FE needs the most
+    // iterations; GS and GrS cut them.
+    for ds in [Dataset::Orc, Dataset::Pok, Dataset::Ljn] {
+        let g = ds.generate(Scale::Test);
+        let opts = coloring::GcOptions::default();
+        let fe = coloring::frontier_exploit(&g, Direction::Push, &opts);
+        let gs = coloring::generic_switch(&g, 0.2, &opts);
+        let grs = coloring::greedy_switch(&g, 0.1, &opts);
+        assert!(gs.iterations <= fe.iterations, "{}: GS > FE", ds.id());
+        assert!(grs.iterations <= fe.iterations, "{}: GrS > FE", ds.id());
+    }
+}
+
+#[test]
+fn conflict_removal_is_single_iteration_everywhere() {
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Test);
+        for parts in [2usize, 8, 32] {
+            let r = coloring::conflict_removal(&g, parts);
+            assert_eq!(r.iterations, 1, "{} parts={parts}", ds.id());
+            assert_eq!(r.conflicts_per_iter, vec![0]);
+        }
+    }
+}
+
+#[test]
+fn direction_optimizing_bfs_matches_plain_levels() {
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Test);
+        let (expected, _, _) = stats::bfs_levels(&g, 0);
+        let r = bfs::bfs(&g, 0, bfs::BfsMode::direction_optimizing());
+        assert_eq!(r.level, expected, "{}", ds.id());
+    }
+}
+
+#[test]
+fn direction_optimizing_bfs_pulls_on_dense_and_pushes_on_sparse() {
+    // The Generic-Switch premise: the heuristic must actually take both
+    // branches where the paper says each pays off.
+    let dense = Dataset::Orc.generate(Scale::Test);
+    let r = bfs::bfs(&dense, 0, bfs::BfsMode::direction_optimizing());
+    assert!(
+        r.rounds.iter().any(|ri| ri.dir == Direction::Pull),
+        "dense graph should trigger bottom-up rounds"
+    );
+
+    let sparse = Dataset::Rca.generate(Scale::Test);
+    let r = bfs::bfs(&sparse, 0, bfs::BfsMode::direction_optimizing());
+    let pushes = r.rounds.iter().filter(|ri| ri.dir == Direction::Push).count();
+    assert!(
+        pushes * 2 > r.rounds.len(),
+        "road network should stay mostly top-down"
+    );
+}
+
+#[test]
+fn hybrid_controller_drives_coloring_switch_boundary() {
+    // Generic-Switch with ratio 0 switches immediately after the first
+    // conflicted iteration; with a huge ratio it never switches and must
+    // behave exactly like FE.
+    for ds in [Dataset::Ljn, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        let opts = coloring::GcOptions::default();
+        let fe = coloring::frontier_exploit(&g, Direction::Push, &opts);
+        let never = coloring::generic_switch(&g, f64::INFINITY, &opts);
+        assert_eq!(never.iterations, fe.iterations, "{}", ds.id());
+        assert_eq!(never.colors, fe.colors, "{}", ds.id());
+        let always = coloring::generic_switch(&g, 0.0, &opts);
+        assert!(coloring::is_proper_coloring(&g, &always.colors));
+    }
+}
