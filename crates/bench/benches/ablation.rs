@@ -40,13 +40,7 @@ fn ablate_bfs_alpha(c: &mut Criterion) {
     let g = Dataset::Orc.generate(Scale::Test);
     for alpha in [2usize, 15, 64, usize::MAX] {
         group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
-            b.iter(|| {
-                bfs::bfs(
-                    &g,
-                    0,
-                    BfsMode::DirectionOptimizing { alpha, beta: 18 },
-                )
-            })
+            b.iter(|| bfs::bfs(&g, 0, BfsMode::DirectionOptimizing { alpha, beta: 18 }))
         });
     }
     group.finish();

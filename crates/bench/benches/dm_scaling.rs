@@ -12,11 +12,9 @@ fn bench_dm_pr(c: &mut Criterion) {
     let g = Dataset::Ljn.generate(Scale::Test);
     for variant in DmVariant::ALL {
         for p in [4usize, 64, 1024] {
-            group.bench_with_input(
-                BenchmarkId::new(variant.label(), p),
-                &p,
-                |b, &p| b.iter(|| dm_pagerank(&g, variant, p, 1, 0.85, CostModel::xc40())),
-            );
+            group.bench_with_input(BenchmarkId::new(variant.label(), p), &p, |b, &p| {
+                b.iter(|| dm_pagerank(&g, variant, p, 1, 0.85, CostModel::xc40()))
+            });
         }
     }
     group.finish();
@@ -28,11 +26,9 @@ fn bench_dm_tc(c: &mut Criterion) {
     let g = Dataset::Am.generate(Scale::Test);
     for variant in DmVariant::ALL {
         for p in [4usize, 64] {
-            group.bench_with_input(
-                BenchmarkId::new(variant.label(), p),
-                &p,
-                |b, &p| b.iter(|| dm_triangle_count(&g, variant, p, CostModel::xc40())),
-            );
+            group.bench_with_input(BenchmarkId::new(variant.label(), p), &p, |b, &p| {
+                b.iter(|| dm_triangle_count(&g, variant, p, CostModel::xc40()))
+            });
         }
     }
     group.finish();

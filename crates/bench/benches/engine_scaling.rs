@@ -1,0 +1,83 @@
+//! Engine scaling bench: `pp-engine` BFS / PageRank / SSSP-Δ across
+//! thread counts × direction policies × dataset stand-ins. Captures the
+//! scaling trajectory of the parallel frontier runtime (the `tables engine`
+//! experiment prints the same sweep as a table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::{pagerank::PrOptions, sssp::SsspOptions, Direction};
+use pp_engine::{algo, DirectionPolicy, Engine, ProbeShards};
+use pp_graph::datasets::{Dataset, Scale};
+use pp_graph::gen;
+use pp_telemetry::NullProbe;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_engine_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_bfs");
+    group.sample_size(15);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for t in THREADS {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for (name, policy) in DirectionPolicy::sweep() {
+                let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
+                group.bench_with_input(id, &g, |b, g| {
+                    b.iter(|| algo::bfs::bfs(&engine, g, 0, policy, &probes))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_pagerank");
+    group.sample_size(15);
+    let opts = PrOptions {
+        iters: 10,
+        damping: 0.85,
+    };
+    for ds in [Dataset::Orc, Dataset::Ljn] {
+        let g = ds.generate(Scale::Test);
+        for t in THREADS {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for dir in Direction::BOTH {
+                let id = BenchmarkId::new(dir.label(), format!("{}/t{}", ds.id(), t));
+                group.bench_with_input(id, &g, |b, g| {
+                    b.iter(|| algo::pagerank::pagerank(&engine, g, dir, &opts, &probes))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_sssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_sssp");
+    group.sample_size(15);
+    let opts = SsspOptions::default();
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let gw = gen::with_random_weights(&ds.generate(Scale::Test), 1, 64, 0x5ca1e);
+        for t in THREADS {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for (name, policy) in DirectionPolicy::sweep() {
+                let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
+                group.bench_with_input(id, &gw, |b, gw| {
+                    b.iter(|| algo::sssp::sssp_delta(&engine, gw, 0, policy, &opts, &probes))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_bfs,
+    bench_engine_pagerank,
+    bench_engine_sssp
+);
+criterion_main!(benches);

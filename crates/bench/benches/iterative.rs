@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pp_core::{
-    bellman_ford::bellman_ford, components::connected_components, kcore::kcore,
-    kruskal::kruskal, labelprop::label_propagation, mst::boruvka, Direction,
+    bellman_ford::bellman_ford, components::connected_components, kcore::kcore, kruskal::kruskal,
+    labelprop::label_propagation, mst::boruvka, Direction,
 };
 use pp_graph::datasets::{Dataset, Scale};
 use pp_graph::gen;

@@ -13,7 +13,9 @@ fn bench_spmv(c: &mut Criterion) {
         let g = ds.generate(Scale::Test);
         let csr_vals = algebra::pagerank_values_csr(&g);
         let csc_vals = algebra::pagerank_values_csc(&g);
-        let x: Vec<f64> = (0..g.num_vertices()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let x: Vec<f64> = (0..g.num_vertices())
+            .map(|i| 1.0 + (i % 3) as f64)
+            .collect();
         group.bench_with_input(BenchmarkId::new("csr_pull", ds.id()), &g, |b, g| {
             b.iter(|| algebra::spmv_csr::<PlusTimes>(g, &csr_vals, &x))
         });

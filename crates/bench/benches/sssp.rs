@@ -34,11 +34,9 @@ fn bench_delta_sweep(c: &mut Criterion) {
                 Direction::Push => "push",
                 Direction::Pull => "pull",
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, delta),
-                &delta,
-                |b, &delta| b.iter(|| sssp::sssp_delta(&g, 0, dir, &SsspOptions { delta })),
-            );
+            group.bench_with_input(BenchmarkId::new(name, delta), &delta, |b, &delta| {
+                b.iter(|| sssp::sssp_delta(&g, 0, dir, &SsspOptions { delta }))
+            });
         }
     }
     group.finish();

@@ -5,7 +5,8 @@
 //! tables <experiment> [--scale test|small|medium] [--threads N] [--samples K]
 //!
 //! experiments:
-//!   table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6a fig6b all
+//!   table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6a fig6b
+//!   weak pram ext engine all
 //! ```
 
 use pp_bench::experiments::{self, Ctx};
@@ -29,6 +30,8 @@ experiments:
   pram     the §4 PRAM analysis table
   ext      tech-report extensions: new algorithms, SM/DM SSSP inversion,
            vertex-order x prefetcher cache ablation
+  engine   pp-engine scaling: BFS/PR/SSSP time vs threads per direction
+           policy (push | pull | adaptive switching)
   all      everything above
 ";
 
@@ -89,6 +92,7 @@ fn main() {
         "ext1" => experiments::ext::run_algorithms(ctx),
         "ext2" => experiments::ext::run_sm_dm_inversion(ctx),
         "ext3" => experiments::ext::run_locality(ctx),
+        "engine" => experiments::engine::run(ctx),
         "all" => {
             experiments::table2::run(ctx);
             experiments::table1::run(ctx);
@@ -103,6 +107,7 @@ fn main() {
             experiments::weak::run(ctx);
             experiments::pram_table::run(ctx);
             experiments::ext::run(ctx);
+            experiments::engine::run(ctx);
         }
         other => die(&format!("unknown experiment: {other}\n\n{USAGE}")),
     }

@@ -1,0 +1,86 @@
+//! Engine scaling: the `pp-engine` frontier runtime vs. thread count, per
+//! direction policy and dataset stand-in. Not a paper figure — this is the
+//! scaling trajectory of the workspace's own parallel engine (BFS,
+//! PageRank, SSSP-Δ), captured so future benchmark snapshots can track it.
+
+use pp_core::{pagerank::PrOptions, sssp::SsspOptions, Direction};
+use pp_engine::{algo, DirectionPolicy, Engine, ProbeShards};
+use pp_graph::datasets::Dataset;
+use pp_graph::gen;
+use pp_telemetry::NullProbe;
+
+use crate::{fmt_ms, median_time};
+
+use super::{header, print_series, Ctx};
+
+/// Prints one scaling table per dataset: engine BFS/PR/SSSP time vs.
+/// threads, per policy.
+pub fn run(ctx: Ctx) {
+    header(
+        "Engine scaling: frontier runtime vs threads",
+        "pp-engine (this workspace); direction policy per §5 Generic-Switch",
+    );
+    let threads: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= ctx.threads.max(1) * 2)
+        .collect();
+    let xs: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+    let pr_opts = PrOptions {
+        iters: 10,
+        damping: 0.85,
+    };
+    let sssp_opts = SsspOptions::default();
+
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(ctx.scale);
+        let gw = gen::with_random_weights(&g, 1, 64, 0x5ca1e);
+        println!("--- {} ({}) ---", ds.id(), ds.description());
+
+        // Column layout follows DirectionPolicy::sweep(), so a new policy
+        // variant grows the table instead of silently misfiling timings.
+        let sweep = DirectionPolicy::sweep();
+        let mut cols: Vec<(String, Vec<String>)> = Vec::new();
+        for (name, _) in sweep {
+            cols.push((format!("BFS {name}"), Vec::new()));
+        }
+        for dir in Direction::BOTH {
+            cols.push((format!("PR {}", dir.label().to_lowercase()), Vec::new()));
+        }
+        cols.push(("SSSP adaptive".to_string(), Vec::new()));
+        for &t in &threads {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            let mut col = 0;
+            for (_, policy) in sweep {
+                let d = median_time(ctx.samples, || {
+                    algo::bfs::bfs(&engine, &g, 0, policy, &probes)
+                });
+                cols[col].1.push(fmt_ms(d));
+                col += 1;
+            }
+            for dir in Direction::BOTH {
+                let d = median_time(ctx.samples, || {
+                    algo::pagerank::pagerank(&engine, &g, dir, &pr_opts, &probes)
+                });
+                cols[col].1.push(fmt_ms(d));
+                col += 1;
+            }
+            let d = median_time(ctx.samples, || {
+                algo::sssp::sssp_delta(
+                    &engine,
+                    &gw,
+                    0,
+                    DirectionPolicy::adaptive(),
+                    &sssp_opts,
+                    &probes,
+                )
+            });
+            cols[col].1.push(fmt_ms(d));
+        }
+        let view: Vec<(&str, Vec<String>)> =
+            cols.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        print_series("threads [ms]", &xs, &view);
+        println!();
+    }
+    println!("(engine pool: caller + workers; dynamic degree-aware chunking)");
+}

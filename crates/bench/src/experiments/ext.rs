@@ -3,8 +3,8 @@
 //! locality/prefetcher ablation behind the §6 cache-miss explanations.
 
 use pp_core::{
-    bellman_ford::bellman_ford, components::connected_components, kcore::kcore,
-    kruskal::kruskal, labelprop::label_propagation, pagerank, sssp, Direction,
+    bellman_ford::bellman_ford, components::connected_components, kcore::kcore, kruskal::kruskal,
+    labelprop::label_propagation, pagerank, sssp, Direction,
 };
 use pp_dm::{dm_sssp, CostModel};
 use pp_graph::datasets::Dataset;
@@ -35,10 +35,16 @@ pub fn run_algorithms(ctx: Ctx) {
         for ds in [Dataset::Orc, Dataset::Rca] {
             let g = ds.generate(ctx.scale);
             let wg = gen::with_random_weights(&g, 1, 100, 7);
-            let xs: Vec<String> = ["components", "k-core", "label-prop", "bellman-ford", "kruskal"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+            let xs: Vec<String> = [
+                "components",
+                "k-core",
+                "label-prop",
+                "bellman-ford",
+                "kruskal",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
 
             let mut push_ms = Vec::new();
             let mut pull_ms = Vec::new();
@@ -92,7 +98,12 @@ pub fn run_algorithms(ctx: Ctx) {
                     }
                 }
             }
-            println!("{} ({} vertices, {} edges):", ds.id(), g.num_vertices(), g.num_edges());
+            println!(
+                "{} ({} vertices, {} edges):",
+                ds.id(),
+                g.num_vertices(),
+                g.num_edges()
+            );
             print_series(
                 "algorithm",
                 &xs,

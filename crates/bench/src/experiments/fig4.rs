@@ -24,14 +24,13 @@ pub fn run(ctx: Ctx) {
         );
         let rounds = push.rounds.len().max(pull.rounds.len());
         let xs: Vec<String> = (0..rounds).map(|i| i.to_string()).collect();
-        let phase = |r: &mst::MstResult,
-                     f: fn(&mst::MstRoundInfo) -> std::time::Duration|
-         -> Vec<String> {
-            r.rounds
-                .iter()
-                .map(|ri| format!("{:.6}", f(ri).as_secs_f64()))
-                .collect()
-        };
+        let phase =
+            |r: &mst::MstResult, f: fn(&mst::MstRoundInfo) -> std::time::Duration| -> Vec<String> {
+                r.rounds
+                    .iter()
+                    .map(|ri| format!("{:.6}", f(ri).as_secs_f64()))
+                    .collect()
+            };
         println!("-- Find Minimum [s] --");
         print_series(
             "round",

@@ -27,10 +27,8 @@ pub fn run_a(ctx: Ctx) {
         let mut pa_col = Vec::new();
         for ds in Dataset::ALL {
             let g = ds.generate(ctx.scale);
-            let pa = PartitionAwareGraph::new(
-                &g,
-                BlockPartition::new(g.num_vertices(), ctx.threads),
-            );
+            let pa =
+                PartitionAwareGraph::new(&g, BlockPartition::new(g.num_vertices(), ctx.threads));
             let ms =
                 |t: std::time::Duration| format!("{:.3}", t.as_secs_f64() * 1e3 / iters as f64);
             push.push(ms(median_time(ctx.samples, || {
@@ -69,8 +67,16 @@ pub fn run_b(ctx: Ctx) {
                     .iterations
                     .to_string(),
             );
-            gs.push(coloring::generic_switch(&g, 0.2, &opts).iterations.to_string());
-            grs.push(coloring::greedy_switch(&g, 0.1, &opts).iterations.to_string());
+            gs.push(
+                coloring::generic_switch(&g, 0.2, &opts)
+                    .iterations
+                    .to_string(),
+            );
+            grs.push(
+                coloring::greedy_switch(&g, 0.1, &opts)
+                    .iterations
+                    .to_string(),
+            );
         }
         print_series(
             "graph",

@@ -2,6 +2,7 @@
 //! exposes `run(ctx)` printing the same rows/series the paper reports;
 //! the `tables` binary dispatches to them.
 
+pub mod engine;
 pub mod ext;
 pub mod fig1;
 pub mod fig2;
@@ -10,11 +11,11 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod pram_table;
-pub mod weak;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod weak;
 
 use pp_graph::datasets::Scale;
 

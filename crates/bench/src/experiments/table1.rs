@@ -56,10 +56,8 @@ pub fn run(ctx: Ctx) {
             pagerank::pagerank_push(&g, &opts, pagerank::PushSync::Cas, &probe);
             report.add_column("Push", scaled(probe.counts(), iters as u64));
 
-            let pa = PartitionAwareGraph::new(
-                &g,
-                BlockPartition::new(g.num_vertices(), ctx.threads),
-            );
+            let pa =
+                PartitionAwareGraph::new(&g, BlockPartition::new(g.num_vertices(), ctx.threads));
             let probe = CacheSimProbe::new();
             pagerank::pagerank_push_pa(&g, &pa, &opts, pagerank::PushSync::Cas, &probe);
             report.add_column("Push+PA", scaled(probe.counts(), iters as u64));

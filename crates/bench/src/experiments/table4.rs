@@ -33,13 +33,10 @@ pub fn run(ctx: Ctx) {
             let mut push_pa = Vec::new();
             for ds in Dataset::ALL {
                 let g = ds.generate(ctx.scale);
-                let pa = PartitionAwareGraph::new(
-                    &g,
-                    BlockPartition::new(g.num_vertices(), threads),
-                );
-                let ms = |t: std::time::Duration| {
-                    format!("{:.3}", t.as_secs_f64() * 1e3 / iters as f64)
-                };
+                let pa =
+                    PartitionAwareGraph::new(&g, BlockPartition::new(g.num_vertices(), threads));
+                let ms =
+                    |t: std::time::Duration| format!("{:.3}", t.as_secs_f64() * 1e3 / iters as f64);
                 push.push(ms(median_time(ctx.samples, || {
                     pagerank::pagerank(&g, Direction::Push, &opts)
                 })));

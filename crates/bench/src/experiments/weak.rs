@@ -21,11 +21,10 @@ pub fn run(ctx: Ctx) {
         Scale::Small => 10,
         Scale::Medium => 12,
     };
-    let steps: Vec<(usize, u32)> = (0..6).map(|i| (1usize << i, base_scale + i as u32)).collect();
-    let xs: Vec<String> = steps
-        .iter()
-        .map(|(p, s)| format!("{p}/2^{s}"))
+    let steps: Vec<(usize, u32)> = (0..6)
+        .map(|i| (1usize << i, base_scale + i as u32))
         .collect();
+    let xs: Vec<String> = steps.iter().map(|(p, s)| format!("{p}/2^{s}")).collect();
     let mut cols: Vec<(&str, Vec<String>)> = Vec::new();
     for variant in DmVariant::ALL {
         let col = steps

@@ -336,7 +336,9 @@ mod tests {
     #[test]
     fn csc_with_transposed_values_matches_csr() {
         let g = gen::rmat(6, 4, 5);
-        let x: Vec<f64> = (0..g.num_vertices()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let x: Vec<f64> = (0..g.num_vertices())
+            .map(|i| 1.0 + (i % 3) as f64)
+            .collect();
         let a = spmv_csr::<PlusTimes>(&g, &pagerank_values_csr(&g), &x);
         let b = spmv_csc::<PlusTimes>(&g, &pagerank_values_csc(&g), &x);
         for (p, q) in a.iter().zip(&b) {
@@ -414,7 +416,10 @@ mod tests {
     #[test]
     fn algebraic_sssp_on_disconnected_graph() {
         let g = gen::with_random_weights(
-            &pp_graph::GraphBuilder::undirected(5).edge(0, 1).edge(2, 3).build(),
+            &pp_graph::GraphBuilder::undirected(5)
+                .edge(0, 1)
+                .edge(2, 3)
+                .build(),
             2,
             2,
             0,

@@ -100,12 +100,7 @@ pub fn betweenness_probed<P: Probe>(
 /// random sources and scale the accumulated dependencies by `n / samples`.
 /// An unbiased estimator of the exact scores; with `samples == n` every
 /// source is distinct and the result is exact.
-pub fn approx_betweenness(
-    g: &CsrGraph,
-    dir: Direction,
-    samples: usize,
-    seed: u64,
-) -> Vec<f64> {
+pub fn approx_betweenness(g: &CsrGraph, dir: Direction, samples: usize, seed: u64) -> Vec<f64> {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
 
@@ -292,10 +287,8 @@ fn backward_phase<P: Probe>(
                                 // of v.
                                 unsafe {
                                     let cur = delta_s.read(v as usize);
-                                    delta_s.write(
-                                        v as usize,
-                                        cur + sigma[v as usize] as f64 * coeff,
-                                    );
+                                    delta_s
+                                        .write(v as usize, cur + sigma[v as usize] as f64 * coeff);
                                 }
                             });
                         }
@@ -358,8 +351,8 @@ pub fn betweenness_seq(g: &CsrGraph, max_sources: Option<usize>) -> Vec<f64> {
         let mut delta = vec![0.0f64; n];
         while let Some(w) = stack.pop() {
             for &v in &preds[w as usize] {
-                delta[v as usize] += sigma[v as usize] as f64 / sigma[w as usize] as f64
-                    * (1.0 + delta[w as usize]);
+                delta[v as usize] +=
+                    sigma[v as usize] as f64 / sigma[w as usize] as f64 * (1.0 + delta[w as usize]);
             }
             if w != s {
                 bc[w as usize] += delta[w as usize];
@@ -467,13 +460,27 @@ mod tests {
         // §4.9: BC push conflicts are on floats → locks; pull removes them.
         let g = gen::rmat(6, 4, 4);
         let probe = CountingProbe::new();
-        betweenness_probed(&g, Direction::Push, &BcOptions { max_sources: Some(4) }, &probe);
+        betweenness_probed(
+            &g,
+            Direction::Push,
+            &BcOptions {
+                max_sources: Some(4),
+            },
+            &probe,
+        );
         let push = probe.counts();
         assert!(push.locks > 0, "push backward phase must lock");
         assert!(push.atomics > 0, "push forward phase uses integer atomics");
 
         let probe = CountingProbe::new();
-        betweenness_probed(&g, Direction::Pull, &BcOptions { max_sources: Some(4) }, &probe);
+        betweenness_probed(
+            &g,
+            Direction::Pull,
+            &BcOptions {
+                max_sources: Some(4),
+            },
+            &probe,
+        );
         let pull = probe.counts();
         assert_eq!(pull.locks, 0);
         assert_eq!(pull.atomics, 0);
@@ -482,7 +489,13 @@ mod tests {
     #[test]
     fn timings_are_populated() {
         let g = gen::rmat(6, 4, 8);
-        let r = betweenness(&g, Direction::Push, &BcOptions { max_sources: Some(8) });
+        let r = betweenness(
+            &g,
+            Direction::Push,
+            &BcOptions {
+                max_sources: Some(8),
+            },
+        );
         assert!(r.forward_time > Duration::ZERO);
         assert!(r.backward_time > Duration::ZERO);
     }
@@ -523,8 +536,11 @@ mod tests {
     fn approx_is_deterministic_per_seed_and_direction_free() {
         let g = gen::rmat(6, 4, 9);
         let a = approx_betweenness(&g, Direction::Push, 10, 7);
+        // The sampled source set is seed-deterministic, but push accumulates
+        // floats under locks whose acquisition order varies between truly
+        // parallel runs — repeat runs agree to rounding, not bitwise.
         let b = approx_betweenness(&g, Direction::Push, 10, 7);
-        assert_eq!(a, b);
+        assert_close(&a, &b, 1e-9, "same seed, repeat run");
         let c = approx_betweenness(&g, Direction::Pull, 10, 7);
         assert_close(&a, &c, 1e-9, "same sampled sources, either direction");
     }
@@ -544,7 +560,9 @@ mod tests {
         }
         let g = b.build();
         let scores = approx_betweenness(&g, Direction::Pull, 12, 3);
-        let best = (0..17).max_by(|&a, &b| scores[a].total_cmp(&scores[b])).unwrap();
+        let best = (0..17)
+            .max_by(|&a, &b| scores[a].total_cmp(&scores[b]))
+            .unwrap();
         assert_eq!(best, 8, "bridge vertex must rank first: {scores:?}");
     }
 

@@ -324,8 +324,14 @@ mod tests {
         // start pushing (singleton frontier) and flip to pulling.
         let g = gen::with_random_weights(&gen::erdos_renyi(300, 4000, 1), 1, 20, 1);
         let (_, dirs) = bellman_ford_switching(&g, 0, 15);
-        assert!(!dirs[0], "first round must push from the singleton frontier");
-        assert!(dirs.iter().any(|&d| d), "a dense run must pull at least once");
+        assert!(
+            !dirs[0],
+            "first round must push from the singleton frontier"
+        );
+        assert!(
+            dirs.iter().any(|&d| d),
+            "a dense run must pull at least once"
+        );
     }
 
     #[test]

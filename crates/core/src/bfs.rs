@@ -401,10 +401,7 @@ mod tests {
 
     fn assert_valid_bfs(g: &CsrGraph, root: VertexId, r: &BfsResult) {
         let (expected_levels, _, _) = stats::bfs_levels(g, root);
-        assert_eq!(
-            r.level, expected_levels,
-            "levels must match sequential BFS"
-        );
+        assert_eq!(r.level, expected_levels, "levels must match sequential BFS");
         for v in g.vertices() {
             if v == root {
                 assert_eq!(r.parent[v as usize], root);
@@ -420,8 +417,16 @@ mod tests {
 
     #[test]
     fn all_modes_agree_with_sequential_levels() {
-        for g in [gen::path(50), gen::rmat(8, 4, 7), gen::road_grid(10, 12, 0.6, 3)] {
-            for mode in [BfsMode::Push, BfsMode::Pull, BfsMode::direction_optimizing()] {
+        for g in [
+            gen::path(50),
+            gen::rmat(8, 4, 7),
+            gen::road_grid(10, 12, 0.6, 3),
+        ] {
+            for mode in [
+                BfsMode::Push,
+                BfsMode::Pull,
+                BfsMode::direction_optimizing(),
+            ] {
                 let r = bfs(&g, 0, mode);
                 assert_valid_bfs(&g, 0, &r);
             }
@@ -515,8 +520,7 @@ mod tests {
             );
             let (expected, _, _) = stats::bfs_levels(&g, 0);
             assert_eq!(
-                r.values,
-                expected,
+                r.values, expected,
                 "{dir:?} generalized BFS must reproduce levels"
             );
         }
@@ -576,11 +580,27 @@ mod tests {
         let mut ready = vec![1i64; n];
         ready[0] = 0;
         let probe = CountingProbe::new();
-        generalized_bfs(&g, &g, &ready, vec![0u64; n], |t, s| *t += s, Direction::Push, &probe);
+        generalized_bfs(
+            &g,
+            &g,
+            &ready,
+            vec![0u64; n],
+            |t, s| *t += s,
+            Direction::Push,
+            &probe,
+        );
         assert!(probe.counts().locks > 0);
 
         let probe = CountingProbe::new();
-        generalized_bfs(&g, &g, &ready, vec![0u64; n], |t, s| *t += s, Direction::Pull, &probe);
+        generalized_bfs(
+            &g,
+            &g,
+            &ready,
+            vec![0u64; n],
+            |t, s| *t += s,
+            Direction::Pull,
+            &probe,
+        );
         assert_eq!(probe.counts().locks, 0);
     }
 }

@@ -80,7 +80,8 @@ impl GcResult {
 pub fn is_proper_coloring(g: &CsrGraph, colors: &[u32]) -> bool {
     colors.len() == g.num_vertices()
         && colors.iter().all(|&c| c != NO_COLOR)
-        && g.arcs().all(|(u, v)| colors[u as usize] != colors[v as usize])
+        && g.arcs()
+            .all(|(u, v)| colors[u as usize] != colors[v as usize])
 }
 
 /// Sequential greedy coloring in vertex order (the "optimized greedy
@@ -89,7 +90,8 @@ pub fn greedy_seq(g: &CsrGraph) -> Vec<u32> {
     let mut colors = vec![NO_COLOR; g.num_vertices()];
     let mut scratch = ColorScratch::new(g.max_degree());
     for v in g.vertices() {
-        colors[v as usize] = scratch.smallest_free(g.neighbors(v).iter().map(|&u| colors[u as usize]));
+        colors[v as usize] =
+            scratch.smallest_free(g.neighbors(v).iter().map(|&u| colors[u as usize]));
     }
     colors
 }
@@ -430,8 +432,7 @@ fn fe_engine<P: Probe>(
                 for &v in &bumped {
                     colors[v as usize].store(NO_COLOR, Ordering::Relaxed);
                 }
-                let bumped_set: std::collections::HashSet<VertexId> =
-                    bumped.into_iter().collect();
+                let bumped_set: std::collections::HashSet<VertexId> = bumped.into_iter().collect();
                 claimed
                     .into_iter()
                     .filter(|v| !bumped_set.contains(v))
@@ -445,10 +446,8 @@ fn fe_engine<P: Probe>(
                 // collided across the cut *uncolors itself* (own write) and
                 // retries next round. Rounds to converge are Boman-like
                 // (a handful), not wave-count-like.
-                let snapshot: Vec<u32> =
-                    colors.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-                let part =
-                    BlockPartition::new(n, rayon::current_num_threads().max(1));
+                let snapshot: Vec<u32> = colors.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
                 stats.conflicts = 0;
                 let newly: Vec<VertexId> = (0..part.num_parts())
                     .into_par_iter()

@@ -221,7 +221,11 @@ mod tests {
         b.add_edge(63, 0);
         let g = b.build();
         let r = connected_components(&g, Direction::Pull);
-        assert!(r.rounds >= 16, "rounds {} too small for a 62-hop crawl", r.rounds);
+        assert!(
+            r.rounds >= 16,
+            "rounds {} too small for a 62-hop crawl",
+            r.rounds
+        );
         assert!(r.labels.iter().all(|&l| l == 0));
     }
 

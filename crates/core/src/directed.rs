@@ -241,7 +241,10 @@ pub fn sssp_directed_probed<P: Probe>(
 
     let n = dg.num_vertices();
     assert!((root as usize) < n, "root out of range");
-    assert!(dg.out_view().is_weighted(), "directed SSSP requires weights");
+    assert!(
+        dg.out_view().is_weighted(),
+        "directed SSSP requires weights"
+    );
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[root as usize].store(0, Ordering::Relaxed);
     let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
@@ -402,7 +405,9 @@ mod tests {
     #[test]
     fn asymmetric_reachability() {
         // 0 → 1 → 2, plus 3 → 0: from 0 only {0,1,2} are reachable.
-        let g = GraphBuilder::directed(4).edges([(0, 1), (1, 2), (3, 0)]).build();
+        let g = GraphBuilder::directed(4)
+            .edges([(0, 1), (1, 2), (3, 0)])
+            .build();
         let dg = DirectedGraph::new(g);
         for dir in Direction::BOTH {
             let levels = bfs_directed(&dg, 0, dir);

@@ -163,13 +163,8 @@ pub fn gas_execute<Prog: GasProgram>(
                                 } else {
                                     1
                                 };
-                                let contrib = program.gather(
-                                    u,
-                                    &st[u as usize],
-                                    v,
-                                    w,
-                                    &st[v as usize],
-                                );
+                                let contrib =
+                                    program.gather(u, &st[u as usize], v, w, &st[v as usize]);
                                 locks.with(u as usize, || {
                                     // SAFETY: the shard lock serializes
                                     // writers of accs[u].
@@ -216,13 +211,10 @@ pub fn gas_execute<Prog: GasProgram>(
                                     } else {
                                         1
                                     };
-                                    let u_state = unsafe {
-                                        &*(st.addr(u as usize) as *const Prog::State)
-                                    };
-                                    a = program.merge(
-                                        a,
-                                        program.gather(v, &v_state, u, w, u_state),
-                                    );
+                                    let u_state =
+                                        unsafe { &*(st.addr(u as usize) as *const Prog::State) };
+                                    a = program
+                                        .merge(a, program.gather(v, &v_state, u, w, u_state));
                                 }
                                 a
                             } else {
@@ -411,7 +403,12 @@ mod tests {
 
     #[test]
     fn gas_coloring_is_proper_both_directions() {
-        for g in [gen::path(30), gen::cycle(15), gen::rmat(6, 3, 2), gen::star(20)] {
+        for g in [
+            gen::path(30),
+            gen::cycle(15),
+            gen::rmat(6, 3, 2),
+            gen::star(20),
+        ] {
             for dir in Direction::BOTH {
                 let colors = gas_coloring(&g, dir);
                 assert!(is_proper_coloring(&g, &colors), "{dir:?}");

@@ -69,7 +69,10 @@ pub fn kcore_probed<P: Probe>(g: &CsrGraph, dir: Direction, probe: &P) -> KCoreR
     // deg[v]: induced degree among still-live vertices. alive[v]: u32 flag so
     // both directions share one layout (coreness doubles as the tombstone —
     // u32::MAX means live).
-    let deg: Vec<AtomicU32> = g.vertices().map(|v| AtomicU32::new(g.degree(v) as u32)).collect();
+    let deg: Vec<AtomicU32> = g
+        .vertices()
+        .map(|v| AtomicU32::new(g.degree(v) as u32))
+        .collect();
     let coreness: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
     let remaining = AtomicUsize::new(n);
     let part = BlockPartition::new(n, rayon::current_num_threads().max(1));
@@ -206,7 +209,10 @@ pub fn kcore_push_pa<P: Probe>(
         };
     }
     let part = pa.partition();
-    let deg: Vec<AtomicU32> = g.vertices().map(|v| AtomicU32::new(g.degree(v) as u32)).collect();
+    let deg: Vec<AtomicU32> = g
+        .vertices()
+        .map(|v| AtomicU32::new(g.degree(v) as u32))
+        .collect();
     let coreness: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
     let mut remaining = n;
     let mut rounds = 0usize;
@@ -381,7 +387,16 @@ mod tests {
     fn clique_with_tail() {
         // 4-clique {0,1,2,3} with a pendant path 3-4-5: coreness 3,3,3,3,1,1.
         let g = GraphBuilder::undirected(6)
-            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+            .edges([
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ])
             .build();
         for dir in Direction::BOTH {
             let r = kcore(&g, dir);
@@ -491,7 +506,10 @@ mod tests {
         let pa_probe = CountingProbe::new();
         kcore_push_pa(&g, &pa, &pa_probe);
 
-        assert!(pa_probe.counts().atomics <= cut, "atomics bounded by cut arcs");
+        assert!(
+            pa_probe.counts().atomics <= cut,
+            "atomics bounded by cut arcs"
+        );
         assert!(
             pa_probe.counts().atomics < plain.counts().atomics,
             "PA must reduce atomics: {} vs {}",

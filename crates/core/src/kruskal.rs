@@ -316,12 +316,18 @@ mod tests {
         // Smaller-into-larger bounds push writes by n log n.
         let n = g.num_vertices() as u64;
         let bound = n * (64 - n.leading_zeros() as u64);
-        assert!(push.counts().writes <= bound, "{} > {bound}", push.counts().writes);
+        assert!(
+            push.counts().writes <= bound,
+            "{} > {bound}",
+            push.counts().writes
+        );
     }
 
     #[test]
     fn empty_and_trivial() {
-        let g = GraphBuilder::undirected(3).weighted_edges([] as [(u32, u32, u32); 0]).build();
+        let g = GraphBuilder::undirected(3)
+            .weighted_edges([] as [(u32, u32, u32); 0])
+            .build();
         for dir in Direction::BOTH {
             let r = kruskal(&g, dir);
             assert!(r.edges.is_empty());

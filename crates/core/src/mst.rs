@@ -217,8 +217,10 @@ pub fn boruvka_probed<P: Probe>(g: &CsrGraph, dir: Direction, probe: &P) -> MstR
             Direction::Push => {
                 // Scatter the root label into merged members (remote-style
                 // stores through an atomic view of the label array).
-                let sv_cells: Vec<std::sync::atomic::AtomicU32> =
-                    sv.iter().map(|&s| std::sync::atomic::AtomicU32::new(s)).collect();
+                let sv_cells: Vec<std::sync::atomic::AtomicU32> = sv
+                    .iter()
+                    .map(|&s| std::sync::atomic::AtomicU32::new(s))
+                    .collect();
                 active.par_iter().for_each(|&f| {
                     let root = parent[f as usize];
                     if root != f {

@@ -169,10 +169,7 @@ pub fn pagerank_push<P: Probe>(
                                 let attempts = atomics[u as usize].fetch_add(share);
                                 probe.branch_uncond();
                                 for _ in 0..attempts {
-                                    probe.atomic_rmw(
-                                        addr_of_index_atomic(atomics, u as usize),
-                                        8,
-                                    );
+                                    probe.atomic_rmw(addr_of_index_atomic(atomics, u as usize), 8);
                                 }
                             }
                         }
@@ -260,10 +257,7 @@ pub fn pagerank_push_pa<P: Probe>(
                                 let attempts = atomics[u as usize].fetch_add(share);
                                 probe.branch_uncond();
                                 for _ in 0..attempts {
-                                    probe.atomic_rmw(
-                                        addr_of_index_atomic(atomics, u as usize),
-                                        8,
-                                    );
+                                    probe.atomic_rmw(addr_of_index_atomic(atomics, u as usize), 8);
                                 }
                             }
                         }

@@ -70,8 +70,7 @@ pub fn prim_probed<P: Probe>(
                         probe.branch_cond();
                         if !in_tree_ref[w as usize] {
                             let packed = ((wt as u64) << 32) | newcomer as u64;
-                            let (updated, attempts) =
-                                atomic_min_u64(&key[w as usize], packed);
+                            let (updated, attempts) = atomic_min_u64(&key[w as usize], packed);
                             if updated {
                                 for _ in 0..attempts {
                                     probe.atomic_rmw(addr_of_index(&key, w as usize), 8);

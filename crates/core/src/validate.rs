@@ -190,7 +190,11 @@ mod tests {
     #[test]
     fn accepts_real_bfs_results() {
         let g = gen::rmat(8, 4, 1);
-        for mode in [BfsMode::Push, BfsMode::Pull, BfsMode::direction_optimizing()] {
+        for mode in [
+            BfsMode::Push,
+            BfsMode::Pull,
+            BfsMode::direction_optimizing(),
+        ] {
             let r = bfs(&g, 0, mode);
             validate_bfs(&g, 0, &r).unwrap();
         }

@@ -1,0 +1,226 @@
+//! Frontier-driven BFS on the engine (§3.3/§4.3 as an [`EdgeKernel`]).
+//!
+//! Push rounds are Algorithm 3's top-down step (CAS parent claims); pull
+//! rounds are bottom-up (own-cell writes, scan saturates at the first
+//! frontier parent); the [`DirectionPolicy`] decides per round, making
+//! [`DirectionPolicy::adaptive`] the engine's direction-optimizing BFS.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use pp_core::bfs::{NO_PARENT, UNVISITED};
+use pp_core::Direction;
+use pp_graph::{CsrGraph, VertexId, Weight};
+use pp_telemetry::{addr_of_index, Probe};
+
+use crate::frontier::Frontier;
+use crate::ops::{EdgeKernel, Engine};
+use crate::policy::DirectionPolicy;
+use crate::probes::{ProbeShards, ShardProbe};
+
+/// One executed round.
+#[derive(Clone, Copy, Debug)]
+pub struct ParRound {
+    /// Round index (= level being discovered - 1).
+    pub round: u32,
+    /// Vertices in the consumed frontier.
+    pub frontier: usize,
+    /// Out-edges of the consumed frontier (what the policy observed).
+    pub frontier_edges: u64,
+    /// Direction the policy chose.
+    pub dir: Direction,
+}
+
+/// Result of an engine BFS.
+#[derive(Clone, Debug)]
+pub struct ParBfsResult {
+    /// BFS-tree parent per vertex ([`NO_PARENT`] if unreached; the root is
+    /// its own parent).
+    pub parent: Vec<VertexId>,
+    /// Distance from the root ([`UNVISITED`] if unreached).
+    pub level: Vec<u32>,
+    /// Per-round trace.
+    pub rounds: Vec<ParRound>,
+}
+
+impl ParBfsResult {
+    /// Number of reached vertices (including the root).
+    pub fn reached(&self) -> usize {
+        self.level.iter().filter(|&&l| l != UNVISITED).count()
+    }
+}
+
+struct BfsKernel<'a> {
+    parent: &'a [AtomicU32],
+    level: &'a [AtomicU32],
+    cur: u32,
+}
+
+impl<P: Probe> EdgeKernel<P> for BfsKernel<'_> {
+    fn push(&self, u: VertexId, v: VertexId, _w: Weight, probe: &P) -> bool {
+        probe.branch_cond();
+        probe.read(addr_of_index(self.parent, v as usize), 4);
+        if self.parent[v as usize].load(Ordering::Relaxed) != NO_PARENT {
+            return false;
+        }
+        // W: write conflict — one CAS decides among racing claimants (§4.3).
+        probe.atomic_rmw(addr_of_index(self.parent, v as usize), 4);
+        if self.parent[v as usize]
+            .compare_exchange(NO_PARENT, u, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            probe.write(addr_of_index(self.level, v as usize), 4);
+            self.level[v as usize].store(self.cur + 1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pull(&self, v: VertexId, u: VertexId, _w: Weight, probe: &P) -> bool {
+        // Own-cell writes only: v is processed by exactly one thread (§3.8).
+        self.parent[v as usize].store(u, Ordering::Relaxed);
+        probe.write(addr_of_index(self.level, v as usize), 4);
+        self.level[v as usize].store(self.cur + 1, Ordering::Relaxed);
+        true
+    }
+
+    fn pull_candidate(&self, v: VertexId, probe: &P) -> bool {
+        probe.branch_cond();
+        self.level[v as usize].load(Ordering::Relaxed) == UNVISITED
+    }
+
+    fn pull_saturates(&self) -> bool {
+        true
+    }
+}
+
+/// BFS from `root` under the given direction policy.
+pub fn bfs<P: ShardProbe>(
+    engine: &Engine,
+    g: &CsrGraph,
+    root: VertexId,
+    mut policy: DirectionPolicy,
+    probes: &ProbeShards<P>,
+) -> ParBfsResult {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root out of range");
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
+    parent[root as usize].store(root, Ordering::Relaxed);
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNVISITED)).collect();
+    level[root as usize].store(0, Ordering::Relaxed);
+
+    let mut frontier = Frontier::single(g, root);
+    let mut rounds = Vec::new();
+    let mut cur = 0u32;
+
+    while !frontier.is_empty() {
+        let dir = policy.next(&frontier, g);
+        rounds.push(ParRound {
+            round: cur,
+            frontier: frontier.len(),
+            frontier_edges: frontier.edge_count(),
+            dir,
+        });
+        let kernel = BfsKernel {
+            parent: &parent,
+            level: &level,
+            cur,
+        };
+        frontier = engine.edge_map(g, &mut frontier, dir, &kernel, probes);
+        cur += 1;
+    }
+
+    ParBfsResult {
+        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
+        level: level.into_iter().map(AtomicU32::into_inner).collect(),
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::{gen, stats};
+    use pp_telemetry::{CountingProbe, NullProbe};
+
+    fn engine_levels(g: &CsrGraph, policy: DirectionPolicy, threads: usize) -> Vec<u32> {
+        let engine = Engine::new(threads);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        bfs(&engine, g, 0, policy, &probes).level
+    }
+
+    #[test]
+    fn levels_match_sequential_reference_in_every_mode() {
+        for g in [gen::path(60), gen::rmat(8, 5, 7), gen::complete(40)] {
+            let (expected, _, _) = stats::bfs_levels(&g, 0);
+            for threads in [1, 4] {
+                for policy in [
+                    DirectionPolicy::Fixed(Direction::Push),
+                    DirectionPolicy::Fixed(Direction::Pull),
+                    DirectionPolicy::adaptive(),
+                ] {
+                    assert_eq!(engine_levels(&g, policy, threads), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_actually_switches_on_dense_graphs() {
+        let g = gen::complete(128);
+        let engine = Engine::new(2);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let r = bfs(&engine, &g, 0, DirectionPolicy::adaptive(), &probes);
+        assert!(r.rounds.iter().any(|ri| ri.dir == Direction::Pull));
+        assert!(r.rounds.iter().any(|ri| ri.dir == Direction::Push));
+    }
+
+    #[test]
+    fn parents_form_a_valid_tree() {
+        let g = gen::rmat(7, 6, 13);
+        let engine = Engine::new(4);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let r = bfs(&engine, &g, 0, DirectionPolicy::adaptive(), &probes);
+        for v in g.vertices() {
+            if v == 0 {
+                assert_eq!(r.parent[0], 0);
+            } else if r.level[v as usize] != UNVISITED {
+                let p = r.parent[v as usize];
+                assert!(g.has_edge(p, v), "parent edge {p}->{v} must exist");
+                assert_eq!(r.level[p as usize] + 1, r.level[v as usize]);
+            } else {
+                assert_eq!(r.parent[v as usize], NO_PARENT);
+            }
+        }
+    }
+
+    #[test]
+    fn push_counts_cas_pull_counts_none() {
+        let g = gen::rmat(7, 4, 5);
+        let engine = Engine::new(2);
+
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        bfs(
+            &engine,
+            &g,
+            0,
+            DirectionPolicy::Fixed(Direction::Push),
+            &probes,
+        );
+        let push = probes.merged();
+        assert!(push.atomics > 0, "push BFS must CAS");
+        assert_eq!(push.locks, 0);
+
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        bfs(
+            &engine,
+            &g,
+            0,
+            DirectionPolicy::Fixed(Direction::Pull),
+            &probes,
+        );
+        let pull = probes.merged();
+        assert_eq!(pull.atomics, 0, "pull BFS is synchronization-free");
+        assert!(pull.reads > 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Graph algorithms ported onto the engine: BFS, PageRank, and Δ-stepping
+//! SSSP, each expressed as [`crate::ops::EdgeKernel`]s/vertex maps so one
+//! code path serves both directions and any [`crate::policy`].
+//!
+//! The sequential/rayon implementations in `pp-core` remain the reference
+//! oracles; the integration tests assert bit-equality (ε-equality for
+//! PageRank's floats) against them at several thread counts.
+
+pub mod bfs;
+pub mod pagerank;
+pub mod sssp;

@@ -1,0 +1,245 @@
+//! Δ-stepping SSSP on the engine (§3.4/§4.4 as an [`EdgeKernel`]).
+//!
+//! Epochs walk the distance buckets in order; within an epoch, phases
+//! repeat until the bucket stops improving, exactly like the core variants.
+//! The frontier of a phase is the set of bucket members that changed in the
+//! previous phase; the kernel relaxes with CAS-min when pushing and with
+//! own-cell mins when pulling, and the [`DirectionPolicy`] may switch
+//! direction phase by phase — a schedule neither core variant offers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pp_core::sssp::{SsspOptions, INF};
+use pp_core::sync::atomic_min_u64;
+use pp_core::Direction;
+use pp_graph::{CsrGraph, VertexId, Weight};
+use pp_telemetry::{addr_of_index, Probe};
+
+use crate::frontier::Frontier;
+use crate::ops::{EdgeKernel, Engine};
+use crate::policy::DirectionPolicy;
+use crate::probes::{ProbeShards, ShardProbe};
+
+/// Per-epoch trace of an engine Δ-stepping run.
+#[derive(Clone, Copy, Debug)]
+pub struct ParEpoch {
+    /// Bucket index (distances in `[bΔ, (b+1)Δ)`).
+    pub bucket: u64,
+    /// Phases until the bucket settled.
+    pub phases: usize,
+    /// Pull phases among them (the adaptive policy's choices).
+    pub pull_phases: usize,
+}
+
+/// Result of an engine Δ-stepping run.
+#[derive(Clone, Debug)]
+pub struct ParSsspResult {
+    /// Shortest distance from the root ([`INF`] if unreachable).
+    pub dist: Vec<u64>,
+    /// Per-epoch trace.
+    pub epochs: Vec<ParEpoch>,
+}
+
+struct SsspKernel<'a> {
+    dist: &'a [AtomicU64],
+    /// Current bucket index.
+    b: u64,
+    delta: u64,
+}
+
+impl<P: Probe> EdgeKernel<P> for SsspKernel<'_> {
+    fn push(&self, u: VertexId, v: VertexId, w: Weight, probe: &P) -> bool {
+        let du = self.dist[u as usize].load(Ordering::Relaxed);
+        let cand = du.saturating_add(w as u64);
+        probe.read(addr_of_index(self.dist, v as usize), 8);
+        probe.branch_cond();
+        // W(i): write conflict on d[v]; CAS-min (§4.4).
+        let (updated, attempts) = atomic_min_u64(&self.dist[v as usize], cand);
+        for _ in 0..attempts {
+            probe.atomic_rmw(addr_of_index(self.dist, v as usize), 8);
+        }
+        // Only same-bucket improvements re-activate within this epoch;
+        // later buckets are rediscovered from the distance array.
+        updated && cand / self.delta == self.b
+    }
+
+    fn pull(&self, v: VertexId, u: VertexId, w: Weight, probe: &P) -> bool {
+        // R: read conflict on d[u] (§4.4); write only to the owned d[v].
+        probe.read(addr_of_index(self.dist, u as usize), 8);
+        probe.branch_cond();
+        let cand = self.dist[u as usize]
+            .load(Ordering::Relaxed)
+            .saturating_add(w as u64);
+        let dv = self.dist[v as usize].load(Ordering::Relaxed);
+        if cand < dv {
+            probe.write(addr_of_index(self.dist, v as usize), 8);
+            self.dist[v as usize].store(cand, Ordering::Relaxed);
+            cand / self.delta == self.b
+        } else {
+            false
+        }
+    }
+
+    fn pull_candidate(&self, v: VertexId, probe: &P) -> bool {
+        probe.branch_cond();
+        // Only vertices that can still improve relative to this bucket
+        // participate as pull targets (Algorithm 4 line 23).
+        self.dist[v as usize].load(Ordering::Relaxed) > self.b * self.delta
+    }
+
+    fn may_activate_twice(&self) -> bool {
+        // Every successful CAS-min improvement of one vertex returns true;
+        // edge_map folds the repeats.
+        true
+    }
+}
+
+/// Δ-stepping from `root` under the given direction policy.
+pub fn sssp_delta<P: ShardProbe>(
+    engine: &Engine,
+    g: &CsrGraph,
+    root: VertexId,
+    mut policy: DirectionPolicy,
+    opts: &SsspOptions,
+    probes: &ProbeShards<P>,
+) -> ParSsspResult {
+    assert!(g.is_weighted(), "Δ-stepping requires edge weights");
+    assert!(opts.delta >= 1, "Δ must be at least 1");
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root out of range");
+    let delta = opts.delta;
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[root as usize].store(0, Ordering::Relaxed);
+
+    let mut epochs = Vec::new();
+    let mut b = 0u64;
+    loop {
+        // Epoch seed: every current member of bucket b.
+        let members: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| {
+                let d = dist[v as usize].load(Ordering::Relaxed);
+                d != INF && d / delta == b
+            })
+            .collect();
+        let mut frontier = Frontier::from_vertices(g, members);
+        let mut phases = 0usize;
+        let mut pull_phases = 0usize;
+        while !frontier.is_empty() {
+            phases += 1;
+            let dir = policy.next(&frontier, g);
+            if dir == Direction::Pull {
+                pull_phases += 1;
+            }
+            let kernel = SsspKernel {
+                dist: &dist,
+                b,
+                delta,
+            };
+            frontier = engine.edge_map(g, &mut frontier, dir, &kernel, probes);
+        }
+        epochs.push(ParEpoch {
+            bucket: b,
+            phases,
+            pull_phases,
+        });
+        // Next unsettled bucket, straight from the distance array.
+        match (0..n)
+            .filter_map(|v| {
+                let d = dist[v].load(Ordering::Relaxed);
+                (d != INF && d / delta > b).then_some(d / delta)
+            })
+            .min()
+        {
+            Some(nb) => b = nb,
+            None => break,
+        }
+    }
+
+    ParSsspResult {
+        dist: dist.into_iter().map(AtomicU64::into_inner).collect(),
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::sssp::dijkstra;
+    use pp_graph::gen;
+    use pp_telemetry::{CountingProbe, NullProbe};
+
+    fn weighted_graphs() -> Vec<CsrGraph> {
+        vec![
+            gen::with_random_weights(&gen::path(50), 1, 20, 1),
+            gen::with_random_weights(&gen::rmat(7, 4, 5), 1, 50, 2),
+            gen::with_random_weights(&gen::complete(24), 1, 100, 4),
+        ]
+    }
+
+    #[test]
+    fn matches_dijkstra_in_every_mode_and_thread_count() {
+        for g in weighted_graphs() {
+            let reference = dijkstra(&g, 0);
+            for threads in [1, 4] {
+                let engine = Engine::new(threads);
+                let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+                for delta in [1u64, 16, 1 << 12] {
+                    for policy in [
+                        DirectionPolicy::Fixed(Direction::Push),
+                        DirectionPolicy::Fixed(Direction::Pull),
+                        DirectionPolicy::adaptive(),
+                    ] {
+                        let r = sssp_delta(&engine, &g, 0, policy, &SsspOptions { delta }, &probes);
+                        assert_eq!(r.dist, reference, "Δ={delta} x{threads} {policy:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_counts_cas_pull_counts_none() {
+        let g = gen::with_random_weights(&gen::rmat(7, 4, 9), 1, 30, 7);
+        let engine = Engine::new(2);
+        let opts = SsspOptions { delta: 16 };
+
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        sssp_delta(
+            &engine,
+            &g,
+            0,
+            DirectionPolicy::Fixed(Direction::Push),
+            &opts,
+            &probes,
+        );
+        assert!(probes.merged().atomics > 0, "push relaxations CAS-min");
+
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        sssp_delta(
+            &engine,
+            &g,
+            0,
+            DirectionPolicy::Fixed(Direction::Pull),
+            &opts,
+            &probes,
+        );
+        assert_eq!(probes.merged().atomics, 0, "pull is synchronization-free");
+    }
+
+    #[test]
+    fn epochs_walk_buckets_in_order() {
+        let g = gen::with_random_weights(&gen::path(40), 1, 9, 3);
+        let engine = Engine::new(2);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let r = sssp_delta(
+            &engine,
+            &g,
+            0,
+            DirectionPolicy::Fixed(Direction::Push),
+            &SsspOptions { delta: 8 },
+            &probes,
+        );
+        assert!(r.epochs.windows(2).all(|w| w[0].bucket < w[1].bucket));
+        assert!(r.epochs.iter().all(|e| e.phases >= 1));
+    }
+}

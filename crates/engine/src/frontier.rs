@@ -1,0 +1,223 @@
+//! The engine's frontier: the set of active vertices, in a sparse
+//! (vertex-list) or dense (bitmap) representation, with the statistics the
+//! direction policy switches on.
+//!
+//! Pushing wants the sparse form (it is the work list); pulling wants the
+//! dense form (it is a membership oracle every scanned edge queries). The
+//! engine converts between the two on demand and callers can also force a
+//! representation. Conversions are O(n/64 + |F|).
+
+use pp_graph::{CsrGraph, VertexId};
+
+/// Frontier representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Repr {
+    /// Active vertex list, in insertion order, duplicate-free.
+    Sparse(Vec<VertexId>),
+    /// One bit per vertex.
+    Dense(Vec<u64>),
+}
+
+/// A set of active vertices plus the degree statistics (`|F|`, out-edges of
+/// `F`) that drive [`crate::policy::DirectionPolicy`].
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    n: usize,
+    len: usize,
+    edges: u64,
+    repr: Repr,
+}
+
+impl Frontier {
+    /// The empty frontier over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            len: 0,
+            edges: 0,
+            repr: Repr::Sparse(Vec::new()),
+        }
+    }
+
+    /// A single-vertex frontier.
+    pub fn single(g: &CsrGraph, v: VertexId) -> Self {
+        Self::from_vertices(g, vec![v])
+    }
+
+    /// A sparse frontier from a duplicate-free vertex list.
+    pub fn from_vertices(g: &CsrGraph, vertices: Vec<VertexId>) -> Self {
+        let edges = vertices.iter().map(|&v| g.degree(v) as u64).sum();
+        Self {
+            n: g.num_vertices(),
+            len: vertices.len(),
+            edges,
+            repr: Repr::Sparse(vertices),
+        }
+    }
+
+    /// The all-vertices frontier (dense), e.g. one PageRank iteration.
+    pub fn full(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut bits = vec![u64::MAX; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            if let Some(last) = bits.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
+        Self {
+            n,
+            len: n,
+            edges: g.num_arcs() as u64,
+            repr: Repr::Dense(bits),
+        }
+    }
+
+    /// Number of vertices in the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no vertex is active.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of out-degrees of the active vertices — the quantity Beamer-style
+    /// switching compares against `m/α`.
+    pub fn edge_count(&self) -> u64 {
+        self.edges
+    }
+
+    /// Whether `v` is active. O(1) dense, O(len) sparse.
+    pub fn contains(&self, v: VertexId) -> bool {
+        match &self.repr {
+            Repr::Sparse(list) => list.contains(&v),
+            Repr::Dense(bits) => bits[v as usize / 64] >> (v as usize % 64) & 1 == 1,
+        }
+    }
+
+    /// Whether the current representation is the dense bitmap.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// Converts to the dense bitmap (no-op if already dense).
+    pub fn densify(&mut self) {
+        if let Repr::Sparse(list) = &self.repr {
+            let mut bits = vec![0u64; self.n.div_ceil(64)];
+            for &v in list {
+                bits[v as usize / 64] |= 1u64 << (v as usize % 64);
+            }
+            self.repr = Repr::Dense(bits);
+        }
+    }
+
+    /// Converts to the sparse list, in vertex order (no-op if sparse).
+    pub fn sparsify(&mut self) {
+        if let Repr::Dense(bits) = &self.repr {
+            let mut list = Vec::with_capacity(self.len);
+            for (word_idx, &word) in bits.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    list.push((word_idx * 64 + bit) as VertexId);
+                    word &= word - 1;
+                }
+            }
+            self.repr = Repr::Sparse(list);
+        }
+    }
+
+    /// The sparse vertex list (converting if needed).
+    pub fn vertices(&mut self) -> &[VertexId] {
+        self.sparsify();
+        match &self.repr {
+            Repr::Sparse(list) => list,
+            Repr::Dense(_) => unreachable!(),
+        }
+    }
+
+    /// The dense bitmap words (converting if needed).
+    pub fn bits(&mut self) -> &[u64] {
+        self.densify();
+        match &self.repr {
+            Repr::Dense(bits) => bits,
+            Repr::Sparse(_) => unreachable!(),
+        }
+    }
+
+    /// Ligra-style densification heuristic: a frontier this large is cheaper
+    /// to consume as a bitmap than as a work list.
+    pub fn wants_dense(&self, g: &CsrGraph) -> bool {
+        let m = g.num_arcs().max(1) as u64;
+        self.edges + self.len as u64 > m / 20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::gen;
+
+    #[test]
+    fn single_and_full_report_sizes() {
+        let g = gen::path(100);
+        let f = Frontier::single(&g, 0);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.edge_count(), 1, "endpoint of a path has degree 1");
+        let full = Frontier::full(&g);
+        assert_eq!(full.len(), 100);
+        assert_eq!(full.edge_count(), g.num_arcs() as u64);
+        assert!(full.contains(99));
+    }
+
+    #[test]
+    fn densify_sparsify_round_trip() {
+        let g = gen::rmat(7, 4, 1);
+        let mut f = Frontier::from_vertices(&g, vec![3, 77, 12, 64, 63]);
+        let edges = f.edge_count();
+        f.densify();
+        assert!(f.is_dense());
+        for v in [3u32, 12, 63, 64, 77] {
+            assert!(f.contains(v));
+        }
+        assert!(!f.contains(4));
+        f.sparsify();
+        assert_eq!(f.vertices(), &[3, 12, 63, 64, 77], "sorted by vertex id");
+        assert_eq!(f.edge_count(), edges, "stats survive conversion");
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn full_masks_tail_bits() {
+        let g = gen::path(70);
+        let mut f = Frontier::full(&g);
+        assert_eq!(f.len(), 70);
+        let bits = f.bits().to_vec();
+        assert_eq!(bits.len(), 2);
+        assert_eq!(bits[1].count_ones(), 70 - 64);
+        f.sparsify();
+        assert_eq!(f.len(), 70);
+        assert_eq!(f.vertices().len(), 70);
+    }
+
+    #[test]
+    fn empty_frontier() {
+        let f = Frontier::empty(10);
+        assert!(f.is_empty());
+        assert_eq!(f.edge_count(), 0);
+        assert!(!f.contains(3));
+    }
+
+    #[test]
+    fn wants_dense_grows_with_frontier() {
+        let g = gen::complete(64);
+        assert!(!Frontier::single(&g, 0).wants_dense(&g) || g.num_arcs() < 40);
+        assert!(Frontier::full(&g).wants_dense(&g));
+    }
+}

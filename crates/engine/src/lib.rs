@@ -1,0 +1,56 @@
+//! # pp-engine — a parallel frontier-driven execution engine with adaptive
+//! push⇄pull switching.
+//!
+//! The paper's central claim is that push vs. pull is a *scheduling*
+//! decision: the same algorithm, two schedules, different synchronization
+//! and communication profiles. This crate turns that claim into a runtime:
+//!
+//! * [`pool::Pool`] — a persistent worker pool with dynamic chunk claiming,
+//!   so skewed degree distributions do not serialize a round behind one
+//!   overloaded thread;
+//! * [`frontier::Frontier`] — the active-vertex set, sparse (vertex list)
+//!   or dense (bitmap), with automatic conversion and the `|F|`/`|E_F|`
+//!   statistics direction switching needs;
+//! * [`ops::Engine`] — `edge_map`/`vertex_map` operators generic over a
+//!   [`pp_core::Direction`] and an [`ops::EdgeKernel`], with degree-aware
+//!   work partitioning;
+//! * [`policy::DirectionPolicy`] — per-round push⇄pull selection,
+//!   generalizing `pp_core::strategies::SwitchController` into
+//!   Beamer-style direction optimization driven by frontier edge counts;
+//! * [`probes::ProbeShards`] — per-worker telemetry shards that merge back
+//!   into `pp-telemetry`'s [`pp_telemetry::EventCounts`], so Table-1 style
+//!   event totals reconcile without the instrumentation itself becoming
+//!   the contention;
+//! * [`algo`] — BFS, PageRank, and Δ-stepping SSSP ported onto the engine,
+//!   with the sequential `pp-core` implementations as oracles.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pp_engine::{algo, DirectionPolicy, Engine, ProbeShards};
+//! use pp_graph::datasets::{Dataset, Scale};
+//! use pp_telemetry::NullProbe;
+//!
+//! let g = Dataset::Orc.generate(Scale::Test);
+//! let engine = Engine::new(4);
+//! let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+//! let r = algo::bfs::bfs(&engine, &g, 0, DirectionPolicy::adaptive(), &probes);
+//! assert!(r.reached() > 0);
+//! // The adaptive policy records which direction each round ran in:
+//! for round in &r.rounds {
+//!     let _ = (round.frontier, round.dir);
+//! }
+//! ```
+
+pub mod algo;
+pub mod frontier;
+pub mod ops;
+pub mod policy;
+pub mod pool;
+pub mod probes;
+
+pub use frontier::Frontier;
+pub use ops::{EdgeKernel, Engine};
+pub use policy::{AdaptiveSwitch, DirectionPolicy};
+pub use pool::Pool;
+pub use probes::{ProbeShards, ShardProbe};

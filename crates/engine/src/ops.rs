@@ -1,0 +1,466 @@
+//! The engine's operators: `edge_map` and `vertex_map` over a [`Frontier`],
+//! generic over direction and probe — the Ligra-style core of `pp-engine`.
+//!
+//! Work partitioning is *degree-aware*: chunks are cut so each carries
+//! roughly the same number of arcs (not vertices), and the pool's dynamic
+//! chunk claiming absorbs whatever imbalance remains. Each chunk writes its
+//! discoveries into its own slot, so the produced frontier's order depends
+//! only on the chunk partition — not on thread scheduling.
+
+use pp_core::sync::SyncSlice;
+use pp_core::Direction;
+use pp_graph::{CsrGraph, VertexId, Weight};
+use pp_telemetry::{addr_of_index, Probe};
+
+use crate::frontier::Frontier;
+use crate::pool::Pool;
+use crate::probes::{ProbeShards, ShardProbe};
+
+/// How an algorithm reacts to one traversed edge, in either direction.
+///
+/// The two methods are the engine's version of the paper's dichotomy
+/// (§3.8): `push` may touch cells of a vertex the calling thread does not
+/// own and must synchronize (CAS, lock, float-CAS); `pull` may only write
+/// cells of `v`, which the chunk partition assigns to exactly one thread,
+/// and therefore needs no synchronization.
+pub trait EdgeKernel<P: Probe>: Sync {
+    /// Frontier vertex `u` updates its neighbor `v` over an edge of weight
+    /// `w` (1 on unweighted graphs). Returns `true` iff `v` just became
+    /// active for the next frontier. Must be thread-safe: many `u`s may
+    /// push into the same `v` concurrently.
+    fn push(&self, u: VertexId, v: VertexId, w: Weight, probe: &P) -> bool;
+
+    /// Vertex `v` gathers from frontier neighbor `u`. Only `v`'s own cells
+    /// may be written — the engine guarantees a single thread processes
+    /// `v`. Returns `true` iff `v` became active.
+    fn pull(&self, v: VertexId, u: VertexId, w: Weight, probe: &P) -> bool;
+
+    /// Whether `v` should scan its neighbors at all in a pull round
+    /// (e.g. "still unvisited" for BFS). Default: every vertex scans.
+    fn pull_candidate(&self, v: VertexId, probe: &P) -> bool {
+        let _ = (v, probe);
+        true
+    }
+
+    /// Whether a successful `pull` ends `v`'s scan (BFS needs any one
+    /// frontier parent; PageRank needs them all). Default: scan everything.
+    fn pull_saturates(&self) -> bool {
+        false
+    }
+
+    /// Whether `push` can report the same vertex active more than once in a
+    /// round (CAS-min kernels: every improvement returns `true`). When set,
+    /// `edge_map` folds the duplicates before building the next frontier.
+    /// Default: activation is exactly-once (CAS-claim kernels).
+    fn may_activate_twice(&self) -> bool {
+        false
+    }
+}
+
+/// The execution engine: a persistent pool plus the frontier operators.
+pub struct Engine {
+    pool: Pool,
+}
+
+/// Chunks per thread: enough slack for dynamic claiming to balance skewed
+/// degree distributions without drowning in per-chunk overhead.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Minimum weight (arcs + vertices) a chunk must carry before a round is
+/// worth fanning out. Rounds below one grain run inline on the caller —
+/// critical for high-diameter graphs whose BFS/SSSP rounds are tiny (a
+/// pool handshake costs more than relaxing a dozen edges).
+const GRAIN: u64 = 4096;
+
+impl Engine {
+    /// An engine over `threads` threads (0 = hardware parallelism).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: Pool::new(threads),
+        }
+    }
+
+    /// Total worker threads (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The underlying pool, for algorithms with bespoke rounds.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    fn target_chunks(&self) -> usize {
+        self.pool.threads() * CHUNKS_PER_THREAD
+    }
+
+    /// Applies the kernel to every edge incident to the frontier, in the
+    /// given direction, and returns the next frontier.
+    ///
+    /// In push direction the frontier is consumed sparse (its vertices are
+    /// the work list); in pull direction it is consumed dense (a bitmap
+    /// membership oracle) and every [`EdgeKernel::pull_candidate`] vertex
+    /// scans for active neighbors. The produced frontier is duplicate-free
+    /// (see [`EdgeKernel::may_activate_twice`]) and is densified
+    /// automatically when it crosses the Ligra-style
+    /// [`Frontier::wants_dense`] threshold.
+    pub fn edge_map<P: ShardProbe, K: EdgeKernel<P>>(
+        &self,
+        g: &CsrGraph,
+        frontier: &mut Frontier,
+        dir: Direction,
+        kernel: &K,
+        probes: &ProbeShards<P>,
+    ) -> Frontier {
+        let mut active = match dir {
+            Direction::Push => self.edge_map_push(g, frontier, kernel, probes),
+            Direction::Pull => self.edge_map_pull(g, frontier, kernel, probes),
+        };
+        // Pull activates each vertex at most once (one thread owns it); a
+        // push kernel may report repeat activations, which would skew the
+        // frontier's |F|/|E_F| statistics — fold them here.
+        if dir == Direction::Push && kernel.may_activate_twice() {
+            active.sort_unstable();
+            active.dedup();
+        }
+        let mut next = Frontier::from_vertices(g, active);
+        // Automatic densification: store a heavy frontier as a bitmap now,
+        // while it is hot, rather than at its next (likely dense) use.
+        if next.wants_dense(g) {
+            next.densify();
+        }
+        next
+    }
+
+    fn edge_map_push<P: ShardProbe, K: EdgeKernel<P>>(
+        &self,
+        g: &CsrGraph,
+        frontier: &mut Frontier,
+        kernel: &K,
+        probes: &ProbeShards<P>,
+    ) -> Vec<VertexId> {
+        // Per-index weight degree(v) + 1 sums to exactly |E_F| + |F|, which
+        // the frontier already tracks — no pre-pass needed.
+        let total = frontier.edge_count() + frontier.len() as u64;
+        let verts = frontier.vertices();
+        let cuts = chunk_by_weight(verts.len(), self.target_chunks(), total, |i| {
+            g.degree(verts[i]) as u64 + 1
+        });
+        let weighted = g.is_weighted();
+        let mut slots: Vec<Vec<VertexId>> = vec![Vec::new(); cuts.len().saturating_sub(1)];
+        {
+            let out = SyncSlice::new(&mut slots);
+            self.pool.run(cuts.len().saturating_sub(1), &|worker, c| {
+                let probe = probes.shard(worker);
+                let mut local = Vec::new();
+                for &u in &verts[cuts[c]..cuts[c + 1]] {
+                    if weighted {
+                        for (v, w) in g.weighted_neighbors(u) {
+                            if kernel.push(u, v, w, probe) {
+                                local.push(v);
+                            }
+                        }
+                    } else {
+                        for &v in g.neighbors(u) {
+                            if kernel.push(u, v, 1, probe) {
+                                local.push(v);
+                            }
+                        }
+                    }
+                }
+                // SAFETY: chunk indices are claimed exactly once, so slot
+                // `c` has a single writer.
+                unsafe { out.write(c, local) };
+            });
+        }
+        slots.concat()
+    }
+
+    fn edge_map_pull<P: ShardProbe, K: EdgeKernel<P>>(
+        &self,
+        g: &CsrGraph,
+        frontier: &mut Frontier,
+        kernel: &K,
+        probes: &ProbeShards<P>,
+    ) -> Vec<VertexId> {
+        let bits = frontier.bits();
+        let cuts = dense_cuts(g, self.target_chunks());
+        let weighted = g.is_weighted();
+        let saturates = kernel.pull_saturates();
+        let mut slots: Vec<Vec<VertexId>> = vec![Vec::new(); cuts.len().saturating_sub(1)];
+        {
+            let out = SyncSlice::new(&mut slots);
+            self.pool.run(cuts.len().saturating_sub(1), &|worker, c| {
+                let probe = probes.shard(worker);
+                let mut local = Vec::new();
+                let scan = |v: VertexId, u: VertexId, w: Weight| -> bool {
+                    // R: read conflict on the frontier bit (§4.3) — many
+                    // pullers test the same word concurrently.
+                    probe.read(addr_of_index(bits, u as usize / 64), 8);
+                    probe.branch_cond();
+                    if bits[u as usize / 64] >> (u as usize % 64) & 1 == 1 {
+                        kernel.pull(v, u, w, probe)
+                    } else {
+                        false
+                    }
+                };
+                for v in cuts[c] as VertexId..cuts[c + 1] as VertexId {
+                    if !kernel.pull_candidate(v, probe) {
+                        continue;
+                    }
+                    let mut active = false;
+                    if weighted {
+                        for (u, w) in g.weighted_neighbors(v) {
+                            if scan(v, u, w) {
+                                active = true;
+                                if saturates {
+                                    break;
+                                }
+                            }
+                        }
+                    } else {
+                        for &u in g.neighbors(v) {
+                            if scan(v, u, 1) {
+                                active = true;
+                                if saturates {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if active {
+                        local.push(v);
+                    }
+                }
+                // SAFETY: single writer per chunk slot (see push).
+                unsafe { out.write(c, local) };
+            });
+        }
+        slots.concat()
+    }
+
+    /// Applies `f` to every frontier vertex in parallel (degree-aware
+    /// chunks). `f` may write only cells owned by the vertex it is handed.
+    pub fn vertex_map<P: ShardProbe>(
+        &self,
+        g: &CsrGraph,
+        frontier: &mut Frontier,
+        probes: &ProbeShards<P>,
+        f: impl Fn(VertexId, &P) + Sync,
+    ) {
+        let total = frontier.edge_count() + frontier.len() as u64;
+        let verts = frontier.vertices();
+        let cuts = chunk_by_weight(verts.len(), self.target_chunks(), total, |i| {
+            g.degree(verts[i]) as u64 + 1
+        });
+        self.pool.run(cuts.len().saturating_sub(1), &|worker, c| {
+            let probe = probes.shard(worker);
+            for &v in &verts[cuts[c]..cuts[c + 1]] {
+                f(v, probe);
+            }
+        });
+    }
+
+    /// Applies `f` to every vertex of the graph in parallel (degree-aware
+    /// chunks) — the dense all-vertices round iterative algorithms use.
+    pub fn map_vertices<P: ShardProbe>(
+        &self,
+        g: &CsrGraph,
+        probes: &ProbeShards<P>,
+        f: impl Fn(VertexId, &P) + Sync,
+    ) {
+        let cuts = dense_cuts(g, self.target_chunks());
+        self.pool.run(cuts.len().saturating_sub(1), &|worker, c| {
+            let probe = probes.shard(worker);
+            for v in cuts[c] as VertexId..cuts[c + 1] as VertexId {
+                f(v, probe);
+            }
+        });
+    }
+}
+
+/// Degree-aware cuts over all vertices of `g`: total weight is `m + n` by
+/// construction, so no pre-pass over the degrees is needed.
+fn dense_cuts(g: &CsrGraph, chunks: usize) -> Vec<usize> {
+    let total = g.num_arcs() as u64 + g.num_vertices() as u64;
+    chunk_by_weight(g.num_vertices(), chunks, total, |v| {
+        g.degree(v as VertexId) as u64 + 1
+    })
+}
+
+/// Cuts `0..len` into at most `chunks` contiguous ranges of roughly equal
+/// total `weight` (whose sum over `0..len` the caller supplies as `total`),
+/// never cutting below [`GRAIN`] weight per chunk. Returns the cut points
+/// (`cuts[c]..cuts[c+1]` is chunk `c`); always at least one chunk when
+/// `len > 0`.
+fn chunk_by_weight(
+    len: usize,
+    chunks: usize,
+    total: u64,
+    weight: impl Fn(usize) -> u64,
+) -> Vec<usize> {
+    if len == 0 {
+        return vec![0, 0];
+    }
+    let chunks = chunks
+        .min(usize::try_from(total / GRAIN).unwrap_or(usize::MAX).max(1))
+        .clamp(1, len);
+    if chunks == 1 {
+        return vec![0, len];
+    }
+    let target = total.div_ceil(chunks as u64).max(1);
+    let mut cuts = Vec::with_capacity(chunks + 1);
+    cuts.push(0);
+    let mut acc = 0u64;
+    for i in 0..len {
+        acc += weight(i);
+        if acc >= target && cuts.len() < chunks && i + 1 < len {
+            cuts.push(i + 1);
+            acc = 0;
+        }
+    }
+    cuts.push(len);
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::gen;
+    use pp_telemetry::{CountingProbe, NullProbe};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Reachability kernel: claim unvisited neighbors with a CAS.
+    struct MarkKernel<'a> {
+        mark: &'a [AtomicU32],
+    }
+
+    impl<P: Probe> EdgeKernel<P> for MarkKernel<'_> {
+        fn push(&self, _u: VertexId, v: VertexId, _w: Weight, probe: &P) -> bool {
+            probe.atomic_rmw(addr_of_index(self.mark, v as usize), 4);
+            self.mark[v as usize]
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        }
+
+        fn pull(&self, v: VertexId, _u: VertexId, _w: Weight, probe: &P) -> bool {
+            probe.write(addr_of_index(self.mark, v as usize), 4);
+            self.mark[v as usize].store(1, Ordering::Relaxed);
+            true
+        }
+
+        fn pull_candidate(&self, v: VertexId, _probe: &P) -> bool {
+            self.mark[v as usize].load(Ordering::Relaxed) == 0
+        }
+
+        fn pull_saturates(&self) -> bool {
+            true
+        }
+    }
+
+    fn reach(g: &CsrGraph, dir: Direction, threads: usize) -> usize {
+        let engine = Engine::new(threads);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let n = g.num_vertices();
+        let mark: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        mark[0].store(1, Ordering::Relaxed);
+        let kernel = MarkKernel { mark: &mark };
+        let mut frontier = Frontier::single(g, 0);
+        while !frontier.is_empty() {
+            frontier = engine.edge_map(g, &mut frontier, dir, &kernel, &probes);
+        }
+        mark.iter()
+            .filter(|m| m.load(Ordering::Relaxed) == 1)
+            .count()
+    }
+
+    #[test]
+    fn edge_map_reaches_the_component_in_both_directions() {
+        let g = gen::rmat(8, 6, 3);
+        let expected = reach(&g, Direction::Push, 1);
+        for threads in [1, 2, 4] {
+            assert_eq!(reach(&g, Direction::Push, threads), expected);
+            assert_eq!(reach(&g, Direction::Pull, threads), expected);
+        }
+    }
+
+    #[test]
+    fn vertex_map_touches_each_frontier_vertex_once() {
+        let g = gen::path(300);
+        let engine = Engine::new(3);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let hits: Vec<AtomicU32> = (0..300).map(|_| AtomicU32::new(0)).collect();
+        let mut f = Frontier::from_vertices(&g, (0..300).step_by(3).collect());
+        engine.vertex_map(&g, &mut f, &probes, |v, _| {
+            hits[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for (v, hit) in hits.iter().enumerate() {
+            let expected = u32::from(v % 3 == 0);
+            assert_eq!(hit.load(Ordering::Relaxed), expected, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn map_vertices_covers_every_vertex() {
+        let g = gen::rmat(7, 4, 9);
+        let engine = Engine::new(4);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let hits: Vec<AtomicU32> = (0..g.num_vertices()).map(|_| AtomicU32::new(0)).collect();
+        engine.map_vertices(&g, &probes, |v, _| {
+            hits[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunk_cuts_partition_the_index_space() {
+        for (len, chunks) in [(0usize, 4), (1, 4), (10, 3), (1000, 16), (5, 100)] {
+            let cuts = chunk_by_weight(len, chunks, len as u64, |_| 1);
+            assert_eq!(*cuts.first().unwrap(), 0);
+            assert_eq!(*cuts.last().unwrap(), len);
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn chunk_cuts_balance_by_weight() {
+        // One heavy item at index 0, many light ones: the heavy item should
+        // get (nearly) its own chunk.
+        let w = |i: usize| if i == 0 { 100_000 } else { 100 };
+        let cuts = chunk_by_weight(101, 4, 100_000 + 100 * 100, w);
+        assert_eq!(cuts[1], 1, "heavy head isolated");
+    }
+
+    #[test]
+    fn tiny_rounds_collapse_to_one_inline_chunk() {
+        // Total weight below one grain: no fan-out, a single chunk.
+        let cuts = chunk_by_weight(100, 16, 100, |_| 1);
+        assert_eq!(cuts, vec![0, 100]);
+    }
+
+    #[test]
+    fn probe_counts_reconcile_across_shard_layouts() {
+        // The same pull traversal counts the same events whether probes are
+        // sharded per worker or funneled through one shared probe.
+        let g = gen::rmat(7, 4, 11);
+        let n = g.num_vertices();
+
+        let run = |threads: usize| {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+            let mark: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            mark[0].store(1, Ordering::Relaxed);
+            let kernel = MarkKernel { mark: &mark };
+            let mut frontier = Frontier::single(&g, 0);
+            while !frontier.is_empty() {
+                frontier = engine.edge_map(&g, &mut frontier, Direction::Pull, &kernel, &probes);
+            }
+            probes.merged()
+        };
+
+        let single = run(1);
+        let multi = run(4);
+        assert_eq!(single, multi, "pull rounds are deterministic");
+        assert!(single.reads > 0 && single.writes > 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Online push⇄pull direction selection.
+//!
+//! Generalizes [`pp_core::strategies::SwitchController`] — the hysteresis
+//! mechanism shared by direction-optimizing BFS and Generic-Switch coloring
+//! (§5) — into a policy the engine consults every round. The measured load
+//! share is the Beamer quantity: the fraction of all arcs incident to the
+//! frontier, `|E_F| / m`. With the standard α = 15, β = 18 parameters the
+//! policy goes dense (pull) when the frontier covers more than `1/α` of the
+//! arcs and returns sparse (push) once it falls below `1/(αβ)` — the same
+//! window as Beamer's `m/α` / `n/β` pair, expressed as one hysteresis band
+//! so the decision cannot flap between rounds.
+
+use pp_core::strategies::SwitchController;
+use pp_core::Direction;
+use pp_graph::CsrGraph;
+
+use crate::frontier::Frontier;
+
+/// Adaptive direction switching driven by frontier edge counts.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveSwitch {
+    ctrl: SwitchController,
+}
+
+impl AdaptiveSwitch {
+    /// A switch starting in `start` with Beamer-style divisors: pull above
+    /// an arc share of `1/alpha`, push below `1/(alpha*beta)`.
+    pub fn new(start: Direction, alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && beta >= 1.0, "divisors must be positive");
+        Self {
+            ctrl: SwitchController::new(start, 1.0 / alpha, 1.0 / (alpha * beta)),
+        }
+    }
+
+    /// The standard direction-optimizing parameters (α = 15, β = 18).
+    pub fn beamer() -> Self {
+        Self::new(Direction::Push, 15.0, 18.0)
+    }
+
+    /// Observes a frontier and returns the direction for the next round.
+    pub fn decide(&mut self, frontier: &Frontier, g: &CsrGraph) -> Direction {
+        let m = g.num_arcs().max(1) as f64;
+        self.ctrl
+            .observe((frontier.edge_count() + frontier.len() as u64) as f64 / m)
+    }
+
+    /// The currently selected direction (without observing).
+    pub fn current(&self) -> Direction {
+        self.ctrl.current()
+    }
+}
+
+/// How the engine chooses the direction of each round.
+#[derive(Clone, Copy, Debug)]
+pub enum DirectionPolicy {
+    /// Always push or always pull — the paper's baseline schedules.
+    Fixed(Direction),
+    /// Frontier-driven switching (§5 Generic-Switch / Beamer \[4\]).
+    Adaptive(AdaptiveSwitch),
+}
+
+impl DirectionPolicy {
+    /// The adaptive policy with standard parameters.
+    pub fn adaptive() -> Self {
+        DirectionPolicy::Adaptive(AdaptiveSwitch::beamer())
+    }
+
+    /// Every policy a sweep should cover, labeled for benchmark/test axes.
+    /// Single source of truth: benches, experiments, and equivalence tests
+    /// all iterate this, so a new policy variant is picked up everywhere.
+    pub fn sweep() -> [(&'static str, DirectionPolicy); 3] {
+        [
+            ("push", DirectionPolicy::Fixed(Direction::Push)),
+            ("pull", DirectionPolicy::Fixed(Direction::Pull)),
+            ("adaptive", DirectionPolicy::adaptive()),
+        ]
+    }
+
+    /// Direction for the round that will consume `frontier`.
+    pub fn next(&mut self, frontier: &Frontier, g: &CsrGraph) -> Direction {
+        match self {
+            DirectionPolicy::Fixed(d) => *d,
+            DirectionPolicy::Adaptive(sw) => sw.decide(frontier, g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::gen;
+
+    #[test]
+    fn fixed_policy_never_moves() {
+        let g = gen::complete(32);
+        let mut p = DirectionPolicy::Fixed(Direction::Push);
+        assert_eq!(p.next(&Frontier::full(&g), &g), Direction::Push);
+        assert_eq!(p.next(&Frontier::empty(32), &g), Direction::Push);
+    }
+
+    #[test]
+    fn adaptive_pulls_on_huge_frontiers_and_returns() {
+        let g = gen::complete(64);
+        let mut p = AdaptiveSwitch::beamer();
+        assert_eq!(p.current(), Direction::Push);
+        assert_eq!(p.decide(&Frontier::full(&g), &g), Direction::Pull);
+        // A tiny frontier (one vertex of degree 63 out of m = 4032 arcs)
+        // drops the share below 1/(αβ) ≈ 0.37%… not quite: 64/4032 ≈ 1.6%,
+        // so it stays pull; the empty frontier forces the return to push.
+        assert_eq!(p.decide(&Frontier::empty(64), &g), Direction::Push);
+    }
+
+    #[test]
+    fn hysteresis_band_prevents_flapping() {
+        let g = gen::complete(64);
+        let mut p = AdaptiveSwitch::new(Direction::Push, 15.0, 18.0);
+        // Mid-band frontier: above 1/(αβ), below 1/α — keeps whatever the
+        // current direction is.
+        let mid = Frontier::from_vertices(&g, vec![0, 1]);
+        assert_eq!(p.decide(&mid, &g), Direction::Push);
+        assert_eq!(p.decide(&Frontier::full(&g), &g), Direction::Pull);
+        assert_eq!(p.decide(&mid, &g), Direction::Pull, "still inside band");
+    }
+}

@@ -1,0 +1,338 @@
+//! A persistent scoped thread pool with dynamic chunk claiming.
+//!
+//! Workers are spawned once per [`Pool`] and parked between rounds, so the
+//! per-round cost is one mutex/condvar handshake rather than thread
+//! creation. Within a round, work is distributed *dynamically*: chunks are
+//! claimed from a shared atomic cursor, so a worker that drew cheap chunks
+//! keeps pulling more while a worker stuck on a heavy chunk does not become
+//! the critical path (the load-balancing concern §6 of the paper raises for
+//! skewed degree distributions).
+//!
+//! The caller participates in every round as worker 0; a pool of `t`
+//! threads therefore spawns `t - 1` OS workers, and `Pool::new(1)` runs
+//! everything inline with zero synchronization.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The payload of a panicking chunk, carried back to the round's caller.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// The closure type a round executes: `(worker, chunk)`. (`'static` here is
+/// a storage artifact of [`RawTask`]; `Pool::run` accepts any lifetime and
+/// erases it, see the safety comments.)
+type Task = dyn Fn(usize, usize) + Sync + 'static;
+
+/// Type-erased pointer to the current round's task. The pointer is only
+/// dereferenced between the epoch publication and the round's completion
+/// handshake, during which the caller is blocked in [`Pool::run`] keeping
+/// the referent alive.
+#[derive(Clone, Copy)]
+struct RawTask(*const Task);
+
+// SAFETY: the raw pointer crosses threads only for the duration of a round;
+// `Pool::run` does not return until every worker has finished with it.
+unsafe impl Send for RawTask {}
+
+struct State {
+    epoch: u64,
+    task: Option<RawTask>,
+    /// Workers that have not yet finished the current round.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Control {
+    state: Mutex<State>,
+    start: Condvar,
+    done: Condvar,
+    /// Next chunk index to claim (the dynamic scheduler).
+    cursor: AtomicUsize,
+    /// Number of chunks in the current round.
+    chunks: AtomicUsize,
+    /// First panic payload captured in the current round, resumed on the
+    /// caller once the round completes.
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+/// A fixed-size worker pool executing rounds of dynamically-claimed chunks.
+pub struct Pool {
+    control: Arc<Control>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Serializes rounds: `Pool` is `Sync`, and the cursor/chunks/task state
+    /// admits exactly one round in flight — a second concurrent `run` would
+    /// otherwise reset the cursor mid-round and free a borrowed task early.
+    round: Mutex<()>,
+}
+
+impl Pool {
+    /// A pool using `threads` total threads (including the caller).
+    /// `threads == 0` is promoted to the hardware parallelism.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let control = Arc::new(Control {
+            state: Mutex::new(State {
+                epoch: 0,
+                task: None,
+                active: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            chunks: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        });
+        let workers = (1..threads)
+            .map(|w| {
+                let control = Arc::clone(&control);
+                std::thread::Builder::new()
+                    .name(format!("pp-engine-{w}"))
+                    .spawn(move || worker_loop(&control, w))
+                    .expect("failed to spawn engine worker")
+            })
+            .collect();
+        Self {
+            control,
+            workers,
+            threads,
+            round: Mutex::new(()),
+        }
+    }
+
+    /// Total thread count (caller + workers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes one round: `f(worker, chunk)` is called exactly once for
+    /// every `chunk in 0..chunks`, from `threads()` threads claiming chunks
+    /// dynamically. Returns after every chunk has completed (a barrier).
+    pub fn run(&self, chunks: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        if self.workers.is_empty() || chunks == 1 {
+            for c in 0..chunks {
+                f(0, c);
+            }
+            return;
+        }
+        // One round at a time (see `round`); held until every worker is done
+        // with this round's task pointer.
+        let _round = self.round.lock().unwrap_or_else(|e| e.into_inner());
+        let control = &*self.control;
+        {
+            let mut st = control.state.lock().unwrap();
+            control.cursor.store(0, Ordering::Relaxed);
+            control.chunks.store(chunks, Ordering::Relaxed);
+            // SAFETY (lifetime erasure): see `RawTask` — we block below until
+            // every worker is done with the pointer.
+            let raw =
+                RawTask(unsafe { std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), &Task>(f) });
+            st.task = Some(raw);
+            st.active = self.workers.len();
+            st.epoch += 1;
+            control.start.notify_all();
+        }
+        claim_chunks(control, 0, f);
+        let mut st = control.state.lock().unwrap();
+        while st.active > 0 {
+            st = control.done.wait(st).unwrap();
+        }
+        st.task = None;
+        drop(st);
+        let payload = control
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(payload) = payload {
+            // Surface the first failing chunk's own panic (message, file,
+            // line), as if it had happened on the calling thread.
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.control.state.lock().unwrap();
+            st.shutdown = true;
+            self.control.start.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn claim_chunks(control: &Control, worker: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+    let total = control.chunks.load(Ordering::Relaxed);
+    loop {
+        let c = control.cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= total {
+            return;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(worker, c))) {
+            let mut slot = control.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(payload);
+        }
+    }
+}
+
+fn worker_loop(control: &Control, worker: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let task = {
+            let mut st = control.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(task) = st.task {
+                        seen_epoch = st.epoch;
+                        break task;
+                    }
+                }
+                st = control.start.wait(st).unwrap();
+            }
+        };
+        // SAFETY: the caller blocks in `run` until `active` reaches zero,
+        // which happens only after this dereference window closes.
+        claim_chunks(control, worker, unsafe { &*task.0 });
+        let mut st = control.state.lock().unwrap();
+        st.active -= 1;
+        if st.active == 0 {
+            control.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        let pool = Pool::new(4);
+        for chunks in [1usize, 2, 7, 64, 1000] {
+            let hits: Vec<AtomicU64> = (0..chunks).map(|_| AtomicU64::new(0)).collect();
+            pool.run(chunks, &|_, c| {
+                hits[c].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn multiple_threads_participate() {
+        let pool = Pool::new(4);
+        let ids = Mutex::new(HashSet::new());
+        pool.run(256, &|_, _| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(ids.into_inner().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn single_threaded_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let caller = std::thread::current().id();
+        pool.run(16, &|w, _| {
+            assert_eq!(w, 0);
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+
+    #[test]
+    fn rounds_are_barriers() {
+        let pool = Pool::new(3);
+        let counter = AtomicU64::new(0);
+        for round in 0..50u64 {
+            pool.run(13, &|_, _| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), (round + 1) * 13);
+        }
+    }
+
+    #[test]
+    fn worker_ids_are_dense_and_bounded() {
+        let pool = Pool::new(4);
+        let seen = Mutex::new(HashSet::new());
+        pool.run(512, &|w, _| {
+            std::thread::sleep(std::time::Duration::from_micros(20));
+            seen.lock().unwrap().insert(w);
+        });
+        let seen = seen.into_inner().unwrap();
+        assert!(seen.iter().all(|&w| w < 4));
+        assert!(seen.contains(&0), "caller participates as worker 0");
+    }
+
+    #[test]
+    fn concurrent_callers_serialize_rounds() {
+        // Pool is Sync; two threads issuing rounds on the same pool must not
+        // corrupt each other's chunk accounting.
+        let pool = Pool::new(3);
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..20 {
+                    pool.run(17, &|_, _| {
+                        a.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..20 {
+                    pool.run(13, &|_, _| {
+                        b.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 20 * 17);
+        assert_eq!(b.load(Ordering::Relaxed), 20 * 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate_with_their_payload() {
+        let pool = Pool::new(2);
+        pool.run(8, &|_, c| {
+            if c == 3 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_round() {
+        let pool = Pool::new(2);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, &|_, _| panic!("boom"));
+        }));
+        let counter = AtomicU64::new(0);
+        pool.run(10, &|_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-worker probe shards.
+//!
+//! A single shared [`CountingProbe`] turns every counted event into a
+//! contended atomic increment — instrumentation that would distort the very
+//! contention the engine is built to exercise. [`ProbeShards`] gives each
+//! pool worker its own cache-line-padded probe; [`ProbeShards::merged`]
+//! folds the shards back into one [`EventCounts`] snapshot, so Table-1
+//! style totals still reconcile with what a single probe would have seen.
+
+use pp_telemetry::{CountingProbe, EventCounts, NullProbe, Probe};
+
+/// A probe that can serve as a per-worker shard: default-constructible and
+/// able to surface its counts for merging.
+pub trait ShardProbe: Probe + Default {
+    /// This shard's event counts (zero for non-counting probes).
+    fn shard_counts(&self) -> EventCounts {
+        EventCounts::default()
+    }
+}
+
+impl ShardProbe for NullProbe {}
+
+impl ShardProbe for CountingProbe {
+    fn shard_counts(&self) -> EventCounts {
+        self.counts()
+    }
+}
+
+/// Padding wrapper keeping neighbouring shards off one cache line.
+#[repr(align(128))]
+#[derive(Default)]
+struct Padded<P>(P);
+
+/// One probe per pool worker.
+pub struct ProbeShards<P> {
+    shards: Vec<Padded<P>>,
+}
+
+impl<P: ShardProbe> ProbeShards<P> {
+    /// Shards for a pool of `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            shards: (0..workers.max(1)).map(|_| Padded::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether there are no shards (never true; pools have ≥ 1 thread).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The probe belonging to `worker` (wrapping modulo the shard count, so
+    /// `ProbeShards::new(1)` funnels every worker through one probe — the
+    /// layout the reconciliation tests compare against).
+    #[inline]
+    pub fn shard(&self, worker: usize) -> &P {
+        &self.shards[worker % self.shards.len()].0
+    }
+
+    /// Field-wise sum of every shard's counts.
+    pub fn merged(&self) -> EventCounts {
+        self.shards
+            .iter()
+            .map(|p| p.0.shard_counts())
+            .fold(EventCounts::default(), add_counts)
+    }
+}
+
+/// Field-wise sum of two snapshots.
+pub fn add_counts(a: EventCounts, b: EventCounts) -> EventCounts {
+    EventCounts {
+        reads: a.reads + b.reads,
+        writes: a.writes + b.writes,
+        atomics: a.atomics + b.atomics,
+        locks: a.locks + b.locks,
+        branches_cond: a.branches_cond + b.branches_cond,
+        branches_uncond: a.branches_uncond + b.branches_uncond,
+        barriers: a.barriers + b.barriers,
+        l1_misses: a.l1_misses + b.l1_misses,
+        l2_misses: a.l2_misses + b.l2_misses,
+        l3_misses: a.l3_misses + b.l3_misses,
+        dtlb_misses: a.dtlb_misses + b.dtlb_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_merge_to_the_total() {
+        let shards: ProbeShards<CountingProbe> = ProbeShards::new(4);
+        for w in 0..4 {
+            for _ in 0..=w {
+                shards.shard(w).read(0, 8);
+            }
+            shards.shard(w).atomic_rmw(0, 8);
+        }
+        let merged = shards.merged();
+        assert_eq!(merged.reads, 1 + 2 + 3 + 4);
+        assert_eq!(merged.atomics, 4);
+    }
+
+    #[test]
+    fn null_shards_merge_to_zero() {
+        let shards: ProbeShards<NullProbe> = ProbeShards::new(8);
+        assert_eq!(shards.merged(), EventCounts::default());
+        assert_eq!(shards.len(), 8);
+    }
+
+    #[test]
+    fn shards_are_cache_line_separated() {
+        let shards: ProbeShards<CountingProbe> = ProbeShards::new(2);
+        let a = shards.shard(0) as *const _ as usize;
+        let b = shards.shard(1) as *const _ as usize;
+        assert!(b.abs_diff(a) >= 128);
+    }
+}

@@ -106,9 +106,8 @@ impl GraphBuilder {
             edges,
         } = self;
 
-        let mut arcs: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(
-            edges.len() * if directed { 1 } else { 2 },
-        );
+        let mut arcs: Vec<(VertexId, VertexId, Weight)> =
+            Vec::with_capacity(edges.len() * if directed { 1 } else { 2 });
         for (u, v, w) in edges {
             if u == v && !keep_self_loops {
                 continue;

@@ -125,10 +125,7 @@ impl CsrGraph {
     }
 
     /// Neighbors of `v` zipped with their edge weights.
-    pub fn weighted_neighbors(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+    pub fn weighted_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         self.neighbors(v)
             .iter()
             .copied()

@@ -170,8 +170,16 @@ mod tests {
     #[test]
     fn orc_has_social_shape() {
         let s = stats::stats(&Dataset::Orc.generate(Scale::Test));
-        assert!(s.avg_degree > 25.0, "orc stand-in too sparse: {}", s.avg_degree);
-        assert!(s.diameter_lb < 12, "orc diameter too large: {}", s.diameter_lb);
+        assert!(
+            s.avg_degree > 25.0,
+            "orc stand-in too sparse: {}",
+            s.avg_degree
+        );
+        assert!(
+            s.diameter_lb < 12,
+            "orc diameter too large: {}",
+            s.diameter_lb
+        );
     }
 
     #[test]

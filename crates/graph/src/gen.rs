@@ -13,7 +13,10 @@ use crate::{CsrGraph, GraphBuilder, VertexId, Weight};
 /// Erdős–Rényi `G(n, m)`: `m` edges sampled uniformly (duplicates collapse,
 /// so the realized edge count can be slightly below `m`).
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
-    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    assert!(
+        n >= 2 || m == 0,
+        "need at least two vertices to place edges"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::undirected(n);
     for _ in 0..m {
@@ -95,7 +98,11 @@ pub fn road_grid(rows: usize, cols: usize, keep: f64, seed: u64) -> CsrGraph {
     // topology. Most of its edges coincide with kept grid edges.
     let serp = |i: usize| {
         let r = i / cols;
-        let c = if r.is_multiple_of(2) { i % cols } else { cols - 1 - (i % cols) };
+        let c = if r.is_multiple_of(2) {
+            i % cols
+        } else {
+            cols - 1 - (i % cols)
+        };
         id(r, c)
     };
     for i in 1..n {
@@ -284,9 +291,13 @@ pub fn with_random_weights(g: &CsrGraph, lo: Weight, hi: Weight, seed: u64) -> C
     // `weighted_edges` marks the graph weighted even when the edge list is
     // empty, so downstream weight accessors stay valid on edgeless graphs.
     if g.is_directed() {
-        GraphBuilder::directed(g.num_vertices()).weighted_edges(edges).build()
+        GraphBuilder::directed(g.num_vertices())
+            .weighted_edges(edges)
+            .build()
     } else {
-        GraphBuilder::undirected(g.num_vertices()).weighted_edges(edges).build()
+        GraphBuilder::undirected(g.num_vertices())
+            .weighted_edges(edges)
+            .build()
     }
 }
 
@@ -303,7 +314,11 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.num_edges() <= 300);
-        assert!(a.num_edges() > 250, "too many collisions: {}", a.num_edges());
+        assert!(
+            a.num_edges() > 250,
+            "too many collisions: {}",
+            a.num_edges()
+        );
     }
 
     #[test]
@@ -376,10 +391,7 @@ mod tests {
         let small_world = watts_strogatz(400, 2, 0.1, 2);
         let d0 = stats::double_sweep_diameter(&lattice);
         let d1 = stats::double_sweep_diameter(&small_world);
-        assert!(
-            d1 < d0 / 2,
-            "rewiring should shrink diameter: {d0} -> {d1}"
-        );
+        assert!(d1 < d0 / 2, "rewiring should shrink diameter: {d0} -> {d1}");
     }
 
     #[test]

@@ -82,7 +82,12 @@ pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<CsrGrap
 /// Writes a graph as `u v [w]` lines (each undirected edge once), with a
 /// header comment carrying the counts.
 pub fn write_edge_list<W: IoWrite>(g: &CsrGraph, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# pushpull edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        writer,
+        "# pushpull edge list: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v, w) in g.edges() {
         if g.is_weighted() {
             writeln!(writer, "{u} {v} {w}")?;

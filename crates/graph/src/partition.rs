@@ -55,7 +55,11 @@ impl BlockPartition {
     pub fn range(&self, t: usize) -> std::ops::Range<VertexId> {
         debug_assert!(t < self.p);
         let (q, r) = (self.n / self.p, self.n % self.p);
-        let start = if t < r { t * (q + 1) } else { r * (q + 1) + (t - r) * q };
+        let start = if t < r {
+            t * (q + 1)
+        } else {
+            r * (q + 1) + (t - r) * q
+        };
         let len = if t < r { q + 1 } else { q };
         (start as VertexId)..((start + len) as VertexId)
     }

@@ -210,7 +210,9 @@ mod tests {
         let g = gen::path(5);
         assert!(is_connected(&g));
         assert_eq!(num_components(&g), 1);
-        let disconnected = crate::GraphBuilder::undirected(4).edges([(0, 1), (2, 3)]).build();
+        let disconnected = crate::GraphBuilder::undirected(4)
+            .edges([(0, 1), (2, 3)])
+            .build();
         assert!(!is_connected(&disconnected));
         assert_eq!(num_components(&disconnected), 2);
         // Isolated vertices each form a component.

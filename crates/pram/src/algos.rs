@@ -335,10 +335,7 @@ pub fn kcore(w: &Workload, p: usize, model: PramModel, dir: Direction, rounds: f
                 PramModel::CrcwCb => 1.0,
                 _ => log2c(w.d_max),
             };
-            Cost::new(
-                (w.m / pf + rounds * (w.d_max + log2c(pf))) * lg,
-                w.m * lg,
-            )
+            Cost::new((w.m / pf + rounds * (w.d_max + log2c(pf))) * lg, w.m * lg)
         }
     };
     let profile = match dir {
@@ -376,12 +373,7 @@ pub fn bellman_ford(
 /// gathers it read-only; push deposits into shared ballots, one lock per
 /// arc per iteration — the lock-heavy profile of push-PR (§4.1) with `L·m`
 /// locks.
-pub fn label_propagation(
-    w: &Workload,
-    p: usize,
-    model: PramModel,
-    dir: Direction,
-) -> Analysis {
+pub fn label_propagation(w: &Workload, p: usize, model: PramModel, dir: Direction) -> Analysis {
     let per_iter = k_relaxation(w.m, p, model, dir, w.d_max).par(Cost::new(w.d_max, 0.0));
     let cost = per_iter.repeat(w.iters);
     let volume = w.iters * w.m;
@@ -424,8 +416,7 @@ pub fn bfs_round(w: &Workload, p: usize, model: PramModel, dir: Direction, front
         Direction::Pull => Cost::new(w.m / p as f64 + w.d_max, w.m),
         Direction::Push => {
             let explored = frontier * w.d_max;
-            k_relaxation(explored, p, model, dir, w.d_max)
-                .then(k_filter(explored, p, w.n, dir))
+            k_relaxation(explored, p, model, dir, w.d_max).then(k_filter(explored, p, w.n, dir))
         }
     }
 }

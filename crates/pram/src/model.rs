@@ -90,10 +90,7 @@ pub fn log2c(x: f64) -> f64 {
 /// PRAM in time `S` runs on `p' < p` processors in `⌈S·p/p'⌉`.
 pub fn limit_processors(cost: Cost, p: usize, p_new: usize) -> Cost {
     assert!(p_new >= 1 && p_new <= p, "p' must satisfy 1 ≤ p' ≤ p");
-    Cost::new(
-        (cost.time * p as f64 / p_new as f64).ceil(),
-        cost.work,
-    )
+    Cost::new((cost.time * p as f64 / p_new as f64).ceil(), cost.work)
 }
 
 /// §2.1: simulating a CRCW (or CREW) algorithm on the next-weaker model

@@ -55,10 +55,7 @@ impl EventReport {
 
     /// Looks a column up by name.
     pub fn get(&self, name: &str) -> Option<&EventCounts> {
-        self.columns
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| c)
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
     }
 
     fn rows(&self) -> Vec<(&'static str, Vec<u64>)> {

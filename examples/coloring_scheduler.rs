@@ -55,7 +55,9 @@ fn main() {
         run("Frontier-Exploit", &|| {
             coloring::frontier_exploit(&g, Direction::Push, &opts)
         });
-        run("Generic-Switch", &|| coloring::generic_switch(&g, 0.2, &opts));
+        run("Generic-Switch", &|| {
+            coloring::generic_switch(&g, 0.2, &opts)
+        });
         run("Greedy-Switch", &|| coloring::greedy_switch(&g, 0.1, &opts));
         run("Conflict-Removal", &|| {
             coloring::conflict_removal(&g, threads)

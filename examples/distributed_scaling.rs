@@ -13,7 +13,10 @@ use pushpull::graph::datasets::{Dataset, Scale};
 
 fn main() {
     let cost = CostModel::xc40();
-    println!("cost model (µs): α={}, int FAA={}, float accumulate={}", cost.alpha, cost.rma_faa_int, cost.rma_accumulate_float);
+    println!(
+        "cost model (µs): α={}, int FAA={}, float accumulate={}",
+        cost.alpha, cost.rma_faa_int, cost.rma_accumulate_float
+    );
 
     // --- PageRank. ---
     let g = Dataset::Orc.generate(Scale::Small);

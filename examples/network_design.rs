@@ -43,10 +43,7 @@ fn main() {
             Direction::Push => "eager relabel",
             Direction::Pull => "union-find",
         };
-        println!(
-            "  kruskal {dir:>7}: cost {} ({scheme})",
-            k.total_weight
-        );
+        println!("  kruskal {dir:>7}: cost {} ({scheme})", k.total_weight);
         validate::validate_spanning_forest(&roads, &k.edges).expect("kruskal forest invalid");
         totals.push(k.total_weight);
     }
@@ -89,7 +86,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "\nworst backbone detour: {worst_ratio:.2}x the direct cost (junction {at})"
-    );
+    println!("\nworst backbone detour: {worst_ratio:.2}x the direct cost (junction {at})");
 }

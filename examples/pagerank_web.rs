@@ -56,10 +56,14 @@ fn main() {
             ms(t_pull),
             ms(t_pa)
         );
-        let best = [(ms(t_push), "push"), (ms(t_pull), "pull"), (ms(t_pa), "push+PA")]
-            .into_iter()
-            .min_by(|a, b| a.0.total_cmp(&b.0))
-            .unwrap();
+        let best = [
+            (ms(t_push), "push"),
+            (ms(t_pull), "pull"),
+            (ms(t_pa), "push+PA"),
+        ]
+        .into_iter()
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap();
         println!("  fastest here: {}\n", best.1);
 
         // The ranking itself: top five hubs.

@@ -37,7 +37,10 @@ fn main() {
         .with_iters(4);
     let p = rayon::current_num_threads();
     let model = pram::PramModel::CrcwCb;
-    println!("workload: n = {n}, m = {m}, d̂ = {}, P = {p}\n", g.max_degree());
+    println!(
+        "workload: n = {n}, m = {m}, d̂ = {}, P = {p}\n",
+        g.max_degree()
+    );
 
     // --- PageRank (§4.1): push O(Lm) float conflicts; pull none. ---
     let opts = algos::pagerank::PrOptions {
@@ -53,11 +56,19 @@ fn main() {
         "PR push atomics ≤ 4·L·m",
         false,
         probe.counts().atomics,
-        4.0 * push_pred.profile.locks.max(push_pred.profile.write_conflicts),
+        4.0 * push_pred
+            .profile
+            .locks
+            .max(push_pred.profile.write_conflicts),
     );
     let probe = CountingProbe::new();
     algos::pagerank::pagerank_pull(&g, &opts, &probe);
-    check("PR pull sync = 0", true, probe.counts().synchronization(), 0.0);
+    check(
+        "PR pull sync = 0",
+        true,
+        probe.counts().synchronization(),
+        0.0,
+    );
 
     // --- Triangle counting (§4.2): push O(m·d̂) FAAs; pull none. ---
     let probe = CountingProbe::new();
@@ -71,7 +82,12 @@ fn main() {
     );
     let probe = CountingProbe::new();
     algos::triangles::triangle_counts_probed(&g, algos::Direction::Pull, &probe);
-    check("TC pull sync = 0", true, probe.counts().synchronization(), 0.0);
+    check(
+        "TC pull sync = 0",
+        true,
+        probe.counts().synchronization(),
+        0.0,
+    );
 
     // --- BFS (§4.3): push O(m) CAS; pull none. ---
     let probe = CountingProbe::new();
@@ -85,7 +101,12 @@ fn main() {
     );
     let probe = CountingProbe::new();
     algos::bfs::bfs_probed(&g, 0, algos::bfs::BfsMode::Pull, &probe);
-    check("BFS pull sync = 0", true, probe.counts().synchronization(), 0.0);
+    check(
+        "BFS pull sync = 0",
+        true,
+        probe.counts().synchronization(),
+        0.0,
+    );
 
     // --- Δ-stepping (§4.4): push O(m·lΔ) CAS; pull none. ---
     let gw = Dataset::Ljn.generate_weighted(Scale::Test, 1, 100);
@@ -98,8 +119,14 @@ fn main() {
         &probe,
     );
     let l_delta = r.epochs.iter().map(|e| e.phases).max().unwrap_or(1) as f64;
-    let sssp_pred =
-        pram::algos::sssp_delta(&w, p, model, pram::Direction::Push, r.epochs.len() as f64, l_delta);
+    let sssp_pred = pram::algos::sssp_delta(
+        &w,
+        p,
+        model,
+        pram::Direction::Push,
+        r.epochs.len() as f64,
+        l_delta,
+    );
     check(
         "SSSP push atomics ≤ 2·m·lΔ",
         false,
@@ -114,7 +141,12 @@ fn main() {
         &algos::sssp::SsspOptions { delta: 64 },
         &probe,
     );
-    check("SSSP pull sync = 0", true, probe.counts().synchronization(), 0.0);
+    check(
+        "SSSP pull sync = 0",
+        true,
+        probe.counts().synchronization(),
+        0.0,
+    );
 
     // --- BC (§4.5/§4.9): push locks floats; pull lock-free. ---
     let bc_opts = algos::bc::BcOptions {
@@ -128,11 +160,20 @@ fn main() {
         "BC push conflict types",
         c.locks,
         c.atomics,
-        if c.locks > 0 && c.atomics > 0 { "✓" } else { "✗" }
+        if c.locks > 0 && c.atomics > 0 {
+            "✓"
+        } else {
+            "✗"
+        }
     );
     let probe = CountingProbe::new();
     algos::bc::betweenness_probed(&g, algos::Direction::Pull, &bc_opts, &probe);
-    check("BC pull sync = 0", true, probe.counts().synchronization(), 0.0);
+    check(
+        "BC pull sync = 0",
+        true,
+        probe.counts().synchronization(),
+        0.0,
+    );
 
     // --- CREW vs CRCW: the log(d̂) gap (§4.9 "Complexity"). ---
     println!();

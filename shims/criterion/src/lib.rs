@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion`: identical macro/builder surface for
+//! the benches in this workspace, with a plain median-of-samples timer
+//! instead of criterion's statistical machinery.
+//!
+//! Modes, chosen from the harness arguments cargo passes:
+//!
+//! * `--test` (what `cargo test` passes to bench targets): each benchmark
+//!   closure runs exactly once, as a smoke test;
+//! * otherwise (`cargo bench`): each benchmark runs `sample_size` samples
+//!   (clamped to keep runtimes sane) and prints `name/param  median`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Runs closures and measures them.
+pub struct Bencher {
+    samples: usize,
+    /// Median of the measured samples, for the caller to report.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            times.push(t.elapsed());
+        }
+        times.sort_unstable();
+        self.last = Some(times[times.len() / 2]);
+    }
+
+    /// Times `f`, constructing a fresh input per sample with `setup`.
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut f: impl FnMut(I) -> R,
+    ) {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(f(input));
+            times.push(t.elapsed());
+        }
+        times.sort_unstable();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// Top-level driver handed to every benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            test_mode: self.test_mode,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// A standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = if self.test_mode { 1 } else { 10 };
+        let mut b = Bencher {
+            samples,
+            last: None,
+        };
+        f(&mut b);
+        report(&id.id, &b);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.bencher();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = self.bencher();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn bencher(&self) -> Bencher {
+        // Clamp: this shim is a smoke/ballpark harness, not a statistics
+        // engine, and CI budgets are finite.
+        let samples = if self.test_mode {
+            1
+        } else {
+            self.sample_size.min(20)
+        };
+        Bencher {
+            samples,
+            last: None,
+        }
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    match b.last {
+        Some(d) => println!("{id:<60} {:>12.3} ms", d.as_secs_f64() * 1e3),
+        None => println!("{id:<60} (no measurement)"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Harness flags (e.g. `--bench` from cargo bench, `--test` from
+            // cargo test) are read by `Criterion::default()`; list mode must
+            // print nothing and succeed.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_once_in_test_mode() {
+        let mut runs = 0;
+        let mut b = Bencher {
+            samples: 1,
+            last: None,
+        };
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(b.last.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("push", "orc").id, "push/orc");
+        assert_eq!(BenchmarkId::from_parameter(16).id, "16");
+    }
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group
+            .sample_size(50)
+            .bench_function("x", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,657 @@
+//! Offline stand-in for the `rayon` crate (the build environment has no
+//! network access to crates.io, so the workspace vendors the small API
+//! subset it uses).
+//!
+//! Semantics match rayon where the workspace relies on them:
+//!
+//! * parallel iterators really execute on multiple OS threads (a lazily
+//!   started persistent worker pool; scoped spawning as the nested-call
+//!   fallback), so atomics/locks in the kernels are genuinely contended;
+//! * `fold` produces one accumulator per contiguous chunk and `reduce`
+//!   combines them, exactly like rayon's fold/reduce pipeline;
+//! * item order is preserved by the order-sensitive adapters
+//!   (`map`, `filter`, `enumerate`, `collect`);
+//! * `ThreadPool::install` scopes `current_num_threads()` to the pool size.
+//!
+//! Unlike rayon there is no work-stealing deque: each adapter splits its
+//! input into `current_num_threads()` contiguous chunks. That is enough for
+//! the block-partitioned kernels in this workspace; the adaptive engine in
+//! `pp-engine` brings its own dynamic load balancing.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static INSTALLED: Cell<usize> = const { Cell::new(0) };
+}
+
+static GLOBAL: AtomicUsize = AtomicUsize::new(0);
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel adapters will use on this thread, honoring an
+/// enclosing [`ThreadPool::install`] and then the global pool, like rayon.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED.with(|c| c.get());
+    if installed != 0 {
+        return installed;
+    }
+    let global = GLOBAL.load(Ordering::Relaxed);
+    if global != 0 {
+        global
+    } else {
+        hardware_threads()
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim cannot actually
+/// fail to build a pool; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (hardware) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; 0 means the hardware default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds a pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+
+    /// Sets the global pool size used when no `install` is active.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        GLOBAL.store(n, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A logical thread pool: a thread-count scope. Parallel adapters invoked
+/// inside [`ThreadPool::install`] split work across this many OS threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+struct InstallGuard {
+    prev: usize,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|c| c.set(self.prev));
+    }
+}
+
+impl ThreadPool {
+    /// Runs `f` with `current_num_threads()` equal to this pool's size.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        let _guard = InstallGuard {
+            prev: INSTALLED.with(|c| c.replace(self.num_threads)),
+        };
+        f()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution core: a persistent worker pool.
+//
+// Spawning OS threads per adapter call would put thread-creation latency
+// inside every parallel round and distort the workspace's push-vs-pull
+// measurements (hundreds of tiny rounds per BFS on high-diameter graphs).
+// Instead, a lazily-started global pool of `hardware_threads() - 1` workers
+// parks between rounds. Nested or concurrent adapter calls fall back to
+// scoped spawning (the pool's round lock is try-acquired, never waited on),
+// so recursive `par_iter` use cannot deadlock.
+// ---------------------------------------------------------------------------
+
+mod pool {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    type Payload = Box<dyn std::any::Any + Send + 'static>;
+    type Task = dyn Fn(usize) + Sync + 'static;
+
+    #[derive(Clone, Copy)]
+    struct RawTask(*const Task);
+    // SAFETY: the pointer is only dereferenced while the publishing round
+    // holds the round lock, which it keeps until every worker is done.
+    unsafe impl Send for RawTask {}
+
+    struct State {
+        epoch: u64,
+        task: Option<RawTask>,
+        active: usize,
+    }
+
+    struct Pool {
+        state: Mutex<State>,
+        start: Condvar,
+        done: Condvar,
+        cursor: AtomicUsize,
+        chunks: AtomicUsize,
+        panic: Mutex<Option<Payload>>,
+        round: Mutex<()>,
+        workers: usize,
+    }
+
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(State {
+                epoch: 0,
+                task: None,
+                active: 0,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            chunks: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            round: Mutex::new(()),
+            workers: super::hardware_threads().saturating_sub(1),
+        })
+    }
+
+    /// Spawns the global pool's workers the first time it is used.
+    fn ensure_workers() -> &'static Pool {
+        static STARTED: OnceLock<()> = OnceLock::new();
+        let pool = global();
+        STARTED.get_or_init(|| {
+            for w in 1..=pool.workers {
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{w}"))
+                    .spawn(move || worker_loop(global(), w))
+                    .expect("failed to spawn rayon-shim worker");
+            }
+        });
+        pool
+    }
+
+    fn claim(pool: &Pool, f: &(dyn Fn(usize) + Sync)) {
+        let total = pool.chunks.load(Ordering::Relaxed);
+        loop {
+            let c = pool.cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= total {
+                return;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(c))) {
+                let mut slot = pool.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+        }
+    }
+
+    fn worker_loop(pool: &'static Pool, _worker: usize) {
+        let mut seen = 0u64;
+        loop {
+            let task = {
+                let mut st = pool.state.lock().unwrap();
+                loop {
+                    if st.epoch != seen {
+                        if let Some(task) = st.task {
+                            seen = st.epoch;
+                            break task;
+                        }
+                    }
+                    st = pool.start.wait(st).unwrap();
+                }
+            };
+            // SAFETY: see RawTask — the round's caller blocks until
+            // `active` returns to zero.
+            claim(pool, unsafe { &*task.0 });
+            let mut st = pool.state.lock().unwrap();
+            st.active -= 1;
+            if st.active == 0 {
+                pool.done.notify_all();
+            }
+        }
+    }
+
+    /// Runs `f(chunk)` for every `chunk in 0..chunks` on the global pool.
+    /// Returns `false` (running nothing) when the pool is busy or has no
+    /// workers — the caller must then use its fallback path.
+    pub(super) fn try_run(chunks: usize, f: &(dyn Fn(usize) + Sync)) -> bool {
+        let pool = ensure_workers();
+        if pool.workers == 0 {
+            return false;
+        }
+        let _round = match pool.round.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return false,
+        };
+        {
+            let mut st = pool.state.lock().unwrap();
+            pool.cursor.store(0, Ordering::Relaxed);
+            pool.chunks.store(chunks, Ordering::Relaxed);
+            // SAFETY: lifetime erasure; the round lock is held until every
+            // worker finished with the pointer.
+            let raw = RawTask(unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &Task>(f) });
+            st.task = Some(raw);
+            st.active = pool.workers;
+            st.epoch += 1;
+            pool.start.notify_all();
+        }
+        claim(pool, f);
+        let mut st = pool.state.lock().unwrap();
+        while st.active > 0 {
+            st = pool.done.wait(st).unwrap();
+        }
+        st.task = None;
+        drop(st);
+        let payload = pool.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+        true
+    }
+}
+
+/// Splits `items` into up to `current_num_threads()` contiguous chunks and
+/// maps each chunk in parallel (persistent pool when free, scoped threads
+/// otherwise), preserving chunk order.
+fn run_chunked<T: Send, R: Send>(items: Vec<T>, f: impl Fn(Vec<T>) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads().max(1);
+    if threads <= 1 || items.len() <= 1 {
+        return vec![f(items)];
+    }
+    let total = items.len();
+    let chunks = threads.min(total);
+    let base = total / chunks;
+    let extra = total % chunks;
+    let mut parts: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(chunks);
+    let mut it = items.into_iter();
+    for i in 0..chunks {
+        let take = base + usize::from(i < extra);
+        parts.push(Mutex::new(Some(it.by_ref().take(take).collect())));
+    }
+    let results: Vec<Mutex<Option<R>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+    let run_one = |c: usize| {
+        let chunk = parts[c]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("chunk consumed twice");
+        let r = f(chunk);
+        *results[c].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+    };
+    if !pool::try_run(chunks, &run_one) {
+        // Pool busy (nested/concurrent par_iter) or single-core: scoped
+        // spawning keeps full generality at thread-creation cost.
+        std::thread::scope(|s| {
+            let run_one = &run_one;
+            let handles: Vec<_> = (0..chunks).map(|c| s.spawn(move || run_one(c))).collect();
+            for h in handles {
+                if h.join().is_err() {
+                    panic!("rayon-shim worker panicked");
+                }
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| {
+            r.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("chunk produced no result")
+        })
+        .collect()
+}
+
+/// A materialized parallel iterator: adapters execute eagerly, in parallel,
+/// and hand the results to the next stage.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, preserving order.
+    pub fn map<R: Send>(self, f: impl Fn(T) -> R + Sync) -> ParIter<R> {
+        let out = run_chunked(self.items, |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<R>>()
+        });
+        ParIter {
+            items: out.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel filter, preserving order.
+    pub fn filter(self, pred: impl Fn(&T) -> bool + Sync) -> ParIter<T> {
+        let out = run_chunked(self.items, |chunk| {
+            chunk.into_iter().filter(|x| pred(x)).collect::<Vec<T>>()
+        });
+        ParIter {
+            items: out.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel filter_map, preserving order.
+    pub fn filter_map<R: Send>(self, f: impl Fn(T) -> Option<R> + Sync) -> ParIter<R> {
+        let out = run_chunked(self.items, |chunk| {
+            chunk.into_iter().filter_map(&f).collect::<Vec<R>>()
+        });
+        ParIter {
+            items: out.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel flat_map over a serial inner iterator (rayon's
+    /// `flat_map_iter`), preserving order.
+    pub fn flat_map_iter<I, R>(self, f: impl Fn(T) -> I + Sync) -> ParIter<R>
+    where
+        I: IntoIterator<Item = R>,
+        R: Send,
+    {
+        let out = run_chunked(self.items, |chunk| {
+            chunk.into_iter().flat_map(&f).collect::<Vec<R>>()
+        });
+        ParIter {
+            items: out.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel for_each.
+    pub fn for_each(self, f: impl Fn(T) + Sync) {
+        run_chunked(self.items, |chunk| chunk.into_iter().for_each(&f));
+    }
+
+    /// Rayon-style fold: one accumulator per chunk; the result is a parallel
+    /// iterator over the per-chunk accumulators.
+    pub fn fold<A: Send>(
+        self,
+        init: impl Fn() -> A + Sync,
+        fold_op: impl Fn(A, T) -> A + Sync,
+    ) -> ParIter<A> {
+        let out = run_chunked(self.items, |chunk| chunk.into_iter().fold(init(), &fold_op));
+        ParIter { items: out }
+    }
+
+    /// Combines items pairwise starting from `identity()`.
+    pub fn reduce(self, identity: impl Fn() -> T, op: impl Fn(T, T) -> T) -> T {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Indexes items (order-preserving, like rayon's indexed enumerate).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Parallel sum.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let partials = run_chunked(self.items, |chunk| chunk.into_iter().sum::<S>());
+        partials.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+
+    /// Collects into a container (order-preserving).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<U: Copy + Send + Sync> ParIter<&U> {
+    /// Copies out of shared references.
+    pub fn copied(self) -> ParIter<U> {
+        ParIter {
+            items: self.items.into_iter().copied().collect(),
+        }
+    }
+}
+
+impl<U: Clone + Send + Sync> ParIter<&U> {
+    /// Clones out of shared references.
+    pub fn cloned(self) -> ParIter<U> {
+        ParIter {
+            items: self.items.into_iter().cloned().collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (re-exported from `prelude`).
+// ---------------------------------------------------------------------------
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type of the parallel iterator.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(usize, u32, u64, i32, i64);
+
+/// `par_iter()` over shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a shared reference).
+    type Item: Send;
+    /// A parallel iterator of shared references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut()` and parallel sorts over exclusive slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type (an exclusive reference).
+    type Item: Send;
+    /// A parallel iterator of exclusive references.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Sort methods rayon exposes through `ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Unstable sort (sequential in the shim; sorting is not on any measured
+    /// hot path).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort by key.
+    fn par_sort_unstable_by_key<K: Ord>(&mut self, key: impl Fn(&T) -> K);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by_key<K: Ord>(&mut self, key: impl Fn(&T) -> K) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// The rayon prelude: the traits that make `.par_iter()` et al. resolve.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<i32> = (0..1000).collect();
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_sum() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let total = v
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0..10_000u64).sum());
+    }
+
+    #[test]
+    fn for_each_runs_on_multiple_threads() {
+        let ids = std::sync::Mutex::new(HashSet::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                // Long enough per item that a parked pool worker wakes and
+                // claims work before the caller drains every chunk.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(ids.into_inner().unwrap().len() > 1, "expected >1 worker");
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn atomics_observe_all_updates() {
+        let c = AtomicU64::new(0);
+        (0..4096usize).into_par_iter().for_each(|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 4096);
+    }
+
+    #[test]
+    fn filter_and_enumerate() {
+        let v: Vec<usize> = (0..100).collect();
+        let evens: Vec<usize> = v.par_iter().map(|&x| x).filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 50);
+        let idx: Vec<(usize, usize)> = evens.into_par_iter().enumerate().collect();
+        assert_eq!(idx[3], (3, 6));
+    }
+}

@@ -21,6 +21,12 @@
 //!   Passing and RMA backends (§6.3): PR, TC, BFS (with §7.2's
 //!   push–pull switching), SSSP-Δ (reproducing §6.5's SM/DM inversion),
 //!   and Boman coloring.
+//! * [`engine`] — the parallel frontier-driven execution engine: a
+//!   persistent thread pool with dynamic degree-aware work distribution,
+//!   sparse/dense frontiers, `edge_map`/`vertex_map` operators generic
+//!   over direction, Beamer-style adaptive push⇄pull switching, and
+//!   per-worker telemetry shards; BFS, PageRank, and SSSP-Δ run on it
+//!   with the [`core`] implementations as oracles.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +44,7 @@
 
 pub use pp_core as core;
 pub use pp_dm as dm;
+pub use pp_engine as engine;
 pub use pp_graph as graph;
 pub use pp_pram as pram;
 pub use pp_telemetry as telemetry;

@@ -47,7 +47,9 @@ fn csr_csc_duality_on_all_datasets() {
     // transposed value layout both compute the same PageRank operator.
     for ds in Dataset::ALL {
         let g = ds.generate(Scale::Test);
-        let x: Vec<f64> = (0..g.num_vertices()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let x: Vec<f64> = (0..g.num_vertices())
+            .map(|i| 1.0 + (i % 5) as f64)
+            .collect();
         let a = spmv_csr::<PlusTimes>(&g, &algebra::pagerank_values_csr(&g), &x);
         let b = spmv_csc::<PlusTimes>(&g, &algebra::pagerank_values_csc(&g), &x);
         for (i, (p, q)) in a.iter().zip(&b).enumerate() {

@@ -36,7 +36,13 @@ fn pull_variants_are_completely_synchronization_free() {
         assert_eq!(probe.counts().synchronization(), 0, "{} BFS", ds.id());
 
         let probe = CountingProbe::new();
-        sssp::sssp_delta_probed(&gw, 0, Direction::Pull, &sssp::SsspOptions::default(), &probe);
+        sssp::sssp_delta_probed(
+            &gw,
+            0,
+            Direction::Pull,
+            &sssp::SsspOptions::default(),
+            &probe,
+        );
         assert_eq!(probe.counts().synchronization(), 0, "{} SSSP", ds.id());
 
         let probe = CountingProbe::new();
@@ -58,11 +64,21 @@ fn push_variants_synchronize_with_the_predicted_primitive() {
         pagerank::pagerank_push(&g, &pr_opts(), pagerank::PushSync::Locks, &probe);
         let c = probe.counts();
         assert!(c.locks > 0, "{} PR", ds.id());
-        assert_eq!(c.locks as usize, pr_opts().iters * g.num_arcs(), "{}", ds.id());
+        assert_eq!(
+            c.locks as usize,
+            pr_opts().iters * g.num_arcs(),
+            "{}",
+            ds.id()
+        );
 
         let probe = CountingProbe::new();
         triangles::triangle_counts_probed(&g, Direction::Push, &probe);
-        assert_eq!(probe.counts().locks, 0, "{} TC uses FAA, not locks", ds.id());
+        assert_eq!(
+            probe.counts().locks,
+            0,
+            "{} TC uses FAA, not locks",
+            ds.id()
+        );
 
         let probe = CountingProbe::new();
         bfs::bfs_probed(&g, 0, bfs::BfsMode::Push, &probe);
@@ -71,7 +87,13 @@ fn push_variants_synchronize_with_the_predicted_primitive() {
         assert_eq!(c.locks, 0, "{} BFS", ds.id());
 
         let probe = CountingProbe::new();
-        sssp::sssp_delta_probed(&gw, 0, Direction::Push, &sssp::SsspOptions::default(), &probe);
+        sssp::sssp_delta_probed(
+            &gw,
+            0,
+            Direction::Push,
+            &sssp::SsspOptions::default(),
+            &probe,
+        );
         assert!(probe.counts().atomics > 0, "{} SSSP", ds.id());
 
         let probe = CountingProbe::new();
@@ -101,7 +123,8 @@ fn measured_atomics_respect_pram_upper_bounds() {
         // directions and may retry a CAS, so allow 4×.
         let probe = CountingProbe::new();
         pagerank::pagerank_push(&g, &pr_opts(), pagerank::PushSync::Cas, &probe);
-        let predicted = pram::algos::pagerank(&w, p, pram::PramModel::CrcwCb, pram::Direction::Push);
+        let predicted =
+            pram::algos::pagerank(&w, p, pram::PramModel::CrcwCb, pram::Direction::Push);
         assert!(
             (probe.counts().atomics as f64) <= 4.0 * predicted.profile.write_conflicts,
             "{} PR: {} > 4×{}",
@@ -151,9 +174,21 @@ fn traversal_pulls_read_more_than_pushes() {
 
     let gw = Dataset::Rca.generate_weighted(Scale::Test, 1, 100);
     let push = CountingProbe::new();
-    sssp::sssp_delta_probed(&gw, 0, Direction::Push, &sssp::SsspOptions::default(), &push);
+    sssp::sssp_delta_probed(
+        &gw,
+        0,
+        Direction::Push,
+        &sssp::SsspOptions::default(),
+        &push,
+    );
     let pull = CountingProbe::new();
-    sssp::sssp_delta_probed(&gw, 0, Direction::Pull, &sssp::SsspOptions::default(), &pull);
+    sssp::sssp_delta_probed(
+        &gw,
+        0,
+        Direction::Pull,
+        &sssp::SsspOptions::default(),
+        &pull,
+    );
     assert!(
         pull.counts().reads > 5 * push.counts().reads,
         "SSSP pull reads {} vs push reads {}",

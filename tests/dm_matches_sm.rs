@@ -20,11 +20,7 @@ fn dm_pagerank_equals_sm_pagerank_for_all_variants_and_rank_counts() {
             for p in [1usize, 3, 16, 128] {
                 let r = dm_pagerank(&g, variant, p, 6, 0.85, CostModel::xc40());
                 let diff = pagerank::l1_distance(&reference, &r.ranks);
-                assert!(
-                    diff < 1e-9,
-                    "{} {variant:?} P={p}: L1 {diff}",
-                    ds.id()
-                );
+                assert!(diff < 1e-9, "{} {variant:?} P={p}: L1 {diff}", ds.id());
             }
         }
     }
@@ -88,13 +84,19 @@ fn figure3_orderings_hold_on_dataset_standins() {
     let pull = dm_pagerank(&g, DmVariant::PullRma, p, 2, 0.85, CostModel::xc40());
     let mp = dm_pagerank(&g, DmVariant::MsgPassing, p, 2, 0.85, CostModel::xc40());
     assert!(mp.modeled_seconds < pull.modeled_seconds, "PR: MP !< pull");
-    assert!(pull.modeled_seconds < push.modeled_seconds, "PR: pull !< push");
+    assert!(
+        pull.modeled_seconds < push.modeled_seconds,
+        "PR: pull !< push"
+    );
 
     let g = Dataset::Am.generate(Scale::Test);
     let push = dm_triangle_count(&g, DmVariant::PushRma, p, CostModel::xc40());
     let pull = dm_triangle_count(&g, DmVariant::PullRma, p, CostModel::xc40());
     let mp = dm_triangle_count(&g, DmVariant::MsgPassing, p, CostModel::xc40());
-    assert!(pull.modeled_seconds <= push.modeled_seconds, "TC: pull !≤ push");
+    assert!(
+        pull.modeled_seconds <= push.modeled_seconds,
+        "TC: pull !≤ push"
+    );
     assert!(push.modeled_seconds < mp.modeled_seconds, "TC: RMA !< MP");
 }
 

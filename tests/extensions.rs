@@ -23,8 +23,10 @@ fn directed_pagerank_matches_algebraic_formulation() {
         iters: 12,
         damping: 0.85,
     };
-    let push = directed::pagerank_directed(&dg, Direction::Push, &opts, &pushpull::telemetry::NullProbe);
-    let pull = directed::pagerank_directed(&dg, Direction::Pull, &opts, &pushpull::telemetry::NullProbe);
+    let push =
+        directed::pagerank_directed(&dg, Direction::Push, &opts, &pushpull::telemetry::NullProbe);
+    let pull =
+        directed::pagerank_directed(&dg, Direction::Pull, &opts, &pushpull::telemetry::NullProbe);
     let diff = pushpull::core::pagerank::l1_distance(&push, &pull);
     assert!(diff < 1e-10, "directed push/pull diverge: {diff}");
     // Every vertex has out-degree ≥ 1, so rank mass is conserved.
@@ -86,7 +88,11 @@ fn prim_boruvka_and_kruskal_agree_on_connected_datasets() {
     assert!(stats::is_connected(&g));
     let (_, kruskal) = mst::kruskal_seq(&g);
     for dir in Direction::BOTH {
-        assert_eq!(mst::boruvka(&g, dir).total_weight, kruskal, "boruvka {dir:?}");
+        assert_eq!(
+            mst::boruvka(&g, dir).total_weight,
+            kruskal,
+            "boruvka {dir:?}"
+        );
         assert_eq!(prim::prim(&g, 0, dir).total_weight, kruskal, "prim {dir:?}");
     }
 }

@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use pushpull::core::{
-    bellman_ford, bfs, coloring, components, gas, kcore, kruskal, labelprop, mst, pagerank,
-    prim, sssp, triangles, validate, Direction,
+    bellman_ford, bfs, coloring, components, gas, kcore, kruskal, labelprop, mst, pagerank, prim,
+    sssp, triangles, validate, Direction,
 };
 use pushpull::graph::{
     gen, io, reorder, stats, BlockPartition, CsrGraph, GraphBuilder, PartitionAwareGraph,
@@ -22,7 +22,8 @@ fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
 
 /// Strategy: an arbitrary weighted graph.
 fn arb_weighted_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
-    (arb_graph(max_n), 1u64..u64::MAX).prop_map(|(g, seed)| gen::with_random_weights(&g, 1, 100, seed))
+    (arb_graph(max_n), 1u64..u64::MAX)
+        .prop_map(|(g, seed)| gen::with_random_weights(&g, 1, 100, seed))
 }
 
 proptest! {

@@ -3,9 +3,11 @@
 //! directions, and identical to a sequential reference, on every graph
 //! family the paper evaluates.
 
-use pushpull::core::{bc, bfs, coloring, mst, pagerank, sssp, triangles, Direction};
+use pushpull::core::{bc, bfs, coloring, mst, pagerank, sssp, triangles, validate, Direction};
+use pushpull::engine::{algo, DirectionPolicy, Engine, ProbeShards};
 use pushpull::graph::datasets::{Dataset, Scale};
 use pushpull::graph::{gen, stats, CsrGraph};
+use pushpull::telemetry::{CountingProbe, NullProbe};
 
 fn families() -> Vec<(&'static str, CsrGraph)> {
     let mut v: Vec<(&'static str, CsrGraph)> = vec![
@@ -143,7 +145,155 @@ fn coloring_push_and_pull_schedule_identically() {
         let pull = coloring::boman(&g, 4, Direction::Pull, &opts);
         assert_eq!(push.iterations, pull.iterations, "{name}");
         assert_eq!(push.conflicts_per_iter, pull.conflicts_per_iter, "{name}");
-        assert_eq!(push.colors, pull.colors, "{name}: same schedule, same colors");
+        assert_eq!(
+            push.colors, pull.colors,
+            "{name}: same schedule, same colors"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel engine against the sequential oracles: the same invariant —
+// push and pull are two schedules of one algorithm — must survive real
+// threads, every dataset stand-in, and the adaptive scheduler.
+// ---------------------------------------------------------------------------
+
+/// Thread counts every engine equivalence test sweeps.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn engine_policies() -> impl Iterator<Item = DirectionPolicy> {
+    DirectionPolicy::sweep().into_iter().map(|(_, p)| p)
+}
+
+#[test]
+fn engine_bfs_matches_sequential_levels_everywhere() {
+    for (name, g) in families() {
+        if g.num_vertices() == 0 {
+            continue;
+        }
+        let (expected, _, _) = stats::bfs_levels(&g, 0);
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for policy in engine_policies() {
+                let r = algo::bfs::bfs(&engine, &g, 0, policy, &probes);
+                assert_eq!(r.level, expected, "{name} x{threads} {policy:?}");
+                // The Graph500-style validator accepts the parent tree too.
+                let as_core = bfs::BfsResult {
+                    parent: r.parent.clone(),
+                    level: r.level.clone(),
+                    rounds: Vec::new(),
+                };
+                assert!(
+                    validate::validate_bfs(&g, 0, &as_core).is_ok(),
+                    "{name} x{threads} {policy:?}: invalid BFS tree"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_pagerank_matches_sequential_oracle_everywhere() {
+    let opts = pagerank::PrOptions {
+        iters: 12,
+        damping: 0.85,
+    };
+    for (name, g) in families() {
+        if g.num_vertices() == 0 {
+            continue;
+        }
+        let reference = pagerank::pagerank_seq(&g, &opts);
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for dir in Direction::BOTH {
+                let r = algo::pagerank::pagerank(&engine, &g, dir, &opts, &probes);
+                let diff = pagerank::l1_distance(&reference, &r);
+                assert!(diff < 1e-9, "{name} {dir:?} x{threads}: L1 {diff}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_sssp_matches_dijkstra_everywhere() {
+    for (name, g) in families() {
+        if g.num_vertices() == 0 {
+            continue;
+        }
+        let gw = gen::with_random_weights(&g, 1, 64, 0xabc);
+        let reference = sssp::dijkstra(&gw, 0);
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for delta in [4u64, 64] {
+                for policy in engine_policies() {
+                    let r = algo::sssp::sssp_delta(
+                        &engine,
+                        &gw,
+                        0,
+                        policy,
+                        &sssp::SsspOptions { delta },
+                        &probes,
+                    );
+                    assert_eq!(r.dist, reference, "{name} x{threads} Δ={delta} {policy:?}");
+                    assert!(
+                        validate::validate_sssp(&gw, 0, &r.dist).is_ok(),
+                        "{name} x{threads}: invalid SSSP distances"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_adaptive_switching_is_exercised_on_dense_families() {
+    // On the dense stand-ins, the adaptive policy must actually pull at the
+    // peak and push on the fringes — otherwise these tests are vacuous.
+    let g = Dataset::Orc.generate(Scale::Test);
+    let engine = Engine::new(4);
+    let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+    let r = algo::bfs::bfs(&engine, &g, 0, DirectionPolicy::adaptive(), &probes);
+    assert!(
+        r.rounds.iter().any(|ri| ri.dir == Direction::Pull),
+        "expected at least one pull round"
+    );
+    assert!(
+        r.rounds.iter().any(|ri| ri.dir == Direction::Push),
+        "expected at least one push round"
+    );
+}
+
+#[test]
+fn engine_probe_shards_reconcile_with_a_single_counting_probe() {
+    // Per-worker shards are an implementation detail: their merged totals
+    // must equal what one funneled CountingProbe sees for the same run, and
+    // (for deterministic pull schedules) must be thread-count-invariant.
+    for (name, g) in families() {
+        if g.num_vertices() == 0 {
+            continue;
+        }
+        let run = |threads: usize, shards: usize| {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<CountingProbe> = ProbeShards::new(shards);
+            algo::bfs::bfs(
+                &engine,
+                &g,
+                0,
+                DirectionPolicy::Fixed(Direction::Pull),
+                &probes,
+            );
+            probes.merged()
+        };
+        let sharded = run(8, 8);
+        let funneled = run(8, 1);
+        let sequential = run(1, 1);
+        assert_eq!(sharded, funneled, "{name}: shard layout changed totals");
+        assert_eq!(sharded, sequential, "{name}: thread count changed totals");
+        assert!(sharded.reads > 0, "{name}: pull BFS must read");
+        assert_eq!(sharded.atomics, 0, "{name}: pull BFS is sync-free");
     }
 }
 

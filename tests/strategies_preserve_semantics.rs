@@ -21,11 +21,7 @@ fn partition_awareness_preserves_ranks_for_any_part_count() {
             for sync in [pagerank::PushSync::Locks, pagerank::PushSync::Cas] {
                 let r = pagerank::pagerank_push_pa(&g, &pa, &opts, sync, &NullProbe);
                 let diff = pagerank::l1_distance(&reference, &r);
-                assert!(
-                    diff < 1e-9,
-                    "{} parts={parts} {sync:?}: L1 {diff}",
-                    ds.id()
-                );
+                assert!(diff < 1e-9, "{} parts={parts} {sync:?}: L1 {diff}", ds.id());
             }
         }
     }
@@ -71,8 +67,14 @@ fn every_coloring_strategy_yields_proper_colorings_on_all_datasets() {
     for ds in Dataset::ALL {
         let g = ds.generate(Scale::Test);
         let runs: Vec<(&str, coloring::GcResult)> = vec![
-            ("FE-push", coloring::frontier_exploit(&g, Direction::Push, &opts)),
-            ("FE-pull", coloring::frontier_exploit(&g, Direction::Pull, &opts)),
+            (
+                "FE-push",
+                coloring::frontier_exploit(&g, Direction::Push, &opts),
+            ),
+            (
+                "FE-pull",
+                coloring::frontier_exploit(&g, Direction::Pull, &opts),
+            ),
             ("GS", coloring::generic_switch(&g, 0.2, &opts)),
             ("GrS", coloring::greedy_switch(&g, 0.1, &opts)),
             ("CR", coloring::conflict_removal(&g, 8)),
@@ -83,7 +85,11 @@ fn every_coloring_strategy_yields_proper_colorings_on_all_datasets() {
                 "{} {name}",
                 ds.id()
             );
-            assert!(r.num_colors() >= 2, "{} {name}: implausibly few colors", ds.id());
+            assert!(
+                r.num_colors() >= 2,
+                "{} {name}: implausibly few colors",
+                ds.id()
+            );
         }
     }
 }
@@ -138,7 +144,11 @@ fn direction_optimizing_bfs_pulls_on_dense_and_pushes_on_sparse() {
 
     let sparse = Dataset::Rca.generate(Scale::Test);
     let r = bfs::bfs(&sparse, 0, bfs::BfsMode::direction_optimizing());
-    let pushes = r.rounds.iter().filter(|ri| ri.dir == Direction::Push).count();
+    let pushes = r
+        .rounds
+        .iter()
+        .filter(|ri| ri.dir == Direction::Push)
+        .count();
     assert!(
         pushes * 2 > r.rounds.len(),
         "road network should stay mostly top-down"

@@ -68,7 +68,10 @@ fn new_algorithm_counters_match_pram_profiles() {
     let predicted = formulas::kcore(&w, 16, PramModel::CrcwCb, PDir::Push, 10.0)
         .profile
         .atomics;
-    assert!(measured as f64 <= predicted, "{measured} > bound {predicted}");
+    assert!(
+        measured as f64 <= predicted,
+        "{measured} > bound {predicted}"
+    );
     let probe = CountingProbe::new();
     kcore::kcore_probed(&g, Direction::Pull, &probe);
     assert_eq!(probe.counts().atomics, 0);
