@@ -1,4 +1,5 @@
-//! Engine scaling bench: `pp-engine` BFS / PageRank / SSSP-Δ across
+//! Engine scaling bench: all seven `pp-engine` `Program` algorithms (BFS,
+//! PageRank, SSSP-Δ, CC, k-core, label propagation, coloring) across
 //! thread counts × direction policies × dataset stand-ins. Captures the
 //! scaling trajectory of the parallel frontier runtime (the `tables engine`
 //! experiment prints the same sweep as a table).
@@ -74,10 +75,90 @@ fn bench_engine_sssp(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cc");
+    group.sample_size(15);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for t in THREADS {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for (name, policy) in DirectionPolicy::sweep() {
+                let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
+                group.bench_with_input(id, &g, |b, g| {
+                    b.iter(|| algo::components::connected_components(&engine, g, policy, &probes))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_kcore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_kcore");
+    group.sample_size(15);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for t in THREADS {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for (name, policy) in DirectionPolicy::sweep() {
+                let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
+                group.bench_with_input(id, &g, |b, g| {
+                    b.iter(|| algo::kcore::kcore(&engine, g, policy, &probes))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_labelprop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_labelprop");
+    group.sample_size(15);
+    for ds in [Dataset::Orc, Dataset::Ljn] {
+        let g = ds.generate(Scale::Test);
+        for t in THREADS {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for (name, policy) in DirectionPolicy::sweep() {
+                let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
+                group.bench_with_input(id, &g, |b, g| {
+                    b.iter(|| algo::labelprop::label_propagation(&engine, g, policy, 20, &probes))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_coloring");
+    group.sample_size(15);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for t in THREADS {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for (name, policy) in DirectionPolicy::sweep() {
+                let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
+                group.bench_with_input(id, &g, |b, g| {
+                    b.iter(|| algo::coloring::color(&engine, g, policy, &probes))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_bfs,
     bench_engine_pagerank,
-    bench_engine_sssp
+    bench_engine_sssp,
+    bench_engine_components,
+    bench_engine_kcore,
+    bench_engine_labelprop,
+    bench_engine_coloring
 );
 criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Engine scaling: the `pp-engine` frontier runtime vs. thread count, per
 //! direction policy and dataset stand-in. Not a paper figure — this is the
-//! scaling trajectory of the workspace's own parallel engine (BFS,
-//! PageRank, SSSP-Δ), captured so future benchmark snapshots can track it.
+//! scaling trajectory of the workspace's own parallel engine across all
+//! seven `Program` algorithms (BFS, PageRank, SSSP-Δ, CC, k-core,
+//! label-prop, coloring), captured so future benchmark snapshots can track
+//! it.
 
 use pp_core::{pagerank::PrOptions, sssp::SsspOptions, Direction};
 use pp_engine::{algo, DirectionPolicy, Engine, ProbeShards};
@@ -13,8 +15,11 @@ use crate::{fmt_ms, median_time};
 
 use super::{header, print_series, Ctx};
 
-/// Prints one scaling table per dataset: engine BFS/PR/SSSP time vs.
-/// threads, per policy.
+/// Iteration cap for the label-propagation rows.
+const LP_ITERS: usize = 20;
+
+/// Prints one scaling table per dataset: engine BFS/PR/SSSP/CC/k-core/
+/// LP/coloring time vs. threads, per policy.
 pub fn run(ctx: Ctx) {
     header(
         "Engine scaling: frontier runtime vs threads",
@@ -47,23 +52,31 @@ pub fn run(ctx: Ctx) {
             cols.push((format!("PR {}", dir.label().to_lowercase()), Vec::new()));
         }
         cols.push(("SSSP adaptive".to_string(), Vec::new()));
+        for (name, _) in sweep {
+            cols.push((format!("CC {name}"), Vec::new()));
+        }
+        cols.push(("k-core adaptive".to_string(), Vec::new()));
+        cols.push(("LP adaptive".to_string(), Vec::new()));
+        cols.push(("BGC adaptive".to_string(), Vec::new()));
         for &t in &threads {
             let engine = Engine::new(t);
             let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
             let mut col = 0;
+            let mut push_time = |cols: &mut Vec<(String, Vec<String>)>, d: std::time::Duration| {
+                cols[col].1.push(fmt_ms(d));
+                col += 1;
+            };
             for (_, policy) in sweep {
                 let d = median_time(ctx.samples, || {
                     algo::bfs::bfs(&engine, &g, 0, policy, &probes)
                 });
-                cols[col].1.push(fmt_ms(d));
-                col += 1;
+                push_time(&mut cols, d);
             }
             for dir in Direction::BOTH {
                 let d = median_time(ctx.samples, || {
                     algo::pagerank::pagerank(&engine, &g, dir, &pr_opts, &probes)
                 });
-                cols[col].1.push(fmt_ms(d));
-                col += 1;
+                push_time(&mut cols, d);
             }
             let d = median_time(ctx.samples, || {
                 algo::sssp::sssp_delta(
@@ -75,12 +88,37 @@ pub fn run(ctx: Ctx) {
                     &probes,
                 )
             });
-            cols[col].1.push(fmt_ms(d));
+            push_time(&mut cols, d);
+            for (_, policy) in sweep {
+                let d = median_time(ctx.samples, || {
+                    algo::components::connected_components(&engine, &g, policy, &probes)
+                });
+                push_time(&mut cols, d);
+            }
+            let d = median_time(ctx.samples, || {
+                algo::kcore::kcore(&engine, &g, DirectionPolicy::adaptive(), &probes)
+            });
+            push_time(&mut cols, d);
+            let d = median_time(ctx.samples, || {
+                algo::labelprop::label_propagation(
+                    &engine,
+                    &g,
+                    DirectionPolicy::adaptive(),
+                    LP_ITERS,
+                    &probes,
+                )
+            });
+            push_time(&mut cols, d);
+            let d = median_time(ctx.samples, || {
+                algo::coloring::color(&engine, &g, DirectionPolicy::adaptive(), &probes)
+            });
+            push_time(&mut cols, d);
         }
         let view: Vec<(&str, Vec<String>)> =
             cols.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
         print_series("threads [ms]", &xs, &view);
         println!();
     }
-    println!("(engine pool: caller + workers; dynamic degree-aware chunking)");
+    println!("(engine pool: caller + workers; dynamic degree-aware chunking;");
+    println!(" all seven algorithms share one Program/Runner round loop)");
 }

@@ -1,14 +1,15 @@
-//! Frontier-driven BFS on the engine (§3.3/§4.3 as an [`EdgeKernel`]).
+//! Frontier-driven BFS as a [`Program`] (§3.3/§4.3).
 //!
 //! Push rounds are Algorithm 3's top-down step (CAS parent claims); pull
 //! rounds are bottom-up (own-cell writes, scan saturates at the first
 //! frontier parent); the [`DirectionPolicy`] decides per round, making
 //! [`DirectionPolicy::adaptive`] the engine's direction-optimizing BFS.
+//! The round loop itself lives in [`crate::runner::Runner`] — this module
+//! supplies only state, kernels, and the seed frontier.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use pp_core::bfs::{NO_PARENT, UNVISITED};
-use pp_core::Direction;
 use pp_graph::{CsrGraph, VertexId, Weight};
 use pp_telemetry::{addr_of_index, Probe};
 
@@ -16,19 +17,9 @@ use crate::frontier::Frontier;
 use crate::ops::{EdgeKernel, Engine};
 use crate::policy::DirectionPolicy;
 use crate::probes::{ProbeShards, ShardProbe};
-
-/// One executed round.
-#[derive(Clone, Copy, Debug)]
-pub struct ParRound {
-    /// Round index (= level being discovered - 1).
-    pub round: u32,
-    /// Vertices in the consumed frontier.
-    pub frontier: usize,
-    /// Out-edges of the consumed frontier (what the policy observed).
-    pub frontier_edges: u64,
-    /// Direction the policy chose.
-    pub dir: Direction,
-}
+use crate::program::{Program, RoundCtx};
+use crate::report::RunReport;
+use crate::runner::Runner;
 
 /// Result of an engine BFS.
 #[derive(Clone, Debug)]
@@ -38,8 +29,8 @@ pub struct ParBfsResult {
     pub parent: Vec<VertexId>,
     /// Distance from the root ([`UNVISITED`] if unreached).
     pub level: Vec<u32>,
-    /// Per-round trace.
-    pub rounds: Vec<ParRound>,
+    /// Per-round direction/frontier/edge statistics.
+    pub report: RunReport,
 }
 
 impl ParBfsResult {
@@ -49,26 +40,43 @@ impl ParBfsResult {
     }
 }
 
-struct BfsKernel<'a> {
-    parent: &'a [AtomicU32],
-    level: &'a [AtomicU32],
+/// BFS as a vertex program: parent claims and level stamps.
+pub struct BfsProgram {
+    root: VertexId,
+    parent: Vec<AtomicU32>,
+    level: Vec<AtomicU32>,
+    /// Level being discovered this round (= round index).
     cur: u32,
 }
 
-impl<P: Probe> EdgeKernel<P> for BfsKernel<'_> {
-    fn push(&self, u: VertexId, v: VertexId, _w: Weight, probe: &P) -> bool {
+impl BfsProgram {
+    /// A program computing the BFS tree from `root`.
+    pub fn new(g: &CsrGraph, root: VertexId) -> Self {
+        let n = g.num_vertices();
+        assert!((root as usize) < n, "root out of range");
+        Self {
+            root,
+            parent: (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect(),
+            level: (0..n).map(|_| AtomicU32::new(UNVISITED)).collect(),
+            cur: 0,
+        }
+    }
+}
+
+impl<P: Probe> EdgeKernel<P> for BfsProgram {
+    fn push_update(&self, u: VertexId, v: VertexId, _w: Weight, probe: &P) -> bool {
         probe.branch_cond();
-        probe.read(addr_of_index(self.parent, v as usize), 4);
+        probe.read(addr_of_index(&self.parent, v as usize), 4);
         if self.parent[v as usize].load(Ordering::Relaxed) != NO_PARENT {
             return false;
         }
         // W: write conflict — one CAS decides among racing claimants (§4.3).
-        probe.atomic_rmw(addr_of_index(self.parent, v as usize), 4);
+        probe.atomic_rmw(addr_of_index(&self.parent, v as usize), 4);
         if self.parent[v as usize]
             .compare_exchange(NO_PARENT, u, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
         {
-            probe.write(addr_of_index(self.level, v as usize), 4);
+            probe.write(addr_of_index(&self.level, v as usize), 4);
             self.level[v as usize].store(self.cur + 1, Ordering::Relaxed);
             true
         } else {
@@ -76,10 +84,10 @@ impl<P: Probe> EdgeKernel<P> for BfsKernel<'_> {
         }
     }
 
-    fn pull(&self, v: VertexId, u: VertexId, _w: Weight, probe: &P) -> bool {
+    fn pull_gather(&self, v: VertexId, u: VertexId, _w: Weight, probe: &P) -> bool {
         // Own-cell writes only: v is processed by exactly one thread (§3.8).
         self.parent[v as usize].store(u, Ordering::Relaxed);
-        probe.write(addr_of_index(self.level, v as usize), 4);
+        probe.write(addr_of_index(&self.level, v as usize), 4);
         self.level[v as usize].store(self.cur + 1, Ordering::Relaxed);
         true
     }
@@ -94,52 +102,57 @@ impl<P: Probe> EdgeKernel<P> for BfsKernel<'_> {
     }
 }
 
+impl<P: ShardProbe> Program<P> for BfsProgram {
+    type Output = (Vec<VertexId>, Vec<u32>);
+
+    fn initial_frontier(&mut self, g: &CsrGraph) -> Frontier {
+        self.parent[self.root as usize].store(self.root, Ordering::Relaxed);
+        self.level[self.root as usize].store(0, Ordering::Relaxed);
+        Frontier::single(g, self.root)
+    }
+
+    fn begin_round(
+        &mut self,
+        ctx: RoundCtx,
+        _g: &CsrGraph,
+        _frontier: &mut Frontier,
+        _engine: &Engine,
+        _probes: &ProbeShards<P>,
+    ) {
+        self.cur = ctx.round;
+    }
+
+    fn finish(self, _g: &CsrGraph) -> Self::Output {
+        (
+            self.parent.into_iter().map(AtomicU32::into_inner).collect(),
+            self.level.into_iter().map(AtomicU32::into_inner).collect(),
+        )
+    }
+}
+
 /// BFS from `root` under the given direction policy.
 pub fn bfs<P: ShardProbe>(
     engine: &Engine,
     g: &CsrGraph,
     root: VertexId,
-    mut policy: DirectionPolicy,
+    policy: DirectionPolicy,
     probes: &ProbeShards<P>,
 ) -> ParBfsResult {
-    let n = g.num_vertices();
-    assert!((root as usize) < n, "root out of range");
-    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
-    parent[root as usize].store(root, Ordering::Relaxed);
-    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNVISITED)).collect();
-    level[root as usize].store(0, Ordering::Relaxed);
-
-    let mut frontier = Frontier::single(g, root);
-    let mut rounds = Vec::new();
-    let mut cur = 0u32;
-
-    while !frontier.is_empty() {
-        let dir = policy.next(&frontier, g);
-        rounds.push(ParRound {
-            round: cur,
-            frontier: frontier.len(),
-            frontier_edges: frontier.edge_count(),
-            dir,
-        });
-        let kernel = BfsKernel {
-            parent: &parent,
-            level: &level,
-            cur,
-        };
-        frontier = engine.edge_map(g, &mut frontier, dir, &kernel, probes);
-        cur += 1;
-    }
-
+    let run = Runner::new(engine, probes)
+        .policy(policy)
+        .run(g, BfsProgram::new(g, root));
+    let (parent, level) = run.output;
     ParBfsResult {
-        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
-        level: level.into_iter().map(AtomicU32::into_inner).collect(),
-        rounds,
+        parent,
+        level,
+        report: run.report,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_core::Direction;
     use pp_graph::{gen, stats};
     use pp_telemetry::{CountingProbe, NullProbe};
 
@@ -171,8 +184,7 @@ mod tests {
         let engine = Engine::new(2);
         let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
         let r = bfs(&engine, &g, 0, DirectionPolicy::adaptive(), &probes);
-        assert!(r.rounds.iter().any(|ri| ri.dir == Direction::Pull));
-        assert!(r.rounds.iter().any(|ri| ri.dir == Direction::Push));
+        assert!(r.report.switched());
     }
 
     #[test]
@@ -192,6 +204,23 @@ mod tests {
                 assert_eq!(r.parent[v as usize], NO_PARENT);
             }
         }
+    }
+
+    #[test]
+    fn report_traces_one_round_per_level() {
+        let g = gen::path(30);
+        let engine = Engine::new(2);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let r = bfs(
+            &engine,
+            &g,
+            0,
+            DirectionPolicy::Fixed(Direction::Push),
+            &probes,
+        );
+        assert_eq!(r.report.num_rounds(), 30, "path: one frontier per level");
+        assert_eq!(r.report.phases, 1, "BFS is single-phase");
+        assert!(r.report.rounds.iter().all(|s| s.frontier == 1));
     }
 
     #[test]

@@ -1,11 +1,20 @@
-//! Graph algorithms ported onto the engine: BFS, PageRank, and Δ-stepping
-//! SSSP, each expressed as [`crate::ops::EdgeKernel`]s/vertex maps so one
-//! code path serves both directions and any [`crate::policy`].
+//! Graph algorithms as [`crate::program::Program`]s: BFS, PageRank,
+//! Δ-stepping SSSP, connected components, k-core decomposition, community
+//! label propagation, and Boman-style coloring — seven algorithms, zero
+//! round loops. Each module supplies per-vertex state, one
+//! `push_update`/`pull_gather` kernel pair, and the phase structure; the
+//! shared loop in [`crate::runner::Runner`] does everything else, so all
+//! of them run under any [`crate::policy::DirectionPolicy`] at any thread
+//! count.
 //!
 //! The sequential/rayon implementations in `pp-core` remain the reference
 //! oracles; the integration tests assert bit-equality (ε-equality for
 //! PageRank's floats) against them at several thread counts.
 
 pub mod bfs;
+pub mod coloring;
+pub mod components;
+pub mod kcore;
+pub mod labelprop;
 pub mod pagerank;
 pub mod sssp;

@@ -1,11 +1,12 @@
-//! Δ-stepping SSSP on the engine (§3.4/§4.4 as an [`EdgeKernel`]).
+//! Δ-stepping SSSP as a [`Program`] (§3.4/§4.4).
 //!
-//! Epochs walk the distance buckets in order; within an epoch, phases
-//! repeat until the bucket stops improving, exactly like the core variants.
-//! The frontier of a phase is the set of bucket members that changed in the
-//! previous phase; the kernel relaxes with CAS-min when pushing and with
-//! own-cell mins when pulling, and the [`DirectionPolicy`] may switch
-//! direction phase by phase — a schedule neither core variant offers.
+//! Phases are the distance buckets, walked in order by
+//! [`Program::next_phase`]; within a phase, rounds repeat until the bucket
+//! stops improving, exactly like the core variants. The frontier of a round
+//! is the set of bucket members that changed in the previous round; the
+//! kernel relaxes with CAS-min when pushing and with own-cell mins when
+//! pulling, and the [`DirectionPolicy`] may switch direction phase by
+//! phase — a schedule neither core variant offers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,15 +20,18 @@ use crate::frontier::Frontier;
 use crate::ops::{EdgeKernel, Engine};
 use crate::policy::DirectionPolicy;
 use crate::probes::{ProbeShards, ShardProbe};
+use crate::program::{frontier_where, Program};
+use crate::report::RunReport;
+use crate::runner::Runner;
 
 /// Per-epoch trace of an engine Δ-stepping run.
 #[derive(Clone, Copy, Debug)]
 pub struct ParEpoch {
     /// Bucket index (distances in `[bΔ, (b+1)Δ)`).
     pub bucket: u64,
-    /// Phases until the bucket settled.
+    /// Phases (rounds) until the bucket settled.
     pub phases: usize,
-    /// Pull phases among them (the adaptive policy's choices).
+    /// Pull rounds among them (the adaptive policy's choices).
     pub pull_phases: usize,
 }
 
@@ -36,43 +40,75 @@ pub struct ParEpoch {
 pub struct ParSsspResult {
     /// Shortest distance from the root ([`INF`] if unreachable).
     pub dist: Vec<u64>,
-    /// Per-epoch trace.
+    /// Per-epoch trace (one entry per bucket the run settled).
     pub epochs: Vec<ParEpoch>,
+    /// Per-round direction/frontier/edge statistics.
+    pub report: RunReport,
 }
 
-struct SsspKernel<'a> {
-    dist: &'a [AtomicU64],
+/// Δ-stepping as a vertex program: one phase per distance bucket.
+pub struct SsspProgram {
+    root: VertexId,
+    dist: Vec<AtomicU64>,
     /// Current bucket index.
     b: u64,
     delta: u64,
+    /// Bucket index of each executed phase, in order.
+    buckets: Vec<u64>,
 }
 
-impl<P: Probe> EdgeKernel<P> for SsspKernel<'_> {
-    fn push(&self, u: VertexId, v: VertexId, w: Weight, probe: &P) -> bool {
+impl SsspProgram {
+    /// A program computing shortest distances from `root` with bucket
+    /// width `opts.delta`.
+    pub fn new(g: &CsrGraph, root: VertexId, opts: &SsspOptions) -> Self {
+        assert!(g.is_weighted(), "Δ-stepping requires edge weights");
+        assert!(opts.delta >= 1, "Δ must be at least 1");
+        let n = g.num_vertices();
+        assert!((root as usize) < n, "root out of range");
+        Self {
+            root,
+            dist: (0..n).map(|_| AtomicU64::new(INF)).collect(),
+            b: 0,
+            delta: opts.delta,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Every current member of bucket `b`, as a frontier.
+    fn bucket_members(&self, g: &CsrGraph) -> Frontier {
+        frontier_where(g, |v| {
+            let d = self.dist[v as usize].load(Ordering::Relaxed);
+            d != INF && d / self.delta == self.b
+        })
+    }
+}
+
+impl<P: Probe> EdgeKernel<P> for SsspProgram {
+    fn push_update(&self, u: VertexId, v: VertexId, w: Weight, probe: &P) -> bool {
         let du = self.dist[u as usize].load(Ordering::Relaxed);
         let cand = du.saturating_add(w as u64);
-        probe.read(addr_of_index(self.dist, v as usize), 8);
+        probe.read(addr_of_index(&self.dist, v as usize), 8);
         probe.branch_cond();
         // W(i): write conflict on d[v]; CAS-min (§4.4).
         let (updated, attempts) = atomic_min_u64(&self.dist[v as usize], cand);
         for _ in 0..attempts {
-            probe.atomic_rmw(addr_of_index(self.dist, v as usize), 8);
+            probe.atomic_rmw(addr_of_index(&self.dist, v as usize), 8);
         }
         // Only same-bucket improvements re-activate within this epoch;
         // later buckets are rediscovered from the distance array.
         updated && cand / self.delta == self.b
     }
 
-    fn pull(&self, v: VertexId, u: VertexId, w: Weight, probe: &P) -> bool {
+    fn pull_gather(&self, v: VertexId, u: VertexId, w: Weight, probe: &P) -> bool {
         // R: read conflict on d[u] (§4.4); write only to the owned d[v].
-        probe.read(addr_of_index(self.dist, u as usize), 8);
+        probe.read(addr_of_index(&self.dist, u as usize), 8);
         probe.branch_cond();
         let cand = self.dist[u as usize]
             .load(Ordering::Relaxed)
             .saturating_add(w as u64);
         let dv = self.dist[v as usize].load(Ordering::Relaxed);
         if cand < dv {
-            probe.write(addr_of_index(self.dist, v as usize), 8);
+            probe.write(addr_of_index(&self.dist, v as usize), 8);
             self.dist[v as usize].store(cand, Ordering::Relaxed);
             cand / self.delta == self.b
         } else {
@@ -94,70 +130,77 @@ impl<P: Probe> EdgeKernel<P> for SsspKernel<'_> {
     }
 }
 
+impl<P: ShardProbe> Program<P> for SsspProgram {
+    type Output = (Vec<u64>, Vec<u64>);
+
+    fn initial_frontier(&mut self, g: &CsrGraph) -> Frontier {
+        self.dist[self.root as usize].store(0, Ordering::Relaxed);
+        self.buckets.push(0);
+        self.bucket_members(g)
+    }
+
+    fn next_phase(
+        &mut self,
+        g: &CsrGraph,
+        _engine: &Engine,
+        _probes: &ProbeShards<P>,
+    ) -> Option<Frontier> {
+        // Next unsettled bucket, straight from the distance array.
+        let next = (0..g.num_vertices())
+            .filter_map(|v| {
+                let d = self.dist[v].load(Ordering::Relaxed);
+                (d != INF && d / self.delta > self.b).then_some(d / self.delta)
+            })
+            .min()?;
+        self.b = next;
+        self.buckets.push(next);
+        Some(self.bucket_members(g))
+    }
+
+    fn finish(self, _g: &CsrGraph) -> Self::Output {
+        (
+            self.dist.into_iter().map(AtomicU64::into_inner).collect(),
+            self.buckets,
+        )
+    }
+}
+
 /// Δ-stepping from `root` under the given direction policy.
 pub fn sssp_delta<P: ShardProbe>(
     engine: &Engine,
     g: &CsrGraph,
     root: VertexId,
-    mut policy: DirectionPolicy,
+    policy: DirectionPolicy,
     opts: &SsspOptions,
     probes: &ProbeShards<P>,
 ) -> ParSsspResult {
-    assert!(g.is_weighted(), "Δ-stepping requires edge weights");
-    assert!(opts.delta >= 1, "Δ must be at least 1");
-    let n = g.num_vertices();
-    assert!((root as usize) < n, "root out of range");
-    let delta = opts.delta;
-    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
-    dist[root as usize].store(0, Ordering::Relaxed);
-
-    let mut epochs = Vec::new();
-    let mut b = 0u64;
-    loop {
-        // Epoch seed: every current member of bucket b.
-        let members: Vec<VertexId> = (0..n as VertexId)
-            .filter(|&v| {
-                let d = dist[v as usize].load(Ordering::Relaxed);
-                d != INF && d / delta == b
-            })
-            .collect();
-        let mut frontier = Frontier::from_vertices(g, members);
-        let mut phases = 0usize;
-        let mut pull_phases = 0usize;
-        while !frontier.is_empty() {
-            phases += 1;
-            let dir = policy.next(&frontier, g);
-            if dir == Direction::Pull {
-                pull_phases += 1;
+    let run = Runner::new(engine, probes)
+        .policy(policy)
+        .run(g, SsspProgram::new(g, root, opts));
+    let (dist, buckets) = run.output;
+    let epochs = buckets
+        .iter()
+        .enumerate()
+        .map(|(phase, &bucket)| {
+            let rounds = run.report.phase_rounds(phase as u32);
+            let (mut phases, mut pull_phases) = (0usize, 0usize);
+            for s in rounds {
+                phases += 1;
+                if s.dir == Direction::Pull {
+                    pull_phases += 1;
+                }
             }
-            let kernel = SsspKernel {
-                dist: &dist,
-                b,
-                delta,
-            };
-            frontier = engine.edge_map(g, &mut frontier, dir, &kernel, probes);
-        }
-        epochs.push(ParEpoch {
-            bucket: b,
-            phases,
-            pull_phases,
-        });
-        // Next unsettled bucket, straight from the distance array.
-        match (0..n)
-            .filter_map(|v| {
-                let d = dist[v].load(Ordering::Relaxed);
-                (d != INF && d / delta > b).then_some(d / delta)
-            })
-            .min()
-        {
-            Some(nb) => b = nb,
-            None => break,
-        }
-    }
-
+            ParEpoch {
+                bucket,
+                phases,
+                pull_phases,
+            }
+        })
+        .collect();
     ParSsspResult {
-        dist: dist.into_iter().map(AtomicU64::into_inner).collect(),
+        dist,
         epochs,
+        report: run.report,
     }
 }
 
@@ -241,5 +284,6 @@ mod tests {
         );
         assert!(r.epochs.windows(2).all(|w| w[0].bucket < w[1].bucket));
         assert!(r.epochs.iter().all(|e| e.phases >= 1));
+        assert_eq!(r.report.phases as usize, r.epochs.len());
     }
 }

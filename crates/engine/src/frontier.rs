@@ -6,6 +6,13 @@
 //! dense form (it is a membership oracle every scanned edge queries). The
 //! engine converts between the two on demand and callers can also force a
 //! representation. Conversions are O(n/64 + |F|).
+//!
+//! The out-edge total `|E_F|` is computed lazily on the first
+//! [`Frontier::edge_count`] query and cached: building a frontier is O(|F|)
+//! with no degree pre-pass, every policy query after the first is O(1), and
+//! membership mutation ([`Frontier::insert`]) invalidates the cache.
+
+use std::cell::Cell;
 
 use pp_graph::{CsrGraph, VertexId};
 
@@ -24,7 +31,9 @@ enum Repr {
 pub struct Frontier {
     n: usize,
     len: usize,
-    edges: u64,
+    /// Cached `|E_F|`: `None` until the first query, invalidated by
+    /// mutation. Representation changes keep it (membership is unchanged).
+    edges: Cell<Option<u64>>,
     repr: Repr,
 }
 
@@ -34,7 +43,7 @@ impl Frontier {
         Self {
             n,
             len: 0,
-            edges: 0,
+            edges: Cell::new(Some(0)),
             repr: Repr::Sparse(Vec::new()),
         }
     }
@@ -44,13 +53,13 @@ impl Frontier {
         Self::from_vertices(g, vec![v])
     }
 
-    /// A sparse frontier from a duplicate-free vertex list.
+    /// A sparse frontier from a duplicate-free vertex list. O(|F|): the
+    /// edge total is deferred until a policy (or operator) asks for it.
     pub fn from_vertices(g: &CsrGraph, vertices: Vec<VertexId>) -> Self {
-        let edges = vertices.iter().map(|&v| g.degree(v) as u64).sum();
         Self {
             n: g.num_vertices(),
             len: vertices.len(),
-            edges,
+            edges: Cell::new(None),
             repr: Repr::Sparse(vertices),
         }
     }
@@ -67,7 +76,7 @@ impl Frontier {
         Self {
             n,
             len: n,
-            edges: g.num_arcs() as u64,
+            edges: Cell::new(Some(g.num_arcs() as u64)),
             repr: Repr::Dense(bits),
         }
     }
@@ -88,9 +97,50 @@ impl Frontier {
     }
 
     /// Sum of out-degrees of the active vertices — the quantity Beamer-style
-    /// switching compares against `m/α`.
-    pub fn edge_count(&self) -> u64 {
-        self.edges
+    /// switching compares against `m/α`. Computed on first use, then served
+    /// from the cache until the membership mutates.
+    pub fn edge_count(&self, g: &CsrGraph) -> u64 {
+        if let Some(e) = self.edges.get() {
+            return e;
+        }
+        let e = match &self.repr {
+            Repr::Sparse(list) => list.iter().map(|&v| g.degree(v) as u64).sum(),
+            Repr::Dense(bits) => {
+                let mut sum = 0u64;
+                for (word_idx, &word) in bits.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let bit = word.trailing_zeros() as usize;
+                        sum += g.degree((word_idx * 64 + bit) as VertexId) as u64;
+                        word &= word - 1;
+                    }
+                }
+                sum
+            }
+        };
+        self.edges.set(Some(e));
+        e
+    }
+
+    /// Whether the edge total is currently cached (test/diagnostic hook).
+    pub fn edge_count_cached(&self) -> bool {
+        self.edges.get().is_some()
+    }
+
+    /// Adds `v` to the set in its current representation; returns whether it
+    /// was newly inserted. Invalidates the cached edge count.
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        assert!((v as usize) < self.n, "vertex out of range");
+        if self.contains(v) {
+            return false;
+        }
+        match &mut self.repr {
+            Repr::Sparse(list) => list.push(v),
+            Repr::Dense(bits) => bits[v as usize / 64] |= 1u64 << (v as usize % 64),
+        }
+        self.len += 1;
+        self.edges.set(None);
+        true
     }
 
     /// Whether `v` is active. O(1) dense, O(len) sparse.
@@ -106,7 +156,8 @@ impl Frontier {
         matches!(self.repr, Repr::Dense(_))
     }
 
-    /// Converts to the dense bitmap (no-op if already dense).
+    /// Converts to the dense bitmap (no-op if already dense). Keeps the
+    /// cached edge count: the member set is unchanged.
     pub fn densify(&mut self) {
         if let Repr::Sparse(list) = &self.repr {
             let mut bits = vec![0u64; self.n.div_ceil(64)];
@@ -118,6 +169,7 @@ impl Frontier {
     }
 
     /// Converts to the sparse list, in vertex order (no-op if sparse).
+    /// Keeps the cached edge count: the member set is unchanged.
     pub fn sparsify(&mut self) {
         if let Repr::Dense(bits) = &self.repr {
             let mut list = Vec::with_capacity(self.len);
@@ -155,7 +207,7 @@ impl Frontier {
     /// to consume as a bitmap than as a work list.
     pub fn wants_dense(&self, g: &CsrGraph) -> bool {
         let m = g.num_arcs().max(1) as u64;
-        self.edges + self.len as u64 > m / 20
+        self.edge_count(g) + self.len as u64 > m / 20
     }
 }
 
@@ -169,10 +221,10 @@ mod tests {
         let g = gen::path(100);
         let f = Frontier::single(&g, 0);
         assert_eq!(f.len(), 1);
-        assert_eq!(f.edge_count(), 1, "endpoint of a path has degree 1");
+        assert_eq!(f.edge_count(&g), 1, "endpoint of a path has degree 1");
         let full = Frontier::full(&g);
         assert_eq!(full.len(), 100);
-        assert_eq!(full.edge_count(), g.num_arcs() as u64);
+        assert_eq!(full.edge_count(&g), g.num_arcs() as u64);
         assert!(full.contains(99));
     }
 
@@ -180,7 +232,7 @@ mod tests {
     fn densify_sparsify_round_trip() {
         let g = gen::rmat(7, 4, 1);
         let mut f = Frontier::from_vertices(&g, vec![3, 77, 12, 64, 63]);
-        let edges = f.edge_count();
+        let edges = f.edge_count(&g);
         f.densify();
         assert!(f.is_dense());
         for v in [3u32, 12, 63, 64, 77] {
@@ -189,8 +241,50 @@ mod tests {
         assert!(!f.contains(4));
         f.sparsify();
         assert_eq!(f.vertices(), &[3, 12, 63, 64, 77], "sorted by vertex id");
-        assert_eq!(f.edge_count(), edges, "stats survive conversion");
+        assert_eq!(f.edge_count(&g), edges, "stats survive conversion");
         assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn edge_count_is_lazy_cached_and_stable_across_transitions() {
+        let g = gen::rmat(7, 4, 9);
+        let mut f = Frontier::from_vertices(&g, vec![1, 2, 30, 99]);
+        assert!(!f.edge_count_cached(), "construction must not pre-sum");
+        let expected: u64 = [1u32, 2, 30, 99].iter().map(|&v| g.degree(v) as u64).sum();
+        assert_eq!(f.edge_count(&g), expected);
+        assert!(f.edge_count_cached());
+        // Sparse → dense → sparse: cache survives (membership unchanged) and
+        // the value still matches a fresh recomputation in each repr.
+        f.densify();
+        assert!(f.edge_count_cached());
+        assert_eq!(f.edge_count(&g), expected);
+        f.sparsify();
+        assert_eq!(f.edge_count(&g), expected);
+        // A dense frontier with a cold cache recomputes from the bitmap.
+        let mut d = Frontier::from_vertices(&g, vec![1, 2, 30, 99]);
+        d.densify();
+        assert!(!d.edge_count_cached());
+        assert_eq!(d.edge_count(&g), expected);
+    }
+
+    #[test]
+    fn insert_invalidates_the_cache_in_both_reprs() {
+        let g = gen::rmat(7, 4, 5);
+        let mut f = Frontier::from_vertices(&g, vec![4, 8]);
+        let before = f.edge_count(&g);
+        assert!(f.insert(15));
+        assert!(!f.edge_count_cached(), "mutation must invalidate");
+        assert_eq!(f.edge_count(&g), before + g.degree(15) as u64);
+        assert!(!f.insert(15), "duplicate insert is a no-op");
+        assert!(f.edge_count_cached(), "no-op insert keeps the cache");
+        assert_eq!(f.len(), 3);
+
+        f.densify();
+        let before = f.edge_count(&g);
+        assert!(f.insert(23));
+        assert_eq!(f.edge_count(&g), before + g.degree(23) as u64);
+        assert!(f.contains(23));
+        assert_eq!(f.len(), 4);
     }
 
     #[test]
@@ -208,9 +302,10 @@ mod tests {
 
     #[test]
     fn empty_frontier() {
+        let g = gen::path(10);
         let f = Frontier::empty(10);
         assert!(f.is_empty());
-        assert_eq!(f.edge_count(), 0);
+        assert_eq!(f.edge_count(&g), 0);
         assert!(!f.contains(3));
     }
 

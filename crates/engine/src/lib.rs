@@ -1,46 +1,74 @@
-//! # pp-engine — a parallel frontier-driven execution engine with adaptive
-//! push⇄pull switching.
+//! # pp-engine — a parallel frontier runtime with a `Program` vertex-program
+//! API and adaptive push⇄pull switching.
 //!
 //! The paper's central claim is that push vs. pull is a *scheduling*
 //! decision: the same algorithm, two schedules, different synchronization
-//! and communication profiles. This crate turns that claim into a runtime:
+//! and communication profiles. This crate turns the claim into a type
+//! split:
 //!
-//! * [`pool::Pool`] — a persistent worker pool with dynamic chunk claiming,
-//!   so skewed degree distributions do not serialize a round behind one
-//!   overloaded thread;
-//! * [`frontier::Frontier`] — the active-vertex set, sparse (vertex list)
-//!   or dense (bitmap), with automatic conversion and the `|F|`/`|E_F|`
-//!   statistics direction switching needs;
-//! * [`ops::Engine`] — `edge_map`/`vertex_map` operators generic over a
-//!   [`pp_core::Direction`] and an [`ops::EdgeKernel`], with degree-aware
-//!   work partitioning;
-//! * [`policy::DirectionPolicy`] — per-round push⇄pull selection,
-//!   generalizing `pp_core::strategies::SwitchController` into
-//!   Beamer-style direction optimization driven by frontier edge counts;
-//! * [`probes::ProbeShards`] — per-worker telemetry shards that merge back
-//!   into `pp-telemetry`'s [`pp_telemetry::EventCounts`], so Table-1 style
-//!   event totals reconcile without the instrumentation itself becoming
-//!   the contention;
-//! * [`algo`] — BFS, PageRank, and Δ-stepping SSSP ported onto the engine,
-//!   with the sequential `pp-core` implementations as oracles.
+//! * a [`Program`] is what an algorithm **is** — per-vertex state, a
+//!   `push_update`/`pull_gather` kernel pair sharing one update semantics
+//!   ([`EdgeKernel`]), frontier seeding/reseeding, and the convergence
+//!   predicate;
+//! * a [`Runner`] is what a **run** is — the engine, the
+//!   [`DirectionPolicy`], the probe shards, and the one shared round loop;
+//!   it returns the program's output inside a [`Run`] together with a
+//!   [`RunReport`] of per-round direction/frontier/edge statistics.
+//!
+//! Under the hood: [`pool::Pool`] (persistent workers, dynamic chunk
+//! claiming), [`frontier::Frontier`] (sparse↔dense active set with lazily
+//! cached `|E_F|`), [`ops::Engine`] (`edge_map`/`vertex_map` operators,
+//! degree-aware partitioning), [`probes::ProbeShards`] (per-worker
+//! telemetry that merges into [`pp_telemetry::EventCounts`]).
+//!
+//! Seven algorithms ship as programs in [`algo`]: BFS, PageRank,
+//! Δ-stepping SSSP, connected components, k-core decomposition, community
+//! label propagation, and Boman-style coloring — each oracle-checked
+//! against its sequential `pp-core` twin.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use pp_engine::{algo, DirectionPolicy, Engine, ProbeShards};
+//! use pp_engine::{algo::bfs::BfsProgram, DirectionPolicy, Engine, ProbeShards, Runner};
 //! use pp_graph::datasets::{Dataset, Scale};
 //! use pp_telemetry::NullProbe;
 //!
 //! let g = Dataset::Orc.generate(Scale::Test);
 //! let engine = Engine::new(4);
 //! let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
-//! let r = algo::bfs::bfs(&engine, &g, 0, DirectionPolicy::adaptive(), &probes);
-//! assert!(r.reached() > 0);
-//! // The adaptive policy records which direction each round ran in:
-//! for round in &r.rounds {
-//!     let _ = (round.frontier, round.dir);
+//!
+//! // A Runner owns the schedule; a Program owns the algorithm.
+//! let run = Runner::new(&engine, &probes)
+//!     .policy(DirectionPolicy::adaptive())
+//!     .run(&g, BfsProgram::new(&g, 0));
+//! let (parent, level) = run.output;
+//! assert_eq!(parent[0], 0, "the root is its own parent");
+//! assert!(level.iter().filter(|&&l| l != u32::MAX).count() > 1);
+//! // The unified report records which direction each round ran in:
+//! for round in &run.report.rounds {
+//!     let _ = (round.phase, round.frontier, round.frontier_edges, round.dir);
 //! }
+//! assert!(run.report.switched() || run.report.pull_rounds() == 0);
 //! ```
+//!
+//! Each algorithm also keeps a one-call convenience wrapper
+//! (`algo::bfs::bfs`, `algo::pagerank::pagerank`, …) that builds the
+//! program, runs it, and reshapes the output.
+//!
+//! ## Migrating from the pre-`Program` API (PR 1)
+//!
+//! * `algo::bfs::bfs(...)` still exists; its result now carries the
+//!   unified `report: RunReport` instead of ad-hoc `rounds: Vec<ParRound>`
+//!   — read `r.report.rounds` (fields `round`, `phase`, `dir`, `frontier`,
+//!   `frontier_edges`).
+//! * `algo::sssp::sssp_delta(...)` unchanged in shape; the per-epoch trace
+//!   is now derived from the report's phases.
+//! * `EdgeKernel::push`/`pull` were renamed `push_update`/`pull_gather`;
+//!   hand-rolled round loops over `Engine::edge_map` should become
+//!   `Program` impls — compare `algo/bfs.rs` before/after for the recipe.
+//! * `Frontier::edge_count()` now takes the graph
+//!   (`edge_count(&g)`) and is lazily computed + cached instead of eagerly
+//!   summed at construction.
 
 pub mod algo;
 pub mod frontier;
@@ -48,9 +76,15 @@ pub mod ops;
 pub mod policy;
 pub mod pool;
 pub mod probes;
+pub mod program;
+pub mod report;
+pub mod runner;
 
 pub use frontier::Frontier;
 pub use ops::{EdgeKernel, Engine};
 pub use policy::{AdaptiveSwitch, DirectionPolicy};
 pub use pool::Pool;
 pub use probes::{ProbeShards, ShardProbe};
+pub use program::{Program, RoundCtx};
+pub use report::{RoundStat, RunReport};
+pub use runner::{Run, Runner};

@@ -6,6 +6,10 @@
 //! chunk claiming absorbs whatever imbalance remains. Each chunk writes its
 //! discoveries into its own slot, so the produced frontier's order depends
 //! only on the chunk partition — not on thread scheduling.
+//!
+//! Algorithms do not usually call these operators directly: they implement
+//! [`crate::program::Program`] (whose supertrait is [`EdgeKernel`]) and let
+//! [`crate::runner::Runner`] drive the rounds.
 
 use pp_core::sync::SyncSlice;
 use pp_core::Direction;
@@ -16,24 +20,26 @@ use crate::frontier::Frontier;
 use crate::pool::Pool;
 use crate::probes::{ProbeShards, ShardProbe};
 
-/// How an algorithm reacts to one traversed edge, in either direction.
+/// How an algorithm reacts to one traversed edge, in either direction — the
+/// update half of a [`crate::program::Program`].
 ///
 /// The two methods are the engine's version of the paper's dichotomy
-/// (§3.8): `push` may touch cells of a vertex the calling thread does not
-/// own and must synchronize (CAS, lock, float-CAS); `pull` may only write
-/// cells of `v`, which the chunk partition assigns to exactly one thread,
-/// and therefore needs no synchronization.
+/// (§3.8), and must encode *one* update semantics: `push_update` may touch
+/// cells of a vertex the calling thread does not own and must synchronize
+/// (CAS, lock, float-CAS); `pull_gather` may only write cells of `v`, which
+/// the chunk partition assigns to exactly one thread, and therefore needs
+/// no synchronization.
 pub trait EdgeKernel<P: Probe>: Sync {
     /// Frontier vertex `u` updates its neighbor `v` over an edge of weight
     /// `w` (1 on unweighted graphs). Returns `true` iff `v` just became
     /// active for the next frontier. Must be thread-safe: many `u`s may
     /// push into the same `v` concurrently.
-    fn push(&self, u: VertexId, v: VertexId, w: Weight, probe: &P) -> bool;
+    fn push_update(&self, u: VertexId, v: VertexId, w: Weight, probe: &P) -> bool;
 
     /// Vertex `v` gathers from frontier neighbor `u`. Only `v`'s own cells
     /// may be written — the engine guarantees a single thread processes
     /// `v`. Returns `true` iff `v` became active.
-    fn pull(&self, v: VertexId, u: VertexId, w: Weight, probe: &P) -> bool;
+    fn pull_gather(&self, v: VertexId, u: VertexId, w: Weight, probe: &P) -> bool;
 
     /// Whether `v` should scan its neighbors at all in a pull round
     /// (e.g. "still unvisited" for BFS). Default: every vertex scans.
@@ -42,16 +48,17 @@ pub trait EdgeKernel<P: Probe>: Sync {
         true
     }
 
-    /// Whether a successful `pull` ends `v`'s scan (BFS needs any one
-    /// frontier parent; PageRank needs them all). Default: scan everything.
+    /// Whether a successful `pull_gather` ends `v`'s scan (BFS needs any
+    /// one frontier parent; PageRank needs them all). Default: scan
+    /// everything.
     fn pull_saturates(&self) -> bool {
         false
     }
 
-    /// Whether `push` can report the same vertex active more than once in a
-    /// round (CAS-min kernels: every improvement returns `true`). When set,
-    /// `edge_map` folds the duplicates before building the next frontier.
-    /// Default: activation is exactly-once (CAS-claim kernels).
+    /// Whether `push_update` can report the same vertex active more than
+    /// once in a round (CAS-min kernels: every improvement returns `true`).
+    /// When set, `edge_map` folds the duplicates before building the next
+    /// frontier. Default: activation is exactly-once (CAS-claim kernels).
     fn may_activate_twice(&self) -> bool {
         false
     }
@@ -140,8 +147,8 @@ impl Engine {
         probes: &ProbeShards<P>,
     ) -> Vec<VertexId> {
         // Per-index weight degree(v) + 1 sums to exactly |E_F| + |F|, which
-        // the frontier already tracks — no pre-pass needed.
-        let total = frontier.edge_count() + frontier.len() as u64;
+        // the frontier caches after the first query — no extra pre-pass.
+        let total = frontier.edge_count(g) + frontier.len() as u64;
         let verts = frontier.vertices();
         let cuts = chunk_by_weight(verts.len(), self.target_chunks(), total, |i| {
             g.degree(verts[i]) as u64 + 1
@@ -156,13 +163,13 @@ impl Engine {
                 for &u in &verts[cuts[c]..cuts[c + 1]] {
                     if weighted {
                         for (v, w) in g.weighted_neighbors(u) {
-                            if kernel.push(u, v, w, probe) {
+                            if kernel.push_update(u, v, w, probe) {
                                 local.push(v);
                             }
                         }
                     } else {
                         for &v in g.neighbors(u) {
-                            if kernel.push(u, v, 1, probe) {
+                            if kernel.push_update(u, v, 1, probe) {
                                 local.push(v);
                             }
                         }
@@ -199,7 +206,7 @@ impl Engine {
                     probe.read(addr_of_index(bits, u as usize / 64), 8);
                     probe.branch_cond();
                     if bits[u as usize / 64] >> (u as usize % 64) & 1 == 1 {
-                        kernel.pull(v, u, w, probe)
+                        kernel.pull_gather(v, u, w, probe)
                     } else {
                         false
                     }
@@ -248,7 +255,7 @@ impl Engine {
         probes: &ProbeShards<P>,
         f: impl Fn(VertexId, &P) + Sync,
     ) {
-        let total = frontier.edge_count() + frontier.len() as u64;
+        let total = frontier.edge_count(g) + frontier.len() as u64;
         let verts = frontier.vertices();
         let cuts = chunk_by_weight(verts.len(), self.target_chunks(), total, |i| {
             g.degree(verts[i]) as u64 + 1
@@ -336,14 +343,14 @@ mod tests {
     }
 
     impl<P: Probe> EdgeKernel<P> for MarkKernel<'_> {
-        fn push(&self, _u: VertexId, v: VertexId, _w: Weight, probe: &P) -> bool {
+        fn push_update(&self, _u: VertexId, v: VertexId, _w: Weight, probe: &P) -> bool {
             probe.atomic_rmw(addr_of_index(self.mark, v as usize), 4);
             self.mark[v as usize]
                 .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
         }
 
-        fn pull(&self, v: VertexId, _u: VertexId, _w: Weight, probe: &P) -> bool {
+        fn pull_gather(&self, v: VertexId, _u: VertexId, _w: Weight, probe: &P) -> bool {
             probe.write(addr_of_index(self.mark, v as usize), 4);
             self.mark[v as usize].store(1, Ordering::Relaxed);
             true

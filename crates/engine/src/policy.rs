@@ -41,7 +41,7 @@ impl AdaptiveSwitch {
     pub fn decide(&mut self, frontier: &Frontier, g: &CsrGraph) -> Direction {
         let m = g.num_arcs().max(1) as f64;
         self.ctrl
-            .observe((frontier.edge_count() + frontier.len() as u64) as f64 / m)
+            .observe((frontier.edge_count(g) + frontier.len() as u64) as f64 / m)
     }
 
     /// The currently selected direction (without observing).

@@ -1,0 +1,115 @@
+//! The `Program` abstraction: what an algorithm *is*, separated from what a
+//! *run* is (see [`crate::runner::Runner`]).
+//!
+//! The paper's thesis — push vs. pull is a schedule, not an algorithm —
+//! becomes a type here. A [`Program`] supplies only the per-vertex state,
+//! the two edge kernels ([`crate::ops::EdgeKernel::push_update`] /
+//! [`crate::ops::EdgeKernel::pull_gather`], which must share one update
+//! semantics), how the active set starts and reseeds, and when the fixpoint
+//! is reached. Every scheduling concern — direction per round, work
+//! partitioning, frontier representation, densify/sparsify decisions, probe
+//! shards, telemetry — lives in the runner, so a scheduling improvement
+//! lands once and every algorithm inherits it.
+//!
+//! A run is a sequence of *phases*, each a sequence of *rounds*:
+//!
+//! ```text
+//! frontier = program.initial_frontier()
+//! loop {
+//!     while frontier not empty {          // one phase
+//!         program.begin_round(...)        //   mutable pre-round hook
+//!         frontier = edge_map(frontier)   //   one round, push or pull
+//!     }
+//!     frontier = program.next_phase()?    // reseed (bucket, peel level,
+//! }                                       // iteration) or converge
+//! ```
+//!
+//! Single-phase traversals (BFS, components, coloring) never override
+//! [`Program::next_phase`]; bucketed/leveled/iterative algorithms (Δ-SSSP,
+//! k-core, PageRank, label propagation) use it as their outer loop.
+
+use pp_graph::{CsrGraph, VertexId};
+
+use crate::frontier::Frontier;
+use crate::ops::{EdgeKernel, Engine};
+use crate::probes::{ProbeShards, ShardProbe};
+
+/// What the runner tells a program about the round it is about to execute.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundCtx {
+    /// Global round index (across phases).
+    pub round: u32,
+    /// Current phase index.
+    pub phase: u32,
+    /// Direction the policy chose for this round.
+    pub dir: pp_core::Direction,
+}
+
+/// A vertex program: per-vertex state plus the hooks the shared round loop
+/// needs. The edge-update half is the [`EdgeKernel`] supertrait; both its
+/// kernels must encode the same logical update so that any interleaving of
+/// push and pull rounds converges to the same fixpoint.
+pub trait Program<P: ShardProbe>: EdgeKernel<P> + Sized {
+    /// What the run produces (extracted by [`Program::finish`]).
+    type Output;
+
+    /// The frontier the first round consumes. May mutate `self` (e.g. seed
+    /// the root's state).
+    fn initial_frontier(&mut self, g: &CsrGraph) -> Frontier;
+
+    /// Pre-round hook, called once before each `edge_map` with the frontier
+    /// that round will consume. This is where per-round scalar state moves
+    /// (BFS's current level) and where frontier-wide vertex work happens
+    /// (k-core peels the frontier here). Default: nothing.
+    fn begin_round(
+        &mut self,
+        ctx: RoundCtx,
+        g: &CsrGraph,
+        frontier: &mut Frontier,
+        engine: &Engine,
+        probes: &ProbeShards<P>,
+    ) {
+        let _ = (ctx, g, frontier, engine, probes);
+    }
+
+    /// Called when a phase's frontier has drained: return the next phase's
+    /// frontier, or `None` when the program has converged. Returning an
+    /// empty frontier is allowed (the runner simply asks again), but the
+    /// sequence must reach `None` for the run to terminate. Default:
+    /// single-phase — converge as soon as the frontier drains.
+    fn next_phase(
+        &mut self,
+        g: &CsrGraph,
+        engine: &Engine,
+        probes: &ProbeShards<P>,
+    ) -> Option<Frontier> {
+        let _ = (g, engine, probes);
+        None
+    }
+
+    /// Consumes the program and extracts its result.
+    fn finish(self, g: &CsrGraph) -> Self::Output;
+}
+
+/// Convenience: the frontier of every vertex `v` with `pred(v)` true — the
+/// common shape of phase reseeds (bucket members, next peel level).
+pub fn frontier_where(g: &CsrGraph, pred: impl Fn(VertexId) -> bool) -> Frontier {
+    let members: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| pred(v))
+        .collect();
+    Frontier::from_vertices(g, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::gen;
+
+    #[test]
+    fn frontier_where_selects_matching_vertices() {
+        let g = gen::path(10);
+        let mut f = frontier_where(&g, |v| v % 3 == 0);
+        assert_eq!(f.vertices(), &[0, 3, 6, 9]);
+        assert!(frontier_where(&g, |_| false).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! The unified run telemetry every [`crate::runner::Runner`] execution
+//! returns: one [`RoundStat`] per executed round, tagged with the phase it
+//! belonged to and the direction the policy chose for it.
+//!
+//! The report is the engine's answer to the paper's measurement discipline:
+//! whatever the algorithm, a run is a sequence of rounds, each consuming a
+//! frontier of known size and incident-edge count in one direction — the
+//! exact quantities the §5 switching strategies decide on.
+
+use pp_core::Direction;
+
+/// One executed round of a [`crate::program::Program`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundStat {
+    /// Global round index across the whole run.
+    pub round: u32,
+    /// Phase the round belonged to (epoch/bucket/peel-level/iteration —
+    /// whatever [`crate::program::Program::next_phase`] demarcates).
+    pub phase: u32,
+    /// Direction the policy chose.
+    pub dir: Direction,
+    /// Vertices in the consumed frontier (`|F|`).
+    pub frontier: usize,
+    /// Out-edges of the consumed frontier (`|E_F|`, what the policy saw).
+    pub frontier_edges: u64,
+}
+
+/// Per-round statistics of one full run through the [`crate::Runner`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Every executed round, in order.
+    pub rounds: Vec<RoundStat>,
+    /// Number of phases the run went through (≥ 1 for any non-empty run).
+    pub phases: u32,
+}
+
+impl RunReport {
+    /// Total executed rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Rounds the policy scheduled as push.
+    pub fn push_rounds(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.dir == Direction::Push)
+            .count()
+    }
+
+    /// Rounds the policy scheduled as pull.
+    pub fn pull_rounds(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.dir == Direction::Pull)
+            .count()
+    }
+
+    /// Whether both directions were actually exercised (an adaptive policy
+    /// that never switched ran a de-facto fixed schedule).
+    pub fn switched(&self) -> bool {
+        self.push_rounds() > 0 && self.pull_rounds() > 0
+    }
+
+    /// The rounds belonging to `phase`, in order.
+    pub fn phase_rounds(&self, phase: u32) -> impl Iterator<Item = &RoundStat> {
+        self.rounds.iter().filter(move |r| r.phase == phase)
+    }
+
+    /// Sum of `|E_F|` over all rounds — the total traversal work the
+    /// schedule touched (a push/pull-invariant measure of algorithm size).
+    pub fn edges_traversed(&self) -> u64 {
+        self.rounds.iter().map(|r| r.frontier_edges).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(round: u32, phase: u32, dir: Direction, frontier: usize, edges: u64) -> RoundStat {
+        RoundStat {
+            round,
+            phase,
+            dir,
+            frontier,
+            frontier_edges: edges,
+        }
+    }
+
+    #[test]
+    fn aggregates_count_directions_and_phases() {
+        let report = RunReport {
+            rounds: vec![
+                stat(0, 0, Direction::Push, 1, 2),
+                stat(1, 0, Direction::Pull, 10, 40),
+                stat(2, 1, Direction::Push, 3, 6),
+            ],
+            phases: 2,
+        };
+        assert_eq!(report.num_rounds(), 3);
+        assert_eq!(report.push_rounds(), 2);
+        assert_eq!(report.pull_rounds(), 1);
+        assert!(report.switched());
+        assert_eq!(report.phase_rounds(0).count(), 2);
+        assert_eq!(report.phase_rounds(1).count(), 1);
+        assert_eq!(report.edges_traversed(), 48);
+    }
+
+    #[test]
+    fn empty_report_never_switched() {
+        let report = RunReport::default();
+        assert_eq!(report.num_rounds(), 0);
+        assert!(!report.switched());
+        assert_eq!(report.edges_traversed(), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The `Runner`: what a *run* is — engine, direction policy, probe shards,
+//! and the one shared round loop every [`Program`] executes on.
+//!
+//! Before this abstraction each algorithm hand-rolled its own loop
+//! (direction handling, convergence check, telemetry plumbing); now the
+//! loop exists exactly once, and a policy/scheduling improvement reaches
+//! all seven algorithms at the same commit.
+
+use pp_graph::CsrGraph;
+
+use crate::ops::Engine;
+use crate::policy::DirectionPolicy;
+use crate::probes::{ProbeShards, ShardProbe};
+use crate::program::{Program, RoundCtx};
+use crate::report::{RoundStat, RunReport};
+
+/// A completed run: the program's output plus the unified round telemetry.
+#[derive(Clone, Debug)]
+pub struct Run<T> {
+    /// What the program computed.
+    pub output: T,
+    /// Per-round direction/frontier/edge statistics.
+    pub report: RunReport,
+}
+
+/// Builder for program runs: borrows an [`Engine`] and a probe-shard set,
+/// carries a [`DirectionPolicy`], and drives any [`Program`] to its
+/// fixpoint. Reusable: `run` takes `&self` and clones the policy, so one
+/// runner can execute many programs (or the same program repeatedly).
+pub struct Runner<'a, P: ShardProbe> {
+    engine: &'a Engine,
+    probes: &'a ProbeShards<P>,
+    policy: DirectionPolicy,
+}
+
+impl<'a, P: ShardProbe> Runner<'a, P> {
+    /// A runner over `engine` with per-worker `probes`, defaulting to the
+    /// adaptive direction policy.
+    pub fn new(engine: &'a Engine, probes: &'a ProbeShards<P>) -> Self {
+        Self {
+            engine,
+            probes,
+            policy: DirectionPolicy::adaptive(),
+        }
+    }
+
+    /// Selects the direction policy for subsequent runs.
+    pub fn policy(mut self, policy: DirectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The engine this runner schedules onto.
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// Drives `program` to convergence and returns its output with the
+    /// per-round report.
+    ///
+    /// Each iteration: ask the policy for a direction, let the program see
+    /// the round ([`Program::begin_round`]), `edge_map` the frontier. When
+    /// a phase drains, [`Program::next_phase`] reseeds or ends the run.
+    pub fn run<Pg: Program<P>>(&self, g: &CsrGraph, mut program: Pg) -> Run<Pg::Output> {
+        let mut policy = self.policy;
+        let mut frontier = program.initial_frontier(g);
+        let mut report = RunReport::default();
+        let mut round = 0u32;
+        let mut phase = 0u32;
+        loop {
+            while !frontier.is_empty() {
+                let dir = policy.next(&frontier, g);
+                report.rounds.push(RoundStat {
+                    round,
+                    phase,
+                    dir,
+                    frontier: frontier.len(),
+                    frontier_edges: frontier.edge_count(g),
+                });
+                let ctx = RoundCtx { round, phase, dir };
+                program.begin_round(ctx, g, &mut frontier, self.engine, self.probes);
+                frontier = self
+                    .engine
+                    .edge_map(g, &mut frontier, dir, &program, self.probes);
+                round += 1;
+            }
+            match program.next_phase(g, self.engine, self.probes) {
+                Some(next) => {
+                    frontier = next;
+                    phase += 1;
+                }
+                None => break,
+            }
+        }
+        report.phases = phase + 1;
+        Run {
+            output: program.finish(g),
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::Frontier;
+    use crate::ops::EdgeKernel;
+    use crate::program::frontier_where;
+    use pp_core::Direction;
+    use pp_graph::{VertexId, Weight};
+    use pp_telemetry::{NullProbe, Probe};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Two-phase reachability: phase 0 marks the component of vertex 0,
+    /// phase 1 the component of the smallest unmarked vertex (if any).
+    struct TwoSweep {
+        mark: Vec<AtomicU32>,
+        sweeps: u32,
+    }
+
+    impl<P: Probe> EdgeKernel<P> for TwoSweep {
+        fn push_update(&self, _u: VertexId, v: VertexId, _w: Weight, _probe: &P) -> bool {
+            self.mark[v as usize]
+                .compare_exchange(0, self.sweeps, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        }
+
+        fn pull_gather(&self, v: VertexId, _u: VertexId, _w: Weight, _probe: &P) -> bool {
+            // Own-cell write; candidate gate keeps this exactly-once.
+            self.mark[v as usize].store(self.sweeps, Ordering::Relaxed);
+            true
+        }
+
+        fn pull_candidate(&self, v: VertexId, _probe: &P) -> bool {
+            self.mark[v as usize].load(Ordering::Relaxed) == 0
+        }
+
+        fn pull_saturates(&self) -> bool {
+            true
+        }
+    }
+
+    impl<P: ShardProbe> Program<P> for TwoSweep {
+        type Output = Vec<u32>;
+
+        fn initial_frontier(&mut self, g: &CsrGraph) -> Frontier {
+            self.sweeps = 1;
+            self.mark[0].store(1, Ordering::Relaxed);
+            Frontier::single(g, 0)
+        }
+
+        fn next_phase(
+            &mut self,
+            g: &CsrGraph,
+            _engine: &Engine,
+            _probes: &ProbeShards<P>,
+        ) -> Option<Frontier> {
+            if self.sweeps >= 2 {
+                return None;
+            }
+            let seed =
+                (0..g.num_vertices()).find(|&v| self.mark[v].load(Ordering::Relaxed) == 0)?;
+            self.sweeps = 2;
+            self.mark[seed].store(2, Ordering::Relaxed);
+            Some(frontier_where(g, |v| v as usize == seed))
+        }
+
+        fn finish(self, _g: &CsrGraph) -> Vec<u32> {
+            self.mark.into_iter().map(AtomicU32::into_inner).collect()
+        }
+    }
+
+    fn two_component_graph() -> CsrGraph {
+        // Component A: cycle 0..6; component B: path 6..12.
+        let mut b = pp_graph::GraphBuilder::undirected(12);
+        for i in 0..6u32 {
+            b.add_edge(i, (i + 1) % 6);
+        }
+        for i in 6..11u32 {
+            b.add_edge(i, i + 1);
+        }
+        b.build()
+    }
+
+    fn run_two_sweep(policy: DirectionPolicy, threads: usize) -> Run<Vec<u32>> {
+        let g = two_component_graph();
+        let engine = Engine::new(threads);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let program = TwoSweep {
+            mark: (0..g.num_vertices()).map(|_| AtomicU32::new(0)).collect(),
+            sweeps: 0,
+        };
+        Runner::new(&engine, &probes)
+            .policy(policy)
+            .run(&g, program)
+    }
+
+    #[test]
+    fn phases_reseed_and_finish_extracts_state() {
+        for threads in [1, 4] {
+            for policy in [
+                DirectionPolicy::Fixed(Direction::Push),
+                DirectionPolicy::Fixed(Direction::Pull),
+                DirectionPolicy::adaptive(),
+            ] {
+                let r = run_two_sweep(policy, threads);
+                assert!(r.output[..6].iter().all(|&m| m == 1), "{policy:?}");
+                assert!(r.output[6..].iter().all(|&m| m == 2), "{policy:?}");
+                assert_eq!(r.report.phases, 2);
+                assert!(r.report.phase_rounds(0).count() >= 3);
+                assert!(r.report.phase_rounds(1).count() >= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn report_rounds_are_contiguous_and_phase_ordered() {
+        let r = run_two_sweep(DirectionPolicy::Fixed(Direction::Push), 2);
+        for (i, stat) in r.report.rounds.iter().enumerate() {
+            assert_eq!(stat.round as usize, i);
+        }
+        assert!(r.report.rounds.windows(2).all(|w| w[0].phase <= w[1].phase));
+        assert_eq!(r.report.num_rounds(), r.report.push_rounds());
+    }
+}

@@ -1,9 +1,9 @@
 //! Adaptive push⇄pull switching, live: BFS on the `pp-engine` runtime.
 //!
 //! Runs the same traversal three ways — always-push, always-pull, and the
-//! Beamer-style adaptive policy — and prints the round-by-round trace the
-//! policy produced: the frontier swelling until the engine flips to
-//! bottom-up (pull), then shrinking until it flips back.
+//! Beamer-style adaptive policy — and prints the round-by-round trace from
+//! the unified `RunReport`: the frontier swelling until the engine flips
+//! to bottom-up (pull), then shrinking until it flips back.
 //!
 //! ```text
 //! cargo run --release --example engine_bfs
@@ -33,7 +33,7 @@ fn main() {
         "{:>6} {:>10} {:>12}  direction",
         "round", "frontier", "edges"
     );
-    for round in &r.rounds {
+    for round in &r.report.rounds {
         println!(
             "{:>6} {:>10} {:>12}  {}",
             round.round,
@@ -42,6 +42,12 @@ fn main() {
             round.dir.label()
         );
     }
+    println!(
+        "({} push rounds, {} pull rounds, {} edges traversed)",
+        r.report.push_rounds(),
+        r.report.pull_rounds(),
+        r.report.edges_traversed()
+    );
 
     // --- Same results, different synchronization profile (§4.3). ---
     println!("\nevent counts per fixed schedule (merged from per-worker shards):");

@@ -21,12 +21,15 @@
 //!   Passing and RMA backends (§6.3): PR, TC, BFS (with §7.2's
 //!   push–pull switching), SSSP-Δ (reproducing §6.5's SM/DM inversion),
 //!   and Boman coloring.
-//! * [`engine`] — the parallel frontier-driven execution engine: a
-//!   persistent thread pool with dynamic degree-aware work distribution,
-//!   sparse/dense frontiers, `edge_map`/`vertex_map` operators generic
-//!   over direction, Beamer-style adaptive push⇄pull switching, and
-//!   per-worker telemetry shards; BFS, PageRank, and SSSP-Δ run on it
-//!   with the [`core`] implementations as oracles.
+//! * [`engine`] — the parallel frontier-driven execution engine behind a
+//!   `Program`/`Runner` vertex-program API: a persistent thread pool with
+//!   dynamic degree-aware work distribution, sparse/dense frontiers,
+//!   `edge_map`/`vertex_map` operators generic over direction,
+//!   Beamer-style adaptive push⇄pull switching, per-worker telemetry
+//!   shards, and a unified per-round `RunReport`; BFS, PageRank, SSSP-Δ,
+//!   connected components, k-core, label propagation, and Boman coloring
+//!   all run on the one shared round loop with the [`core`]
+//!   implementations as oracles.
 //!
 //! ## Quickstart
 //!

@@ -3,10 +3,14 @@
 //! directions, and identical to a sequential reference, on every graph
 //! family the paper evaluates.
 
-use pushpull::core::{bc, bfs, coloring, mst, pagerank, sssp, triangles, validate, Direction};
+use proptest::prelude::*;
+use pushpull::core::{
+    bc, bfs, coloring, components, kcore, labelprop, mst, pagerank, sssp, triangles, validate,
+    Direction,
+};
 use pushpull::engine::{algo, DirectionPolicy, Engine, ProbeShards};
 use pushpull::graph::datasets::{Dataset, Scale};
-use pushpull::graph::{gen, stats, CsrGraph};
+use pushpull::graph::{gen, stats, CsrGraph, GraphBuilder};
 use pushpull::telemetry::{CountingProbe, NullProbe};
 
 fn families() -> Vec<(&'static str, CsrGraph)> {
@@ -178,6 +182,7 @@ fn engine_bfs_matches_sequential_levels_everywhere() {
             for policy in engine_policies() {
                 let r = algo::bfs::bfs(&engine, &g, 0, policy, &probes);
                 assert_eq!(r.level, expected, "{name} x{threads} {policy:?}");
+                assert_eq!(r.report.phases, 1, "{name}: BFS is single-phase");
                 // The Graph500-style validator accepts the parent tree too.
                 let as_core = bfs::BfsResult {
                     parent: r.parent.clone(),
@@ -257,13 +262,164 @@ fn engine_adaptive_switching_is_exercised_on_dense_families() {
     let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
     let r = algo::bfs::bfs(&engine, &g, 0, DirectionPolicy::adaptive(), &probes);
     assert!(
-        r.rounds.iter().any(|ri| ri.dir == Direction::Pull),
+        r.report.pull_rounds() > 0,
         "expected at least one pull round"
     );
     assert!(
-        r.rounds.iter().any(|ri| ri.dir == Direction::Push),
+        r.report.push_rounds() > 0,
         "expected at least one push round"
     );
+    assert!(r.report.switched());
+}
+
+// ---------------------------------------------------------------------------
+// The four algorithms newly ported onto the `Program`/`Runner` API: CC,
+// k-core, label propagation, coloring — each against its sequential pp-core
+// twin, at 1/2/8 threads, under push, pull, and adaptive policies.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn engine_components_match_core_labels_everywhere() {
+    for (name, g) in families() {
+        let expected = components::connected_components(&g, Direction::Pull).labels;
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for policy in engine_policies() {
+                let r = algo::components::connected_components(&engine, &g, policy, &probes);
+                assert_eq!(r.labels, expected, "{name} x{threads} {policy:?}");
+                assert_eq!(
+                    r.num_components(),
+                    stats::num_components(&g),
+                    "{name} x{threads} {policy:?}: component count"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_kcore_matches_sequential_peeling_everywhere() {
+    for (name, g) in families() {
+        let expected = kcore::coreness_seq(&g);
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for policy in engine_policies() {
+                let r = algo::kcore::kcore(&engine, &g, policy, &probes);
+                assert_eq!(r.coreness, expected, "{name} x{threads} {policy:?}");
+                assert_eq!(
+                    r.degeneracy,
+                    expected.iter().copied().max().unwrap_or(0),
+                    "{name}: degeneracy"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_labelprop_matches_core_iteration_for_iteration() {
+    // Synchronous LP with deterministic tie-breaking: the engine must
+    // reproduce the core twin's exact label sequence, iteration count, and
+    // convergence flag — in every schedule, at every thread count.
+    const CAP: usize = 30;
+    for (name, g) in families() {
+        let expected = labelprop::label_propagation(&g, Direction::Pull, CAP);
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for policy in engine_policies() {
+                let r = algo::labelprop::label_propagation(&engine, &g, policy, CAP, &probes);
+                assert_eq!(r.labels, expected.labels, "{name} x{threads} {policy:?}");
+                assert_eq!(r.iterations, expected.iterations, "{name} {policy:?}");
+                assert_eq!(r.converged, expected.converged, "{name} {policy:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_coloring_is_proper_and_greedy_bounded_everywhere() {
+    for (name, g) in families() {
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for policy in engine_policies() {
+                let r = algo::coloring::color(&engine, &g, policy, &probes);
+                assert!(
+                    coloring::is_proper_coloring(&g, &r.colors),
+                    "{name} x{threads} {policy:?}"
+                );
+                assert!(
+                    r.num_colors() <= g.max_degree() + 1,
+                    "{name} x{threads} {policy:?}: {} colors > Δ + 1 = {}",
+                    r.num_colors(),
+                    g.max_degree() + 1
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property-based: for *any* random graph, a Program's push and pull
+// schedules (and their adaptive interleaving) converge to the same fixpoint.
+// ---------------------------------------------------------------------------
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..(3 * n))
+            .prop_map(move |edges| GraphBuilder::undirected(n).edges(edges).build())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn program_schedules_share_one_fixpoint(g in arb_graph(48), threads in 1usize..5) {
+        let engine = Engine::new(threads);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let sweep: Vec<DirectionPolicy> = engine_policies().collect();
+
+        // Components: every schedule must land on the component minima.
+        let cc_oracle = components::connected_components(&g, Direction::Pull).labels;
+        for &policy in &sweep {
+            let r = algo::components::connected_components(&engine, &g, policy, &probes);
+            prop_assert_eq!(&r.labels, &cc_oracle, "cc {:?}", policy);
+        }
+
+        // k-core: every schedule must produce the sequential coreness.
+        let core_oracle = kcore::coreness_seq(&g);
+        for &policy in &sweep {
+            let r = algo::kcore::kcore(&engine, &g, policy, &probes);
+            prop_assert_eq!(&r.coreness, &core_oracle, "kcore {:?}", policy);
+        }
+
+        // Label propagation: schedules must agree label-for-label.
+        let lp_oracle = labelprop::label_propagation(&g, Direction::Pull, 20);
+        for &policy in &sweep {
+            let r = algo::labelprop::label_propagation(&engine, &g, policy, 20, &probes);
+            prop_assert_eq!(&r.labels, &lp_oracle.labels, "lp {:?}", policy);
+            prop_assert_eq!(r.iterations, lp_oracle.iterations, "lp iters {:?}", policy);
+        }
+
+        // BFS: levels are schedule-invariant.
+        let (bfs_oracle, _, _) = stats::bfs_levels(&g, 0);
+        for &policy in &sweep {
+            let r = algo::bfs::bfs(&engine, &g, 0, policy, &probes);
+            prop_assert_eq!(&r.level, &bfs_oracle, "bfs {:?}", policy);
+        }
+
+        // Coloring: fixpoints may differ per schedule but must all be
+        // proper and greedy-bounded.
+        for &policy in &sweep {
+            let r = algo::coloring::color(&engine, &g, policy, &probes);
+            prop_assert!(coloring::is_proper_coloring(&g, &r.colors), "gc {:?}", policy);
+            prop_assert!(r.num_colors() <= g.max_degree() + 1, "gc bound {:?}", policy);
+        }
+    }
 }
 
 #[test]
