@@ -1,17 +1,38 @@
 //! Engine scaling bench: all seven `pp-engine` `Program` algorithms (BFS,
 //! PageRank, SSSP-Δ, CC, k-core, label propagation, coloring) across
-//! thread counts × direction policies × dataset stand-ins. Captures the
-//! scaling trajectory of the parallel frontier runtime (the `tables engine`
-//! experiment prints the same sweep as a table).
+//! thread counts × direction policies × execution modes × dataset
+//! stand-ins. Captures the scaling trajectory of the parallel frontier
+//! runtime (the `tables engine` experiment prints the same sweep as a
+//! table, and `tables engine --json` dumps it for trajectory tracking).
+//!
+//! Mode caveat: the runner builds the §5 split lazily at a run's first
+//! push round, so `-pa` rows whose schedule actually pushes include that
+//! per-run O(n + m) preprocessing; pull-only schedules skip it entirely.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pp_core::{pagerank::PrOptions, sssp::SsspOptions, Direction};
-use pp_engine::{algo, DirectionPolicy, Engine, ProbeShards};
+use pp_engine::algo::{
+    bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram, kcore::KCoreProgram,
+    labelprop::LabelPropProgram, pagerank::PageRankProgram, sssp::SsspProgram,
+};
+use pp_engine::{DirectionPolicy, Engine, ExecutionMode, ProbeShards, Runner};
 use pp_graph::datasets::{Dataset, Scale};
 use pp_graph::gen;
 use pp_telemetry::NullProbe;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The policy × mode schedule axis every group sweeps: each entry is one
+/// schedule of the same algorithm.
+fn schedules() -> Vec<(String, DirectionPolicy, ExecutionMode)> {
+    let mut v = Vec::new();
+    for (mode_name, mode) in ExecutionMode::sweep() {
+        for (policy_name, policy) in DirectionPolicy::sweep() {
+            v.push((format!("{policy_name}-{mode_name}"), policy, mode));
+        }
+    }
+    v
+}
 
 fn bench_engine_bfs(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_bfs");
@@ -21,10 +42,15 @@ fn bench_engine_bfs(c: &mut Criterion) {
         for t in THREADS {
             let engine = Engine::new(t);
             let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
-            for (name, policy) in DirectionPolicy::sweep() {
+            for (name, policy, mode) in schedules() {
                 let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
                 group.bench_with_input(id, &g, |b, g| {
-                    b.iter(|| algo::bfs::bfs(&engine, g, 0, policy, &probes))
+                    b.iter(|| {
+                        Runner::new(&engine, &probes)
+                            .policy(policy)
+                            .mode(mode)
+                            .run(g, BfsProgram::new(g, 0))
+                    })
                 });
             }
         }
@@ -44,11 +70,21 @@ fn bench_engine_pagerank(c: &mut Criterion) {
         for t in THREADS {
             let engine = Engine::new(t);
             let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
-            for dir in Direction::BOTH {
-                let id = BenchmarkId::new(dir.label(), format!("{}/t{}", ds.id(), t));
-                group.bench_with_input(id, &g, |b, g| {
-                    b.iter(|| algo::pagerank::pagerank(&engine, g, dir, &opts, &probes))
-                });
+            for (mode_name, mode) in ExecutionMode::sweep() {
+                for dir in Direction::BOTH {
+                    let id = BenchmarkId::new(
+                        format!("{}-{mode_name}", dir.label()),
+                        format!("{}/t{}", ds.id(), t),
+                    );
+                    group.bench_with_input(id, &g, |b, g| {
+                        b.iter(|| {
+                            Runner::new(&engine, &probes)
+                                .policy(DirectionPolicy::Fixed(dir))
+                                .mode(mode)
+                                .run(g, PageRankProgram::new(g, &opts))
+                        })
+                    });
+                }
             }
         }
     }
@@ -64,10 +100,15 @@ fn bench_engine_sssp(c: &mut Criterion) {
         for t in THREADS {
             let engine = Engine::new(t);
             let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
-            for (name, policy) in DirectionPolicy::sweep() {
+            for (name, policy, mode) in schedules() {
                 let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
                 group.bench_with_input(id, &gw, |b, gw| {
-                    b.iter(|| algo::sssp::sssp_delta(&engine, gw, 0, policy, &opts, &probes))
+                    b.iter(|| {
+                        Runner::new(&engine, &probes)
+                            .policy(policy)
+                            .mode(mode)
+                            .run(gw, SsspProgram::new(gw, 0, &opts))
+                    })
                 });
             }
         }
@@ -83,10 +124,15 @@ fn bench_engine_components(c: &mut Criterion) {
         for t in THREADS {
             let engine = Engine::new(t);
             let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
-            for (name, policy) in DirectionPolicy::sweep() {
+            for (name, policy, mode) in schedules() {
                 let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
                 group.bench_with_input(id, &g, |b, g| {
-                    b.iter(|| algo::components::connected_components(&engine, g, policy, &probes))
+                    b.iter(|| {
+                        Runner::new(&engine, &probes)
+                            .policy(policy)
+                            .mode(mode)
+                            .run(g, CcProgram::new(g))
+                    })
                 });
             }
         }
@@ -102,10 +148,15 @@ fn bench_engine_kcore(c: &mut Criterion) {
         for t in THREADS {
             let engine = Engine::new(t);
             let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
-            for (name, policy) in DirectionPolicy::sweep() {
+            for (name, policy, mode) in schedules() {
                 let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
                 group.bench_with_input(id, &g, |b, g| {
-                    b.iter(|| algo::kcore::kcore(&engine, g, policy, &probes))
+                    b.iter(|| {
+                        Runner::new(&engine, &probes)
+                            .policy(policy)
+                            .mode(mode)
+                            .run(g, KCoreProgram::new(g))
+                    })
                 });
             }
         }
@@ -121,10 +172,15 @@ fn bench_engine_labelprop(c: &mut Criterion) {
         for t in THREADS {
             let engine = Engine::new(t);
             let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
-            for (name, policy) in DirectionPolicy::sweep() {
+            for (name, policy, mode) in schedules() {
                 let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
                 group.bench_with_input(id, &g, |b, g| {
-                    b.iter(|| algo::labelprop::label_propagation(&engine, g, policy, 20, &probes))
+                    b.iter(|| {
+                        Runner::new(&engine, &probes)
+                            .policy(policy)
+                            .mode(mode)
+                            .run(g, LabelPropProgram::new(g, 20))
+                    })
                 });
             }
         }
@@ -140,10 +196,15 @@ fn bench_engine_coloring(c: &mut Criterion) {
         for t in THREADS {
             let engine = Engine::new(t);
             let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
-            for (name, policy) in DirectionPolicy::sweep() {
+            for (name, policy, mode) in schedules() {
                 let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
                 group.bench_with_input(id, &g, |b, g| {
-                    b.iter(|| algo::coloring::color(&engine, g, policy, &probes))
+                    b.iter(|| {
+                        Runner::new(&engine, &probes)
+                            .policy(policy)
+                            .mode(mode)
+                            .run(g, ColoringProgram::new(g))
+                    })
                 });
             }
         }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! tables <experiment> [--scale test|small|medium] [--threads N] [--samples K]
+//!                     [--json <path>]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6a fig6b
@@ -13,6 +14,7 @@ use pp_bench::experiments::{self, Ctx};
 
 const USAGE: &str = "\
 usage: tables <experiment> [--scale test|small|medium] [--threads N] [--samples K]
+              [--json <path>]
 
 experiments:
   table1   PAPI-style event counts for PR/TC/BGC/SSSP (push|push+PA|pull)
@@ -30,9 +32,13 @@ experiments:
   pram     the §4 PRAM analysis table
   ext      tech-report extensions: new algorithms, SM/DM SSSP inversion,
            vertex-order x prefetcher cache ablation
-  engine   pp-engine scaling: BFS/PR/SSSP time vs threads per direction
-           policy (push | pull | adaptive switching)
+  engine   pp-engine scaling: all seven Programs vs threads per direction
+           policy (push | pull | adaptive) x execution mode (atomic | pa)
   all      everything above
+
+options:
+  --json <path>   additionally dump the sweep as machine-readable JSON
+                  (supported by: engine) for perf-trajectory tracking
 ";
 
 fn main() {
@@ -67,6 +73,15 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&k: &usize| k >= 1)
                     .unwrap_or_else(|| die("--samples expects a positive integer"));
+            }
+            "--json" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .filter(|p| !p.is_empty())
+                    .unwrap_or_else(|| die("--json expects a file path"));
+                // Leaked once per invocation so Ctx stays Copy.
+                ctx.json = Some(Box::leak(path.clone().into_boxed_str()));
             }
             other => die(&format!("unknown option: {other}")),
         }

@@ -1,29 +1,43 @@
 //! Engine scaling: the `pp-engine` frontier runtime vs. thread count, per
-//! direction policy and dataset stand-in. Not a paper figure — this is the
-//! scaling trajectory of the workspace's own parallel engine across all
-//! seven `Program` algorithms (BFS, PageRank, SSSP-Δ, CC, k-core,
-//! label-prop, coloring), captured so future benchmark snapshots can track
-//! it.
+//! direction policy, execution mode, and dataset stand-in. Not a paper
+//! figure — this is the scaling trajectory of the workspace's own parallel
+//! engine across all seven `Program` algorithms (BFS, PageRank, SSSP-Δ,
+//! CC, k-core, label-prop, coloring), captured so future benchmark
+//! snapshots can track it. With `--json <path>` the sweep is additionally
+//! dumped as machine-readable JSON (one record per measurement).
 
 use pp_core::{pagerank::PrOptions, sssp::SsspOptions, Direction};
-use pp_engine::{algo, DirectionPolicy, Engine, ProbeShards};
+use pp_engine::algo::{
+    bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram, kcore::KCoreProgram,
+    labelprop::LabelPropProgram, pagerank::PageRankProgram, sssp::SsspProgram,
+};
+use pp_engine::{DirectionPolicy, Engine, ExecutionMode, ProbeShards, Runner};
 use pp_graph::datasets::Dataset;
 use pp_graph::gen;
 use pp_telemetry::NullProbe;
 
 use crate::{fmt_ms, median_time};
 
-use super::{header, print_series, Ctx};
+use super::{header, json_escape, print_series, Ctx};
 
 /// Iteration cap for the label-propagation rows.
 const LP_ITERS: usize = 20;
 
-/// Prints one scaling table per dataset: engine BFS/PR/SSSP/CC/k-core/
-/// LP/coloring time vs. threads, per policy.
+/// One JSON record of the sweep.
+struct JsonRow {
+    dataset: &'static str,
+    mode: &'static str,
+    algo: String,
+    threads: usize,
+    millis: f64,
+}
+
+/// Prints one scaling table per dataset × execution mode: engine
+/// BFS/PR/SSSP/CC/k-core/LP/coloring time vs. threads, per policy.
 pub fn run(ctx: Ctx) {
     header(
-        "Engine scaling: frontier runtime vs threads",
-        "pp-engine (this workspace); direction policy per §5 Generic-Switch",
+        "Engine scaling: frontier runtime vs threads x execution mode",
+        "pp-engine (this workspace); policy per §5 Generic-Switch, mode per §5 PA",
     );
     let threads: Vec<usize> = [1usize, 2, 4, 8, 16]
         .into_iter()
@@ -35,90 +49,161 @@ pub fn run(ctx: Ctx) {
         damping: 0.85,
     };
     let sssp_opts = SsspOptions::default();
+    let mut json_rows: Vec<JsonRow> = Vec::new();
 
     for ds in [Dataset::Orc, Dataset::Rca] {
         let g = ds.generate(ctx.scale);
         let gw = gen::with_random_weights(&g, 1, 64, 0x5ca1e);
-        println!("--- {} ({}) ---", ds.id(), ds.description());
+        for (mode_name, mode) in ExecutionMode::sweep() {
+            println!(
+                "--- {} ({}) · mode={mode_name} ---",
+                ds.id(),
+                ds.description()
+            );
 
-        // Column layout follows DirectionPolicy::sweep(), so a new policy
-        // variant grows the table instead of silently misfiling timings.
-        let sweep = DirectionPolicy::sweep();
-        let mut cols: Vec<(String, Vec<String>)> = Vec::new();
-        for (name, _) in sweep {
-            cols.push((format!("BFS {name}"), Vec::new()));
-        }
-        for dir in Direction::BOTH {
-            cols.push((format!("PR {}", dir.label().to_lowercase()), Vec::new()));
-        }
-        cols.push(("SSSP adaptive".to_string(), Vec::new()));
-        for (name, _) in sweep {
-            cols.push((format!("CC {name}"), Vec::new()));
-        }
-        cols.push(("k-core adaptive".to_string(), Vec::new()));
-        cols.push(("LP adaptive".to_string(), Vec::new()));
-        cols.push(("BGC adaptive".to_string(), Vec::new()));
-        for &t in &threads {
-            let engine = Engine::new(t);
-            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
-            let mut col = 0;
-            let mut push_time = |cols: &mut Vec<(String, Vec<String>)>, d: std::time::Duration| {
-                cols[col].1.push(fmt_ms(d));
-                col += 1;
-            };
-            for (_, policy) in sweep {
-                let d = median_time(ctx.samples, || {
-                    algo::bfs::bfs(&engine, &g, 0, policy, &probes)
-                });
-                push_time(&mut cols, d);
+            // Column layout follows DirectionPolicy::sweep(), so a new
+            // policy variant grows the table instead of silently misfiling
+            // timings.
+            let sweep = DirectionPolicy::sweep();
+            let mut cols: Vec<(String, Vec<String>)> = Vec::new();
+            for (name, _) in sweep {
+                cols.push((format!("BFS {name}"), Vec::new()));
             }
             for dir in Direction::BOTH {
-                let d = median_time(ctx.samples, || {
-                    algo::pagerank::pagerank(&engine, &g, dir, &pr_opts, &probes)
-                });
-                push_time(&mut cols, d);
+                cols.push((format!("PR {}", dir.label().to_lowercase()), Vec::new()));
             }
-            let d = median_time(ctx.samples, || {
-                algo::sssp::sssp_delta(
-                    &engine,
-                    &gw,
-                    0,
-                    DirectionPolicy::adaptive(),
-                    &sssp_opts,
-                    &probes,
-                )
-            });
-            push_time(&mut cols, d);
-            for (_, policy) in sweep {
-                let d = median_time(ctx.samples, || {
-                    algo::components::connected_components(&engine, &g, policy, &probes)
-                });
-                push_time(&mut cols, d);
+            cols.push(("SSSP adaptive".to_string(), Vec::new()));
+            for (name, _) in sweep {
+                cols.push((format!("CC {name}"), Vec::new()));
             }
-            let d = median_time(ctx.samples, || {
-                algo::kcore::kcore(&engine, &g, DirectionPolicy::adaptive(), &probes)
-            });
-            push_time(&mut cols, d);
-            let d = median_time(ctx.samples, || {
-                algo::labelprop::label_propagation(
-                    &engine,
-                    &g,
-                    DirectionPolicy::adaptive(),
-                    LP_ITERS,
-                    &probes,
-                )
-            });
-            push_time(&mut cols, d);
-            let d = median_time(ctx.samples, || {
-                algo::coloring::color(&engine, &g, DirectionPolicy::adaptive(), &probes)
-            });
-            push_time(&mut cols, d);
+            cols.push(("k-core adaptive".to_string(), Vec::new()));
+            cols.push(("LP adaptive".to_string(), Vec::new()));
+            cols.push(("BGC adaptive".to_string(), Vec::new()));
+            for &t in &threads {
+                let engine = Engine::new(t);
+                let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+                let runner = |policy: DirectionPolicy| {
+                    Runner::new(&engine, &probes).policy(policy).mode(mode)
+                };
+                let mut col = 0;
+                let mut push_time = |cols: &mut Vec<(String, Vec<String>)>,
+                                     rows: &mut Vec<JsonRow>,
+                                     d: std::time::Duration| {
+                    rows.push(JsonRow {
+                        dataset: ds.id(),
+                        mode: mode_name,
+                        algo: cols[col].0.clone(),
+                        threads: t,
+                        millis: d.as_secs_f64() * 1e3,
+                    });
+                    cols[col].1.push(fmt_ms(d));
+                    col += 1;
+                };
+                for (_, policy) in sweep {
+                    let d = median_time(ctx.samples, || {
+                        runner(policy).run(&g, BfsProgram::new(&g, 0))
+                    });
+                    push_time(&mut cols, &mut json_rows, d);
+                }
+                for dir in Direction::BOTH {
+                    let d = median_time(ctx.samples, || {
+                        runner(DirectionPolicy::Fixed(dir))
+                            .run(&g, PageRankProgram::new(&g, &pr_opts))
+                    });
+                    push_time(&mut cols, &mut json_rows, d);
+                }
+                let d = median_time(ctx.samples, || {
+                    runner(DirectionPolicy::adaptive())
+                        .run(&gw, SsspProgram::new(&gw, 0, &sssp_opts))
+                });
+                push_time(&mut cols, &mut json_rows, d);
+                for (_, policy) in sweep {
+                    let d = median_time(ctx.samples, || runner(policy).run(&g, CcProgram::new(&g)));
+                    push_time(&mut cols, &mut json_rows, d);
+                }
+                let d = median_time(ctx.samples, || {
+                    runner(DirectionPolicy::adaptive()).run(&g, KCoreProgram::new(&g))
+                });
+                push_time(&mut cols, &mut json_rows, d);
+                let d = median_time(ctx.samples, || {
+                    runner(DirectionPolicy::adaptive()).run(&g, LabelPropProgram::new(&g, LP_ITERS))
+                });
+                push_time(&mut cols, &mut json_rows, d);
+                let d = median_time(ctx.samples, || {
+                    runner(DirectionPolicy::adaptive()).run(&g, ColoringProgram::new(&g))
+                });
+                push_time(&mut cols, &mut json_rows, d);
+            }
+            let view: Vec<(&str, Vec<String>)> =
+                cols.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            print_series("threads [ms]", &xs, &view);
+            println!();
         }
-        let view: Vec<(&str, Vec<String>)> =
-            cols.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-        print_series("threads [ms]", &xs, &view);
-        println!();
     }
     println!("(engine pool: caller + workers; dynamic degree-aware chunking;");
-    println!(" all seven algorithms share one Program/Runner round loop)");
+    println!(" all seven algorithms share one Program/Runner round loop;");
+    println!(" mode=pa replaces push atomics with the §5 owner-computes exchange —");
+    println!(" its rows include the per-run split build, skipped when no round pushes)");
+
+    if let Some(path) = ctx.json {
+        match std::fs::write(path, render_json(ctx, &json_rows)) {
+            Ok(()) => println!("wrote {} JSON records to {path}", json_rows.len()),
+            Err(e) => eprintln!("failed to write --json {path}: {e}"),
+        }
+    }
+}
+
+/// Renders the sweep as a self-describing JSON document.
+fn render_json(ctx: Ctx, rows: &[JsonRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"engine\",\n");
+    out.push_str(&format!("  \"scale\": \"{:?}\",\n", ctx.scale));
+    out.push_str(&format!("  \"samples\": {},\n", ctx.samples));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"algo\": \"{}\", \
+             \"threads\": {}, \"ms\": {:.3}}}{}\n",
+            json_escape(r.dataset),
+            json_escape(r.mode),
+            json_escape(&r.algo),
+            r.threads,
+            r.millis,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let rows = vec![
+            JsonRow {
+                dataset: "orc",
+                mode: "atomic",
+                algo: "BFS push".to_string(),
+                threads: 2,
+                millis: 1.5,
+            },
+            JsonRow {
+                dataset: "rca",
+                mode: "pa",
+                algo: "CC adaptive".to_string(),
+                threads: 8,
+                millis: 0.25,
+            },
+        ];
+        let s = render_json(Ctx::default(), &rows);
+        assert!(s.contains("\"experiment\": \"engine\""));
+        assert!(s.contains("\"mode\": \"pa\""));
+        assert!(s.contains("\"ms\": 1.500"));
+        // Exactly one separating comma between the two records.
+        assert_eq!(s.matches("},\n").count(), 1);
+        assert!(s.trim_end().ends_with('}'));
+    }
 }

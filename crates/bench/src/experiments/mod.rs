@@ -28,6 +28,11 @@ pub struct Ctx {
     pub threads: usize,
     /// Timing samples per measurement (median reported).
     pub samples: usize,
+    /// Where to dump the sweep as machine-readable JSON (experiments that
+    /// support it, currently `engine`) in addition to the printed tables.
+    /// `&'static` keeps `Ctx` `Copy`; the `tables` binary leaks its one
+    /// CLI argument to produce it.
+    pub json: Option<&'static str>,
 }
 
 impl Default for Ctx {
@@ -36,8 +41,27 @@ impl Default for Ctx {
             scale: Scale::Small,
             threads: 8,
             samples: 3,
+            json: None,
         }
     }
+}
+
+/// Minimal JSON string escaping for the hand-rolled dumps (no serde in the
+/// offline build environment): quotes, backslashes, and control bytes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Parses a `--scale` value.
@@ -91,5 +115,14 @@ mod tests {
         let c = Ctx::default();
         assert!(c.threads >= 1);
         assert!(c.samples >= 1);
+        assert!(c.json.is_none());
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

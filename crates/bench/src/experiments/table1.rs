@@ -22,6 +22,7 @@ fn scaled(c: EventCounts, div: u64) -> EventCounts {
         branches_cond: c.branches_cond / div,
         branches_uncond: c.branches_uncond / div,
         barriers: c.barriers / div,
+        remote_sends: c.remote_sends / div,
         l1_misses: c.l1_misses / div,
         l2_misses: c.l2_misses / div,
         l3_misses: c.l3_misses / div,

@@ -132,7 +132,7 @@ pub fn bellman_ford_probed<P: Probe>(
 /// SSSP relaxation, mirroring what direction optimization does for BFS.
 /// Rounds push while the improved frontier is small (its out-arcs below
 /// `m / alpha`) and pull once the frontier saturates — per-round the same
-/// crossover the [`crate::pram::bfs_round`]-style analysis predicts.
+/// crossover the PRAM `bfs_round`-style analysis (`pp-pram`) predicts.
 ///
 /// Returns the distances plus the direction every round actually ran
 /// (`true` = pull), so tests and benches can see the switch happen.

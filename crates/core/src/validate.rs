@@ -1,6 +1,6 @@
 //! Graph500-style result validators.
 //!
-//! The paper benchmarks BFS "used [by] the HPC benchmark Graph500" (§3.3);
+//! The paper benchmarks BFS "used \[by\] the HPC benchmark Graph500" (§3.3);
 //! Graph500 specifies an output *validator* rather than a reference output,
 //! because any valid BFS tree is acceptable. These validators implement the
 //! same idea for the traversal results in this workspace, so integration and

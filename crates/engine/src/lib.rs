@@ -55,6 +55,35 @@
 //! (`algo::bfs::bfs`, `algo::pagerank::pagerank`, …) that builds the
 //! program, runs it, and reshapes the output.
 //!
+//! ## Partition-aware execution (§5)
+//!
+//! Push's per-edge atomics are a *scheduling* artifact too: they exist
+//! because any thread may target any vertex. [`Runner::mode`] with
+//! [`ExecutionMode::PartitionAware`] removes them. The run binds one
+//! [`pp_graph::BlockPartition`] part to each engine thread and builds the
+//! paper's `2n + 2m`-cell split representation
+//! ([`pp_graph::PartitionAwareGraph`]: per-vertex adjacency divided into
+//! same-owner and foreign-owner halves). Each push round then has two
+//! phases ([`partitioned::exchange`]):
+//!
+//! 1. **Traversal** — the worker owning part `t` walks its frontier
+//!    vertices: local targets get the update applied immediately with
+//!    plain writes ([`EdgeKernel::apply_owned`]); remote targets are
+//!    buffered into a per-(worker × owner) queue
+//!    ([`partitioned::ExchangeBuffers`]), counting one
+//!    `Probe::remote_send` where the atomic engine counted a CAS.
+//! 2. **Delivery** — after one barrier, every owner drains its inbound
+//!    queues and applies the buffered updates to the vertices it owns,
+//!    again with plain writes.
+//!
+//! No atomic RMW is issued anywhere on the push path; `RunReport` rounds
+//! carry the exchange volume (`remote_updates`) and occupancy skew
+//! (`buffer_peak`). All seven programs run unmodified in either mode —
+//! delivery reuses each program's atomic-free pull kernel, which the
+//! [`EdgeKernel`] contract already requires to encode the same update
+//! semantics as its push kernel. Pull rounds are untouched, so any
+//! [`DirectionPolicy`] composes with either mode.
+//!
 //! ## Migrating from the pre-`Program` API (PR 1)
 //!
 //! * `algo::bfs::bfs(...)` still exists; its result now carries the
@@ -69,10 +98,23 @@
 //! * `Frontier::edge_count()` now takes the graph
 //!   (`edge_count(&g)`) and is lazily computed + cached instead of eagerly
 //!   summed at construction.
+//!
+//! ## Migrating to `ExecutionMode` (PR 3)
+//!
+//! * `Runner` gains a `.mode(ExecutionMode)` builder step. Existing code
+//!   is unchanged: the default is [`ExecutionMode::Atomic`], the exact
+//!   pre-PR behaviour. Opt into owner-computes push with
+//!   `.mode(ExecutionMode::PartitionAware)` — no `Program` changes needed.
+//! * `RoundStat` gained `remote_updates`/`buffer_peak` fields (zero under
+//!   `Atomic`); struct-literal constructions must add them.
+//! * [`EdgeKernel`] gained the defaulted `apply_owned` hook; override it
+//!   only if a program can apply an owned update cheaper than its
+//!   candidate-gated pull kernel.
 
 pub mod algo;
 pub mod frontier;
 pub mod ops;
+pub mod partitioned;
 pub mod policy;
 pub mod pool;
 pub mod probes;
@@ -82,6 +124,7 @@ pub mod runner;
 
 pub use frontier::Frontier;
 pub use ops::{EdgeKernel, Engine};
+pub use partitioned::{ExecutionMode, PaContext};
 pub use policy::{AdaptiveSwitch, DirectionPolicy};
 pub use pool::Pool;
 pub use probes::{ProbeShards, ShardProbe};

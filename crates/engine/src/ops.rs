@@ -62,6 +62,32 @@ pub trait EdgeKernel<P: Probe>: Sync {
     fn may_activate_twice(&self) -> bool {
         false
     }
+
+    /// Owner-computes apply (§5 partition-awareness): frontier vertex `u`
+    /// updates `v`, executed *by `v`'s owning thread* — so plain writes
+    /// suffice where `push_update` would synchronize. Because both kernels
+    /// encode one update semantics, the default delegates to the
+    /// already-atomic-free pull side, gated by
+    /// [`EdgeKernel::pull_candidate`] (which is what makes saturating
+    /// kernels like BFS exactly-once here, just as in a pull round).
+    /// Returns `true` iff `v` became active; the partitioned engine folds
+    /// repeats unconditionally.
+    ///
+    /// **Timing contract.** A buffered remote update carries only
+    /// `(u, v, w)`; for those, this apply runs in the *delivery* phase,
+    /// after the exchange barrier — so any cell of `u` the kernel reads is
+    /// read *then*, possibly newer than when the edge was buffered (other
+    /// owners apply their own inbound updates concurrently, through
+    /// atomic cells). The kernel must tolerate that: source reads must be
+    /// of monotone state, where a fresher value is still a valid update
+    /// (BFS parents, CC labels, SSSP distances), or of round-immutable
+    /// snapshots (PageRank's previous ranks, label-prop's previous
+    /// labels). Every shipped `Program` satisfies this; a kernel that
+    /// mutates source-vertex state mid-round in a non-monotone way must
+    /// override `apply_owned` (e.g. to ignore source state entirely).
+    fn apply_owned(&self, v: VertexId, u: VertexId, w: Weight, probe: &P) -> bool {
+        self.pull_candidate(v, probe) && self.pull_gather(v, u, w, probe)
+    }
 }
 
 /// The execution engine: a persistent pool plus the frontier operators.
@@ -76,8 +102,9 @@ const CHUNKS_PER_THREAD: usize = 4;
 /// Minimum weight (arcs + vertices) a chunk must carry before a round is
 /// worth fanning out. Rounds below one grain run inline on the caller —
 /// critical for high-diameter graphs whose BFS/SSSP rounds are tiny (a
-/// pool handshake costs more than relaxing a dozen edges).
-const GRAIN: u64 = 4096;
+/// pool handshake costs more than relaxing a dozen edges). Shared with the
+/// partitioned engine, which applies the same inline cutoff to its phases.
+pub(crate) const GRAIN: u64 = 4096;
 
 impl Engine {
     /// An engine over `threads` threads (0 = hardware parallelism).

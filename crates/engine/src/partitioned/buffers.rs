@@ -1,0 +1,184 @@
+//! The owner-computes exchange buffers: one queue per (sender part, owner
+//! part) pair.
+//!
+//! During a partition-aware push round's traversal phase, the worker
+//! executing part `t` appends every update aimed at a foreign-owned vertex
+//! to `(t, owner)`'s queue — the only synchronization-free place it can go.
+//! After the exchange barrier, each owner drains its inbound column and
+//! applies the updates to vertices it owns. Both sides are single-writer by
+//! construction, so the queues are plain `Vec`s behind `UnsafeCell` —
+//! buffering a remote update costs one bump allocation-amortized write, not
+//! a CAS.
+
+use std::cell::UnsafeCell;
+
+use pp_graph::{VertexId, Weight};
+
+/// One buffered remote update: frontier vertex `src` updates foreign-owned
+/// `dst` over an edge of weight `w` (1 on unweighted graphs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Update {
+    /// The pushing frontier vertex.
+    pub src: VertexId,
+    /// The foreign-owned target the owner will apply the update to.
+    pub dst: VertexId,
+    /// Edge weight.
+    pub w: Weight,
+}
+
+/// `parts × parts` single-writer update queues, reused across rounds (a
+/// drain clears lengths but keeps capacity, so steady-state rounds do not
+/// allocate).
+pub struct ExchangeBuffers {
+    parts: usize,
+    /// Queue `(sender, owner)` lives at `sender * parts + owner`.
+    slots: Vec<UnsafeCell<Vec<Update>>>,
+}
+
+// SAFETY: every `&self` method taking `unsafe` spells out its single-writer
+// discipline; the type adds no sharing beyond what those contracts permit.
+unsafe impl Sync for ExchangeBuffers {}
+
+impl ExchangeBuffers {
+    /// Empty buffers for `parts` partition parts.
+    pub fn new(parts: usize) -> Self {
+        Self {
+            parts,
+            slots: (0..parts * parts)
+                .map(|_| UnsafeCell::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of parts the buffers were sized for.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Buffers `up` from `sender`'s worker toward `owner`'s inbound column
+    /// and returns the address of the buffered cell (for probe accounting).
+    ///
+    /// # Safety
+    /// Only the worker currently executing part `sender` may call this, and
+    /// no drain of `(_, owner)` columns may be in flight (the two phases of
+    /// a round are separated by a pool barrier).
+    #[inline]
+    pub unsafe fn push(&self, sender: usize, owner: usize, up: Update) -> usize {
+        let q = &mut *self.slots[sender * self.parts + owner].get();
+        q.push(up);
+        q.last().unwrap() as *const Update as usize
+    }
+
+    /// Updates currently buffered toward `owner` across all senders.
+    ///
+    /// # Safety
+    /// No worker may be pushing or draining concurrently (call between the
+    /// two pool rounds, from the coordinating thread).
+    pub unsafe fn inbound_len(&self, owner: usize) -> u64 {
+        (0..self.parts)
+            .map(|sender| (*self.slots[sender * self.parts + owner].get()).len() as u64)
+            .sum()
+    }
+
+    /// Applies `f` to every update buffered toward `owner` (sender order,
+    /// FIFO within a sender) and empties those queues, keeping capacity.
+    ///
+    /// # Safety
+    /// Only the worker currently delivering for `owner` may call this, and
+    /// no traversal-phase pushes may be in flight.
+    pub unsafe fn drain_inbound(&self, owner: usize, mut f: impl FnMut(Update)) {
+        for sender in 0..self.parts {
+            let q = &mut *self.slots[sender * self.parts + owner].get();
+            for &up in q.iter() {
+                f(up);
+            }
+            q.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_routes_to_the_owner_column_and_drain_empties_it() {
+        let b = ExchangeBuffers::new(3);
+        unsafe {
+            b.push(
+                0,
+                2,
+                Update {
+                    src: 1,
+                    dst: 9,
+                    w: 1,
+                },
+            );
+            b.push(
+                1,
+                2,
+                Update {
+                    src: 4,
+                    dst: 9,
+                    w: 7,
+                },
+            );
+            b.push(
+                0,
+                1,
+                Update {
+                    src: 1,
+                    dst: 5,
+                    w: 1,
+                },
+            );
+            let lens: Vec<u64> = (0..3).map(|o| b.inbound_len(o)).collect();
+            assert_eq!(lens, vec![0, 1, 2], "owner 2 holds the largest backlog");
+
+            let mut seen = Vec::new();
+            b.drain_inbound(2, |up| seen.push(up));
+            assert_eq!(
+                seen,
+                vec![
+                    Update {
+                        src: 1,
+                        dst: 9,
+                        w: 1
+                    },
+                    Update {
+                        src: 4,
+                        dst: 9,
+                        w: 7
+                    },
+                ],
+                "sender order, FIFO within a sender"
+            );
+            assert_eq!(b.inbound_len(2), 0, "drained column is empty");
+            assert_eq!(b.inbound_len(1), 1, "owner 1's update still queued");
+            b.drain_inbound(1, |_| {});
+            assert_eq!(b.inbound_len(1), 0);
+        }
+    }
+
+    #[test]
+    fn drained_queues_keep_their_capacity() {
+        let b = ExchangeBuffers::new(2);
+        unsafe {
+            for i in 0..100 {
+                b.push(
+                    0,
+                    1,
+                    Update {
+                        src: i,
+                        dst: 0,
+                        w: 1,
+                    },
+                );
+            }
+            b.drain_inbound(1, |_| {});
+            let q = &*b.slots[1].get();
+            assert!(q.capacity() >= 100, "drain must not shrink the arena");
+            assert!(q.is_empty());
+        }
+    }
+}

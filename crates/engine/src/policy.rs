@@ -51,6 +51,13 @@ impl AdaptiveSwitch {
 }
 
 /// How the engine chooses the direction of each round.
+///
+/// The decision quantity (the frontier's arc share) is independent of the
+/// [`crate::partitioned::ExecutionMode`]: under `PartitionAware`, a round
+/// the policy schedules as push simply pays buffered sends
+/// ([`pp_telemetry::EventCounts::remote_sends`]) where the atomic engine
+/// paid CAS events — the frontier statistics the policy switches on are
+/// unchanged, so one policy composes with both modes.
 #[derive(Clone, Copy, Debug)]
 pub enum DirectionPolicy {
     /// Always push or always pull — the paper's baseline schedules.

@@ -81,6 +81,7 @@ pub fn add_counts(a: EventCounts, b: EventCounts) -> EventCounts {
         branches_cond: a.branches_cond + b.branches_cond,
         branches_uncond: a.branches_uncond + b.branches_uncond,
         barriers: a.barriers + b.barriers,
+        remote_sends: a.remote_sends + b.remote_sends,
         l1_misses: a.l1_misses + b.l1_misses,
         l2_misses: a.l2_misses + b.l2_misses,
         l3_misses: a.l3_misses + b.l3_misses,

@@ -23,6 +23,14 @@ pub struct RoundStat {
     pub frontier: usize,
     /// Out-edges of the consumed frontier (`|E_F|`, what the policy saw).
     pub frontier_edges: u64,
+    /// Updates routed through the owner-computes exchange this round — the
+    /// atomics a shared-state push would have issued instead. Zero for
+    /// pull rounds and for every round under
+    /// [`crate::partitioned::ExecutionMode::Atomic`].
+    pub remote_updates: u64,
+    /// Largest single owner's inbound buffer backlog at the round's
+    /// exchange barrier (occupancy skew); zero when nothing was buffered.
+    pub buffer_peak: u64,
 }
 
 /// Per-round statistics of one full run through the [`crate::Runner`].
@@ -72,6 +80,17 @@ impl RunReport {
     pub fn edges_traversed(&self) -> u64 {
         self.rounds.iter().map(|r| r.frontier_edges).sum()
     }
+
+    /// Total updates routed through the owner-computes exchange — §5's
+    /// "between 0 and 2m remote updates per sweep", summed over the run.
+    pub fn remote_updates(&self) -> u64 {
+        self.rounds.iter().map(|r| r.remote_updates).sum()
+    }
+
+    /// Largest per-owner buffer backlog observed in any round of the run.
+    pub fn max_buffer_peak(&self) -> u64 {
+        self.rounds.iter().map(|r| r.buffer_peak).max().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +104,8 @@ mod tests {
             dir,
             frontier,
             frontier_edges: edges,
+            remote_updates: 0,
+            buffer_peak: 0,
         }
     }
 
@@ -105,6 +126,28 @@ mod tests {
         assert_eq!(report.phase_rounds(0).count(), 2);
         assert_eq!(report.phase_rounds(1).count(), 1);
         assert_eq!(report.edges_traversed(), 48);
+    }
+
+    #[test]
+    fn remote_update_aggregates_sum_and_peak() {
+        let mut report = RunReport {
+            rounds: vec![stat(0, 0, Direction::Push, 4, 9)],
+            phases: 1,
+        };
+        assert_eq!(report.remote_updates(), 0);
+        assert_eq!(report.max_buffer_peak(), 0);
+        report.rounds.push(RoundStat {
+            remote_updates: 12,
+            buffer_peak: 7,
+            ..stat(1, 0, Direction::Push, 8, 20)
+        });
+        report.rounds.push(RoundStat {
+            remote_updates: 5,
+            buffer_peak: 3,
+            ..stat(2, 0, Direction::Push, 2, 4)
+        });
+        assert_eq!(report.remote_updates(), 17);
+        assert_eq!(report.max_buffer_peak(), 7);
     }
 
     #[test]

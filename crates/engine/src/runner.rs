@@ -6,9 +6,11 @@
 //! loop exists exactly once, and a policy/scheduling improvement reaches
 //! all seven algorithms at the same commit.
 
+use pp_core::Direction;
 use pp_graph::CsrGraph;
 
 use crate::ops::Engine;
+use crate::partitioned::{ExecutionMode, PaContext};
 use crate::policy::DirectionPolicy;
 use crate::probes::{ProbeShards, ShardProbe};
 use crate::program::{Program, RoundCtx};
@@ -31,22 +33,33 @@ pub struct Runner<'a, P: ShardProbe> {
     engine: &'a Engine,
     probes: &'a ProbeShards<P>,
     policy: DirectionPolicy,
+    mode: ExecutionMode,
 }
 
 impl<'a, P: ShardProbe> Runner<'a, P> {
     /// A runner over `engine` with per-worker `probes`, defaulting to the
-    /// adaptive direction policy.
+    /// adaptive direction policy and atomic push execution.
     pub fn new(engine: &'a Engine, probes: &'a ProbeShards<P>) -> Self {
         Self {
             engine,
             probes,
             policy: DirectionPolicy::adaptive(),
+            mode: ExecutionMode::Atomic,
         }
     }
 
     /// Selects the direction policy for subsequent runs.
     pub fn policy(mut self, policy: DirectionPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Selects how push rounds execute (§5):
+    /// [`ExecutionMode::PartitionAware`] replaces per-edge atomics with
+    /// plain local writes plus an owner-computes exchange, binding one
+    /// partition part to each engine thread. Pull rounds are unaffected.
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -63,6 +76,12 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
     /// a phase drains, [`Program::next_phase`] reseeds or ends the run.
     pub fn run<Pg: Program<P>>(&self, g: &CsrGraph, mut program: Pg) -> Run<Pg::Output> {
         let mut policy = self.policy;
+        // Partition-aware runs bind one part per engine thread and build
+        // the §5 split lazily at the first push round (a run whose policy
+        // never pushes skips the O(n + m) build entirely); the context —
+        // split representation and exchange buffers — then persists (and
+        // keeps its buffer capacity) across every push round of the run.
+        let mut pa: Option<PaContext> = None;
         let mut frontier = program.initial_frontier(g);
         let mut report = RunReport::default();
         let mut round = 0u32;
@@ -70,18 +89,33 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
         loop {
             while !frontier.is_empty() {
                 let dir = policy.next(&frontier, g);
+                let (stat_frontier, stat_edges) = (frontier.len(), frontier.edge_count(g));
+                let ctx = RoundCtx { round, phase, dir };
+                program.begin_round(ctx, g, &mut frontier, self.engine, self.probes);
+                let (next, stats) = match (self.mode, dir) {
+                    (ExecutionMode::PartitionAware, Direction::Push) => {
+                        let pactx =
+                            pa.get_or_insert_with(|| PaContext::new(g, self.engine.threads()));
+                        let (next, stats) =
+                            pactx.push_round(self.engine, g, &mut frontier, &program, self.probes);
+                        (next, Some(stats))
+                    }
+                    _ => (
+                        self.engine
+                            .edge_map(g, &mut frontier, dir, &program, self.probes),
+                        None,
+                    ),
+                };
+                frontier = next;
                 report.rounds.push(RoundStat {
                     round,
                     phase,
                     dir,
-                    frontier: frontier.len(),
-                    frontier_edges: frontier.edge_count(g),
+                    frontier: stat_frontier,
+                    frontier_edges: stat_edges,
+                    remote_updates: stats.map_or(0, |s| s.remote_updates),
+                    buffer_peak: stats.map_or(0, |s| s.buffer_peak),
                 });
-                let ctx = RoundCtx { round, phase, dir };
-                program.begin_round(ctx, g, &mut frontier, self.engine, self.probes);
-                frontier = self
-                    .engine
-                    .edge_map(g, &mut frontier, dir, &program, self.probes);
                 round += 1;
             }
             match program.next_phase(g, self.engine, self.probes) {
@@ -182,7 +216,11 @@ mod tests {
         b.build()
     }
 
-    fn run_two_sweep(policy: DirectionPolicy, threads: usize) -> Run<Vec<u32>> {
+    fn run_two_sweep(
+        policy: DirectionPolicy,
+        threads: usize,
+        mode: ExecutionMode,
+    ) -> Run<Vec<u32>> {
         let g = two_component_graph();
         let engine = Engine::new(threads);
         let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
@@ -192,6 +230,7 @@ mod tests {
         };
         Runner::new(&engine, &probes)
             .policy(policy)
+            .mode(mode)
             .run(&g, program)
     }
 
@@ -203,19 +242,50 @@ mod tests {
                 DirectionPolicy::Fixed(Direction::Pull),
                 DirectionPolicy::adaptive(),
             ] {
-                let r = run_two_sweep(policy, threads);
-                assert!(r.output[..6].iter().all(|&m| m == 1), "{policy:?}");
-                assert!(r.output[6..].iter().all(|&m| m == 2), "{policy:?}");
-                assert_eq!(r.report.phases, 2);
-                assert!(r.report.phase_rounds(0).count() >= 3);
-                assert!(r.report.phase_rounds(1).count() >= 5);
+                for (_, mode) in ExecutionMode::sweep() {
+                    let r = run_two_sweep(policy, threads, mode);
+                    assert!(r.output[..6].iter().all(|&m| m == 1), "{policy:?} {mode:?}");
+                    assert!(r.output[6..].iter().all(|&m| m == 2), "{policy:?} {mode:?}");
+                    assert_eq!(r.report.phases, 2);
+                    assert!(r.report.phase_rounds(0).count() >= 3);
+                    assert!(r.report.phase_rounds(1).count() >= 5);
+                }
             }
         }
     }
 
     #[test]
+    fn partition_aware_push_reports_exchange_traffic_and_no_atomics() {
+        use pp_telemetry::CountingProbe;
+        let g = two_component_graph();
+        let engine = Engine::new(4);
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        let program = TwoSweep {
+            mark: (0..g.num_vertices()).map(|_| AtomicU32::new(0)).collect(),
+            sweeps: 0,
+        };
+        let r = Runner::new(&engine, &probes)
+            .policy(DirectionPolicy::Fixed(Direction::Push))
+            .mode(ExecutionMode::PartitionAware)
+            .run(&g, program);
+        assert!(r.output[..6].iter().all(|&m| m == 1));
+        let counts = probes.merged();
+        assert_eq!(counts.atomics, 0, "owner-computes push must not CAS");
+        // 12 vertices over 4 threads: the cycle and the path both cross
+        // part boundaries, so some updates must travel through buffers.
+        assert!(r.report.remote_updates() > 0);
+        assert_eq!(counts.remote_sends, r.report.remote_updates());
+        assert!(r.report.max_buffer_peak() >= 1);
+        assert!(counts.barriers as usize >= r.report.num_rounds());
+    }
+
+    #[test]
     fn report_rounds_are_contiguous_and_phase_ordered() {
-        let r = run_two_sweep(DirectionPolicy::Fixed(Direction::Push), 2);
+        let r = run_two_sweep(
+            DirectionPolicy::Fixed(Direction::Push),
+            2,
+            ExecutionMode::Atomic,
+        );
         for (i, stat) in r.report.rounds.iter().enumerate() {
             assert_eq!(stat.round as usize, i);
         }

@@ -7,17 +7,21 @@
 //! `2n + 2m` cells but letting a pushing thread update local neighbors with
 //! plain writes and reserve atomics for remote ones.
 
-use crate::{BlockPartition, CsrGraph, VertexId};
+use crate::{BlockPartition, CsrGraph, VertexId, Weight};
 
 /// Partition-aware adjacency: per-vertex local/remote neighbor split under a
-/// fixed [`BlockPartition`].
+/// fixed [`BlockPartition`]. On weighted graphs the weights are split along
+/// with their targets, so weighted kernels (SSSP-Δ) can traverse the two
+/// halves without consulting the original CSR.
 #[derive(Clone, Debug)]
 pub struct PartitionAwareGraph {
     partition: BlockPartition,
     local_offsets: Vec<u64>,
     local_targets: Vec<VertexId>,
+    local_weights: Option<Vec<Weight>>,
     remote_offsets: Vec<u64>,
     remote_targets: Vec<VertexId>,
+    remote_weights: Option<Vec<Weight>>,
 }
 
 impl PartitionAwareGraph {
@@ -25,6 +29,7 @@ impl PartitionAwareGraph {
     pub fn new(g: &CsrGraph, partition: BlockPartition) -> Self {
         assert_eq!(partition.num_vertices(), g.num_vertices());
         let n = g.num_vertices();
+        let weighted = g.is_weighted();
         let mut local_offsets = vec![0u64; n + 1];
         let mut remote_offsets = vec![0u64; n + 1];
         for v in g.vertices() {
@@ -41,20 +46,32 @@ impl PartitionAwareGraph {
             local_offsets[i + 1] += local_offsets[i];
             remote_offsets[i + 1] += remote_offsets[i];
         }
-        let mut local_targets = vec![0 as VertexId; *local_offsets.last().unwrap() as usize];
-        let mut remote_targets = vec![0 as VertexId; *remote_offsets.last().unwrap() as usize];
+        let num_local = *local_offsets.last().unwrap() as usize;
+        let num_remote = *remote_offsets.last().unwrap() as usize;
+        let mut local_targets = vec![0 as VertexId; num_local];
+        let mut remote_targets = vec![0 as VertexId; num_remote];
+        let mut local_weights = weighted.then(|| vec![0 as Weight; num_local]);
+        let mut remote_weights = weighted.then(|| vec![0 as Weight; num_remote]);
         for v in g.vertices() {
             let owner = partition.owner(v);
             let (mut li, mut ri) = (
                 local_offsets[v as usize] as usize,
                 remote_offsets[v as usize] as usize,
             );
-            for &u in g.neighbors(v) {
+            let weights = weighted.then(|| g.neighbor_weights(v));
+            for (k, &u) in g.neighbors(v).iter().enumerate() {
+                let w = weights.map(|ws| ws[k]);
                 if partition.owner(u) == owner {
                     local_targets[li] = u;
+                    if let Some(w) = w {
+                        local_weights.as_mut().unwrap()[li] = w;
+                    }
                     li += 1;
                 } else {
                     remote_targets[ri] = u;
+                    if let Some(w) = w {
+                        remote_weights.as_mut().unwrap()[ri] = w;
+                    }
                     ri += 1;
                 }
             }
@@ -63,8 +80,10 @@ impl PartitionAwareGraph {
             partition,
             local_offsets,
             local_targets,
+            local_weights,
             remote_offsets,
             remote_targets,
+            remote_weights,
         }
     }
 
@@ -96,10 +115,60 @@ impl PartitionAwareGraph {
         &self.remote_targets[lo..hi]
     }
 
+    /// Whether split edge weights are attached.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.local_weights.is_some()
+    }
+
+    /// Weights parallel to [`PartitionAwareGraph::local_neighbors`].
+    ///
+    /// # Panics
+    /// Panics if the underlying graph was unweighted.
+    #[inline]
+    pub fn local_neighbor_weights(&self, v: VertexId) -> &[Weight] {
+        let lo = self.local_offsets[v as usize] as usize;
+        let hi = self.local_offsets[v as usize + 1] as usize;
+        let w = self
+            .local_weights
+            .as_ref()
+            .expect("partition-aware graph is unweighted");
+        &w[lo..hi]
+    }
+
+    /// Weights parallel to [`PartitionAwareGraph::remote_neighbors`].
+    ///
+    /// # Panics
+    /// Panics if the underlying graph was unweighted.
+    #[inline]
+    pub fn remote_neighbor_weights(&self, v: VertexId) -> &[Weight] {
+        let lo = self.remote_offsets[v as usize] as usize;
+        let hi = self.remote_offsets[v as usize + 1] as usize;
+        let w = self
+            .remote_weights
+            .as_ref()
+            .expect("partition-aware graph is unweighted");
+        &w[lo..hi]
+    }
+
+    /// Number of same-owner neighbors of `v` — O(1) from the split offsets,
+    /// so schedulers can weigh chunks without touching the target arrays.
+    #[inline]
+    pub fn local_degree(&self, v: VertexId) -> usize {
+        (self.local_offsets[v as usize + 1] - self.local_offsets[v as usize]) as usize
+    }
+
+    /// Number of foreign-owner neighbors of `v` — O(1), see
+    /// [`PartitionAwareGraph::local_degree`].
+    #[inline]
+    pub fn remote_degree(&self, v: VertexId) -> usize {
+        (self.remote_offsets[v as usize + 1] - self.remote_offsets[v as usize]) as usize
+    }
+
     /// Degree of `v` (local + remote).
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.local_neighbors(v).len() + self.remote_neighbors(v).len()
+        self.local_degree(v) + self.remote_degree(v)
     }
 
     /// Total number of remote arcs: the upper bound on atomics a
@@ -178,6 +247,51 @@ mod tests {
         let pa = PartitionAwareGraph::new(&g, BlockPartition::new(8, 1));
         assert_eq!(pa.num_remote_arcs(), 0);
         assert_eq!(pa.num_local_arcs(), g.num_arcs());
+    }
+
+    #[test]
+    fn split_degrees_are_constant_time_views_of_the_arrays() {
+        let g = gen::rmat(7, 5, 3);
+        let pa = PartitionAwareGraph::new(&g, BlockPartition::new(g.num_vertices(), 3));
+        for v in g.vertices() {
+            assert_eq!(pa.local_degree(v), pa.local_neighbors(v).len());
+            assert_eq!(pa.remote_degree(v), pa.remote_neighbors(v).len());
+        }
+    }
+
+    #[test]
+    fn weights_travel_with_their_targets() {
+        let g = gen::with_random_weights(&gen::rmat(7, 4, 6), 1, 99, 5);
+        let part = BlockPartition::new(g.num_vertices(), 4);
+        let pa = PartitionAwareGraph::new(&g, part);
+        assert!(pa.is_weighted());
+        for v in g.vertices() {
+            // Every (target, weight) pair of the CSR appears in exactly one
+            // of the two split halves, as a pair.
+            let mut split: Vec<(VertexId, crate::Weight)> = pa
+                .local_neighbors(v)
+                .iter()
+                .copied()
+                .zip(pa.local_neighbor_weights(v).iter().copied())
+                .chain(
+                    pa.remote_neighbors(v)
+                        .iter()
+                        .copied()
+                        .zip(pa.remote_neighbor_weights(v).iter().copied()),
+                )
+                .collect();
+            split.sort_unstable();
+            let mut csr: Vec<(VertexId, crate::Weight)> = g.weighted_neighbors(v).collect();
+            csr.sort_unstable();
+            assert_eq!(split, csr, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn unweighted_graph_has_no_split_weights() {
+        let g = gen::path(8);
+        let pa = PartitionAwareGraph::new(&g, BlockPartition::new(8, 2));
+        assert!(!pa.is_weighted());
     }
 
     #[test]

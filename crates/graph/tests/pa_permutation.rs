@@ -1,0 +1,98 @@
+//! Property: the §5 partition-aware split is a *permutation* of the CSR
+//! adjacency. For every vertex, concatenating its local and remote arrays
+//! must yield exactly `neighbors(v)` as a multiset — no arc lost, none
+//! invented, none reclassified — for any graph and any part count,
+//! including `p > n` and `n` not divisible by `p`.
+
+use pp_graph::{gen, BlockPartition, CsrGraph, GraphBuilder, PartitionAwareGraph, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (1usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..(4 * n))
+            .prop_map(move |edges| GraphBuilder::undirected(n).edges(edges).build())
+    })
+}
+
+fn assert_split_is_permutation(g: &CsrGraph, p: usize) {
+    let part = BlockPartition::new(g.num_vertices(), p);
+    let pa = PartitionAwareGraph::new(g, part);
+    assert_eq!(
+        pa.num_local_arcs() + pa.num_remote_arcs(),
+        g.num_arcs(),
+        "p={p}: arc total changed"
+    );
+    for v in g.vertices() {
+        let mut merged: Vec<VertexId> = pa
+            .local_neighbors(v)
+            .iter()
+            .chain(pa.remote_neighbors(v))
+            .copied()
+            .collect();
+        merged.sort_unstable();
+        // CSR neighbor lists are sorted, so sorting the merged split must
+        // reproduce them exactly (multiset equality).
+        assert_eq!(merged, g.neighbors(v), "p={p} v={v}: not a permutation");
+        for &u in pa.local_neighbors(v) {
+            assert_eq!(part.owner(u), part.owner(v), "p={p}: {u} misfiled local");
+        }
+        for &u in pa.remote_neighbors(v) {
+            assert_ne!(part.owner(u), part.owner(v), "p={p}: {u} misfiled remote");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn split_is_a_permutation_of_csr_for_any_partition(
+        g in arb_graph(40),
+        p in 1usize..64,
+    ) {
+        // `p` ranges past `max_n`, so part counts exceeding the vertex
+        // count (empty parts) are drawn routinely.
+        assert_split_is_permutation(&g, p);
+    }
+
+    #[test]
+    fn weighted_split_is_a_permutation_too(
+        g in arb_graph(24),
+        p in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let gw = gen::with_random_weights(&g, 1, 64, seed);
+        let part = BlockPartition::new(gw.num_vertices(), p);
+        let pa = PartitionAwareGraph::new(&gw, part);
+        for v in gw.vertices() {
+            let mut split: Vec<(VertexId, u32)> = pa
+                .local_neighbors(v)
+                .iter()
+                .copied()
+                .zip(pa.local_neighbor_weights(v).iter().copied())
+                .chain(
+                    pa.remote_neighbors(v)
+                        .iter()
+                        .copied()
+                        .zip(pa.remote_neighbor_weights(v).iter().copied()),
+                )
+                .collect();
+            split.sort_unstable();
+            let mut csr: Vec<(VertexId, u32)> = gw.weighted_neighbors(v).collect();
+            csr.sort_unstable();
+            prop_assert_eq!(split, csr, "p={} v={}", p, v);
+        }
+    }
+}
+
+#[test]
+fn non_divisible_and_oversized_part_counts_explicitly() {
+    // The deterministic edge cases the property above draws by chance:
+    // n % p != 0, p == n, and p > n (some parts own no vertices).
+    for (n, p) in [(7usize, 3usize), (10, 4), (5, 5), (3, 11)] {
+        let g = gen::erdos_renyi(n, 2 * n, 42);
+        assert_split_is_permutation(&g, p);
+    }
+    // A single vertex split over many parts: all but one part own nothing.
+    assert_split_is_permutation(&GraphBuilder::undirected(1).build(), 8);
+}

@@ -408,6 +408,13 @@ impl Probe for CacheSimProbe {
     fn barrier(&self) {
         self.counting.barrier();
     }
+
+    fn remote_send(&self, addr: usize, bytes: usize) {
+        self.counting.remote_send(addr, bytes);
+        // A buffered owner-computes send is a plain write into the
+        // exchange queue: model its memory traffic like any other store.
+        self.touch(addr, bytes);
+    }
 }
 
 #[cfg(test)]
@@ -504,6 +511,19 @@ mod tests {
         assert_eq!(c.atomics, 1);
         assert!(c.l1_misses >= 2);
         assert!(c.dtlb_misses >= 2);
+    }
+
+    #[test]
+    fn remote_sends_are_counted_and_drive_the_cache_model() {
+        let p = CacheSimProbe::with_hierarchy(CacheHierarchy::tiny());
+        p.remote_send(1 << 20, 12);
+        p.remote_send(1 << 20, 12);
+        let c = p.counts();
+        assert_eq!(c.remote_sends, 2);
+        assert!(
+            c.l1_misses >= 1,
+            "the buffered payload write must touch the hierarchy"
+        );
     }
 
     #[test]

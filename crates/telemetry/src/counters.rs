@@ -22,6 +22,10 @@ pub struct EventCounts {
     pub branches_uncond: u64,
     /// Barrier synchronizations.
     pub barriers: u64,
+    /// Remote updates buffered for another owner instead of applied with an
+    /// atomic (§5 partition-awareness: the owner-computes exchange turns a
+    /// would-be CAS into one buffered send).
+    pub remote_sends: u64,
     /// L1 data-cache misses (filled by the cache simulator probe).
     pub l1_misses: u64,
     /// L2 cache misses.
@@ -55,6 +59,7 @@ impl EventCounts {
             branches_cond: self.branches_cond.saturating_sub(other.branches_cond),
             branches_uncond: self.branches_uncond.saturating_sub(other.branches_uncond),
             barriers: self.barriers.saturating_sub(other.barriers),
+            remote_sends: self.remote_sends.saturating_sub(other.remote_sends),
             l1_misses: self.l1_misses.saturating_sub(other.l1_misses),
             l2_misses: self.l2_misses.saturating_sub(other.l2_misses),
             l3_misses: self.l3_misses.saturating_sub(other.l3_misses),
@@ -75,6 +80,7 @@ pub struct CountingProbe {
     branches_cond: AtomicU64,
     branches_uncond: AtomicU64,
     barriers: AtomicU64,
+    remote_sends: AtomicU64,
 }
 
 impl CountingProbe {
@@ -93,6 +99,7 @@ impl CountingProbe {
             branches_cond: self.branches_cond.load(Relaxed),
             branches_uncond: self.branches_uncond.load(Relaxed),
             barriers: self.barriers.load(Relaxed),
+            remote_sends: self.remote_sends.load(Relaxed),
             ..EventCounts::default()
         }
     }
@@ -106,6 +113,7 @@ impl CountingProbe {
         self.branches_cond.store(0, Relaxed);
         self.branches_uncond.store(0, Relaxed);
         self.barriers.store(0, Relaxed);
+        self.remote_sends.store(0, Relaxed);
     }
 }
 
@@ -144,6 +152,11 @@ impl Probe for CountingProbe {
     fn barrier(&self) {
         self.barriers.fetch_add(1, Relaxed);
     }
+
+    #[inline]
+    fn remote_send(&self, _addr: usize, _bytes: usize) {
+        self.remote_sends.fetch_add(1, Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +174,7 @@ mod tests {
         p.branch_cond();
         p.branch_uncond();
         p.barrier();
+        p.remote_send(0, 12);
         let c = p.counts();
         assert_eq!(c.reads, 2);
         assert_eq!(c.writes, 1);
@@ -169,6 +183,7 @@ mod tests {
         assert_eq!(c.branches_cond, 1);
         assert_eq!(c.branches_uncond, 1);
         assert_eq!(c.barriers, 1);
+        assert_eq!(c.remote_sends, 1);
         assert_eq!(c.synchronization(), 3);
         assert_eq!(c.communication(), 3);
     }

@@ -67,6 +67,14 @@ pub trait Probe: Sync {
     /// separated by one).
     #[inline(always)]
     fn barrier(&self) {}
+
+    /// A remote update buffered for its owner instead of applied with an
+    /// atomic (§5 partition-awareness). `addr`/`bytes` describe the buffered
+    /// payload cell, mirroring [`Probe::write`].
+    #[inline(always)]
+    fn remote_send(&self, addr: usize, bytes: usize) {
+        let _ = (addr, bytes);
+    }
 }
 
 /// The no-op probe: zero-sized, every hook empty. `&NullProbe` is what the
@@ -102,6 +110,7 @@ mod tests {
         p.branch_cond();
         p.branch_uncond();
         p.barrier();
+        p.remote_send(0, 12);
     }
 
     #[test]

@@ -69,6 +69,7 @@ impl EventReport {
             ("TLB misses (data)", col(|c| c.dtlb_misses)),
             ("atomics", col(|c| c.atomics)),
             ("locks", col(|c| c.locks)),
+            ("remote sends", col(|c| c.remote_sends)),
             ("reads", col(|c| c.reads)),
             ("writes", col(|c| c.writes)),
             ("branches (uncond)", col(|c| c.branches_uncond)),
@@ -140,6 +141,7 @@ mod tests {
             "TLB misses (data)",
             "atomics",
             "locks",
+            "remote sends",
             "reads",
             "writes",
             "branches (uncond)",

@@ -1,0 +1,72 @@
+//! Partition-aware execution (§5) in action: the same `CcProgram`, two
+//! execution modes.
+//!
+//! `Atomic` is the shared-state baseline — every push round CASes remote
+//! labels. `PartitionAware` binds one vertex block per engine thread,
+//! applies local updates with plain writes, and routes cross-part updates
+//! through the owner-computes exchange — the probe totals show the atomics
+//! column collapsing to zero while the buffered-send column takes over,
+//! and both modes land on the identical component labeling.
+//!
+//! ```text
+//! cargo run --release --example engine_pa
+//! ```
+
+use pushpull::core::components::connected_components as cc_seq;
+use pushpull::core::Direction;
+use pushpull::engine::{
+    algo::components::CcProgram, DirectionPolicy, Engine, ExecutionMode, ProbeShards, Runner,
+};
+use pushpull::graph::datasets::{Dataset, Scale};
+use pushpull::telemetry::CountingProbe;
+
+fn main() {
+    let g = Dataset::Orc.generate(Scale::Test);
+    let engine = Engine::new(4);
+    println!(
+        "graph: {} vertices, {} edges (social-network stand-in); engine: {} threads",
+        g.num_vertices(),
+        g.num_edges(),
+        engine.threads()
+    );
+
+    let oracle = cc_seq(&g, Direction::Pull);
+    println!(
+        "sequential oracle: {} components\n",
+        oracle.num_components()
+    );
+
+    println!(
+        "{:>7} {:>8} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "mode", "rounds", "atomics", "locks", "remote-upd", "peak-buf", "reads"
+    );
+    for (name, mode) in ExecutionMode::sweep() {
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        let run = Runner::new(&engine, &probes)
+            .policy(DirectionPolicy::Fixed(Direction::Push))
+            .mode(mode)
+            .run(&g, CcProgram::new(&g));
+        assert_eq!(
+            run.output, oracle.labels,
+            "{name}: execution mode changed the fixpoint"
+        );
+        let c = probes.merged();
+        assert_eq!(
+            c.remote_sends,
+            run.report.remote_updates(),
+            "probe and report disagree on exchange volume"
+        );
+        println!(
+            "{:>7} {:>8} {:>10} {:>10} {:>12} {:>12} {:>10}",
+            name,
+            run.report.num_rounds(),
+            c.atomics,
+            c.locks,
+            run.report.remote_updates(),
+            run.report.max_buffer_peak(),
+            c.reads
+        );
+    }
+    println!("\nidentical labels from both modes; partition-awareness traded every push");
+    println!("atomic for a plain local write or one buffered owner-computes send.");
+}

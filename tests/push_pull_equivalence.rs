@@ -8,7 +8,7 @@ use pushpull::core::{
     bc, bfs, coloring, components, kcore, labelprop, mst, pagerank, sssp, triangles, validate,
     Direction,
 };
-use pushpull::engine::{algo, DirectionPolicy, Engine, ProbeShards};
+use pushpull::engine::{algo, DirectionPolicy, Engine, ExecutionMode, ProbeShards, Runner};
 use pushpull::graph::datasets::{Dataset, Scale};
 use pushpull::graph::{gen, stats, CsrGraph, GraphBuilder};
 use pushpull::telemetry::{CountingProbe, NullProbe};
@@ -363,6 +363,147 @@ fn engine_coloring_is_proper_and_greedy_bounded_everywhere() {
 }
 
 // ---------------------------------------------------------------------------
+// Partition-aware execution (§5): the owner-computes push schedule is a
+// *third* schedule of the same algorithm. Every Program, on every family,
+// at 1/2/8 threads, under push, pull, and adaptive policies, must land on
+// the oracle fixpoint in PartitionAware mode exactly as in Atomic mode.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn engine_partition_aware_mode_matches_every_oracle_everywhere() {
+    use algo::{
+        bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram, kcore::KCoreProgram,
+        labelprop::LabelPropProgram, pagerank::PageRankProgram, sssp::SsspProgram,
+    };
+    let pr_opts = pagerank::PrOptions {
+        iters: 12,
+        damping: 0.85,
+    };
+    const LP_CAP: usize = 30;
+    for (name, g) in families() {
+        if g.num_vertices() == 0 {
+            continue;
+        }
+        let gw = gen::with_random_weights(&g, 1, 64, 0xabc);
+        let (bfs_oracle, _, _) = stats::bfs_levels(&g, 0);
+        let pr_oracle = pagerank::pagerank_seq(&g, &pr_opts);
+        let sssp_oracle = sssp::dijkstra(&gw, 0);
+        let cc_oracle = components::connected_components(&g, Direction::Pull).labels;
+        let core_oracle = kcore::coreness_seq(&g);
+        let lp_oracle = labelprop::label_propagation(&g, Direction::Pull, LP_CAP);
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for policy in engine_policies() {
+                let runner = Runner::new(&engine, &probes)
+                    .policy(policy)
+                    .mode(ExecutionMode::PartitionAware);
+                let tag = format!("{name} x{threads} {policy:?} pa");
+
+                let (_, level) = runner.run(&g, BfsProgram::new(&g, 0)).output;
+                assert_eq!(level, bfs_oracle, "bfs {tag}");
+
+                let pr = runner.run(&g, PageRankProgram::new(&g, &pr_opts)).output;
+                let diff = pagerank::l1_distance(&pr_oracle, &pr);
+                assert!(diff < 1e-9, "pagerank {tag}: L1 {diff}");
+
+                let (dist, _) = runner
+                    .run(
+                        &gw,
+                        SsspProgram::new(&gw, 0, &sssp::SsspOptions { delta: 16 }),
+                    )
+                    .output;
+                assert_eq!(dist, sssp_oracle, "sssp {tag}");
+
+                let cc = runner.run(&g, CcProgram::new(&g)).output;
+                assert_eq!(cc, cc_oracle, "components {tag}");
+
+                let coreness = runner.run(&g, KCoreProgram::new(&g)).output;
+                assert_eq!(coreness, core_oracle, "kcore {tag}");
+
+                let (labels, iters, converged) =
+                    runner.run(&g, LabelPropProgram::new(&g, LP_CAP)).output;
+                assert_eq!(labels, lp_oracle.labels, "labelprop {tag}");
+                assert_eq!(iters, lp_oracle.iterations, "labelprop iters {tag}");
+                assert_eq!(converged, lp_oracle.converged, "labelprop conv {tag}");
+
+                let colors = runner.run(&g, ColoringProgram::new(&g)).output;
+                assert!(coloring::is_proper_coloring(&g, &colors), "coloring {tag}");
+                let num_colors = colors
+                    .iter()
+                    .filter(|&&c| c != coloring::NO_COLOR)
+                    .map(|&c| c as usize + 1)
+                    .max()
+                    .unwrap_or(0);
+                assert!(num_colors <= g.max_degree() + 1, "coloring bound {tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_aware_push_issues_zero_atomics_on_rmat() {
+    // The acceptance telemetry: on an RMAT dataset, BFS and PageRank push
+    // rounds under PartitionAware report zero atomic-CAS events and
+    // nonzero buffered sends, while Atomic mode reports the opposite.
+    let g = gen::rmat(8, 8, 7);
+    let engine = Engine::new(4);
+    let push = DirectionPolicy::Fixed(Direction::Push);
+    let pr_opts = pagerank::PrOptions {
+        iters: 3,
+        damping: 0.85,
+    };
+
+    for algo_name in ["bfs", "pagerank"] {
+        let run_mode = |mode: ExecutionMode| {
+            let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+            let runner = Runner::new(&engine, &probes).policy(push).mode(mode);
+            let report = match algo_name {
+                "bfs" => runner.run(&g, algo::bfs::BfsProgram::new(&g, 0)).report,
+                _ => {
+                    runner
+                        .run(&g, algo::pagerank::PageRankProgram::new(&g, &pr_opts))
+                        .report
+                }
+            };
+            (probes.merged(), report)
+        };
+
+        let (atomic, atomic_report) = run_mode(ExecutionMode::Atomic);
+        assert!(
+            atomic.atomics > 0,
+            "{algo_name}: shared-state push must CAS"
+        );
+        assert_eq!(atomic.remote_sends, 0);
+        assert_eq!(atomic_report.remote_updates(), 0);
+
+        let (pa, pa_report) = run_mode(ExecutionMode::PartitionAware);
+        assert_eq!(
+            pa.atomics, 0,
+            "{algo_name}: owner-computes push must not CAS"
+        );
+        assert_eq!(pa.locks, 0, "{algo_name}: nor lock");
+        assert!(
+            pa.remote_sends > 0,
+            "{algo_name}: RMAT must cut across 4 parts"
+        );
+        assert_eq!(
+            pa.remote_sends,
+            pa_report.remote_updates(),
+            "{algo_name}: probe and report must agree on exchange volume"
+        );
+        assert!(pa_report.max_buffer_peak() > 0);
+        for round in &pa_report.rounds {
+            assert!(
+                round.remote_updates <= g.num_arcs() as u64,
+                "{algo_name}: §5 bound — a sweep buffers at most 2m remote updates"
+            );
+            assert!(round.buffer_peak <= round.remote_updates);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Property-based: for *any* random graph, a Program's push and pull
 // schedules (and their adaptive interleaving) converge to the same fixpoint.
 // ---------------------------------------------------------------------------
@@ -379,45 +520,58 @@ proptest! {
 
     #[test]
     fn program_schedules_share_one_fixpoint(g in arb_graph(48), threads in 1usize..5) {
+        use algo::{
+            bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram,
+            kcore::KCoreProgram, labelprop::LabelPropProgram,
+        };
         let engine = Engine::new(threads);
         let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
         let sweep: Vec<DirectionPolicy> = engine_policies().collect();
+        let modes = ExecutionMode::sweep();
 
-        // Components: every schedule must land on the component minima.
         let cc_oracle = components::connected_components(&g, Direction::Pull).labels;
-        for &policy in &sweep {
-            let r = algo::components::connected_components(&engine, &g, policy, &probes);
-            prop_assert_eq!(&r.labels, &cc_oracle, "cc {:?}", policy);
-        }
-
-        // k-core: every schedule must produce the sequential coreness.
         let core_oracle = kcore::coreness_seq(&g);
-        for &policy in &sweep {
-            let r = algo::kcore::kcore(&engine, &g, policy, &probes);
-            prop_assert_eq!(&r.coreness, &core_oracle, "kcore {:?}", policy);
-        }
-
-        // Label propagation: schedules must agree label-for-label.
         let lp_oracle = labelprop::label_propagation(&g, Direction::Pull, 20);
-        for &policy in &sweep {
-            let r = algo::labelprop::label_propagation(&engine, &g, policy, 20, &probes);
-            prop_assert_eq!(&r.labels, &lp_oracle.labels, "lp {:?}", policy);
-            prop_assert_eq!(r.iterations, lp_oracle.iterations, "lp iters {:?}", policy);
-        }
-
-        // BFS: levels are schedule-invariant.
         let (bfs_oracle, _, _) = stats::bfs_levels(&g, 0);
-        for &policy in &sweep {
-            let r = algo::bfs::bfs(&engine, &g, 0, policy, &probes);
-            prop_assert_eq!(&r.level, &bfs_oracle, "bfs {:?}", policy);
-        }
 
-        // Coloring: fixpoints may differ per schedule but must all be
-        // proper and greedy-bounded.
+        // Every (policy, execution-mode) pair is one schedule; all of them
+        // must converge to the same fixpoint.
         for &policy in &sweep {
-            let r = algo::coloring::color(&engine, &g, policy, &probes);
-            prop_assert!(coloring::is_proper_coloring(&g, &r.colors), "gc {:?}", policy);
-            prop_assert!(r.num_colors() <= g.max_degree() + 1, "gc bound {:?}", policy);
+            for (mode_name, mode) in modes {
+                let runner = Runner::new(&engine, &probes).policy(policy).mode(mode);
+
+                // Components: every schedule must land on the component minima.
+                let cc = runner.run(&g, CcProgram::new(&g)).output;
+                prop_assert_eq!(&cc, &cc_oracle, "cc {:?} {}", policy, mode_name);
+
+                // k-core: every schedule must produce the sequential coreness.
+                let coreness = runner.run(&g, KCoreProgram::new(&g)).output;
+                prop_assert_eq!(&coreness, &core_oracle, "kcore {:?} {}", policy, mode_name);
+
+                // Label propagation: schedules must agree label-for-label.
+                let (labels, iters, _) = runner.run(&g, LabelPropProgram::new(&g, 20)).output;
+                prop_assert_eq!(&labels, &lp_oracle.labels, "lp {:?} {}", policy, mode_name);
+                prop_assert_eq!(iters, lp_oracle.iterations, "lp iters {:?} {}", policy, mode_name);
+
+                // BFS: levels are schedule-invariant.
+                let (_, level) = runner.run(&g, BfsProgram::new(&g, 0)).output;
+                prop_assert_eq!(&level, &bfs_oracle, "bfs {:?} {}", policy, mode_name);
+
+                // Coloring: fixpoints may differ per schedule but must all
+                // be proper and greedy-bounded.
+                let colors = runner.run(&g, ColoringProgram::new(&g)).output;
+                prop_assert!(
+                    coloring::is_proper_coloring(&g, &colors),
+                    "gc {:?} {}", policy, mode_name
+                );
+                let used = colors
+                    .iter()
+                    .filter(|&&c| c != coloring::NO_COLOR)
+                    .map(|&c| c as usize + 1)
+                    .max()
+                    .unwrap_or(0);
+                prop_assert!(used <= g.max_degree() + 1, "gc bound {:?} {}", policy, mode_name);
+            }
         }
     }
 }
