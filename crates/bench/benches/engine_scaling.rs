@@ -1,19 +1,21 @@
-//! Engine scaling bench: all seven `pp-engine` `Program` algorithms (BFS,
-//! PageRank, SSSP-Δ, CC, k-core, label propagation, coloring) across
-//! thread counts × direction policies × execution modes × dataset
-//! stand-ins. Captures the scaling trajectory of the parallel frontier
-//! runtime (the `tables engine` experiment prints the same sweep as a
-//! table, and `tables engine --json` dumps it for trajectory tracking).
+//! Engine scaling bench: all ten `pp-engine` `Program` algorithms (BFS,
+//! PageRank, SSSP-Δ, CC, k-core, label propagation, coloring, triangle
+//! counting, Boruvka MST, Brandes BC) across thread counts × direction
+//! policies × execution modes × dataset stand-ins. Captures the scaling
+//! trajectory of the parallel frontier runtime (the `tables engine`
+//! experiment prints the same sweep as a table, and `tables engine --json`
+//! dumps it for trajectory tracking).
 //!
 //! Mode caveat: the runner builds the §5 split lazily at a run's first
 //! push round, so `-pa` rows whose schedule actually pushes include that
 //! per-run O(n + m) preprocessing; pull-only schedules skip it entirely.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pp_core::{pagerank::PrOptions, sssp::SsspOptions, Direction};
+use pp_core::{bc::BcOptions, pagerank::PrOptions, sssp::SsspOptions, Direction};
 use pp_engine::algo::{
-    bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram, kcore::KCoreProgram,
-    labelprop::LabelPropProgram, pagerank::PageRankProgram, sssp::SsspProgram,
+    bc::BcProgram, bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram,
+    kcore::KCoreProgram, labelprop::LabelPropProgram, mst::MstProgram, pagerank::PageRankProgram,
+    sssp::SsspProgram, triangles::TcProgram,
 };
 use pp_engine::{DirectionPolicy, Engine, ExecutionMode, ProbeShards, Runner};
 use pp_graph::datasets::{Dataset, Scale};
@@ -212,6 +214,81 @@ fn bench_engine_coloring(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_triangles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_tc");
+    group.sample_size(15);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for t in THREADS {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for (name, policy, mode) in schedules() {
+                let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
+                group.bench_with_input(id, &g, |b, g| {
+                    b.iter(|| {
+                        Runner::new(&engine, &probes)
+                            .policy(policy)
+                            .mode(mode)
+                            .run(g, TcProgram::new(g))
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_mst");
+    group.sample_size(15);
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let gw = gen::with_random_weights(&ds.generate(Scale::Test), 1, 64, 0x5ca1e);
+        for t in THREADS {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for (name, policy, mode) in schedules() {
+                let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
+                group.bench_with_input(id, &gw, |b, gw| {
+                    b.iter(|| {
+                        Runner::new(&engine, &probes)
+                            .policy(policy)
+                            .mode(mode)
+                            .run(gw, MstProgram::new(gw))
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_bc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_bc");
+    group.sample_size(15);
+    let opts = BcOptions {
+        max_sources: Some(8),
+    };
+    for ds in [Dataset::Orc, Dataset::Rca] {
+        let g = ds.generate(Scale::Test);
+        for t in THREADS {
+            let engine = Engine::new(t);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for (name, policy, mode) in schedules() {
+                let id = BenchmarkId::new(name, format!("{}/t{}", ds.id(), t));
+                group.bench_with_input(id, &g, |b, g| {
+                    b.iter(|| {
+                        Runner::new(&engine, &probes)
+                            .policy(policy)
+                            .mode(mode)
+                            .run(g, BcProgram::new(g, &opts))
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_bfs,
@@ -220,6 +297,9 @@ criterion_group!(
     bench_engine_components,
     bench_engine_kcore,
     bench_engine_labelprop,
-    bench_engine_coloring
+    bench_engine_coloring,
+    bench_engine_triangles,
+    bench_engine_mst,
+    bench_engine_bc
 );
 criterion_main!(benches);

@@ -32,7 +32,7 @@ experiments:
   pram     the §4 PRAM analysis table
   ext      tech-report extensions: new algorithms, SM/DM SSSP inversion,
            vertex-order x prefetcher cache ablation
-  engine   pp-engine scaling: all seven Programs vs threads per direction
+  engine   pp-engine scaling: all ten Programs vs threads per direction
            policy (push | pull | adaptive) x execution mode (atomic | pa)
   all      everything above
 

@@ -1,15 +1,17 @@
 //! Engine scaling: the `pp-engine` frontier runtime vs. thread count, per
 //! direction policy, execution mode, and dataset stand-in. Not a paper
 //! figure — this is the scaling trajectory of the workspace's own parallel
-//! engine across all seven `Program` algorithms (BFS, PageRank, SSSP-Δ,
-//! CC, k-core, label-prop, coloring), captured so future benchmark
-//! snapshots can track it. With `--json <path>` the sweep is additionally
-//! dumped as machine-readable JSON (one record per measurement).
+//! engine across all ten `Program` algorithms (BFS, PageRank, SSSP-Δ, CC,
+//! k-core, label-prop, coloring, triangle counting, Boruvka MST, Brandes
+//! BC), captured so future benchmark snapshots can track it. With
+//! `--json <path>` the sweep is additionally dumped as machine-readable
+//! JSON (one record per measurement).
 
-use pp_core::{pagerank::PrOptions, sssp::SsspOptions, Direction};
+use pp_core::{bc::BcOptions, pagerank::PrOptions, sssp::SsspOptions, Direction};
 use pp_engine::algo::{
-    bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram, kcore::KCoreProgram,
-    labelprop::LabelPropProgram, pagerank::PageRankProgram, sssp::SsspProgram,
+    bc::BcProgram, bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram,
+    kcore::KCoreProgram, labelprop::LabelPropProgram, mst::MstProgram, pagerank::PageRankProgram,
+    sssp::SsspProgram, triangles::TcProgram,
 };
 use pp_engine::{DirectionPolicy, Engine, ExecutionMode, ProbeShards, Runner};
 use pp_graph::datasets::Dataset;
@@ -22,6 +24,9 @@ use super::{header, json_escape, print_series, Ctx};
 
 /// Iteration cap for the label-propagation rows.
 const LP_ITERS: usize = 20;
+
+/// Source cap for the betweenness rows (exact BC is O(n·m) per source).
+const BC_SOURCES: usize = 8;
 
 /// One JSON record of the sweep.
 struct JsonRow {
@@ -79,6 +84,11 @@ pub fn run(ctx: Ctx) {
             cols.push(("k-core adaptive".to_string(), Vec::new()));
             cols.push(("LP adaptive".to_string(), Vec::new()));
             cols.push(("BGC adaptive".to_string(), Vec::new()));
+            for dir in Direction::BOTH {
+                cols.push((format!("TC {}", dir.label().to_lowercase()), Vec::new()));
+            }
+            cols.push(("MST adaptive".to_string(), Vec::new()));
+            cols.push(("BC adaptive".to_string(), Vec::new()));
             for &t in &threads {
                 let engine = Engine::new(t);
                 let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
@@ -133,6 +143,23 @@ pub fn run(ctx: Ctx) {
                     runner(DirectionPolicy::adaptive()).run(&g, ColoringProgram::new(&g))
                 });
                 push_time(&mut cols, &mut json_rows, d);
+                for dir in Direction::BOTH {
+                    let d = median_time(ctx.samples, || {
+                        runner(DirectionPolicy::Fixed(dir)).run(&g, TcProgram::new(&g))
+                    });
+                    push_time(&mut cols, &mut json_rows, d);
+                }
+                let d = median_time(ctx.samples, || {
+                    runner(DirectionPolicy::adaptive()).run(&gw, MstProgram::new(&gw))
+                });
+                push_time(&mut cols, &mut json_rows, d);
+                let bc_opts = BcOptions {
+                    max_sources: Some(BC_SOURCES),
+                };
+                let d = median_time(ctx.samples, || {
+                    runner(DirectionPolicy::adaptive()).run(&g, BcProgram::new(&g, &bc_opts))
+                });
+                push_time(&mut cols, &mut json_rows, d);
             }
             let view: Vec<(&str, Vec<String>)> =
                 cols.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
@@ -141,7 +168,8 @@ pub fn run(ctx: Ctx) {
         }
     }
     println!("(engine pool: caller + workers; dynamic degree-aware chunking;");
-    println!(" all seven algorithms share one Program/Runner round loop;");
+    println!(" all ten algorithms share one Program/Runner round loop;");
+    println!(" BC rows cap sources at {BC_SOURCES}; MST rounds cycle FM/BMT/M phases;");
     println!(" mode=pa replaces push atomics with the §5 owner-computes exchange —");
     println!(" its rows include the per-run split build, skipped when no round pushes)");
 

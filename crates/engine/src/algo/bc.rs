@@ -1,0 +1,577 @@
+//! Brandes betweenness centrality as a [`Program`] (§3.5, Algorithm 5) —
+//! a forward/backward kernel state machine over the per-phase lifecycle.
+//!
+//! Per source, the run alternates two kernel families, dispatched on the
+//! program's internal forward/backward mode (advanced by
+//! [`Program::next_phase`], so the `&self` kernels only ever see settled
+//! state):
+//!
+//! * **Forward** — one phase whose rounds are the BFS levels, counting
+//!   shortest-path multiplicities σ. Push claims the level with an integer
+//!   CAS and scatters σ with FAAs (the §4.5 W(i) conflicts); pull gathers
+//!   every frontier parent's σ into the owned cell. `begin_round` records
+//!   each consumed frontier — the level structure the backward walk needs.
+//! * **Backward** — one phase per level, deepest first, folding partial
+//!   dependencies `δ[v] += σ[v]/σ[w] · (1 + δ[w])` down the shortest-path
+//!   DAG. The push side scatters *floating-point* partials — the conflict
+//!   class the paper highlights (§4.9), resolved here with the CAS-loop
+//!   [`AtomicF64`] (each attempt counted as an atomic); the pull side
+//!   reads finished successor cells and writes only its own δ.
+//!
+//! The forward σ-accumulation is the engine's one kernel whose default
+//! [`EdgeKernel::apply_owned`] would be *wrong* under
+//! [`crate::ExecutionMode::PartitionAware`]: the pull-candidate gate
+//! ("still unvisited") would drop every parent's contribution after the
+//! first delivered update. The override applies the level claim and the
+//! σ add separately — plain writes, owner-exclusive, still atomic-free.
+//!
+//! Push float accumulation reorders, so scores match the sequential
+//! Brandes oracle to ε rather than bitwise (pull is deterministic).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use pp_core::bc::BcOptions;
+use pp_core::bfs::UNVISITED;
+use pp_core::sync::AtomicF64;
+use pp_graph::{CsrGraph, VertexId, Weight};
+use pp_telemetry::{addr_of_index, Probe};
+
+use crate::frontier::Frontier;
+use crate::ops::{EdgeKernel, Engine};
+use crate::policy::DirectionPolicy;
+use crate::probes::{ProbeShards, ShardProbe};
+use crate::program::{Program, RoundCtx};
+use crate::report::RunReport;
+use crate::runner::Runner;
+
+/// Result of an engine betweenness computation.
+#[derive(Clone, Debug)]
+pub struct ParBcResult {
+    /// Centrality scores (undirected convention: each unordered pair
+    /// counted once).
+    pub scores: Vec<f64>,
+    /// Per-round statistics: per source, one forward phase (rounds =
+    /// levels) followed by one backward phase per level, deepest first.
+    pub report: RunReport,
+}
+
+/// Which sweep the kernels currently implement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BcMode {
+    /// σ-counting BFS; `cur` is the level of the frontier being consumed.
+    Forward,
+    /// Dependency accumulation; `cur` is the *target* level receiving from
+    /// the `cur + 1` frontier.
+    Backward,
+}
+
+/// Brandes BC as a vertex program: a forward/backward kernel state machine.
+pub struct BcProgram {
+    /// Number of sources ([`BcOptions::max_sources`]-capped).
+    limit: usize,
+    /// Current source.
+    s: usize,
+    mode: BcMode,
+    /// Forward: level of the consumed frontier; backward: target level.
+    cur: u32,
+    level: Vec<AtomicU32>,
+    sigma: Vec<AtomicU64>,
+    delta: Vec<AtomicF64>,
+    /// Accumulated scores across finished sources.
+    scores: Vec<f64>,
+    /// The current source's per-level frontiers, recorded as the forward
+    /// rounds consume them.
+    levels: Vec<Vec<VertexId>>,
+}
+
+impl BcProgram {
+    /// A program accumulating dependencies from sources `0..limit`.
+    pub fn new(g: &CsrGraph, opts: &BcOptions) -> Self {
+        let n = g.num_vertices();
+        Self {
+            limit: opts.max_sources.unwrap_or(n).min(n),
+            s: 0,
+            mode: BcMode::Forward,
+            cur: 0,
+            level: (0..n).map(|_| AtomicU32::new(UNVISITED)).collect(),
+            sigma: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            delta: (0..n).map(|_| AtomicF64::new(0.0)).collect(),
+            scores: vec![0.0; n],
+            levels: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn lv(&self, v: VertexId) -> u32 {
+        self.level[v as usize].load(Ordering::Relaxed)
+    }
+
+    /// The backward contribution of successor `u` to predecessor `v`.
+    #[inline]
+    fn partial(&self, v: VertexId, u: VertexId) -> f64 {
+        let su = self.sigma[u as usize].load(Ordering::Relaxed) as f64;
+        self.sigma[v as usize].load(Ordering::Relaxed) as f64
+            * ((1.0 + self.delta[u as usize].load()) / su)
+    }
+
+    /// Fold the finished source's dependencies into the scores and seed the
+    /// next source, or return `None` when all sources are done.
+    fn advance_source<P: ShardProbe>(
+        &mut self,
+        g: &CsrGraph,
+        engine: &Engine,
+        probes: &ProbeShards<P>,
+    ) -> Option<Frontier> {
+        for v in 0..g.num_vertices() {
+            if v != self.s {
+                self.scores[v] += self.delta[v].load();
+            }
+        }
+        self.s += 1;
+        if self.s >= self.limit {
+            return None;
+        }
+        let (level, sigma, delta) = (&self.level, &self.sigma, &self.delta);
+        engine.map_vertices(g, probes, |v, _| {
+            level[v as usize].store(UNVISITED, Ordering::Relaxed);
+            sigma[v as usize].store(0, Ordering::Relaxed);
+            delta[v as usize].store(0.0);
+        });
+        self.mode = BcMode::Forward;
+        self.levels.clear();
+        let s = self.s as VertexId;
+        self.level[self.s].store(0, Ordering::Relaxed);
+        self.sigma[self.s].store(1, Ordering::Relaxed);
+        Some(Frontier::single(g, s))
+    }
+}
+
+impl<P: Probe> EdgeKernel<P> for BcProgram {
+    fn push_update(&self, u: VertexId, v: VertexId, _w: Weight, probe: &P) -> bool {
+        match self.mode {
+            BcMode::Forward => {
+                probe.branch_cond();
+                probe.read(addr_of_index(&self.level, v as usize), 4);
+                let mut claimed = false;
+                if self.lv(v) == UNVISITED {
+                    // W(i): discovery race, integer CAS (§4.5).
+                    probe.atomic_rmw(addr_of_index(&self.level, v as usize), 4);
+                    claimed = self.level[v as usize]
+                        .compare_exchange(
+                            UNVISITED,
+                            self.cur + 1,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok();
+                }
+                if self.lv(v) == self.cur + 1 {
+                    // W(i): multiplicity scatter, integer FAA.
+                    probe.atomic_rmw(addr_of_index(&self.sigma, v as usize), 8);
+                    self.sigma[v as usize].fetch_add(
+                        self.sigma[u as usize].load(Ordering::Relaxed),
+                        Ordering::Relaxed,
+                    );
+                }
+                claimed
+            }
+            BcMode::Backward => {
+                probe.branch_cond();
+                probe.read(addr_of_index(&self.level, v as usize), 4);
+                if self.lv(v) == self.cur {
+                    // W(f): float write conflict — the CAS-loop emulation,
+                    // one atomic per attempt (§4.9).
+                    let attempts = self.delta[v as usize].fetch_add(self.partial(v, u));
+                    for _ in 0..attempts {
+                        probe.atomic_rmw(addr_of_index(&self.delta, v as usize), 8);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn pull_gather(&self, v: VertexId, u: VertexId, _w: Weight, probe: &P) -> bool {
+        match self.mode {
+            BcMode::Forward => {
+                // Own-cell level stamp + σ accumulate (§3.8): v gathers
+                // from every frontier parent, one thread owns it.
+                probe.read(addr_of_index(&self.sigma, u as usize), 8);
+                if self.lv(v) == UNVISITED {
+                    probe.write(addr_of_index(&self.level, v as usize), 4);
+                    self.level[v as usize].store(self.cur + 1, Ordering::Relaxed);
+                }
+                let su = self.sigma[u as usize].load(Ordering::Relaxed);
+                probe.write(addr_of_index(&self.sigma, v as usize), 8);
+                self.sigma[v as usize].store(
+                    self.sigma[v as usize].load(Ordering::Relaxed) + su,
+                    Ordering::Relaxed,
+                );
+                true
+            }
+            BcMode::Backward => {
+                // Pure reads of finished successor cells, own-cell δ write.
+                probe.read(addr_of_index(&self.delta, u as usize), 8);
+                probe.read(addr_of_index(&self.sigma, u as usize), 8);
+                let add = self.partial(v, u);
+                probe.write(addr_of_index(&self.delta, v as usize), 8);
+                self.delta[v as usize].store(self.delta[v as usize].load() + add);
+                false
+            }
+        }
+    }
+
+    fn pull_candidate(&self, v: VertexId, probe: &P) -> bool {
+        probe.branch_cond();
+        match self.mode {
+            BcMode::Forward => self.lv(v) == UNVISITED,
+            BcMode::Backward => self.lv(v) == self.cur,
+        }
+    }
+
+    /// Owner-computes apply. The forward default (candidate-gated pull)
+    /// would drop every σ contribution after the first delivered parent —
+    /// the exact hazard the `apply_owned` contract documents — so both
+    /// sweeps are spelled out with plain owner-exclusive writes.
+    fn apply_owned(&self, v: VertexId, u: VertexId, _w: Weight, probe: &P) -> bool {
+        match self.mode {
+            BcMode::Forward => {
+                probe.branch_cond();
+                if self.lv(v) == UNVISITED {
+                    probe.write(addr_of_index(&self.level, v as usize), 4);
+                    self.level[v as usize].store(self.cur + 1, Ordering::Relaxed);
+                }
+                if self.lv(v) == self.cur + 1 {
+                    let su = self.sigma[u as usize].load(Ordering::Relaxed);
+                    probe.write(addr_of_index(&self.sigma, v as usize), 8);
+                    self.sigma[v as usize].store(
+                        self.sigma[v as usize].load(Ordering::Relaxed) + su,
+                        Ordering::Relaxed,
+                    );
+                    true
+                } else {
+                    false
+                }
+            }
+            BcMode::Backward => {
+                probe.branch_cond();
+                if self.lv(v) == self.cur {
+                    let add = self.partial(v, u);
+                    probe.write(addr_of_index(&self.delta, v as usize), 8);
+                    self.delta[v as usize].store(self.delta[v as usize].load() + add);
+                }
+                false
+            }
+        }
+    }
+}
+
+impl<P: ShardProbe> Program<P> for BcProgram {
+    type Output = Vec<f64>;
+
+    fn initial_frontier(&mut self, g: &CsrGraph) -> Frontier {
+        if self.limit == 0 || g.num_vertices() == 0 {
+            return Frontier::empty(g.num_vertices());
+        }
+        self.level[0].store(0, Ordering::Relaxed);
+        self.sigma[0].store(1, Ordering::Relaxed);
+        Frontier::single(g, 0)
+    }
+
+    fn begin_round(
+        &mut self,
+        _ctx: RoundCtx,
+        _g: &CsrGraph,
+        frontier: &mut Frontier,
+        _engine: &Engine,
+        _probes: &ProbeShards<P>,
+    ) {
+        if self.mode == BcMode::Forward {
+            // Record the level structure for the backward walk; the round
+            // about to run consumes exactly level `cur`'s frontier.
+            self.levels.push(frontier.vertices().to_vec());
+            self.cur = (self.levels.len() - 1) as u32;
+        }
+    }
+
+    fn next_phase(
+        &mut self,
+        g: &CsrGraph,
+        engine: &Engine,
+        probes: &ProbeShards<P>,
+    ) -> Option<Frontier> {
+        match self.mode {
+            BcMode::Forward => {
+                // Forward drained: levels[0..=depth] are the BFS frontiers.
+                if self.levels.len() <= 1 {
+                    // Isolated source: nothing to accumulate.
+                    return self.advance_source(g, engine, probes);
+                }
+                self.mode = BcMode::Backward;
+                self.cur = (self.levels.len() - 2) as u32;
+                // Each level list is consumed exactly once per source (and
+                // the whole vec is cleared at the next source), so hand it
+                // to the frontier instead of copying it.
+                let lvl = std::mem::take(&mut self.levels[self.cur as usize + 1]);
+                Some(Frontier::from_vertices(g, lvl))
+            }
+            BcMode::Backward => {
+                if self.cur > 0 {
+                    self.cur -= 1;
+                    let lvl = std::mem::take(&mut self.levels[self.cur as usize + 1]);
+                    Some(Frontier::from_vertices(g, lvl))
+                } else {
+                    self.advance_source(g, engine, probes)
+                }
+            }
+        }
+    }
+
+    fn finish(mut self, g: &CsrGraph) -> Vec<f64> {
+        // Undirected graphs see each (s, t) pair from both endpoints.
+        if !g.is_directed() {
+            for x in &mut self.scores {
+                *x /= 2.0;
+            }
+        }
+        self.scores
+    }
+}
+
+/// Betweenness centrality under the given direction policy.
+pub fn betweenness<P: ShardProbe>(
+    engine: &Engine,
+    g: &CsrGraph,
+    policy: DirectionPolicy,
+    opts: &BcOptions,
+    probes: &ProbeShards<P>,
+) -> ParBcResult {
+    let run = Runner::new(engine, probes)
+        .policy(policy)
+        .run(g, BcProgram::new(g, opts));
+    ParBcResult {
+        scores: run.output,
+        report: run.report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioned::ExecutionMode;
+    use pp_core::bc::betweenness_seq;
+    use pp_core::Direction;
+    use pp_graph::gen;
+    use pp_telemetry::{CountingProbe, NullProbe};
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64, ctx: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() < tol * (1.0 + y.abs()),
+                "{ctx}: vertex {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    fn policies() -> impl Iterator<Item = DirectionPolicy> {
+        DirectionPolicy::sweep().into_iter().map(|(_, p)| p)
+    }
+
+    #[test]
+    fn matches_brandes_on_random_graphs() {
+        for seed in [1, 2] {
+            let g = gen::rmat(6, 4, seed);
+            let reference = betweenness_seq(&g, None);
+            for threads in [1, 4] {
+                let engine = Engine::new(threads);
+                let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+                for policy in policies() {
+                    let r = betweenness(&engine, &g, policy, &BcOptions::default(), &probes);
+                    assert_close(
+                        &r.scores,
+                        &reference,
+                        1e-6,
+                        &format!("seed {seed} x{threads} {policy:?}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_families() {
+        let engine = Engine::new(2);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        // Path 0-1-2-3-4: bc = [0, 3, 4, 3, 0].
+        let path = gen::path(5);
+        for policy in policies() {
+            let r = betweenness(&engine, &path, policy, &BcOptions::default(), &probes);
+            assert_close(&r.scores, &[0.0, 3.0, 4.0, 3.0, 0.0], 1e-9, "path");
+        }
+        // Star K_{1,5}: the center lies on every leaf pair: C(5,2) = 10.
+        let star = gen::star(6);
+        let r = betweenness(
+            &engine,
+            &star,
+            DirectionPolicy::adaptive(),
+            &BcOptions::default(),
+            &probes,
+        );
+        assert!((r.scores[0] - 10.0).abs() < 1e-9);
+        for &leaf in &r.scores[1..] {
+            assert!(leaf.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diamond_splits_multiplicities() {
+        // 0-1, 0-2, 1-3, 2-3: two shortest 0→3 paths split the dependency.
+        let g = pp_graph::GraphBuilder::undirected(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        let reference = betweenness_seq(&g, None);
+        let engine = Engine::new(2);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        for policy in policies() {
+            let r = betweenness(&engine, &g, policy, &BcOptions::default(), &probes);
+            assert_close(&r.scores, &reference, 1e-9, "diamond");
+        }
+        assert!((reference[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_sources_match_the_capped_oracle() {
+        let g = gen::rmat(6, 5, 9);
+        let opts = BcOptions {
+            max_sources: Some(10),
+        };
+        let reference = betweenness_seq(&g, Some(10));
+        let engine = Engine::new(4);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        for policy in policies() {
+            let r = betweenness(&engine, &g, policy, &opts, &probes);
+            assert_close(&r.scores, &reference, 1e-6, "sampled");
+        }
+    }
+
+    #[test]
+    fn pull_is_deterministic_across_thread_counts() {
+        let g = gen::rmat(6, 4, 7);
+        let opts = BcOptions {
+            max_sources: Some(12),
+        };
+        let run = |threads: usize| {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            betweenness(
+                &engine,
+                &g,
+                DirectionPolicy::Fixed(Direction::Pull),
+                &opts,
+                &probes,
+            )
+            .scores
+        };
+        let one = run(1);
+        assert_eq!(one, run(2), "pull BC is bitwise thread-invariant");
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn phase_structure_per_source_is_forward_then_backward_levels() {
+        // Path of 6: from each source the forward phase has `depth` rounds
+        // and is followed by `depth - 1` single-round backward phases.
+        let g = gen::path(6);
+        let engine = Engine::new(2);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let r = betweenness(
+            &engine,
+            &g,
+            DirectionPolicy::Fixed(Direction::Push),
+            &BcOptions {
+                max_sources: Some(1),
+            },
+            &probes,
+        );
+        // Source 0 on a 6-path: the forward phase consumes the six level
+        // frontiers {0}..{5}; the backward walk then runs one single-round
+        // phase per target level 4, 3, 2, 1, 0.
+        assert_eq!(r.report.phases, 6, "1 forward + 5 backward phases");
+        assert_eq!(r.report.phase_rounds(0).count(), 6, "forward rounds");
+        for p in 1..r.report.phases {
+            assert_eq!(r.report.phase_rounds(p).count(), 1, "backward level");
+        }
+    }
+
+    #[test]
+    fn push_uses_atomics_pull_and_pa_do_not() {
+        let g = gen::rmat(6, 4, 4);
+        let engine = Engine::new(4);
+        let opts = BcOptions {
+            max_sources: Some(4),
+        };
+
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        betweenness(
+            &engine,
+            &g,
+            DirectionPolicy::Fixed(Direction::Push),
+            &opts,
+            &probes,
+        );
+        let push = probes.merged();
+        assert!(push.atomics > 0, "forward CAS/FAA + backward float CAS");
+
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        betweenness(
+            &engine,
+            &g,
+            DirectionPolicy::Fixed(Direction::Pull),
+            &opts,
+            &probes,
+        );
+        let pull = probes.merged();
+        assert_eq!(pull.atomics, 0, "pull BC is synchronization-free");
+        assert_eq!(pull.locks, 0);
+
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        let reference = betweenness_seq(&g, Some(4));
+        let run = Runner::new(&engine, &probes)
+            .policy(DirectionPolicy::Fixed(Direction::Push))
+            .mode(ExecutionMode::PartitionAware)
+            .run(&g, BcProgram::new(&g, &opts));
+        assert_close(&run.output, &reference, 1e-6, "pa push");
+        let pa = probes.merged();
+        assert_eq!(pa.atomics, 0, "owner-computes BC push must not CAS");
+        assert!(pa.remote_sends > 0);
+    }
+
+    #[test]
+    fn empty_graph_and_zero_sources() {
+        let engine = Engine::new(1);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let empty = pp_graph::GraphBuilder::undirected(0).build();
+        let r = betweenness(
+            &engine,
+            &empty,
+            DirectionPolicy::adaptive(),
+            &BcOptions::default(),
+            &probes,
+        );
+        assert!(r.scores.is_empty());
+        assert_eq!(r.report.phases, 0);
+        let g = gen::path(4);
+        let r = betweenness(
+            &engine,
+            &g,
+            DirectionPolicy::adaptive(),
+            &BcOptions {
+                max_sources: Some(0),
+            },
+            &probes,
+        );
+        assert_eq!(r.scores, vec![0.0; 4]);
+        assert_eq!(r.report.phases, 0);
+    }
+}

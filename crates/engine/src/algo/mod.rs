@@ -1,20 +1,29 @@
 //! Graph algorithms as [`crate::program::Program`]s: BFS, PageRank,
 //! Δ-stepping SSSP, connected components, k-core decomposition, community
-//! label propagation, and Boman-style coloring — seven algorithms, zero
-//! round loops. Each module supplies per-vertex state, one
+//! label propagation, Boman-style coloring, triangle counting, Boruvka
+//! MST, and Brandes betweenness centrality — the paper's full workload
+//! table, zero round loops. Each module supplies per-vertex state, one
 //! `push_update`/`pull_gather` kernel pair, and the phase structure; the
 //! shared loop in [`crate::runner::Runner`] does everything else, so all
-//! of them run under any [`crate::policy::DirectionPolicy`] at any thread
-//! count.
+//! of them run under any [`crate::policy::DirectionPolicy`] and either
+//! [`crate::partitioned::ExecutionMode`] at any thread count.
+//!
+//! The multi-kernel algorithms showcase the per-phase lifecycle
+//! ([`crate::program::PhaseKernel`]): MST alternates an edge sweep with
+//! vertex-step merge phases, and BC runs a forward/backward kernel state
+//! machine (see each module's docs).
 //!
 //! The sequential/rayon implementations in `pp-core` remain the reference
 //! oracles; the integration tests assert bit-equality (ε-equality for
-//! PageRank's floats) against them at several thread counts.
+//! PageRank's and BC's floats) against them at several thread counts.
 
+pub mod bc;
 pub mod bfs;
 pub mod coloring;
 pub mod components;
 pub mod kcore;
 pub mod labelprop;
+pub mod mst;
 pub mod pagerank;
 pub mod sssp;
+pub mod triangles;

@@ -213,7 +213,7 @@ mod tests {
             .run(&g, PageRankProgram::new(&g, &opts));
         assert!(run.output.is_empty());
         assert_eq!(run.report.num_rounds(), 0, "no phantom phases on n = 0");
-        assert_eq!(run.report.phases, 1);
+        assert_eq!(run.report.phases, 0, "zero-round run reports zero phases");
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub struct Frontier {
     /// mutation. Representation changes keep it (membership is unchanged).
     edges: Cell<Option<u64>>,
     repr: Repr,
+    /// Membership bitmap shadowing the sparse list, so incremental
+    /// construction ([`Frontier::insert`]) pays O(1) per membership test
+    /// instead of scanning the list (which made an n-insert build O(n²)).
+    /// Built lazily by the first sparse insert, inherited for free from a
+    /// dense→sparse conversion, and promoted back to the dense bitmap by
+    /// [`Frontier::densify`]. Always in sync with the sparse list when
+    /// present; unused (and absent) while the representation is dense.
+    mask: Option<Vec<u64>>,
 }
 
 impl Frontier {
@@ -45,6 +53,7 @@ impl Frontier {
             len: 0,
             edges: Cell::new(Some(0)),
             repr: Repr::Sparse(Vec::new()),
+            mask: None,
         }
     }
 
@@ -61,6 +70,7 @@ impl Frontier {
             len: vertices.len(),
             edges: Cell::new(None),
             repr: Repr::Sparse(vertices),
+            mask: None,
         }
     }
 
@@ -78,6 +88,7 @@ impl Frontier {
             len: n,
             edges: Cell::new(Some(g.num_arcs() as u64)),
             repr: Repr::Dense(bits),
+            mask: None,
         }
     }
 
@@ -129,26 +140,59 @@ impl Frontier {
 
     /// Adds `v` to the set in its current representation; returns whether it
     /// was newly inserted. Invalidates the cached edge count.
+    ///
+    /// Amortized O(1): the sparse representation keeps a membership bitmap
+    /// alongside the list (built once, on the first insert), so an n-insert
+    /// incremental build is O(n + n/64) — not the O(n²) a list scan per
+    /// membership test would cost.
     pub fn insert(&mut self, v: VertexId) -> bool {
         assert!((v as usize) < self.n, "vertex out of range");
-        if self.contains(v) {
-            return false;
-        }
+        let (word, bit) = (v as usize / 64, 1u64 << (v as usize % 64));
         match &mut self.repr {
-            Repr::Sparse(list) => list.push(v),
-            Repr::Dense(bits) => bits[v as usize / 64] |= 1u64 << (v as usize % 64),
+            Repr::Sparse(list) => {
+                let mask = self.mask.get_or_insert_with(|| Self::bits_of(self.n, list));
+                if mask[word] & bit != 0 {
+                    return false;
+                }
+                mask[word] |= bit;
+                list.push(v);
+            }
+            Repr::Dense(bits) => {
+                if bits[word] & bit != 0 {
+                    return false;
+                }
+                bits[word] |= bit;
+            }
         }
         self.len += 1;
         self.edges.set(None);
         true
     }
 
-    /// Whether `v` is active. O(1) dense, O(len) sparse.
+    /// Whether `v` is active. O(1) dense or after any sparse insert (the
+    /// membership bitmap answers); O(len) on a never-mutated sparse list.
     pub fn contains(&self, v: VertexId) -> bool {
-        match &self.repr {
-            Repr::Sparse(list) => list.contains(&v),
-            Repr::Dense(bits) => bits[v as usize / 64] >> (v as usize % 64) & 1 == 1,
+        let (word, bit) = (v as usize / 64, 1u64 << (v as usize % 64));
+        match (&self.repr, &self.mask) {
+            (Repr::Dense(bits), _) | (Repr::Sparse(_), Some(bits)) => bits[word] & bit != 0,
+            (Repr::Sparse(list), None) => list.contains(&v),
         }
+    }
+
+    /// Whether membership tests are currently O(1) — the dense bitmap or the
+    /// sparse list's shadow mask is present (test/diagnostic hook, like
+    /// [`Frontier::edge_count_cached`]).
+    pub fn fast_membership(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_)) || self.mask.is_some()
+    }
+
+    /// The membership bitmap of `list` over `n` vertices.
+    fn bits_of(n: usize, list: &[VertexId]) -> Vec<u64> {
+        let mut bits = vec![0u64; n.div_ceil(64)];
+        for &v in list {
+            bits[v as usize / 64] |= 1u64 << (v as usize % 64);
+        }
+        bits
     }
 
     /// Whether the current representation is the dense bitmap.
@@ -157,21 +201,25 @@ impl Frontier {
     }
 
     /// Converts to the dense bitmap (no-op if already dense). Keeps the
-    /// cached edge count: the member set is unchanged.
+    /// cached edge count: the member set is unchanged. A shadow mask left
+    /// behind by sparse inserts is promoted for free.
     pub fn densify(&mut self) {
         if let Repr::Sparse(list) = &self.repr {
-            let mut bits = vec![0u64; self.n.div_ceil(64)];
-            for &v in list {
-                bits[v as usize / 64] |= 1u64 << (v as usize % 64);
-            }
+            let bits = match self.mask.take() {
+                Some(mask) => mask,
+                None => Self::bits_of(self.n, list),
+            };
             self.repr = Repr::Dense(bits);
         }
     }
 
     /// Converts to the sparse list, in vertex order (no-op if sparse).
-    /// Keeps the cached edge count: the member set is unchanged.
+    /// Keeps the cached edge count: the member set is unchanged. The dense
+    /// bits are retained as the sparse shadow mask, so later inserts start
+    /// O(1) without a rebuild.
     pub fn sparsify(&mut self) {
-        if let Repr::Dense(bits) = &self.repr {
+        if let Repr::Dense(bits) = &mut self.repr {
+            let bits = std::mem::take(bits);
             let mut list = Vec::with_capacity(self.len);
             for (word_idx, &word) in bits.iter().enumerate() {
                 let mut word = word;
@@ -181,6 +229,7 @@ impl Frontier {
                     word &= word - 1;
                 }
             }
+            self.mask = Some(bits);
             self.repr = Repr::Sparse(list);
         }
     }
@@ -307,6 +356,53 @@ mod tests {
         assert!(f.is_empty());
         assert_eq!(f.edge_count(&g), 0);
         assert!(!f.contains(3));
+    }
+
+    #[test]
+    fn incremental_insert_is_linear_and_duplicate_free() {
+        // Regression: `insert` used to run `Vec::contains` on the sparse
+        // list, making an n-insert incremental build O(n²). 100k inserts
+        // (50k fresh + 50k duplicates) must finish in linear time — the old
+        // quadratic path took tens of seconds on this size.
+        const N: usize = 50_000;
+        let g = gen::path(N);
+        let mut f = Frontier::empty(N);
+        let t0 = std::time::Instant::now();
+        for v in 0..N as VertexId {
+            assert!(f.insert(v), "fresh insert of {v}");
+            assert!(!f.insert(v), "duplicate insert of {v} must be a no-op");
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "incremental build re-quadratized: {:?} for {N} inserts",
+            t0.elapsed()
+        );
+        assert!(f.fast_membership(), "inserts must index membership");
+        assert_eq!(f.len(), N);
+        assert_eq!(f.vertices().len(), N, "list stayed duplicate-free");
+        assert_eq!(f.edge_count(&g), g.num_arcs() as u64);
+    }
+
+    #[test]
+    fn insert_mask_stays_in_sync_across_conversions() {
+        let g = gen::rmat(7, 4, 2);
+        let mut f = Frontier::from_vertices(&g, vec![10, 40]);
+        assert!(!f.fast_membership(), "plain construction builds no mask");
+        assert!(f.insert(5));
+        assert!(f.fast_membership());
+        assert!(f.contains(5) && f.contains(10) && !f.contains(6));
+        // Sparse (masked) → dense: the mask is promoted, membership intact.
+        f.densify();
+        assert!(f.contains(5) && f.contains(40) && !f.contains(41));
+        assert!(f.insert(41));
+        // Dense → sparse: the bits are retained as the shadow mask, so the
+        // very next insert is O(1) with no rebuild.
+        f.sparsify();
+        assert!(f.fast_membership());
+        assert!(!f.insert(41), "membership survived the round trip");
+        assert!(f.insert(42));
+        assert_eq!(f.vertices(), &[5, 10, 40, 41, 42]);
+        assert_eq!(f.len(), 5);
     }
 
     #[test]

@@ -21,10 +21,26 @@
 //! degree-aware partitioning), [`probes::ProbeShards`] (per-worker
 //! telemetry that merges into [`pp_telemetry::EventCounts`]).
 //!
-//! Seven algorithms ship as programs in [`algo`]: BFS, PageRank,
-//! Δ-stepping SSSP, connected components, k-core decomposition, community
-//! label propagation, and Boman-style coloring — each oracle-checked
-//! against its sequential `pp-core` twin.
+//! Ten algorithms ship as programs in [`algo`] — the paper's full workload
+//! table: BFS (§3.3), PageRank (§3.1), Δ-stepping SSSP (§3.4), connected
+//! components, k-core decomposition, community label propagation,
+//! Boman-style coloring (§5), triangle counting (§3.2, Algorithm 2),
+//! Boruvka MST (§3.7, Algorithm 7), and Brandes betweenness centrality
+//! (§3.5, Algorithm 5) — each oracle-checked against its sequential
+//! `pp-core` twin under every policy × execution-mode schedule.
+//!
+//! ## Per-phase kernel lifecycle
+//!
+//! Multi-kernel algorithms widen the frontier-shaped contract through two
+//! mechanisms (see [`program`]): a *kernel state machine* — the program's
+//! edge kernels dispatch on internal state advanced between rounds (BC's
+//! forward σ-counting vs. backward δ-accumulation sweeps) — and
+//! [`Program::phase_kernel`], which lets a phase declare itself a
+//! [`PhaseKernel::VertexStep`]: the runner runs `begin_round` (where the
+//! program does frontier-wide vertex work) and skips edge traversal. MST
+//! uses both: its FM/BMT/M phases cycle an edge sweep and two vertex
+//! steps, so `RunReport::phase_rounds` exposes Figure 4's per-phase
+//! structure directly.
 //!
 //! ## Quickstart
 //!
@@ -78,10 +94,12 @@
 //!
 //! No atomic RMW is issued anywhere on the push path; `RunReport` rounds
 //! carry the exchange volume (`remote_updates`) and occupancy skew
-//! (`buffer_peak`). All seven programs run unmodified in either mode —
-//! delivery reuses each program's atomic-free pull kernel, which the
-//! [`EdgeKernel`] contract already requires to encode the same update
-//! semantics as its push kernel. Pull rounds are untouched, so any
+//! (`buffer_peak`). All ten programs run unmodified in either mode —
+//! delivery applies updates through [`EdgeKernel::apply_owned`], which
+//! defaults to each program's atomic-free pull kernel (the contract
+//! already requires both kernels to encode one update semantics; BC
+//! overrides it because its σ accumulation needs every delivered parent,
+//! not a candidate-gated first one). Pull rounds are untouched, so any
 //! [`DirectionPolicy`] composes with either mode.
 //!
 //! ## Migrating from the pre-`Program` API (PR 1)
@@ -109,7 +127,20 @@
 //!   `Atomic`); struct-literal constructions must add them.
 //! * [`EdgeKernel`] gained the defaulted `apply_owned` hook; override it
 //!   only if a program can apply an owned update cheaper than its
-//!   candidate-gated pull kernel.
+//!   candidate-gated pull kernel — or if the candidate gate would drop
+//!   repeat deliveries a kernel needs (BC's σ accumulation overrides it
+//!   for exactly that reason; see `algo/bc.rs`).
+//!
+//! ## Migrating to the per-phase lifecycle (PR 4)
+//!
+//! * [`Program::phase_kernel`] is defaulted (`PhaseKernel::EdgeMap`):
+//!   existing programs are unchanged.
+//! * `RunReport::phases` now counts the phases that executed at least one
+//!   round, so a zero-round run reports 0 (previously a phantom 1),
+//!   matching `RunReport::default()`.
+//! * `Frontier::insert` is amortized O(1): the sparse representation keeps
+//!   a membership bitmap once inserts begin (incremental frontier builds
+//!   used to be quadratic in the frontier size).
 
 pub mod algo;
 pub mod frontier;
@@ -128,6 +159,6 @@ pub use partitioned::{ExecutionMode, PaContext};
 pub use policy::{AdaptiveSwitch, DirectionPolicy};
 pub use pool::Pool;
 pub use probes::{ProbeShards, ShardProbe};
-pub use program::{Program, RoundCtx};
+pub use program::{PhaseKernel, Program, RoundCtx};
 pub use report::{RoundStat, RunReport};
 pub use runner::{Run, Runner};

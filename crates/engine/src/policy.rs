@@ -3,12 +3,17 @@
 //! Generalizes [`pp_core::strategies::SwitchController`] — the hysteresis
 //! mechanism shared by direction-optimizing BFS and Generic-Switch coloring
 //! (§5) — into a policy the engine consults every round. The measured load
-//! share is the Beamer quantity: the fraction of all arcs incident to the
-//! frontier, `|E_F| / m`. With the standard α = 15, β = 18 parameters the
-//! policy goes dense (pull) when the frontier covers more than `1/α` of the
-//! arcs and returns sparse (push) once it falls below `1/(αβ)` — the same
-//! window as Beamer's `m/α` / `n/β` pair, expressed as one hysteresis band
-//! so the decision cannot flap between rounds.
+//! share is the Beamer quantity: the work a sparse (push) step would do as
+//! a fraction of the whole graph, `(|E_F| + |F|) / m` — the frontier's
+//! out-edges *plus* one touch per frontier vertex, exactly the
+//! edges-plus-vertices total the engine's degree-aware chunking weighs.
+//! With the standard α = 15, β = 18 parameters the policy goes dense
+//! (pull) when that share rises above `1/α` and returns sparse (push) once
+//! it falls below `1/(αβ)` — the same window as Beamer's `m/α` / `n/β`
+//! pair, expressed as one hysteresis band so the decision cannot flap
+//! between rounds. The `+ |F|` term matters right at the threshold: a
+//! frontier of many low-degree vertices can cross into pull on vertex
+//! count alone (see the module tests for the exact crossing).
 
 use pp_core::strategies::SwitchController;
 use pp_core::Direction;
@@ -38,6 +43,7 @@ impl AdaptiveSwitch {
     }
 
     /// Observes a frontier and returns the direction for the next round.
+    /// The observed share is `(|E_F| + |F|) / m` (see the module docs).
     pub fn decide(&mut self, frontier: &Frontier, g: &CsrGraph) -> Direction {
         let m = g.num_arcs().max(1) as f64;
         self.ctrl
@@ -90,6 +96,16 @@ impl DirectionPolicy {
             DirectionPolicy::Adaptive(sw) => sw.decide(frontier, g),
         }
     }
+
+    /// The direction the policy would pick right now, without observing a
+    /// frontier (and so without moving the adaptive hysteresis). Vertex-step
+    /// rounds ([`crate::program::PhaseKernel::VertexStep`]) record this.
+    pub fn current(&self) -> Direction {
+        match self {
+            DirectionPolicy::Fixed(d) => *d,
+            DirectionPolicy::Adaptive(sw) => sw.current(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +131,34 @@ mod tests {
         // drops the share below 1/(αβ) ≈ 0.37%… not quite: 64/4032 ≈ 1.6%,
         // so it stays pull; the empty frontier forces the return to push.
         assert_eq!(p.decide(&Frontier::empty(64), &g), Direction::Push);
+    }
+
+    #[test]
+    fn observed_share_includes_the_frontier_size_term() {
+        // The exact crossing: 3 pendant vertices {0, 1, 2} hang off a
+        // 31-vertex chain (3..=33), so m = 33 edges = 66 arcs and the pull
+        // threshold sits at m/α = 66/15 = 4.4 weighted units.
+        let mut b = pp_graph::GraphBuilder::undirected(34);
+        for u in 3u32..33 {
+            b.add_edge(u, u + 1);
+        }
+        for p in 0u32..3 {
+            b.add_edge(p, p + 3);
+        }
+        let g = b.build();
+        assert_eq!(g.num_arcs(), 66);
+        let mut p = AdaptiveSwitch::beamer();
+        // {0, 1}: |E_F| + |F| = 2 + 2 = 4 < 4.4 — stays push.
+        let two = Frontier::from_vertices(&g, vec![0, 1]);
+        assert_eq!(p.decide(&two, &g), Direction::Push);
+        // {0, 1, 2}: |E_F| + |F| = 3 + 3 = 6 > 4.4 — crosses into pull,
+        // even though the out-edge share alone (3 ≤ 4.4) would not. This is
+        // the `+ |F|` term the module docs describe: the Beamer quantity
+        // counts the per-vertex touches of a sparse step, not just its
+        // edges.
+        let three = Frontier::from_vertices(&g, vec![0, 1, 2]);
+        assert_eq!(p.decide(&three, &g), Direction::Pull);
+        assert_eq!(p.current(), Direction::Pull);
     }
 
     #[test]

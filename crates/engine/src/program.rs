@@ -19,7 +19,7 @@
 //!     while frontier not empty {          // one phase
 //!         program.begin_round(...)        //   mutable pre-round hook
 //!         frontier = edge_map(frontier)   //   one round, push or pull
-//!     }
+//!     }                                   //   (or a vertex step — below)
 //!     frontier = program.next_phase()?    // reseed (bucket, peel level,
 //! }                                       // iteration) or converge
 //! ```
@@ -27,6 +27,28 @@
 //! Single-phase traversals (BFS, components, coloring) never override
 //! [`Program::next_phase`]; bucketed/leveled/iterative algorithms (Δ-SSSP,
 //! k-core, PageRank, label propagation) use it as their outer loop.
+//!
+//! ## Per-phase kernel selection
+//!
+//! Multi-kernel algorithms run *different* work in different phases:
+//! Boruvka MST alternates an edge sweep (find-minimum) with per-vertex
+//! steps (merge-tree building, relabeling), and Brandes BC alternates
+//! forward σ-counting sweeps with backward dependency accumulation. Two
+//! mechanisms cover this:
+//!
+//! * **Kernel state machines** — the program's `push_update`/`pull_gather`
+//!   dispatch on internal state advanced by [`Program::next_phase`] /
+//!   [`Program::begin_round`] (BC's forward/backward modes). No runner
+//!   support needed: the kernels are `&self`, the state moves only between
+//!   rounds.
+//! * **[`Program::phase_kernel`]** — a phase can opt out of edge traversal
+//!   entirely by declaring itself a [`PhaseKernel::VertexStep`]: the runner
+//!   still opens the round (`begin_round`, where the program does its
+//!   frontier-wide vertex work, e.g. via [`Engine::vertex_map`]) but skips
+//!   `edge_map`, so the phase drains after exactly one round. MST's BMT and
+//!   Merge phases are vertex steps; they appear in the
+//!   [`crate::report::RunReport`] like any other round, which is what lets
+//!   `RunReport::phase_rounds` expose the paper's FM/BMT/M phase structure.
 
 use pp_graph::{CsrGraph, VertexId};
 
@@ -41,8 +63,31 @@ pub struct RoundCtx {
     pub round: u32,
     /// Current phase index.
     pub phase: u32,
-    /// Direction the policy chose for this round.
+    /// Direction the policy chose for this round. For a
+    /// [`PhaseKernel::VertexStep`] round this is the policy's current
+    /// direction ([`crate::policy::DirectionPolicy::current`]) — recorded
+    /// for the report, but no edge kernel runs in it.
     pub dir: pp_core::Direction,
+}
+
+/// Which kernel family a phase's rounds run — the per-phase selection that
+/// widens the frontier-shaped contract to multi-kernel algorithms (see the
+/// module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PhaseKernel {
+    /// Rounds traverse the frontier's incident edges through
+    /// [`crate::ops::EdgeKernel::push_update`] /
+    /// [`crate::ops::EdgeKernel::pull_gather`] — the default, and the only
+    /// kind that existed before per-phase selection.
+    #[default]
+    EdgeMap,
+    /// The round's work is frontier-wide *vertex* work, done by the program
+    /// inside [`Program::begin_round`] (typically via
+    /// [`Engine::vertex_map`]). The runner skips edge traversal — no
+    /// direction policy observation, no atomics, no exchange — and hands
+    /// the phase an empty next frontier, so a vertex-step phase drains
+    /// after exactly one round (reseed through [`Program::next_phase`]).
+    VertexStep,
 }
 
 /// A vertex program: per-vertex state plus the hooks the shared round loop
@@ -56,6 +101,15 @@ pub trait Program<P: ShardProbe>: EdgeKernel<P> + Sized {
     /// The frontier the first round consumes. May mutate `self` (e.g. seed
     /// the root's state).
     fn initial_frontier(&mut self, g: &CsrGraph) -> Frontier;
+
+    /// The kernel family the current phase's rounds run. Called by the
+    /// runner before each round (after any [`Program::next_phase`] state
+    /// advance, so a kernel state machine is already positioned). Default:
+    /// every phase traverses edges.
+    fn phase_kernel(&self, phase: u32) -> PhaseKernel {
+        let _ = phase;
+        PhaseKernel::EdgeMap
+    }
 
     /// Pre-round hook, called once before each `edge_map` with the frontier
     /// that round will consume. This is where per-round scalar state moves
@@ -74,9 +128,10 @@ pub trait Program<P: ShardProbe>: EdgeKernel<P> + Sized {
 
     /// Called when a phase's frontier has drained: return the next phase's
     /// frontier, or `None` when the program has converged. Returning an
-    /// empty frontier is allowed (the runner simply asks again), but the
-    /// sequence must reach `None` for the run to terminate. Default:
-    /// single-phase — converge as soon as the frontier drains.
+    /// empty frontier is allowed (the runner simply asks again, without
+    /// advancing the phase index — report phase indices stay contiguous),
+    /// but the sequence must reach `None` for the run to terminate.
+    /// Default: single-phase — converge as soon as the frontier drains.
     fn next_phase(
         &mut self,
         g: &CsrGraph,

@@ -22,6 +22,9 @@ pub struct RoundStat {
     /// Vertices in the consumed frontier (`|F|`).
     pub frontier: usize,
     /// Out-edges of the consumed frontier (`|E_F|`, what the policy saw).
+    /// Zero for [`crate::program::PhaseKernel::VertexStep`] rounds: no
+    /// edge is traversed, so none is charged to
+    /// [`RunReport::edges_traversed`].
     pub frontier_edges: u64,
     /// Updates routed through the owner-computes exchange this round — the
     /// atomics a shared-state push would have issued instead. Zero for
@@ -38,7 +41,13 @@ pub struct RoundStat {
 pub struct RunReport {
     /// Every executed round, in order.
     pub rounds: Vec<RoundStat>,
-    /// Number of phases the run went through (≥ 1 for any non-empty run).
+    /// Number of phases that executed at least one round. The zero-round
+    /// run — initial frontier empty, [`crate::Program::next_phase`]
+    /// immediately `None` — reports 0, identical to `RunReport::default()`.
+    /// Empty-frontier reseeds do not advance the phase index (the runner
+    /// asks again under the same index), so the `phase` values appearing
+    /// in [`RunReport::rounds`] are exactly `0..phases` with no gaps and
+    /// `phases` is a valid bound for [`RunReport::phase_rounds`] sweeps.
     pub phases: u32,
 }
 

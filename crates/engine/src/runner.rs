@@ -4,16 +4,17 @@
 //! Before this abstraction each algorithm hand-rolled its own loop
 //! (direction handling, convergence check, telemetry plumbing); now the
 //! loop exists exactly once, and a policy/scheduling improvement reaches
-//! all seven algorithms at the same commit.
+//! all ten algorithms at the same commit.
 
 use pp_core::Direction;
 use pp_graph::CsrGraph;
 
+use crate::frontier::Frontier;
 use crate::ops::Engine;
 use crate::partitioned::{ExecutionMode, PaContext};
 use crate::policy::DirectionPolicy;
 use crate::probes::{ProbeShards, ShardProbe};
-use crate::program::{Program, RoundCtx};
+use crate::program::{PhaseKernel, Program, RoundCtx};
 use crate::report::{RoundStat, RunReport};
 
 /// A completed run: the program's output plus the unified round telemetry.
@@ -71,9 +72,17 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
     /// Drives `program` to convergence and returns its output with the
     /// per-round report.
     ///
-    /// Each iteration: ask the policy for a direction, let the program see
-    /// the round ([`Program::begin_round`]), `edge_map` the frontier. When
-    /// a phase drains, [`Program::next_phase`] reseeds or ends the run.
+    /// Each iteration: ask the program for the phase's kernel family
+    /// ([`Program::phase_kernel`]) and the policy for a direction, let the
+    /// program see the round ([`Program::begin_round`]), then `edge_map`
+    /// the frontier — or, for a [`PhaseKernel::VertexStep`] phase, skip
+    /// edge traversal entirely (the round's vertex work happened in
+    /// `begin_round`). When a phase drains, [`Program::next_phase`] reseeds
+    /// or ends the run.
+    ///
+    /// The report's `phases` counts the phases that executed at least one
+    /// round; a run whose every frontier was empty reports `phases == 0`
+    /// and `rounds.is_empty()`, exactly like [`RunReport::default`].
     pub fn run<Pg: Program<P>>(&self, g: &CsrGraph, mut program: Pg) -> Run<Pg::Output> {
         let mut policy = self.policy;
         // Partition-aware runs bind one part per engine thread and build
@@ -86,21 +95,34 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
         let mut report = RunReport::default();
         let mut round = 0u32;
         let mut phase = 0u32;
+        let mut ran_this_phase = false;
         loop {
             while !frontier.is_empty() {
-                let dir = policy.next(&frontier, g);
-                let (stat_frontier, stat_edges) = (frontier.len(), frontier.edge_count(g));
+                let kernel = program.phase_kernel(phase);
+                // A vertex step runs no edge kernel: don't feed the
+                // adaptive hysteresis a frontier it will never traverse —
+                // and don't charge |E_F| it will never touch.
+                let dir = match kernel {
+                    PhaseKernel::EdgeMap => policy.next(&frontier, g),
+                    PhaseKernel::VertexStep => policy.current(),
+                };
+                let stat_frontier = frontier.len();
+                let stat_edges = match kernel {
+                    PhaseKernel::EdgeMap => frontier.edge_count(g),
+                    PhaseKernel::VertexStep => 0,
+                };
                 let ctx = RoundCtx { round, phase, dir };
                 program.begin_round(ctx, g, &mut frontier, self.engine, self.probes);
-                let (next, stats) = match (self.mode, dir) {
-                    (ExecutionMode::PartitionAware, Direction::Push) => {
+                let (next, stats) = match (kernel, self.mode, dir) {
+                    (PhaseKernel::VertexStep, _, _) => (Frontier::empty(g.num_vertices()), None),
+                    (PhaseKernel::EdgeMap, ExecutionMode::PartitionAware, Direction::Push) => {
                         let pactx =
                             pa.get_or_insert_with(|| PaContext::new(g, self.engine.threads()));
                         let (next, stats) =
                             pactx.push_round(self.engine, g, &mut frontier, &program, self.probes);
                         (next, Some(stats))
                     }
-                    _ => (
+                    (PhaseKernel::EdgeMap, _, _) => (
                         self.engine
                             .edge_map(g, &mut frontier, dir, &program, self.probes),
                         None,
@@ -117,16 +139,28 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
                     buffer_peak: stats.map_or(0, |s| s.buffer_peak),
                 });
                 round += 1;
+                ran_this_phase = true;
             }
             match program.next_phase(g, self.engine, self.probes) {
                 Some(next) => {
                     frontier = next;
-                    phase += 1;
+                    // A reseed only opens a new phase index if the current
+                    // one actually executed a round — so phase indices in
+                    // the report stay contiguous (0..phases) even when a
+                    // program reseeds with an empty frontier and the
+                    // runner asks again.
+                    if ran_this_phase {
+                        phase += 1;
+                        ran_this_phase = false;
+                    }
                 }
                 None => break,
             }
         }
-        report.phases = phase + 1;
+        // Convention (documented on `RunReport::phases`): count the phases
+        // that actually executed a round, so the zero-round run reports 0 —
+        // identical to `RunReport::default()` — instead of a phantom 1.
+        report.phases = phase + u32::from(ran_this_phase);
         Run {
             output: program.finish(g),
             report,
@@ -277,6 +311,247 @@ mod tests {
         assert_eq!(counts.remote_sends, r.report.remote_updates());
         assert!(r.report.max_buffer_peak() >= 1);
         assert!(counts.barriers as usize >= r.report.num_rounds());
+    }
+
+    /// A program that never activates anything: empty initial frontier,
+    /// immediate convergence.
+    struct NullProgram;
+
+    impl<P: Probe> EdgeKernel<P> for NullProgram {
+        fn push_update(&self, _u: VertexId, _v: VertexId, _w: Weight, _p: &P) -> bool {
+            false
+        }
+        fn pull_gather(&self, _v: VertexId, _u: VertexId, _w: Weight, _p: &P) -> bool {
+            false
+        }
+    }
+
+    impl<P: ShardProbe> Program<P> for NullProgram {
+        type Output = ();
+
+        fn initial_frontier(&mut self, g: &CsrGraph) -> Frontier {
+            Frontier::empty(g.num_vertices())
+        }
+
+        fn finish(self, _g: &CsrGraph) {}
+    }
+
+    #[test]
+    fn zero_round_run_reports_zero_phases_like_the_default_report() {
+        // The convention documented on `RunReport::phases`: a run that never
+        // executes a round is indistinguishable from `RunReport::default()`.
+        let g = two_component_graph();
+        let engine = Engine::new(2);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        for policy in [
+            DirectionPolicy::Fixed(Direction::Push),
+            DirectionPolicy::adaptive(),
+        ] {
+            for (_, mode) in ExecutionMode::sweep() {
+                let r = Runner::new(&engine, &probes)
+                    .policy(policy)
+                    .mode(mode)
+                    .run(&g, NullProgram);
+                assert_eq!(r.report, RunReport::default(), "{policy:?} {mode:?}");
+                assert_eq!(r.report.phases, 0);
+                assert_eq!(r.report.num_rounds(), 0);
+            }
+        }
+    }
+
+    /// A program that reseeds with an empty frontier once between its two
+    /// real phases: marks vertex `v` on each round of a single-vertex
+    /// frontier, walking 0 → (empty reseed) → 6.
+    struct GappyReseed {
+        mark: Vec<AtomicU32>,
+        reseeds: u32,
+    }
+
+    impl<P: Probe> EdgeKernel<P> for GappyReseed {
+        fn push_update(&self, _u: VertexId, _v: VertexId, _w: Weight, _p: &P) -> bool {
+            false
+        }
+        fn pull_gather(&self, _v: VertexId, _u: VertexId, _w: Weight, _p: &P) -> bool {
+            false
+        }
+        fn pull_candidate(&self, _v: VertexId, _p: &P) -> bool {
+            false
+        }
+    }
+
+    impl<P: ShardProbe> Program<P> for GappyReseed {
+        type Output = Vec<u32>;
+
+        fn initial_frontier(&mut self, g: &CsrGraph) -> Frontier {
+            Frontier::single(g, 0)
+        }
+
+        fn begin_round(
+            &mut self,
+            _ctx: RoundCtx,
+            _g: &CsrGraph,
+            frontier: &mut Frontier,
+            _engine: &Engine,
+            _probes: &ProbeShards<P>,
+        ) {
+            for &v in frontier.vertices() {
+                self.mark[v as usize].store(1, Ordering::Relaxed);
+            }
+        }
+
+        fn next_phase(
+            &mut self,
+            g: &CsrGraph,
+            _engine: &Engine,
+            _probes: &ProbeShards<P>,
+        ) -> Option<Frontier> {
+            self.reseeds += 1;
+            match self.reseeds {
+                1 => Some(Frontier::empty(g.num_vertices())),
+                2 => Some(Frontier::single(g, 6)),
+                _ => None,
+            }
+        }
+
+        fn finish(self, _g: &CsrGraph) -> Vec<u32> {
+            self.mark.into_iter().map(AtomicU32::into_inner).collect()
+        }
+    }
+
+    #[test]
+    fn empty_reseeds_do_not_gap_the_phase_indices() {
+        // Regression for the phases convention: a reseed with an empty
+        // frontier must not burn a phase index, so `phases` stays a valid
+        // bound for `phase_rounds(0..phases)` sweeps.
+        let g = two_component_graph();
+        let engine = Engine::new(2);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let r = Runner::new(&engine, &probes)
+            .policy(DirectionPolicy::Fixed(Direction::Push))
+            .run(
+                &g,
+                GappyReseed {
+                    mark: (0..12).map(|_| AtomicU32::new(0)).collect(),
+                    reseeds: 0,
+                },
+            );
+        assert_eq!(r.output[0], 1);
+        assert_eq!(r.output[6], 1);
+        assert_eq!(r.report.phases, 2, "the empty reseed is not a phase");
+        let indices: Vec<u32> = r.report.rounds.iter().map(|s| s.phase).collect();
+        assert_eq!(indices, vec![0, 1], "contiguous despite the empty reseed");
+        for p in 0..r.report.phases {
+            assert_eq!(r.report.phase_rounds(p).count(), 1);
+        }
+    }
+
+    /// Two-phase program: an edge phase (mark component of 0) followed by a
+    /// vertex-step phase that doubles every mark in `begin_round`.
+    struct SweepThenScale {
+        mark: Vec<AtomicU32>,
+        scaled: bool,
+    }
+
+    impl<P: Probe> EdgeKernel<P> for SweepThenScale {
+        fn push_update(&self, _u: VertexId, v: VertexId, _w: Weight, _p: &P) -> bool {
+            self.mark[v as usize]
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        }
+        fn pull_gather(&self, v: VertexId, _u: VertexId, _w: Weight, _p: &P) -> bool {
+            self.mark[v as usize].store(1, Ordering::Relaxed);
+            true
+        }
+        fn pull_candidate(&self, v: VertexId, _p: &P) -> bool {
+            self.mark[v as usize].load(Ordering::Relaxed) == 0
+        }
+        fn pull_saturates(&self) -> bool {
+            true
+        }
+    }
+
+    impl<P: ShardProbe> Program<P> for SweepThenScale {
+        type Output = Vec<u32>;
+
+        fn initial_frontier(&mut self, g: &CsrGraph) -> Frontier {
+            self.mark[0].store(1, Ordering::Relaxed);
+            Frontier::single(g, 0)
+        }
+
+        fn phase_kernel(&self, phase: u32) -> crate::program::PhaseKernel {
+            if phase == 0 {
+                crate::program::PhaseKernel::EdgeMap
+            } else {
+                crate::program::PhaseKernel::VertexStep
+            }
+        }
+
+        fn begin_round(
+            &mut self,
+            ctx: RoundCtx,
+            g: &CsrGraph,
+            frontier: &mut Frontier,
+            engine: &Engine,
+            probes: &ProbeShards<P>,
+        ) {
+            if ctx.phase == 1 {
+                let mark = &self.mark;
+                engine.vertex_map(g, frontier, probes, |v, _| {
+                    let m = mark[v as usize].load(Ordering::Relaxed);
+                    mark[v as usize].store(m * 2, Ordering::Relaxed);
+                });
+                self.scaled = true;
+            }
+        }
+
+        fn next_phase(
+            &mut self,
+            g: &CsrGraph,
+            _engine: &Engine,
+            _probes: &ProbeShards<P>,
+        ) -> Option<Frontier> {
+            if self.scaled {
+                return None;
+            }
+            Some(frontier_where(g, |v| {
+                self.mark[v as usize].load(Ordering::Relaxed) != 0
+            }))
+        }
+
+        fn finish(self, _g: &CsrGraph) -> Vec<u32> {
+            self.mark.into_iter().map(AtomicU32::into_inner).collect()
+        }
+    }
+
+    #[test]
+    fn vertex_step_phases_skip_edge_traversal_but_appear_in_the_report() {
+        use pp_telemetry::CountingProbe;
+        let g = two_component_graph();
+        for (_, mode) in ExecutionMode::sweep() {
+            let engine = Engine::new(2);
+            let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+            let r = Runner::new(&engine, &probes)
+                .policy(DirectionPolicy::Fixed(Direction::Push))
+                .mode(mode)
+                .run(
+                    &g,
+                    SweepThenScale {
+                        mark: (0..12).map(|_| AtomicU32::new(0)).collect(),
+                        scaled: false,
+                    },
+                );
+            // Component of 0 (the 6-cycle) marked then doubled; the rest 0.
+            assert!(r.output[..6].iter().all(|&m| m == 2), "{mode:?}");
+            assert!(r.output[6..].iter().all(|&m| m == 0), "{mode:?}");
+            assert_eq!(r.report.phases, 2, "{mode:?}");
+            // The vertex step is one round consuming the 6-vertex frontier,
+            // with no edge traversal: no atomics, no exchange traffic.
+            let steps: Vec<_> = r.report.phase_rounds(1).collect();
+            assert_eq!(steps.len(), 1, "a vertex-step phase is single-round");
+            assert_eq!(steps[0].frontier, 6);
+            assert_eq!(steps[0].frontier_edges, 0, "no edge traversal charged");
+            assert_eq!(steps[0].remote_updates, 0);
+        }
     }
 
     #[test]

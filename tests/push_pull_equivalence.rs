@@ -363,6 +363,148 @@ fn engine_coloring_is_proper_and_greedy_bounded_everywhere() {
 }
 
 // ---------------------------------------------------------------------------
+// The three remaining paper algorithms — triangle counting (§3.2), Boruvka
+// MST (§3.7), Brandes BC — as engine Programs: each against its sequential
+// pp-core twin, at 1/2/8 threads, under push, pull, and adaptive policies,
+// in BOTH execution modes (the §5 owner-computes push included).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn engine_triangles_match_sequential_counts_everywhere() {
+    use algo::triangles::TcProgram;
+    for (name, g) in families() {
+        let expected = triangles::triangle_counts_seq(&g);
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for policy in engine_policies() {
+                for (mode_name, mode) in ExecutionMode::sweep() {
+                    let counts = Runner::new(&engine, &probes)
+                        .policy(policy)
+                        .mode(mode)
+                        .run(&g, TcProgram::new(&g))
+                        .output;
+                    assert_eq!(counts, expected, "{name} x{threads} {policy:?} {mode_name}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_mst_matches_kruskal_everywhere() {
+    use algo::mst::{MstPhaseKind, MstProgram};
+    for (name, g) in families() {
+        let gw = gen::with_random_weights(&g, 1, 1000, 0xdef);
+        let (kedges, kweight) = mst::kruskal_seq(&gw);
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for policy in engine_policies() {
+                for (mode_name, mode) in ExecutionMode::sweep() {
+                    let run = Runner::new(&engine, &probes)
+                        .policy(policy)
+                        .mode(mode)
+                        .run(&gw, MstProgram::new(&gw));
+                    let (edges, weight) = run.output;
+                    let tag = format!("{name} x{threads} {policy:?} {mode_name}");
+                    assert_eq!(weight, kweight, "{tag}");
+                    assert_eq!(edges.len(), kedges.len(), "{tag} edge count");
+                    // The report exposes the paper's FM/BMT/M phase cycle.
+                    for p in 0..run.report.phases {
+                        let rounds = run.report.phase_rounds(p).count();
+                        assert_eq!(rounds, 1, "{tag}: {:?}", MstPhaseKind::of(p));
+                    }
+                    if g.num_vertices() > 0 {
+                        assert_eq!(
+                            run.report.phases % 3,
+                            2,
+                            "{tag}: runs end after a merge-free BMT"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_bc_matches_brandes_everywhere() {
+    use algo::bc::BcProgram;
+    for (name, g) in families() {
+        // Exact BC is O(n·m): cap sources on the larger families, matching
+        // the pp-core equivalence test above.
+        let cap = Some(24usize.min(g.num_vertices()));
+        let reference = bc::betweenness_seq(&g, cap);
+        let opts = bc::BcOptions { max_sources: cap };
+        for threads in THREADS {
+            let engine = Engine::new(threads);
+            let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+            for policy in engine_policies() {
+                for (mode_name, mode) in ExecutionMode::sweep() {
+                    let scores = Runner::new(&engine, &probes)
+                        .policy(policy)
+                        .mode(mode)
+                        .run(&g, BcProgram::new(&g, &opts))
+                        .output;
+                    for (i, (a, b)) in scores.iter().zip(&reference).enumerate() {
+                        assert!(
+                            (a - b).abs() < 1e-6 * (1.0 + b.abs()),
+                            "{name} x{threads} {policy:?} {mode_name} vertex {i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_tc_atomic_push_faas_per_corner_hit_pa_push_issues_none() {
+    use algo::triangles::TcProgram;
+    // The acceptance telemetry for triangle counting: shared-state push
+    // resolves every corner hit with one FAA (§4.2); the owner-computes
+    // schedule issues zero atomics and the identical counts. The FAA total
+    // must equal the pp-core twin's on the same graph.
+    let g = gen::rmat(7, 6, 7);
+    let expected = triangles::triangle_counts_seq(&g);
+    let corner_hits: u64 = {
+        // Each ordered neighbor-pair adjacency hit is one FAA; per-vertex
+        // counts are corner hits / 2, so the total is 2 · Σ tc[v] · ... —
+        // count directly against the instrumented pp-core push.
+        let probe = pushpull::telemetry::CountingProbe::new();
+        triangles::triangle_counts_probed(&g, Direction::Push, &probe);
+        probe.counts().atomics
+    };
+    assert!(corner_hits > 0, "rmat(7,6) must contain triangles");
+
+    let engine = Engine::new(4);
+    let run_mode = |mode: ExecutionMode| {
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        let run = Runner::new(&engine, &probes)
+            .policy(DirectionPolicy::Fixed(Direction::Push))
+            .mode(mode)
+            .run(&g, TcProgram::new(&g));
+        assert_eq!(run.output, expected);
+        (probes.merged(), run.report)
+    };
+
+    let (atomic, atomic_report) = run_mode(ExecutionMode::Atomic);
+    assert_eq!(
+        atomic.atomics, corner_hits,
+        "one FAA per triangle corner hit, same total as the pp-core twin"
+    );
+    assert_eq!(atomic.locks, 0);
+    assert_eq!(atomic_report.remote_updates(), 0);
+
+    let (pa, pa_report) = run_mode(ExecutionMode::PartitionAware);
+    assert_eq!(pa.atomics, 0, "owner-computes TC push must not FAA");
+    assert_eq!(pa.locks, 0);
+    assert!(pa.remote_sends > 0, "rmat must cut across 4 parts");
+    assert_eq!(pa.remote_sends, pa_report.remote_updates());
+}
+
+// ---------------------------------------------------------------------------
 // Partition-aware execution (§5): the owner-computes push schedule is a
 // *third* schedule of the same algorithm. Every Program, on every family,
 // at 1/2/8 threads, under push, pull, and adaptive policies, must land on
@@ -521,8 +663,9 @@ proptest! {
     #[test]
     fn program_schedules_share_one_fixpoint(g in arb_graph(48), threads in 1usize..5) {
         use algo::{
-            bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram,
-            kcore::KCoreProgram, labelprop::LabelPropProgram,
+            bc::BcProgram, bfs::BfsProgram, coloring::ColoringProgram,
+            components::CcProgram, kcore::KCoreProgram, labelprop::LabelPropProgram,
+            mst::MstProgram, triangles::TcProgram,
         };
         let engine = Engine::new(threads);
         let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
@@ -533,6 +676,11 @@ proptest! {
         let core_oracle = kcore::coreness_seq(&g);
         let lp_oracle = labelprop::label_propagation(&g, Direction::Pull, 20);
         let (bfs_oracle, _, _) = stats::bfs_levels(&g, 0);
+        let tc_oracle = triangles::triangle_counts_seq(&g);
+        let gw = gen::with_random_weights(&g, 1, 64, 0xfeed);
+        let (mst_edges_oracle, mst_weight_oracle) = mst::kruskal_seq(&gw);
+        let bc_opts = bc::BcOptions { max_sources: Some(8) };
+        let bc_oracle = bc::betweenness_seq(&g, Some(8));
 
         // Every (policy, execution-mode) pair is one schedule; all of them
         // must converge to the same fixpoint.
@@ -571,6 +719,27 @@ proptest! {
                     .max()
                     .unwrap_or(0);
                 prop_assert!(used <= g.max_degree() + 1, "gc bound {:?} {}", policy, mode_name);
+
+                // Triangle counts: exact integers in every schedule.
+                let tc = runner.run(&g, TcProgram::new(&g)).output;
+                prop_assert_eq!(&tc, &tc_oracle, "tc {:?} {}", policy, mode_name);
+
+                // MST: forest weight and size are schedule-invariant.
+                let (mst_edges, mst_weight) = runner.run(&gw, MstProgram::new(&gw)).output;
+                prop_assert_eq!(mst_weight, mst_weight_oracle, "mst {:?} {}", policy, mode_name);
+                prop_assert_eq!(
+                    mst_edges.len(), mst_edges_oracle.len(),
+                    "mst edges {:?} {}", policy, mode_name
+                );
+
+                // BC: dependencies match Brandes to ε (push reorders floats).
+                let scores = runner.run(&g, BcProgram::new(&g, &bc_opts)).output;
+                for (i, (a, b)) in scores.iter().zip(&bc_oracle).enumerate() {
+                    prop_assert!(
+                        (a - b).abs() < 1e-6 * (1.0 + b.abs()),
+                        "bc {:?} {} vertex {}: {} vs {}", policy, mode_name, i, a, b
+                    );
+                }
             }
         }
     }
