@@ -254,9 +254,17 @@ impl Frontier {
 
     /// Ligra-style densification heuristic: a frontier this large is cheaper
     /// to consume as a bitmap than as a work list.
+    ///
+    /// The quantity and threshold are exactly the direction policy's pull
+    /// trigger — load share `(|E_F| + |F|) / m` strictly above
+    /// `1/`[`crate::policy::BEAMER_ALPHA`] — so a frontier is stored dense
+    /// precisely when a push-state adaptive policy would schedule it pull.
+    /// Routing both decisions through one constant keeps them from
+    /// drifting apart (this method used to hardcode `m/20` while the
+    /// policy owned α = 15).
     pub fn wants_dense(&self, g: &CsrGraph) -> bool {
-        let m = g.num_arcs().max(1) as u64;
-        self.edge_count(g) + self.len as u64 > m / 20
+        let m = g.num_arcs().max(1) as f64;
+        (self.edge_count(g) + self.len as u64) as f64 / m > 1.0 / crate::policy::BEAMER_ALPHA
     }
 }
 
@@ -410,5 +418,29 @@ mod tests {
         let g = gen::complete(64);
         assert!(!Frontier::single(&g, 0).wants_dense(&g) || g.num_arcs() < 40);
         assert!(Frontier::full(&g).wants_dense(&g));
+    }
+
+    #[test]
+    fn wants_dense_agrees_with_the_policy_pull_threshold() {
+        // Drift guard: the densification heuristic and the adaptive
+        // policy's pull trigger must be the same decision on the same
+        // quantity. A fresh push-state AdaptiveSwitch schedules a frontier
+        // pull iff that frontier wants the dense representation.
+        use crate::policy::AdaptiveSwitch;
+        use pp_core::Direction;
+        for g in [gen::rmat(7, 4, 3), gen::path(200), gen::complete(40)] {
+            for size in [0usize, 1, 2, 5, 17, 60, 150] {
+                let size = size.min(g.num_vertices());
+                let f = Frontier::from_vertices(&g, (0..size as VertexId).collect());
+                let pull = AdaptiveSwitch::beamer().decide(&f, &g) == Direction::Pull;
+                assert_eq!(
+                    f.wants_dense(&g),
+                    pull,
+                    "|F|={size} on n={} m={}",
+                    g.num_vertices(),
+                    g.num_arcs()
+                );
+            }
+        }
     }
 }

@@ -141,15 +141,33 @@
 //! * `Frontier::insert` is amortized O(1): the sparse representation keeps
 //!   a membership bitmap once inserts begin (incremental frontier builds
 //!   used to be quadratic in the frontier size).
+//!
+//! ## Ingestion and external drivers (PR 5)
+//!
+//! Two modules make the engine drivable from outside the workspace's own
+//! experiments:
+//!
+//! * [`ingest`] parses on-disk edge lists on the engine pool —
+//!   `pp_graph::io`'s byte-level shard stages scheduled as one
+//!   dynamically-claimed chunk per shard, oracle-identical to the
+//!   sequential reader;
+//! * [`registry`] is the name → [`Program`] dispatch table: all ten
+//!   algorithms runnable by string name under one
+//!   [`registry::RunConfig`] (policy × mode × threads), returning the
+//!   unified [`RunReport`] plus an output digest. The `ppgraph` CLI in
+//!   `pp-bench` (`gen` / `convert` / `stats` / `run`) is built on exactly
+//!   these two modules plus `pp_graph::snapshot`'s binary `.ppg` format.
 
 pub mod algo;
 pub mod frontier;
+pub mod ingest;
 pub mod ops;
 pub mod partitioned;
 pub mod policy;
 pub mod pool;
 pub mod probes;
 pub mod program;
+pub mod registry;
 pub mod report;
 pub mod runner;
 

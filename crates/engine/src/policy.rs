@@ -21,6 +21,17 @@ use pp_graph::CsrGraph;
 
 use crate::frontier::Frontier;
 
+/// Beamer's α: the pull threshold. A frontier whose load share
+/// `(|E_F| + |F|) / m` rises above `1/BEAMER_ALPHA` is scheduled pull —
+/// and, by the same token, stored dense ([`Frontier::wants_dense`] routes
+/// through this constant, so the representation heuristic and the
+/// direction policy cannot drift apart).
+pub const BEAMER_ALPHA: f64 = 15.0;
+
+/// Beamer's β: the return-to-push divisor. The policy goes back to push
+/// once the load share falls below `1/(BEAMER_ALPHA * BEAMER_BETA)`.
+pub const BEAMER_BETA: f64 = 18.0;
+
 /// Adaptive direction switching driven by frontier edge counts.
 #[derive(Clone, Copy, Debug)]
 pub struct AdaptiveSwitch {
@@ -37,9 +48,10 @@ impl AdaptiveSwitch {
         }
     }
 
-    /// The standard direction-optimizing parameters (α = 15, β = 18).
+    /// The standard direction-optimizing parameters
+    /// ([`BEAMER_ALPHA`], [`BEAMER_BETA`]).
     pub fn beamer() -> Self {
-        Self::new(Direction::Push, 15.0, 18.0)
+        Self::new(Direction::Push, BEAMER_ALPHA, BEAMER_BETA)
     }
 
     /// Observes a frontier and returns the direction for the next round.

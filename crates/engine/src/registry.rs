@@ -1,0 +1,445 @@
+//! A name → [`Program`] registry: every algorithm the engine ships,
+//! runnable by string name with one configuration surface.
+//!
+//! The paper's evaluation drives many algorithms over many graphs from one
+//! harness; this module is the dispatch table that makes that possible for
+//! external drivers (the `ppgraph` CLI in `pp-bench`, scripts, CI smoke
+//! tests) without each of them hand-wiring ten `Runner::run` call sites.
+//! Each [`AlgoSpec`] knows its name (plus aliases), whether it needs edge
+//! weights, and how to run itself under a [`RunConfig`]; the result packs
+//! the unified [`RunReport`] with a small human/JSON-friendly summary of
+//! the output (component counts, tree weight, reached vertices, …).
+//!
+//! [`Program`]: crate::program::Program
+
+use pp_core::{bc::BcOptions, pagerank::PrOptions, sssp::SsspOptions};
+use pp_graph::{CsrGraph, VertexId};
+use pp_telemetry::NullProbe;
+
+use crate::algo::{
+    bc::BcProgram, bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram,
+    kcore::KCoreProgram, labelprop::LabelPropProgram, mst::MstProgram, pagerank::PageRankProgram,
+    sssp::SsspProgram, triangles::TcProgram,
+};
+use crate::partitioned::ExecutionMode;
+use crate::policy::DirectionPolicy;
+use crate::probes::ProbeShards;
+use crate::report::RunReport;
+use crate::runner::Runner;
+use crate::Engine;
+
+/// Everything a registry run needs besides the graph. Construct with
+/// [`RunConfig::new`] and override fields as needed.
+pub struct RunConfig<'a> {
+    /// The engine to schedule onto.
+    pub engine: &'a Engine,
+    /// Per-worker probe shards (sized to `engine.threads()`).
+    pub probes: &'a ProbeShards<NullProbe>,
+    /// Direction policy for every round.
+    pub policy: DirectionPolicy,
+    /// Push execution mode (atomic vs. §5 owner-computes).
+    pub mode: ExecutionMode,
+    /// Source vertex for rooted algorithms (BFS, SSSP).
+    pub source: VertexId,
+    /// Iteration cap for label propagation.
+    pub lp_iters: usize,
+    /// Source cap for betweenness centrality (`None` = all sources; exact
+    /// BC is O(n·m) per source, so drivers default to a small cap).
+    pub bc_sources: Option<usize>,
+}
+
+impl<'a> RunConfig<'a> {
+    /// Defaults: adaptive policy, atomic mode, source 0, 20 LP iterations,
+    /// 8 BC sources.
+    pub fn new(engine: &'a Engine, probes: &'a ProbeShards<NullProbe>) -> Self {
+        Self {
+            engine,
+            probes,
+            policy: DirectionPolicy::adaptive(),
+            mode: ExecutionMode::Atomic,
+            source: 0,
+            lp_iters: 20,
+            bc_sources: Some(8),
+        }
+    }
+
+    fn runner(&self) -> Runner<'a, NullProbe> {
+        Runner::new(self.engine, self.probes)
+            .policy(self.policy)
+            .mode(self.mode)
+    }
+}
+
+/// One completed registry run: the unified report plus a summary of the
+/// program's output as `(fact, value)` pairs.
+pub struct AlgoRun {
+    /// Per-round direction/frontier/edge statistics.
+    pub report: RunReport,
+    /// Output digest, e.g. `("components", "17")` for CC.
+    pub summary: Vec<(&'static str, String)>,
+}
+
+/// A registered algorithm.
+pub struct AlgoSpec {
+    /// Canonical name (`ppgraph run <name>`).
+    pub name: &'static str,
+    /// Accepted alternative names.
+    pub aliases: &'static [&'static str],
+    /// One-line description with the paper section it reproduces.
+    pub description: &'static str,
+    /// Whether the graph must carry edge weights.
+    pub needs_weights: bool,
+    run: fn(&RunConfig<'_>, &CsrGraph) -> AlgoRun,
+}
+
+impl AlgoSpec {
+    /// Runs the algorithm on `g` under `cfg`.
+    ///
+    /// # Panics
+    /// Panics if [`AlgoSpec::needs_weights`] and `g` is unweighted, or if a
+    /// rooted algorithm's `cfg.source` is out of range — drivers validate
+    /// (or repair, e.g. by attaching weights) before calling.
+    pub fn run(&self, cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+        assert!(
+            !self.needs_weights || g.is_weighted(),
+            "{} requires edge weights",
+            self.name
+        );
+        (self.run)(cfg, g)
+    }
+
+    /// Whether `name` matches the canonical name or an alias
+    /// (ASCII-case-insensitively).
+    pub fn matches(&self, name: &str) -> bool {
+        self.name.eq_ignore_ascii_case(name)
+            || self.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Every registered algorithm — the paper's full ten-program workload
+/// table, in its order.
+pub fn all() -> &'static [AlgoSpec] {
+    &REGISTRY
+}
+
+/// Looks an algorithm up by name or alias.
+pub fn find(name: &str) -> Option<&'static AlgoSpec> {
+    REGISTRY.iter().find(|spec| spec.matches(name))
+}
+
+static REGISTRY: [AlgoSpec; 10] = [
+    AlgoSpec {
+        name: "bfs",
+        aliases: &[],
+        description: "breadth-first search from --source (§3.3)",
+        needs_weights: false,
+        run: run_bfs,
+    },
+    AlgoSpec {
+        name: "pagerank",
+        aliases: &["pr"],
+        description: "PageRank power iterations (§3.1)",
+        needs_weights: false,
+        run: run_pagerank,
+    },
+    AlgoSpec {
+        name: "sssp",
+        aliases: &["delta-stepping"],
+        description: "Δ-stepping shortest paths from --source (§3.4)",
+        needs_weights: true,
+        run: run_sssp,
+    },
+    AlgoSpec {
+        name: "cc",
+        aliases: &["components"],
+        description: "connected components by label-min propagation",
+        needs_weights: false,
+        run: run_cc,
+    },
+    AlgoSpec {
+        name: "kcore",
+        aliases: &["k-core"],
+        description: "k-core decomposition by iterative peeling",
+        needs_weights: false,
+        run: run_kcore,
+    },
+    AlgoSpec {
+        name: "labelprop",
+        aliases: &["lp"],
+        description: "synchronous community label propagation",
+        needs_weights: false,
+        run: run_labelprop,
+    },
+    AlgoSpec {
+        name: "coloring",
+        aliases: &["bgc"],
+        description: "Boman-style speculative graph coloring (§5)",
+        needs_weights: false,
+        run: run_coloring,
+    },
+    AlgoSpec {
+        name: "tc",
+        aliases: &["triangles"],
+        description: "triangle counting by adjacency intersection (§3.2)",
+        needs_weights: false,
+        run: run_tc,
+    },
+    AlgoSpec {
+        name: "mst",
+        aliases: &["boruvka"],
+        description: "Boruvka minimum spanning forest (§3.7)",
+        needs_weights: true,
+        run: run_mst,
+    },
+    AlgoSpec {
+        name: "bc",
+        aliases: &["betweenness"],
+        description: "Brandes betweenness centrality (§3.5)",
+        needs_weights: false,
+        run: run_bc,
+    },
+];
+
+fn distinct<T: Ord + Copy>(values: &[T]) -> usize {
+    let mut sorted: Vec<T> = values.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+fn run_bfs(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    let run = cfg.runner().run(g, BfsProgram::new(g, cfg.source));
+    let (_, level) = run.output;
+    let reached = level.iter().filter(|&&l| l != u32::MAX).count();
+    let depth = level.iter().filter(|&&l| l != u32::MAX).max().copied();
+    AlgoRun {
+        report: run.report,
+        summary: vec![
+            ("reached", reached.to_string()),
+            ("depth", depth.unwrap_or(0).to_string()),
+        ],
+    }
+}
+
+fn run_pagerank(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    let run = cfg
+        .runner()
+        .run(g, PageRankProgram::new(g, &PrOptions::default()));
+    let pr = run.output;
+    let sum: f64 = pr.iter().sum();
+    let top = pr
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(v, _)| v)
+        .unwrap_or(0);
+    AlgoRun {
+        report: run.report,
+        summary: vec![
+            ("rank_sum", format!("{sum:.6}")),
+            ("top_vertex", top.to_string()),
+        ],
+    }
+}
+
+fn run_sssp(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    let run = cfg
+        .runner()
+        .run(g, SsspProgram::new(g, cfg.source, &SsspOptions::default()));
+    let (dist, buckets) = run.output;
+    let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
+    let ecc = dist.iter().filter(|&&d| d != u64::MAX).max().copied();
+    AlgoRun {
+        report: run.report,
+        summary: vec![
+            ("reached", reached.to_string()),
+            ("max_dist", ecc.unwrap_or(0).to_string()),
+            ("epochs", buckets.len().to_string()),
+        ],
+    }
+}
+
+fn run_cc(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    let run = cfg.runner().run(g, CcProgram::new(g));
+    AlgoRun {
+        summary: vec![("components", distinct(&run.output).to_string())],
+        report: run.report,
+    }
+}
+
+fn run_kcore(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    let run = cfg.runner().run(g, KCoreProgram::new(g));
+    let degeneracy = run.output.iter().max().copied().unwrap_or(0);
+    AlgoRun {
+        report: run.report,
+        summary: vec![("degeneracy", degeneracy.to_string())],
+    }
+}
+
+fn run_labelprop(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    let run = cfg.runner().run(g, LabelPropProgram::new(g, cfg.lp_iters));
+    let (labels, iterations, converged) = run.output;
+    AlgoRun {
+        report: run.report,
+        summary: vec![
+            ("communities", distinct(&labels).to_string()),
+            ("iterations", iterations.to_string()),
+            ("converged", converged.to_string()),
+        ],
+    }
+}
+
+fn run_coloring(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    let run = cfg.runner().run(g, ColoringProgram::new(g));
+    AlgoRun {
+        summary: vec![("colors", distinct(&run.output).to_string())],
+        report: run.report,
+    }
+}
+
+fn run_tc(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    let run = cfg.runner().run(g, TcProgram::new(g));
+    // Per-corner counts: each triangle is counted once at each of its
+    // three corners.
+    let total: u64 = run.output.iter().sum::<u64>() / 3;
+    AlgoRun {
+        report: run.report,
+        summary: vec![("triangles", total.to_string())],
+    }
+}
+
+fn run_mst(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    let run = cfg.runner().run(g, MstProgram::new(g));
+    let (edges, total_weight) = run.output;
+    AlgoRun {
+        report: run.report,
+        summary: vec![
+            ("tree_edges", edges.len().to_string()),
+            ("total_weight", total_weight.to_string()),
+        ],
+    }
+}
+
+fn run_bc(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    let opts = BcOptions {
+        max_sources: cfg.bc_sources,
+    };
+    let run = cfg.runner().run(g, BcProgram::new(g, &opts));
+    let (top, score) = run
+        .output
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(v, &s)| (v, s))
+        .unwrap_or((0, 0.0));
+    AlgoRun {
+        report: run.report,
+        summary: vec![
+            ("top_vertex", top.to_string()),
+            ("top_score", format!("{score:.3}")),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::{gen, stats};
+
+    #[test]
+    fn registry_lists_ten_uniquely_named_algorithms() {
+        assert_eq!(all().len(), 10);
+        let mut names: Vec<&str> = Vec::new();
+        for spec in all() {
+            names.push(spec.name);
+            names.extend(spec.aliases);
+        }
+        let count = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), count, "names and aliases collide");
+    }
+
+    #[test]
+    fn find_resolves_names_and_aliases_case_insensitively() {
+        for spec in all() {
+            assert_eq!(find(spec.name).unwrap().name, spec.name);
+            assert_eq!(find(&spec.name.to_uppercase()).unwrap().name, spec.name);
+            for alias in spec.aliases {
+                assert_eq!(find(alias).unwrap().name, spec.name);
+            }
+        }
+        assert!(find("no-such-algo").is_none());
+    }
+
+    #[test]
+    fn every_algorithm_runs_by_name_with_a_sane_summary() {
+        let g = gen::rmat(7, 5, 3);
+        let gw = gen::with_random_weights(&g, 1, 40, 9);
+        let engine = Engine::new(2);
+        let probes = ProbeShards::new(engine.threads());
+        let cfg = RunConfig::new(&engine, &probes);
+        for spec in all() {
+            let run = spec.run(&cfg, if spec.needs_weights { &gw } else { &g });
+            assert!(
+                !run.summary.is_empty() && run.report.num_rounds() > 0,
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn summaries_match_reference_statistics() {
+        let g = gen::erdos_renyi(120, 90, 5); // several components
+        let engine = Engine::new(2);
+        let probes = ProbeShards::new(engine.threads());
+        let cfg = RunConfig::new(&engine, &probes);
+        let cc = find("cc").unwrap().run(&cfg, &g);
+        assert_eq!(
+            cc.summary[0],
+            ("components", stats::num_components(&g).to_string())
+        );
+        let bfs = find("bfs").unwrap().run(&cfg, &g);
+        let (level, _, _) = stats::bfs_levels(&g, 0);
+        let reached = level.iter().filter(|&&l| l != u32::MAX).count();
+        assert_eq!(bfs.summary[0], ("reached", reached.to_string()));
+        let tc = find("tc").unwrap().run(&cfg, &g);
+        let expected: u64 = pp_core::triangles::triangle_counts_seq(&g)
+            .iter()
+            .sum::<u64>()
+            / 3;
+        assert_eq!(tc.summary[0], ("triangles", expected.to_string()));
+    }
+
+    #[test]
+    fn modes_and_policies_flow_through_the_config() {
+        use pp_core::Direction;
+        let g = gen::rmat(7, 4, 1);
+        let engine = Engine::new(2);
+        let probes = ProbeShards::new(engine.threads());
+        for (_, policy) in DirectionPolicy::sweep() {
+            for (_, mode) in ExecutionMode::sweep() {
+                let cfg = RunConfig {
+                    policy,
+                    mode,
+                    ..RunConfig::new(&engine, &probes)
+                };
+                let run = find("cc").unwrap().run(&cfg, &g);
+                if let DirectionPolicy::Fixed(Direction::Push) = policy {
+                    assert_eq!(run.report.pull_rounds(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires edge weights")]
+    fn weighted_algorithms_reject_unweighted_graphs() {
+        let g = gen::path(10);
+        let engine = Engine::new(1);
+        let probes = ProbeShards::new(engine.threads());
+        let cfg = RunConfig::new(&engine, &probes);
+        find("mst").unwrap().run(&cfg, &g);
+    }
+}

@@ -145,6 +145,13 @@ impl CsrGraph {
         &self.targets
     }
 
+    /// Raw weight array parallel to [`CsrGraph::targets`], if the graph is
+    /// weighted. Exposed for bulk serialization ([`crate::snapshot`]).
+    #[inline]
+    pub fn weight_slab(&self) -> Option<&[Weight]> {
+        self.weights.as_deref()
+    }
+
     /// Binary-search adjacency test: is `(u, v)` an arc?
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {

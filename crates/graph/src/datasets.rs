@@ -7,6 +7,14 @@
 //! `Scale` shrinks every graph proportionally so the full experiment suite
 //! runs on a laptop; the push/pull contrasts the paper measures depend on
 //! degree and diameter *regimes*, not absolute sizes.
+//!
+//! **Have the real downloads?** You don't need this module: the `ppgraph`
+//! CLI in `pp-bench` ingests any SNAP-style edge list directly — convert
+//! once with `ppgraph convert roadNet-CA.txt -o road.ppg` (a binary
+//! [`crate::snapshot`] that loads in O(read)) and run any engine algorithm
+//! on it with `ppgraph run <algo> road.ppg`; see the README's "Run it on
+//! your own graph" section. These stand-ins remain the deterministic,
+//! always-available substrate for the experiment suite and CI.
 
 use crate::{gen, stats, CsrGraph, Weight};
 

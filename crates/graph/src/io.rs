@@ -3,9 +3,30 @@
 //! The format is the SNAP/Graph500 convention the paper's datasets ship in:
 //! one `u v [w]` triple per line, `#`-prefixed comment lines ignored.
 //! Round-tripping through this format is what lets users swap the synthetic
-//! stand-ins for the real downloads when they have them.
+//! stand-ins for the real downloads when they have them (see the `ppgraph`
+//! CLI in `pp-bench`).
+//!
+//! A file must be *consistently* weighted or unweighted: mixing 2-column
+//! and 3-column data lines is rejected with [`ParseError::MixedColumns`]
+//! instead of silently assigning weight 1 to the 2-column edges (which is
+//! what the first version of this reader did).
+//!
+//! [`write_edge_list`] emits a header comment
+//! `# pushpull edge list: n=<n> m=<m> weighted=<0|1>` and the reader
+//! honours `n=` when present, so graphs with isolated tail vertices (and
+//! edgeless weighted graphs) survive a round trip without the caller
+//! passing `min_vertices`.
+//!
+//! Parsing is byte-level — no per-line `String` allocation — and exposed in
+//! three composable stages so front-ends can parallelize it:
+//! [`shard_bounds`] cuts a buffer into line-aligned shards,
+//! [`parse_shard`] turns one shard into a [`ShardEdges`], and
+//! [`assemble_shards`] merges any number of them into a [`CsrGraph`].
+//! The sequential [`read_edge_list`] is exactly the one-shard pipeline;
+//! `pp_engine::ingest::read_edge_list_parallel` runs the same stages on the
+//! engine pool and is oracle-checked against this reader.
 
-use std::io::{BufRead, BufReader, Read, Write as IoWrite};
+use std::io::{Read, Write as IoWrite};
 
 use crate::{CsrGraph, GraphBuilder, VertexId, Weight};
 
@@ -16,6 +37,11 @@ pub enum ParseError {
     Io(std::io::Error),
     /// A malformed line (1-based line number and content).
     Malformed(usize, String),
+    /// A file mixing 2-column (unweighted) and 3-column (weighted) data
+    /// lines; carries the first line whose column count differs from the
+    /// file's first data line. Rejected outright: silently defaulting the
+    /// 2-column edges to weight 1 would corrupt weighted workloads.
+    MixedColumns(usize, String),
 }
 
 impl std::fmt::Display for ParseError {
@@ -25,6 +51,11 @@ impl std::fmt::Display for ParseError {
             ParseError::Malformed(line, content) => {
                 write!(f, "malformed edge list at line {line}: {content:?}")
             }
+            ParseError::MixedColumns(line, content) => write!(
+                f,
+                "line {line} mixes weighted and unweighted edges: {content:?} \
+                 (a file must be all `u v` or all `u v w`)"
+            ),
         }
     }
 }
@@ -37,65 +68,276 @@ impl From<std::io::Error> for ParseError {
     }
 }
 
-/// Reads an undirected graph from `u v [w]` lines. Vertex count is
-/// `max id + 1` unless `min_vertices` demands more.
-pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<CsrGraph, ParseError> {
-    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
-    let mut weighted = false;
-    let mut max_id: u64 = 0;
-    for (i, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
+/// The parse of one shard of an edge-list buffer: the building block shared
+/// by the sequential reader and parallel front-ends. Produced by
+/// [`parse_shard`], consumed by [`assemble_shards`].
+#[derive(Debug, Default)]
+pub struct ShardEdges {
+    /// Parsed `(u, v, w)` triples; `w = 1` on 2-column lines (whether those
+    /// weights are meaningful is decided globally in [`assemble_shards`]).
+    pub edges: Vec<(VertexId, VertexId, Weight)>,
+    /// Largest vertex id seen (0 when `edges` is empty).
+    pub max_id: u64,
+    /// First 2-column data line: global 1-based number and content.
+    pub first_unweighted: Option<(usize, String)>,
+    /// First 3-column data line: global 1-based number and content.
+    pub first_weighted: Option<(usize, String)>,
+    /// Largest `n=<count>` parsed from `#` header comments, if any.
+    pub header_n: Option<u64>,
+    /// Whether a `weighted=1` header marker was seen (used to restore the
+    /// weighted flag of edgeless graphs, which have no data lines to infer
+    /// it from).
+    pub header_weighted: bool,
+}
+
+/// Cuts `bytes` into at most `target` line-aligned shards covering the
+/// whole buffer. Returns `(start, end, first_line)` per shard, where
+/// `first_line` is the 1-based global number of the shard's first line —
+/// what [`parse_shard`] needs to report exact error positions.
+pub fn shard_bounds(bytes: &[u8], target: usize) -> Vec<(usize, usize, usize)> {
+    let len = bytes.len();
+    let target = target.max(1);
+    // Provisional cut points at even byte intervals, each advanced to the
+    // next line boundary so no line is split across shards.
+    let mut cuts: Vec<usize> = vec![0];
+    for i in 1..target {
+        let mut p = len * i / target;
+        while p < len && bytes[p] != b'\n' {
+            p += 1;
+        }
+        p = (p + 1).min(len); // step past the newline
+        if p > *cuts.last().unwrap() && p < len {
+            cuts.push(p);
+        }
+    }
+    cuts.push(len);
+    // One pass over the buffer assigns each cut its 1-based line number.
+    let mut bounds = Vec::with_capacity(cuts.len() - 1);
+    let mut line = 1usize;
+    let mut scanned = 0usize;
+    for w in cuts.windows(2) {
+        let (start, end) = (w[0], w[1]);
+        line += bytes[scanned..start]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        scanned = start;
+        bounds.push((start, end, line));
+    }
+    bounds
+}
+
+/// Scans an ASCII decimal field out of `line[i..]`, returning the value and
+/// the index one past its last digit. `None` on empty/non-digit/overflowing
+/// fields.
+fn scan_u64(line: &[u8], mut i: usize) -> Option<(u64, usize)> {
+    let start = i;
+    let mut value: u64 = 0;
+    while i < line.len() && line[i].is_ascii_digit() {
+        value = value
+            .checked_mul(10)?
+            .checked_add((line[i] - b'0') as u64)?;
+        i += 1;
+    }
+    (i > start).then_some((value, i))
+}
+
+/// Parses one shard of an edge-list buffer. `first_line` is the global
+/// 1-based number of the shard's first line (1 for a whole buffer).
+///
+/// Byte-level: fields are scanned in place with no per-line allocation
+/// (error paths copy the offending line, nothing else does).
+pub fn parse_shard(bytes: &[u8], first_line: usize) -> Result<ShardEdges, ParseError> {
+    let mut out = ShardEdges::default();
+    for (no, raw) in (first_line..).zip(bytes.split(|&b| b == b'\n')) {
+        // Tolerate CRLF endings and surrounding blanks.
+        let line = trim_ascii(raw);
+        if line.is_empty() {
             continue;
         }
-        let mut it = trimmed.split_whitespace();
-        let bad = || ParseError::Malformed(i + 1, trimmed.to_string());
-        let u: VertexId = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-        let v: VertexId = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-        let w = match it.next() {
-            Some(tok) => {
-                weighted = true;
-                tok.parse().map_err(|_| bad())?
+        if line[0] == b'#' {
+            scan_header(line, &mut out);
+            continue;
+        }
+        let bad = || ParseError::Malformed(no, String::from_utf8_lossy(line).into_owned());
+        let mut fields = [0u64; 3];
+        let mut count = 0usize;
+        let mut i = 0usize;
+        loop {
+            while i < line.len() && (line[i] == b' ' || line[i] == b'\t') {
+                i += 1;
             }
-            None => 1,
-        };
-        if it.next().is_some() {
+            if i == line.len() {
+                break;
+            }
+            if count == 3 {
+                return Err(bad()); // four or more columns
+            }
+            let (value, next) = scan_u64(line, i).ok_or_else(bad)?;
+            if next < line.len() && line[next] != b' ' && line[next] != b'\t' {
+                return Err(bad()); // trailing junk glued to the number
+            }
+            fields[count] = value;
+            count += 1;
+            i = next;
+        }
+        // Ids must stay *below* VertexId::MAX: the vertex count is
+        // `max id + 1`, and GraphBuilder caps counts at VertexId::MAX —
+        // an id of exactly u32::MAX could never be built.
+        if count < 2 || fields[0] >= VertexId::MAX as u64 || fields[1] >= VertexId::MAX as u64 {
             return Err(bad());
         }
-        max_id = max_id.max(u as u64).max(v as u64);
-        edges.push((u, v, w));
+        let (u, v) = (fields[0] as VertexId, fields[1] as VertexId);
+        let w = if count == 3 {
+            if out.first_weighted.is_none() {
+                out.first_weighted = Some((no, String::from_utf8_lossy(line).into_owned()));
+            }
+            Weight::try_from(fields[2]).map_err(|_| bad())?
+        } else {
+            if out.first_unweighted.is_none() {
+                out.first_unweighted = Some((no, String::from_utf8_lossy(line).into_owned()));
+            }
+            1
+        };
+        out.max_id = out.max_id.max(u as u64).max(v as u64);
+        out.edges.push((u, v, w));
     }
-    let n = if edges.is_empty() {
-        min_vertices
-    } else {
-        min_vertices.max(max_id as usize + 1)
+    Ok(out)
+}
+
+/// Strips ASCII whitespace (spaces, tabs, `\r`) from both ends.
+fn trim_ascii(mut s: &[u8]) -> &[u8] {
+    while let [b' ' | b'\t' | b'\r', rest @ ..] = s {
+        s = rest;
+    }
+    while let [rest @ .., b' ' | b'\t' | b'\r'] = s {
+        s = rest;
+    }
+    s
+}
+
+/// Extracts `n=<count>` and `weighted=<0|1>` tokens from a comment line.
+///
+/// Headers are advisory and may come from foreign tools, so tokens are
+/// never an error: an `n=` whose value could not be built anyway (above
+/// the `GraphBuilder` cap of `VertexId::MAX` vertices) is ignored rather
+/// than allowed to panic or demand an absurd allocation downstream.
+fn scan_header(line: &[u8], out: &mut ShardEdges) {
+    for token in line.split(|&b| b == b' ' || b == b'\t') {
+        if let Some(rest) = token.strip_prefix(b"n=") {
+            if let Some((n, end)) = scan_u64(rest, 0) {
+                if end == rest.len() && n <= VertexId::MAX as u64 {
+                    out.header_n = Some(out.header_n.unwrap_or(0).max(n));
+                }
+            }
+        } else if token == b"weighted=1" {
+            out.header_weighted = true;
+        }
+    }
+}
+
+/// Merges shard parses (in file order) into a [`CsrGraph`]. This is where
+/// the global decisions live: the weighted/unweighted flag (mixing is
+/// rejected — see [`ParseError::MixedColumns`]), the vertex count
+/// (`max(min_vertices, header n=, max id + 1)`), and the single
+/// [`GraphBuilder`] pass.
+pub fn assemble_shards(
+    shards: Vec<ShardEdges>,
+    min_vertices: usize,
+) -> Result<CsrGraph, ParseError> {
+    let first_of = |pick: fn(&ShardEdges) -> &Option<(usize, String)>| {
+        shards
+            .iter()
+            .filter_map(|s| pick(s).as_ref())
+            .min_by_key(|(line, _)| *line)
+            .cloned()
     };
-    let b = GraphBuilder::undirected(n);
-    Ok(if weighted {
-        b.weighted_edges(edges).build()
+    let first_unweighted = first_of(|s| &s.first_unweighted);
+    let first_weighted = first_of(|s| &s.first_weighted);
+    if let (Some(uw), Some(w)) = (&first_unweighted, &first_weighted) {
+        // Both arities present: the offender is whichever appears later
+        // (the first line that differs from the file's first data line).
+        let (line, content) = if uw.0 > w.0 { uw } else { w };
+        return Err(ParseError::MixedColumns(*line, content.clone()));
+    }
+    let header_n = shards.iter().filter_map(|s| s.header_n).max();
+    let header_weighted = shards.iter().any(|s| s.header_weighted);
+    let max_id = shards.iter().map(|s| s.max_id).max().unwrap_or(0);
+    let total: usize = shards.iter().map(|s| s.edges.len()).sum();
+    let has_edges = total > 0;
+
+    let mut n = min_vertices.max(header_n.unwrap_or(0) as usize);
+    if has_edges {
+        n = n.max(max_id as usize + 1);
+    }
+    // Data lines decide the weighted flag when present; the header marker
+    // restores it for edgeless graphs (which have no lines to infer from).
+    let weighted = first_weighted.is_some() || (!has_edges && header_weighted);
+
+    let mut b = GraphBuilder::undirected(n);
+    if weighted {
+        for s in shards {
+            for (u, v, w) in s.edges {
+                b.add_weighted_edge(u, v, w);
+            }
+        }
+        // Edgeless weighted graphs had no `add_weighted_edge` call to set
+        // the flag; route through the marking builder API.
+        if !has_edges {
+            return Ok(b.weighted_edges(std::iter::empty()).build());
+        }
     } else {
-        b.edges(edges.into_iter().map(|(u, v, _)| (u, v))).build()
-    })
+        for s in shards {
+            for (u, v, _) in s.edges {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Parses a whole in-memory edge-list buffer (the one-shard pipeline).
+pub fn parse_edge_list(bytes: &[u8], min_vertices: usize) -> Result<CsrGraph, ParseError> {
+    assemble_shards(vec![parse_shard(bytes, 1)?], min_vertices)
+}
+
+/// Reads an undirected graph from `u v [w]` lines. Vertex count is
+/// `max id + 1` unless `min_vertices` — or an `n=<count>` header comment
+/// (which [`write_edge_list`] emits) — demands more.
+pub fn read_edge_list<R: Read>(mut reader: R, min_vertices: usize) -> Result<CsrGraph, ParseError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_edge_list(&bytes, min_vertices)
 }
 
 /// Writes a graph as `u v [w]` lines (each undirected edge once), with a
-/// header comment carrying the counts.
+/// header comment carrying the counts and the weighted flag — everything
+/// [`read_edge_list`] needs to reconstruct the graph exactly, isolated
+/// tail vertices included.
 pub fn write_edge_list<W: IoWrite>(g: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    use std::fmt::Write as FmtWrite;
     writeln!(
         writer,
-        "# pushpull edge list: n={} m={}",
+        "# pushpull edge list: n={} m={} weighted={}",
         g.num_vertices(),
-        g.num_edges()
+        g.num_edges(),
+        u8::from(g.is_weighted())
     )?;
+    // Format into a chunked buffer: one write syscall per ~64 KiB instead
+    // of one per edge.
+    let mut buf = String::with_capacity(64 * 1024 + 64);
     for (u, v, w) in g.edges() {
         if g.is_weighted() {
-            writeln!(writer, "{u} {v} {w}")?;
+            let _ = writeln!(buf, "{u} {v} {w}");
         } else {
-            writeln!(writer, "{u} {v}")?;
+            let _ = writeln!(buf, "{u} {v}");
+        }
+        if buf.len() >= 64 * 1024 {
+            writer.write_all(buf.as_bytes())?;
+            buf.clear();
         }
     }
-    Ok(())
+    writer.write_all(buf.as_bytes())
 }
 
 #[cfg(test)]
@@ -122,6 +364,14 @@ mod tests {
     }
 
     #[test]
+    fn parses_crlf_and_tab_separated_lines() {
+        let g = read_edge_list("# crlf\r\n0\t1\r\n1\t2\r\n\r\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+    }
+
+    #[test]
     fn min_vertices_pads_isolated_tail() {
         let g = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
         assert_eq!(g.num_vertices(), 10);
@@ -136,10 +386,122 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        for bad in ["0\n", "0 x\n", "0 1 2 3\n", "a b\n"] {
+        for bad in ["0\n", "0 x\n", "0 1 2 3\n", "a b\n", "0 1x\n", "-1 2\n"] {
             let err = read_edge_list(bad.as_bytes(), 0).unwrap_err();
             assert!(matches!(err, ParseError::Malformed(1, _)), "{bad:?}: {err}");
         }
+    }
+
+    #[test]
+    fn rejects_oversized_ids_and_weights() {
+        // u32::MAX itself is rejected too: `max id + 1` must fit the
+        // builder's VertexId::MAX vertex-count cap (the old reader would
+        // have panicked inside GraphBuilder instead of erroring).
+        for big in [u64::from(VertexId::MAX), u64::from(VertexId::MAX) + 1] {
+            assert!(matches!(
+                read_edge_list(format!("{big} 1\n").as_bytes(), 0).unwrap_err(),
+                ParseError::Malformed(1, _)
+            ));
+        }
+        let big_w = format!("0 1 {}\n", u64::from(Weight::MAX) + 1);
+        assert!(matches!(
+            read_edge_list(big_w.as_bytes(), 0).unwrap_err(),
+            ParseError::Malformed(1, _)
+        ));
+    }
+
+    #[test]
+    fn absurd_header_counts_are_ignored_not_trusted() {
+        // Regression (review finding): an `n=` token in any comment line
+        // used to flow unvalidated into GraphBuilder::undirected, so
+        // untrusted text could panic the parser ("vertex count exceeds
+        // VertexId") or demand a multi-GB allocation. Unbuildable counts
+        // are now ignored like any other foreign comment content.
+        let text = format!("# n={}\n0 1\n", u64::from(VertexId::MAX) + 1);
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        let text = "# n=99999999999999999999999999 overflow\n0 1\n";
+        assert_eq!(
+            read_edge_list(text.as_bytes(), 0).unwrap().num_vertices(),
+            2
+        );
+    }
+
+    #[test]
+    fn rejects_mixed_unweighted_then_weighted() {
+        // Regression: the old reader flipped its `weighted` flag on the
+        // first 3-column line and silently gave the earlier edges weight 1.
+        let err = read_edge_list("0 1\n1 2 7\n".as_bytes(), 0).unwrap_err();
+        match err {
+            ParseError::MixedColumns(line, content) => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "1 2 7");
+            }
+            other => panic!("expected MixedColumns, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_mixed_weighted_then_unweighted() {
+        let err = read_edge_list("# c\n0 1 7\n\n1 2\n".as_bytes(), 0).unwrap_err();
+        match err {
+            ParseError::MixedColumns(line, content) => {
+                assert_eq!(line, 4);
+                assert_eq!(content, "1 2");
+            }
+            other => panic!("expected MixedColumns, got {other}"),
+        }
+    }
+
+    #[test]
+    fn consistent_files_parse_in_both_arities() {
+        let unweighted = read_edge_list("0 1\n1 2\n2 0\n".as_bytes(), 0).unwrap();
+        assert!(!unweighted.is_weighted());
+        assert_eq!(unweighted.num_edges(), 3);
+        let weighted = read_edge_list("0 1 4\n1 2 5\n2 0 6\n".as_bytes(), 0).unwrap();
+        assert!(weighted.is_weighted());
+        assert_eq!(weighted.num_edges(), 3);
+    }
+
+    #[test]
+    fn header_restores_isolated_tail_vertices() {
+        // Regression: the writer's `n=` header was ignored, so any graph
+        // with isolated tail vertices shrank on round-trip unless the
+        // caller happened to pass the right `min_vertices`.
+        let g = crate::GraphBuilder::undirected(9).edge(0, 1).build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), 0).unwrap();
+        assert_eq!(back.num_vertices(), 9);
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn header_weighted_marker_survives_edgeless_graphs() {
+        let g = crate::GraphBuilder::undirected(4)
+            .weighted_edges(std::iter::empty())
+            .build();
+        assert!(g.is_weighted());
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), 0).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn explicit_min_vertices_still_wins_over_the_header() {
+        let g = read_edge_list("# n=3 weighted=0\n0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn foreign_headers_are_ignored() {
+        // SNAP-style headers carry no n=/weighted= tokens; they must simply
+        // be skipped.
+        let text = "# Nodes: 4 Edges: 2\n# FromNodeId\tToNodeId\n0 1\n2 3\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
     }
 
     #[test]
@@ -150,8 +512,62 @@ mod tests {
         ] {
             let mut buf = Vec::new();
             write_edge_list(&g, &mut buf).unwrap();
-            let back = read_edge_list(buf.as_slice(), g.num_vertices()).unwrap();
+            let back = read_edge_list(buf.as_slice(), 0).unwrap();
             assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn shard_bounds_cover_the_buffer_at_line_boundaries() {
+        let text = "0 1\n1 2\n2 3\n3 4\n4 5\n5 6\n6 7\n";
+        let bytes = text.as_bytes();
+        for target in [1, 2, 3, 7, 50] {
+            let bounds = shard_bounds(bytes, target);
+            assert_eq!(bounds.first().unwrap().0, 0, "target={target}");
+            assert_eq!(bounds.last().unwrap().1, bytes.len(), "target={target}");
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous, target={target}");
+            }
+            for &(start, _, first_line) in &bounds {
+                if start > 0 {
+                    assert_eq!(bytes[start - 1], b'\n', "line-aligned");
+                }
+                let newlines = bytes[..start].iter().filter(|&&b| b == b'\n').count();
+                assert_eq!(first_line, newlines + 1, "line numbering");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_assembly_matches_the_single_shard_parse() {
+        let text = "# n=40 weighted=0\n0 1\n\n2 3\r\n# mid comment\n4 5\n6 7\n8 9\n";
+        let bytes = text.as_bytes();
+        let whole = parse_edge_list(bytes, 0).unwrap();
+        for target in [2, 3, 5] {
+            let shards: Vec<ShardEdges> = shard_bounds(bytes, target)
+                .into_iter()
+                .map(|(s, e, l)| parse_shard(&bytes[s..e], l).unwrap())
+                .collect();
+            assert_eq!(assemble_shards(shards, 0).unwrap(), whole, "t={target}");
+        }
+    }
+
+    #[test]
+    fn sharded_mixed_detection_reports_the_global_flip_line() {
+        // The flip (line 4) and the first weighted line (line 2) land in
+        // different shards; the merged error must still name line 4.
+        let text = "# c\n0 1 7\n1 2 9\n3 4\n5 6 1\n";
+        let bytes = text.as_bytes();
+        let shards: Vec<ShardEdges> = shard_bounds(bytes, 3)
+            .into_iter()
+            .map(|(s, e, l)| parse_shard(&bytes[s..e], l).unwrap())
+            .collect();
+        match assemble_shards(shards, 0).unwrap_err() {
+            ParseError::MixedColumns(line, content) => {
+                assert_eq!(line, 4);
+                assert_eq!(content, "3 4");
+            }
+            other => panic!("expected MixedColumns, got {other}"),
         }
     }
 
@@ -161,5 +577,15 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("line 1"));
         assert!(msg.contains("nope"));
+        let err = read_edge_list("0 1\n1 2 3\n".as_bytes(), 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"));
+        assert!(msg.contains("mixes"));
+    }
+
+    #[test]
+    fn error_line_numbers_count_comments_and_blanks() {
+        let err = read_edge_list("# one\n\n0 1\nbad line\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(4, _)), "{err}");
     }
 }

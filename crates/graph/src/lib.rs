@@ -14,6 +14,7 @@ pub mod io;
 pub mod partition;
 pub mod partition_aware;
 pub mod reorder;
+pub mod snapshot;
 pub mod stats;
 
 pub use builder::GraphBuilder;

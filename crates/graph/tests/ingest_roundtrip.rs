@@ -1,0 +1,94 @@
+//! Property: every generator-family graph — weighted or not — survives
+//! both serialization paths with exact (`==`) equality:
+//!
+//! * text edge list: `write_edge_list` → `read_edge_list` with
+//!   `min_vertices = 0` (the `n=`/`weighted=` header must carry isolated
+//!   tail vertices and the weighted flag on its own);
+//! * binary snapshot: `save_ppg` → `load_ppg`.
+
+use pp_graph::io::{read_edge_list, write_edge_list};
+use pp_graph::snapshot::{load_ppg, save_ppg};
+use pp_graph::{gen, CsrGraph};
+use proptest::prelude::*;
+
+/// One graph from each `gen::*` family, sized and seeded by the strategy.
+fn arb_family_graph() -> impl Strategy<Value = (&'static str, CsrGraph)> {
+    (0usize..12, 1u64..1_000).prop_map(|(family, seed)| match family {
+        0 => (
+            "rmat",
+            gen::rmat(5 + (seed % 3) as u32, 2 + (seed % 4) as usize, seed),
+        ),
+        1 => (
+            "erdos_renyi",
+            gen::erdos_renyi(2 + (seed % 60) as usize, (seed % 150) as usize, seed),
+        ),
+        2 => (
+            "road_grid",
+            gen::road_grid(2 + (seed % 8) as usize, 2 + (seed % 9) as usize, 0.6, seed),
+        ),
+        3 => (
+            "community",
+            gen::community(2 + (seed % 3) as usize, 8, 20, 10, seed),
+        ),
+        4 => ("path", gen::path((seed % 40) as usize)),
+        5 => ("cycle", gen::cycle(3 + (seed % 40) as usize)),
+        6 => ("star", gen::star(1 + (seed % 40) as usize)),
+        7 => ("complete", gen::complete((seed % 14) as usize)),
+        8 => ("binary_tree", gen::binary_tree((seed % 40) as usize)),
+        9 => (
+            "barabasi_albert",
+            gen::barabasi_albert(4 + (seed % 60) as usize, 1 + (seed % 3) as usize, seed),
+        ),
+        10 => (
+            "watts_strogatz",
+            gen::watts_strogatz(8 + (seed % 50) as usize, 1 + (seed % 3) as usize, 0.2, seed),
+        ),
+        _ => (
+            "bipartite",
+            gen::bipartite(
+                1 + (seed % 10) as usize,
+                1 + (seed % 12) as usize,
+                (seed % 60) as usize,
+                seed,
+            ),
+        ),
+    })
+}
+
+fn assert_both_round_trips(g: &CsrGraph, ctx: &str) {
+    let mut text = Vec::new();
+    write_edge_list(g, &mut text).unwrap();
+    let back = read_edge_list(text.as_slice(), 0)
+        .unwrap_or_else(|e| panic!("{ctx}: edge list re-read failed: {e}"));
+    assert_eq!(&back, g, "{ctx}: edge-list round trip");
+
+    let mut bin = Vec::new();
+    save_ppg(g, &mut bin).unwrap();
+    let back =
+        load_ppg(bin.as_slice()).unwrap_or_else(|e| panic!("{ctx}: snapshot re-read failed: {e}"));
+    assert_eq!(&back, g, "{ctx}: .ppg round trip");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn any_generated_graph_round_trips_unweighted(
+        case in arb_family_graph(),
+    ) {
+        let (family, g) = case;
+        assert_both_round_trips(&g, family);
+    }
+
+    #[test]
+    fn any_generated_graph_round_trips_weighted(
+        case in arb_family_graph(),
+        lo in 1u32..5,
+        span in 0u32..90,
+        wseed in 0u64..1_000,
+    ) {
+        let (family, g) = case;
+        let gw = gen::with_random_weights(&g, lo, lo + span, wseed);
+        assert_both_round_trips(&gw, family);
+    }
+}

@@ -1,0 +1,114 @@
+//! Ingestion subsystem integration: the parallel edge-list parser is
+//! oracle-equivalent to the sequential reader on arbitrarily messy inputs
+//! (comments, blank lines, CRLF endings, weighted files), and the engine
+//! registry can run every Program by name on a graph that arrived through
+//! the ingestion path rather than a generator.
+
+use pp_engine::registry::{self, RunConfig};
+use pp_engine::{ingest, Engine, ProbeShards};
+use pp_graph::io::{parse_edge_list, write_edge_list, ParseError};
+use pp_graph::{gen, snapshot};
+use proptest::prelude::*;
+
+/// A syntactically valid but messy edge-list file: random comments, blank
+/// lines, CRLF/LF endings, and leading/trailing whitespace around a
+/// consistent 2- or 3-column body.
+fn arb_messy_edge_list() -> impl Strategy<Value = String> {
+    (
+        1usize..60, // vertex-id range
+        proptest::collection::vec((0u32..60, 0u32..60, 1u32..9, 0u8..6), 0..120),
+        0u8..2, // weighted body?
+        0u8..2, // emit an n= header?
+    )
+        .prop_map(|(n, rows, weighted, header)| {
+            let (weighted, header) = (weighted == 1, header == 1);
+            let n = n as u32;
+            let mut text = String::new();
+            if header {
+                text.push_str(&format!("# pushpull edge list: n={n} m=0 weighted=0\n"));
+            }
+            for (u, v, w, decoration) in rows {
+                match decoration {
+                    0 => text.push_str("# a comment line\r\n"),
+                    1 => text.push('\n'),
+                    2 => text.push_str("   \r\n"),
+                    _ => {}
+                }
+                let (u, v) = (u % n, v % n);
+                let line_end = if decoration % 2 == 0 { "\r\n" } else { "\n" };
+                if weighted {
+                    text.push_str(&format!(" {u}\t{v} {w}{line_end}"));
+                } else {
+                    text.push_str(&format!("{u} {v}{line_end}"));
+                }
+            }
+            text
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_parse_equals_sequential_parse_on_messy_inputs(
+        text in arb_messy_edge_list(),
+        threads in 1usize..5,
+    ) {
+        let seq = parse_edge_list(text.as_bytes(), 0).unwrap();
+        let engine = Engine::new(threads);
+        let par = ingest::read_edge_list_parallel(&engine, text.as_bytes(), 0).unwrap();
+        prop_assert_eq!(par, seq);
+    }
+}
+
+#[test]
+fn parallel_parse_handles_the_documented_decorations() {
+    // The satellite's explicit cases: comments, blank lines, CRLF endings.
+    let text = "# SNAP-style comment\r\n\r\n0 1\r\n\n1 2\n# another\n 2 3 \r\n";
+    let seq = parse_edge_list(text.as_bytes(), 0).unwrap();
+    for threads in [1, 2, 4] {
+        let engine = Engine::new(threads);
+        let par = ingest::read_edge_list_parallel(&engine, text.as_bytes(), 0).unwrap();
+        assert_eq!(par, seq, "threads={threads}");
+    }
+    assert_eq!(seq.num_edges(), 3);
+}
+
+#[test]
+fn parallel_parse_rejects_mixed_files_like_the_sequential_reader() {
+    let text = "0 1 5\n1 2\n";
+    let engine = Engine::new(2);
+    let seq = parse_edge_list(text.as_bytes(), 0).unwrap_err();
+    let par = ingest::read_edge_list_parallel(&engine, text.as_bytes(), 0).unwrap_err();
+    assert!(matches!(seq, ParseError::MixedColumns(2, _)));
+    assert!(matches!(par, ParseError::MixedColumns(2, _)));
+}
+
+/// The acceptance scenario: all ten Programs, dispatched by registry name,
+/// on a graph the engine did not generate — it went RMAT → text edge list
+/// → parallel parse → `.ppg` → load, and only then to the runner.
+#[test]
+fn registry_runs_all_ten_programs_on_an_ingested_graph() {
+    let original = gen::rmat(8, 6, 0xfeed);
+    let mut text = Vec::new();
+    write_edge_list(&original, &mut text).unwrap();
+
+    let engine = Engine::new(2);
+    let parsed = ingest::read_edge_list_parallel(&engine, &text, 0).unwrap();
+    assert_eq!(parsed, original);
+
+    let mut bin = Vec::new();
+    snapshot::save_ppg(&parsed, &mut bin).unwrap();
+    let g = snapshot::load_ppg(bin.as_slice()).unwrap();
+    assert_eq!(g, original);
+    let gw = gen::with_random_weights(&g, 1, 32, 7);
+
+    let probes = ProbeShards::new(engine.threads());
+    let cfg = RunConfig::new(&engine, &probes);
+    assert_eq!(registry::all().len(), 10);
+    for spec in registry::all() {
+        let run = spec.run(&cfg, if spec.needs_weights { &gw } else { &g });
+        assert!(run.report.num_rounds() > 0, "{} ran no rounds", spec.name);
+        assert!(!run.summary.is_empty(), "{} had no summary", spec.name);
+    }
+}
