@@ -24,12 +24,14 @@ use std::io::{Read, Write};
 use std::time::Instant;
 
 use pp_bench::experiments::json_escape;
+use pp_bench::json::{self, Value};
 use pp_core::Direction;
+use pp_engine::policy::{BEAMER_ALPHA, BEAMER_BETA};
 use pp_engine::registry::{self, AlgoRun, RunConfig};
 use pp_engine::{ingest, DirectionPolicy, Engine, ExecutionMode, ProbeShards};
 use pp_graph::datasets::{Dataset, Scale};
 use pp_graph::{gen, io as gio, reorder, snapshot, stats, CsrGraph, VertexId, Weight};
-use pp_telemetry::NullProbe;
+use pp_telemetry::{CountingProbe, EventCounts, MetricsLevel, NullProbe};
 
 const USAGE: &str = "\
 usage: ppgraph <command> [args]
@@ -52,8 +54,18 @@ commands:
   run <algo> [IN] [--threads N] [--direction push|pull|adaptive]
              [--mode atomic|pa] [--source V] [--reorder degree|bfs]
              [--weights LO:HI] [--lp-iters K] [--bc-sources K] [--json PATH]
+             [--trace PATH] [--metrics PATH]
       runs a registry algorithm; --json dumps a machine-readable report
-      ('-' = stdout) whose rows match `tables engine --json`
+      ('-' = stdout) whose rows match `tables engine --json`.
+      --trace writes a Chrome trace-event JSON (chrome://tracing /
+      Perfetto: per-round spans, per-worker lanes, switch markers);
+      --metrics writes the unified observability JSON (rows + RunReport
+      timing + per-round policy decisions + Table-1 event counts +
+      per-worker laps), readable by `ppgraph report`
+  report <metrics.json>
+      renders a --metrics file as a per-round table and flags anomalies
+      (policy decisions contradicting the Beamer thresholds, worker load
+      imbalance over 2x)
   algos
       lists every runnable algorithm with its aliases
 
@@ -72,6 +84,7 @@ fn main() {
         Some("convert") => cmd_convert(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("algos") => cmd_algos(),
         Some(other) => die(&format!("unknown command: {other}\n\n{USAGE}")),
     }
@@ -103,6 +116,8 @@ struct Opts {
     lp_iters: usize,
     bc_sources: Option<usize>,
     json: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -180,6 +195,8 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.bc_sources = (k > 0).then_some(k);
             }
             "--json" => o.json = Some(value(args, &mut i, "--json")),
+            "--trace" => o.trace = Some(value(args, &mut i, "--trace")),
+            "--metrics" => o.metrics = Some(value(args, &mut i, "--metrics")),
             flag if flag.starts_with("--") => die(&format!("unknown option: {flag}")),
             positional => o.positional.push(positional.to_string()),
         }
@@ -439,19 +456,47 @@ fn cmd_run(args: &[String]) {
         ));
     }
 
-    let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
     let policy_name = o.direction.as_deref().unwrap_or("adaptive");
     let mode_name = o.mode.as_deref().unwrap_or("atomic");
-    let cfg = RunConfig {
-        policy: policy_of(policy_name),
-        mode: mode_of(mode_name),
-        source: o.source,
-        lp_iters: o.lp_iters,
-        bc_sources: o.bc_sources,
-        ..RunConfig::new(&engine, &probes)
+    // Observability level: --trace needs the per-round × per-worker
+    // substrate, --metrics alone needs timing, neither keeps today's
+    // zero-overhead NullProbe path untouched.
+    let level = if o.trace.is_some() {
+        MetricsLevel::Trace
+    } else if o.metrics.is_some() {
+        MetricsLevel::Timing
+    } else {
+        MetricsLevel::Off
     };
     let run_start = Instant::now();
-    let run = spec.run(&cfg, &g);
+    let (run, counts) = if level == MetricsLevel::Off {
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let cfg = RunConfig {
+            policy: policy_of(policy_name),
+            mode: mode_of(mode_name),
+            source: o.source,
+            lp_iters: o.lp_iters,
+            bc_sources: o.bc_sources,
+            ..RunConfig::new(&engine, &probes)
+        };
+        (spec.run(&cfg, &g), None)
+    } else {
+        // Observed runs count events too: one run yields timing AND the
+        // Table-1 counters for the metrics file.
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        let cfg = RunConfig {
+            policy: policy_of(policy_name),
+            mode: mode_of(mode_name),
+            collect: level,
+            source: o.source,
+            lp_iters: o.lp_iters,
+            bc_sources: o.bc_sources,
+            ..RunConfig::new(&engine, &probes)
+        };
+        let spec = registry::find_counting(algo).expect("the registry tables mirror each other");
+        let run = spec.run(&cfg, &g);
+        (run, Some(probes.merged()))
+    };
     let ms = run_start.elapsed().as_secs_f64() * 1e3;
 
     // Human-readable account. When the JSON goes to stdout it must be the
@@ -488,23 +533,58 @@ fn cmd_run(args: &[String]) {
         run.report.phases,
         run.report.edges_traversed(),
     );
+    if level.times() {
+        let _ = writeln!(
+            narrate,
+            "  timed: {:.3} ms in rounds ({:.3} ms elapsed), {} switches, \
+             imbalance {:.2}x",
+            run.report.round_duration_ns() as f64 / 1e6,
+            run.report.elapsed_ns as f64 / 1e6,
+            run.report.switches(),
+            run.report.imbalance(),
+        );
+    }
 
+    let j = RunJson {
+        dataset,
+        algo: spec.name,
+        policy: policy_name,
+        mode: mode_name,
+        threads: engine.threads(),
+        n: g.num_vertices(),
+        m: g.num_edges(),
+        ms,
+        load_ms,
+        run: &run,
+    };
     if let Some(path) = o.json.as_deref() {
-        let doc = render_run_json(&RunJson {
-            dataset,
-            algo: spec.name,
-            policy: policy_name,
-            mode: mode_name,
-            threads: engine.threads(),
-            n: g.num_vertices(),
-            m: g.num_edges(),
-            ms,
-            load_ms,
-            run: &run,
-        });
+        let doc = render_run_json(&j);
         write_output(Some(path), |w| w.write_all(doc.as_bytes()));
         if path != "-" {
             let _ = writeln!(narrate, "wrote JSON report to {path}");
+        }
+    }
+    if let Some(path) = o.trace.as_deref() {
+        let trace = run
+            .report
+            .chrome_trace(&format!("{} {policy_name}", spec.name));
+        write_output(Some(path), |w| trace.write(w));
+        if path != "-" {
+            let _ = writeln!(
+                narrate,
+                "wrote Chrome trace to {path} ({} events; load in chrome://tracing)",
+                trace.len()
+            );
+        }
+    }
+    if let Some(path) = o.metrics.as_deref() {
+        let doc = render_metrics_json(&j, &counts.unwrap_or_default());
+        write_output(Some(path), |w| w.write_all(doc.as_bytes()));
+        if path != "-" {
+            let _ = writeln!(
+                narrate,
+                "wrote metrics to {path} (render with `ppgraph report {path}`)"
+            );
         }
     }
 }
@@ -523,13 +603,12 @@ struct RunJson<'a> {
     run: &'a AlgoRun,
 }
 
-/// Renders the run report. The `rows` array matches the record shape of
-/// `tables engine --json` (`dataset`/`mode`/`algo`/`threads`/`ms`), so
-/// perf-trajectory tooling can consume both files with one parser; the
-/// `summary` and `report` objects carry the run's output digest and the
-/// unified round statistics.
-fn render_run_json(j: &RunJson<'_>) -> String {
-    let mut out = String::from("{\n");
+/// The sections `--json` and `--metrics` share: the `rows` array matches
+/// the record shape of `tables engine --json`
+/// (`dataset`/`mode`/`algo`/`threads`/`ms`), so perf-trajectory tooling
+/// can consume every harness file with one parser; `graph` and `summary`
+/// carry the input's shape and the run's output digest.
+fn push_common_sections(out: &mut String, j: &RunJson<'_>) {
     out.push_str("  \"experiment\": \"ppgraph\",\n");
     out.push_str(&format!(
         "  \"rows\": [\n    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"algo\": \"{} {}\", \
@@ -553,11 +632,14 @@ fn render_run_json(j: &RunJson<'_>) -> String {
         out.push_str(&format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)));
     }
     out.push_str("},\n");
+}
+
+fn push_report_object(out: &mut String, j: &RunJson<'_>, extended: bool) {
     let r = &j.run.report;
     out.push_str(&format!(
         "  \"report\": {{\"rounds\": {}, \"phases\": {}, \"push_rounds\": {}, \
          \"pull_rounds\": {}, \"edges_traversed\": {}, \"remote_updates\": {}, \
-         \"max_buffer_peak\": {}}}\n",
+         \"max_buffer_peak\": {}",
         r.num_rounds(),
         r.phases,
         r.push_rounds(),
@@ -566,8 +648,276 @@ fn render_run_json(j: &RunJson<'_>) -> String {
         r.remote_updates(),
         r.max_buffer_peak()
     ));
-    out.push_str("}\n");
+    if extended {
+        out.push_str(&format!(
+            ", \"elapsed_ns\": {}, \"round_duration_ns\": {}, \"push_ns\": {}, \
+             \"pull_ns\": {}, \"switches\": {}, \"imbalance\": {:.4}",
+            r.elapsed_ns,
+            r.round_duration_ns(),
+            r.dir_duration_ns(Direction::Push),
+            r.dir_duration_ns(Direction::Pull),
+            r.switches(),
+            r.imbalance()
+        ));
+    }
+    out.push('}');
+}
+
+/// Renders the `--json` run report (rows + graph + summary + aggregate
+/// report — the PR-5 shape, unchanged).
+fn render_run_json(j: &RunJson<'_>) -> String {
+    let mut out = String::from("{\n");
+    push_common_sections(&mut out, j);
+    push_report_object(&mut out, j, false);
+    out.push_str("\n}\n");
     out
+}
+
+/// Renders the `--metrics` document: the common sections plus the timed
+/// report aggregates, round-duration percentiles, Table-1 event counts,
+/// per-worker laps, and one record per round with its policy decision —
+/// everything `ppgraph report` renders back.
+fn render_metrics_json(j: &RunJson<'_>, counts: &EventCounts) -> String {
+    let r = &j.run.report;
+    let mut out = String::from("{\n");
+    push_common_sections(&mut out, j);
+    push_report_object(&mut out, j, true);
+    out.push_str(",\n");
+    let h = r.round_histogram();
+    out.push_str(&format!(
+        "  \"timing\": {{\"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+         \"max_ns\": {}}},\n",
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max()
+    ));
+    out.push_str(&format!(
+        "  \"counts\": {{\"reads\": {}, \"writes\": {}, \"atomics\": {}, \"locks\": {}, \
+         \"branches_cond\": {}, \"branches_uncond\": {}, \"barriers\": {}, \
+         \"remote_sends\": {}, \"l1_misses\": {}, \"l2_misses\": {}, \"l3_misses\": {}, \
+         \"dtlb_misses\": {}}},\n",
+        counts.reads,
+        counts.writes,
+        counts.atomics,
+        counts.locks,
+        counts.branches_cond,
+        counts.branches_uncond,
+        counts.barriers,
+        counts.remote_sends,
+        counts.l1_misses,
+        counts.l2_misses,
+        counts.l3_misses,
+        counts.dtlb_misses
+    ));
+    out.push_str("  \"workers\": [\n");
+    for (w, lap) in r.worker_laps.iter().enumerate() {
+        let comma = if w + 1 < r.worker_laps.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"worker\": {w}, \"busy_ns\": {}, \"idle_ns\": {}, \
+             \"chunks\": {}}}{comma}\n",
+            lap.busy_ns, lap.idle_ns, lap.chunks_claimed
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"rounds\": [\n");
+    for (i, s) in r.rounds.iter().enumerate() {
+        let comma = if i + 1 < r.rounds.len() { "," } else { "" };
+        let dir = match s.dir {
+            Direction::Push => "push",
+            Direction::Pull => "pull",
+        };
+        out.push_str(&format!(
+            "    {{\"round\": {}, \"phase\": {}, \"dir\": \"{dir}\", \"frontier\": {}, \
+             \"frontier_edges\": {}, \"duration_ns\": {}, \"remote_updates\": {}, \
+             \"buffer_peak\": {}, ",
+            s.round,
+            s.phase,
+            s.frontier,
+            s.frontier_edges,
+            s.duration_ns,
+            s.remote_updates,
+            s.buffer_peak
+        ));
+        match s.decision {
+            Some(d) => out.push_str(&format!(
+                "\"decision\": {{\"share\": {:.6}, \"threshold\": {:.6}, \
+                 \"switched\": {}}}",
+                d.observed_share, d.threshold, d.switched
+            )),
+            None => out.push_str("\"decision\": null"),
+        }
+        if let Some(busy) = r.round_worker_busy.get(i) {
+            out.push_str(", \"workers_busy_ns\": [");
+            for (w, b) in busy.iter().enumerate() {
+                if w > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push(']');
+        }
+        out.push_str(&format!("}}{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------- report
+
+fn cmd_report(args: &[String]) {
+    let o = parse_opts(args);
+    if o.positional.len() > 1 {
+        die("report: at most one metrics file");
+    }
+    let bytes = read_input(o.positional.first().map(String::as_str));
+    let text = String::from_utf8(bytes).unwrap_or_else(|_| die("report: input is not UTF-8"));
+    let doc = json::parse(&text).unwrap_or_else(|e| die(&format!("report: bad JSON: {e}")));
+    let rendered = render_report(&doc).unwrap_or_else(|e| die(&format!("report: {e}")));
+    print!("{rendered}");
+}
+
+/// Flags a policy decision that contradicts the Beamer window the adaptive
+/// policy operates: pushing a frontier whose share is above the pull
+/// threshold (`1/α`), or pulling one below the push threshold (`1/(αβ)`).
+/// For adaptive runs a flag means hysteresis lag (one round of lag is
+/// normal right at a crossing; persistent flags are not); for fixed
+/// schedules it marks rounds where the forced direction disagrees with
+/// what the frontier called for.
+fn decision_anomaly(dir: &str, share: f64) -> Option<String> {
+    let pull_above = 1.0 / BEAMER_ALPHA;
+    let push_below = 1.0 / (BEAMER_ALPHA * BEAMER_BETA);
+    match dir {
+        "push" if share > pull_above => Some(format!(
+            "pushed at share {share:.4} > 1/α = {pull_above:.4} (pull territory)"
+        )),
+        "pull" if share < push_below => Some(format!(
+            "pulled at share {share:.4} < 1/αβ = {push_below:.4} (push territory)"
+        )),
+        _ => None,
+    }
+}
+
+/// Renders a parsed `--metrics` document as the per-round table with an
+/// anomaly section. Pure (string in, string out) so tests can round-trip
+/// `render_metrics_json` through the parser and back.
+fn render_report(doc: &Value) -> Result<String, String> {
+    let row = doc
+        .get("rows")
+        .and_then(Value::arr)
+        .and_then(<[Value]>::first)
+        .ok_or("missing rows[0] — is this a `ppgraph run --metrics` file?")?;
+    let field = |v: &Value, k: &str| v.get(k).cloned().unwrap_or(Value::Null);
+    let mut out = String::new();
+    let mut anomalies: Vec<String> = Vec::new();
+
+    out.push_str(&format!(
+        "{} on {} [{} threads, mode {}]: {} ms\n",
+        field(row, "algo").str().unwrap_or("?"),
+        field(row, "dataset").str().unwrap_or("?"),
+        field(row, "threads").u64().unwrap_or(0),
+        field(row, "mode").str().unwrap_or("?"),
+        field(row, "ms").num().unwrap_or(0.0),
+    ));
+    if let Some(graph) = doc.get("graph") {
+        out.push_str(&format!(
+            "graph: n = {}, m = {}\n",
+            field(graph, "n").u64().unwrap_or(0),
+            field(graph, "m").u64().unwrap_or(0)
+        ));
+    }
+    let report = doc.get("report").ok_or("missing report object")?;
+    out.push_str(&format!(
+        "report: {} rounds ({} push / {} pull), {} phases, {} switches, \
+         {:.3} ms in rounds, imbalance {:.2}x\n",
+        field(report, "rounds").u64().unwrap_or(0),
+        field(report, "push_rounds").u64().unwrap_or(0),
+        field(report, "pull_rounds").u64().unwrap_or(0),
+        field(report, "phases").u64().unwrap_or(0),
+        field(report, "switches").u64().unwrap_or(0),
+        field(report, "round_duration_ns").num().unwrap_or(0.0) / 1e6,
+        field(report, "imbalance").num().unwrap_or(0.0),
+    ));
+    if let Some(t) = doc.get("timing") {
+        out.push_str(&format!(
+            "round durations: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms\n",
+            field(t, "p50_ns").num().unwrap_or(0.0) / 1e6,
+            field(t, "p95_ns").num().unwrap_or(0.0) / 1e6,
+            field(t, "p99_ns").num().unwrap_or(0.0) / 1e6,
+        ));
+    }
+
+    let rounds = doc
+        .get("rounds")
+        .and_then(Value::arr)
+        .ok_or("missing rounds array")?;
+    out.push_str("\n round  phase  dir   |F|        |E_F|      dur_ms     share      switch\n");
+    for r in rounds {
+        let dir = field(r, "dir").str().unwrap_or("?").to_string();
+        let decision = r.get("decision").cloned().unwrap_or(Value::Null);
+        let (share_txt, switch_txt) = match &decision {
+            Value::Obj(_) => {
+                let share = field(&decision, "share").num().unwrap_or(0.0);
+                let switched = field(&decision, "switched").bool().unwrap_or(false);
+                if let Some(a) = decision_anomaly(&dir, share) {
+                    anomalies.push(format!(
+                        "round {}: {a}",
+                        field(r, "round").u64().unwrap_or(0)
+                    ));
+                }
+                (format!("{share:.4}"), if switched { "*" } else { "" })
+            }
+            _ => ("-".to_string(), ""),
+        };
+        out.push_str(&format!(
+            " {:<6} {:<6} {:<5} {:<10} {:<10} {:<10.3} {:<10} {}\n",
+            field(r, "round").u64().unwrap_or(0),
+            field(r, "phase").u64().unwrap_or(0),
+            dir,
+            field(r, "frontier").u64().unwrap_or(0),
+            field(r, "frontier_edges").u64().unwrap_or(0),
+            field(r, "duration_ns").num().unwrap_or(0.0) / 1e6,
+            share_txt,
+            switch_txt,
+        ));
+    }
+
+    if let Some(workers) = doc.get("workers").and_then(Value::arr) {
+        out.push_str("\n worker  busy_ms    idle_ms    chunks     util\n");
+        for w in workers {
+            let busy = field(w, "busy_ns").num().unwrap_or(0.0);
+            let idle = field(w, "idle_ns").num().unwrap_or(0.0);
+            let util = if busy + idle > 0.0 {
+                busy / (busy + idle)
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                " {:<7} {:<10.3} {:<10.3} {:<10} {:.0}%\n",
+                field(w, "worker").u64().unwrap_or(0),
+                busy / 1e6,
+                idle / 1e6,
+                field(w, "chunks").u64().unwrap_or(0),
+                util * 100.0,
+            ));
+        }
+    }
+    let imbalance = field(report, "imbalance").num().unwrap_or(0.0);
+    if imbalance > 2.0 {
+        anomalies.push(format!(
+            "worker load imbalance {imbalance:.2}x exceeds 2x (max busy vs. mean busy)"
+        ));
+    }
+
+    if anomalies.is_empty() {
+        out.push_str("\nno anomalies\n");
+    } else {
+        out.push_str(&format!("\nanomalies ({}):\n", anomalies.len()));
+        for a in &anomalies {
+            out.push_str(&format!("  - {a}\n"));
+        }
+    }
+    Ok(out)
 }
 
 // ----------------------------------------------------------------- algos
@@ -660,6 +1010,86 @@ mod tests {
         // Balanced braces/brackets (the smoke test parses this for real).
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn metrics_json_round_trips_through_the_report_renderer() {
+        let g = gen::rmat(7, 6, 4);
+        let engine = Engine::new(2);
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        let mut cfg = RunConfig::new(&engine, &probes);
+        cfg.collect = MetricsLevel::Trace;
+        let run = registry::find_counting("bfs").unwrap().run(&cfg, &g);
+        let doc = render_metrics_json(
+            &RunJson {
+                dataset: "rmat7",
+                algo: "bfs",
+                policy: "adaptive",
+                mode: "atomic",
+                threads: 2,
+                n: g.num_vertices(),
+                m: g.num_edges(),
+                ms: 1.0,
+                load_ms: 0.1,
+                run: &run,
+            },
+            &probes.merged(),
+        );
+        let parsed = json::parse(&doc).expect("the metrics writer emits valid JSON");
+        let rounds = parsed.get("rounds").unwrap().arr().unwrap();
+        assert_eq!(rounds.len(), run.report.rounds.len());
+        assert!(rounds
+            .iter()
+            .all(|r| r.get("duration_ns").unwrap().num().unwrap() > 0.0));
+        // At Trace level every round carries the per-worker busy split.
+        assert!(rounds.iter().all(|r| r
+            .get("workers_busy_ns")
+            .and_then(Value::arr)
+            .is_some_and(|b| b.len() == engine.threads())));
+        assert_eq!(
+            parsed.get("workers").unwrap().arr().unwrap().len(),
+            engine.threads()
+        );
+        assert!(parsed.get("counts").unwrap().get("reads").unwrap().u64() > Some(0));
+        let rendered = render_report(&parsed).expect("the renderer reads its own format");
+        assert!(rendered.contains("bfs adaptive on rmat7"));
+        assert!(rendered.contains("round  phase  dir"));
+        assert!(rendered.contains("worker  busy_ms"));
+    }
+
+    #[test]
+    fn report_renderer_flags_contradictory_decisions_and_imbalance() {
+        assert!(decision_anomaly("push", 0.5).is_some(), "share ≫ 1/α");
+        assert!(decision_anomaly("pull", 0.0001).is_some(), "share ≪ 1/αβ");
+        assert!(decision_anomaly("push", 0.001).is_none());
+        assert!(decision_anomaly("pull", 0.5).is_none());
+        // Hysteresis band: neither direction is anomalous between the
+        // thresholds.
+        let mid = 0.5 * (1.0 / BEAMER_ALPHA + 1.0 / (BEAMER_ALPHA * BEAMER_BETA));
+        assert!(decision_anomaly("push", mid).is_none());
+        assert!(decision_anomaly("pull", mid).is_none());
+
+        let doc = json::parse(
+            r#"{
+              "rows": [{"dataset": "d", "mode": "atomic", "algo": "bfs fixed",
+                        "threads": 2, "ms": 1.0}],
+              "report": {"rounds": 1, "phases": 1, "push_rounds": 1,
+                         "pull_rounds": 0, "switches": 0,
+                         "round_duration_ns": 1000, "imbalance": 3.5},
+              "rounds": [{"round": 0, "phase": 0, "dir": "push", "frontier": 9,
+                          "frontier_edges": 900, "duration_ns": 1000,
+                          "decision": {"share": 0.9, "threshold": 0.066,
+                                       "switched": false}}]
+            }"#,
+        )
+        .unwrap();
+        let rendered = render_report(&doc).unwrap();
+        assert!(rendered.contains("anomalies (2):"));
+        assert!(rendered.contains("pull territory"));
+        assert!(rendered.contains("imbalance 3.50x exceeds 2x"));
+
+        let bad = json::parse("{\"rows\": []}").unwrap();
+        assert!(render_report(&bad).is_err());
     }
 
     #[test]

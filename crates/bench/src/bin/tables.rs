@@ -38,7 +38,10 @@ experiments:
 
 options:
   --json <path>   additionally dump the sweep as machine-readable JSON
-                  (supported by: engine) for perf-trajectory tracking
+                  (supported by: engine) for perf-trajectory tracking;
+                  the committed baseline at BENCH_engine.json is refreshed
+                  each PR with `tables engine --scale test --samples 1
+                  --json BENCH_engine.json` and diffed in CI
 ";
 
 fn main() {

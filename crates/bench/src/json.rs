@@ -1,0 +1,376 @@
+//! A minimal JSON reader for the harness's own outputs.
+//!
+//! The workspace writes JSON by hand (no serde in the dependency-free
+//! build); `ppgraph report` needs to read those files back. This module is
+//! the matching reader: a small recursive-descent parser into a [`Value`]
+//! tree plus the handful of typed accessors the report renderer uses. It
+//! parses standard JSON (RFC 8259) — objects, arrays, strings with
+//! escapes, numbers, booleans, null — and nothing more (no comments, no
+//! trailing commas), which is exactly what the writers emit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (the harness's integers fit f64 exactly: they are
+    /// counts and nanosecond spans well under 2⁵³).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Key order is not preserved (BTreeMap), which is fine for
+    /// a reader.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member `key` of an object (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array elements (`None` for non-arrays).
+    pub fn arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string payload (`None` for non-strings).
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload (`None` for non-numbers).
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as u64, truncating (`None` for non-numbers and
+    /// negatives).
+    pub fn u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload (`None` for non-booleans).
+    pub fn bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: what was expected and the byte offset it failed at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// What the parser expected.
+    pub expected: &'static str,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document; trailing whitespace is allowed, trailing
+/// content is an error.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("end of input"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, expected: &'static str) -> ParseError {
+        ParseError {
+            expected,
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, expected: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(expected))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &'static str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(lit))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.eat_lit("null").map(|_| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'{', "'{'")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "':'")?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'[', "'['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("closing '\"'")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("escape character"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("4 hex digits"))?;
+                            self.pos += 4;
+                            // Surrogate pairs don't occur in the harness's
+                            // ASCII-escaped output; map lone surrogates to
+                            // U+FFFD rather than erroring.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("a valid escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| self.err("a number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Num(42.0));
+        assert_eq!(parse("-1.5e2").unwrap(), Value::Num(-150.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".to_string()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, 2, {"b": "c"}], "d": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().arr().unwrap()[2]
+                .get("b")
+                .unwrap()
+                .str(),
+            Some("c")
+        );
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let v = parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\": 1,}").is_err());
+        assert!(parse("1 2").is_err(), "trailing content");
+        assert!(parse("'single'").is_err());
+        let e = parse("[1, x]").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(e.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn accessors_are_type_checked() {
+        let v = parse("3").unwrap();
+        assert_eq!(v.num(), Some(3.0));
+        assert_eq!(v.u64(), Some(3));
+        assert_eq!(v.str(), None);
+        assert_eq!(v.arr(), None);
+        assert_eq!(parse("-2").unwrap().u64(), None);
+        assert_eq!(parse("true").unwrap().bool(), Some(true));
+    }
+
+    #[test]
+    fn round_trips_the_trace_writer() {
+        let mut t = pp_telemetry::ChromeTrace::new();
+        t.name_track(0, "rounds");
+        t.duration("round 0", "round", 0, 0, 1_000, vec![]);
+        let v = parse(&t.to_json()).unwrap();
+        let events = v.arr().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").unwrap().str(), Some("M"));
+        assert_eq!(events[1].get("dur").unwrap().num(), Some(1.0));
+    }
+}

@@ -4,6 +4,7 @@
 //! and figure of the paper (see [`experiments`]).
 
 pub mod experiments;
+pub mod json;
 
 use std::time::{Duration, Instant};
 

@@ -28,7 +28,7 @@ use crate::report::RunReport;
 use crate::runner::Runner;
 
 /// Result of an engine label-propagation run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ParLabelPropResult {
     /// Final per-vertex community label.
     pub labels: Vec<u32>,

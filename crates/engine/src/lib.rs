@@ -157,6 +157,30 @@
 //!   unified [`RunReport`] plus an output digest. The `ppgraph` CLI in
 //!   `pp-bench` (`gen` / `convert` / `stats` / `run`) is built on exactly
 //!   these two modules plus `pp_graph::snapshot`'s binary `.ppg` format.
+//!
+//! ## Run-wide observability (PR 6)
+//!
+//! The §6 measurement discipline now covers *time* as well as events,
+//! opt-in per run via [`pp_telemetry::MetricsLevel`]:
+//!
+//! * `Runner` gains `.metrics(MetricsLevel)` (and [`registry::RunConfig`]
+//!   a `collect` field). The default is `Off` — the exact pre-PR path,
+//!   producing a report identical to the legacy one.
+//! * `RoundStat` gained `start_ns`/`duration_ns` and an optional
+//!   [`policy::PolicyDecision`] record (the observed Beamer share, the
+//!   hysteresis threshold it was compared against, and whether the
+//!   direction switched) — struct-literal constructions must add them.
+//! * `RunReport` gained `elapsed_ns`, per-worker [`pp_telemetry::timing::
+//!   WorkerLap`] ledgers filled by [`Pool`]'s lap accounting, and (at
+//!   `Trace` level) the per-round × per-worker busy matrix;
+//!   [`RunReport::chrome_trace`] maps a run onto Chrome trace-event JSON
+//!   (`chrome://tracing` / Perfetto) with one track per pool worker.
+//! * `RoundStat`/`RunReport` lost their `Eq` derives (`PolicyDecision`
+//!   holds `f64` shares); `PartialEq` comparisons are unchanged.
+//! * The registry is generic over the probe type:
+//!   [`registry::all_counting`]/[`registry::find_counting`] expose the
+//!   same ten algorithms over [`pp_telemetry::CountingProbe`], so one run
+//!   yields timing *and* Table-1 event counts (`ppgraph run --metrics`).
 
 pub mod algo;
 pub mod frontier;
@@ -174,7 +198,7 @@ pub mod runner;
 pub use frontier::Frontier;
 pub use ops::{EdgeKernel, Engine};
 pub use partitioned::{ExecutionMode, PaContext};
-pub use policy::{AdaptiveSwitch, DirectionPolicy};
+pub use policy::{AdaptiveSwitch, DirectionPolicy, PolicyDecision};
 pub use pool::Pool;
 pub use probes::{ProbeShards, ShardProbe};
 pub use program::{PhaseKernel, Program, RoundCtx};

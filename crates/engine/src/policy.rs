@@ -32,6 +32,29 @@ pub const BEAMER_ALPHA: f64 = 15.0;
 /// once the load share falls below `1/(BEAMER_ALPHA * BEAMER_BETA)`.
 pub const BEAMER_BETA: f64 = 18.0;
 
+/// One round's direction decision, recorded so a report can replay *why*
+/// the policy chose what it chose: the observed Beamer share, the
+/// hysteresis edge it was compared against, and whether the comparison
+/// moved the direction.
+///
+/// `observed_share > threshold` with `dir == Pull` (or `< threshold` with
+/// `Push`) reconstructs the adaptive rule exactly; `Fixed` policies record
+/// a zero threshold and never switch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicyDecision {
+    /// The Beamer load share observed: `(|E_F| + |F|) / m`.
+    pub observed_share: f64,
+    /// The hysteresis edge the share was compared against: `1/α` while
+    /// pushing (cross above → pull), `1/(αβ)` while pulling (cross below
+    /// → push). `0.0` for fixed policies (no comparison happened).
+    pub threshold: f64,
+    /// The direction chosen for the round.
+    pub dir: Direction,
+    /// Whether this decision changed direction relative to the previous
+    /// round.
+    pub switched: bool,
+}
+
 /// Adaptive direction switching driven by frontier edge counts.
 #[derive(Clone, Copy, Debug)]
 pub struct AdaptiveSwitch {
@@ -57,9 +80,28 @@ impl AdaptiveSwitch {
     /// Observes a frontier and returns the direction for the next round.
     /// The observed share is `(|E_F| + |F|) / m` (see the module docs).
     pub fn decide(&mut self, frontier: &Frontier, g: &CsrGraph) -> Direction {
+        self.decide_recorded(frontier, g).dir
+    }
+
+    /// [`AdaptiveSwitch::decide`], returning the full decision record.
+    pub fn decide_recorded(&mut self, frontier: &Frontier, g: &CsrGraph) -> PolicyDecision {
         let m = g.num_arcs().max(1) as f64;
-        self.ctrl
-            .observe((frontier.edge_count(g) + frontier.len() as u64) as f64 / m)
+        let share = (frontier.edge_count(g) + frontier.len() as u64) as f64 / m;
+        let prev = self.ctrl.current();
+        // The edge the controller actually tests this round: while pushing
+        // the only way out is up through `to_pull_above`; while pulling,
+        // down through `to_push_below`.
+        let threshold = match prev {
+            Direction::Push => self.ctrl.to_pull_above,
+            Direction::Pull => self.ctrl.to_push_below,
+        };
+        let dir = self.ctrl.observe(share);
+        PolicyDecision {
+            observed_share: share,
+            threshold,
+            dir,
+            switched: dir != prev,
+        }
     }
 
     /// The currently selected direction (without observing).
@@ -103,9 +145,25 @@ impl DirectionPolicy {
 
     /// Direction for the round that will consume `frontier`.
     pub fn next(&mut self, frontier: &Frontier, g: &CsrGraph) -> Direction {
+        self.next_decision(frontier, g).dir
+    }
+
+    /// [`DirectionPolicy::next`], returning the full [`PolicyDecision`]
+    /// record. Fixed policies still report the observed share (the
+    /// frontier's edge count is cached, so the read is cheap) with a zero
+    /// threshold and `switched: false`.
+    pub fn next_decision(&mut self, frontier: &Frontier, g: &CsrGraph) -> PolicyDecision {
         match self {
-            DirectionPolicy::Fixed(d) => *d,
-            DirectionPolicy::Adaptive(sw) => sw.decide(frontier, g),
+            DirectionPolicy::Fixed(d) => {
+                let m = g.num_arcs().max(1) as f64;
+                PolicyDecision {
+                    observed_share: (frontier.edge_count(g) + frontier.len() as u64) as f64 / m,
+                    threshold: 0.0,
+                    dir: *d,
+                    switched: false,
+                }
+            }
+            DirectionPolicy::Adaptive(sw) => sw.decide_recorded(frontier, g),
         }
     }
 
@@ -171,6 +229,46 @@ mod tests {
         let three = Frontier::from_vertices(&g, vec![0, 1, 2]);
         assert_eq!(p.decide(&three, &g), Direction::Pull);
         assert_eq!(p.current(), Direction::Pull);
+    }
+
+    #[test]
+    fn decisions_record_share_threshold_and_switches() {
+        let g = gen::complete(64);
+        let mut p = DirectionPolicy::adaptive();
+        let d = p.next_decision(&Frontier::full(&g), &g);
+        assert_eq!(d.dir, Direction::Pull);
+        assert!(d.switched, "full frontier flips the fresh push policy");
+        assert!((d.threshold - 1.0 / BEAMER_ALPHA).abs() < 1e-12);
+        assert!(d.observed_share > d.threshold, "the record explains itself");
+        // Now pulling: the tested edge is the lower one, and an empty
+        // frontier crosses back.
+        let d = p.next_decision(&Frontier::empty(64), &g);
+        assert_eq!(d.dir, Direction::Push);
+        assert!(d.switched);
+        assert!((d.threshold - 1.0 / (BEAMER_ALPHA * BEAMER_BETA)).abs() < 1e-12);
+        assert!(d.observed_share < d.threshold);
+        // Fixed policies observe but never compare.
+        let mut f = DirectionPolicy::Fixed(Direction::Pull);
+        let d = f.next_decision(&Frontier::full(&g), &g);
+        assert_eq!(d.dir, Direction::Pull);
+        assert!(!d.switched);
+        assert_eq!(d.threshold, 0.0);
+        assert!(d.observed_share > 1.0);
+    }
+
+    #[test]
+    fn next_and_next_decision_agree() {
+        let g = gen::complete(32);
+        let mut a = DirectionPolicy::adaptive();
+        let mut b = DirectionPolicy::adaptive();
+        for f in [
+            Frontier::from_vertices(&g, vec![0]),
+            Frontier::full(&g),
+            Frontier::from_vertices(&g, vec![1, 2]),
+            Frontier::empty(32),
+        ] {
+            assert_eq!(a.next(&f, &g), b.next_decision(&f, &g).dir);
+        }
     }
 
     #[test]

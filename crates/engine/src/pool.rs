@@ -13,9 +13,12 @@
 //! everything inline with zero synchronization.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use pp_telemetry::timing::WorkerLap;
 
 /// The payload of a panicking chunk, carried back to the round's caller.
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
@@ -44,6 +47,21 @@ struct State {
     shutdown: bool,
 }
 
+/// One worker's lap ledger, cache-line-padded so concurrent updates from
+/// neighbouring workers never share a line (the same layout discipline as
+/// `ProbeShards`). The `round_*` cells are per-round scratch: each worker
+/// stores its own round totals there (single writer), and the round's
+/// caller folds them into the running totals once the barrier has passed.
+#[repr(align(128))]
+#[derive(Default)]
+struct LapCell {
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    chunks: AtomicU64,
+    round_busy_ns: AtomicU64,
+    round_chunks: AtomicU64,
+}
+
 struct Control {
     state: Mutex<State>,
     start: Condvar,
@@ -55,6 +73,12 @@ struct Control {
     /// First panic payload captured in the current round, resumed on the
     /// caller once the round completes.
     panic: Mutex<Option<PanicPayload>>,
+    /// Whether rounds currently record per-worker laps. Off by default:
+    /// the only cost then is one relaxed load per round and per claim
+    /// loop.
+    lap_recording: AtomicBool,
+    /// One ledger per worker (caller is worker 0).
+    laps: Vec<LapCell>,
 }
 
 /// A fixed-size worker pool executing rounds of dynamically-claimed chunks.
@@ -91,6 +115,8 @@ impl Pool {
             cursor: AtomicUsize::new(0),
             chunks: AtomicUsize::new(0),
             panic: Mutex::new(None),
+            lap_recording: AtomicBool::new(false),
+            laps: (0..threads).map(|_| LapCell::default()).collect(),
         });
         let workers = (1..threads)
             .map(|w| {
@@ -121,9 +147,14 @@ impl Pool {
         if chunks == 0 {
             return;
         }
+        let recording = self.control.lap_recording.load(Ordering::Relaxed);
         if self.workers.is_empty() || chunks == 1 {
-            for c in 0..chunks {
-                f(0, c);
+            if recording {
+                self.run_inline_recorded(chunks, f);
+            } else {
+                for c in 0..chunks {
+                    f(0, c);
+                }
             }
             return;
         }
@@ -131,6 +162,13 @@ impl Pool {
         // with this round's task pointer.
         let _round = self.round.lock().unwrap_or_else(|e| e.into_inner());
         let control = &*self.control;
+        if recording {
+            for cell in &control.laps {
+                cell.round_busy_ns.store(0, Ordering::Relaxed);
+                cell.round_chunks.store(0, Ordering::Relaxed);
+            }
+        }
+        let round_clock = recording.then(Instant::now);
         {
             let mut st = control.state.lock().unwrap();
             control.cursor.store(0, Ordering::Relaxed);
@@ -151,6 +189,20 @@ impl Pool {
         }
         st.task = None;
         drop(st);
+        if let Some(clock) = round_clock {
+            // The workers' `round_*` stores happen-before this fold: they
+            // precede the `active` decrement under the state mutex, whose
+            // release/acquire pairs with the wait loop above.
+            let wall = clock.elapsed().as_nanos() as u64;
+            for cell in &control.laps {
+                let busy = cell.round_busy_ns.load(Ordering::Relaxed);
+                cell.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                cell.idle_ns
+                    .fetch_add(wall.saturating_sub(busy), Ordering::Relaxed);
+                cell.chunks
+                    .fetch_add(cell.round_chunks.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
         let payload = control
             .panic
             .lock()
@@ -161,6 +213,70 @@ impl Pool {
             // line), as if it had happened on the calling thread.
             resume_unwind(payload);
         }
+    }
+
+    /// The recorded variant of the inline fast path (single-threaded pool
+    /// or single-chunk round): worker 0 does all the work; parked workers
+    /// are charged the round's wall time as idle, so `busy + idle` stays
+    /// comparable across workers whatever path a round took.
+    fn run_inline_recorded(&self, chunks: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        let clock = Instant::now();
+        let mut busy = 0u64;
+        for c in 0..chunks {
+            let t = Instant::now();
+            f(0, c);
+            busy += t.elapsed().as_nanos() as u64;
+        }
+        let wall = clock.elapsed().as_nanos() as u64;
+        let laps = &self.control.laps;
+        laps[0].busy_ns.fetch_add(busy, Ordering::Relaxed);
+        laps[0]
+            .idle_ns
+            .fetch_add(wall.saturating_sub(busy), Ordering::Relaxed);
+        laps[0].chunks.fetch_add(chunks as u64, Ordering::Relaxed);
+        for cell in &laps[1..] {
+            cell.idle_ns.fetch_add(wall, Ordering::Relaxed);
+        }
+    }
+
+    /// Switches per-worker lap recording on or off. Off (the default)
+    /// costs one relaxed load per round; on, every executed chunk is
+    /// bracketed by two clock reads and each round folds one `WorkerLap`
+    /// entry per worker.
+    ///
+    /// Recording state and the ledgers are pool-global: a driver that
+    /// wants laps for exactly one run (the `Runner` does) resets, enables,
+    /// runs, disables, and reads — interleaving two recorded runs on one
+    /// pool mixes their laps.
+    pub fn set_lap_recording(&self, on: bool) {
+        self.control.lap_recording.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether rounds currently record laps.
+    pub fn lap_recording(&self) -> bool {
+        self.control.lap_recording.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every worker's lap ledger.
+    pub fn reset_laps(&self) {
+        for cell in &self.control.laps {
+            cell.busy_ns.store(0, Ordering::Relaxed);
+            cell.idle_ns.store(0, Ordering::Relaxed);
+            cell.chunks.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of every worker's accumulated lap (index = worker id).
+    pub fn laps(&self) -> Vec<WorkerLap> {
+        self.control
+            .laps
+            .iter()
+            .map(|cell| WorkerLap {
+                busy_ns: cell.busy_ns.load(Ordering::Relaxed),
+                idle_ns: cell.idle_ns.load(Ordering::Relaxed),
+                chunks_claimed: cell.chunks.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -179,15 +295,30 @@ impl Drop for Pool {
 
 fn claim_chunks(control: &Control, worker: usize, f: &(dyn Fn(usize, usize) + Sync)) {
     let total = control.chunks.load(Ordering::Relaxed);
+    let recording = control.lap_recording.load(Ordering::Relaxed);
+    let mut busy_ns = 0u64;
+    let mut claimed = 0u64;
     loop {
         let c = control.cursor.fetch_add(1, Ordering::Relaxed);
         if c >= total {
-            return;
+            break;
         }
+        let chunk_clock = recording.then(Instant::now);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(worker, c))) {
             let mut slot = control.panic.lock().unwrap_or_else(|e| e.into_inner());
             slot.get_or_insert(payload);
         }
+        if let Some(clock) = chunk_clock {
+            busy_ns += clock.elapsed().as_nanos() as u64;
+            claimed += 1;
+        }
+    }
+    if recording {
+        // Single writer per cell per round; the caller folds these after
+        // the round barrier (see `Pool::run`).
+        let cell = &control.laps[worker];
+        cell.round_busy_ns.store(busy_ns, Ordering::Relaxed);
+        cell.round_chunks.store(claimed, Ordering::Relaxed);
     }
 }
 
@@ -321,6 +452,81 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn laps_are_zero_when_recording_is_off() {
+        let pool = Pool::new(3);
+        pool.run(64, &|_, _| {
+            std::hint::black_box(0u64);
+        });
+        assert!(!pool.lap_recording());
+        assert!(pool.laps().iter().all(|l| *l == WorkerLap::default()));
+    }
+
+    #[test]
+    fn recorded_laps_account_for_every_chunk() {
+        let pool = Pool::new(3);
+        pool.set_lap_recording(true);
+        let rounds = 5usize;
+        let chunks = 40usize;
+        for _ in 0..rounds {
+            pool.run(chunks, &|_, _| {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            });
+        }
+        pool.set_lap_recording(false);
+        let laps = pool.laps();
+        assert_eq!(laps.len(), 3, "one lap per pool thread");
+        let total_chunks: u64 = laps.iter().map(|l| l.chunks_claimed).sum();
+        assert_eq!(total_chunks, (rounds * chunks) as u64);
+        // Every worker that claimed chunks accrued busy time; every worker
+        // saw the same number of rounds, so busy + idle ≈ total wall is
+        // roughly equal across workers.
+        for lap in &laps {
+            if lap.chunks_claimed > 0 {
+                assert!(lap.busy_ns > 0);
+            }
+            assert!(lap.busy_ns + lap.idle_ns > 0);
+        }
+    }
+
+    #[test]
+    fn inline_paths_record_laps_too() {
+        // Single-threaded pool: everything inline on worker 0.
+        let pool = Pool::new(1);
+        pool.set_lap_recording(true);
+        pool.run(8, &|_, _| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        });
+        let laps = pool.laps();
+        assert_eq!(laps.len(), 1);
+        assert_eq!(laps[0].chunks_claimed, 8);
+        assert!(laps[0].busy_ns > 0);
+
+        // Multi-threaded pool, single chunk: inline on worker 0, the
+        // parked workers charged idle.
+        let pool = Pool::new(3);
+        pool.set_lap_recording(true);
+        pool.run(1, &|_, _| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        });
+        let laps = pool.laps();
+        assert_eq!(laps[0].chunks_claimed, 1);
+        assert!(laps[0].busy_ns > 0);
+        assert!(laps[1].idle_ns > 0 && laps[2].idle_ns > 0);
+        assert_eq!(laps[1].chunks_claimed, 0);
+    }
+
+    #[test]
+    fn reset_laps_zeroes_the_ledgers() {
+        let pool = Pool::new(2);
+        pool.set_lap_recording(true);
+        pool.run(16, &|_, _| {
+            std::hint::black_box(0u64);
+        });
+        pool.reset_laps();
+        assert!(pool.laps().iter().all(|l| *l == WorkerLap::default()));
     }
 
     #[test]

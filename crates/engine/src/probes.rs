@@ -62,30 +62,17 @@ impl<P: ShardProbe> ProbeShards<P> {
         &self.shards[worker % self.shards.len()].0
     }
 
-    /// Field-wise sum of every shard's counts.
+    /// Field-wise sum of every shard's counts, via the one merge
+    /// definition (`EventCounts: AddAssign`, defined next to the struct in
+    /// `pp-telemetry` so the field list cannot drift from it).
     pub fn merged(&self) -> EventCounts {
         self.shards
             .iter()
             .map(|p| p.0.shard_counts())
-            .fold(EventCounts::default(), add_counts)
-    }
-}
-
-/// Field-wise sum of two snapshots.
-pub fn add_counts(a: EventCounts, b: EventCounts) -> EventCounts {
-    EventCounts {
-        reads: a.reads + b.reads,
-        writes: a.writes + b.writes,
-        atomics: a.atomics + b.atomics,
-        locks: a.locks + b.locks,
-        branches_cond: a.branches_cond + b.branches_cond,
-        branches_uncond: a.branches_uncond + b.branches_uncond,
-        barriers: a.barriers + b.barriers,
-        remote_sends: a.remote_sends + b.remote_sends,
-        l1_misses: a.l1_misses + b.l1_misses,
-        l2_misses: a.l2_misses + b.l2_misses,
-        l3_misses: a.l3_misses + b.l3_misses,
-        dtlb_misses: a.dtlb_misses + b.dtlb_misses,
+            .fold(EventCounts::default(), |mut acc, c| {
+                acc += c;
+                acc
+            })
     }
 }
 

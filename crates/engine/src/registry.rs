@@ -14,7 +14,7 @@
 
 use pp_core::{bc::BcOptions, pagerank::PrOptions, sssp::SsspOptions};
 use pp_graph::{CsrGraph, VertexId};
-use pp_telemetry::NullProbe;
+use pp_telemetry::{CountingProbe, MetricsLevel, NullProbe};
 
 use crate::algo::{
     bc::BcProgram, bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram,
@@ -23,22 +23,31 @@ use crate::algo::{
 };
 use crate::partitioned::ExecutionMode;
 use crate::policy::DirectionPolicy;
-use crate::probes::ProbeShards;
+use crate::probes::{ProbeShards, ShardProbe};
 use crate::report::RunReport;
 use crate::runner::Runner;
 use crate::Engine;
 
 /// Everything a registry run needs besides the graph. Construct with
 /// [`RunConfig::new`] and override fields as needed.
-pub struct RunConfig<'a> {
+///
+/// Generic over the probe shard type: the default `NullProbe` keeps the
+/// zero-overhead benchmark path; a `CountingProbe` config (paired with
+/// [`all_counting`]/[`find_counting`]) additionally tallies Table-1 event
+/// counts during the same run.
+pub struct RunConfig<'a, P: ShardProbe = NullProbe> {
     /// The engine to schedule onto.
     pub engine: &'a Engine,
     /// Per-worker probe shards (sized to `engine.threads()`).
-    pub probes: &'a ProbeShards<NullProbe>,
+    pub probes: &'a ProbeShards<P>,
     /// Direction policy for every round.
     pub policy: DirectionPolicy,
     /// Push execution mode (atomic vs. §5 owner-computes).
     pub mode: ExecutionMode,
+    /// How much run-wide observability to collect (decisions, timing,
+    /// trace substrate). `Off` by default: the probe type alone decides
+    /// what is counted, and nothing else is recorded.
+    pub collect: MetricsLevel,
     /// Source vertex for rooted algorithms (BFS, SSSP).
     pub source: VertexId,
     /// Iteration cap for label propagation.
@@ -48,25 +57,27 @@ pub struct RunConfig<'a> {
     pub bc_sources: Option<usize>,
 }
 
-impl<'a> RunConfig<'a> {
-    /// Defaults: adaptive policy, atomic mode, source 0, 20 LP iterations,
-    /// 8 BC sources.
-    pub fn new(engine: &'a Engine, probes: &'a ProbeShards<NullProbe>) -> Self {
+impl<'a, P: ShardProbe> RunConfig<'a, P> {
+    /// Defaults: adaptive policy, atomic mode, metrics off, source 0, 20
+    /// LP iterations, 8 BC sources.
+    pub fn new(engine: &'a Engine, probes: &'a ProbeShards<P>) -> Self {
         Self {
             engine,
             probes,
             policy: DirectionPolicy::adaptive(),
             mode: ExecutionMode::Atomic,
+            collect: MetricsLevel::Off,
             source: 0,
             lp_iters: 20,
             bc_sources: Some(8),
         }
     }
 
-    fn runner(&self) -> Runner<'a, NullProbe> {
+    fn runner(&self) -> Runner<'a, P> {
         Runner::new(self.engine, self.probes)
             .policy(self.policy)
             .mode(self.mode)
+            .metrics(self.collect)
     }
 }
 
@@ -79,8 +90,11 @@ pub struct AlgoRun {
     pub summary: Vec<(&'static str, String)>,
 }
 
-/// A registered algorithm.
-pub struct AlgoSpec {
+/// A registered algorithm, monomorphized for probe type `P` (the two
+/// shipped tables are [`all`] for `NullProbe` and [`all_counting`] for
+/// `CountingProbe` — both are stamped from one list by `registry_table!`,
+/// so they cannot drift apart).
+pub struct AlgoSpec<P: ShardProbe + 'static = NullProbe> {
     /// Canonical name (`ppgraph run <name>`).
     pub name: &'static str,
     /// Accepted alternative names.
@@ -89,17 +103,17 @@ pub struct AlgoSpec {
     pub description: &'static str,
     /// Whether the graph must carry edge weights.
     pub needs_weights: bool,
-    run: fn(&RunConfig<'_>, &CsrGraph) -> AlgoRun,
+    run: fn(&RunConfig<'_, P>, &CsrGraph) -> AlgoRun,
 }
 
-impl AlgoSpec {
+impl<P: ShardProbe> AlgoSpec<P> {
     /// Runs the algorithm on `g` under `cfg`.
     ///
     /// # Panics
     /// Panics if [`AlgoSpec::needs_weights`] and `g` is unweighted, or if a
     /// rooted algorithm's `cfg.source` is out of range — drivers validate
     /// (or repair, e.g. by attaching weights) before calling.
-    pub fn run(&self, cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+    pub fn run(&self, cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
         assert!(
             !self.needs_weights || g.is_weighted(),
             "{} requires edge weights",
@@ -127,78 +141,99 @@ pub fn find(name: &str) -> Option<&'static AlgoSpec> {
     REGISTRY.iter().find(|spec| spec.matches(name))
 }
 
-static REGISTRY: [AlgoSpec; 10] = [
-    AlgoSpec {
-        name: "bfs",
-        aliases: &[],
-        description: "breadth-first search from --source (§3.3)",
-        needs_weights: false,
-        run: run_bfs,
-    },
-    AlgoSpec {
-        name: "pagerank",
-        aliases: &["pr"],
-        description: "PageRank power iterations (§3.1)",
-        needs_weights: false,
-        run: run_pagerank,
-    },
-    AlgoSpec {
-        name: "sssp",
-        aliases: &["delta-stepping"],
-        description: "Δ-stepping shortest paths from --source (§3.4)",
-        needs_weights: true,
-        run: run_sssp,
-    },
-    AlgoSpec {
-        name: "cc",
-        aliases: &["components"],
-        description: "connected components by label-min propagation",
-        needs_weights: false,
-        run: run_cc,
-    },
-    AlgoSpec {
-        name: "kcore",
-        aliases: &["k-core"],
-        description: "k-core decomposition by iterative peeling",
-        needs_weights: false,
-        run: run_kcore,
-    },
-    AlgoSpec {
-        name: "labelprop",
-        aliases: &["lp"],
-        description: "synchronous community label propagation",
-        needs_weights: false,
-        run: run_labelprop,
-    },
-    AlgoSpec {
-        name: "coloring",
-        aliases: &["bgc"],
-        description: "Boman-style speculative graph coloring (§5)",
-        needs_weights: false,
-        run: run_coloring,
-    },
-    AlgoSpec {
-        name: "tc",
-        aliases: &["triangles"],
-        description: "triangle counting by adjacency intersection (§3.2)",
-        needs_weights: false,
-        run: run_tc,
-    },
-    AlgoSpec {
-        name: "mst",
-        aliases: &["boruvka"],
-        description: "Boruvka minimum spanning forest (§3.7)",
-        needs_weights: true,
-        run: run_mst,
-    },
-    AlgoSpec {
-        name: "bc",
-        aliases: &["betweenness"],
-        description: "Brandes betweenness centrality (§3.5)",
-        needs_weights: false,
-        run: run_bc,
-    },
-];
+/// The same table monomorphized over [`CountingProbe`], for drivers that
+/// want Table-1 event counts from the run (`ppgraph run --metrics`).
+pub fn all_counting() -> &'static [AlgoSpec<CountingProbe>] {
+    &COUNTING_REGISTRY
+}
+
+/// [`find`] against the [`CountingProbe`] table.
+pub fn find_counting(name: &str) -> Option<&'static AlgoSpec<CountingProbe>> {
+    COUNTING_REGISTRY.iter().find(|spec| spec.matches(name))
+}
+
+/// Stamps the ten-algorithm table for one probe type. One source list,
+/// instantiated per probe type below — adding an algorithm here lands in
+/// every monomorphization at once.
+macro_rules! registry_table {
+    ($P:ty) => {
+        [
+            AlgoSpec {
+                name: "bfs",
+                aliases: &[],
+                description: "breadth-first search from --source (§3.3)",
+                needs_weights: false,
+                run: run_bfs::<$P>,
+            },
+            AlgoSpec {
+                name: "pagerank",
+                aliases: &["pr"],
+                description: "PageRank power iterations (§3.1)",
+                needs_weights: false,
+                run: run_pagerank::<$P>,
+            },
+            AlgoSpec {
+                name: "sssp",
+                aliases: &["delta-stepping"],
+                description: "Δ-stepping shortest paths from --source (§3.4)",
+                needs_weights: true,
+                run: run_sssp::<$P>,
+            },
+            AlgoSpec {
+                name: "cc",
+                aliases: &["components"],
+                description: "connected components by label-min propagation",
+                needs_weights: false,
+                run: run_cc::<$P>,
+            },
+            AlgoSpec {
+                name: "kcore",
+                aliases: &["k-core"],
+                description: "k-core decomposition by iterative peeling",
+                needs_weights: false,
+                run: run_kcore::<$P>,
+            },
+            AlgoSpec {
+                name: "labelprop",
+                aliases: &["lp"],
+                description: "synchronous community label propagation",
+                needs_weights: false,
+                run: run_labelprop::<$P>,
+            },
+            AlgoSpec {
+                name: "coloring",
+                aliases: &["bgc"],
+                description: "Boman-style speculative graph coloring (§5)",
+                needs_weights: false,
+                run: run_coloring::<$P>,
+            },
+            AlgoSpec {
+                name: "tc",
+                aliases: &["triangles"],
+                description: "triangle counting by adjacency intersection (§3.2)",
+                needs_weights: false,
+                run: run_tc::<$P>,
+            },
+            AlgoSpec {
+                name: "mst",
+                aliases: &["boruvka"],
+                description: "Boruvka minimum spanning forest (§3.7)",
+                needs_weights: true,
+                run: run_mst::<$P>,
+            },
+            AlgoSpec {
+                name: "bc",
+                aliases: &["betweenness"],
+                description: "Brandes betweenness centrality (§3.5)",
+                needs_weights: false,
+                run: run_bc::<$P>,
+            },
+        ]
+    };
+}
+
+static REGISTRY: [AlgoSpec; 10] = registry_table!(NullProbe);
+static COUNTING_REGISTRY: [AlgoSpec<CountingProbe>; 10] = registry_table!(CountingProbe);
 
 fn distinct<T: Ord + Copy>(values: &[T]) -> usize {
     let mut sorted: Vec<T> = values.to_vec();
@@ -207,7 +242,7 @@ fn distinct<T: Ord + Copy>(values: &[T]) -> usize {
     sorted.len()
 }
 
-fn run_bfs(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+fn run_bfs<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
     let run = cfg.runner().run(g, BfsProgram::new(g, cfg.source));
     let (_, level) = run.output;
     let reached = level.iter().filter(|&&l| l != u32::MAX).count();
@@ -221,7 +256,7 @@ fn run_bfs(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
     }
 }
 
-fn run_pagerank(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+fn run_pagerank<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
     let run = cfg
         .runner()
         .run(g, PageRankProgram::new(g, &PrOptions::default()));
@@ -242,7 +277,7 @@ fn run_pagerank(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
     }
 }
 
-fn run_sssp(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+fn run_sssp<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
     let run = cfg
         .runner()
         .run(g, SsspProgram::new(g, cfg.source, &SsspOptions::default()));
@@ -259,7 +294,7 @@ fn run_sssp(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
     }
 }
 
-fn run_cc(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+fn run_cc<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
     let run = cfg.runner().run(g, CcProgram::new(g));
     AlgoRun {
         summary: vec![("components", distinct(&run.output).to_string())],
@@ -267,7 +302,7 @@ fn run_cc(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
     }
 }
 
-fn run_kcore(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+fn run_kcore<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
     let run = cfg.runner().run(g, KCoreProgram::new(g));
     let degeneracy = run.output.iter().max().copied().unwrap_or(0);
     AlgoRun {
@@ -276,7 +311,7 @@ fn run_kcore(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
     }
 }
 
-fn run_labelprop(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+fn run_labelprop<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
     let run = cfg.runner().run(g, LabelPropProgram::new(g, cfg.lp_iters));
     let (labels, iterations, converged) = run.output;
     AlgoRun {
@@ -289,7 +324,7 @@ fn run_labelprop(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
     }
 }
 
-fn run_coloring(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+fn run_coloring<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
     let run = cfg.runner().run(g, ColoringProgram::new(g));
     AlgoRun {
         summary: vec![("colors", distinct(&run.output).to_string())],
@@ -297,7 +332,7 @@ fn run_coloring(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
     }
 }
 
-fn run_tc(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+fn run_tc<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
     let run = cfg.runner().run(g, TcProgram::new(g));
     // Per-corner counts: each triangle is counted once at each of its
     // three corners.
@@ -308,7 +343,7 @@ fn run_tc(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
     }
 }
 
-fn run_mst(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+fn run_mst<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
     let run = cfg.runner().run(g, MstProgram::new(g));
     let (edges, total_weight) = run.output;
     AlgoRun {
@@ -320,7 +355,7 @@ fn run_mst(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
     }
 }
 
-fn run_bc(cfg: &RunConfig<'_>, g: &CsrGraph) -> AlgoRun {
+fn run_bc<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
     let opts = BcOptions {
         max_sources: cfg.bc_sources,
     };
@@ -431,6 +466,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn counting_registry_mirrors_the_null_one_and_counts_events() {
+        assert_eq!(all().len(), all_counting().len());
+        for (a, b) in all().iter().zip(all_counting()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.aliases, b.aliases);
+            assert_eq!(a.needs_weights, b.needs_weights);
+        }
+        let g = gen::rmat(7, 5, 3);
+        let engine = Engine::new(2);
+        let probes: ProbeShards<pp_telemetry::CountingProbe> = ProbeShards::new(engine.threads());
+        let cfg = RunConfig::new(&engine, &probes);
+        let run = find_counting("bfs").unwrap().run(&cfg, &g);
+        assert!(run.report.num_rounds() > 0);
+        assert!(probes.merged().communication() > 0, "events were counted");
+    }
+
+    #[test]
+    fn collect_knob_fills_timing_without_changing_round_structure() {
+        let g = gen::rmat(7, 5, 3);
+        let engine = Engine::new(2);
+        let probes = ProbeShards::new(engine.threads());
+        let off = RunConfig::new(&engine, &probes);
+        let timed = RunConfig {
+            collect: MetricsLevel::Trace,
+            ..RunConfig::new(&engine, &probes)
+        };
+        let a = find("cc").unwrap().run(&off, &g);
+        let b = find("cc").unwrap().run(&timed, &g);
+        assert_eq!(a.report.elapsed_ns, 0);
+        assert!(a.report.worker_laps.is_empty());
+        assert!(a.report.rounds.iter().all(|r| r.decision.is_none()));
+        assert!(b.report.elapsed_ns > 0);
+        assert_eq!(b.report.worker_laps.len(), engine.threads());
+        assert_eq!(b.report.num_rounds(), a.report.num_rounds());
+        assert_eq!(b.report.round_worker_busy.len(), b.report.num_rounds());
+        assert!(b.report.rounds.iter().all(|r| r.decision.is_some()));
+        assert!(b.report.elapsed_ns >= b.report.round_duration_ns());
     }
 
     #[test]

@@ -8,9 +8,18 @@
 //! exact quantities the §5 switching strategies decide on.
 
 use pp_core::Direction;
+use pp_telemetry::timing::{self, LogHistogram, WorkerLap};
+use pp_telemetry::trace::ChromeTrace;
+
+use crate::policy::PolicyDecision;
 
 /// One executed round of a [`crate::program::Program`] run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// The timing fields (`start_ns`, `duration_ns`) and the `decision` record
+/// are filled only when the runner collects at the corresponding
+/// [`pp_telemetry::MetricsLevel`]; at `Off` they stay `0`/`None`, keeping
+/// the stat — and the whole [`RunReport`] — identical to the untimed one.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RoundStat {
     /// Global round index across the whole run.
     pub round: u32,
@@ -34,10 +43,20 @@ pub struct RoundStat {
     /// Largest single owner's inbound buffer backlog at the round's
     /// exchange barrier (occupancy skew); zero when nothing was buffered.
     pub buffer_peak: u64,
+    /// Round start, nanoseconds since the run began (`MetricsLevel::Timing`
+    /// and up; 0 otherwise).
+    pub start_ns: u64,
+    /// Round wall time in nanoseconds (`MetricsLevel::Timing` and up; 0
+    /// otherwise).
+    pub duration_ns: u64,
+    /// Why the policy chose `dir` (`MetricsLevel::Counts` and up, edge-map
+    /// rounds only — vertex-step rounds reuse the current direction without
+    /// observing, so there is no decision to record).
+    pub decision: Option<PolicyDecision>,
 }
 
 /// Per-round statistics of one full run through the [`crate::Runner`].
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
     /// Every executed round, in order.
     pub rounds: Vec<RoundStat>,
@@ -49,6 +68,19 @@ pub struct RunReport {
     /// in [`RunReport::rounds`] are exactly `0..phases` with no gaps and
     /// `phases` is a valid bound for [`RunReport::phase_rounds`] sweeps.
     pub phases: u32,
+    /// Whole-run wall time in nanoseconds (`MetricsLevel::Timing` and up;
+    /// 0 otherwise). Covers the full `Runner::run`, so it is ≥ the sum of
+    /// round durations (frontier bookkeeping between rounds is included).
+    pub elapsed_ns: u64,
+    /// One busy/idle/claims ledger per pool worker for the whole run
+    /// (`MetricsLevel::Timing` and up; empty otherwise). Index = worker id,
+    /// worker 0 is the calling thread.
+    pub worker_laps: Vec<WorkerLap>,
+    /// Per-round × per-worker busy nanoseconds (`MetricsLevel::Trace`
+    /// only; empty otherwise): `round_worker_busy[i][w]` is worker `w`'s
+    /// busy time inside `rounds[i]` — the substrate the per-worker Chrome
+    /// trace tracks are drawn from.
+    pub round_worker_busy: Vec<Vec<u64>>,
 }
 
 impl RunReport {
@@ -100,6 +132,152 @@ impl RunReport {
     pub fn max_buffer_peak(&self) -> u64 {
         self.rounds.iter().map(|r| r.buffer_peak).max().unwrap_or(0)
     }
+
+    /// Sum of round durations in nanoseconds (0 when timing was off).
+    pub fn round_duration_ns(&self) -> u64 {
+        self.rounds.iter().map(|r| r.duration_ns).sum()
+    }
+
+    /// Wall time spent in rounds of `phase`, in nanoseconds.
+    pub fn phase_duration_ns(&self, phase: u32) -> u64 {
+        self.phase_rounds(phase).map(|r| r.duration_ns).sum()
+    }
+
+    /// Wall time spent in rounds scheduled in `dir`, in nanoseconds — the
+    /// run's push/pull time split.
+    pub fn dir_duration_ns(&self, dir: Direction) -> u64 {
+        self.rounds
+            .iter()
+            .filter(|r| r.dir == dir)
+            .map(|r| r.duration_ns)
+            .sum()
+    }
+
+    /// Rounds whose decision record switched direction.
+    pub fn switches(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.decision.is_some_and(|d| d.switched))
+            .count()
+    }
+
+    /// Load-imbalance ratio of the run's worker laps: max busy over mean
+    /// busy (1.0 = perfectly balanced; 0.0 when no laps were recorded).
+    pub fn imbalance(&self) -> f64 {
+        timing::imbalance(&self.worker_laps)
+    }
+
+    /// Log₂ histogram of the round durations (p50/p95/p99 of round wall
+    /// times; empty when timing was off).
+    pub fn round_histogram(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for r in &self.rounds {
+            h.record(r.duration_ns);
+        }
+        h
+    }
+
+    /// Maps the run onto Chrome trace-event tracks (requires a report
+    /// collected at `MetricsLevel::Trace` for the per-worker lanes;
+    /// `Timing` still yields the round and phase tracks):
+    ///
+    /// * tid 0 — one duration event per round (args: phase, direction,
+    ///   `|F|`, `|E_F|`, and the decision's share/threshold when present),
+    ///   plus an instant marker on every direction switch;
+    /// * tid 1 — one duration event per phase, spanning its first round's
+    ///   start to its last round's end;
+    /// * tid `10 + w` — worker `w`'s busy span inside each round (drawn
+    ///   from [`RunReport::round_worker_busy`]). Every worker in
+    ///   [`RunReport::worker_laps`] gets a named track even if it never
+    ///   ran a chunk, so lane count always equals pool width.
+    pub fn chrome_trace(&self, label: &str) -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        t.name_track(0, format!("{label}: rounds"));
+        t.name_track(1, format!("{label}: phases"));
+        for w in 0..self.worker_laps.len() {
+            t.name_track(WORKER_TID_BASE + w as u32, format!("worker {w}"));
+        }
+        for r in &self.rounds {
+            let mut args: Vec<(String, pp_telemetry::trace::ArgValue)> = vec![
+                ("phase".to_string(), (r.phase as u64).into()),
+                ("dir".to_string(), dir_name(r.dir).into()),
+                ("frontier".to_string(), r.frontier.into()),
+                ("frontier_edges".to_string(), r.frontier_edges.into()),
+            ];
+            if let Some(d) = r.decision {
+                args.push(("share".to_string(), d.observed_share.into()));
+                args.push(("threshold".to_string(), d.threshold.into()));
+            }
+            t.duration(
+                format!("round {}", r.round),
+                "round",
+                0,
+                r.start_ns,
+                r.duration_ns,
+                args,
+            );
+            if r.decision.is_some_and(|d| d.switched) {
+                t.instant(
+                    format!("switch → {}", dir_name(r.dir)),
+                    "policy",
+                    0,
+                    r.start_ns,
+                    vec![],
+                );
+            }
+        }
+        for phase in 0..self.phases {
+            let mut bounds: Option<(u64, u64)> = None;
+            for r in self.phase_rounds(phase) {
+                let end = r.start_ns + r.duration_ns;
+                bounds = Some(match bounds {
+                    None => (r.start_ns, end),
+                    Some((s, e)) => (s.min(r.start_ns), e.max(end)),
+                });
+            }
+            if let Some((start, end)) = bounds {
+                t.duration(
+                    format!("phase {phase}"),
+                    "phase",
+                    1,
+                    start,
+                    end - start,
+                    vec![],
+                );
+            }
+        }
+        for (i, busy) in self.round_worker_busy.iter().enumerate() {
+            let r = &self.rounds[i];
+            for (w, &busy_ns) in busy.iter().enumerate() {
+                if busy_ns > 0 {
+                    t.duration(
+                        format!("round {}", r.round),
+                        "worker",
+                        WORKER_TID_BASE + w as u32,
+                        r.start_ns,
+                        // A worker's busy time inside the round, drawn from
+                        // the round's start: span length is exact, placement
+                        // within the round is not tracked per chunk.
+                        busy_ns.min(r.duration_ns),
+                        vec![],
+                    );
+                }
+            }
+        }
+        t
+    }
+}
+
+/// First worker track id in [`RunReport::chrome_trace`] (tids 0/1 are the
+/// round/phase tracks; the gap keeps future run-level tracks from colliding
+/// with worker lanes).
+pub const WORKER_TID_BASE: u32 = 10;
+
+fn dir_name(d: Direction) -> &'static str {
+    match d {
+        Direction::Push => "push",
+        Direction::Pull => "pull",
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +293,9 @@ mod tests {
             frontier_edges: edges,
             remote_updates: 0,
             buffer_peak: 0,
+            start_ns: 0,
+            duration_ns: 0,
+            decision: None,
         }
     }
 
@@ -127,6 +308,7 @@ mod tests {
                 stat(2, 1, Direction::Push, 3, 6),
             ],
             phases: 2,
+            ..RunReport::default()
         };
         assert_eq!(report.num_rounds(), 3);
         assert_eq!(report.push_rounds(), 2);
@@ -142,6 +324,7 @@ mod tests {
         let mut report = RunReport {
             rounds: vec![stat(0, 0, Direction::Push, 4, 9)],
             phases: 1,
+            ..RunReport::default()
         };
         assert_eq!(report.remote_updates(), 0);
         assert_eq!(report.max_buffer_peak(), 0);
@@ -165,5 +348,104 @@ mod tests {
         assert_eq!(report.num_rounds(), 0);
         assert!(!report.switched());
         assert_eq!(report.edges_traversed(), 0);
+        assert_eq!(report.elapsed_ns, 0);
+        assert_eq!(report.imbalance(), 0.0);
+        assert_eq!(report.switches(), 0);
+    }
+
+    fn timed(
+        round: u32,
+        phase: u32,
+        dir: Direction,
+        start_ns: u64,
+        duration_ns: u64,
+        switched: bool,
+    ) -> RoundStat {
+        RoundStat {
+            start_ns,
+            duration_ns,
+            decision: Some(PolicyDecision {
+                observed_share: 0.5,
+                threshold: 1.0 / 15.0,
+                dir,
+                switched,
+            }),
+            ..stat(round, phase, dir, 4, 8)
+        }
+    }
+
+    fn timed_report() -> RunReport {
+        RunReport {
+            rounds: vec![
+                timed(0, 0, Direction::Push, 0, 100, false),
+                timed(1, 0, Direction::Pull, 150, 300, true),
+                timed(2, 1, Direction::Pull, 500, 200, false),
+            ],
+            phases: 2,
+            elapsed_ns: 800,
+            worker_laps: vec![
+                WorkerLap {
+                    busy_ns: 600,
+                    idle_ns: 200,
+                    chunks_claimed: 5,
+                },
+                WorkerLap {
+                    busy_ns: 200,
+                    idle_ns: 600,
+                    chunks_claimed: 2,
+                },
+            ],
+            round_worker_busy: vec![vec![80, 20], vec![250, 50], vec![150, 50]],
+        }
+    }
+
+    #[test]
+    fn timing_aggregates_split_by_phase_and_direction() {
+        let r = timed_report();
+        assert_eq!(r.round_duration_ns(), 600);
+        assert_eq!(r.phase_duration_ns(0), 400);
+        assert_eq!(r.phase_duration_ns(1), 200);
+        assert_eq!(r.dir_duration_ns(Direction::Push), 100);
+        assert_eq!(r.dir_duration_ns(Direction::Pull), 500);
+        assert_eq!(r.switches(), 1);
+        // max busy 600 / mean busy 400 = 1.5.
+        assert!((r.imbalance() - 1.5).abs() < 1e-12);
+        let h = r.round_histogram();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn chrome_trace_has_round_phase_and_worker_tracks() {
+        let r = timed_report();
+        let t = r.chrome_trace("bfs");
+        let json = t.to_json();
+        // Named tracks: rounds, phases, one per worker.
+        assert!(json.contains("bfs: rounds"));
+        assert!(json.contains("bfs: phases"));
+        assert!(json.contains("\"worker 0\""));
+        assert!(json.contains("\"worker 1\""));
+        // One duration event per round, one instant for the switch.
+        assert!(json.contains("\"round 0\""));
+        assert!(json.contains("\"round 2\""));
+        assert!(json.contains("switch → pull"));
+        // Phase spans: phase 0 covers rounds 0–1 (0..450 → dur 450 ns =
+        // 0.450 µs).
+        assert!(json.contains("\"phase 0\""));
+        assert!(json.contains("\"dur\": 0.450"));
+        // Worker lanes use tids ≥ WORKER_TID_BASE.
+        assert!(json.contains(&format!("\"tid\": {}", WORKER_TID_BASE)));
+        // 4 metadata + 3 rounds + 1 switch + 2 phases + 6 worker spans.
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn untimed_trace_still_names_a_track_per_worker() {
+        let mut r = timed_report();
+        r.round_worker_busy.clear();
+        let t = r.chrome_trace("x");
+        let json = t.to_json();
+        assert!(json.contains("\"worker 0\"") && json.contains("\"worker 1\""));
+        assert_eq!(t.len(), 10, "no worker spans, tracks still named");
     }
 }

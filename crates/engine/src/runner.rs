@@ -8,6 +8,8 @@
 
 use pp_core::Direction;
 use pp_graph::CsrGraph;
+use pp_telemetry::timing::Clock;
+use pp_telemetry::MetricsLevel;
 
 use crate::frontier::Frontier;
 use crate::ops::Engine;
@@ -35,17 +37,20 @@ pub struct Runner<'a, P: ShardProbe> {
     probes: &'a ProbeShards<P>,
     policy: DirectionPolicy,
     mode: ExecutionMode,
+    metrics: MetricsLevel,
 }
 
 impl<'a, P: ShardProbe> Runner<'a, P> {
     /// A runner over `engine` with per-worker `probes`, defaulting to the
-    /// adaptive direction policy and atomic push execution.
+    /// adaptive direction policy, atomic push execution, and no run-wide
+    /// metrics collection ([`MetricsLevel::Off`]).
     pub fn new(engine: &'a Engine, probes: &'a ProbeShards<P>) -> Self {
         Self {
             engine,
             probes,
             policy: DirectionPolicy::adaptive(),
             mode: ExecutionMode::Atomic,
+            metrics: MetricsLevel::Off,
         }
     }
 
@@ -61,6 +66,18 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
     /// partition part to each engine thread. Pull rounds are unaffected.
     pub fn mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Selects how much run-wide observability subsequent runs collect:
+    /// policy decision records at [`MetricsLevel::Counts`], clocks and
+    /// per-worker laps at [`MetricsLevel::Timing`], the per-round ×
+    /// per-worker trace substrate at [`MetricsLevel::Trace`]. At
+    /// [`MetricsLevel::Off`] (the default) the run takes exactly today's
+    /// uninstrumented path and the report is identical to one from a
+    /// runner without this knob.
+    pub fn metrics(mut self, metrics: MetricsLevel) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -91,6 +108,19 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
         // split representation and exchange buffers — then persists (and
         // keeps its buffer capacity) across every push round of the run.
         let mut pa: Option<PaContext> = None;
+        let metrics = self.metrics;
+        // All observability is opt-in per level: at `Off`, `clock` is None,
+        // lap recording stays off, and every gate below is a dead branch —
+        // the loop body is today's uninstrumented path and the report it
+        // builds is identical to the legacy one.
+        let clock = metrics.times().then(Clock::start);
+        let pool = self.engine.pool();
+        if metrics.times() {
+            pool.reset_laps();
+            pool.set_lap_recording(true);
+        }
+        // Previous cumulative per-worker busy, for per-round deltas.
+        let mut lap_mark: Vec<u64> = Vec::new();
         let mut frontier = program.initial_frontier(g);
         let mut report = RunReport::default();
         let mut round = 0u32;
@@ -102,15 +132,19 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
                 // A vertex step runs no edge kernel: don't feed the
                 // adaptive hysteresis a frontier it will never traverse —
                 // and don't charge |E_F| it will never touch.
-                let dir = match kernel {
-                    PhaseKernel::EdgeMap => policy.next(&frontier, g),
-                    PhaseKernel::VertexStep => policy.current(),
+                let (dir, decision) = match kernel {
+                    PhaseKernel::EdgeMap => {
+                        let d = policy.next_decision(&frontier, g);
+                        (d.dir, (metrics >= MetricsLevel::Counts).then_some(d))
+                    }
+                    PhaseKernel::VertexStep => (policy.current(), None),
                 };
                 let stat_frontier = frontier.len();
                 let stat_edges = match kernel {
                     PhaseKernel::EdgeMap => frontier.edge_count(g),
                     PhaseKernel::VertexStep => 0,
                 };
+                let start_ns = clock.as_ref().map_or(0, Clock::now_ns);
                 let ctx = RoundCtx { round, phase, dir };
                 program.begin_round(ctx, g, &mut frontier, self.engine, self.probes);
                 let (next, stats) = match (kernel, self.mode, dir) {
@@ -129,6 +163,25 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
                     ),
                 };
                 frontier = next;
+                let duration_ns = clock
+                    .as_ref()
+                    .map_or(0, |c| c.now_ns().saturating_sub(start_ns));
+                if metrics.traces() {
+                    // Per-round worker busy = delta of the pool's cumulative
+                    // ledgers across the round (the round barrier has
+                    // passed, so the ledgers are quiescent here).
+                    let laps = pool.laps();
+                    lap_mark.resize(laps.len(), 0);
+                    let row: Vec<u64> = laps
+                        .iter()
+                        .zip(lap_mark.iter())
+                        .map(|(lap, prev)| lap.busy_ns.saturating_sub(*prev))
+                        .collect();
+                    for (prev, lap) in lap_mark.iter_mut().zip(&laps) {
+                        *prev = lap.busy_ns;
+                    }
+                    report.round_worker_busy.push(row);
+                }
                 report.rounds.push(RoundStat {
                     round,
                     phase,
@@ -137,6 +190,9 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
                     frontier_edges: stat_edges,
                     remote_updates: stats.map_or(0, |s| s.remote_updates),
                     buffer_peak: stats.map_or(0, |s| s.buffer_peak),
+                    start_ns,
+                    duration_ns,
+                    decision,
                 });
                 round += 1;
                 ran_this_phase = true;
@@ -161,6 +217,11 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
         // that actually executed a round, so the zero-round run reports 0 —
         // identical to `RunReport::default()` — instead of a phantom 1.
         report.phases = phase + u32::from(ran_this_phase);
+        if let Some(c) = &clock {
+            report.elapsed_ns = c.now_ns();
+            report.worker_laps = pool.laps();
+            pool.set_lap_recording(false);
+        }
         Run {
             output: program.finish(g),
             report,

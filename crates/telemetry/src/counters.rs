@@ -1,6 +1,7 @@
 //! Relaxed-atomic event counters: the software analogue of the manually
 //! counted atomics/locks and the PAPI read/write/branch events of Table 1.
 
+use std::ops::AddAssign;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use crate::Probe;
@@ -65,6 +66,41 @@ impl EventCounts {
             l3_misses: self.l3_misses.saturating_sub(other.l3_misses),
             dtlb_misses: self.dtlb_misses.saturating_sub(other.dtlb_misses),
         }
+    }
+}
+
+/// Field-wise accumulation — the one merge definition every shard fold
+/// uses. It lives next to the struct so a new field cannot be added to
+/// [`EventCounts`] without the compiler pointing here (no `..Default` in
+/// the body; see the drift-guard test).
+impl AddAssign for EventCounts {
+    fn add_assign(&mut self, rhs: EventCounts) {
+        let EventCounts {
+            reads,
+            writes,
+            atomics,
+            locks,
+            branches_cond,
+            branches_uncond,
+            barriers,
+            remote_sends,
+            l1_misses,
+            l2_misses,
+            l3_misses,
+            dtlb_misses,
+        } = rhs;
+        self.reads += reads;
+        self.writes += writes;
+        self.atomics += atomics;
+        self.locks += locks;
+        self.branches_cond += branches_cond;
+        self.branches_uncond += branches_uncond;
+        self.barriers += barriers;
+        self.remote_sends += remote_sends;
+        self.l1_misses += l1_misses;
+        self.l2_misses += l2_misses;
+        self.l3_misses += l3_misses;
+        self.dtlb_misses += dtlb_misses;
     }
 }
 
@@ -213,6 +249,48 @@ mod tests {
         let c = p.counts();
         assert_eq!(c.reads, 4000);
         assert_eq!(c.atomics, 4000);
+    }
+
+    #[test]
+    fn merge_drift_guard_sums_every_field() {
+        // Both literals are exhaustive on purpose (no `..Default`): adding
+        // a 13th field to `EventCounts` fails to compile here AND in
+        // `AddAssign`'s destructuring, so it cannot silently vanish from
+        // shard merges.
+        let ones = EventCounts {
+            reads: 1,
+            writes: 1,
+            atomics: 1,
+            locks: 1,
+            branches_cond: 1,
+            branches_uncond: 1,
+            barriers: 1,
+            remote_sends: 1,
+            l1_misses: 1,
+            l2_misses: 1,
+            l3_misses: 1,
+            dtlb_misses: 1,
+        };
+        let mut merged = ones;
+        merged += ones;
+        let twos = EventCounts {
+            reads: 2,
+            writes: 2,
+            atomics: 2,
+            locks: 2,
+            branches_cond: 2,
+            branches_uncond: 2,
+            barriers: 2,
+            remote_sends: 2,
+            l1_misses: 2,
+            l2_misses: 2,
+            l3_misses: 2,
+            dtlb_misses: 2,
+        };
+        assert_eq!(merged, twos, "every field must double under merge");
+        let mut from_zero = EventCounts::default();
+        from_zero += ones;
+        assert_eq!(from_zero, ones);
     }
 
     #[test]

@@ -17,14 +17,84 @@
 //!   patterns (CSR streaming vs. random gathers). Instruction-TLB misses are
 //!   not modeled (they are negligible in the paper's data and have no
 //!   software analogue here).
+//!
+//! §6's other half is *time*: the paper's counters explain a push/pull gap,
+//! but the gap itself is measured in timed runs. Two modules carry that
+//! side of the discipline:
+//!
+//! * [`timing`] — a monotonic span clock ([`timing::Clock`]), a
+//!   fixed-bucket log₂ histogram with p50/p95/p99
+//!   ([`timing::LogHistogram`]), and the per-worker busy/idle/claims
+//!   ledger ([`timing::WorkerLap`]) the engine pool fills in, with the
+//!   `max/mean` load-imbalance ratio ([`timing::imbalance`]).
+//! * [`trace`] — Chrome trace-event JSON export
+//!   ([`trace::ChromeTrace`]): per-round duration events, per-worker
+//!   tracks, and instant markers for direction switches, loadable in
+//!   `chrome://tracing`/Perfetto.
+//!
+//! How much of this a run records is the [`MetricsLevel`] knob: `Off`
+//! keeps the zero-overhead `NullProbe` path untouched, each higher level
+//! adds one layer (policy decisions → timing → full trace substrate).
 
 pub mod cachesim;
 pub mod counters;
 pub mod report;
+pub mod timing;
+pub mod trace;
 
 pub use cachesim::CacheSimProbe;
 pub use counters::{CountingProbe, EventCounts};
 pub use report::EventReport;
+pub use timing::{LogHistogram, WorkerLap};
+pub use trace::ChromeTrace;
+
+/// How much run-wide observability a driver collects, beyond what its
+/// probe type already counts. Levels are cumulative (`Ord`): each one
+/// includes everything below it.
+///
+/// The level gates what the *executor* records about its own behavior
+/// (decisions, clocks, per-worker laps); event counting stays the probe
+/// type's job ([`NullProbe`] vs. [`CountingProbe`]), so `Off` leaves the
+/// uninstrumented hot path byte-for-byte identical to a build without this
+/// machinery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricsLevel {
+    /// Record nothing: today's zero-overhead path.
+    #[default]
+    Off,
+    /// Record policy decision records (no clock reads).
+    Counts,
+    /// Additionally read clocks: per-round durations, per-worker laps,
+    /// run elapsed time.
+    Timing,
+    /// Additionally keep the per-round × per-worker substrate a Chrome
+    /// trace needs (round start stamps, per-round worker busy spans).
+    Trace,
+}
+
+impl MetricsLevel {
+    /// Parses a level name (`off`/`counts`/`timing`/`trace`, any ASCII
+    /// case).
+    pub fn parse(s: &str) -> Option<MetricsLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(MetricsLevel::Off),
+            "counts" => Some(MetricsLevel::Counts),
+            "timing" => Some(MetricsLevel::Timing),
+            "trace" => Some(MetricsLevel::Trace),
+            _ => None,
+        }
+    }
+
+    /// Whether this level records timing (clock reads).
+    pub fn times(self) -> bool {
+        self >= MetricsLevel::Timing
+    }
+
+    /// Whether this level keeps the full trace substrate.
+    pub fn traces(self) -> bool {
+        self >= MetricsLevel::Trace
+    }
+}
 
 /// Event hooks for instrumented graph kernels.
 ///
@@ -94,6 +164,26 @@ pub fn addr_of_index<T>(slice: &[T], i: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metrics_levels_are_ordered_and_parse() {
+        assert!(MetricsLevel::Off < MetricsLevel::Counts);
+        assert!(MetricsLevel::Counts < MetricsLevel::Timing);
+        assert!(MetricsLevel::Timing < MetricsLevel::Trace);
+        assert_eq!(MetricsLevel::default(), MetricsLevel::Off);
+        assert!(!MetricsLevel::Counts.times());
+        assert!(MetricsLevel::Timing.times() && !MetricsLevel::Timing.traces());
+        assert!(MetricsLevel::Trace.times() && MetricsLevel::Trace.traces());
+        for (name, level) in [
+            ("off", MetricsLevel::Off),
+            ("counts", MetricsLevel::Counts),
+            ("Timing", MetricsLevel::Timing),
+            ("TRACE", MetricsLevel::Trace),
+        ] {
+            assert_eq!(MetricsLevel::parse(name), Some(level));
+        }
+        assert_eq!(MetricsLevel::parse("verbose"), None);
+    }
 
     #[test]
     fn null_probe_is_zero_sized() {

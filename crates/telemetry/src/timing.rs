@@ -1,0 +1,363 @@
+//! Wall-clock instrumentation: the *time* half of the paper's measurement
+//! discipline (§6 backs every claim with timed runs, not just counters).
+//!
+//! Three small pieces, deliberately independent of what is being timed:
+//!
+//! * [`Clock`] — a monotonic span clock anchored at construction. Every
+//!   timestamp it hands out is a `u64` nanosecond offset from that anchor,
+//!   so spans from one clock compose into a single timeline (what the
+//!   Chrome-trace export in [`crate::trace`] needs).
+//! * [`LogHistogram`] — a fixed-bucket log₂ histogram of `u64` samples
+//!   (nanoseconds, bytes, counts — it does not care) with
+//!   p50/p95/p99 estimation. Fixed 65-bucket layout means recording is one
+//!   `leading_zeros` plus one increment: cheap enough to sit on a hot path,
+//!   and two histograms merge bucket-wise without resampling.
+//! * [`WorkerLap`] — one worker's busy/idle/claim account over some
+//!   interval, the per-thread load ledger the engine's pool fills in and
+//!   the load-imbalance ratio is computed from.
+
+use std::ops::AddAssign;
+use std::time::Instant;
+
+/// A monotonic span clock: nanosecond offsets from a fixed anchor.
+///
+/// `Instant` is opaque and cannot be serialized or subtracted across
+/// threads without carrying the `Instant` itself around; a `Clock` pins one
+/// anchor and turns every subsequent reading into a plain `u64`, which
+/// round/worker spans can store and trace exporters can emit directly.
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    anchor: Instant,
+}
+
+impl Clock {
+    /// A clock anchored at "now": the next [`Clock::now_ns`] is ~0.
+    pub fn start() -> Self {
+        Self {
+            anchor: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the anchor. Monotone non-decreasing.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        // u64 nanoseconds overflow after ~584 years of process uptime.
+        self.anchor.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Number of buckets: one for zero plus one per possible `log₂` of a `u64`.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂ histogram of `u64` samples.
+///
+/// Bucket 0 holds exact zeros; bucket `i ≥ 1` holds samples in
+/// `[2^(i-1), 2^i)`. Quantiles are estimated as the upper bound of the
+/// bucket containing the requested rank, clamped to the observed maximum —
+/// a conservative (never-underestimating) answer with bounded 2× relative
+/// error, which is what latency percentiles need.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 on an empty histogram).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 on an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the sample of rank `⌈q·count⌉`, clamped to the
+    /// observed max. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one (bucket-wise; exact).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One worker's load account over an interval: how long it executed chunks,
+/// how long it sat out rounds it did not (or could not) help with, and how
+/// many chunks it claimed from the dynamic scheduler.
+///
+/// The invariant a recorder maintains is `busy_ns + idle_ns ≈` (recorded
+/// wall time) for every worker, so `busy / (busy + idle)` is the worker's
+/// utilization and `max(busy) / mean(busy)` across workers is the
+/// load-imbalance ratio (1.0 = perfectly balanced).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerLap {
+    /// Nanoseconds spent executing claimed chunks.
+    pub busy_ns: u64,
+    /// Nanoseconds inside recorded rounds *not* spent executing chunks
+    /// (claim overhead, barrier waits, rounds that ran inline on another
+    /// thread).
+    pub idle_ns: u64,
+    /// Chunks claimed from the dynamic scheduler.
+    pub chunks_claimed: u64,
+}
+
+impl WorkerLap {
+    /// Busy share of the recorded time, in `0.0 ..= 1.0` (0 if nothing was
+    /// recorded).
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
+        }
+    }
+}
+
+impl AddAssign for WorkerLap {
+    fn add_assign(&mut self, rhs: WorkerLap) {
+        self.busy_ns += rhs.busy_ns;
+        self.idle_ns += rhs.idle_ns;
+        self.chunks_claimed += rhs.chunks_claimed;
+    }
+}
+
+/// Load-imbalance ratio of a worker set: `max(busy) / mean(busy)`.
+///
+/// 1.0 is perfect balance; 2.0 means the most-loaded worker did twice the
+/// mean work — the classic trigger threshold for rebalancing. Returns 0.0
+/// for an empty set and 1.0 when no busy time was recorded at all (an idle
+/// fleet is trivially balanced).
+pub fn imbalance(laps: &[WorkerLap]) -> f64 {
+    if laps.is_empty() {
+        return 0.0;
+    }
+    let max = laps.iter().map(|l| l.busy_ns).max().unwrap_or(0);
+    if max == 0 {
+        return 1.0;
+    }
+    let mean = laps.iter().map(|l| l.busy_ns).sum::<u64>() as f64 / laps.len() as f64;
+    max as f64 / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone_and_starts_near_zero() {
+        let c = Clock::start();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(a <= b);
+        assert!(a < 1_000_000_000, "anchor is 'now', not the epoch");
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_the_samples() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        // p50 of 1..=1000 is 500, in bucket [256, 512): upper bound 511.
+        assert_eq!(h.p50(), 511);
+        // p95 = 950 and p99 = 990 both land in [512, 1024), clamped to max.
+        assert_eq!(h.p95(), 1000);
+        assert_eq!(h.p99(), 1000);
+        // A quantile never underestimates its exact counterpart.
+        for (q, exact) in [(0.5, 500), (0.95, 950), (0.99, 990)] {
+            assert!(h.quantile(q) >= exact, "q={q}");
+        }
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_empty() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for v in [3u64, 17, 200, 9000] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [1u64, 1_000_000] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.sum(), c.sum());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.p50(), c.p50());
+    }
+
+    #[test]
+    fn lap_accumulates_and_reports_utilization() {
+        let mut lap = WorkerLap::default();
+        lap += WorkerLap {
+            busy_ns: 300,
+            idle_ns: 100,
+            chunks_claimed: 4,
+        };
+        lap += WorkerLap {
+            busy_ns: 100,
+            idle_ns: 300,
+            chunks_claimed: 1,
+        };
+        assert_eq!(lap.busy_ns, 400);
+        assert_eq!(lap.idle_ns, 400);
+        assert_eq!(lap.chunks_claimed, 5);
+        assert!((lap.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(WorkerLap::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_ratio_is_max_over_mean() {
+        let laps = [
+            WorkerLap {
+                busy_ns: 300,
+                ..Default::default()
+            },
+            WorkerLap {
+                busy_ns: 100,
+                ..Default::default()
+            },
+        ];
+        // mean = 200, max = 300.
+        assert!((imbalance(&laps) - 1.5).abs() < 1e-12);
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[WorkerLap::default(); 4]), 1.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Chrome trace-event export: serialize a run's spans into the JSON array
+//! format `chrome://tracing` / Perfetto load directly.
+//!
+//! The format (the "Trace Event Format") is a flat JSON array of event
+//! objects; the three shapes used here are
+//!
+//! * complete/duration events (`"ph": "X"`) — a named span with `ts` and
+//!   `dur` in **microseconds**, drawn as a bar on track (`pid`, `tid`);
+//! * instant events (`"ph": "i"`) — a zero-width marker (direction
+//!   switches, anomalies);
+//! * metadata events (`"ph": "M"`, `thread_name`) — name a track; one per
+//!   pool worker gives the per-worker lanes.
+//!
+//! [`ChromeTrace`] is deliberately dumb: it knows nothing about rounds or
+//! workers, only events with nanosecond inputs (converted to the format's
+//! microseconds on write). The engine's `RunReport` does the mapping from
+//! run structure to events; drivers write the result with
+//! [`ChromeTrace::write`] or [`ChromeTrace::to_json`].
+
+use std::io::Write;
+
+/// An argument value attached to an event (shown in the tracer's detail
+/// pane when the event is selected).
+#[derive(Clone, Debug)]
+pub enum ArgValue {
+    /// A JSON number.
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Num(v)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Num(v as f64)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::Num(v as f64)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Event {
+    name: String,
+    cat: String,
+    /// Event phase: `X` (complete), `i` (instant), `M` (metadata).
+    ph: char,
+    ts_ns: u64,
+    dur_ns: Option<u64>,
+    tid: u32,
+    args: Vec<(String, ArgValue)>,
+}
+
+/// A buffer of trace events, serialized as one Chrome trace-event JSON
+/// array. All events share one process (`pid` 1); tracks are `tid`s.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<Event>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered events (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names track `tid` (a `thread_name` metadata event). Tracks render
+    /// sorted by `tid`, labeled with `name`.
+    pub fn name_track(&mut self, tid: u32, name: impl Into<String>) {
+        self.events.push(Event {
+            name: "thread_name".to_string(),
+            cat: "__metadata".to_string(),
+            ph: 'M',
+            ts_ns: 0,
+            dur_ns: None,
+            tid,
+            args: vec![("name".to_string(), ArgValue::Str(name.into()))],
+        });
+    }
+
+    /// Adds a complete (duration) event on track `tid`, spanning
+    /// `start_ns .. start_ns + dur_ns`.
+    pub fn duration(
+        &mut self,
+        name: impl Into<String>,
+        cat: &str,
+        tid: u32,
+        start_ns: u64,
+        dur_ns: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        self.events.push(Event {
+            name: name.into(),
+            cat: cat.to_string(),
+            ph: 'X',
+            ts_ns: start_ns,
+            dur_ns: Some(dur_ns),
+            tid,
+            args,
+        });
+    }
+
+    /// Adds an instant event (zero-width marker) on track `tid`.
+    pub fn instant(
+        &mut self,
+        name: impl Into<String>,
+        cat: &str,
+        tid: u32,
+        ts_ns: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        self.events.push(Event {
+            name: name.into(),
+            cat: cat.to_string(),
+            ph: 'i',
+            ts_ns,
+            dur_ns: None,
+            tid,
+            args,
+        });
+    }
+
+    /// Serializes the buffered events as a JSON array string.
+    pub fn to_json(&self) -> String {
+        let mut out = Vec::new();
+        self.write(&mut out).expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("trace JSON is ASCII-escaped UTF-8")
+    }
+
+    /// Writes the JSON array to `w`.
+    pub fn write(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        writeln!(w, "[")?;
+        for (i, e) in self.events.iter().enumerate() {
+            let comma = if i + 1 < self.events.len() { "," } else { "" };
+            write!(
+                w,
+                "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"{}\", \
+                 \"ts\": {:.3}, ",
+                escape(&e.name),
+                escape(&e.cat),
+                e.ph,
+                e.ts_ns as f64 / 1e3,
+            )?;
+            if let Some(dur) = e.dur_ns {
+                write!(w, "\"dur\": {:.3}, ", dur as f64 / 1e3)?;
+            }
+            if e.ph == 'i' {
+                // Instant scope: thread-local marker.
+                write!(w, "\"s\": \"t\", ")?;
+            }
+            write!(w, "\"pid\": 1, \"tid\": {}", e.tid)?;
+            if !e.args.is_empty() {
+                write!(w, ", \"args\": {{")?;
+                for (j, (k, v)) in e.args.iter().enumerate() {
+                    if j > 0 {
+                        write!(w, ", ")?;
+                    }
+                    write!(w, "\"{}\": ", escape(k))?;
+                    match v {
+                        ArgValue::Num(x) if x.is_finite() => write!(w, "{x}")?,
+                        // JSON has no NaN/Inf; stringify the rare oddball.
+                        ArgValue::Num(x) => write!(w, "\"{x}\"")?,
+                        ArgValue::Str(s) => write!(w, "\"{}\"", escape(s))?,
+                        ArgValue::Bool(b) => write!(w, "{b}")?,
+                    }
+                }
+                write!(w, "}}")?;
+            }
+            writeln!(w, "}}{comma}")?;
+        }
+        writeln!(w, "]")
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_microsecond_timestamps() {
+        let mut t = ChromeTrace::new();
+        t.name_track(0, "rounds");
+        t.duration(
+            "round 0",
+            "round",
+            0,
+            1_500,
+            2_000,
+            vec![("frontier".to_string(), ArgValue::Num(7.0))],
+        );
+        t.instant("switch", "policy", 0, 3_500, vec![]);
+        let json = t.to_json();
+        assert_eq!(t.len(), 3);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"ph\": \"M\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        // 1500 ns = 1.5 µs, 2000 ns = 2 µs.
+        assert!(json.contains("\"ts\": 1.500"));
+        assert!(json.contains("\"dur\": 2.000"));
+        assert!(json.contains("\"frontier\": 7"));
+        // Balanced structure; no trailing comma before the closing bracket.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut t = ChromeTrace::new();
+        t.name_track(3, "odd \"name\"\nwith\tcontrol\u{1}");
+        let json = t.to_json();
+        assert!(json.contains("odd \\\"name\\\"\\nwith\\tcontrol\\u0001"));
+    }
+
+    #[test]
+    fn arg_values_cover_all_json_shapes() {
+        let mut t = ChromeTrace::new();
+        t.instant(
+            "x",
+            "c",
+            0,
+            0,
+            vec![
+                ("n".to_string(), 3u64.into()),
+                ("s".to_string(), "v".into()),
+                ("b".to_string(), true.into()),
+                ("bad".to_string(), ArgValue::Num(f64::NAN)),
+            ],
+        );
+        let json = t.to_json();
+        assert!(json.contains("\"n\": 3"));
+        assert!(json.contains("\"s\": \"v\""));
+        assert!(json.contains("\"b\": true"));
+        assert!(json.contains("\"bad\": \"NaN\""), "no bare NaN in JSON");
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        let json = ChromeTrace::new().to_json();
+        assert_eq!(json.trim(), "[\n]");
+        assert!(ChromeTrace::new().is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! The observability layer, live: one instrumented BFS run at
+//! `MetricsLevel::Trace`.
+//!
+//! Prints what PR 6's timing substrate records — the per-round clock with
+//! the policy's decision record (the observed Beamer share vs. the
+//! hysteresis threshold it was compared against), the per-worker
+//! busy/idle/chunks ledger with the max/mean imbalance ratio, and the
+//! round-duration percentiles — then shows the first lines of the Chrome
+//! trace-event JSON that `ppgraph run --trace` writes for
+//! chrome://tracing.
+//!
+//! ```text
+//! cargo run --release --example observe_run
+//! ```
+
+use pushpull::engine::algo::bfs::BfsProgram;
+use pushpull::engine::{DirectionPolicy, Engine, ProbeShards, Runner};
+use pushpull::graph::datasets::{Dataset, Scale};
+use pushpull::telemetry::timing::imbalance;
+use pushpull::telemetry::{MetricsLevel, NullProbe};
+
+fn main() {
+    let g = Dataset::Orc.generate(Scale::Test);
+    let engine = Engine::new(4);
+    let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+    let run = Runner::new(&engine, &probes)
+        .policy(DirectionPolicy::adaptive())
+        .metrics(MetricsLevel::Trace)
+        .run(&g, BfsProgram::new(&g, 0));
+    let r = &run.report;
+
+    println!(
+        "adaptive BFS on orkut stand-in (n={}, m={}), {} threads, {:.3} ms",
+        g.num_vertices(),
+        g.num_edges(),
+        engine.threads(),
+        r.elapsed_ns as f64 / 1e6
+    );
+
+    println!(
+        "\n{:>6} {:>5} {:>10} {:>11} {:>9}  decision (share vs threshold)",
+        "round", "dir", "frontier", "edges", "ms"
+    );
+    for s in &r.rounds {
+        let decision = match s.decision {
+            Some(d) => format!(
+                "{:.4} vs {:.4}{}",
+                d.observed_share,
+                d.threshold,
+                if d.switched { "  << switched" } else { "" }
+            ),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:>6} {:>5} {:>10} {:>11} {:>9.3}  {decision}",
+            s.round,
+            s.dir.label(),
+            s.frontier,
+            s.frontier_edges,
+            s.duration_ns as f64 / 1e6,
+        );
+    }
+    let h = r.round_histogram();
+    println!(
+        "round durations: p50 {:.3} ms, p95 {:.3} ms, max {:.3} ms",
+        h.p50() as f64 / 1e6,
+        h.p95() as f64 / 1e6,
+        h.max() as f64 / 1e6
+    );
+
+    println!(
+        "\n{:>7} {:>9} {:>9} {:>7} {:>6}",
+        "worker", "busy_ms", "idle_ms", "chunks", "util"
+    );
+    for (w, lap) in r.worker_laps.iter().enumerate() {
+        println!(
+            "{w:>7} {:>9.3} {:>9.3} {:>7} {:>5.0}%",
+            lap.busy_ns as f64 / 1e6,
+            lap.idle_ns as f64 / 1e6,
+            lap.chunks_claimed,
+            lap.utilization() * 100.0
+        );
+    }
+    println!(
+        "load imbalance (max/mean busy): {:.2}x over {} workers",
+        imbalance(&r.worker_laps),
+        r.worker_laps.len()
+    );
+
+    let trace = r.chrome_trace("bfs adaptive");
+    let json = trace.to_json();
+    println!(
+        "\nchrome trace: {} events ({} bytes; `ppgraph run bfs --trace out.json` writes this)",
+        trace.len(),
+        json.len()
+    );
+    for line in json.lines().take(4) {
+        println!("  {line}");
+    }
+    println!("  ...");
+}
