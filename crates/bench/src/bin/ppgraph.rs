@@ -20,7 +20,7 @@
 //! (`pp_graph::io`) are told apart by their first bytes; text inputs parse
 //! on the engine pool (`pp_engine::ingest`).
 
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
 use std::time::Instant;
 
 use pp_bench::experiments::json_escape;
@@ -31,6 +31,7 @@ use pp_engine::registry::{self, AlgoRun, RunConfig};
 use pp_engine::{ingest, DirectionPolicy, Engine, ExecutionMode, ProbeShards};
 use pp_graph::datasets::{Dataset, Scale};
 use pp_graph::{gen, io as gio, reorder, snapshot, stats, CsrGraph, VertexId, Weight};
+use pp_serve::{Client, ServeConfig, Server};
 use pp_telemetry::{CountingProbe, EventCounts, MetricsLevel, NullProbe};
 
 const USAGE: &str = "\
@@ -66,6 +67,21 @@ commands:
       renders a --metrics file as a per-round table and flags anomalies
       (policy decisions contradicting the Beamer thresholds, worker load
       imbalance over 2x)
+  serve [IN] [--port P] [--workers N] [--threads N] [--queue N]
+            [--weights LO:HI] [--seed S] [--min-vertices N]
+      loads the graph once and answers newline-delimited JSON queries
+      ({\"algo\": ..., \"source\": ..., \"params\": {...}} -> one response
+      line each; {\"op\": \"stats\"|\"ping\"|\"shutdown\"} meta-queries).
+      --port serves TCP on 127.0.0.1:P; without it requests are read from
+      stdin and answered on stdout until EOF. --workers runners of
+      --threads engine threads each execute queries; at most --queue
+      queries wait admitted (beyond that: structured 'overloaded'
+      rejections). Final stats go to stderr as JSON on shutdown.
+  query [--connect HOST:PORT] [--stats | --ping | --shutdown]
+      client for `serve --port`: sends stdin's request lines one at a
+      time and prints each response line (or just the one meta-query
+      named by the flag). Exit is nonzero only on transport failure;
+      ok:false responses are data.
   algos
       lists every runnable algorithm with its aliases
 
@@ -85,6 +101,8 @@ fn main() {
         Some("stats") => cmd_stats(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("algos") => cmd_algos(),
         Some(other) => die(&format!("unknown command: {other}\n\n{USAGE}")),
     }
@@ -118,6 +136,11 @@ struct Opts {
     json: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    port: Option<u16>,
+    workers: usize,
+    queue: usize,
+    connect: Option<String>,
+    meta_op: Option<&'static str>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -125,6 +148,8 @@ fn parse_opts(args: &[String]) -> Opts {
         seed: 1,
         lp_iters: 20,
         bc_sources: Some(8),
+        workers: 2,
+        queue: 64,
         ..Opts::default()
     };
     let mut i = 0;
@@ -197,6 +222,31 @@ fn parse_opts(args: &[String]) -> Opts {
             "--json" => o.json = Some(value(args, &mut i, "--json")),
             "--trace" => o.trace = Some(value(args, &mut i, "--trace")),
             "--metrics" => o.metrics = Some(value(args, &mut i, "--metrics")),
+            "--port" => {
+                o.port = Some(
+                    value(args, &mut i, "--port")
+                        .parse()
+                        .unwrap_or_else(|_| die("--port expects a port number")),
+                )
+            }
+            "--workers" => {
+                o.workers = value(args, &mut i, "--workers")
+                    .parse()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .unwrap_or_else(|| die("--workers expects a positive integer"))
+            }
+            "--queue" => {
+                o.queue = value(args, &mut i, "--queue")
+                    .parse()
+                    .ok()
+                    .filter(|&q| q >= 1)
+                    .unwrap_or_else(|| die("--queue expects a positive integer"))
+            }
+            "--connect" => o.connect = Some(value(args, &mut i, "--connect")),
+            "--stats" => o.meta_op = Some("stats"),
+            "--ping" => o.meta_op = Some("ping"),
+            "--shutdown" => o.meta_op = Some("shutdown"),
             flag if flag.starts_with("--") => die(&format!("unknown option: {flag}")),
             positional => o.positional.push(positional.to_string()),
         }
@@ -479,7 +529,11 @@ fn cmd_run(args: &[String]) {
             bc_sources: o.bc_sources,
             ..RunConfig::new(&engine, &probes)
         };
-        (spec.run(&cfg, &g), None)
+        (
+            spec.try_run(&cfg, &g)
+                .unwrap_or_else(|e| die(&format!("run: {e}"))),
+            None,
+        )
     } else {
         // Observed runs count events too: one run yields timing AND the
         // Table-1 counters for the metrics file.
@@ -494,7 +548,9 @@ fn cmd_run(args: &[String]) {
             ..RunConfig::new(&engine, &probes)
         };
         let spec = registry::find_counting(algo).expect("the registry tables mirror each other");
-        let run = spec.run(&cfg, &g);
+        let run = spec
+            .try_run(&cfg, &g)
+            .unwrap_or_else(|e| die(&format!("run: {e}")));
         (run, Some(probes.merged()))
     };
     let ms = run_start.elapsed().as_secs_f64() * 1e3;
@@ -918,6 +974,115 @@ fn render_report(doc: &Value) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+// ----------------------------------------------------------------- serve
+
+fn cmd_serve(args: &[String]) {
+    let o = parse_opts(args);
+    let mut pos = o.positional.iter().map(String::as_str);
+    let input = pos.next();
+    if pos.next().is_some() {
+        die("serve: at most one input path");
+    }
+    let from_stdin = matches!(input, None | Some("-"));
+    if from_stdin && o.port.is_none() {
+        die("serve: without --port, queries arrive on stdin, so the graph must be a file path");
+    }
+
+    let bytes = read_input(input);
+    let load_engine = Engine::new(0);
+    let load_start = Instant::now();
+    let g = load_graph(&load_engine, &bytes, o.min_vertices).unwrap_or_else(|e| die(&e));
+    drop(bytes);
+    drop(load_engine);
+    // Unweighted inputs get the same deterministic weights `ppgraph run`
+    // would attach, so all ten algorithms are servable from one resident
+    // graph.
+    let g = if g.is_weighted() {
+        g
+    } else {
+        let (lo, hi) = o.weights.unwrap_or((1, 64));
+        gen::with_random_weights(&g, lo, hi, o.seed ^ 0x5eed)
+    };
+    if g.num_vertices() == 0 {
+        die("serve: the input graph has no vertices");
+    }
+    let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+
+    let name = input.filter(|p| *p != "-").unwrap_or("<stdin>").to_string();
+    let cfg = ServeConfig {
+        workers: o.workers,
+        // Unlike `run` (0 = hardware parallelism), each of the serve
+        // workers defaults to a single engine thread: throughput comes
+        // from concurrent queries, not from one wide query.
+        threads: o.threads.max(1),
+        queue: o.queue,
+        name: name.clone(),
+    };
+    eprintln!(
+        "serving {name} (n={}, m={}; loaded in {load_ms:.1} ms): \
+         {} workers x {} threads, queue {}",
+        g.num_vertices(),
+        g.num_edges(),
+        cfg.workers,
+        cfg.threads,
+        cfg.queue,
+    );
+    let server = Server::new(g, cfg);
+    let stats = match o.port {
+        Some(port) => {
+            let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+                .unwrap_or_else(|e| die(&format!("serve: cannot bind 127.0.0.1:{port}: {e}")));
+            eprintln!(
+                "listening on 127.0.0.1:{port}; stop with \
+                 `ppgraph query --connect 127.0.0.1:{port} --shutdown`"
+            );
+            server.serve_tcp(listener)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            server.serve_lines(stdin.lock(), std::io::stdout())
+        }
+    };
+    // The final counters go to stderr so a stdio session's stdout stays
+    // pure NDJSON responses.
+    eprintln!("{}", pp_serve::protocol::render_stats(&stats));
+}
+
+// ----------------------------------------------------------------- query
+
+fn cmd_query(args: &[String]) {
+    let o = parse_opts(args);
+    if !o.positional.is_empty() {
+        die("query: unexpected positional arguments");
+    }
+    let addr = o.connect.as_deref().unwrap_or("127.0.0.1:7878");
+    let mut client = Client::connect(addr)
+        .unwrap_or_else(|e| die(&format!("query: cannot connect to {addr}: {e}")));
+
+    if let Some(op) = o.meta_op {
+        let resp = client
+            .request(&format!("{{\"op\": \"{op}\"}}"))
+            .unwrap_or_else(|e| die(&format!("query: transport error: {e}")));
+        println!("{resp}");
+        return;
+    }
+
+    // Lock-step relay: one request line in, one response line out. An
+    // ok:false response is data for the caller, not a client failure —
+    // only transport errors exit nonzero.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_else(|e| die(&format!("query: failed to read stdin: {e}")));
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = client
+            .request(&line)
+            .unwrap_or_else(|e| die(&format!("query: transport error: {e}")));
+        println!("{resp}");
+    }
 }
 
 // ----------------------------------------------------------------- algos

@@ -47,21 +47,10 @@ impl Default for Ctx {
 }
 
 /// Minimal JSON string escaping for the hand-rolled dumps (no serde in the
-/// offline build environment): quotes, backslashes, and control bytes.
+/// offline build environment). Delegates to the serve crate's writer so
+/// the dumps and the query protocol escape identically.
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    crate::json::escape(s)
 }
 
 /// Parses a `--scale` value.

@@ -4,7 +4,11 @@
 //! and figure of the paper (see [`experiments`]).
 
 pub mod experiments;
-pub mod json;
+
+/// The hand-rolled JSON reader/writer now lives in `pp-serve` (the query
+/// protocol parses untrusted input with it); re-exported here so the
+/// harness's `pp_bench::json::...` paths keep working.
+pub use pp_serve::json;
 
 use std::time::{Duration, Instant};
 

@@ -81,8 +81,74 @@ impl<'a, P: ShardProbe> RunConfig<'a, P> {
     }
 }
 
+/// Why a registry run was refused before any kernel executed.
+///
+/// The registry sits behind untrusted drivers now (the `pp-serve` query
+/// service feeds it socket input): bad input must come back as a value the
+/// driver can render, not a panic that kills the process. Every variant
+/// corresponds to a validation [`AlgoSpec::validate`] performs up front.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// No registered algorithm matches the name or any alias.
+    UnknownAlgo(String),
+    /// A rooted algorithm's source vertex is outside `0..n`.
+    SourceOutOfRange {
+        /// The requested source.
+        source: VertexId,
+        /// The graph's vertex count.
+        n: usize,
+    },
+    /// The algorithm requires edge weights and the graph has none.
+    NeedsWeights {
+        /// The algorithm that refused.
+        algo: &'static str,
+    },
+    /// A configuration field holds a value no run can honor.
+    InvalidParam {
+        /// The offending [`RunConfig`] field.
+        param: &'static str,
+        /// Why the value is unusable.
+        reason: &'static str,
+    },
+}
+
+impl RunError {
+    /// A stable machine-readable tag for each variant — what the serve
+    /// protocol puts in its `error.kind` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunError::UnknownAlgo(_) => "unknown_algo",
+            RunError::SourceOutOfRange { .. } => "source_out_of_range",
+            RunError::NeedsWeights { .. } => "needs_weights",
+            RunError::InvalidParam { .. } => "bad_param",
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnknownAlgo(name) => {
+                write!(f, "unknown algorithm: {name} (see `ppgraph algos`)")
+            }
+            RunError::SourceOutOfRange { source, n } => {
+                write!(f, "source {source} out of range (n = {n})")
+            }
+            RunError::NeedsWeights { algo } => {
+                write!(f, "{algo} requires edge weights")
+            }
+            RunError::InvalidParam { param, reason } => {
+                write!(f, "invalid {param}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// One completed registry run: the unified report plus a summary of the
 /// program's output as `(fact, value)` pairs.
+#[derive(Clone, Debug)]
 pub struct AlgoRun {
     /// Per-round direction/frontier/edge statistics.
     pub report: RunReport,
@@ -103,23 +169,61 @@ pub struct AlgoSpec<P: ShardProbe + 'static = NullProbe> {
     pub description: &'static str,
     /// Whether the graph must carry edge weights.
     pub needs_weights: bool,
+    /// Whether the run is rooted at `cfg.source` (BFS, SSSP) — rooted
+    /// algorithms validate the source against the graph's vertex count.
+    pub rooted: bool,
     run: fn(&RunConfig<'_, P>, &CsrGraph) -> AlgoRun,
 }
 
 impl<P: ShardProbe> AlgoSpec<P> {
+    /// Checks that `cfg` and `g` make a runnable pair, without running
+    /// anything: weights present where required, a rooted source in range,
+    /// parameter values a run can honor. This is the complete list of
+    /// preconditions — a config that validates cannot panic inside
+    /// [`AlgoSpec::try_run`] on account of its input.
+    pub fn validate(&self, cfg: &RunConfig<'_, P>, g: &CsrGraph) -> Result<(), RunError> {
+        if self.needs_weights && !g.is_weighted() {
+            return Err(RunError::NeedsWeights { algo: self.name });
+        }
+        if self.rooted && (cfg.source as usize) >= g.num_vertices() {
+            return Err(RunError::SourceOutOfRange {
+                source: cfg.source,
+                n: g.num_vertices(),
+            });
+        }
+        if cfg.lp_iters == 0 {
+            return Err(RunError::InvalidParam {
+                param: "lp_iters",
+                reason: "must be >= 1",
+            });
+        }
+        if cfg.bc_sources == Some(0) {
+            return Err(RunError::InvalidParam {
+                param: "bc_sources",
+                reason: "must be >= 1 (omit the cap to run every source)",
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the algorithm on `g` under `cfg`, refusing bad input as a
+    /// [`RunError`] instead of panicking — the entry point for drivers fed
+    /// from outside the process (the `pp-serve` query loop, the `ppgraph`
+    /// CLI).
+    pub fn try_run(&self, cfg: &RunConfig<'_, P>, g: &CsrGraph) -> Result<AlgoRun, RunError> {
+        self.validate(cfg, g)?;
+        Ok((self.run)(cfg, g))
+    }
+
     /// Runs the algorithm on `g` under `cfg`.
     ///
     /// # Panics
-    /// Panics if [`AlgoSpec::needs_weights`] and `g` is unweighted, or if a
-    /// rooted algorithm's `cfg.source` is out of range — drivers validate
-    /// (or repair, e.g. by attaching weights) before calling.
+    /// Panics with the [`RunError`] message if [`AlgoSpec::validate`]
+    /// refuses the input (e.g. the algorithm requires edge weights and `g`
+    /// has none) — callers that cannot guarantee their input use
+    /// [`AlgoSpec::try_run`].
     pub fn run(&self, cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
-        assert!(
-            !self.needs_weights || g.is_weighted(),
-            "{} requires edge weights",
-            self.name
-        );
-        (self.run)(cfg, g)
+        self.try_run(cfg, g).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Whether `name` matches the canonical name or an alias
@@ -139,6 +243,20 @@ pub fn all() -> &'static [AlgoSpec] {
 /// Looks an algorithm up by name or alias.
 pub fn find(name: &str) -> Option<&'static AlgoSpec> {
     REGISTRY.iter().find(|spec| spec.matches(name))
+}
+
+/// Resolves `name` and runs it under `cfg`, returning every failure —
+/// including an unknown name — as a [`RunError`]. One malformed request
+/// cannot panic past this function; it is the registry entry point the
+/// serve loop and the CLI call for externally-supplied input.
+pub fn run_checked(
+    name: &str,
+    cfg: &RunConfig<'_, NullProbe>,
+    g: &CsrGraph,
+) -> Result<AlgoRun, RunError> {
+    find(name)
+        .ok_or_else(|| RunError::UnknownAlgo(name.to_string()))?
+        .try_run(cfg, g)
 }
 
 /// The same table monomorphized over [`CountingProbe`], for drivers that
@@ -163,6 +281,7 @@ macro_rules! registry_table {
                 aliases: &[],
                 description: "breadth-first search from --source (§3.3)",
                 needs_weights: false,
+                rooted: true,
                 run: run_bfs::<$P>,
             },
             AlgoSpec {
@@ -170,6 +289,7 @@ macro_rules! registry_table {
                 aliases: &["pr"],
                 description: "PageRank power iterations (§3.1)",
                 needs_weights: false,
+                rooted: false,
                 run: run_pagerank::<$P>,
             },
             AlgoSpec {
@@ -177,6 +297,7 @@ macro_rules! registry_table {
                 aliases: &["delta-stepping"],
                 description: "Δ-stepping shortest paths from --source (§3.4)",
                 needs_weights: true,
+                rooted: true,
                 run: run_sssp::<$P>,
             },
             AlgoSpec {
@@ -184,6 +305,7 @@ macro_rules! registry_table {
                 aliases: &["components"],
                 description: "connected components by label-min propagation",
                 needs_weights: false,
+                rooted: false,
                 run: run_cc::<$P>,
             },
             AlgoSpec {
@@ -191,6 +313,7 @@ macro_rules! registry_table {
                 aliases: &["k-core"],
                 description: "k-core decomposition by iterative peeling",
                 needs_weights: false,
+                rooted: false,
                 run: run_kcore::<$P>,
             },
             AlgoSpec {
@@ -198,6 +321,7 @@ macro_rules! registry_table {
                 aliases: &["lp"],
                 description: "synchronous community label propagation",
                 needs_weights: false,
+                rooted: false,
                 run: run_labelprop::<$P>,
             },
             AlgoSpec {
@@ -205,6 +329,7 @@ macro_rules! registry_table {
                 aliases: &["bgc"],
                 description: "Boman-style speculative graph coloring (§5)",
                 needs_weights: false,
+                rooted: false,
                 run: run_coloring::<$P>,
             },
             AlgoSpec {
@@ -212,6 +337,7 @@ macro_rules! registry_table {
                 aliases: &["triangles"],
                 description: "triangle counting by adjacency intersection (§3.2)",
                 needs_weights: false,
+                rooted: false,
                 run: run_tc::<$P>,
             },
             AlgoSpec {
@@ -219,6 +345,7 @@ macro_rules! registry_table {
                 aliases: &["boruvka"],
                 description: "Boruvka minimum spanning forest (§3.7)",
                 needs_weights: true,
+                rooted: false,
                 run: run_mst::<$P>,
             },
             AlgoSpec {
@@ -226,6 +353,7 @@ macro_rules! registry_table {
                 aliases: &["betweenness"],
                 description: "Brandes betweenness centrality (§3.5)",
                 needs_weights: false,
+                rooted: false,
                 run: run_bc::<$P>,
             },
         ]
@@ -516,5 +644,90 @@ mod tests {
         let probes = ProbeShards::new(engine.threads());
         let cfg = RunConfig::new(&engine, &probes);
         find("mst").unwrap().run(&cfg, &g);
+    }
+
+    #[test]
+    fn bad_input_returns_structured_errors_instead_of_panicking() {
+        let g = gen::path(10);
+        let engine = Engine::new(1);
+        let probes = ProbeShards::new(engine.threads());
+        let cfg = RunConfig::new(&engine, &probes);
+
+        let e = run_checked("no-such-algo", &cfg, &g).unwrap_err();
+        assert_eq!(e, RunError::UnknownAlgo("no-such-algo".to_string()));
+        assert_eq!(e.kind(), "unknown_algo");
+
+        // Out-of-range source on every rooted algorithm (weighted graph,
+        // so SSSP gets past the weights check to the range check).
+        let wg = gen::with_random_weights(&g, 1, 4, 1);
+        let far = RunConfig {
+            source: 10,
+            ..RunConfig::new(&engine, &probes)
+        };
+        for name in ["bfs", "sssp"] {
+            let spec = find(name).unwrap();
+            assert!(spec.rooted, "{name}");
+            let e = run_checked(name, &far, &wg).unwrap_err();
+            assert_eq!(e, RunError::SourceOutOfRange { source: 10, n: 10 });
+            assert_eq!(e.kind(), "source_out_of_range");
+            assert!(e.to_string().contains("out of range"));
+        }
+        // ... including on an empty graph, where no source is valid.
+        let empty = gen::erdos_renyi(0, 0, 1);
+        assert_eq!(
+            run_checked("bfs", &cfg, &empty).unwrap_err(),
+            RunError::SourceOutOfRange { source: 0, n: 0 }
+        );
+        // Unrooted algorithms ignore the source entirely.
+        assert!(run_checked("cc", &far, &g).is_ok());
+
+        let e = run_checked("mst", &cfg, &g).unwrap_err();
+        assert_eq!(e, RunError::NeedsWeights { algo: "mst" });
+        assert_eq!(e.kind(), "needs_weights");
+
+        let zero_bc = RunConfig {
+            bc_sources: Some(0),
+            ..RunConfig::new(&engine, &probes)
+        };
+        let e = run_checked("bc", &zero_bc, &g).unwrap_err();
+        assert_eq!(e.kind(), "bad_param");
+        assert!(e.to_string().contains("bc_sources"));
+
+        let zero_lp = RunConfig {
+            lp_iters: 0,
+            ..RunConfig::new(&engine, &probes)
+        };
+        let e = run_checked("labelprop", &zero_lp, &g).unwrap_err();
+        assert_eq!(e.kind(), "bad_param");
+        assert!(e.to_string().contains("lp_iters"));
+
+        // Errors resolve through aliases the same as canonical names.
+        assert_eq!(
+            run_checked("boruvka", &cfg, &g).unwrap_err(),
+            RunError::NeedsWeights { algo: "mst" }
+        );
+
+        // A config that validates runs — and matches the panicking path.
+        let ok = run_checked("bfs", &cfg, &g).unwrap();
+        assert!(!ok.summary.is_empty());
+    }
+
+    #[test]
+    fn validate_mirrors_try_run_on_the_counting_table() {
+        let g = gen::path(6);
+        let engine = Engine::new(1);
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        let bad = RunConfig {
+            source: 99,
+            ..RunConfig::new(&engine, &probes)
+        };
+        let spec = find_counting("bfs").unwrap();
+        assert_eq!(
+            spec.validate(&bad, &g).unwrap_err(),
+            RunError::SourceOutOfRange { source: 99, n: 6 }
+        );
+        assert!(spec.try_run(&bad, &g).is_err());
+        let ok = RunConfig::new(&engine, &probes);
+        assert!(spec.try_run(&ok, &g).is_ok());
     }
 }

@@ -1,0 +1,67 @@
+//! A minimal lock-step client for the NDJSON protocol: send one request
+//! line, read one response line. Concurrency comes from opening more
+//! connections (each [`Client`] is one), not from pipelining on a single
+//! one — the server answers run queries in completion order, so a
+//! pipelining caller must match responses by `id` itself; [`Client`]
+//! sidesteps that by never having two requests in flight.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a running `pp-serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Like [`Client::connect`] but retries until the server comes up or
+    /// `deadline` elapses — for scripts that just forked `ppgraph serve`
+    /// in the background.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        deadline: Duration,
+    ) -> io::Result<Self> {
+        let start = std::time::Instant::now();
+        loop {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends one request line and blocks for its response line. The
+    /// request must be a single line (no interior newlines); the trailing
+    /// newline is added here.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        debug_assert!(!line.contains('\n'), "requests are one line each");
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}

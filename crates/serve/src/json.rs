@@ -1,12 +1,21 @@
-//! A minimal JSON reader for the harness's own outputs.
+//! A minimal JSON reader (and string escaper) for the workspace's
+//! hand-rolled JSON surfaces.
 //!
 //! The workspace writes JSON by hand (no serde in the dependency-free
-//! build); `ppgraph report` needs to read those files back. This module is
-//! the matching reader: a small recursive-descent parser into a [`Value`]
-//! tree plus the handful of typed accessors the report renderer uses. It
-//! parses standard JSON (RFC 8259) — objects, arrays, strings with
-//! escapes, numbers, booleans, null — and nothing more (no comments, no
-//! trailing commas), which is exactly what the writers emit.
+//! build); two consumers need to read it back: `ppgraph report` re-reads
+//! the metrics files the harness wrote itself, and — since the serve
+//! subsystem landed — [`crate::protocol`] parses **untrusted query input**
+//! arriving over a socket. This module is the shared reader: a small
+//! recursive-descent parser into a [`Value`] tree plus the handful of
+//! typed accessors the consumers use. It parses standard JSON (RFC 8259)
+//! — objects, arrays, strings with escapes (including `\uXXXX`), numbers
+//! in integer/fraction/exponent form, booleans, null — and nothing more
+//! (no comments, no trailing commas). Malformed input yields a
+//! [`ParseError`] with a byte offset, never a panic: a bad query line must
+//! turn into a structured `bad_request` response, not kill the server.
+//!
+//! This module lived in `pp-bench` before the serve subsystem; `pp-bench`
+//! re-exports it (`pp_bench::json`) so existing paths keep working.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -79,6 +88,26 @@ impl Value {
             _ => None,
         }
     }
+}
+
+/// Minimal JSON string escaping for the workspace's hand-rolled writers:
+/// quotes, backslashes, and control bytes (everything RFC 8259 §7 requires
+/// to be escaped). Non-ASCII characters pass through unescaped — the
+/// output is UTF-8 JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A parse failure: what was expected and the byte offset it failed at.
@@ -360,6 +389,87 @@ mod tests {
         assert_eq!(v.arr(), None);
         assert_eq!(parse("-2").unwrap().u64(), None);
         assert_eq!(parse("true").unwrap().bool(), Some(true));
+    }
+
+    // ------------------------------------------------------------------
+    // Untrusted-input edge cases: the parser now sits behind the serve
+    // protocol, so inputs nobody in the workspace would *write* must still
+    // parse (or fail) cleanly.
+
+    #[test]
+    fn escaped_quotes_and_unicode_in_strings() {
+        // Escaped quote adjacent to an escaped backslash — the classic
+        // `\\"` ambiguity: the backslash escape must consume its pair
+        // before the quote is considered.
+        assert_eq!(parse(r#""a\\\"b""#).unwrap().str(), Some(r#"a\"b"#));
+        assert_eq!(parse(r#""\\\\""#).unwrap().str(), Some(r"\\"));
+        // \u escapes: BMP characters, and raw (unescaped) multi-byte UTF-8.
+        assert_eq!(parse(r#""éЖ""#).unwrap().str(), Some("éЖ"));
+        assert_eq!(
+            parse("\"héllo → wörld\"").unwrap().str(),
+            Some("héllo → wörld")
+        );
+        // A key containing escapes still indexes correctly.
+        let v = parse(r#"{"a\"b": 1}"#).unwrap();
+        assert_eq!(v.get("a\"b").and_then(Value::u64), Some(1));
+        // Lone surrogates map to U+FFFD rather than erroring or panicking.
+        assert_eq!(parse(r#""\ud800""#).unwrap().str(), Some("\u{fffd}"));
+        // Truncated escapes are errors, not panics.
+        assert!(parse(r#""\u12"#).is_err());
+        assert!(parse(r#""\"#).is_err());
+        assert!(parse(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn nested_arrays_of_objects() {
+        let v = parse(
+            r#"[{"rows": [{"a": 1}, {"a": 2}]},
+                {"rows": []},
+                {"rows": [{"b": [[1], [2, 3]]}]}]"#,
+        )
+        .unwrap();
+        let outer = v.arr().unwrap();
+        assert_eq!(outer.len(), 3);
+        assert_eq!(outer[0].get("rows").unwrap().arr().unwrap().len(), 2);
+        assert_eq!(
+            outer[0].get("rows").unwrap().arr().unwrap()[1]
+                .get("a")
+                .and_then(Value::u64),
+            Some(2)
+        );
+        assert_eq!(outer[1].get("rows").unwrap().arr(), Some(&[][..]));
+        let deep = outer[2].get("rows").unwrap().arr().unwrap()[0]
+            .get("b")
+            .unwrap();
+        assert_eq!(deep.arr().unwrap()[1].arr().unwrap().len(), 2);
+        // Unbalanced nesting fails with an offset, not a panic.
+        assert!(parse(r#"[{"rows": [{"a": 1}]}"#).is_err());
+    }
+
+    #[test]
+    fn exponent_form_numbers() {
+        assert_eq!(parse("1e3").unwrap().num(), Some(1000.0));
+        assert_eq!(parse("1E3").unwrap().num(), Some(1000.0));
+        assert_eq!(parse("2.5e-2").unwrap().num(), Some(0.025));
+        assert_eq!(parse("-3e+4").unwrap().num(), Some(-30000.0));
+        assert_eq!(parse("0.0e0").unwrap().num(), Some(0.0));
+        // u64 view truncates exponent-form values the same as plain ones.
+        assert_eq!(parse("1e3").unwrap().u64(), Some(1000));
+        // Degenerate exponents must not parse as two tokens.
+        assert!(parse("1e").is_err());
+        assert!(parse("1e+").is_err());
+        assert!(parse("e3").is_err());
+        // Huge exponents saturate to infinity in f64 — accepted by the
+        // grammar; consumers see a number, not a hang or panic.
+        assert_eq!(parse("1e999").unwrap().num(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn escape_round_trips_through_the_parser() {
+        for s in ["plain", "a\"b\\c", "x\ny\t", "\u{1}\u{1f}", "héllo"] {
+            let doc = format!("\"{}\"", escape(s));
+            assert_eq!(parse(&doc).unwrap().str(), Some(s), "{s:?}");
+        }
     }
 
     #[test]

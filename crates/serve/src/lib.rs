@@ -1,0 +1,52 @@
+//! `pp-serve` — a resident graph-query service over the push/pull engine.
+//!
+//! The batch tools (`ppgraph run`, `pp-bench`) pay the graph load on every
+//! invocation; for a 2^20-vertex snapshot that dwarfs the BFS it runs.
+//! This crate inverts the lifecycle: load a [`CsrGraph`] **once**, keep a
+//! pool of worker runners hot, and answer queries over a newline-delimited
+//! JSON protocol — each request naming an algorithm from
+//! [`pp_engine::registry`] and the usual knobs (`source`, direction
+//! policy, execution mode), each response carrying the same digest and
+//! report a direct [`pp_engine::Runner`] run would produce, plus the
+//! query's end-to-end latency.
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — the wire format: strict request parsing (unknown
+//!   fields are errors, not typos silently defaulted) and single-line
+//!   response rendering, including structured failures tagged with
+//!   [`pp_engine::registry::RunError::kind`].
+//! * [`server`] — [`Server`]: the bounded admission queue, the worker
+//!   pool (one [`pp_engine::Engine`] per worker), latency percentiles via
+//!   [`pp_telemetry::LogHistogram`], and the stdio/TCP transports.
+//! * [`client`] — [`Client`]: a lock-step connection for scripts and
+//!   tests (`ppgraph query` is a thin wrapper around it).
+//!
+//! ## A session
+//!
+//! ```text
+//! $ ppgraph serve web.ppg --port 7878 &
+//! $ ppgraph query --connect 127.0.0.1:7878 <<'EOF'
+//! {"algo": "bfs", "source": 0}
+//! {"algo": "pagerank", "params": {"direction": "pull"}}
+//! {"op": "stats"}
+//! EOF
+//! ```
+//!
+//! Every response is one line of JSON; `ok: false` responses carry
+//! `error.kind` ∈ {`bad_request`, `overloaded`, `shutting_down`} ∪
+//! [`RunError::kind`](pp_engine::registry::RunError::kind)'s tags.
+//!
+//! The [`json`] module (re-exported by `pp-bench` for its report tooling)
+//! is the hand-rolled reader/writer the protocol is built on.
+//!
+//! [`CsrGraph`]: pp_graph::CsrGraph
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{parse_request, Request, StatsSnapshot};
+pub use server::{ServeConfig, Server};

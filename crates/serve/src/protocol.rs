@@ -1,0 +1,566 @@
+//! The serve wire protocol: newline-delimited JSON, one request and one
+//! response per line.
+//!
+//! Requests are parsed from untrusted bytes with [`crate::json`] and
+//! validated strictly (unknown fields are rejected — a typo like
+//! `"soruce"` should fail loudly, not silently run from vertex 0).
+//! Responses are rendered as single-line JSON so they frame cleanly on a
+//! byte stream; the `rows` array inside a run response matches the record
+//! shape of `ppgraph run --json` (`dataset`/`mode`/`algo`/`threads`/`ms`),
+//! so the same tooling can consume both.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"algo": "bfs", "source": 3}
+//! {"algo": "bc", "params": {"direction": "pull", "bc_sources": 4}, "metrics": true, "id": 7}
+//! {"op": "stats"}
+//! {"op": "ping"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! * `op` — `"run"` (default), `"stats"`, `"ping"`, or `"shutdown"`.
+//! * `algo` — registry name or alias (run requests only; required).
+//! * `source` — source vertex for rooted algorithms (default 0).
+//! * `params` — optional object: `direction` (`push|pull|adaptive`),
+//!   `mode` (`atomic|pa`), `lp_iters`, `bc_sources`.
+//! * `metrics` — when true the response report carries wall-clock timing
+//!   (`elapsed_ns`, switches) collected at `MetricsLevel::Timing`.
+//! * `id` — any JSON scalar, echoed verbatim in the response so clients
+//!   can match responses to requests when queries execute out of order.
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"ok": true, "id": 7, "rows": [{"dataset": "g.ppg", "mode": "atomic",
+//!  "algo": "bfs adaptive", "threads": 1, "ms": 1.25}],
+//!  "summary": {"reached": "1024", "depth": "9"},
+//!  "report": {"rounds": 10, ...}, "latency_ns": 1830211}
+//! {"ok": false, "id": 8, "error": {"kind": "overloaded",
+//!  "message": "admission queue full (capacity 64)"}}
+//! ```
+//!
+//! `error.kind` is one of [`RunError::kind`]'s tags
+//! (`unknown_algo`/`source_out_of_range`/`needs_weights`/`bad_param`) or a
+//! transport-level tag: [`KIND_BAD_REQUEST`] (the line did not parse or
+//! validate), [`KIND_OVERLOADED`] (admission control refused the query),
+//! [`KIND_SHUTTING_DOWN`] (the server is draining).
+
+use pp_core::Direction;
+use pp_engine::registry::{AlgoRun, RunError};
+use pp_engine::{DirectionPolicy, ExecutionMode};
+use pp_graph::VertexId;
+
+use crate::json::{self, escape, Value};
+
+/// `error.kind` for a line that failed to parse or validate as a request.
+pub const KIND_BAD_REQUEST: &str = "bad_request";
+/// `error.kind` for a query refused by admission control (queue full).
+pub const KIND_OVERLOADED: &str = "overloaded";
+/// `error.kind` for a query arriving while the server drains.
+pub const KIND_SHUTTING_DOWN: &str = "shutting_down";
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Execute a registry algorithm.
+    Run(QuerySpec),
+    /// Report uptime, served/rejected counters, latency percentiles.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting queries, drain the queue, exit the serve loop.
+    Shutdown,
+}
+
+/// Everything a run request carries. Defaults mirror
+/// [`pp_engine::registry::RunConfig::new`] so a bare `{"algo": "cc"}` runs
+/// the same configuration `ppgraph run cc` would.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// The request's `id`, pre-rendered as a JSON scalar for echoing.
+    pub id: Option<String>,
+    /// Registry algorithm name or alias.
+    pub algo: String,
+    /// Source vertex for rooted algorithms.
+    pub source: VertexId,
+    /// Direction schedule (`push`/`pull`/`adaptive`).
+    pub policy: DirectionPolicy,
+    /// Human name of the policy, echoed into the response row.
+    pub policy_name: &'static str,
+    /// Push execution mode.
+    pub mode: ExecutionMode,
+    /// Human name of the mode, echoed into the response row.
+    pub mode_name: &'static str,
+    /// Iteration cap for label propagation.
+    pub lp_iters: usize,
+    /// Source cap for betweenness centrality.
+    pub bc_sources: Option<usize>,
+    /// Collect wall-clock timing for this query.
+    pub metrics: bool,
+}
+
+impl Default for QuerySpec {
+    fn default() -> Self {
+        Self {
+            id: None,
+            algo: String::new(),
+            source: 0,
+            policy: DirectionPolicy::adaptive(),
+            policy_name: "adaptive",
+            mode: ExecutionMode::Atomic,
+            mode_name: "atomic",
+            lp_iters: 20,
+            bc_sources: Some(8),
+            metrics: false,
+        }
+    }
+}
+
+fn render_scalar(v: &Value) -> Option<String> {
+    match v {
+        Value::Null => Some("null".to_string()),
+        Value::Bool(b) => Some(b.to_string()),
+        Value::Num(n) => Some(format_f64(*n)),
+        Value::Str(s) => Some(format!("\"{}\"", escape(s))),
+        Value::Arr(_) | Value::Obj(_) => None,
+    }
+}
+
+/// Renders an `f64` as JSON: integers without a fraction, everything else
+/// via the shortest round-trip form Rust's formatter produces.
+fn format_f64(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn as_usize(v: &Value, field: &str) -> Result<usize, String> {
+    match v {
+        Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9e15 => Ok(*n as usize),
+        _ => Err(format!("{field} must be a non-negative integer")),
+    }
+}
+
+/// Parses one request line. `Err` is a human-readable message the server
+/// wraps into a [`KIND_BAD_REQUEST`] response; it never panics, whatever
+/// the bytes.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let obj = match &doc {
+        Value::Obj(m) => m,
+        _ => return Err("a request must be a JSON object".to_string()),
+    };
+    for key in obj.keys() {
+        if !matches!(
+            key.as_str(),
+            "op" | "algo" | "source" | "params" | "metrics" | "id"
+        ) {
+            return Err(format!("unknown field: {key}"));
+        }
+    }
+    let op = match doc.get("op") {
+        None => "run",
+        Some(Value::Str(s)) => s.as_str(),
+        Some(_) => return Err("op must be a string".to_string()),
+    };
+    match op {
+        "stats" => return Ok(Request::Stats),
+        "ping" => return Ok(Request::Ping),
+        "shutdown" => return Ok(Request::Shutdown),
+        "run" => {}
+        other => return Err(format!("unknown op: {other} (run|stats|ping|shutdown)")),
+    }
+
+    let algo = match doc.get("algo") {
+        Some(Value::Str(s)) if !s.is_empty() => s.clone(),
+        Some(_) => return Err("algo must be a non-empty string".to_string()),
+        None => return Err("missing field: algo".to_string()),
+    };
+    let mut spec = QuerySpec {
+        algo,
+        ..QuerySpec::default()
+    };
+    if let Some(v) = doc.get("source") {
+        let s = as_usize(v, "source")?;
+        spec.source = VertexId::try_from(s).map_err(|_| "source exceeds u32".to_string())?;
+    }
+    if let Some(v) = doc.get("metrics") {
+        spec.metrics = v.bool().ok_or("metrics must be a boolean")?;
+    }
+    if let Some(v) = doc.get("id") {
+        spec.id = Some(render_scalar(v).ok_or("id must be a JSON scalar")?);
+    }
+    if let Some(params) = doc.get("params") {
+        let pobj = match params {
+            Value::Obj(m) => m,
+            _ => return Err("params must be an object".to_string()),
+        };
+        for key in pobj.keys() {
+            if !matches!(
+                key.as_str(),
+                "direction" | "mode" | "lp_iters" | "bc_sources"
+            ) {
+                return Err(format!("unknown params field: {key}"));
+            }
+        }
+        if let Some(v) = params.get("direction") {
+            (spec.policy, spec.policy_name) = match v.str() {
+                Some("push") => (DirectionPolicy::Fixed(Direction::Push), "push"),
+                Some("pull") => (DirectionPolicy::Fixed(Direction::Pull), "pull"),
+                Some("adaptive") => (DirectionPolicy::adaptive(), "adaptive"),
+                _ => return Err("direction must be push|pull|adaptive".to_string()),
+            };
+        }
+        if let Some(v) = params.get("mode") {
+            (spec.mode, spec.mode_name) = match v.str() {
+                Some("atomic") => (ExecutionMode::Atomic, "atomic"),
+                Some("pa") => (ExecutionMode::PartitionAware, "pa"),
+                _ => return Err("mode must be atomic|pa".to_string()),
+            };
+        }
+        if let Some(v) = params.get("lp_iters") {
+            spec.lp_iters = as_usize(v, "lp_iters")?;
+        }
+        if let Some(v) = params.get("bc_sources") {
+            // `Some(0)` flows through to the registry, which refuses it as
+            // a structured `bad_param` — the protocol does not reinterpret
+            // zero the way the CLI's `--bc-sources 0` (= all) does.
+            spec.bc_sources = Some(as_usize(v, "bc_sources")?);
+        }
+    }
+    Ok(Request::Run(spec))
+}
+
+fn push_id(out: &mut String, id: Option<&str>) {
+    if let Some(id) = id {
+        out.push_str(", \"id\": ");
+        out.push_str(id);
+    }
+}
+
+/// Renders a successful run response: one `ppgraph run --json`-compatible
+/// row, the output digest, the aggregate report, and the query's
+/// end-to-end latency (admission to completion). Single line, no interior
+/// newlines.
+pub fn render_run_response(
+    spec: &QuerySpec,
+    dataset: &str,
+    threads: usize,
+    run: &AlgoRun,
+    ms: f64,
+    latency_ns: u64,
+) -> String {
+    let r = &run.report;
+    let mut out = String::from("{\"ok\": true");
+    push_id(&mut out, spec.id.as_deref());
+    out.push_str(&format!(
+        ", \"rows\": [{{\"dataset\": \"{}\", \"mode\": \"{}\", \"algo\": \"{} {}\", \
+         \"threads\": {}, \"ms\": {:.3}}}]",
+        escape(dataset),
+        spec.mode_name,
+        escape(&spec.algo),
+        spec.policy_name,
+        threads,
+        ms
+    ));
+    out.push_str(", \"summary\": {");
+    for (i, (k, v)) in run.summary.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": \"{}\"", escape(k), escape(v)));
+    }
+    out.push('}');
+    out.push_str(&format!(
+        ", \"report\": {{\"rounds\": {}, \"phases\": {}, \"push_rounds\": {}, \
+         \"pull_rounds\": {}, \"edges_traversed\": {}",
+        r.num_rounds(),
+        r.phases,
+        r.push_rounds(),
+        r.pull_rounds(),
+        r.edges_traversed()
+    ));
+    if spec.metrics {
+        out.push_str(&format!(
+            ", \"elapsed_ns\": {}, \"round_duration_ns\": {}, \"switches\": {}",
+            r.elapsed_ns,
+            r.round_duration_ns(),
+            r.switches()
+        ));
+    }
+    out.push_str(&format!("}}, \"latency_ns\": {latency_ns}}}"));
+    out
+}
+
+/// Renders a structured failure (`ok: false`).
+pub fn render_error(id: Option<&str>, kind: &str, message: &str) -> String {
+    let mut out = String::from("{\"ok\": false");
+    push_id(&mut out, id);
+    out.push_str(&format!(
+        ", \"error\": {{\"kind\": \"{}\", \"message\": \"{}\"}}}}",
+        escape(kind),
+        escape(message)
+    ));
+    out
+}
+
+/// Renders a [`RunError`] as its structured response.
+pub fn render_run_error(id: Option<&str>, e: &RunError) -> String {
+    render_error(id, e.kind(), &e.to_string())
+}
+
+/// Renders the ping acknowledgement.
+pub fn render_pong() -> String {
+    "{\"ok\": true, \"op\": \"ping\"}".to_string()
+}
+
+/// Renders the shutdown acknowledgement (sent before the drain begins).
+pub fn render_shutdown_ack() -> String {
+    "{\"ok\": true, \"op\": \"shutdown\", \"draining\": true}".to_string()
+}
+
+/// A point-in-time view of the server's counters, rendered by
+/// [`render_stats`] and filled in by `crate::server`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Nanoseconds since the server finished loading the graph.
+    pub uptime_ns: u64,
+    /// The served graph's name (snapshot path or `<stdin>`).
+    pub dataset: String,
+    /// Vertices in the resident graph.
+    pub n: usize,
+    /// Edges in the resident graph.
+    pub m: usize,
+    /// Worker runners executing queries.
+    pub workers: usize,
+    /// Engine threads per worker runner.
+    pub threads_per_worker: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Queries waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Run queries completed successfully.
+    pub served: u64,
+    /// Run queries refused by admission control.
+    pub rejected: u64,
+    /// Run queries that returned a structured error.
+    pub errors: u64,
+    /// Per-query end-to-end latency: count, mean, p50/p95/p99, max (ns).
+    pub latency_count: u64,
+    /// Mean latency in nanoseconds.
+    pub latency_mean_ns: f64,
+    /// Median latency estimate (ns).
+    pub latency_p50_ns: u64,
+    /// 95th-percentile latency estimate (ns).
+    pub latency_p95_ns: u64,
+    /// 99th-percentile latency estimate (ns).
+    pub latency_p99_ns: u64,
+    /// Largest observed latency (ns).
+    pub latency_max_ns: u64,
+}
+
+/// Renders the `stats` meta-query response.
+pub fn render_stats(s: &StatsSnapshot) -> String {
+    format!(
+        "{{\"ok\": true, \"op\": \"stats\", \"uptime_ns\": {}, \
+         \"graph\": {{\"dataset\": \"{}\", \"n\": {}, \"m\": {}}}, \
+         \"workers\": {}, \"threads_per_worker\": {}, \
+         \"queue\": {{\"capacity\": {}, \"depth\": {}}}, \
+         \"served\": {}, \"rejected\": {}, \"errors\": {}, \
+         \"latency\": {{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \
+         \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}}}",
+        s.uptime_ns,
+        escape(&s.dataset),
+        s.n,
+        s.m,
+        s.workers,
+        s.threads_per_worker,
+        s.queue_capacity,
+        s.queue_depth,
+        s.served,
+        s.rejected,
+        s.errors,
+        s.latency_count,
+        s.latency_mean_ns,
+        s.latency_p50_ns,
+        s.latency_p95_ns,
+        s.latency_p99_ns,
+        s.latency_max_ns
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_run_request_gets_registry_defaults() {
+        let r = parse_request(r#"{"algo": "cc"}"#).unwrap();
+        let spec = match r {
+            Request::Run(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(spec.algo, "cc");
+        assert_eq!(spec.source, 0);
+        assert_eq!(spec.policy_name, "adaptive");
+        assert_eq!(spec.mode_name, "atomic");
+        assert_eq!(spec.lp_iters, 20);
+        assert_eq!(spec.bc_sources, Some(8));
+        assert!(!spec.metrics);
+        assert_eq!(spec.id, None);
+    }
+
+    #[test]
+    fn full_run_request_parses_every_field() {
+        let r = parse_request(
+            r#"{"op": "run", "algo": "bc", "source": 7,
+                "params": {"direction": "pull", "mode": "pa",
+                           "lp_iters": 5, "bc_sources": 3},
+                "metrics": true, "id": "q-1"}"#,
+        )
+        .unwrap();
+        let spec = match r {
+            Request::Run(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(spec.algo, "bc");
+        assert_eq!(spec.source, 7);
+        assert!(matches!(
+            spec.policy,
+            DirectionPolicy::Fixed(Direction::Pull)
+        ));
+        assert_eq!(spec.mode, ExecutionMode::PartitionAware);
+        assert_eq!(spec.policy_name, "pull");
+        assert_eq!(spec.mode_name, "pa");
+        assert_eq!(spec.lp_iters, 5);
+        assert_eq!(spec.bc_sources, Some(3));
+        assert!(spec.metrics);
+        assert_eq!(spec.id.as_deref(), Some("\"q-1\""));
+    }
+
+    #[test]
+    fn ids_echo_as_scalars_of_any_type() {
+        for (id, rendered) in [
+            ("7", "7"),
+            ("7.5", "7.5"),
+            ("\"a\\\"b\"", "\"a\\\"b\""),
+            ("true", "true"),
+            ("null", "null"),
+        ] {
+            let line = format!("{{\"algo\": \"cc\", \"id\": {id}}}");
+            match parse_request(&line).unwrap() {
+                Request::Run(s) => assert_eq!(s.id.as_deref(), Some(rendered), "{id}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(parse_request(r#"{"algo": "cc", "id": [1]}"#).is_err());
+        assert!(parse_request(r#"{"algo": "cc", "id": {"a": 1}}"#).is_err());
+    }
+
+    #[test]
+    fn meta_ops_parse() {
+        assert!(matches!(
+            parse_request(r#"{"op": "stats"}"#).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op": "ping"}"#).unwrap(),
+            Request::Ping
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op": "shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_messages_not_panics() {
+        for bad in [
+            "",
+            "not json",
+            "[1, 2]",
+            "\"just a string\"",
+            r#"{"op": "run"}"#,
+            r#"{"algo": ""}"#,
+            r#"{"algo": 3}"#,
+            r#"{"algo": "cc", "soruce": 1}"#,
+            r#"{"algo": "cc", "source": -1}"#,
+            r#"{"algo": "cc", "source": 1.5}"#,
+            r#"{"algo": "cc", "source": 5000000000}"#,
+            r#"{"algo": "cc", "metrics": "yes"}"#,
+            r#"{"algo": "cc", "params": 3}"#,
+            r#"{"algo": "cc", "params": {"direction": "sideways"}}"#,
+            r#"{"algo": "cc", "params": {"mode": "quantum"}}"#,
+            r#"{"algo": "cc", "params": {"bc_souces": 1}}"#,
+            r#"{"op": "selfdestruct"}"#,
+        ] {
+            let e = parse_request(bad);
+            assert!(e.is_err(), "{bad:?} parsed: {e:?}");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_line_parseable_json() {
+        let err = render_error(Some("42"), KIND_OVERLOADED, "queue full (capacity 2)");
+        assert!(!err.contains('\n'));
+        let doc = json::parse(&err).unwrap();
+        assert_eq!(doc.get("ok").unwrap().bool(), Some(false));
+        assert_eq!(doc.get("id").unwrap().u64(), Some(42));
+        assert_eq!(
+            doc.get("error").unwrap().get("kind").unwrap().str(),
+            Some("overloaded")
+        );
+
+        let e = RunError::SourceOutOfRange { source: 9, n: 4 };
+        let doc = json::parse(&render_run_error(None, &e)).unwrap();
+        assert_eq!(
+            doc.get("error").unwrap().get("kind").unwrap().str(),
+            Some("source_out_of_range")
+        );
+        assert!(doc
+            .get("error")
+            .unwrap()
+            .get("message")
+            .unwrap()
+            .str()
+            .unwrap()
+            .contains("out of range"));
+
+        let doc = json::parse(&render_pong()).unwrap();
+        assert_eq!(doc.get("op").unwrap().str(), Some("ping"));
+        let doc = json::parse(&render_shutdown_ack()).unwrap();
+        assert_eq!(doc.get("draining").unwrap().bool(), Some(true));
+
+        let snap = StatsSnapshot {
+            uptime_ns: 5,
+            dataset: "g.ppg".to_string(),
+            n: 10,
+            m: 20,
+            workers: 2,
+            threads_per_worker: 1,
+            queue_capacity: 64,
+            queue_depth: 3,
+            served: 100,
+            rejected: 7,
+            errors: 2,
+            latency_count: 100,
+            latency_mean_ns: 1500.5,
+            latency_p50_ns: 1023,
+            latency_p95_ns: 2047,
+            latency_p99_ns: 4095,
+            latency_max_ns: 5000,
+        };
+        let rendered = render_stats(&snap);
+        assert!(!rendered.contains('\n'));
+        let doc = json::parse(&rendered).unwrap();
+        assert_eq!(doc.get("served").unwrap().u64(), Some(100));
+        assert_eq!(
+            doc.get("latency").unwrap().get("p99_ns").unwrap().u64(),
+            Some(4095)
+        );
+        assert_eq!(doc.get("graph").unwrap().get("n").unwrap().u64(), Some(10));
+    }
+}

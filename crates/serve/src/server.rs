@@ -1,0 +1,594 @@
+//! The resident query service: one hot graph, a bounded admission queue,
+//! and a pool of worker runners draining it through
+//! [`pp_engine::registry`].
+//!
+//! ## Anatomy
+//!
+//! ```text
+//!             reader threads (1/conn or stdio)            worker runners
+//!  NDJSON ──▶ parse_request ──▶ admission queue (bounded) ──▶ registry::run_checked
+//!     │            │                  │ full?                      │
+//!     │            └── bad_request ◀──┴── overloaded               └──▶ response line
+//!     └── EOF / {"op":"shutdown"} → close queue → drain → join
+//! ```
+//!
+//! * **Admission control** — the queue holds at most `queue` jobs
+//!   ([`ServeConfig::queue`]). A query arriving while it is full gets an
+//!   immediate structured `overloaded` rejection from the reader thread;
+//!   nothing buffers without bound and the reader never blocks on the
+//!   runners.
+//! * **Worker runners** — each worker owns its own [`Engine`] (pool of
+//!   [`ServeConfig::threads`] threads) and probe shards, so concurrent
+//!   queries never share a round loop; the graph itself is shared
+//!   read-only. Digests are identical to a direct [`registry`] run of the
+//!   same config on an engine of the same thread count.
+//! * **Latency accounting** — every completed query records
+//!   admission→completion nanoseconds into a shared
+//!   [`pp_telemetry::LogHistogram`]; the `stats` meta-query reports
+//!   p50/p95/p99/max plus served/rejected/error counters.
+//! * **Graceful shutdown** — EOF (stdio transport) or a `shutdown` request
+//!   (any transport) closes the queue: admitted queries still execute and
+//!   answer, new ones are refused as `shutting_down`, and the serve loop
+//!   returns the final [`StatsSnapshot`] once the workers drain.
+//!
+//! [`registry`]: pp_engine::registry
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pp_engine::registry::{self, RunConfig};
+use pp_engine::{Engine, ProbeShards};
+use pp_graph::CsrGraph;
+use pp_telemetry::timing::Clock;
+use pp_telemetry::{LogHistogram, MetricsLevel, NullProbe};
+
+use crate::protocol::{
+    self, parse_request, QuerySpec, Request, StatsSnapshot, KIND_BAD_REQUEST, KIND_OVERLOADED,
+    KIND_SHUTTING_DOWN,
+};
+
+/// Server knobs. `Default` is sized for the 2-core CI box: two worker
+/// runners of one engine thread each and a 64-deep admission queue.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker runners executing queries concurrently (min 1).
+    pub workers: usize,
+    /// Engine threads per worker runner (min 1). `workers × threads`
+    /// should not exceed the machine's cores by much — each worker owns a
+    /// full engine pool.
+    pub threads: usize,
+    /// Admission queue capacity (min 1): queries beyond
+    /// `workers + queue` in flight are rejected as `overloaded`.
+    pub queue: usize,
+    /// Dataset label echoed into response rows (snapshot path).
+    pub name: String,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            threads: 1,
+            queue: 64,
+            name: "<graph>".to_string(),
+        }
+    }
+}
+
+/// A sink responses are written to: shared because the worker that
+/// finishes a query writes to the same stream the reader thread rejects
+/// on. One response line per `write_line` call, flushed — NDJSON framing
+/// over TCP needs the flush.
+type Out = Arc<Mutex<Box<dyn Write + Send>>>;
+
+fn write_line(out: &Out, line: &str) {
+    let mut w = out.lock().unwrap();
+    // A vanished client (broken pipe) must not kill the server; its
+    // remaining in-flight responses just go nowhere.
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+/// One admitted query: what to run, where to answer, when it was admitted.
+struct Job {
+    spec: QuerySpec,
+    out: Out,
+    admitted_ns: u64,
+}
+
+/// The bounded admission queue: `try_push` never blocks (that is the
+/// point), `pop` blocks until a job or close-and-empty.
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// Why a push was refused.
+enum PushError {
+    Full,
+    Closed,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::with_capacity(capacity),
+                capacity,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Result<(), PushError> {
+        let mut q = self.inner.lock().unwrap();
+        if q.closed {
+            return Err(PushError::Closed);
+        }
+        if q.jobs.len() >= q.capacity {
+            return Err(PushError::Full);
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once closed *and* drained.
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = q.jobs.pop_front() {
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared between reader threads, worker runners, and the accept
+/// loop.
+struct Core {
+    graph: Arc<CsrGraph>,
+    cfg: ServeConfig,
+    queue: JobQueue,
+    clock: Clock,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    latency: Mutex<LogHistogram>,
+    stop: AtomicBool,
+}
+
+impl Core {
+    fn snapshot(&self) -> StatsSnapshot {
+        let lat = self.latency.lock().unwrap();
+        StatsSnapshot {
+            uptime_ns: self.clock.now_ns(),
+            dataset: self.cfg.name.clone(),
+            n: self.graph.num_vertices(),
+            m: self.graph.num_edges(),
+            workers: self.cfg.workers,
+            threads_per_worker: self.cfg.threads,
+            queue_capacity: self.cfg.queue,
+            queue_depth: self.queue.depth(),
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            latency_count: lat.count(),
+            latency_mean_ns: lat.mean(),
+            latency_p50_ns: lat.p50(),
+            latency_p95_ns: lat.p95(),
+            latency_p99_ns: lat.p99(),
+            latency_max_ns: lat.max(),
+        }
+    }
+
+    /// Parses and routes one input line. Meta-queries answer inline from
+    /// the reader thread (they must work even when the runners are
+    /// saturated — that is when you need `stats` most); run queries go
+    /// through admission.
+    fn dispatch_line(self: &Arc<Self>, line: &str, out: &Out) {
+        let line = line.trim();
+        if line.is_empty() {
+            return;
+        }
+        match parse_request(line) {
+            Err(msg) => write_line(out, &protocol::render_error(None, KIND_BAD_REQUEST, &msg)),
+            Ok(Request::Ping) => write_line(out, &protocol::render_pong()),
+            Ok(Request::Stats) => write_line(out, &protocol::render_stats(&self.snapshot())),
+            Ok(Request::Shutdown) => {
+                write_line(out, &protocol::render_shutdown_ack());
+                self.stop.store(true, Ordering::SeqCst);
+                self.queue.close();
+            }
+            Ok(Request::Run(spec)) => {
+                let id = spec.id.clone();
+                let job = Job {
+                    spec,
+                    out: out.clone(),
+                    admitted_ns: self.clock.now_ns(),
+                };
+                match self.queue.try_push(job) {
+                    Ok(()) => {}
+                    Err(PushError::Full) => {
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                        write_line(
+                            out,
+                            &protocol::render_error(
+                                id.as_deref(),
+                                KIND_OVERLOADED,
+                                &format!("admission queue full (capacity {})", self.cfg.queue),
+                            ),
+                        );
+                    }
+                    Err(PushError::Closed) => {
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                        write_line(
+                            out,
+                            &protocol::render_error(
+                                id.as_deref(),
+                                KIND_SHUTTING_DOWN,
+                                "server is draining; no new queries",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one admitted job on this worker's engine and answers it.
+    fn execute(&self, engine: &Engine, probes: &ProbeShards<NullProbe>, job: Job) {
+        let Job {
+            spec,
+            out,
+            admitted_ns,
+        } = job;
+        let cfg = RunConfig {
+            policy: spec.policy,
+            mode: spec.mode,
+            collect: if spec.metrics {
+                MetricsLevel::Timing
+            } else {
+                MetricsLevel::Off
+            },
+            source: spec.source,
+            lp_iters: spec.lp_iters,
+            bc_sources: spec.bc_sources,
+            ..RunConfig::new(engine, probes)
+        };
+        let started = Instant::now();
+        let result = registry::run_checked(&spec.algo, &cfg, &self.graph);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        let line = match &result {
+            Ok(run) => {
+                let latency_ns = self.clock.now_ns().saturating_sub(admitted_ns);
+                self.served.fetch_add(1, Ordering::Relaxed);
+                self.latency.lock().unwrap().record(latency_ns);
+                protocol::render_run_response(
+                    &spec,
+                    &self.cfg.name,
+                    engine.threads(),
+                    run,
+                    ms,
+                    latency_ns,
+                )
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                protocol::render_run_error(spec.id.as_deref(), e)
+            }
+        };
+        write_line(&out, &line);
+    }
+}
+
+/// A running server: workers are live from [`Server::new`] on; feed it a
+/// transport with [`Server::serve_lines`] or [`Server::serve_tcp`].
+pub struct Server {
+    core: Arc<Core>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Loads `graph` resident and spawns the worker runners. The graph is
+    /// read-only from here on; queries needing weights fail structurally
+    /// if it has none (attach weights before constructing — see
+    /// `ppgraph serve --weights`).
+    pub fn new(graph: CsrGraph, cfg: ServeConfig) -> Self {
+        let cfg = ServeConfig {
+            workers: cfg.workers.max(1),
+            threads: cfg.threads.max(1),
+            queue: cfg.queue.max(1),
+            ..cfg
+        };
+        let core = Arc::new(Core {
+            graph: Arc::new(graph),
+            cfg: cfg.clone(),
+            queue: JobQueue::new(cfg.queue),
+            clock: Clock::start(),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Mutex::new(LogHistogram::new()),
+            stop: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.workers)
+            .map(|w| {
+                let core = core.clone();
+                std::thread::Builder::new()
+                    .name(format!("pp-serve-worker-{w}"))
+                    .spawn(move || {
+                        // Each worker owns an engine pool for its whole
+                        // life — pool spin-up is paid once, not per query.
+                        let engine = Engine::new(core.cfg.threads);
+                        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+                        while let Some(job) = core.queue.pop() {
+                            core.execute(&engine, &probes, job);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { core, workers }
+    }
+
+    /// The current counters (what the `stats` meta-query renders).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.core.snapshot()
+    }
+
+    /// Routes one already-read request line (test/embedding hook; the
+    /// transports below are line-loops over exactly this).
+    pub fn dispatch(&self, line: &str, out: &Out) {
+        self.core.dispatch_line(line, out);
+    }
+
+    /// Serves newline-delimited requests from `input` until EOF, writing
+    /// responses to `output` (the stdio transport:
+    /// `... | ppgraph serve g.ppg | ...`). Response order across
+    /// *different* queries is completion order, not arrival order — match
+    /// by `id`. Returns the final stats once the queue drains.
+    pub fn serve_lines(
+        self,
+        input: impl BufRead,
+        output: impl Write + Send + 'static,
+    ) -> StatsSnapshot {
+        let out: Out = Arc::new(Mutex::new(Box::new(output)));
+        for line in input.lines() {
+            match line {
+                Ok(line) => self.core.dispatch_line(&line, &out),
+                Err(_) => break,
+            }
+            if self.core.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Serves TCP connections accepted from `listener` (one reader thread
+    /// per connection) until a `shutdown` request arrives, then drains and
+    /// returns the final stats. Bind the listener yourself — port 0 gives
+    /// an ephemeral port for tests:
+    ///
+    /// ```no_run
+    /// # use pp_serve::{Server, ServeConfig};
+    /// # let g = pp_graph::gen::path(8);
+    /// let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    /// let addr = listener.local_addr().unwrap();
+    /// let stats = Server::new(g, ServeConfig::default()).serve_tcp(listener);
+    /// # let _ = (addr, stats);
+    /// ```
+    pub fn serve_tcp(self, listener: TcpListener) -> StatsSnapshot {
+        listener
+            .set_nonblocking(true)
+            .expect("set listener nonblocking");
+        while !self.core.stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let core = self.core.clone();
+                    std::thread::spawn(move || handle_connection(core, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        self.finish()
+    }
+
+    /// Closes the queue, lets the workers drain it, joins them, and
+    /// returns the final counters.
+    fn finish(self) -> StatsSnapshot {
+        self.core.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.core.snapshot()
+    }
+}
+
+/// Reader loop for one TCP connection: requests in lines, responses out
+/// through the shared write half (workers answer on it directly, so a
+/// slow query does not block the next request on the same connection).
+fn handle_connection(core: Arc<Core>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let out: Out = Arc::new(Mutex::new(Box::new(write_half)));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        match line {
+            Ok(line) => core.dispatch_line(&line, &out),
+            Err(_) => break,
+        }
+        if core.stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+    use pp_graph::gen;
+
+    /// An in-memory `Out` whose contents tests can read back.
+    #[derive(Clone, Default)]
+    struct Sink(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Sink {
+        fn lines(&self) -> Vec<Value> {
+            let bytes = self.0.lock().unwrap().clone();
+            String::from_utf8(bytes)
+                .unwrap()
+                .lines()
+                .map(|l| json::parse(l).unwrap_or_else(|e| panic!("bad line {l:?}: {e}")))
+                .collect()
+        }
+    }
+
+    fn server(queue: usize) -> Server {
+        Server::new(
+            gen::rmat(7, 6, 3),
+            ServeConfig {
+                workers: 1,
+                threads: 1,
+                queue,
+                name: "test".to_string(),
+            },
+        )
+    }
+
+    #[test]
+    fn serve_lines_answers_every_request_and_drains_on_eof() {
+        let sink = Sink::default();
+        let input = b"{\"algo\": \"cc\", \"id\": 1}\n\
+                      \n\
+                      {\"algo\": \"bfs\", \"source\": 0, \"id\": 2}\n\
+                      {\"op\": \"stats\"}\n"
+            .to_vec();
+        let stats = server(8).serve_lines(&input[..], sink.clone());
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.rejected, 0);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3, "blank line answered nothing");
+        // Two run responses (matched by id) and one stats response.
+        let by_id = |id: u64| {
+            lines
+                .iter()
+                .find(|l| l.get("id").and_then(Value::u64) == Some(id))
+                .unwrap_or_else(|| panic!("no response with id {id}"))
+        };
+        assert_eq!(by_id(1).get("ok").unwrap().bool(), Some(true));
+        assert!(by_id(1).get("summary").unwrap().get("components").is_some());
+        assert!(by_id(2).get("latency_ns").unwrap().u64().unwrap() > 0);
+        let stats_line = lines
+            .iter()
+            .find(|l| l.get("op").and_then(Value::str) == Some("stats"))
+            .unwrap();
+        assert!(stats_line.get("latency").unwrap().get("count").is_some());
+    }
+
+    #[test]
+    fn malformed_and_invalid_queries_answer_structurally_and_do_not_kill_the_server() {
+        let sink = Sink::default();
+        let input = b"this is not json\n\
+                      {\"algo\": \"nope\", \"id\": 1}\n\
+                      {\"algo\": \"bfs\", \"source\": 100000, \"id\": 2}\n\
+                      {\"algo\": \"mst\", \"id\": 3}\n\
+                      {\"algo\": \"bc\", \"params\": {\"bc_sources\": 0}, \"id\": 4}\n\
+                      {\"algo\": \"cc\", \"id\": 5}\n"
+            .to_vec();
+        let stats = server(8).serve_lines(&input[..], sink.clone());
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 6);
+        let kind_of = |v: &Value| {
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::str)
+                .map(str::to_string)
+        };
+        assert_eq!(kind_of(&lines[0]).as_deref(), Some(KIND_BAD_REQUEST));
+        let by_id = |id: u64| {
+            lines
+                .iter()
+                .find(|l| l.get("id").and_then(Value::u64) == Some(id))
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(kind_of(&by_id(1)).as_deref(), Some("unknown_algo"));
+        assert_eq!(kind_of(&by_id(2)).as_deref(), Some("source_out_of_range"));
+        assert_eq!(kind_of(&by_id(3)).as_deref(), Some("needs_weights"));
+        assert_eq!(kind_of(&by_id(4)).as_deref(), Some("bad_param"));
+        // The valid query after five failures still ran.
+        assert_eq!(by_id(5).get("ok").unwrap().bool(), Some(true));
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.errors, 4);
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_line_loop_before_later_lines() {
+        let sink = Sink::default();
+        let input = b"{\"op\": \"shutdown\"}\n{\"algo\": \"cc\", \"id\": 9}\n".to_vec();
+        let stats = server(8).serve_lines(&input[..], sink.clone());
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1, "the line after shutdown is never read");
+        assert_eq!(lines[0].get("draining").unwrap().bool(), Some(true));
+        assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced_once_closed() {
+        // A closed queue refuses instead of buffering.
+        let s = server(2);
+        s.core.queue.close();
+        let sink = Sink::default();
+        let out: Out = Arc::new(Mutex::new(Box::new(sink.clone())));
+        s.dispatch("{\"algo\": \"cc\"}", &out);
+        let lines = sink.lines();
+        assert_eq!(
+            lines[0].get("error").unwrap().get("kind").unwrap().str(),
+            Some(KIND_SHUTTING_DOWN)
+        );
+        assert_eq!(s.stats().rejected, 1);
+    }
+}
