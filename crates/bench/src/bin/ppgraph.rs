@@ -63,25 +63,39 @@ commands:
       --metrics writes the unified observability JSON (rows + RunReport
       timing + per-round policy decisions + Table-1 event counts +
       per-worker laps), readable by `ppgraph report`
-  report <metrics.json>
+  report <metrics.json> [--imbalance-threshold X] [--no-direction-check]
       renders a --metrics file as a per-round table and flags anomalies
-      (policy decisions contradicting the Beamer thresholds, worker load
-      imbalance over 2x)
+      (policy decisions contradicting the Beamer thresholds — disable
+      with --no-direction-check — and worker load imbalance over the
+      --imbalance-threshold, default 2.0)
   serve [IN] [--port P] [--workers N] [--threads N] [--queue N]
             [--weights LO:HI] [--seed S] [--min-vertices N]
+            [--trace-queries PATH]
       loads the graph once and answers newline-delimited JSON queries
       ({\"algo\": ..., \"source\": ..., \"params\": {...}} -> one response
-      line each; {\"op\": \"stats\"|\"ping\"|\"shutdown\"} meta-queries).
-      --port serves TCP on 127.0.0.1:P; without it requests are read from
-      stdin and answered on stdout until EOF. --workers runners of
-      --threads engine threads each execute queries; at most --queue
-      queries wait admitted (beyond that: structured 'overloaded'
-      rejections). Final stats go to stderr as JSON on shutdown.
-  query [--connect HOST:PORT] [--stats | --ping | --shutdown]
+      line each; {\"op\": \"stats\"|\"metrics\"|\"ping\"|\"shutdown\"}
+      meta-queries; \"metrics\" returns Prometheus text exposition in its
+      body field). --port serves TCP on 127.0.0.1:P; without it requests
+      are read from stdin and answered on stdout until EOF. --workers
+      runners of --threads engine threads each execute queries; at most
+      --queue queries wait admitted (beyond that: structured 'overloaded'
+      rejections). --trace-queries writes a per-query Chrome trace (queue
+      span + run span per query, one lane per worker, rejection markers)
+      when the server drains. Final stats go to stderr as JSON on
+      shutdown.
+  query [--connect HOST:PORT] [--stats | --metrics-op | --prom | --ping |
+         --shutdown]
       client for `serve --port`: sends stdin's request lines one at a
       time and prints each response line (or just the one meta-query
-      named by the flag). Exit is nonzero only on transport failure;
-      ok:false responses are data.
+      named by the flag). --prom fetches the metrics meta-query and
+      prints the raw Prometheus text body (scrape adapter). Exit is
+      nonzero only on transport failure; ok:false responses are data.
+  top [HOST:PORT] [--interval S] [--once]
+      live terminal dashboard for a running `serve --port`: polls stats
+      every --interval seconds (default 2) and redraws RPS, queue depth,
+      rejection rate, per-worker utilization, and per-algo queue/run
+      latency percentiles. --once prints a single frame and exits
+      (scripting). The address defaults to 127.0.0.1:7878.
   algos
       lists every runnable algorithm with its aliases
 
@@ -103,6 +117,7 @@ fn main() {
         Some("report") => cmd_report(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("algos") => cmd_algos(),
         Some(other) => die(&format!("unknown command: {other}\n\n{USAGE}")),
     }
@@ -141,6 +156,12 @@ struct Opts {
     queue: usize,
     connect: Option<String>,
     meta_op: Option<&'static str>,
+    trace_queries: Option<String>,
+    prom: bool,
+    imbalance_threshold: f64,
+    direction_check: bool,
+    interval_s: f64,
+    once: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -150,6 +171,9 @@ fn parse_opts(args: &[String]) -> Opts {
         bc_sources: Some(8),
         workers: 2,
         queue: 64,
+        imbalance_threshold: 2.0,
+        direction_check: true,
+        interval_s: 2.0,
         ..Opts::default()
     };
     let mut i = 0;
@@ -245,8 +269,27 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--connect" => o.connect = Some(value(args, &mut i, "--connect")),
             "--stats" => o.meta_op = Some("stats"),
+            "--metrics-op" => o.meta_op = Some("metrics"),
             "--ping" => o.meta_op = Some("ping"),
             "--shutdown" => o.meta_op = Some("shutdown"),
+            "--prom" => o.prom = true,
+            "--trace-queries" => o.trace_queries = Some(value(args, &mut i, "--trace-queries")),
+            "--imbalance-threshold" => {
+                o.imbalance_threshold = value(args, &mut i, "--imbalance-threshold")
+                    .parse()
+                    .ok()
+                    .filter(|x: &f64| x.is_finite() && *x >= 1.0)
+                    .unwrap_or_else(|| die("--imbalance-threshold expects a number >= 1.0"))
+            }
+            "--no-direction-check" => o.direction_check = false,
+            "--interval" => {
+                o.interval_s = value(args, &mut i, "--interval")
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| die("--interval expects a positive number of seconds"))
+            }
+            "--once" => o.once = true,
             flag if flag.starts_with("--") => die(&format!("unknown option: {flag}")),
             positional => o.positional.push(positional.to_string()),
         }
@@ -829,8 +872,32 @@ fn cmd_report(args: &[String]) {
     let bytes = read_input(o.positional.first().map(String::as_str));
     let text = String::from_utf8(bytes).unwrap_or_else(|_| die("report: input is not UTF-8"));
     let doc = json::parse(&text).unwrap_or_else(|e| die(&format!("report: bad JSON: {e}")));
-    let rendered = render_report(&doc).unwrap_or_else(|e| die(&format!("report: {e}")));
+    let thresholds = ReportThresholds {
+        imbalance: o.imbalance_threshold,
+        direction_check: o.direction_check,
+    };
+    let rendered =
+        render_report(&doc, &thresholds).unwrap_or_else(|e| die(&format!("report: {e}")));
     print!("{rendered}");
+}
+
+/// Anomaly knobs for [`render_report`]: the flag-promoted thresholds with
+/// the historical hardcoded values as defaults.
+struct ReportThresholds {
+    /// Flag worker load imbalance above this many × (max busy vs. mean).
+    imbalance: f64,
+    /// Whether to flag per-round direction decisions against the Beamer
+    /// window at all (`--no-direction-check` clears it).
+    direction_check: bool,
+}
+
+impl Default for ReportThresholds {
+    fn default() -> Self {
+        Self {
+            imbalance: 2.0,
+            direction_check: true,
+        }
+    }
 }
 
 /// Flags a policy decision that contradicts the Beamer window the adaptive
@@ -857,7 +924,7 @@ fn decision_anomaly(dir: &str, share: f64) -> Option<String> {
 /// Renders a parsed `--metrics` document as the per-round table with an
 /// anomaly section. Pure (string in, string out) so tests can round-trip
 /// `render_metrics_json` through the parser and back.
-fn render_report(doc: &Value) -> Result<String, String> {
+fn render_report(doc: &Value, thresholds: &ReportThresholds) -> Result<String, String> {
     let row = doc
         .get("rows")
         .and_then(Value::arr)
@@ -915,11 +982,13 @@ fn render_report(doc: &Value) -> Result<String, String> {
             Value::Obj(_) => {
                 let share = field(&decision, "share").num().unwrap_or(0.0);
                 let switched = field(&decision, "switched").bool().unwrap_or(false);
-                if let Some(a) = decision_anomaly(&dir, share) {
-                    anomalies.push(format!(
-                        "round {}: {a}",
-                        field(r, "round").u64().unwrap_or(0)
-                    ));
+                if thresholds.direction_check {
+                    if let Some(a) = decision_anomaly(&dir, share) {
+                        anomalies.push(format!(
+                            "round {}: {a}",
+                            field(r, "round").u64().unwrap_or(0)
+                        ));
+                    }
                 }
                 (format!("{share:.4}"), if switched { "*" } else { "" })
             }
@@ -959,9 +1028,10 @@ fn render_report(doc: &Value) -> Result<String, String> {
         }
     }
     let imbalance = field(report, "imbalance").num().unwrap_or(0.0);
-    if imbalance > 2.0 {
+    if imbalance > thresholds.imbalance {
         anomalies.push(format!(
-            "worker load imbalance {imbalance:.2}x exceeds 2x (max busy vs. mean busy)"
+            "worker load imbalance {imbalance:.2}x exceeds {:.1}x (max busy vs. mean busy)",
+            thresholds.imbalance
         ));
     }
 
@@ -1019,6 +1089,8 @@ fn cmd_serve(args: &[String]) {
         threads: o.threads.max(1),
         queue: o.queue,
         name: name.clone(),
+        trace_queries: o.trace_queries.clone(),
+        ..ServeConfig::default()
     };
     eprintln!(
         "serving {name} (n={}, m={}; loaded in {load_ms:.1} ms): \
@@ -1061,6 +1133,23 @@ fn cmd_query(args: &[String]) {
     let mut client = Client::connect(addr)
         .unwrap_or_else(|e| die(&format!("query: cannot connect to {addr}: {e}")));
 
+    if o.prom {
+        // Scrape adapter: unwrap the metrics meta-query's body field and
+        // print the raw Prometheus text (pipe to a .prom file or a
+        // node_exporter textfile directory).
+        let resp = client
+            .request("{\"op\": \"metrics\"}")
+            .unwrap_or_else(|e| die(&format!("query: transport error: {e}")));
+        let doc = json::parse(&resp)
+            .unwrap_or_else(|e| die(&format!("query: unparseable metrics response: {e}")));
+        let body = doc
+            .get("body")
+            .and_then(Value::str)
+            .unwrap_or_else(|| die("query: metrics response has no body field"));
+        print!("{body}");
+        return;
+    }
+
     if let Some(op) = o.meta_op {
         let resp = client
             .request(&format!("{{\"op\": \"{op}\"}}"))
@@ -1082,6 +1171,140 @@ fn cmd_query(args: &[String]) {
             .request(&line)
             .unwrap_or_else(|e| die(&format!("query: transport error: {e}")));
         println!("{resp}");
+    }
+}
+
+// ------------------------------------------------------------------- top
+
+/// The slice of a stats response `top` renders: enough to diff two polls
+/// into rates and print the latency breakdown.
+struct TopSample {
+    uptime_s: f64,
+    served: u64,
+    rejected: u64,
+    errors: u64,
+    queue_depth: u64,
+    queue_capacity: u64,
+    doc: Value,
+}
+
+fn top_sample(client: &mut Client) -> Result<TopSample, String> {
+    let resp = client
+        .request("{\"op\": \"stats\"}")
+        .map_err(|e| format!("transport error: {e}"))?;
+    let doc = json::parse(&resp).map_err(|e| format!("unparseable stats response: {e}"))?;
+    let num = |k: &str| doc.get(k).and_then(Value::num).unwrap_or(0.0);
+    let int = |k: &str| doc.get(k).and_then(Value::u64).unwrap_or(0);
+    let queue = doc.get("queue").cloned().unwrap_or(Value::Null);
+    Ok(TopSample {
+        uptime_s: num("uptime_s"),
+        served: int("served"),
+        rejected: int("rejected"),
+        errors: int("errors"),
+        queue_depth: queue.get("depth").and_then(Value::u64).unwrap_or(0),
+        queue_capacity: queue.get("capacity").and_then(Value::u64).unwrap_or(0),
+        doc,
+    })
+}
+
+/// Renders one dashboard frame from the current sample and (when polling)
+/// the previous one; pure so tests can feed it canned stats documents.
+fn render_top_frame(addr: &str, cur: &TopSample, prev: Option<&TopSample>) -> String {
+    let mut out = String::new();
+    let field = |v: &Value, k: &str| v.get(k).cloned().unwrap_or(Value::Null);
+    let total = cur.served + cur.rejected + cur.errors;
+    // RPS: completions per second between polls; on the first (or only)
+    // frame, the lifetime average.
+    let (rps, basis) = match prev {
+        Some(p) if cur.uptime_s > p.uptime_s => (
+            (cur.served + cur.errors).saturating_sub(p.served + p.errors) as f64
+                / (cur.uptime_s - p.uptime_s),
+            "interval",
+        ),
+        _ if cur.uptime_s > 0.0 => ((cur.served + cur.errors) as f64 / cur.uptime_s, "lifetime"),
+        _ => (0.0, "lifetime"),
+    };
+    let reject_rate = if total > 0 {
+        cur.rejected as f64 / total as f64 * 100.0
+    } else {
+        0.0
+    };
+    let graph = field(&cur.doc, "graph");
+    out.push_str(&format!(
+        "pp-serve {addr} — {} (n={}, m={}), up {:.0}s\n",
+        field(&graph, "dataset").str().unwrap_or("?"),
+        field(&graph, "n").u64().unwrap_or(0),
+        field(&graph, "m").u64().unwrap_or(0),
+        cur.uptime_s,
+    ));
+    out.push_str(&format!(
+        "rps {rps:.1} ({basis})  queue {}/{}  served {}  errors {}  rejected {} ({reject_rate:.1}%)\n",
+        cur.queue_depth, cur.queue_capacity, cur.served, cur.errors, cur.rejected,
+    ));
+    if let Some(util) = cur.doc.get("workers_util").and_then(Value::arr) {
+        out.push_str("workers ");
+        for (w, u) in util.iter().enumerate() {
+            out.push_str(&format!("[{w}] {:.0}%  ", u.num().unwrap_or(0.0) * 100.0));
+        }
+        out.push('\n');
+    }
+    let window_s = field(&cur.doc, "window")
+        .get("seconds")
+        .and_then(Value::num)
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "\n algo       served     errors     queue p50/p95/p99 (ms)     run p50/p95/p99 (ms)   [last {window_s:.0}s]\n"
+    ));
+    let quantiles = |lat: &Value| {
+        format!(
+            "{:.3}/{:.3}/{:.3}",
+            field(lat, "p50_ns").num().unwrap_or(0.0) / 1e6,
+            field(lat, "p95_ns").num().unwrap_or(0.0) / 1e6,
+            field(lat, "p99_ns").num().unwrap_or(0.0) / 1e6,
+        )
+    };
+    if let Some(algos) = cur.doc.get("algos").and_then(Value::arr) {
+        for a in algos {
+            out.push_str(&format!(
+                " {:<10} {:<10} {:<10} {:<25} {}\n",
+                field(a, "algo").str().unwrap_or("?"),
+                field(a, "served").u64().unwrap_or(0),
+                field(a, "errors").u64().unwrap_or(0),
+                quantiles(&field(a, "window_queue")),
+                quantiles(&field(a, "window_run")),
+            ));
+        }
+    }
+    out
+}
+
+fn cmd_top(args: &[String]) {
+    let o = parse_opts(args);
+    if o.positional.len() > 1 {
+        die("top: at most one HOST:PORT address");
+    }
+    let addr = o
+        .positional
+        .first()
+        .map(String::as_str)
+        .or(o.connect.as_deref())
+        .unwrap_or("127.0.0.1:7878")
+        .to_string();
+    let mut client = Client::connect(&addr)
+        .unwrap_or_else(|e| die(&format!("top: cannot connect to {addr}: {e}")));
+    let mut prev: Option<TopSample> = None;
+    loop {
+        let cur = top_sample(&mut client).unwrap_or_else(|e| die(&format!("top: {e}")));
+        let frame = render_top_frame(&addr, &cur, prev.as_ref());
+        if o.once {
+            print!("{frame}");
+            return;
+        }
+        // Plain ANSI home+clear redraw — no TUI dependency.
+        print!("\x1b[H\x1b[2J{frame}");
+        let _ = std::io::stdout().flush();
+        prev = Some(cur);
+        std::thread::sleep(std::time::Duration::from_secs_f64(o.interval_s));
     }
 }
 
@@ -1216,7 +1439,8 @@ mod tests {
             engine.threads()
         );
         assert!(parsed.get("counts").unwrap().get("reads").unwrap().u64() > Some(0));
-        let rendered = render_report(&parsed).expect("the renderer reads its own format");
+        let rendered = render_report(&parsed, &ReportThresholds::default())
+            .expect("the renderer reads its own format");
         assert!(rendered.contains("bfs adaptive on rmat7"));
         assert!(rendered.contains("round  phase  dir"));
         assert!(rendered.contains("worker  busy_ms"));
@@ -1248,13 +1472,36 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let rendered = render_report(&doc).unwrap();
+        let rendered = render_report(&doc, &ReportThresholds::default()).unwrap();
         assert!(rendered.contains("anomalies (2):"));
         assert!(rendered.contains("pull territory"));
-        assert!(rendered.contains("imbalance 3.50x exceeds 2x"));
+        assert!(rendered.contains("imbalance 3.50x exceeds 2.0x"));
+
+        // The promoted thresholds change what gets flagged: a looser
+        // imbalance bar drops that anomaly, --no-direction-check drops
+        // the Beamer-window one.
+        let loose = render_report(
+            &doc,
+            &ReportThresholds {
+                imbalance: 4.0,
+                direction_check: true,
+            },
+        )
+        .unwrap();
+        assert!(loose.contains("anomalies (1):"));
+        assert!(!loose.contains("exceeds"));
+        let quiet = render_report(
+            &doc,
+            &ReportThresholds {
+                imbalance: 4.0,
+                direction_check: false,
+            },
+        )
+        .unwrap();
+        assert!(quiet.contains("no anomalies"));
 
         let bad = json::parse("{\"rows\": []}").unwrap();
-        assert!(render_report(&bad).is_err());
+        assert!(render_report(&bad, &ReportThresholds::default()).is_err());
     }
 
     #[test]

@@ -17,10 +17,16 @@
 //!   response rendering, including structured failures tagged with
 //!   [`pp_engine::registry::RunError::kind`].
 //! * [`server`] — [`Server`]: the bounded admission queue, the worker
-//!   pool (one [`pp_engine::Engine`] per worker), latency percentiles via
-//!   [`pp_telemetry::LogHistogram`], and the stdio/TCP transports.
+//!   pool (one [`pp_engine::Engine`] per worker), the service metrics
+//!   layer (per-`{algo, outcome}` counters and windowed queue/run latency
+//!   histograms in a [`pp_telemetry::MetricsRegistry`], Prometheus text
+//!   exposition via the `metrics` meta-query, optional per-query Chrome
+//!   traces via [`ServeConfig::trace_queries`]), and the stdio/TCP
+//!   transports. Every run response decomposes its latency exactly:
+//!   `queue_ns + run_ns == latency_ns`.
 //! * [`client`] — [`Client`]: a lock-step connection for scripts and
-//!   tests (`ppgraph query` is a thin wrapper around it).
+//!   tests (`ppgraph query` and `ppgraph top` are thin wrappers around
+//!   it).
 //!
 //! ## A session
 //!
@@ -30,6 +36,7 @@
 //! {"algo": "bfs", "source": 0}
 //! {"algo": "pagerank", "params": {"direction": "pull"}}
 //! {"op": "stats"}
+//! {"op": "metrics"}
 //! EOF
 //! ```
 //!
@@ -48,5 +55,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::Client;
-pub use protocol::{parse_request, Request, StatsSnapshot};
+pub use protocol::{
+    parse_request, AlgoStats, LatencySplit, LatencySummary, Request, StatsSnapshot,
+};
 pub use server::{ServeConfig, Server};

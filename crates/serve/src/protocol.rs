@@ -15,11 +15,14 @@
 //! {"algo": "bfs", "source": 3}
 //! {"algo": "bc", "params": {"direction": "pull", "bc_sources": 4}, "metrics": true, "id": 7}
 //! {"op": "stats"}
+//! {"op": "metrics"}
 //! {"op": "ping"}
 //! {"op": "shutdown"}
 //! ```
 //!
-//! * `op` — `"run"` (default), `"stats"`, `"ping"`, or `"shutdown"`.
+//! * `op` — `"run"` (default), `"stats"`, `"metrics"` (Prometheus text
+//!   exposition, returned in the response's `body` string), `"ping"`, or
+//!   `"shutdown"`.
 //! * `algo` — registry name or alias (run requests only; required).
 //! * `source` — source vertex for rooted algorithms (default 0).
 //! * `params` — optional object: `direction` (`push|pull|adaptive`),
@@ -35,7 +38,8 @@
 //! {"ok": true, "id": 7, "rows": [{"dataset": "g.ppg", "mode": "atomic",
 //!  "algo": "bfs adaptive", "threads": 1, "ms": 1.25}],
 //!  "summary": {"reached": "1024", "depth": "9"},
-//!  "report": {"rounds": 10, ...}, "latency_ns": 1830211}
+//!  "report": {"rounds": 10, ...},
+//!  "latency_ns": 1830211, "queue_ns": 120331, "run_ns": 1709880, "worker": 1}
 //! {"ok": false, "id": 8, "error": {"kind": "overloaded",
 //!  "message": "admission queue full (capacity 64)"}}
 //! ```
@@ -67,6 +71,8 @@ pub enum Request {
     Run(QuerySpec),
     /// Report uptime, served/rejected counters, latency percentiles.
     Stats,
+    /// Return the Prometheus text exposition of every service metric.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Stop accepting queries, drain the queue, exit the serve loop.
@@ -168,10 +174,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     };
     match op {
         "stats" => return Ok(Request::Stats),
+        "metrics" => return Ok(Request::Metrics),
         "ping" => return Ok(Request::Ping),
         "shutdown" => return Ok(Request::Shutdown),
         "run" => {}
-        other => return Err(format!("unknown op: {other} (run|stats|ping|shutdown)")),
+        other => {
+            return Err(format!(
+                "unknown op: {other} (run|stats|metrics|ping|shutdown)"
+            ))
+        }
     }
 
     let algo = match doc.get("algo") {
@@ -241,17 +252,32 @@ fn push_id(out: &mut String, id: Option<&str>) {
     }
 }
 
+/// The latency decomposition of one query's life: `queue_ns` (admission to
+/// dequeue by a worker runner) + `run_ns` (dequeue to completion) =
+/// `latency_ns` exactly (all three cut from the same clock readings).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySplit {
+    /// Nanoseconds spent waiting in the admission queue.
+    pub queue_ns: u64,
+    /// Nanoseconds spent executing on the worker runner.
+    pub run_ns: u64,
+    /// End-to-end nanoseconds (admission to completion).
+    pub latency_ns: u64,
+    /// The worker runner that executed the query.
+    pub worker: usize,
+}
+
 /// Renders a successful run response: one `ppgraph run --json`-compatible
-/// row, the output digest, the aggregate report, and the query's
-/// end-to-end latency (admission to completion). Single line, no interior
-/// newlines.
+/// row, the output digest, the aggregate report, the query's end-to-end
+/// latency (admission to completion) with its queue/run decomposition, and
+/// the worker that ran it. Single line, no interior newlines.
 pub fn render_run_response(
     spec: &QuerySpec,
     dataset: &str,
     threads: usize,
     run: &AlgoRun,
     ms: f64,
-    latency_ns: u64,
+    split: LatencySplit,
 ) -> String {
     let r = &run.report;
     let mut out = String::from("{\"ok\": true");
@@ -291,7 +317,10 @@ pub fn render_run_response(
             r.switches()
         ));
     }
-    out.push_str(&format!("}}, \"latency_ns\": {latency_ns}}}"));
+    out.push_str(&format!(
+        "}}, \"latency_ns\": {}, \"queue_ns\": {}, \"run_ns\": {}, \"worker\": {}}}",
+        split.latency_ns, split.queue_ns, split.run_ns, split.worker
+    ));
     out
 }
 
@@ -322,6 +351,67 @@ pub fn render_shutdown_ack() -> String {
     "{\"ok\": true, \"op\": \"shutdown\", \"draining\": true}".to_string()
 }
 
+/// Count/mean/quantiles of one latency series, the unit every breakdown
+/// entry is made of. All values in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples in the series.
+    pub count: u64,
+    /// Mean sample (ns).
+    pub mean_ns: f64,
+    /// Median estimate (ns).
+    pub p50_ns: u64,
+    /// 95th-percentile estimate (ns).
+    pub p95_ns: u64,
+    /// 99th-percentile estimate (ns).
+    pub p99_ns: u64,
+    /// Largest observed sample (ns).
+    pub max_ns: u64,
+}
+
+impl From<&pp_telemetry::LogHistogram> for LatencySummary {
+    fn from(h: &pp_telemetry::LogHistogram) -> Self {
+        Self {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.p50(),
+            p95_ns: h.p95(),
+            p99_ns: h.p99(),
+            max_ns: h.max(),
+        }
+    }
+}
+
+impl LatencySummary {
+    fn render(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \
+             \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.p99_ns, self.max_ns
+        )
+    }
+}
+
+/// One algorithm's row in the stats breakdown: how many queries it served
+/// and erred, and its queue/run latency split, since boot and in-window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AlgoStats {
+    /// Canonical registry algorithm name.
+    pub algo: String,
+    /// Queries of this algorithm completed successfully.
+    pub served: u64,
+    /// Queries of this algorithm that returned a structured error.
+    pub errors: u64,
+    /// Since-boot queue-wait latency.
+    pub queue: LatencySummary,
+    /// Since-boot execution latency.
+    pub run: LatencySummary,
+    /// Queue-wait latency over the trailing window.
+    pub window_queue: LatencySummary,
+    /// Execution latency over the trailing window.
+    pub window_run: LatencySummary,
+}
+
 /// A point-in-time view of the server's counters, rendered by
 /// [`render_stats`] and filled in by `crate::server`.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -348,6 +438,8 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// Run queries that returned a structured error.
     pub errors: u64,
+    /// `errors` decomposed by [`RunError::kind`] tag, tag-sorted.
+    pub errors_by_kind: Vec<(String, u64)>,
     /// Per-query end-to-end latency: count, mean, p50/p95/p99, max (ns).
     pub latency_count: u64,
     /// Mean latency in nanoseconds.
@@ -360,19 +452,41 @@ pub struct StatsSnapshot {
     pub latency_p99_ns: u64,
     /// Largest observed latency (ns).
     pub latency_max_ns: u64,
+    /// Width of the trailing metrics window, in seconds.
+    pub window_s: f64,
+    /// Since-boot queue-wait latency across all algorithms.
+    pub queue_lat: LatencySummary,
+    /// Since-boot execution latency across all algorithms.
+    pub run_lat: LatencySummary,
+    /// Queue-wait latency over the trailing window.
+    pub window_queue_lat: LatencySummary,
+    /// Execution latency over the trailing window.
+    pub window_run_lat: LatencySummary,
+    /// Per-algorithm breakdown, algorithm-sorted.
+    pub per_algo: Vec<AlgoStats>,
+    /// Per-worker-runner busy share (`0.0..=1.0`), sampled at dequeue.
+    pub worker_utilization: Vec<f64>,
 }
 
-/// Renders the `stats` meta-query response.
+impl StatsSnapshot {
+    /// Seconds since the server finished loading the graph.
+    pub fn uptime_s(&self) -> f64 {
+        self.uptime_ns as f64 / 1e9
+    }
+}
+
+/// Renders the `stats` meta-query response. The PR-7 fields keep their
+/// exact shapes; the latency decomposition, window, per-algo, error-kind,
+/// and utilization sections are additive.
 pub fn render_stats(s: &StatsSnapshot) -> String {
-    format!(
-        "{{\"ok\": true, \"op\": \"stats\", \"uptime_ns\": {}, \
+    let mut out = format!(
+        "{{\"ok\": true, \"op\": \"stats\", \"uptime_ns\": {}, \"uptime_s\": {:.3}, \
          \"graph\": {{\"dataset\": \"{}\", \"n\": {}, \"m\": {}}}, \
          \"workers\": {}, \"threads_per_worker\": {}, \
          \"queue\": {{\"capacity\": {}, \"depth\": {}}}, \
-         \"served\": {}, \"rejected\": {}, \"errors\": {}, \
-         \"latency\": {{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \
-         \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}}}",
+         \"served\": {}, \"rejected\": {}, \"errors\": {}",
         s.uptime_ns,
+        s.uptime_s(),
         escape(&s.dataset),
         s.n,
         s.m,
@@ -383,12 +497,74 @@ pub fn render_stats(s: &StatsSnapshot) -> String {
         s.served,
         s.rejected,
         s.errors,
+    );
+    out.push_str(", \"errors_by_kind\": {");
+    for (i, (kind, n)) in s.errors_by_kind.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {n}", escape(kind)));
+    }
+    out.push('}');
+    out.push_str(&format!(
+        ", \"latency\": {{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \
+         \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
         s.latency_count,
         s.latency_mean_ns,
         s.latency_p50_ns,
         s.latency_p95_ns,
         s.latency_p99_ns,
         s.latency_max_ns
+    ));
+    out.push_str(&format!(
+        ", \"breakdown\": {{\"queue\": {}, \"run\": {}}}",
+        s.queue_lat.render(),
+        s.run_lat.render()
+    ));
+    out.push_str(&format!(
+        ", \"window\": {{\"seconds\": {:.1}, \"queue\": {}, \"run\": {}}}",
+        s.window_s,
+        s.window_queue_lat.render(),
+        s.window_run_lat.render()
+    ));
+    out.push_str(", \"algos\": [");
+    for (i, a) in s.per_algo.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"algo\": \"{}\", \"served\": {}, \"errors\": {}, \
+             \"queue\": {}, \"run\": {}, \"window_queue\": {}, \"window_run\": {}}}",
+            escape(&a.algo),
+            a.served,
+            a.errors,
+            a.queue.render(),
+            a.run.render(),
+            a.window_queue.render(),
+            a.window_run.render()
+        ));
+    }
+    out.push(']');
+    out.push_str(", \"workers_util\": [");
+    for (i, u) in s.worker_utilization.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{u:.4}"));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the `metrics` meta-query response: the Prometheus text
+/// exposition, JSON-escaped into the `body` field (unwrap it with
+/// `ppgraph query --prom`, or any JSON reader, to get a scrapable
+/// `.prom` document).
+pub fn render_metrics_response(body: &str) -> String {
+    format!(
+        "{{\"ok\": true, \"op\": \"metrics\", \"format\": \"prometheus-text\", \
+         \"body\": \"{}\"}}",
+        escape(body)
     )
 }
 
@@ -467,6 +643,10 @@ mod tests {
             Request::Stats
         ));
         assert!(matches!(
+            parse_request(r#"{"op": "metrics"}"#).unwrap(),
+            Request::Metrics
+        ));
+        assert!(matches!(
             parse_request(r#"{"op": "ping"}"#).unwrap(),
             Request::Ping
         ));
@@ -535,7 +715,7 @@ mod tests {
         assert_eq!(doc.get("draining").unwrap().bool(), Some(true));
 
         let snap = StatsSnapshot {
-            uptime_ns: 5,
+            uptime_ns: 5_000_000_000,
             dataset: "g.ppg".to_string(),
             n: 10,
             m: 20,
@@ -546,12 +726,42 @@ mod tests {
             served: 100,
             rejected: 7,
             errors: 2,
+            errors_by_kind: vec![
+                ("bad_param".to_string(), 1),
+                ("unknown_algo".to_string(), 1),
+            ],
             latency_count: 100,
             latency_mean_ns: 1500.5,
             latency_p50_ns: 1023,
             latency_p95_ns: 2047,
             latency_p99_ns: 4095,
             latency_max_ns: 5000,
+            window_s: 60.0,
+            queue_lat: LatencySummary {
+                count: 100,
+                mean_ns: 400.0,
+                p50_ns: 255,
+                p95_ns: 511,
+                p99_ns: 511,
+                max_ns: 480,
+            },
+            run_lat: LatencySummary {
+                count: 100,
+                mean_ns: 1100.5,
+                p50_ns: 1023,
+                p95_ns: 2047,
+                p99_ns: 2047,
+                max_ns: 1900,
+            },
+            window_queue_lat: LatencySummary::default(),
+            window_run_lat: LatencySummary::default(),
+            per_algo: vec![AlgoStats {
+                algo: "bfs".to_string(),
+                served: 100,
+                errors: 2,
+                ..AlgoStats::default()
+            }],
+            worker_utilization: vec![0.75, 0.5],
         };
         let rendered = render_stats(&snap);
         assert!(!rendered.contains('\n'));
@@ -562,5 +772,67 @@ mod tests {
             Some(4095)
         );
         assert_eq!(doc.get("graph").unwrap().get("n").unwrap().u64(), Some(10));
+        // The additive PR-8 sections parse and carry the breakdown.
+        assert_eq!(doc.get("uptime_s").unwrap().num(), Some(5.0));
+        assert_eq!(
+            doc.get("errors_by_kind")
+                .unwrap()
+                .get("bad_param")
+                .unwrap()
+                .u64(),
+            Some(1)
+        );
+        let breakdown = doc.get("breakdown").unwrap();
+        assert_eq!(
+            breakdown.get("queue").unwrap().get("p50_ns").unwrap().u64(),
+            Some(255)
+        );
+        assert_eq!(
+            breakdown.get("run").unwrap().get("p95_ns").unwrap().u64(),
+            Some(2047)
+        );
+        let window = doc.get("window").unwrap();
+        assert_eq!(window.get("seconds").unwrap().num(), Some(60.0));
+        assert_eq!(
+            window.get("queue").unwrap().get("count").unwrap().u64(),
+            Some(0)
+        );
+        let algos = doc.get("algos").unwrap().arr().unwrap();
+        assert_eq!(algos.len(), 1);
+        assert_eq!(algos[0].get("algo").unwrap().str(), Some("bfs"));
+        assert_eq!(algos[0].get("served").unwrap().u64(), Some(100));
+        let util = doc.get("workers_util").unwrap().arr().unwrap();
+        assert_eq!(util.len(), 2);
+        assert_eq!(util[0].num(), Some(0.75));
+    }
+
+    #[test]
+    fn metrics_response_round_trips_the_prometheus_body() {
+        let body = "# TYPE pp_serve_queries_total counter\n\
+                    pp_serve_queries_total{algo=\"bfs\",outcome=\"ok\"} 3\n";
+        let rendered = render_metrics_response(body);
+        assert!(!rendered.contains('\n'));
+        let doc = json::parse(&rendered).unwrap();
+        assert_eq!(doc.get("ok").unwrap().bool(), Some(true));
+        assert_eq!(doc.get("op").unwrap().str(), Some("metrics"));
+        assert_eq!(doc.get("format").unwrap().str(), Some("prometheus-text"));
+        assert_eq!(doc.get("body").unwrap().str(), Some(body));
+    }
+
+    #[test]
+    fn latency_summary_reads_a_histogram() {
+        let mut h = pp_telemetry::LogHistogram::new();
+        for v in [100, 200, 400, 800] {
+            h.record(v);
+        }
+        let s = LatencySummary::from(&h);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max_ns, 800);
+        assert!(s.mean_ns > 0.0);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+        let rendered = s.render();
+        let doc = json::parse(&rendered).unwrap();
+        assert_eq!(doc.get("count").unwrap().u64(), Some(4));
+        assert_eq!(doc.get("max_ns").unwrap().u64(), Some(800));
     }
 }

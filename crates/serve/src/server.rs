@@ -22,10 +22,20 @@
 //!   queries never share a round loop; the graph itself is shared
 //!   read-only. Digests are identical to a direct [`registry`] run of the
 //!   same config on an engine of the same thread count.
-//! * **Latency accounting** — every completed query records
-//!   admission→completion nanoseconds into a shared
-//!   [`pp_telemetry::LogHistogram`]; the `stats` meta-query reports
-//!   p50/p95/p99/max plus served/rejected/error counters.
+//! * **Latency accounting** — every completed query stamps three clocks
+//!   (admission, dequeue, completion) and records the decomposition
+//!   `queue_ns + run_ns == latency_ns` — the same clock readings feed all
+//!   three, so the identity is exact — into per-`{algo, outcome}`
+//!   [`pp_telemetry::MetricsRegistry`] histograms (windowed: every series
+//!   answers both "since boot" and "last 60 s"). The `stats` meta-query
+//!   reports the split alongside the PR-7 end-to-end percentiles; the
+//!   `metrics` meta-query returns the whole registry as Prometheus text
+//!   exposition.
+//! * **Per-query tracing** — with [`ServeConfig::trace_queries`] set, each
+//!   query contributes a queue-wait async span (the admission lane, where
+//!   overlapping waits get sub-rows) and a run span on its worker's lane;
+//!   overload rejections appear as instants. The stitched
+//!   [`pp_telemetry::ChromeTrace`] is written when the serve loop drains.
 //! * **Graceful shutdown** — EOF (stdio transport) or a `shutdown` request
 //!   (any transport) closes the queue: admitted queries still execute and
 //!   answer, new ones are refused as `shutting_down`, and the serve loop
@@ -33,7 +43,7 @@
 //!
 //! [`registry`]: pp_engine::registry
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -45,12 +55,48 @@ use pp_engine::registry::{self, RunConfig};
 use pp_engine::{Engine, ProbeShards};
 use pp_graph::CsrGraph;
 use pp_telemetry::timing::Clock;
-use pp_telemetry::{LogHistogram, MetricsLevel, NullProbe};
+use pp_telemetry::trace::ArgValue;
+use pp_telemetry::{ChromeTrace, Labels, LogHistogram, MetricsLevel, MetricsRegistry, NullProbe};
 
 use crate::protocol::{
-    self, parse_request, QuerySpec, Request, StatsSnapshot, KIND_BAD_REQUEST, KIND_OVERLOADED,
-    KIND_SHUTTING_DOWN,
+    self, parse_request, AlgoStats, LatencySplit, LatencySummary, QuerySpec, Request,
+    StatsSnapshot, KIND_BAD_REQUEST, KIND_OVERLOADED, KIND_SHUTTING_DOWN,
 };
+
+/// Run queries by algorithm and outcome (`ok`/`error`/`rejected`); sums to
+/// every run request ever received.
+pub const M_QUERIES: &str = "pp_serve_queries_total";
+/// Admission→dequeue wait, per `{algo, outcome}` (ns).
+pub const M_QUEUE_NS: &str = "pp_serve_queue_ns";
+/// Dequeue→completion execution time, per `{algo, outcome}` (ns).
+pub const M_RUN_NS: &str = "pp_serve_run_ns";
+/// Jobs waiting in the admission queue (sampled at dequeue and at render).
+pub const M_QUEUE_DEPTH: &str = "pp_serve_queue_depth";
+/// Share of wall-clock each worker runner spent executing queries.
+pub const M_WORKER_UTIL: &str = "pp_serve_worker_utilization";
+/// Seconds since the graph went resident.
+pub const M_UPTIME: &str = "pp_serve_uptime_seconds";
+/// Admission queue capacity (constant over a server's life).
+pub const M_QUEUE_CAP: &str = "pp_serve_queue_capacity";
+/// Vertices in the resident graph.
+pub const M_GRAPH_N: &str = "pp_serve_graph_vertices";
+/// Edges in the resident graph.
+pub const M_GRAPH_M: &str = "pp_serve_graph_edges";
+
+/// Trace lane for admission events (queue-wait spans, rejection instants).
+const TID_ADMISSION: u32 = 0;
+/// Worker `w` runs on trace lane `TID_WORKER_BASE + w`.
+const TID_WORKER_BASE: u32 = 1;
+
+/// The `algo` label value for a query: the registry's canonical name when
+/// the request named a real algorithm (aliases collapse — `pr` and
+/// `pagerank` are one series), the raw string otherwise (so `unknown_algo`
+/// rejections stay attributable).
+fn algo_label(requested: &str) -> String {
+    registry::find(requested)
+        .map(|spec| spec.name.to_string())
+        .unwrap_or_else(|| requested.to_string())
+}
 
 /// Server knobs. `Default` is sized for the 2-core CI box: two worker
 /// runners of one engine thread each and a 64-deep admission queue.
@@ -67,6 +113,17 @@ pub struct ServeConfig {
     pub queue: usize,
     /// Dataset label echoed into response rows (snapshot path).
     pub name: String,
+    /// Ring slots per windowed histogram series (min 1). With
+    /// [`ServeConfig::window_bucket_ns`] this sets how far back the
+    /// "last N seconds" half of every latency series reaches; the default
+    /// pair is 60 × 1 s.
+    pub window_buckets: usize,
+    /// Width of one window ring slot in nanoseconds (min 1).
+    pub window_bucket_ns: u64,
+    /// When set, collect a per-query Chrome trace (queue span + run span
+    /// per served query, rejection instants) and write it to this path as
+    /// the serve loop drains.
+    pub trace_queries: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +133,9 @@ impl Default for ServeConfig {
             threads: 1,
             queue: 64,
             name: "<graph>".to_string(),
+            window_buckets: 60,
+            window_bucket_ns: 1_000_000_000,
+            trace_queries: None,
         }
     }
 }
@@ -94,11 +154,13 @@ fn write_line(out: &Out, line: &str) {
     let _ = w.flush();
 }
 
-/// One admitted query: what to run, where to answer, when it was admitted.
+/// One admitted query: what to run, where to answer, when it was admitted,
+/// and its server-wide sequence number (the trace correlation id).
 struct Job {
     spec: QuerySpec,
     out: Out,
     admitted_ns: u64,
+    seq: u64,
 }
 
 /// The bounded admission queue: `try_push` never blocks (that is the
@@ -181,14 +243,57 @@ struct Core {
     rejected: AtomicU64,
     errors: AtomicU64,
     latency: Mutex<LogHistogram>,
+    /// Labeled service series: query counters, queue/run histograms,
+    /// depth/utilization gauges — everything `metrics` exposes.
+    metrics: MetricsRegistry,
+    /// Structured-error tally by [`registry::RunError::kind`] tag. A
+    /// `Mutex<BTreeMap>` is fine: the error path is cold.
+    errors_by_kind: Mutex<BTreeMap<String, u64>>,
+    /// Nanoseconds each worker runner has spent executing queries.
+    worker_busy_ns: Vec<AtomicU64>,
+    /// Per-query trace events; `Some` iff `cfg.trace_queries` is set.
+    trace: Option<Mutex<ChromeTrace>>,
+    /// Monotonic query sequence — trace span correlation ids.
+    seq: AtomicU64,
     stop: AtomicBool,
 }
 
 impl Core {
     fn snapshot(&self) -> StatsSnapshot {
+        let now_ns = self.clock.now_ns();
+        let queue_split = self.metrics.histogram_merged(M_QUEUE_NS, now_ns, |_| true);
+        let run_split = self.metrics.histogram_merged(M_RUN_NS, now_ns, |_| true);
+        let mut per_algo = Vec::new();
+        for algo in self.metrics.label_values(M_QUERIES, "algo") {
+            let outcome = |o: &str| {
+                let labels = Labels::new([("algo", algo.as_str()), ("outcome", o)]);
+                self.metrics.counter_value(M_QUERIES, &labels).unwrap_or(0)
+            };
+            let of_algo = |l: &Labels| {
+                l.pairs()
+                    .iter()
+                    .any(|(k, v)| k == "algo" && v == algo.as_str())
+            };
+            let q = self.metrics.histogram_merged(M_QUEUE_NS, now_ns, of_algo);
+            let r = self.metrics.histogram_merged(M_RUN_NS, now_ns, of_algo);
+            per_algo.push(AlgoStats {
+                algo: algo.clone(),
+                served: outcome("ok"),
+                errors: outcome("error"),
+                queue: LatencySummary::from(&q.total),
+                run: LatencySummary::from(&r.total),
+                window_queue: LatencySummary::from(&q.windowed),
+                window_run: LatencySummary::from(&r.windowed),
+            });
+        }
+        let worker_utilization = self
+            .worker_busy_ns
+            .iter()
+            .map(|busy| (busy.load(Ordering::Relaxed) as f64 / now_ns.max(1) as f64).min(1.0))
+            .collect();
         let lat = self.latency.lock().unwrap();
         StatsSnapshot {
-            uptime_ns: self.clock.now_ns(),
+            uptime_ns: now_ns,
             dataset: self.cfg.name.clone(),
             n: self.graph.num_vertices(),
             m: self.graph.num_edges(),
@@ -199,13 +304,84 @@ impl Core {
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            errors_by_kind: self
+                .errors_by_kind
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
             latency_count: lat.count(),
             latency_mean_ns: lat.mean(),
             latency_p50_ns: lat.p50(),
             latency_p95_ns: lat.p95(),
             latency_p99_ns: lat.p99(),
             latency_max_ns: lat.max(),
+            window_s: self.metrics.window_ns() as f64 / 1e9,
+            queue_lat: LatencySummary::from(&queue_split.total),
+            run_lat: LatencySummary::from(&run_split.total),
+            window_queue_lat: LatencySummary::from(&queue_split.windowed),
+            window_run_lat: LatencySummary::from(&run_split.windowed),
+            per_algo,
+            worker_utilization,
         }
+    }
+
+    /// Refreshes the point-in-time gauges and renders the whole registry
+    /// as Prometheus text exposition (the `metrics` meta-query body).
+    fn render_prometheus(&self) -> String {
+        let now_ns = self.clock.now_ns();
+        let none = Labels::none();
+        self.metrics.set_gauge(
+            M_UPTIME,
+            "Seconds since the graph went resident.",
+            &none,
+            now_ns as f64 / 1e9,
+        );
+        self.metrics.set_gauge(
+            M_QUEUE_CAP,
+            "Admission queue capacity.",
+            &none,
+            self.cfg.queue as f64,
+        );
+        self.metrics.set_gauge(
+            M_QUEUE_DEPTH,
+            "Jobs waiting in the admission queue.",
+            &none,
+            self.queue.depth() as f64,
+        );
+        self.metrics.set_gauge(
+            M_GRAPH_N,
+            "Vertices in the resident graph.",
+            &none,
+            self.graph.num_vertices() as f64,
+        );
+        self.metrics.set_gauge(
+            M_GRAPH_M,
+            "Edges in the resident graph.",
+            &none,
+            self.graph.num_edges() as f64,
+        );
+        for (w, busy) in self.worker_busy_ns.iter().enumerate() {
+            let util = (busy.load(Ordering::Relaxed) as f64 / now_ns.max(1) as f64).min(1.0);
+            self.metrics.set_gauge(
+                M_WORKER_UTIL,
+                "Share of wall-clock each worker runner spent executing queries.",
+                &Labels::new([("worker", w.to_string())]),
+                util,
+            );
+        }
+        self.metrics.render_prometheus(now_ns)
+    }
+
+    /// Counts one run request into the per-`{algo, outcome}` counter.
+    fn count_query(&self, algo: &str, outcome: &str) {
+        self.metrics.inc_counter(
+            M_QUERIES,
+            "Run queries by algorithm and outcome (ok/error/rejected).",
+            &Labels::new([("algo", algo), ("outcome", outcome)]),
+            1,
+        );
     }
 
     /// Parses and routes one input line. Meta-queries answer inline from
@@ -221,6 +397,10 @@ impl Core {
             Err(msg) => write_line(out, &protocol::render_error(None, KIND_BAD_REQUEST, &msg)),
             Ok(Request::Ping) => write_line(out, &protocol::render_pong()),
             Ok(Request::Stats) => write_line(out, &protocol::render_stats(&self.snapshot())),
+            Ok(Request::Metrics) => write_line(
+                out,
+                &protocol::render_metrics_response(&self.render_prometheus()),
+            ),
             Ok(Request::Shutdown) => {
                 write_line(out, &protocol::render_shutdown_ack());
                 self.stop.store(true, Ordering::SeqCst);
@@ -228,15 +408,21 @@ impl Core {
             }
             Ok(Request::Run(spec)) => {
                 let id = spec.id.clone();
+                let algo = algo_label(&spec.algo);
                 let job = Job {
                     spec,
                     out: out.clone(),
                     admitted_ns: self.clock.now_ns(),
+                    seq: self.seq.fetch_add(1, Ordering::Relaxed),
                 };
+                let rejected_ns = job.admitted_ns;
+                let seq = job.seq;
                 match self.queue.try_push(job) {
                     Ok(()) => {}
                     Err(PushError::Full) => {
                         self.rejected.fetch_add(1, Ordering::Relaxed);
+                        self.count_query(&algo, "rejected");
+                        self.trace_rejection(&algo, seq, rejected_ns);
                         write_line(
                             out,
                             &protocol::render_error(
@@ -248,6 +434,8 @@ impl Core {
                     }
                     Err(PushError::Closed) => {
                         self.rejected.fetch_add(1, Ordering::Relaxed);
+                        self.count_query(&algo, "rejected");
+                        self.trace_rejection(&algo, seq, rejected_ns);
                         write_line(
                             out,
                             &protocol::render_error(
@@ -262,13 +450,40 @@ impl Core {
         }
     }
 
-    /// Executes one admitted job on this worker's engine and answers it.
-    fn execute(&self, engine: &Engine, probes: &ProbeShards<NullProbe>, job: Job) {
+    /// Records an overload/drain rejection on the admission trace lane.
+    fn trace_rejection(&self, algo: &str, seq: u64, ts_ns: u64) {
+        if let Some(trace) = &self.trace {
+            trace.lock().unwrap().instant(
+                format!("rejected {algo}"),
+                "admission",
+                TID_ADMISSION,
+                ts_ns,
+                vec![
+                    ("algo".to_string(), ArgValue::from(algo)),
+                    ("query".to_string(), ArgValue::from(seq)),
+                ],
+            );
+        }
+    }
+
+    /// Executes one admitted job on worker `worker`'s engine and answers
+    /// it, stamping the queue/run latency decomposition.
+    fn execute(&self, worker: usize, engine: &Engine, probes: &ProbeShards<NullProbe>, job: Job) {
         let Job {
             spec,
             out,
             admitted_ns,
+            seq,
         } = job;
+        let dequeued_ns = self.clock.now_ns();
+        let queue_ns = dequeued_ns.saturating_sub(admitted_ns);
+        // The depth gauge samples at dequeue: the moment load is visible.
+        self.metrics.set_gauge(
+            M_QUEUE_DEPTH,
+            "Jobs waiting in the admission queue.",
+            &Labels::none(),
+            self.queue.depth() as f64,
+        );
         let cfg = RunConfig {
             policy: spec.policy,
             mode: spec.mode,
@@ -285,9 +500,74 @@ impl Core {
         let started = Instant::now();
         let result = registry::run_checked(&spec.algo, &cfg, &self.graph);
         let ms = started.elapsed().as_secs_f64() * 1e3;
+        let done_ns = self.clock.now_ns();
+        // All three figures come from the same two clock readings, so the
+        // decomposition is exact: queue_ns + run_ns == latency_ns.
+        let run_ns = done_ns.saturating_sub(dequeued_ns);
+        let latency_ns = queue_ns + run_ns;
+        let algo = algo_label(&spec.algo);
+        let outcome = if result.is_ok() { "ok" } else { "error" };
+        self.count_query(&algo, outcome);
+        let labels = Labels::new([("algo", algo.as_str()), ("outcome", outcome)]);
+        self.metrics.observe(
+            M_QUEUE_NS,
+            "Admission-to-dequeue wait in nanoseconds.",
+            &labels,
+            done_ns,
+            queue_ns,
+        );
+        self.metrics.observe(
+            M_RUN_NS,
+            "Dequeue-to-completion execution time in nanoseconds.",
+            &labels,
+            done_ns,
+            run_ns,
+        );
+        let busy = &self.worker_busy_ns[worker];
+        let busy_ns = busy.fetch_add(run_ns, Ordering::Relaxed) + run_ns;
+        self.metrics.set_gauge(
+            M_WORKER_UTIL,
+            "Share of wall-clock each worker runner spent executing queries.",
+            &Labels::new([("worker", worker.to_string())]),
+            (busy_ns as f64 / done_ns.max(1) as f64).min(1.0),
+        );
+        if let Some(trace) = &self.trace {
+            let mut t = trace.lock().unwrap();
+            let wait = format!("queue {algo}");
+            t.async_begin(
+                wait.clone(),
+                "queue",
+                TID_ADMISSION,
+                admitted_ns,
+                seq,
+                vec![
+                    ("algo".to_string(), ArgValue::from(algo.as_str())),
+                    ("query".to_string(), ArgValue::from(seq)),
+                ],
+            );
+            t.async_end(wait, "queue", TID_ADMISSION, dequeued_ns, seq);
+            let mut run_args = vec![
+                ("algo".to_string(), ArgValue::from(algo.as_str())),
+                ("outcome".to_string(), ArgValue::from(outcome)),
+                ("query".to_string(), ArgValue::from(seq)),
+                ("queue_ns".to_string(), ArgValue::from(queue_ns)),
+            ];
+            if let Some(id) = &spec.id {
+                // The client's raw id scalar: lets a trace consumer join
+                // spans back to response lines exactly.
+                run_args.push(("id".to_string(), ArgValue::from(id.as_str())));
+            }
+            t.duration(
+                format!("run {algo}"),
+                "run",
+                TID_WORKER_BASE + worker as u32,
+                dequeued_ns,
+                run_ns,
+                run_args,
+            );
+        }
         let line = match &result {
             Ok(run) => {
-                let latency_ns = self.clock.now_ns().saturating_sub(admitted_ns);
                 self.served.fetch_add(1, Ordering::Relaxed);
                 self.latency.lock().unwrap().record(latency_ns);
                 protocol::render_run_response(
@@ -296,11 +576,22 @@ impl Core {
                     engine.threads(),
                     run,
                     ms,
-                    latency_ns,
+                    LatencySplit {
+                        queue_ns,
+                        run_ns,
+                        latency_ns,
+                        worker,
+                    },
                 )
             }
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
+                *self
+                    .errors_by_kind
+                    .lock()
+                    .unwrap()
+                    .entry(e.kind().to_string())
+                    .or_insert(0) += 1;
                 protocol::render_run_error(spec.id.as_deref(), e)
             }
         };
@@ -325,8 +616,18 @@ impl Server {
             workers: cfg.workers.max(1),
             threads: cfg.threads.max(1),
             queue: cfg.queue.max(1),
+            window_buckets: cfg.window_buckets.max(1),
+            window_bucket_ns: cfg.window_bucket_ns.max(1),
             ..cfg
         };
+        let trace = cfg.trace_queries.as_ref().map(|_| {
+            let mut t = ChromeTrace::new();
+            t.name_track(TID_ADMISSION, "admission");
+            for w in 0..cfg.workers {
+                t.name_track(TID_WORKER_BASE + w as u32, format!("worker {w}"));
+            }
+            Mutex::new(t)
+        });
         let core = Arc::new(Core {
             graph: Arc::new(graph),
             cfg: cfg.clone(),
@@ -336,6 +637,11 @@ impl Server {
             rejected: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             latency: Mutex::new(LogHistogram::new()),
+            metrics: MetricsRegistry::new(cfg.window_buckets, cfg.window_bucket_ns),
+            errors_by_kind: Mutex::new(BTreeMap::new()),
+            worker_busy_ns: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
+            trace,
+            seq: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         });
         let workers = (0..cfg.workers)
@@ -349,7 +655,7 @@ impl Server {
                         let engine = Engine::new(core.cfg.threads);
                         let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
                         while let Some(job) = core.queue.pop() {
-                            core.execute(&engine, &probes, job);
+                            core.execute(w, &engine, &probes, job);
                         }
                     })
                     .expect("spawn worker")
@@ -361,6 +667,12 @@ impl Server {
     /// The current counters (what the `stats` meta-query renders).
     pub fn stats(&self) -> StatsSnapshot {
         self.core.snapshot()
+    }
+
+    /// The current Prometheus text exposition (what the `metrics`
+    /// meta-query returns in its `body`).
+    pub fn metrics_text(&self) -> String {
+        self.core.render_prometheus()
     }
 
     /// Routes one already-read request line (test/embedding hook; the
@@ -424,12 +736,18 @@ impl Server {
         self.finish()
     }
 
-    /// Closes the queue, lets the workers drain it, joins them, and
-    /// returns the final counters.
+    /// Closes the queue, lets the workers drain it, joins them, writes the
+    /// per-query trace (if configured), and returns the final counters.
     fn finish(self) -> StatsSnapshot {
         self.core.queue.close();
         for w in self.workers {
             let _ = w.join();
+        }
+        if let (Some(path), Some(trace)) = (&self.core.cfg.trace_queries, &self.core.trace) {
+            // Best-effort: a bad trace path must not lose the final stats.
+            if let Ok(mut f) = std::fs::File::create(path) {
+                let _ = trace.lock().unwrap().write(&mut f);
+            }
         }
         self.core.snapshot()
     }
@@ -494,6 +812,7 @@ mod tests {
                 threads: 1,
                 queue,
                 name: "test".to_string(),
+                ..ServeConfig::default()
             },
         )
     }
@@ -574,6 +893,111 @@ mod tests {
         assert_eq!(lines.len(), 1, "the line after shutdown is never read");
         assert_eq!(lines[0].get("draining").unwrap().bool(), Some(true));
         assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn metrics_meta_query_returns_prometheus_text() {
+        // Dispatch the runs, wait for the async workers to finish them,
+        // then render — the meta-query itself answers inline, so a fixed
+        // input script would race the counters.
+        let s = server(8);
+        let sink = Sink::default();
+        let out: Out = Arc::new(Mutex::new(Box::new(sink.clone())));
+        s.dispatch("{\"algo\": \"cc\", \"id\": 1}", &out);
+        s.dispatch("{\"algo\": \"nope\", \"id\": 2}", &out);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while s.stats().served + s.stats().errors < 2 {
+            assert!(Instant::now() < deadline, "workers never drained");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        s.dispatch("{\"op\": \"metrics\"}", &out);
+        let lines = sink.lines();
+        let metrics = lines
+            .iter()
+            .find(|l| l.get("op").and_then(Value::str) == Some("metrics"))
+            .expect("no metrics response");
+        assert_eq!(metrics.get("ok").unwrap().bool(), Some(true));
+        let body = metrics.get("body").unwrap().str().unwrap();
+        assert!(body.contains("# TYPE pp_serve_queries_total counter"));
+        assert!(body.contains("algo=\"cc\",outcome=\"ok\""));
+        assert!(body.contains("algo=\"nope\",outcome=\"error\""));
+        assert!(body.contains("# TYPE pp_serve_run_ns summary"));
+        assert!(body.contains("# TYPE pp_serve_run_ns_window summary"));
+        assert!(body.contains("pp_serve_uptime_seconds"));
+        assert!(body.contains("pp_serve_worker_utilization{worker=\"0\"}"));
+    }
+
+    #[test]
+    fn stats_decomposition_is_consistent_and_error_kinds_are_tallied() {
+        let sink = Sink::default();
+        let input = b"{\"algo\": \"cc\", \"id\": 1}\n\
+                      {\"algo\": \"bfs\", \"id\": 2}\n\
+                      {\"algo\": \"nope\", \"id\": 3}\n"
+            .to_vec();
+        let stats = server(8).serve_lines(&input[..], sink.clone());
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.errors_by_kind, vec![("unknown_algo".to_string(), 1)]);
+        // Queue/run histograms saw every completed query (ok and error).
+        assert_eq!(stats.queue_lat.count, 3);
+        assert_eq!(stats.run_lat.count, 3);
+        // A freshly-booted server's window still holds everything.
+        assert_eq!(stats.window_run_lat.count, 3);
+        let served: u64 = stats.per_algo.iter().map(|a| a.served).sum();
+        let errors: u64 = stats.per_algo.iter().map(|a| a.errors).sum();
+        assert_eq!(served, 2);
+        assert_eq!(errors, 1);
+        assert_eq!(stats.worker_utilization.len(), 1);
+        assert!(stats.worker_utilization[0] > 0.0);
+    }
+
+    #[test]
+    fn trace_queries_config_writes_paired_spans_at_drain() {
+        let path =
+            std::env::temp_dir().join(format!("pp_serve_unit_trace_{}.json", std::process::id()));
+        let sink = Sink::default();
+        let input = b"{\"algo\": \"cc\", \"id\": 1}\n{\"algo\": \"bfs\", \"id\": 2}\n".to_vec();
+        let s = Server::new(
+            gen::rmat(7, 6, 3),
+            ServeConfig {
+                workers: 1,
+                threads: 1,
+                queue: 8,
+                name: "traced".to_string(),
+                trace_queries: Some(path.to_string_lossy().into_owned()),
+                ..ServeConfig::default()
+            },
+        );
+        let stats = s.serve_lines(&input[..], sink.clone());
+        assert_eq!(stats.served, 2);
+        let text = std::fs::read_to_string(&path).expect("trace written at drain");
+        let _ = std::fs::remove_file(&path);
+        let Value::Arr(events) = json::parse(&text).unwrap() else {
+            panic!("trace is not an array");
+        };
+        let count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::str) == Some(ph))
+                .count()
+        };
+        assert_eq!(count("b"), 2, "one queue-wait span per query");
+        assert_eq!(count("e"), 2);
+        // Two run spans on the worker lane + lane-name metadata events.
+        let runs: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::str) == Some("X")
+                    && e.get("cat").and_then(Value::str) == Some("run")
+            })
+            .collect();
+        assert_eq!(runs.len(), 2);
+        for r in &runs {
+            assert_eq!(r.get("tid").and_then(Value::u64), Some(1));
+        }
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Value::str) == Some("M")));
     }
 
     #[test]

@@ -110,6 +110,7 @@ fn hundred_concurrent_queries_match_direct_runs_and_populate_percentiles() {
             threads: 1,
             queue: 256,
             name: "loopback".to_string(),
+            ..ServeConfig::default()
         },
     );
 
@@ -188,6 +189,7 @@ fn flooding_a_tiny_queue_yields_structured_overload_not_hangs() {
             threads: 1,
             queue: 1,
             name: "flood".to_string(),
+            ..ServeConfig::default()
         },
     );
 

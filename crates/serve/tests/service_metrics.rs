@@ -1,0 +1,459 @@
+//! Service-metrics acceptance: a mixed burst over loopback TCP (two
+//! algorithms, structured errors, forced overload rejections) must leave
+//! every layer of the observability stack consistent:
+//!
+//! * per-`{algo, outcome}` counters sum to the total requests sent;
+//! * each run response decomposes exactly — `queue_ns + run_ns ==
+//!   latency_ns` (the three figures come from the same clock readings);
+//! * the Prometheus text body parses line by line and every series
+//!   belongs to a `# TYPE`-declared family;
+//! * the per-query Chrome trace pairs one queue span with one run span
+//!   per completed query, on the lane of the worker the response named;
+//! * after an injected slow phase, the windowed run percentiles diverge
+//!   from the since-boot ones.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use pp_graph::{gen, CsrGraph};
+use pp_serve::json::{self, Value};
+use pp_serve::{Client, ServeConfig, Server};
+
+fn test_graph() -> CsrGraph {
+    let g = gen::rmat(9, 8, 7);
+    gen::with_random_weights(&g, 1, 64, 42)
+}
+
+fn boot(
+    g: CsrGraph,
+    cfg: ServeConfig,
+) -> (SocketAddr, thread::JoinHandle<pp_serve::StatsSnapshot>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let handle = thread::spawn(move || Server::new(g, cfg).serve_tcp(listener));
+    (addr, handle)
+}
+
+fn parse(line: &str) -> Value {
+    json::parse(line).unwrap_or_else(|e| panic!("unparseable response {line:?}: {e}"))
+}
+
+/// Splits one Prometheus sample line into (family, labels, value); returns
+/// `None` for comment lines. Panics on any line that does not parse —
+/// that IS the line-by-line exposition check.
+fn parse_prom_line(line: &str) -> Option<(String, String, f64)> {
+    if let Some(rest) = line.strip_prefix('#') {
+        let rest = rest.trim_start();
+        assert!(
+            rest.starts_with("TYPE ") || rest.starts_with("HELP "),
+            "unknown comment shape: {line:?}"
+        );
+        return None;
+    }
+    let (series, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("no value separator in {line:?}"));
+    let value: f64 = value
+        .parse()
+        .unwrap_or_else(|_| panic!("unparseable sample value in {line:?}"));
+    let (family, labels) = match series.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated label set in {line:?}"));
+            (name.to_string(), labels.to_string())
+        }
+        None => (series.to_string(), String::new()),
+    };
+    assert!(
+        family
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        "bad metric name in {line:?}"
+    );
+    Some((family, labels, value))
+}
+
+/// Pulls one `key="value"` pair out of a rendered label set.
+fn label(labels: &str, key: &str) -> Option<String> {
+    labels.split(',').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then(|| v.trim_matches('"').to_string())
+    })
+}
+
+#[test]
+fn mixed_burst_keeps_counters_splits_prometheus_and_trace_consistent() {
+    let trace_path = std::env::temp_dir().join(format!(
+        "pp_serve_trace_{}_{:?}.json",
+        std::process::id(),
+        thread::current().id()
+    ));
+    let (addr, server) = boot(
+        test_graph(),
+        ServeConfig {
+            workers: 2,
+            threads: 1,
+            queue: 2,
+            name: "burst".to_string(),
+            trace_queries: Some(trace_path.to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        },
+    );
+
+    // Phase 1 — lock-step mix of two algorithms plus two structured
+    // errors. Lock-step means no admission pressure: all must succeed.
+    let mut client = Client::connect(addr).unwrap();
+    let mut sent = 0u64;
+    let mut ok_workers: BTreeMap<u64, u64> = BTreeMap::new(); // id -> worker
+    for i in 0..40u64 {
+        let algo = if i % 2 == 0 { "bfs" } else { "cc" };
+        let req = format!(
+            "{{\"algo\": \"{algo}\", \"source\": {}, \"id\": {i}}}",
+            i % 512
+        );
+        let doc = parse(&client.request(&req).unwrap());
+        sent += 1;
+        assert_eq!(doc.get("ok").and_then(Value::bool), Some(true), "{req}");
+        let queue_ns = doc.get("queue_ns").and_then(Value::u64).unwrap();
+        let run_ns = doc.get("run_ns").and_then(Value::u64).unwrap();
+        let latency_ns = doc.get("latency_ns").and_then(Value::u64).unwrap();
+        assert_eq!(
+            queue_ns + run_ns,
+            latency_ns,
+            "decomposition must be exact: {req}"
+        );
+        let worker = doc.get("worker").and_then(Value::u64).unwrap();
+        assert!(worker < 2, "worker index out of range: {worker}");
+        ok_workers.insert(i, worker);
+    }
+    for bad in [
+        "{\"algo\": \"nope\", \"id\": 9000}",
+        "{\"algo\": \"bfs\", \"source\": 5000000, \"id\": 9001}",
+    ] {
+        let doc = parse(&client.request(bad).unwrap());
+        sent += 1;
+        assert_eq!(doc.get("ok").and_then(Value::bool), Some(false));
+    }
+
+    // Phase 2 — flood one connection without reading: a 2-deep queue on
+    // 2 workers cannot absorb 30 back-to-back queries, so some must be
+    // rejected as overloaded.
+    let flood = TcpStream::connect(addr).unwrap();
+    flood.set_nodelay(true).unwrap();
+    let mut w = flood.try_clone().unwrap();
+    for i in 0..30u64 {
+        writeln!(
+            w,
+            "{{\"algo\": \"bfs\", \"source\": {}, \"id\": {}}}",
+            i % 512,
+            100 + i
+        )
+        .unwrap();
+    }
+    w.flush().unwrap();
+    let mut flood_ok = 0u64;
+    let mut flood_rejected = 0u64;
+    let reader = BufReader::new(flood);
+    for line in reader.lines().take(30) {
+        let doc = parse(&line.unwrap());
+        sent += 1;
+        if doc.get("ok").and_then(Value::bool) == Some(true) {
+            let id = doc.get("id").and_then(Value::u64).unwrap();
+            let worker = doc.get("worker").and_then(Value::u64).unwrap();
+            let queue_ns = doc.get("queue_ns").and_then(Value::u64).unwrap();
+            let run_ns = doc.get("run_ns").and_then(Value::u64).unwrap();
+            let latency_ns = doc.get("latency_ns").and_then(Value::u64).unwrap();
+            assert_eq!(queue_ns + run_ns, latency_ns);
+            ok_workers.insert(id, worker);
+            flood_ok += 1;
+        } else {
+            assert_eq!(
+                doc.get("error").unwrap().get("kind").unwrap().str(),
+                Some("overloaded")
+            );
+            flood_rejected += 1;
+        }
+    }
+    assert!(flood_rejected > 0, "the flood produced no rejections");
+    assert_eq!(flood_ok + flood_rejected, 30);
+
+    // Stats: the decomposition and breakdown sections must reconcile
+    // with what this test counted on the wire.
+    let stats = parse(&client.request("{\"op\": \"stats\"}").unwrap());
+    let served = stats.get("served").and_then(Value::u64).unwrap();
+    let errors = stats.get("errors").and_then(Value::u64).unwrap();
+    let rejected = stats.get("rejected").and_then(Value::u64).unwrap();
+    assert_eq!(served, 40 + flood_ok);
+    assert_eq!(errors, 2);
+    assert_eq!(rejected, flood_rejected);
+    assert_eq!(served + errors + rejected, sent);
+    let kinds = stats.get("errors_by_kind").unwrap();
+    assert_eq!(kinds.get("unknown_algo").and_then(Value::u64), Some(1));
+    assert_eq!(
+        kinds.get("source_out_of_range").and_then(Value::u64),
+        Some(1)
+    );
+    let breakdown = stats.get("breakdown").unwrap();
+    // Queue and run histograms record every completed (ok or error) query.
+    for half in ["queue", "run"] {
+        assert_eq!(
+            breakdown
+                .get(half)
+                .unwrap()
+                .get("count")
+                .and_then(Value::u64),
+            Some(served + errors),
+            "{half} breakdown count"
+        );
+    }
+    let algos = stats.get("algos").and_then(Value::arr).unwrap();
+    let algo_served: u64 = algos
+        .iter()
+        .map(|a| a.get("served").and_then(Value::u64).unwrap())
+        .sum();
+    assert_eq!(algo_served, served, "per-algo served rows sum to served");
+    let util = stats.get("workers_util").and_then(Value::arr).unwrap();
+    assert_eq!(util.len(), 2);
+
+    // Prometheus: the body parses line by line, every series' family has
+    // a # TYPE declaration, and the query counter sums to every request.
+    let metrics = parse(&client.request("{\"op\": \"metrics\"}").unwrap());
+    assert_eq!(metrics.get("op").and_then(Value::str), Some("metrics"));
+    let body = metrics.get("body").and_then(Value::str).unwrap();
+    let mut declared = Vec::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            declared.push(rest.split(' ').next().unwrap().to_string());
+        }
+    }
+    let mut queries_sum = 0.0;
+    let mut outcome_sums: BTreeMap<String, f64> = BTreeMap::new();
+    for line in body.lines() {
+        let Some((family, labels, value)) = parse_prom_line(line) else {
+            continue;
+        };
+        let base = family
+            .strip_suffix("_sum")
+            .or_else(|| family.strip_suffix("_count"))
+            .unwrap_or(&family);
+        assert!(
+            declared.iter().any(|d| d == base || d == &family),
+            "series {family} has no # TYPE declaration"
+        );
+        if family == "pp_serve_queries_total" {
+            queries_sum += value;
+            *outcome_sums
+                .entry(label(&labels, "outcome").expect("queries_total carries outcome"))
+                .or_insert(0.0) += value;
+        }
+    }
+    assert_eq!(queries_sum as u64, sent, "queries_total sums to requests");
+    assert_eq!(
+        outcome_sums.get("ok").copied().unwrap_or(0.0) as u64,
+        served
+    );
+    assert_eq!(
+        outcome_sums.get("error").copied().unwrap_or(0.0) as u64,
+        errors
+    );
+    assert_eq!(
+        outcome_sums.get("rejected").copied().unwrap_or(0.0) as u64,
+        rejected
+    );
+
+    // Drain, then check the stitched per-query trace.
+    let _ = client.request("{\"op\": \"shutdown\"}").unwrap();
+    let final_stats = server.join().unwrap();
+    assert_eq!(final_stats.served, served);
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace file written at drain");
+    let _ = std::fs::remove_file(&trace_path);
+    let events = match json::parse(&trace_text).expect("trace is valid JSON") {
+        Value::Arr(events) => events,
+        other => panic!("trace is not an array: {other:?}"),
+    };
+    let phase = |e: &Value| e.get("ph").and_then(Value::str).unwrap().to_string();
+    let cat = |e: &Value| e.get("cat").and_then(Value::str).unwrap_or("").to_string();
+    let completed = (served + errors) as usize;
+    let begins: Vec<_> = events.iter().filter(|e| phase(e) == "b").collect();
+    let ends: Vec<_> = events.iter().filter(|e| phase(e) == "e").collect();
+    let runs: Vec<_> = events
+        .iter()
+        .filter(|e| phase(e) == "X" && cat(e) == "run")
+        .collect();
+    let rejections = events
+        .iter()
+        .filter(|e| phase(e) == "i" && cat(e) == "admission")
+        .count();
+    assert_eq!(
+        begins.len(),
+        completed,
+        "one queue span per completed query"
+    );
+    assert_eq!(ends.len(), completed, "every queue span closes");
+    assert_eq!(runs.len(), completed, "one run span per completed query");
+    assert_eq!(rejections as u64, rejected, "one instant per rejection");
+    // Queue spans live on the admission lane and pair up by id.
+    let mut begin_ids: Vec<u64> = begins
+        .iter()
+        .map(|e| {
+            assert_eq!(e.get("tid").and_then(Value::u64), Some(0));
+            e.get("id").and_then(Value::u64).unwrap()
+        })
+        .collect();
+    let mut end_ids: Vec<u64> = ends
+        .iter()
+        .map(|e| e.get("id").and_then(Value::u64).unwrap())
+        .collect();
+    begin_ids.sort_unstable();
+    begin_ids.dedup();
+    end_ids.sort_unstable();
+    assert_eq!(begin_ids.len(), completed, "queue span ids are unique");
+    assert_eq!(begin_ids, end_ids, "begin/end ids pair exactly");
+    // Every served response's run span sits on the worker lane the
+    // response named (lane = 1 + worker index; the trace echoes the
+    // request id in its args).
+    for (id, worker) in &ok_workers {
+        let span = runs
+            .iter()
+            .find(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("id"))
+                    .and_then(Value::str)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    == Some(*id)
+            })
+            .unwrap_or_else(|| panic!("no run span for query id {id}"));
+        assert_eq!(
+            span.get("tid").and_then(Value::u64),
+            Some(1 + worker),
+            "query {id} ran on worker {worker} but its span is on another lane"
+        );
+    }
+}
+
+#[test]
+fn windowed_percentiles_diverge_from_boot_after_a_slow_phase() {
+    // A short 4 × 1 s window the test can age out deliberately.
+    let (addr, server) = boot(
+        test_graph(),
+        ServeConfig {
+            workers: 1,
+            threads: 1,
+            queue: 8,
+            name: "window".to_string(),
+            window_buckets: 4,
+            window_bucket_ns: 1_000_000_000,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(addr).unwrap();
+
+    // Fast phase: 60 cheap queries dominate the since-boot distribution.
+    for i in 0..60u64 {
+        let doc = parse(
+            &client
+                .request(&format!("{{\"algo\": \"bfs\", \"source\": {}}}", i % 512))
+                .unwrap(),
+        );
+        assert_eq!(doc.get("ok").and_then(Value::bool), Some(true));
+    }
+    // Age the fast phase out of the window entirely.
+    thread::sleep(Duration::from_millis(4_300));
+    // Slow phase: two expensive queries are now the window's only samples.
+    for _ in 0..2 {
+        let doc = parse(
+            &client
+                .request("{\"algo\": \"bc\", \"params\": {\"bc_sources\": 256}}")
+                .unwrap(),
+        );
+        assert_eq!(doc.get("ok").and_then(Value::bool), Some(true));
+    }
+
+    let stats = parse(&client.request("{\"op\": \"stats\"}").unwrap());
+    let run_q = |v: &Value, k: &str| v.get(k).and_then(Value::u64).unwrap();
+    let boot_run = stats.get("breakdown").unwrap().get("run").unwrap().clone();
+    let window = stats.get("window").unwrap();
+    let window_run = window.get("run").unwrap().clone();
+    // Only the slow phase is inside the window...
+    assert_eq!(
+        run_q(&window_run, "count"),
+        2,
+        "window holds the slow phase only"
+    );
+    assert_eq!(run_q(&boot_run, "count"), 62);
+    // ...so its p95 sits in a strictly higher latency bucket than the
+    // boot-wide p95, which 60 fast samples out of 62 pin to a fast bucket.
+    assert!(
+        run_q(&window_run, "p95_ns") > run_q(&boot_run, "p95_ns"),
+        "windowed p95 {} must exceed since-boot p95 {}",
+        run_q(&window_run, "p95_ns"),
+        run_q(&boot_run, "p95_ns"),
+    );
+
+    let _ = client.request("{\"op\": \"shutdown\"}").unwrap();
+    let final_stats = server.join().unwrap();
+    assert_eq!(final_stats.served, 62);
+}
+
+#[test]
+fn meta_queries_answer_inline_while_every_worker_is_saturated() {
+    // One worker, and a burst of slow queries nobody reads: the single
+    // runner is busy for the whole test. stats/metrics still answer
+    // immediately because the reader thread serves them inline — the
+    // whole point of not routing meta-queries through admission.
+    let (addr, server) = boot(
+        test_graph(),
+        ServeConfig {
+            workers: 1,
+            threads: 1,
+            queue: 8,
+            name: "saturated".to_string(),
+            ..ServeConfig::default()
+        },
+    );
+    let burst = TcpStream::connect(addr).unwrap();
+    let mut w = burst.try_clone().unwrap();
+    const SLOW: usize = 4;
+    for i in 0..SLOW {
+        writeln!(
+            w,
+            "{{\"algo\": \"bc\", \"params\": {{\"bc_sources\": 256}}, \"id\": {i}}}"
+        )
+        .unwrap();
+    }
+    w.flush().unwrap();
+
+    // From a second connection, both meta-queries must return while the
+    // burst is still in flight (each slow query runs for much longer
+    // than a meta-query round-trip).
+    let mut meta = Client::connect(addr).unwrap();
+    let stats = parse(&meta.request("{\"op\": \"stats\"}").unwrap());
+    let served_at_stats = stats.get("served").and_then(Value::u64).unwrap();
+    assert!(
+        (served_at_stats as usize) < SLOW,
+        "stats answered only after the burst drained — meta-queries went through the queue"
+    );
+    let metrics = parse(&meta.request("{\"op\": \"metrics\"}").unwrap());
+    assert!(metrics
+        .get("body")
+        .and_then(Value::str)
+        .unwrap()
+        .contains("# TYPE"));
+
+    // Now drain the burst: all four slow queries still answer.
+    let reader = BufReader::new(burst);
+    let mut ok = 0;
+    for line in reader.lines().take(SLOW) {
+        let doc = parse(&line.unwrap());
+        assert_eq!(doc.get("ok").and_then(Value::bool), Some(true));
+        ok += 1;
+    }
+    assert_eq!(ok, SLOW);
+    let _ = meta.request("{\"op\": \"shutdown\"}").unwrap();
+    let final_stats = server.join().unwrap();
+    assert_eq!(final_stats.served, SLOW as u64);
+}

@@ -29,8 +29,18 @@
 //!   `max/mean` load-imbalance ratio ([`timing::imbalance`]).
 //! * [`trace`] — Chrome trace-event JSON export
 //!   ([`trace::ChromeTrace`]): per-round duration events, per-worker
-//!   tracks, and instant markers for direction switches, loadable in
+//!   tracks, instant markers for direction switches, and nestable async
+//!   spans for overlapping segments (per-query queue waits), loadable in
 //!   `chrome://tracing`/Perfetto.
+//!
+//! A resident *service* needs one more shape — series that accumulate
+//! across queries, keyed by labels, continuously exportable:
+//!
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges, and
+//!   windowed [`LogHistogram`]s ([`metrics::WindowedHistogram`]: a ring of
+//!   time buckets so one series answers "since boot" *and* "last 60 s"),
+//!   with a dependency-free Prometheus text-exposition renderer
+//!   ([`metrics::MetricsRegistry::render_prometheus`]).
 //!
 //! How much of this a run records is the [`MetricsLevel`] knob: `Off`
 //! keeps the zero-overhead `NullProbe` path untouched, each higher level
@@ -38,12 +48,14 @@
 
 pub mod cachesim;
 pub mod counters;
+pub mod metrics;
 pub mod report;
 pub mod timing;
 pub mod trace;
 
 pub use cachesim::CacheSimProbe;
 pub use counters::{CountingProbe, EventCounts};
+pub use metrics::{Labels, MetricsRegistry, WindowedHistogram};
 pub use report::EventReport;
 pub use timing::{LogHistogram, WorkerLap};
 pub use trace::ChromeTrace;

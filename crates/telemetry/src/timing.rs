@@ -303,6 +303,46 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_answers_every_accessor_with_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0, "min() must not leak the u64::MAX sentinel");
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn merge_with_empty_preserves_min_in_both_directions() {
+        let mut nonempty = LogHistogram::new();
+        nonempty.record(42);
+        nonempty.record(7);
+
+        // Non-empty absorbing empty: nothing changes.
+        let mut a = nonempty.clone();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 7);
+        assert_eq!(a.max(), 42);
+
+        // Empty absorbing non-empty: the sentinel min must not survive.
+        let mut b = LogHistogram::new();
+        b.merge(&nonempty);
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.min(), 7);
+        assert_eq!(b.max(), 42);
+        assert_eq!(b.p50(), nonempty.p50());
+
+        // Empty absorbing empty stays empty (and min() stays 0).
+        let mut c = LogHistogram::new();
+        c.merge(&LogHistogram::new());
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.min(), 0);
+    }
+
+    #[test]
     fn histogram_merge_equals_combined_recording() {
         let mut a = LogHistogram::new();
         let mut b = LogHistogram::new();

@@ -71,11 +71,14 @@ impl From<String> for ArgValue {
 struct Event {
     name: String,
     cat: String,
-    /// Event phase: `X` (complete), `i` (instant), `M` (metadata).
+    /// Event phase: `X` (complete), `i` (instant), `M` (metadata),
+    /// `b`/`e` (nestable async begin/end).
     ph: char,
     ts_ns: u64,
     dur_ns: Option<u64>,
     tid: u32,
+    /// Correlation id for async (`b`/`e`) events; begin/end pairs share it.
+    id: Option<u64>,
     args: Vec<(String, ArgValue)>,
 }
 
@@ -112,6 +115,7 @@ impl ChromeTrace {
             ts_ns: 0,
             dur_ns: None,
             tid,
+            id: None,
             args: vec![("name".to_string(), ArgValue::Str(name.into()))],
         });
     }
@@ -134,6 +138,7 @@ impl ChromeTrace {
             ts_ns: start_ns,
             dur_ns: Some(dur_ns),
             tid,
+            id: None,
             args,
         });
     }
@@ -154,7 +159,49 @@ impl ChromeTrace {
             ts_ns,
             dur_ns: None,
             tid,
+            id: None,
             args,
+        });
+    }
+
+    /// Opens a nestable async span (`"ph": "b"`): a named segment that may
+    /// overlap other spans on the same track — the viewer gives each
+    /// `(cat, id)` its own sub-row, which is what per-query queue-wait
+    /// segments need (many queries wait concurrently). Close it with
+    /// [`ChromeTrace::async_end`] using the same `cat`, `id`, and `name`.
+    pub fn async_begin(
+        &mut self,
+        name: impl Into<String>,
+        cat: &str,
+        tid: u32,
+        ts_ns: u64,
+        id: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        self.events.push(Event {
+            name: name.into(),
+            cat: cat.to_string(),
+            ph: 'b',
+            ts_ns,
+            dur_ns: None,
+            tid,
+            id: Some(id),
+            args,
+        });
+    }
+
+    /// Closes the async span opened by [`ChromeTrace::async_begin`] with
+    /// the same `(cat, id)`.
+    pub fn async_end(&mut self, name: impl Into<String>, cat: &str, tid: u32, ts_ns: u64, id: u64) {
+        self.events.push(Event {
+            name: name.into(),
+            cat: cat.to_string(),
+            ph: 'e',
+            ts_ns,
+            dur_ns: None,
+            tid,
+            id: Some(id),
+            args: Vec::new(),
         });
     }
 
@@ -185,6 +232,9 @@ impl ChromeTrace {
             if e.ph == 'i' {
                 // Instant scope: thread-local marker.
                 write!(w, "\"s\": \"t\", ")?;
+            }
+            if let Some(id) = e.id {
+                write!(w, "\"id\": {id}, ")?;
             }
             write!(w, "\"pid\": 1, \"tid\": {}", e.tid)?;
             if !e.args.is_empty() {
@@ -288,6 +338,27 @@ mod tests {
         assert!(json.contains("\"s\": \"v\""));
         assert!(json.contains("\"b\": true"));
         assert!(json.contains("\"bad\": \"NaN\""), "no bare NaN in JSON");
+    }
+
+    #[test]
+    fn async_spans_pair_by_id() {
+        let mut t = ChromeTrace::new();
+        t.async_begin(
+            "queue bfs",
+            "queue",
+            0,
+            1_000,
+            7,
+            vec![("algo".to_string(), "bfs".into())],
+        );
+        t.async_end("queue bfs", "queue", 0, 3_000, 7);
+        let json = t.to_json();
+        assert!(json.contains("\"ph\": \"b\""));
+        assert!(json.contains("\"ph\": \"e\""));
+        // Both carry the correlation id; timestamps are µs.
+        assert_eq!(json.matches("\"id\": 7").count(), 2);
+        assert!(json.contains("\"ts\": 1.000"));
+        assert!(json.contains("\"ts\": 3.000"));
     }
 
     #[test]
