@@ -1,0 +1,549 @@
+//! A hand-rolled Rust surface lexer: just enough token structure for the
+//! rules engine, no external crates (the workspace build is shims-only).
+//!
+//! The rules in [`crate::rules`] are lexical — "an `unsafe` keyword needs
+//! an adjacent `// SAFETY:` comment" — so the only hard requirement on the
+//! lexer is that it never mistakes *text* for *code*: `"unsafe"` inside a
+//! string literal, `// Ordering::Relaxed` inside a comment, a `'` that
+//! starts a lifetime rather than a char literal. Everything the rules
+//! consume is a [`Tok`] with a kind, its text, and the 1-based line range
+//! it spans.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), **nested** block comments
+//! (`/* /* */ */`, `/** */`), string literals with escapes, raw strings
+//! with any hash depth (`r"…"`, `r#"…"#`, `br##"…"##`), byte strings and
+//! byte chars, char literals (including `'\''` and `'\u{…}'`) versus
+//! lifetimes (`'a`, `'static`), numeric literals (so `0..n` does not eat
+//! the range dots), and CRLF line endings (`\r` is whitespace; only `\n`
+//! advances the line counter, so `file:line` diagnostics agree with
+//! editors on either convention).
+
+/// What a token is. The rules engine only dispatches on this plus the
+/// token text, so literal kinds are collapsed where the distinction does
+/// not matter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `spawn`, …).
+    Ident,
+    /// `// …` comment (text includes the slashes).
+    LineComment,
+    /// `/* … */` comment, nesting already balanced (text includes
+    /// delimiters).
+    BlockComment,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `'c'`, `b'c'`.
+    Literal,
+    /// A numeric literal (`0x1f`, `1_000`, `1.5e-3`, `0u64`).
+    Num,
+    /// A single punctuation character (`{`, `}`, `:`, `!`, `(`, …).
+    Punct,
+}
+
+/// One token: kind, verbatim text, and the 1-based line span it covers
+/// (`line == line_end` for everything except multi-line comments and
+/// strings).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// 1-based line the token ends on.
+    pub line_end: u32,
+}
+
+impl Tok {
+    fn new(kind: TokKind, text: impl Into<String>, line: u32, line_end: u32) -> Self {
+        Self {
+            kind,
+            text: text.into(),
+            line,
+            line_end,
+        }
+    }
+}
+
+/// Character cursor with line tracking.
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().peekable(),
+            line: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Peeks two characters ahead (cloning the iterator is cheap — it is a
+    /// byte-slice walk).
+    fn peek2(&mut self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+}
+
+/// Tokenizes `src`. The lexer is total: any input produces a token stream
+/// (malformed trailing literals become a literal token running to EOF),
+/// because an audit tool must report on half-written files rather than die
+/// on them.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => match cur.peek2() {
+                Some('/') => toks.push(line_comment(&mut cur)),
+                Some('*') => toks.push(block_comment(&mut cur)),
+                _ => {
+                    cur.bump();
+                    toks.push(Tok::new(TokKind::Punct, "/", line, line));
+                }
+            },
+            '"' => toks.push(string_lit(&mut cur)),
+            '\'' => quote_or_lifetime(&mut cur, &mut toks),
+            c if c.is_ascii_digit() => toks.push(number(&mut cur)),
+            c if c.is_alphabetic() || c == '_' => ident_or_prefixed_literal(&mut cur, &mut toks),
+            c => {
+                cur.bump();
+                toks.push(Tok::new(TokKind::Punct, c.to_string(), line, line));
+            }
+        }
+    }
+    toks
+}
+
+fn line_comment(cur: &mut Cursor) -> Tok {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Tok::new(TokKind::LineComment, text, line, line)
+}
+
+fn block_comment(cur: &mut Cursor) -> Tok {
+    let line = cur.line;
+    let mut text = String::new();
+    // Consume the opening `/*`.
+    text.push(cur.bump().unwrap());
+    text.push(cur.bump().unwrap());
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.peek() {
+            Some('/') if cur.peek2() == Some('*') => {
+                depth += 1;
+                text.push(cur.bump().unwrap());
+                text.push(cur.bump().unwrap());
+            }
+            Some('*') if cur.peek2() == Some('/') => {
+                depth -= 1;
+                text.push(cur.bump().unwrap());
+                text.push(cur.bump().unwrap());
+            }
+            Some(c) => {
+                text.push(c);
+                cur.bump();
+            }
+            None => break, // unterminated: run to EOF
+        }
+    }
+    Tok::new(TokKind::BlockComment, text, line, cur.line)
+}
+
+/// A `"…"` string body, opening quote not yet consumed.
+fn string_lit(cur: &mut Cursor) -> Tok {
+    let line = cur.line;
+    let mut text = String::new();
+    text.push(cur.bump().unwrap()); // opening quote
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                // Skip the escaped character, whatever it is (`\"`, `\\`,
+                // `\u{…}` — the braces are ordinary chars here).
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    Tok::new(TokKind::Literal, text, line, cur.line)
+}
+
+/// A raw string with `hashes` leading `#`s; cursor sits on the opening
+/// quote. The already-consumed prefix (e.g. `r##`) is in `prefix`.
+fn raw_string(cur: &mut Cursor, prefix: String, hashes: usize) -> Tok {
+    let line = cur.line;
+    let mut text = prefix;
+    text.push(cur.bump().unwrap()); // opening quote
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                text.push('"');
+                // A raw string closes only on `"` followed by exactly the
+                // opening hash count.
+                let mut seen = 0;
+                while seen < hashes && cur.peek() == Some('#') {
+                    text.push(cur.bump().unwrap());
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(c) => text.push(c),
+            None => break, // unterminated: run to EOF
+        }
+    }
+    Tok::new(TokKind::Literal, text, line, cur.line)
+}
+
+/// `'` is either a char literal or a lifetime. Rust's own rule: `'x` where
+/// `x` is an identifier character and the *next* char is not `'` is a
+/// lifetime; everything else (`'a'`, `'\n'`, `'\''`, `'0'`, `'}'`) is a
+/// char literal.
+fn quote_or_lifetime(cur: &mut Cursor, toks: &mut Vec<Tok>) {
+    let line = cur.line;
+    match (cur.peek2(), {
+        let mut it = cur.chars.clone();
+        it.next();
+        it.next();
+        it.next()
+    }) {
+        // `'a'` — identifier char followed by closing quote: char literal.
+        (Some(c), Some('\'')) if c.is_alphanumeric() || c == '_' => {
+            let mut text = String::new();
+            text.push(cur.bump().unwrap());
+            text.push(cur.bump().unwrap());
+            text.push(cur.bump().unwrap());
+            toks.push(Tok::new(TokKind::Literal, text, line, line));
+        }
+        // `'a`, `'static`, `'_` — lifetime: quote token + the identifier
+        // lexes on its own next iteration.
+        (Some(c), _) if c.is_alphabetic() || c == '_' => {
+            cur.bump();
+            toks.push(Tok::new(TokKind::Punct, "'", line, line));
+        }
+        // `'\…'`, `'0'`, `'}'`, `'"'` — char literal with arbitrary body.
+        _ => {
+            let mut text = String::new();
+            text.push(cur.bump().unwrap()); // opening quote
+            while let Some(c) = cur.bump() {
+                text.push(c);
+                match c {
+                    '\\' => {
+                        if let Some(e) = cur.bump() {
+                            text.push(e);
+                        }
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            toks.push(Tok::new(TokKind::Literal, text, line, cur.line));
+        }
+    }
+}
+
+fn number(cur: &mut Cursor) -> Tok {
+    let line = cur.line;
+    let mut text = String::new();
+    // Integer part, radix prefixes, suffixes: any alphanumeric/underscore
+    // run (`0xff_u64`).
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fraction: a single `.` followed by a digit (so `0..n` stays two
+    // tokens and `1.` is left to the Punct fallback, which is fine).
+    if cur.peek() == Some('.') {
+        if let Some(d) = cur.peek2() {
+            if d.is_ascii_digit() {
+                text.push(cur.bump().unwrap());
+                while let Some(c) = cur.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // Exponent sign: `1.5e-3` — the `e` was consumed above,
+                // the sign and exponent digits follow.
+                if (text.ends_with('e') || text.ends_with('E'))
+                    && matches!(cur.peek(), Some('+') | Some('-'))
+                {
+                    text.push(cur.bump().unwrap());
+                    while let Some(c) = cur.peek() {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tok::new(TokKind::Num, text, line, line)
+}
+
+/// An identifier — unless it is one of the literal prefixes (`r"`, `r#"`,
+/// `b"`, `b'`, `br"`, `rb` is not a Rust prefix) in which case the literal
+/// is lexed whole. `r#ident` raw identifiers become plain idents.
+fn ident_or_prefixed_literal(cur: &mut Cursor, toks: &mut Vec<Tok>) {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    match (text.as_str(), cur.peek()) {
+        // Raw string or raw identifier.
+        ("r" | "br", Some('"')) => toks.push(raw_string(cur, text, 0)),
+        ("r" | "br", Some('#')) => {
+            // Count hashes; then `"` means raw string, an ident char means
+            // a raw identifier (`r#fn`).
+            let mut hashes = 0;
+            while cur.peek() == Some('#') {
+                text.push(cur.bump().unwrap());
+                hashes += 1;
+            }
+            match cur.peek() {
+                Some('"') => toks.push(raw_string(cur, text, hashes)),
+                Some(c) if hashes == 1 && (c.is_alphabetic() || c == '_') => {
+                    // Raw identifier: restart the ident scan, keep `r#`
+                    // out of the reported name.
+                    let mut name = String::new();
+                    while let Some(c) = cur.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            name.push(c);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push(Tok::new(TokKind::Ident, name, line, line));
+                }
+                _ => {
+                    // `r#` followed by nothing useful: emit what we have.
+                    toks.push(Tok::new(TokKind::Ident, text, line, line));
+                }
+            }
+        }
+        // Byte string / byte char.
+        ("b", Some('"')) => toks.push(string_lit_prefixed(cur, text)),
+        ("b", Some('\'')) => {
+            // `b'x'` — lex like a char literal (no lifetime ambiguity
+            // after `b`).
+            let mut t = text;
+            t.push(cur.bump().unwrap());
+            while let Some(c) = cur.bump() {
+                t.push(c);
+                match c {
+                    '\\' => {
+                        if let Some(e) = cur.bump() {
+                            t.push(e);
+                        }
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            toks.push(Tok::new(TokKind::Literal, t, line, cur.line));
+        }
+        _ => toks.push(Tok::new(TokKind::Ident, text, line, line)),
+    }
+}
+
+/// A `"`-delimited string whose prefix (`b`) was already consumed.
+fn string_lit_prefixed(cur: &mut Cursor, prefix: String) -> Tok {
+    let t = string_lit(cur);
+    Tok::new(
+        TokKind::Literal,
+        format!("{prefix}{}", t.text),
+        t.line,
+        t.line_end,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn unsafe_inside_string_literals_is_text_not_code() {
+        let src = r##"let s = "unsafe { Ordering::Relaxed }"; let r = r#"unsafe"#;"##;
+        assert!(!idents(src).iter().any(|i| i == "unsafe"));
+        assert!(!idents(src).iter().any(|i| i == "Ordering"));
+        let lits: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 2);
+    }
+
+    #[test]
+    fn line_comment_markers_inside_strings_do_not_start_comments() {
+        let src = r#"let url = "https://example.com"; unsafe { x() }"#;
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| t.kind != TokKind::LineComment));
+        assert!(idents(src).iter().any(|i| i == "unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        let src = "/* outer /* inner */ still comment */ unsafe";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[0].text.contains("inner"));
+        assert_eq!(toks[1].text, "unsafe");
+    }
+
+    #[test]
+    fn char_literal_quotes_and_lifetimes_disambiguate() {
+        // `'"'` is a char literal holding a quote: the string scanner must
+        // not fire. `'a` in `&'a str` is a lifetime; `'a'` is a literal.
+        let src = "fn f<'a>(x: &'a str) { let q = '\"'; let c = 'a'; let esc = '\\''; }";
+        let toks = lex(src);
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["'\"'", "'a'", "'\\''"]);
+        // The lifetime `a` surfaces as an ident after a `'` punct.
+        assert!(toks
+            .windows(2)
+            .any(|w| w[0].text == "'" && w[1].text == "a"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_containing_quotes_and_unsafe() {
+        let src = r####"let x = r##"has "quote"# and unsafe words"##; spawn()"####;
+        let toks = lex(src);
+        let lit = toks.iter().find(|t| t.kind == TokKind::Literal).unwrap();
+        assert!(lit.text.contains("unsafe words"));
+        assert!(idents(src).iter().any(|i| i == "spawn"));
+        assert!(!idents(src).iter().any(|i| i == "unsafe"));
+    }
+
+    #[test]
+    fn crlf_files_count_lines_like_editors_do() {
+        let src = "line1\r\nunsafe\r\n// SAFETY: x\r\nOrdering";
+        let toks = lex(src);
+        let unsafe_tok = toks.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(unsafe_tok.line, 2);
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == TokKind::LineComment)
+            .unwrap();
+        assert_eq!(comment.line, 3);
+        let ord = toks.iter().find(|t| t.text == "Ordering").unwrap();
+        assert_eq!(ord.line, 4);
+    }
+
+    #[test]
+    fn multiline_block_comments_span_lines() {
+        let src = "/* a\nb\nc */\nunsafe";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].line_end, 3);
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let src = "for i in 0..10 { x[i] = 1.5e-3; }";
+        let toks = lex(src);
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3"]);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.text == "." && t.kind == TokKind::Punct)
+                .count(),
+            2,
+            "the range dots survive as punctuation"
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let src = "let r#fn = 1; let r = r#\"raw\"#;";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "fn"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text.contains("raw")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"unsafe\"; let c = b'x'; let d = br#\"spawn(\"#;";
+        assert!(idents(src).iter().all(|i| i != "unsafe" && i != "spawn"));
+        let lits = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 3);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof_without_panicking() {
+        for src in ["let s = \"never closed", "let r = r#\"open", "/* open"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! `pp-audit` — the workspace invariant checker.
+//!
+//! The engine's performance story rests on hand-maintained disciplines:
+//! the §5 owner-computes path is atomic-free *because* every write is
+//! single-writer by partition ownership; `MetricsLevel::Off` is free
+//! *because* no library code reads a clock unless telemetry hands it one;
+//! the pool's lap ledgers are race-free *because* each round-scratch cell
+//! has exactly one writer between barriers. None of that is visible to
+//! the type system — it lives in `// SAFETY:` and `// ORDERING:` comments
+//! and module boundaries. This crate machine-checks the comment half:
+//!
+//! * [`lexer`] — a dependency-free Rust surface lexer (strings, raw
+//!   strings, char literals vs lifetimes, nested block comments, CRLF)
+//!   so rules never fire on text inside literals or comments.
+//! * [`rules`] — the invariant rules (`safety`, `ordering`,
+//!   `ordering-strong`, `clock`, `spawn`, `print`) plus the
+//!   `audit.allow` grandfathering list with stale-entry detection.
+//! * [`report`] — `file:line` diagnostics and a JSON report following the
+//!   `pp_serve::json` writer conventions.
+//!
+//! The dynamic half of the same program — asserting the single-writer
+//! discipline at runtime instead of lexically — is
+//! `pp_engine::race` (feature `race-detect`), which shadow-tracks every
+//! owner-computes write between exchange barriers.
+//!
+//! Run it as `cargo run -p pp-audit -- --deny` (CI gates on this), or
+//! call [`audit_tree`] from tests.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use report::Report;
+use rules::{Allowlist, Finding};
+
+/// Directory names never scanned: build output, VCS, and the vendored
+/// API-shim crates (stand-ins for external code, not part of the
+/// workspace's own invariant surface).
+const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "node_modules"];
+
+/// Collects every `.rs` file under `root` (sorted, deterministic),
+/// skipping `SKIP_DIRS` (build output, VCS, vendored shims).
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Audits every `.rs` file under `root`, applying `allowlist` (pass a
+/// default one for none). Findings come back sorted by file then line,
+/// with stale-allowlist findings appended.
+pub fn audit_tree(root: &Path, allowlist: &mut Allowlist) -> io::Result<Report> {
+    let files = collect_rs_files(root)?;
+    let mut raw: Vec<Finding> = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        raw.extend(rules::scan_file(&rel, &src));
+    }
+    let (mut findings, suppressed) = allowlist.filter(raw);
+    findings.extend(allowlist.stale());
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(Report {
+        root: root.to_string_lossy().into_owned(),
+        files_scanned: files.len(),
+        findings,
+        suppressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walker_skips_shims_and_target() {
+        let dir = std::env::temp_dir().join(format!("pp_audit_walk_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/x/src")).unwrap();
+        fs::create_dir_all(dir.join("shims/y/src")).unwrap();
+        fs::create_dir_all(dir.join("target/debug")).unwrap();
+        fs::write(dir.join("crates/x/src/lib.rs"), "fn a() {}\n").unwrap();
+        fs::write(dir.join("shims/y/src/lib.rs"), "unsafe { nope() }\n").unwrap();
+        fs::write(dir.join("target/debug/gen.rs"), "unsafe { nope() }\n").unwrap();
+        let files = collect_rs_files(&dir).unwrap();
+        assert_eq!(files.len(), 1);
+        assert!(files[0].ends_with("crates/x/src/lib.rs"));
+        let report = audit_tree(&dir, &mut Allowlist::default()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.findings);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

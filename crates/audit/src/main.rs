@@ -1,0 +1,108 @@
+//! The `pp-audit` CLI: scan a workspace tree, print `file:line`
+//! diagnostics, optionally write a JSON report, and (under `--deny`) exit
+//! nonzero on any finding — the CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pp_audit::rules::{Allowlist, Rule};
+
+const USAGE: &str = "\
+pp-audit — workspace invariant checker
+
+USAGE:
+    pp-audit [--root DIR] [--allow FILE] [--json FILE] [--deny] [--quiet] [--list-rules]
+
+OPTIONS:
+    --root DIR     Tree to scan (default: current directory)
+    --allow FILE   Allowlist file (default: <root>/audit.allow if present)
+    --json FILE    Write the machine-readable report here
+    --deny         Exit 1 if any finding survives the allowlist (CI mode)
+    --quiet        Suppress per-finding lines (summary only)
+    --list-rules   Print the rule table and exit
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("pp-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = next_value(&mut args, "--root")?.into(),
+            "--allow" => allow_path = Some(next_value(&mut args, "--allow")?.into()),
+            "--json" => json_path = Some(next_value(&mut args, "--json")?.into()),
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--list-rules" => {
+                for rule in Rule::all() {
+                    println!("{:16} {}", rule.id(), rule.protects());
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+
+    let allow_file = allow_path.or_else(|| {
+        let default = root.join("audit.allow");
+        default.exists().then_some(default)
+    });
+    let mut allowlist = match &allow_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            Allowlist::parse(&path.to_string_lossy(), &text)?
+        }
+        None => Allowlist::default(),
+    };
+
+    let report = pp_audit::audit_tree(&root, &mut allowlist)
+        .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.render_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    if quiet {
+        // Only the trailing summary line.
+        let human = report.render_human();
+        print!(
+            "{}",
+            human
+                .lines()
+                .last()
+                .map(|l| format!("{l}\n"))
+                .unwrap_or_default()
+        );
+    } else {
+        print!("{}", report.render_human());
+    }
+
+    Ok(if deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}

@@ -1,0 +1,145 @@
+//! Rendering: human diagnostics and the machine-readable JSON report.
+//!
+//! The JSON follows the workspace's hand-rolled writer conventions (see
+//! `pp_serve::json`): string payloads go through [`pp_serve::json::escape`],
+//! integers are emitted bare, and the shape is stable enough for CI to
+//! parse with nothing but a JSON reader.
+
+use crate::rules::{Finding, Rule};
+use pp_serve::json::escape;
+
+/// The outcome of one audit run over a file tree.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Workspace root the paths are relative to.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings that survived the allowlist (including stale-allowlist
+    /// entries), sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `audit.allow`.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Whether the run is clean (what `--deny` gates on).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering: one `file:line: [rule] msg` per finding
+    /// plus a one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        let mut per_rule: Vec<(Rule, usize)> = Vec::new();
+        for f in &self.findings {
+            match per_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+                Some((_, n)) => *n += 1,
+                None => per_rule.push((f.rule, 1)),
+            }
+        }
+        let breakdown = per_rule
+            .iter()
+            .map(|(r, n)| format!("{} {}", n, r.id()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "pp-audit: {} file(s), {} finding(s){}{}, {} suppressed by allowlist\n",
+            self.files_scanned,
+            self.findings.len(),
+            if breakdown.is_empty() { "" } else { ": " },
+            breakdown,
+            self.suppressed,
+        ));
+        out
+    }
+
+    /// The machine-readable report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"root\": \"{}\",\n", escape(&self.root)));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\"}}",
+                f.rule.id(),
+                escape(&f.file),
+                f.line,
+                escape(&f.msg)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            root: "/w s".into(),
+            files_scanned: 3,
+            findings: vec![Finding {
+                rule: Rule::Safety,
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                msg: "needs \"SAFETY\"".into(),
+            }],
+            suppressed: 2,
+        }
+    }
+
+    #[test]
+    fn json_parses_back_with_the_workspace_reader() {
+        let r = sample();
+        let v = pp_serve::json::parse(&r.render_json()).expect("valid JSON");
+        assert_eq!(v.get("files_scanned").and_then(|x| x.u64()), Some(3));
+        assert_eq!(v.get("clean").and_then(|x| x.bool()), Some(false));
+        let f = &v.get("findings").and_then(|x| x.arr()).unwrap()[0];
+        assert_eq!(f.get("rule").and_then(|x| x.str()), Some("safety"));
+        assert_eq!(f.get("line").and_then(|x| x.u64()), Some(7));
+        assert_eq!(f.get("msg").and_then(|x| x.str()), Some("needs \"SAFETY\""));
+    }
+
+    #[test]
+    fn human_rendering_is_file_line_rule_shaped() {
+        let r = sample();
+        let text = r.render_human();
+        assert!(text.contains("crates/x/src/lib.rs:7: [safety]"));
+        assert!(text.contains("1 finding(s): 1 safety"));
+        assert!(text.contains("2 suppressed"));
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_renders_an_empty_array() {
+        let r = Report {
+            root: "w".into(),
+            files_scanned: 1,
+            ..Report::default()
+        };
+        assert!(r.is_clean());
+        let v = pp_serve::json::parse(&r.render_json()).unwrap();
+        assert_eq!(
+            v.get("findings").and_then(|x| x.arr()).map(|a| a.len()),
+            Some(0)
+        );
+        assert_eq!(v.get("clean").and_then(|x| x.bool()), Some(true));
+    }
+}

@@ -1,0 +1,779 @@
+//! The invariant rules and the engine that applies them to one file's
+//! token stream.
+//!
+//! Each rule guards a discipline the workspace's performance story depends
+//! on but the compiler cannot check:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `safety` | every `unsafe` carries an adjacent `// SAFETY:` (or `# Safety` doc section) |
+//! | `ordering` | every `Ordering::Relaxed` outside a counter/probe module carries `// ORDERING:` |
+//! | `ordering-strong` | every `Acquire`/`Release`/`AcqRel`/`SeqCst` carries `// ORDERING:` — never grandfathered by the built-in module list |
+//! | `clock` | no `Instant::now`/`SystemTime::now` outside `pp_telemetry` (the `MetricsLevel::Off` zero-clock contract) |
+//! | `spawn` | no thread spawns outside `pp_engine::pool` and `pp_serve::server` |
+//! | `print` | no `println!`/`eprintln!`/`dbg!` in library crates |
+//! | `allowlist` | every allowlist entry still suppresses something (stale entries rot) |
+//!
+//! A justification comment covers a site when it *ends* within
+//! [`LOOKBACK_LINES`] lines above it (or sits on the same line) — the
+//! "adjacent comment" convention the workspace already follows by hand.
+//! Test code (`tests/`, `benches/`, `#[cfg(test)]` modules, `#[test]`
+//! items) is exempt from every rule: the invariants protect the shipped
+//! runtime, and test-local atomics follow the test's own logic.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// How far above a site a justification comment may end and still count
+/// as "adjacent" (in lines). Eight covers a comment above a
+/// several-statement cluster that shares one justification without
+/// letting a stale comment vouch for a whole screen of code.
+pub const LOOKBACK_LINES: u32 = 8;
+
+/// The rules the audit enforces. `id()` strings are the stable names used
+/// in diagnostics and `audit.allow` entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `unsafe` without an adjacent `// SAFETY:` / `# Safety`.
+    Safety,
+    /// Unjustified `Ordering::Relaxed` outside a counter/probe module.
+    Ordering,
+    /// Unjustified `Acquire`/`Release`/`AcqRel`/`SeqCst` anywhere.
+    OrderingStrong,
+    /// Clock read outside `pp_telemetry`.
+    Clock,
+    /// Thread spawn outside the pool/server modules.
+    Spawn,
+    /// Console print in a library crate.
+    Print,
+    /// An `audit.allow` entry that suppressed nothing.
+    AllowlistStale,
+}
+
+impl Rule {
+    /// Stable rule name (diagnostics, JSON, allowlist entries).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Safety => "safety",
+            Rule::Ordering => "ordering",
+            Rule::OrderingStrong => "ordering-strong",
+            Rule::Clock => "clock",
+            Rule::Spawn => "spawn",
+            Rule::Print => "print",
+            Rule::AllowlistStale => "allowlist",
+        }
+    }
+
+    /// Parses a rule name from an allowlist entry. `AllowlistStale` is not
+    /// nameable: it cannot be allowlisted away.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Some(match id {
+            "safety" => Rule::Safety,
+            "ordering" => Rule::Ordering,
+            "ordering-strong" => Rule::OrderingStrong,
+            "clock" => Rule::Clock,
+            "spawn" => Rule::Spawn,
+            "print" => Rule::Print,
+            _ => return None,
+        })
+    }
+
+    /// One-line statement of what the rule protects (for `--list-rules`).
+    pub fn protects(self) -> &'static str {
+        match self {
+            Rule::Safety => "every unsafe site states its proof obligation next to the code",
+            Rule::Ordering => {
+                "relaxed atomics outside counter/probe modules justify why relaxed is enough"
+            }
+            Rule::OrderingStrong => {
+                "acquire/release/seqcst sites justify why that strength is needed (and no more)"
+            }
+            Rule::Clock => "MetricsLevel::Off reads no clocks: timing flows through pp_telemetry",
+            Rule::Spawn => "all parallelism is owned by pp_engine::pool / pp_serve::server",
+            Rule::Print => "library crates never write to the console behind a caller's back",
+            Rule::AllowlistStale => {
+                "audit.allow entries that no longer suppress anything are removed"
+            }
+        }
+    }
+
+    /// Every enforced rule, for documentation surfaces.
+    pub fn all() -> [Rule; 7] {
+        [
+            Rule::Safety,
+            Rule::Ordering,
+            Rule::OrderingStrong,
+            Rule::Clock,
+            Rule::Spawn,
+            Rule::Print,
+            Rule::AllowlistStale,
+        ]
+    }
+}
+
+/// One diagnostic: a rule violated at `file:line`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.msg
+        )
+    }
+}
+
+/// Modules whose `Ordering::Relaxed` masses need no per-site comment: the
+/// counter/probe sharding layers, where "relaxed, merged after the
+/// barrier" is the module-level design stated in their docs.
+const RELAXED_COUNTER_MODULES: &[&str] = &[
+    "crates/telemetry/src/counters.rs",
+    "crates/telemetry/src/metrics.rs",
+    "crates/engine/src/probes.rs",
+];
+
+/// The only modules allowed to read wall clocks: `pp_telemetry` owns
+/// every timestamp the workspace takes.
+const CLOCK_MODULES_PREFIX: &str = "crates/telemetry/";
+
+/// The only modules allowed to spawn OS threads.
+const SPAWN_MODULES: &[&str] = &["crates/engine/src/pool.rs", "crates/serve/src/server.rs"];
+
+/// Crates whose `src/` is a CLI surface, not a library: printing is their
+/// job.
+const CLI_CRATES_PREFIX: &[&str] = &["crates/bench/"];
+
+/// Strong memory orderings (always require justification).
+const STRONG_ORDERINGS: &[&str] = &["Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Scans one file and returns its raw findings (allowlist not yet
+/// applied). `rel_path` must be workspace-relative with forward slashes —
+/// it drives both the context classification (test/example/bin/library)
+/// and the built-in module lists.
+pub fn scan_file(rel_path: &str, src: &str) -> Vec<Finding> {
+    let ctx = FileCtx::classify(rel_path);
+    if ctx.in_tests {
+        return Vec::new();
+    }
+    let toks = lex(src);
+    let exempt = test_exempt_mask(&toks);
+    let comments = CommentIndex::build(&toks);
+    let mut out = Vec::new();
+
+    let code = |mut i: usize, toks: &[Tok]| -> Option<usize> {
+        i += 1;
+        while i < toks.len() {
+            match toks[i].kind {
+                TokKind::LineComment | TokKind::BlockComment => i += 1,
+                _ => return Some(i),
+            }
+        }
+        None
+    };
+    let prev_code = |i: usize, toks: &[Tok]| -> Option<usize> {
+        let mut i = i;
+        while i > 0 {
+            i -= 1;
+            match toks[i].kind {
+                TokKind::LineComment | TokKind::BlockComment => {}
+                _ => return Some(i),
+            }
+        }
+        None
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if exempt[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unsafe" if !comments.has_safety_near(t.line) => {
+                out.push(Finding {
+                    rule: Rule::Safety,
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    msg: "`unsafe` without an adjacent `// SAFETY:` comment".into(),
+                });
+            }
+            "Ordering" => {
+                // `Ordering :: Variant` — `std::cmp::Ordering::Less` is
+                // filtered out by the variant sets.
+                let Some(c1) = code(i, &toks) else { continue };
+                let Some(c2) = code(c1, &toks) else { continue };
+                let Some(c3) = code(c2, &toks) else { continue };
+                if toks[c1].text != ":" || toks[c2].text != ":" {
+                    continue;
+                }
+                let variant = toks[c3].text.as_str();
+                let strong = STRONG_ORDERINGS.contains(&variant);
+                if !strong && variant != "Relaxed" {
+                    continue;
+                }
+                let rule = if strong {
+                    Rule::OrderingStrong
+                } else {
+                    Rule::Ordering
+                };
+                if !strong && RELAXED_COUNTER_MODULES.contains(&rel_path) {
+                    continue;
+                }
+                if !comments.has_ordering_near(t.line) {
+                    out.push(Finding {
+                        rule,
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        msg: format!(
+                            "`Ordering::{variant}` without an adjacent `// ORDERING:` justification"
+                        ),
+                    });
+                }
+            }
+            "Instant" | "SystemTime" => {
+                if !ctx.library || rel_path.starts_with(CLOCK_MODULES_PREFIX) {
+                    continue;
+                }
+                let Some(c1) = code(i, &toks) else { continue };
+                let Some(c2) = code(c1, &toks) else { continue };
+                let Some(c3) = code(c2, &toks) else { continue };
+                if toks[c1].text == ":" && toks[c2].text == ":" && toks[c3].text == "now" {
+                    out.push(Finding {
+                        rule: Rule::Clock,
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        msg: format!(
+                            "`{}::now` outside pp_telemetry — route timing through \
+                             `pp_telemetry::timing::Clock` so `MetricsLevel::Off` stays clock-free",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            "spawn" => {
+                if !ctx.library || SPAWN_MODULES.contains(&rel_path) {
+                    continue;
+                }
+                // A call — `.spawn(` or `thread::spawn(` — not an `fn
+                // spawn` definition.
+                let called = code(i, &toks).map(|c| toks[c].text == "(").unwrap_or(false);
+                let qualified = prev_code(i, &toks)
+                    .map(|p| toks[p].text == "." || toks[p].text == ":")
+                    .unwrap_or(false);
+                if called && qualified {
+                    out.push(Finding {
+                        rule: Rule::Spawn,
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        msg: "thread spawn outside `pp_engine::pool` / `pp_serve::server`".into(),
+                    });
+                }
+            }
+            "println" | "eprintln" | "print" | "eprint" | "dbg" => {
+                if !ctx.library || CLI_CRATES_PREFIX.iter().any(|p| rel_path.starts_with(p)) {
+                    continue;
+                }
+                let is_macro = code(i, &toks).map(|c| toks[c].text == "!").unwrap_or(false);
+                if is_macro {
+                    out.push(Finding {
+                        rule: Rule::Print,
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        msg: format!("`{}!` in a library crate", t.text),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Path-derived context: which rule families apply to this file.
+struct FileCtx {
+    /// `tests/` or `benches/` trees, exempt from everything.
+    in_tests: bool,
+    /// Library source (a crate's `src/`, not `examples/`, not `src/bin/`):
+    /// the clock/spawn/print rules apply only here.
+    library: bool,
+}
+
+impl FileCtx {
+    fn classify(rel_path: &str) -> Self {
+        let segs: Vec<&str> = rel_path.split('/').collect();
+        let in_tests = segs.iter().any(|s| *s == "tests" || *s == "benches");
+        let in_examples = segs.contains(&"examples");
+        let in_bin = segs.contains(&"bin") || rel_path.ends_with("src/main.rs");
+        let in_src = segs.contains(&"src");
+        Self {
+            in_tests,
+            library: in_src && !in_tests && !in_examples && !in_bin,
+        }
+    }
+}
+
+/// Marks every token inside a `#[test]` / `#[cfg(test)]`-gated item (the
+/// attribute through the item's closing brace) as exempt.
+fn test_exempt_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut exempt = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct && toks[i].text == "#" {
+            // Scan the attribute `[...]` for a `test` ident.
+            let mut j = i + 1;
+            while j < toks.len()
+                && matches!(toks[j].kind, TokKind::LineComment | TokKind::BlockComment)
+            {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "[" {
+                let mut depth = 0usize;
+                let mut has_test = false;
+                let mut k = j;
+                while k < toks.len() {
+                    match (toks[k].kind, toks[k].text.as_str()) {
+                        (TokKind::Punct, "[") => depth += 1,
+                        (TokKind::Punct, "]") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        (TokKind::Ident, "test") => has_test = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if has_test && k < toks.len() {
+                    // Find the gated item's body: the next `{` at
+                    // attribute level. A `;` first means a braceless item
+                    // (`#[cfg(test)] use …;`) — exempt just through it.
+                    let mut m = k + 1;
+                    let mut body_start = None;
+                    while m < toks.len() {
+                        match (toks[m].kind, toks[m].text.as_str()) {
+                            (TokKind::Punct, "{") => {
+                                body_start = Some(m);
+                                break;
+                            }
+                            (TokKind::Punct, ";") => break,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    let end = if let Some(b) = body_start {
+                        let mut depth = 0usize;
+                        let mut e = b;
+                        while e < toks.len() {
+                            match (toks[e].kind, toks[e].text.as_str()) {
+                                (TokKind::Punct, "{") => depth += 1,
+                                (TokKind::Punct, "}") => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            e += 1;
+                        }
+                        e
+                    } else {
+                        m
+                    };
+                    for cell in exempt.iter_mut().take(end.min(toks.len() - 1) + 1).skip(i) {
+                        *cell = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    exempt
+}
+
+/// Comment positions with justification markers, indexed for the
+/// adjacency queries.
+struct CommentIndex {
+    /// `(line, line_end)` of comments containing `SAFETY:` or `# Safety`.
+    safety: Vec<(u32, u32)>,
+    /// `(line, line_end)` of comments containing `ORDERING:`.
+    ordering: Vec<(u32, u32)>,
+}
+
+impl CommentIndex {
+    fn build(toks: &[Tok]) -> Self {
+        let mut safety = Vec::new();
+        let mut ordering = Vec::new();
+        // A run of `//` lines on consecutive lines is one comment: the
+        // marker may sit on its first line while the prose continues for
+        // several more, and the whole block is what is "adjacent".
+        fn flush(
+            run: &mut Option<(u32, u32, bool, bool)>,
+            safety: &mut Vec<(u32, u32)>,
+            ordering: &mut Vec<(u32, u32)>,
+        ) {
+            if let Some((start, end, s, o)) = run.take() {
+                if s {
+                    safety.push((start, end));
+                }
+                if o {
+                    ordering.push((start, end));
+                }
+            }
+        }
+        let mut run: Option<(u32, u32, bool, bool)> = None;
+        for t in toks {
+            // Doc comments lex as line comments (`///`) or block comments
+            // (`/** */`), so `# Safety` sections are found here too.
+            let has_safety = t.text.contains("SAFETY:") || t.text.contains("# Safety");
+            let has_ordering = t.text.contains("ORDERING:");
+            match t.kind {
+                TokKind::LineComment => match &mut run {
+                    Some((_, end, s, o)) if *end + 1 == t.line => {
+                        *end = t.line;
+                        *s |= has_safety;
+                        *o |= has_ordering;
+                    }
+                    _ => {
+                        flush(&mut run, &mut safety, &mut ordering);
+                        run = Some((t.line, t.line_end, has_safety, has_ordering));
+                    }
+                },
+                TokKind::BlockComment => {
+                    flush(&mut run, &mut safety, &mut ordering);
+                    if has_safety {
+                        safety.push((t.line, t.line_end));
+                    }
+                    if has_ordering {
+                        ordering.push((t.line, t.line_end));
+                    }
+                }
+                // Code between comment lines breaks the run — but only
+                // code on a *later* line: a trailing comment shares its
+                // line with the code it annotates.
+                _ => {
+                    if let Some((_, end, _, _)) = run {
+                        if t.line > end {
+                            flush(&mut run, &mut safety, &mut ordering);
+                        }
+                    }
+                }
+            }
+        }
+        flush(&mut run, &mut safety, &mut ordering);
+        Self { safety, ordering }
+    }
+
+    /// Whether a marker comment is adjacent to `line`: it starts at or
+    /// before `line` (same-line trailing comments count) and ends within
+    /// [`LOOKBACK_LINES`] above it.
+    fn near(spans: &[(u32, u32)], line: u32) -> bool {
+        spans
+            .iter()
+            .any(|&(start, end)| start <= line && end + LOOKBACK_LINES >= line)
+    }
+
+    fn has_safety_near(&self, line: u32) -> bool {
+        Self::near(&self.safety, line)
+    }
+
+    fn has_ordering_near(&self, line: u32) -> bool {
+        Self::near(&self.ordering, line)
+    }
+}
+
+/// One `audit.allow` entry: suppress `rule` findings in files whose
+/// workspace-relative path starts with `prefix`.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// The rule being grandfathered.
+    pub rule: Rule,
+    /// Path prefix (a file or a directory ending in `/`).
+    pub prefix: String,
+    /// The `audit.allow` line it came from (for stale-entry diagnostics).
+    pub line: u32,
+    /// How many findings this entry suppressed in the current run.
+    pub hits: usize,
+}
+
+/// The parsed allowlist. Entries record their hit counts so stale ones
+/// can be reported.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+    /// The path the list was loaded from (diagnostics only).
+    pub source: String,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Lines are `<rule> <path-prefix>`; `#` starts
+    /// a comment; blank lines are skipped.
+    pub fn parse(source: &str, text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule_id), Some(prefix), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "{source}:{}: expected `<rule> <path-prefix>`, got {raw:?}",
+                    idx + 1
+                ));
+            };
+            let Some(rule) = Rule::from_id(rule_id) else {
+                return Err(format!("{source}:{}: unknown rule {rule_id:?}", idx + 1));
+            };
+            entries.push(AllowEntry {
+                rule,
+                prefix: prefix.to_string(),
+                line: idx as u32 + 1,
+                hits: 0,
+            });
+        }
+        Ok(Self {
+            entries,
+            source: source.to_string(),
+        })
+    }
+
+    /// Removes suppressed findings, counting hits per entry.
+    pub fn filter(&mut self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            let hit = self
+                .entries
+                .iter_mut()
+                .find(|e| e.rule == f.rule && f.file.starts_with(&e.prefix));
+            match hit {
+                Some(e) => {
+                    e.hits += 1;
+                    suppressed += 1;
+                }
+                None => kept.push(f),
+            }
+        }
+        (kept, suppressed)
+    }
+
+    /// Findings for entries that suppressed nothing: a stale allowlist is
+    /// a silently-weakened audit.
+    pub fn stale(&self) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .filter(|e| e.hits == 0)
+            .map(|e| Finding {
+                rule: Rule::AllowlistStale,
+                file: self.source.clone(),
+                line: e.line,
+                msg: format!(
+                    "stale allowlist entry `{} {}` suppresses nothing — remove it",
+                    e.rule.id(),
+                    e.prefix
+                ),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Finding> {
+        scan_file("crates/demo/src/lib.rs", src)
+    }
+
+    #[test]
+    fn unsafe_with_adjacent_safety_comment_passes() {
+        let src = "// SAFETY: single writer per slot.\nunsafe { go() }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged_at_its_line() {
+        let src = "fn f() {\n    let x = 1;\n    unsafe { go() }\n}\n";
+        let f = scan(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Safety);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn doc_safety_section_covers_unsafe_fn() {
+        let src = "/// Does things.\n///\n/// # Safety\n/// Caller holds the lock.\npub unsafe fn f() {}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_too_far_above_does_not_count() {
+        let mut src = String::from("// SAFETY: stale justification.\n");
+        for _ in 0..LOOKBACK_LINES + 1 {
+            src.push_str("fn pad() {}\n");
+        }
+        src.push_str("fn f() { unsafe { go() } }\n");
+        let f = scan(&src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::Safety);
+    }
+
+    #[test]
+    fn ordering_variants_split_into_relaxed_and_strong_rules() {
+        let src =
+            "fn f() {\n    x.load(Ordering::Relaxed);\n    y.store(1, Ordering::SeqCst);\n}\n";
+        let f = scan(src);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].rule, Rule::Ordering);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].rule, Rule::OrderingStrong);
+        assert_eq!(f[1].line, 3);
+    }
+
+    #[test]
+    fn ordering_comment_covers_nearby_sites_and_trailing_lines() {
+        let src = "// ORDERING: counters folded after the barrier.\n\
+                   x.fetch_add(1, Ordering::Relaxed);\n\
+                   y.fetch_add(1, Ordering::Relaxed); // same justification window\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_variants_are_not_atomics() {
+        let src = "fn f() { if a.cmp(&b) == Ordering::Less { return Ordering::Greater; } }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn counter_modules_skip_relaxed_but_not_strong() {
+        let src = "x.fetch_add(1, Ordering::Relaxed);\ny.store(1, Ordering::AcqRel);\n";
+        let f = scan_file("crates/telemetry/src/counters.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::OrderingStrong);
+    }
+
+    #[test]
+    fn clock_rule_fires_only_in_library_code_outside_telemetry() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(scan(src)[0].rule, Rule::Clock);
+        assert!(scan_file("crates/telemetry/src/timing.rs", src).is_empty());
+        assert!(scan_file("crates/demo/examples/x.rs", src).is_empty());
+        assert!(scan_file("crates/demo/src/bin/tool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn spawn_rule_distinguishes_calls_from_definitions() {
+        let flagged = scan("fn f() { std::thread::spawn(|| {}); }\n");
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].rule, Rule::Spawn);
+        assert!(scan("fn spawn(x: u32) {}\n").is_empty());
+        assert!(scan_file(
+            "crates/engine/src/pool.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn print_rule_fires_in_libraries_not_cli_crates() {
+        let src = "fn f() { println!(\"hi\"); eprintln!(\"err\"); }\n";
+        let f = scan(src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == Rule::Print));
+        assert!(scan_file("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt_from_every_rule() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   use std::time::Instant;\n\
+                   #[test]\n\
+                   fn t() { let _ = Instant::now(); unsafe { go() } x.load(Ordering::Relaxed); }\n\
+                   }\n";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn braceless_cfg_test_items_do_not_swallow_following_code() {
+        let src = "#[cfg(test)]\nuse std::time::Instant;\nfn f() { unsafe { go() } }\n";
+        let f = scan(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Safety);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn test_dir_files_are_fully_exempt() {
+        let src = "fn f() { unsafe { go() } let t = Instant::now(); }\n";
+        assert!(scan_file("crates/demo/tests/it.rs", src).is_empty());
+        assert!(scan_file("tests/it.rs", src).is_empty());
+    }
+
+    #[test]
+    fn markers_inside_string_literals_do_not_justify() {
+        let src = "let s = \"// SAFETY: not a comment\";\nunsafe { go() }\n";
+        let f = scan(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Safety);
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_rule_and_prefix_and_reports_stale() {
+        let mut allow = Allowlist::parse(
+            "audit.allow",
+            "# comment\nordering crates/core/\nclock crates/never/\n",
+        )
+        .unwrap();
+        let findings = vec![
+            Finding {
+                rule: Rule::Ordering,
+                file: "crates/core/src/bfs.rs".into(),
+                line: 5,
+                msg: String::new(),
+            },
+            Finding {
+                rule: Rule::OrderingStrong,
+                file: "crates/core/src/bfs.rs".into(),
+                line: 6,
+                msg: String::new(),
+            },
+        ];
+        let (kept, suppressed) = allow.filter(findings);
+        assert_eq!(suppressed, 1);
+        assert_eq!(
+            kept.len(),
+            1,
+            "strong ordering is not covered by `ordering`"
+        );
+        let stale = allow.stale();
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].msg.contains("clock crates/never/"));
+        assert_eq!(stale[0].line, 3);
+    }
+
+    #[test]
+    fn allowlist_rejects_unknown_rules_and_malformed_lines() {
+        assert!(Allowlist::parse("a", "bogus crates/x/\n").is_err());
+        assert!(Allowlist::parse("a", "ordering\n").is_err());
+        assert!(Allowlist::parse("a", "ordering a b\n").is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end audit runs: the seeded-violation fixture tree must produce
+//! exactly the expected `file:line` diagnostics, the allowlist must
+//! suppress (and report staleness) precisely, the CLI must gate with a
+//! nonzero exit under `--deny`, and the workspace itself must audit
+//! clean under its checked-in `audit.allow`.
+
+use pp_audit::audit_tree;
+use pp_audit::report::Report;
+use pp_audit::rules::{Allowlist, Rule};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/viol")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn audit(root: &Path, allow: &str) -> Report {
+    let mut allow = Allowlist::parse("inline", allow).expect("parse allowlist");
+    audit_tree(root, &mut allow).expect("audit walk")
+}
+
+#[test]
+fn fixture_tree_yields_exactly_the_seeded_findings() {
+    let report = audit(&fixtures_root(), "");
+    let got: Vec<(String, u32, Rule)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule))
+        .collect();
+    // Sorted by file then line — the report's contract.
+    let want = vec![
+        ("src/crlf.rs".to_string(), 5, Rule::Ordering),
+        ("src/lib.rs".to_string(), 9, Rule::Safety),
+        ("src/lib.rs".to_string(), 18, Rule::Ordering),
+        ("src/lib.rs".to_string(), 22, Rule::OrderingStrong),
+        ("src/lib.rs".to_string(), 31, Rule::Clock),
+        ("src/lib.rs".to_string(), 35, Rule::Spawn),
+        ("src/lib.rs".to_string(), 39, Rule::Print),
+    ];
+    assert_eq!(got, want);
+    assert_eq!(report.suppressed, 0);
+    assert!(!report.is_clean());
+    // The justified twins, the literal/comment decoys, the test module,
+    // and the binary target contributed nothing — only the seeds flag.
+    assert_eq!(report.files_scanned, 3);
+}
+
+#[test]
+fn allowlist_suppresses_exact_rules_and_reports_stale_entries() {
+    // Suppress the two ordering findings in lib.rs; crlf.rs stays hot.
+    let report = audit(
+        &fixtures_root(),
+        "# fixture allow\nordering src/lib.rs\nordering-strong src/lib.rs\n",
+    );
+    assert_eq!(report.suppressed, 2);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.file == "src/crlf.rs" && f.rule == Rule::Ordering));
+    assert!(!report
+        .findings
+        .iter()
+        .any(|f| f.file == "src/lib.rs" && f.rule == Rule::Ordering));
+
+    // An entry that matches nothing is itself a finding: allowlists must
+    // shrink as sites are fixed, not fossilize.
+    let stale = audit(&fixtures_root(), "print src/nonexistent.rs\n");
+    assert!(stale
+        .findings
+        .iter()
+        .any(|f| f.rule == Rule::AllowlistStale && f.msg.contains("src/nonexistent.rs")));
+}
+
+#[test]
+fn cli_deny_gates_with_nonzero_exit_and_writes_json() {
+    let json_path = std::env::temp_dir().join(format!("pp-audit-test-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_pp-audit"))
+        .args(["--root"])
+        .arg(fixtures_root())
+        .args(["--deny", "--quiet", "--json"])
+        .arg(&json_path)
+        .output()
+        .expect("run pp-audit");
+    assert_eq!(out.status.code(), Some(1), "--deny with findings exits 1");
+
+    let text = std::fs::read_to_string(&json_path).expect("json artifact");
+    std::fs::remove_file(&json_path).ok();
+    let v = pp_serve::json::parse(&text).expect("valid json");
+    assert_eq!(v.get("clean").and_then(|c| c.bool()), Some(false));
+    let findings = v.get("findings").and_then(|f| f.arr()).unwrap();
+    assert_eq!(findings.len(), 7);
+    assert!(findings.iter().any(|f| {
+        f.get("rule").and_then(|r| r.str()) == Some("safety")
+            && f.get("file").and_then(|p| p.str()) == Some("src/lib.rs")
+            && f.get("line").and_then(|l| l.num()) == Some(9.0)
+    }));
+}
+
+#[test]
+fn cli_without_deny_reports_but_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pp-audit"))
+        .args(["--root"])
+        .arg(fixtures_root())
+        .arg("--quiet")
+        .output()
+        .expect("run pp-audit");
+    assert_eq!(out.status.code(), Some(0), "report-only mode never gates");
+}
+
+/// The tentpole's acceptance criterion: the workspace itself, under its
+/// checked-in allowlist, has zero findings — and every allowlist entry
+/// still earns its keep.
+#[test]
+fn workspace_audits_clean_under_its_own_allowlist() {
+    let root = repo_root();
+    let allow = std::fs::read_to_string(root.join("audit.allow")).expect("checked-in allowlist");
+    let report = audit(&root, &allow);
+    let rendered = report.render_human();
+    assert!(
+        report.is_clean(),
+        "workspace must stay audit-clean:\n{rendered}"
+    );
+    assert!(report.suppressed > 0, "the allowlist is load-bearing");
+    assert!(report.files_scanned > 100);
+}

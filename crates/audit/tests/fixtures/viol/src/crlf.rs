@@ -1,0 +1,6 @@
+// CRLF fixture: every line ends in \r\n; line numbers must still count.
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn relaxed(a: &AtomicU32) -> u32 {
+    a.load(Ordering::Relaxed)
+}

@@ -1,0 +1,64 @@
+// A seeded-violation fixture: every site below is either a deliberate
+// violation (flagged by exactly one rule) or a justified twin that must
+// stay silent. `tests/audit_fixtures.rs` asserts the exact file:line of
+// each finding, so keep the layout stable.
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+pub fn unsafe_without_comment(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn unsafe_with_comment(p: *const u32) -> u32 {
+    // SAFETY: caller contract; fixture twin that must stay silent.
+    unsafe { *p }
+}
+
+pub fn relaxed_without_comment(a: &AtomicU32) -> u32 {
+    a.load(Ordering::Relaxed)
+}
+
+pub fn seqcst_without_comment(a: &AtomicU32) {
+    a.store(1, Ordering::SeqCst);
+}
+
+pub fn strong_with_comment(a: &AtomicU32) {
+    // ORDERING: AcqRel — fixture twin that must stay silent.
+    a.fetch_add(1, Ordering::AcqRel);
+}
+
+pub fn clock_read() -> Instant {
+    Instant::now()
+}
+
+pub fn spawns() {
+    std::thread::spawn(|| {}).join().unwrap();
+}
+
+pub fn prints() {
+    println!("library crates must not print");
+}
+
+pub fn tricky_non_violations() {
+    // None of these may flag: the keywords live inside literals or
+    // comments, and the lexer must see through all of them.
+    let raw = r#"unsafe { Ordering::SeqCst } Instant::now() println!("x")"#;
+    let s = "// not a comment: unsafe { std::thread::spawn }";
+    let q = '"';
+    /* nested /* block comment: unsafe { Instant::now() } */ still one */
+    let _ = raw.len() + s.len() + q.len_utf8();
+}
+
+/// Doc text mentioning `unsafe` and `Ordering::SeqCst` must not flag.
+pub fn documented() {}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from every rule.
+    #[test]
+    fn exempt() {
+        println!("fine here");
+        let _ = std::time::Instant::now();
+        let _ = std::thread::spawn(|| 1).join();
+    }
+}

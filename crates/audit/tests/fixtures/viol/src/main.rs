@@ -1,0 +1,5 @@
+// Binary target: `println!` is the program's output channel here, so the
+// print rule must stay silent for this file.
+fn main() {
+    println!("binaries may print");
+}

@@ -211,6 +211,8 @@ pub fn gas_execute<Prog: GasProgram>(
                                     } else {
                                         1
                                     };
+                                    // SAFETY: same read-only discipline as
+                                    // `v_state` above.
                                     let u_state =
                                         unsafe { &*(st.addr(u as usize) as *const Prog::State) };
                                     a = program

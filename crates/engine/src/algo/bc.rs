@@ -155,6 +155,11 @@ impl<P: Probe> EdgeKernel<P> for BcProgram {
                 let mut claimed = false;
                 if self.lv(v) == UNVISITED {
                     // W(i): discovery race, integer CAS (§4.5).
+                    // ORDERING: AcqRel — the winning CAS is the claim
+                    // point: Release keeps the claimant's preceding
+                    // sigma/level reads ordered before the claim, Acquire
+                    // pairs with racing claimants so the loser's path
+                    // accumulation sees the established level.
                     probe.atomic_rmw(addr_of_index(&self.level, v as usize), 4);
                     claimed = self.level[v as usize]
                         .compare_exchange(

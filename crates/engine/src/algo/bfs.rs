@@ -71,6 +71,9 @@ impl<P: Probe> EdgeKernel<P> for BfsProgram {
             return false;
         }
         // W: write conflict — one CAS decides among racing claimants (§4.3).
+        // ORDERING: AcqRel — the claim must not reorder with the winner's
+        // level store below (Release side) and a racing loser that sees
+        // the parent set must also see that level (Acquire side).
         probe.atomic_rmw(addr_of_index(&self.parent, v as usize), 4);
         if self.parent[v as usize]
             .compare_exchange(NO_PARENT, u, Ordering::AcqRel, Ordering::Relaxed)

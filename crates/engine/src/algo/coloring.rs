@@ -105,6 +105,9 @@ impl<P: Probe> EdgeKernel<P> for ColoringProgram {
         {
             // W(i): scatter the recolor request to the remote offender
             // (Algorithm 6 line 16); swap makes the activation exactly-once.
+            // ORDERING: AcqRel — Release orders the conflicting-color
+            // reads above before the flag is raised; Acquire pairs with
+            // the recolor pass's flag reset so it observes those colors.
             probe.atomic_rmw(addr_of_index(&self.flagged, v as usize), 1);
             !self.flagged[v as usize].swap(true, Ordering::AcqRel)
         } else {

@@ -63,6 +63,9 @@ impl<P: Probe> EdgeKernel<P> for CcProgram {
         probe.read(addr_of_index(&self.labels, v as usize), 4);
         probe.branch_cond();
         // W(i): scatter the smaller label with CAS-min (§4.9 push side).
+        // ORDERING: AcqRel on the CAS — a racing pusher that loses must
+        // Acquire the smaller label it lost to, so its retry loop
+        // converges on the min instead of reviving a stale label.
         let mut cur = self.labels[v as usize].load(Ordering::Relaxed);
         while lu < cur {
             probe.atomic_rmw(addr_of_index(&self.labels, v as usize), 4);

@@ -107,6 +107,9 @@ impl<P: Probe> EdgeKernel<P> for KCoreProgram {
         // W(i): FAA on the shared degree counter; the neighbor whose
         // counter crosses the threshold under *this* FAA joins the next
         // wave (exactly-once: FAA returns the previous value).
+        // ORDERING: AcqRel — the threshold-crossing FAA decides wave
+        // membership, so it must not reorder with the liveness check
+        // above (Acquire) nor with the enqueue that follows (Release).
         probe.atomic_rmw(addr_of_index(&self.deg, v as usize), 4);
         let prev = self.deg[v as usize].fetch_sub(1, Ordering::AcqRel);
         prev == self.k + 1

@@ -181,6 +181,34 @@
 //!   [`registry::all_counting`]/[`registry::find_counting`] expose the
 //!   same ten algorithms over [`pp_telemetry::CountingProbe`], so one run
 //!   yields timing *and* Table-1 event counts (`ppgraph run --metrics`).
+//!
+//! ## Checked invariants (PR 9)
+//!
+//! The engine's correctness rests on contracts the compiler cannot see.
+//! They are stated here once and enforced mechanically — statically by
+//! the workspace's `pp-audit` pass (CI-gating; see the repository
+//! README's "Correctness tooling") and dynamically by the `race-detect`
+//! feature:
+//!
+//! * **Single-writer ownership (§5).** During a partition-aware phase,
+//!   vertex-state slot `v` is plain-written only by the worker that
+//!   claimed `v`'s part; phases are separated by the exchange barrier.
+//!   Every `unsafe` block in [`partitioned`] cites this contract in its
+//!   `// SAFETY:` comment, and [`race::note_state_write`] checks it per
+//!   write when the `race-detect` feature is on ([`race`] is a set of
+//!   empty inline bodies otherwise).
+//! * **Justified orderings.** Every atomic that is not a `Relaxed`
+//!   statistics counter carries an adjacent `// ORDERING:` comment
+//!   naming the acquire/release pairing it relies on; `pp-audit` flags
+//!   unannotated sites, so a weakened ordering cannot slip in silently.
+//! * **Zero-clock `MetricsLevel::Off`.** The engine never reads a clock
+//!   directly: all timing goes through [`pp_telemetry::timing::Clock`],
+//!   constructed only when a run opted into metrics. `pp-audit` rejects
+//!   `Instant::now` anywhere outside `pp-telemetry`.
+//! * **Contained spawning.** Worker threads come from [`pool::Pool`]
+//!   alone (the serve crate's accept loop is the one other spawn site);
+//!   nothing else may create threads, keeping lap accounting and the
+//!   barrier discipline total over all workers.
 
 pub mod algo;
 pub mod frontier;
@@ -191,6 +219,7 @@ pub mod policy;
 pub mod pool;
 pub mod probes;
 pub mod program;
+pub mod race;
 pub mod registry;
 pub mod report;
 pub mod runner;

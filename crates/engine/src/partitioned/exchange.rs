@@ -31,6 +31,7 @@ use crate::frontier::Frontier;
 use crate::ops::{EdgeKernel, Engine, GRAIN};
 use crate::pool::Pool;
 use crate::probes::{ProbeShards, ShardProbe};
+use crate::race;
 
 use super::buffers::{ExchangeBuffers, Update};
 
@@ -63,6 +64,9 @@ pub(crate) struct Scratch {
     /// for delivery chunk `c`. `UnsafeCell` so workers can append into the
     /// retained allocation instead of replacing it.
     slots: Vec<UnsafeCell<Vec<VertexId>>>,
+    /// Shadow-write checker for the owner-computes discipline (a ZST
+    /// no-op unless the `race-detect` feature is on).
+    tracker: race::WriteTracker,
 }
 
 // SAFETY: the only interior mutability is `slots`, and each slot index is
@@ -71,8 +75,8 @@ pub(crate) struct Scratch {
 unsafe impl Sync for Scratch {}
 
 impl Scratch {
-    /// Empty scratch for `parts` partition parts.
-    pub(crate) fn new(parts: usize) -> Self {
+    /// Empty scratch for `parts` partition parts over `n` vertices.
+    pub(crate) fn new(parts: usize, n: usize) -> Self {
         Self {
             parts,
             per_part: (0..parts).map(|_| Vec::new()).collect(),
@@ -83,6 +87,7 @@ impl Scratch {
             slots: (0..2 * parts)
                 .map(|_| UnsafeCell::new(Vec::new()))
                 .collect(),
+            tracker: race::WriteTracker::new(n),
         }
     }
 
@@ -149,11 +154,15 @@ pub(crate) fn pa_push_round<P: ShardProbe, K: EdgeKernel<P>>(
 
     let weighted = pa.is_weighted();
     let bufref: &ExchangeBuffers = buffers;
+    scratch.tracker.advance_phase();
     {
         let sc: &Scratch = scratch;
         run_units(engine.pool(), inline, p, &|worker, c| {
             let t = sc.order[c];
             let probe = probes.shard(worker);
+            // Scope this thread's plain writes to part `t`'s owned range
+            // for the shadow checker (no-op unless `race-detect` is on).
+            let _scope = sc.tracker.scope(t, part.range(t));
             // SAFETY: chunk `c` is claimed exactly once, making this
             // worker the sole user of slot `c`.
             let active = unsafe { &mut *sc.slots[c].get() };
@@ -162,6 +171,7 @@ pub(crate) fn pa_push_round<P: ShardProbe, K: EdgeKernel<P>>(
                 for (k, &v) in pa.local_neighbors(u).iter().enumerate() {
                     let w = lw.map_or(1, |ws| ws[k]);
                     // Both endpoints owned by `t`: plain-write apply.
+                    race::note_state_write(v);
                     if kernel.apply_owned(v, u, w, probe) {
                         active.push(v);
                     }
@@ -200,17 +210,22 @@ pub(crate) fn pa_push_round<P: ShardProbe, K: EdgeKernel<P>>(
         .dorder
         .sort_by_key(|&o| std::cmp::Reverse(inbound[o]));
     let inline_delivery = stats.remote_updates <= GRAIN || engine.threads() == 1;
+    scratch.tracker.advance_phase();
     {
         let sc: &Scratch = scratch;
         run_units(engine.pool(), inline_delivery, p, &|worker, c| {
             let o = sc.dorder[c];
             let probe = probes.shard(worker);
+            // Scope this thread's plain writes to owner `o`'s range for
+            // the shadow checker (no-op unless `race-detect` is on).
+            let _scope = sc.tracker.scope(o, part.range(o));
             // SAFETY: owner `o` is claimed by exactly one worker this
             // phase; only it drains column `o`, writes part-`o` state, and
             // appends to slot `p + c`.
             unsafe {
                 let active = &mut *sc.slots[p + c].get();
                 bufref.drain_inbound(o, |up| {
+                    race::note_state_write(up.dst);
                     if kernel.apply_owned(up.dst, up.src, up.w, probe) {
                         active.push(up.dst);
                     }
@@ -274,9 +289,9 @@ mod tests {
         let engine = Engine::new(threads);
         let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
         let pa = PartitionAwareGraph::new(g, BlockPartition::new(g.num_vertices(), parts));
-        let mut buffers = ExchangeBuffers::new(parts);
-        let mut scratch = Scratch::new(parts);
         let n = g.num_vertices();
+        let mut buffers = ExchangeBuffers::new(parts);
+        let mut scratch = Scratch::new(parts, n);
         let mark: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
         mark[0].store(1, Ordering::Relaxed);
         let kernel = MarkKernel { mark: &mark };

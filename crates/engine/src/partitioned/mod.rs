@@ -91,7 +91,7 @@ impl PaContext {
         Self {
             pa: PartitionAwareGraph::new(g, BlockPartition::new(g.num_vertices(), parts)),
             buffers: ExchangeBuffers::new(parts),
-            scratch: exchange::Scratch::new(parts),
+            scratch: exchange::Scratch::new(parts, g.num_vertices()),
         }
     }
 

@@ -16,9 +16,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
-use pp_telemetry::timing::WorkerLap;
+use pp_telemetry::timing::{Clock, WorkerLap};
 
 /// The payload of a panicking chunk, carried back to the round's caller.
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
@@ -147,6 +146,8 @@ impl Pool {
         if chunks == 0 {
             return;
         }
+        // ORDERING: a standalone on/off flag guarding no other data; the
+        // round handshake below orders everything that matters.
         let recording = self.control.lap_recording.load(Ordering::Relaxed);
         if self.workers.is_empty() || chunks == 1 {
             if recording {
@@ -163,18 +164,23 @@ impl Pool {
         let _round = self.round.lock().unwrap_or_else(|e| e.into_inner());
         let control = &*self.control;
         if recording {
+            // ORDERING: workers are parked until the epoch bump below; the
+            // state mutex' release/acquire publishes these zeroed cells.
             for cell in &control.laps {
                 cell.round_busy_ns.store(0, Ordering::Relaxed);
                 cell.round_chunks.store(0, Ordering::Relaxed);
             }
         }
-        let round_clock = recording.then(Instant::now);
+        let round_clock = recording.then(Clock::start);
         {
             let mut st = control.state.lock().unwrap();
+            // ORDERING: stored under the state mutex, read by workers only
+            // after they observe the epoch bump under the same mutex — the
+            // lock's release/acquire is the publication.
             control.cursor.store(0, Ordering::Relaxed);
             control.chunks.store(chunks, Ordering::Relaxed);
-            // SAFETY (lifetime erasure): see `RawTask` — we block below until
-            // every worker is done with the pointer.
+            // SAFETY: lifetime erasure — see `RawTask`; we block below
+            // until every worker is done with the pointer.
             let raw =
                 RawTask(unsafe { std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), &Task>(f) });
             st.task = Some(raw);
@@ -190,10 +196,11 @@ impl Pool {
         st.task = None;
         drop(st);
         if let Some(clock) = round_clock {
-            // The workers' `round_*` stores happen-before this fold: they
-            // precede the `active` decrement under the state mutex, whose
-            // release/acquire pairs with the wait loop above.
-            let wall = clock.elapsed().as_nanos() as u64;
+            // ORDERING: the workers' `round_*` stores happen-before this
+            // fold — they precede the `active` decrement under the state
+            // mutex, whose release/acquire pairs with the wait loop above,
+            // so every access here can be relaxed.
+            let wall = clock.now_ns();
             for cell in &control.laps {
                 let busy = cell.round_busy_ns.load(Ordering::Relaxed);
                 cell.busy_ns.fetch_add(busy, Ordering::Relaxed);
@@ -220,15 +227,19 @@ impl Pool {
     /// are charged the round's wall time as idle, so `busy + idle` stays
     /// comparable across workers whatever path a round took.
     fn run_inline_recorded(&self, chunks: usize, f: &(dyn Fn(usize, usize) + Sync)) {
-        let clock = Instant::now();
+        let clock = Clock::start();
         let mut busy = 0u64;
+        let mut last = 0u64;
         for c in 0..chunks {
-            let t = Instant::now();
             f(0, c);
-            busy += t.elapsed().as_nanos() as u64;
+            let now = clock.now_ns();
+            busy += now - last;
+            last = now;
         }
-        let wall = clock.elapsed().as_nanos() as u64;
+        let wall = clock.now_ns();
         let laps = &self.control.laps;
+        // ORDERING: every thread but the caller is parked; these are
+        // effectively single-threaded accumulations.
         laps[0].busy_ns.fetch_add(busy, Ordering::Relaxed);
         laps[0]
             .idle_ns
@@ -249,16 +260,21 @@ impl Pool {
     /// runs, disables, and reads — interleaving two recorded runs on one
     /// pool mixes their laps.
     pub fn set_lap_recording(&self, on: bool) {
+        // ORDERING: a standalone flag; rounds in flight may observe either
+        // value, which only changes whether they record, never what.
         self.control.lap_recording.store(on, Ordering::Relaxed);
     }
 
     /// Whether rounds currently record laps.
     pub fn lap_recording(&self) -> bool {
+        // ORDERING: see `set_lap_recording`.
         self.control.lap_recording.load(Ordering::Relaxed)
     }
 
     /// Zeroes every worker's lap ledger.
     pub fn reset_laps(&self) {
+        // ORDERING: callers reset between recorded runs (see
+        // `set_lap_recording` docs), when no round is in flight.
         for cell in &self.control.laps {
             cell.busy_ns.store(0, Ordering::Relaxed);
             cell.idle_ns.store(0, Ordering::Relaxed);
@@ -268,6 +284,9 @@ impl Pool {
 
     /// Snapshot of every worker's accumulated lap (index = worker id).
     pub fn laps(&self) -> Vec<WorkerLap> {
+        // ORDERING: totals are folded only by round callers after the
+        // round barrier (see `Pool::run`); reading them between rounds is
+        // ordered by that same handshake.
         self.control
             .laps
             .iter()
@@ -294,28 +313,35 @@ impl Drop for Pool {
 }
 
 fn claim_chunks(control: &Control, worker: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+    // ORDERING: `chunks` and `lap_recording` were stored before the epoch
+    // bump under the state mutex that woke this worker; the lock pairing
+    // publishes them, so relaxed loads suffice.
     let total = control.chunks.load(Ordering::Relaxed);
     let recording = control.lap_recording.load(Ordering::Relaxed);
     let mut busy_ns = 0u64;
     let mut claimed = 0u64;
     loop {
+        // ORDERING: the claim needs atomicity only — each chunk index is
+        // handed out exactly once, and chunk payloads synchronize through
+        // the round's mutex/condvar handshake, not through the cursor.
         let c = control.cursor.fetch_add(1, Ordering::Relaxed);
         if c >= total {
             break;
         }
-        let chunk_clock = recording.then(Instant::now);
+        let chunk_clock = recording.then(Clock::start);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(worker, c))) {
             let mut slot = control.panic.lock().unwrap_or_else(|e| e.into_inner());
             slot.get_or_insert(payload);
         }
         if let Some(clock) = chunk_clock {
-            busy_ns += clock.elapsed().as_nanos() as u64;
+            busy_ns += clock.now_ns();
             claimed += 1;
         }
     }
     if recording {
-        // Single writer per cell per round; the caller folds these after
-        // the round barrier (see `Pool::run`).
+        // ORDERING: single writer per cell per round; the caller folds
+        // these only after the round barrier (see `Pool::run`), whose
+        // mutex pairing orders the stores before the fold's loads.
         let cell = &control.laps[worker];
         cell.round_busy_ns.store(busy_ns, Ordering::Relaxed);
         cell.round_chunks.store(claimed, Ordering::Relaxed);

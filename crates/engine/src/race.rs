@@ -1,0 +1,280 @@
+//! Owner-computes write discipline checker (feature `race-detect`).
+//!
+//! The §5 exchange path replaces per-edge atomics with an ownership
+//! argument: during a phase, vertex-state slot `v` may be plain-written
+//! only by the worker holding `v`'s part. The compiler cannot check that
+//! argument — it lives in `unsafe` blocks and kernel contracts — so this
+//! module makes it *dynamically* checkable: a shadow word per vertex-state
+//! slot records `(phase epoch, writing part)`, every instrumented plain
+//! write is run through [`note_state_write`], and two parts touching the
+//! same slot in the same phase — or any write outside the claimed owner's
+//! range — panics at the exact offending vertex.
+//!
+//! With the feature disabled (the default), every type here is a ZST and
+//! every function an empty `#[inline(always)]` body: the exchange path
+//! compiles to exactly what it was before.
+//!
+//! Instrumentation protocol (what [`super::partitioned::exchange`] does):
+//!
+//! 1. the round driver calls [`WriteTracker::advance_phase`] before each
+//!    phase (traversal, delivery) — shadow words from older epochs are
+//!    stale and never conflict;
+//! 2. each worker installs a [`PhaseGuard`] for the part it claimed,
+//!    scoping the owned range to the current thread;
+//! 3. every delivery target is passed to [`note_state_write`] before the
+//!    kernel's `apply_owned` runs. Kernels with writes beyond their own
+//!    `v` slot can call it themselves — a kernel that writes a vertex it
+//!    does not own is precisely the bug this feature exists to catch.
+
+use pp_graph::VertexId;
+use std::ops::Range;
+
+#[cfg(feature = "race-detect")]
+mod imp {
+    use super::*;
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Total writes checked process-wide; lets tests assert the detector
+    /// actually saw traffic rather than silently no-opping.
+    static CHECKED: AtomicU64 = AtomicU64::new(0);
+
+    /// Shadow state for one partition-aware run: one word per vertex-state
+    /// slot, encoding `epoch << 32 | part + 1` of the last checked write.
+    pub struct WriteTracker {
+        shadow: Vec<AtomicU64>,
+        epoch: u32,
+    }
+
+    #[derive(Clone, Copy)]
+    struct Scope {
+        /// The tracker's shadow array. A raw pointer because the scope
+        /// lives in TLS, which cannot carry a lifetime; the [`PhaseGuard`]
+        /// that installs it borrows the tracker and clears the slot on
+        /// drop, so the pointer never outlives the borrow.
+        shadow: *const AtomicU64,
+        len: usize,
+        part: u32,
+        start: VertexId,
+        end: VertexId,
+        epoch: u32,
+    }
+
+    thread_local! {
+        static SCOPE: Cell<Option<Scope>> = const { Cell::new(None) };
+    }
+
+    impl WriteTracker {
+        /// Shadow array for `n` vertex-state slots.
+        pub fn new(n: usize) -> Self {
+            Self {
+                shadow: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                epoch: 0,
+            }
+        }
+
+        /// Starts a new phase: older shadow words become stale. `&mut`
+        /// because phases are separated by the exchange barrier — no
+        /// worker holds a guard while the driver advances.
+        pub fn advance_phase(&mut self) {
+            self.epoch = self.epoch.wrapping_add(1);
+        }
+
+        /// Scopes the current thread to `part` and its owned `range` until
+        /// the guard drops. Nesting restores the outer scope.
+        pub fn scope(&self, part: usize, range: Range<VertexId>) -> PhaseGuard<'_> {
+            let scope = Scope {
+                shadow: self.shadow.as_ptr(),
+                len: self.shadow.len(),
+                part: part as u32,
+                start: range.start,
+                end: range.end,
+                epoch: self.epoch,
+            };
+            let prev = SCOPE.with(|s| s.replace(Some(scope)));
+            PhaseGuard {
+                prev,
+                _tracker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Clears (restores) the thread's phase scope on drop.
+    pub struct PhaseGuard<'a> {
+        prev: Option<Scope>,
+        _tracker: std::marker::PhantomData<&'a WriteTracker>,
+    }
+
+    impl Drop for PhaseGuard<'_> {
+        fn drop(&mut self) {
+            SCOPE.with(|s| s.set(self.prev));
+        }
+    }
+
+    /// Checks one plain write of vertex-state slot `v` against the
+    /// thread's phase scope. Outside any scope (atomic-mode rounds, pull
+    /// rounds) it is a no-op. Panics on a write outside the claimed
+    /// owner's range, or when another part already wrote `v` this phase.
+    pub fn note_state_write(v: VertexId) {
+        SCOPE.with(|s| {
+            let Some(sc) = s.get() else { return };
+            // ORDERING: Relaxed — statistics counter; tests only compare
+            // totals after the run's threads have joined.
+            CHECKED.fetch_add(1, Ordering::Relaxed);
+            assert!(
+                sc.start <= v && v < sc.end,
+                "race-detect: part {} plain-wrote vertex {} outside its owned range {}..{}",
+                sc.part,
+                v,
+                sc.start,
+                sc.end,
+            );
+            let word = ((sc.epoch as u64) << 32) | (sc.part as u64 + 1);
+            debug_assert!((v as usize) < sc.len);
+            // SAFETY: `v < len` (the range check above bounds it to the
+            // owned range, which the tracker sized to the vertex count)
+            // and the pointer is live for the guard's borrow of the
+            // tracker.
+            let slot = unsafe { &*sc.shadow.add(v as usize) };
+            // ORDERING: Relaxed — the RMW's atomicity alone decides the
+            // race: two parts swapping the same slot in the same epoch
+            // see each other in *some* order, and whichever runs second
+            // observes the first and panics. No other data rides on it.
+            let prev = slot.swap(word, Ordering::Relaxed);
+            let (prev_epoch, prev_part) = ((prev >> 32) as u32, prev & 0xffff_ffff);
+            assert!(
+                prev_epoch != sc.epoch || prev_part == 0 || prev_part == sc.part as u64 + 1,
+                "race-detect: parts {} and {} both plain-wrote vertex {} in the same phase",
+                prev_part - 1,
+                sc.part,
+                v,
+            );
+        });
+    }
+
+    /// Process-wide count of writes the detector has checked.
+    pub fn checked_writes() -> u64 {
+        // ORDERING: Relaxed — statistics counter read for assertions.
+        CHECKED.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(feature = "race-detect"))]
+mod imp {
+    use super::*;
+
+    /// Zero-sized stand-in: the feature is off, nothing is tracked.
+    pub struct WriteTracker;
+
+    impl WriteTracker {
+        #[inline(always)]
+        pub fn new(_n: usize) -> Self {
+            WriteTracker
+        }
+
+        #[inline(always)]
+        pub fn advance_phase(&mut self) {}
+
+        #[inline(always)]
+        pub fn scope(&self, _part: usize, _range: Range<VertexId>) -> PhaseGuard<'_> {
+            PhaseGuard {
+                _tracker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Zero-sized guard; dropping it does nothing.
+    pub struct PhaseGuard<'a> {
+        _tracker: std::marker::PhantomData<&'a WriteTracker>,
+    }
+
+    #[inline(always)]
+    pub fn note_state_write(_v: VertexId) {}
+
+    #[inline(always)]
+    pub fn checked_writes() -> u64 {
+        0
+    }
+}
+
+pub use imp::{checked_writes, note_state_write, PhaseGuard, WriteTracker};
+
+#[cfg(all(test, feature = "race-detect"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parts_pass_and_counter_advances() {
+        let mut tr = WriteTracker::new(8);
+        tr.advance_phase();
+        let before = checked_writes();
+        {
+            let _g = tr.scope(0, 0..4);
+            note_state_write(0);
+            note_state_write(3);
+        }
+        {
+            let _g = tr.scope(1, 4..8);
+            note_state_write(4);
+        }
+        assert_eq!(checked_writes() - before, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its owned range")]
+    fn out_of_range_write_panics() {
+        let mut tr = WriteTracker::new(8);
+        tr.advance_phase();
+        let _g = tr.scope(0, 0..4);
+        note_state_write(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "both plain-wrote vertex")]
+    fn cross_owner_write_panics() {
+        let mut tr = WriteTracker::new(8);
+        tr.advance_phase();
+        {
+            // Part 1 legitimately owns slot 5 and writes it...
+            let _g = tr.scope(1, 4..8);
+            note_state_write(5);
+        }
+        // ...then part 0 claims a (buggy) range that also covers 5 and
+        // writes it in the same phase.
+        let _g = tr.scope(0, 0..8);
+        note_state_write(5);
+    }
+
+    #[test]
+    fn same_slot_across_phases_is_fine() {
+        let mut tr = WriteTracker::new(8);
+        tr.advance_phase();
+        {
+            let _g = tr.scope(1, 4..8);
+            note_state_write(5);
+        }
+        tr.advance_phase();
+        let _g = tr.scope(0, 0..8);
+        note_state_write(5);
+    }
+
+    #[test]
+    fn no_scope_means_no_check() {
+        let before = checked_writes();
+        note_state_write(1234);
+        assert_eq!(checked_writes(), before);
+    }
+
+    #[test]
+    fn nested_guard_restores_outer_scope() {
+        let mut tr = WriteTracker::new(8);
+        tr.advance_phase();
+        let _outer = tr.scope(0, 0..4);
+        {
+            let _inner = tr.scope(1, 4..8);
+            note_state_write(6);
+        }
+        // Back in part 0's scope: its own range must still be in force.
+        note_state_write(2);
+    }
+}

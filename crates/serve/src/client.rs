@@ -34,11 +34,12 @@ impl Client {
         addr: impl ToSocketAddrs + Copy,
         deadline: Duration,
     ) -> io::Result<Self> {
-        let start = std::time::Instant::now();
+        let clock = pp_telemetry::timing::Clock::start();
+        let deadline_ns = deadline.as_nanos().min(u64::MAX as u128) as u64;
         loop {
             match Self::connect(addr) {
                 Ok(c) => return Ok(c),
-                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(e) if clock.now_ns() >= deadline_ns => return Err(e),
                 Err(_) => std::thread::sleep(Duration::from_millis(20)),
             }
         }

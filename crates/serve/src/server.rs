@@ -49,7 +49,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use pp_engine::registry::{self, RunConfig};
 use pp_engine::{Engine, ProbeShards};
@@ -286,6 +286,9 @@ impl Core {
                 window_run: LatencySummary::from(&r.windowed),
             });
         }
+        // ORDERING: Relaxed throughout the snapshot — these are monotonic
+        // statistics counters read for reporting; a reading that trails a
+        // concurrent bump by one is an acceptable snapshot.
         let worker_utilization = self
             .worker_busy_ns
             .iter()
@@ -301,6 +304,7 @@ impl Core {
             threads_per_worker: self.cfg.threads,
             queue_capacity: self.cfg.queue,
             queue_depth: self.queue.depth(),
+            // ORDERING: Relaxed — same snapshot discipline as above.
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -363,6 +367,8 @@ impl Core {
             self.graph.num_edges() as f64,
         );
         for (w, busy) in self.worker_busy_ns.iter().enumerate() {
+            // ORDERING: Relaxed — statistics read for a gauge; a reading
+            // that trails a concurrent bump by one is acceptable.
             let util = (busy.load(Ordering::Relaxed) as f64 / now_ns.max(1) as f64).min(1.0);
             self.metrics.set_gauge(
                 M_WORKER_UTIL,
@@ -403,7 +409,11 @@ impl Core {
             ),
             Ok(Request::Shutdown) => {
                 write_line(out, &protocol::render_shutdown_ack());
-                self.stop.store(true, Ordering::SeqCst);
+                // ORDERING: Relaxed — `stop` is an independent latch that
+                // readers poll; no data is published through it. Workers
+                // synchronize through `queue.close()` below, and reader
+                // loops only need to observe the latch eventually.
+                self.stop.store(true, Ordering::Relaxed);
                 self.queue.close();
             }
             Ok(Request::Run(spec)) => {
@@ -413,6 +423,8 @@ impl Core {
                     spec,
                     out: out.clone(),
                     admitted_ns: self.clock.now_ns(),
+                    // ORDERING: Relaxed — the fetch_add itself guarantees
+                    // unique ids; nothing is published through `seq`.
                     seq: self.seq.fetch_add(1, Ordering::Relaxed),
                 };
                 let rejected_ns = job.admitted_ns;
@@ -420,6 +432,7 @@ impl Core {
                 match self.queue.try_push(job) {
                     Ok(()) => {}
                     Err(PushError::Full) => {
+                        // ORDERING: Relaxed — statistics counter.
                         self.rejected.fetch_add(1, Ordering::Relaxed);
                         self.count_query(&algo, "rejected");
                         self.trace_rejection(&algo, seq, rejected_ns);
@@ -433,6 +446,7 @@ impl Core {
                         );
                     }
                     Err(PushError::Closed) => {
+                        // ORDERING: Relaxed — statistics counter.
                         self.rejected.fetch_add(1, Ordering::Relaxed);
                         self.count_query(&algo, "rejected");
                         self.trace_rejection(&algo, seq, rejected_ns);
@@ -497,14 +511,13 @@ impl Core {
             bc_sources: spec.bc_sources,
             ..RunConfig::new(engine, probes)
         };
-        let started = Instant::now();
         let result = registry::run_checked(&spec.algo, &cfg, &self.graph);
-        let ms = started.elapsed().as_secs_f64() * 1e3;
         let done_ns = self.clock.now_ns();
         // All three figures come from the same two clock readings, so the
         // decomposition is exact: queue_ns + run_ns == latency_ns.
         let run_ns = done_ns.saturating_sub(dequeued_ns);
         let latency_ns = queue_ns + run_ns;
+        let ms = run_ns as f64 / 1e6;
         let algo = algo_label(&spec.algo);
         let outcome = if result.is_ok() { "ok" } else { "error" };
         self.count_query(&algo, outcome);
@@ -524,6 +537,8 @@ impl Core {
             run_ns,
         );
         let busy = &self.worker_busy_ns[worker];
+        // ORDERING: Relaxed — per-worker statistics accumulator; only
+        // this worker writes it, others read it for gauges.
         let busy_ns = busy.fetch_add(run_ns, Ordering::Relaxed) + run_ns;
         self.metrics.set_gauge(
             M_WORKER_UTIL,
@@ -568,6 +583,7 @@ impl Core {
         }
         let line = match &result {
             Ok(run) => {
+                // ORDERING: Relaxed — statistics counter.
                 self.served.fetch_add(1, Ordering::Relaxed);
                 self.latency.lock().unwrap().record(latency_ns);
                 protocol::render_run_response(
@@ -585,6 +601,7 @@ impl Core {
                 )
             }
             Err(e) => {
+                // ORDERING: Relaxed — statistics counter.
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 *self
                     .errors_by_kind
@@ -697,7 +714,9 @@ impl Server {
                 Ok(line) => self.core.dispatch_line(&line, &out),
                 Err(_) => break,
             }
-            if self.core.stop.load(Ordering::SeqCst) {
+            // ORDERING: Relaxed — poll of the shutdown latch; see the
+            // store in `dispatch_line` (no data rides on this flag).
+            if self.core.stop.load(Ordering::Relaxed) {
                 break;
             }
         }
@@ -721,7 +740,9 @@ impl Server {
         listener
             .set_nonblocking(true)
             .expect("set listener nonblocking");
-        while !self.core.stop.load(Ordering::SeqCst) {
+        // ORDERING: Relaxed — poll of the shutdown latch; the accept loop
+        // only needs to see the flag eventually (no data rides on it).
+        while !self.core.stop.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((stream, _addr)) => {
                     let core = self.core.clone();
@@ -767,7 +788,9 @@ fn handle_connection(core: Arc<Core>, stream: TcpStream) {
             Ok(line) => core.dispatch_line(&line, &out),
             Err(_) => break,
         }
-        if core.stop.load(Ordering::SeqCst) {
+        // ORDERING: Relaxed — poll of the shutdown latch; see the store
+        // in `dispatch_line` (no data rides on this flag).
+        if core.stop.load(Ordering::Relaxed) {
             break;
         }
     }
@@ -778,6 +801,7 @@ mod tests {
     use super::*;
     use crate::json::{self, Value};
     use pp_graph::gen;
+    use std::time::Instant;
 
     /// An in-memory `Out` whose contents tests can read back.
     #[derive(Clone, Default)]
