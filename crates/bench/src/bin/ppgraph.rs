@@ -53,11 +53,14 @@ commands:
   stats [IN]
       prints n, m, degree statistics, components, and diameter bound
   run <algo> [IN] [--threads N] [--direction push|pull|adaptive]
-             [--mode atomic|pa] [--source V] [--reorder degree|bfs]
-             [--weights LO:HI] [--lp-iters K] [--bc-sources K] [--json PATH]
-             [--trace PATH] [--metrics PATH]
+             [--mode atomic|pa] [--source V] [--sources V1,V2,..]
+             [--reorder degree|bfs] [--weights LO:HI] [--lp-iters K]
+             [--bc-sources K] [--json PATH] [--trace PATH] [--metrics PATH]
       runs a registry algorithm; --json dumps a machine-readable report
       ('-' = stdout) whose rows match `tables engine --json`.
+      --sources batches bfs (alias msbfs) over up to 64 distinct sources
+      in ONE bit-parallel traversal (one lane per source); the summary
+      and JSON report carry per-source reached/depth digests.
       --trace writes a Chrome trace-event JSON (chrome://tracing /
       Perfetto: per-round spans, per-worker lanes, switch markers);
       --metrics writes the unified observability JSON (rows + RunReport
@@ -146,6 +149,7 @@ struct Opts {
     direction: Option<String>,
     mode: Option<String>,
     source: VertexId,
+    sources: Vec<VertexId>,
     lp_iters: usize,
     bc_sources: Option<usize>,
     json: Option<String>,
@@ -229,6 +233,16 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.source = value(args, &mut i, "--source")
                     .parse()
                     .unwrap_or_else(|_| die("--source expects a vertex id"))
+            }
+            "--sources" => {
+                o.sources = value(args, &mut i, "--sources")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die("--sources expects comma-separated vertex ids"))
+                    })
+                    .collect()
             }
             "--lp-iters" => {
                 o.lp_iters = value(args, &mut i, "--lp-iters")
@@ -568,6 +582,7 @@ fn cmd_run(args: &[String]) {
             policy: policy_of(policy_name),
             mode: mode_of(mode_name),
             source: o.source,
+            sources: o.sources.clone(),
             lp_iters: o.lp_iters,
             bc_sources: o.bc_sources,
             ..RunConfig::new(&engine, &probes)
@@ -586,6 +601,7 @@ fn cmd_run(args: &[String]) {
             mode: mode_of(mode_name),
             collect: level,
             source: o.source,
+            sources: o.sources.clone(),
             lp_iters: o.lp_iters,
             bc_sources: o.bc_sources,
             ..RunConfig::new(&engine, &probes)
@@ -654,6 +670,7 @@ fn cmd_run(args: &[String]) {
         m: g.num_edges(),
         ms,
         load_ms,
+        sources: &o.sources,
         run: &run,
     };
     if let Some(path) = o.json.as_deref() {
@@ -699,6 +716,9 @@ struct RunJson<'a> {
     m: usize,
     ms: f64,
     load_ms: f64,
+    /// The configured `--sources` batch, verbatim (order and duplicates
+    /// preserved); empty for single-source runs.
+    sources: &'a [VertexId],
     run: &'a AlgoRun,
 }
 
@@ -723,6 +743,19 @@ fn push_common_sections(out: &mut String, j: &RunJson<'_>) {
         "  \"graph\": {{\"n\": {}, \"m\": {}, \"load_ms\": {:.3}}},\n",
         j.n, j.m, j.load_ms
     ));
+    // Batched runs echo the configured --sources verbatim (order and
+    // duplicates preserved) so downstream tooling can line responses up
+    // with what was asked for.
+    if !j.sources.is_empty() {
+        out.push_str("  \"sources\": [");
+        for (i, s) in j.sources.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&s.to_string());
+        }
+        out.push_str("],\n");
+    }
     out.push_str("  \"summary\": {");
     for (i, (k, v)) in j.run.summary.iter().enumerate() {
         if i > 0 {
@@ -819,6 +852,19 @@ fn render_metrics_json(j: &RunJson<'_>, counts: &EventCounts) -> String {
         ));
     }
     out.push_str("  ],\n");
+    // The per-source axis of a batched run: how long each lane stayed
+    // active and the depth it reached.
+    if !r.sources.is_empty() {
+        out.push_str("  \"source_stats\": [\n");
+        for (i, s) in r.sources.iter().enumerate() {
+            let comma = if i + 1 < r.sources.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"source\": {}, \"rounds_active\": {}, \"depth\": {}}}{comma}\n",
+                s.source, s.rounds_active, s.depth
+            ));
+        }
+        out.push_str("  ],\n");
+    }
     out.push_str("  \"rounds\": [\n");
     for (i, s) in r.rounds.iter().enumerate() {
         let comma = if i + 1 < r.rounds.len() { "," } else { "" };
@@ -829,14 +875,15 @@ fn render_metrics_json(j: &RunJson<'_>, counts: &EventCounts) -> String {
         out.push_str(&format!(
             "    {{\"round\": {}, \"phase\": {}, \"dir\": \"{dir}\", \"frontier\": {}, \
              \"frontier_edges\": {}, \"duration_ns\": {}, \"remote_updates\": {}, \
-             \"buffer_peak\": {}, ",
+             \"buffer_peak\": {}, \"lanes_active\": {}, ",
             s.round,
             s.phase,
             s.frontier,
             s.frontier_edges,
             s.duration_ns,
             s.remote_updates,
-            s.buffer_peak
+            s.buffer_peak,
+            s.lanes_active
         ));
         match s.decision {
             Some(d) => out.push_str(&format!(
@@ -1248,6 +1295,16 @@ fn render_top_frame(addr: &str, cur: &TopSample, prev: Option<&TopSample>) -> St
         }
         out.push('\n');
     }
+    // Servers without query coalescing (pre-batching) send no `batching`
+    // object; skip the line rather than print zeros that mean "unknown".
+    if let Some(b) = cur.doc.get("batching") {
+        out.push_str(&format!(
+            "batching {} runs  coalesced {} queries  max batch {}\n",
+            field(b, "batches").u64().unwrap_or(0),
+            field(b, "coalesced").u64().unwrap_or(0),
+            field(b, "max_batch").u64().unwrap_or(0),
+        ));
+    }
     let window_s = field(&cur.doc, "window")
         .get("seconds")
         .and_then(Value::num)
@@ -1388,6 +1445,7 @@ mod tests {
             m: g.num_edges(),
             ms: 1.25,
             load_ms: 0.5,
+            sources: &[],
             run: &run,
         });
         assert!(doc.contains("\"experiment\": \"ppgraph\""));
@@ -1398,6 +1456,80 @@ mod tests {
         // Balanced braces/brackets (the smoke test parses this for real).
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn batched_run_json_echoes_sources_and_round_trips_through_report() {
+        let g = gen::rmat(7, 6, 4);
+        let engine = Engine::new(2);
+
+        // --json: the configured batch appears verbatim (duplicate kept),
+        // the summary digests follow lane (dedup) order.
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let mut cfg = RunConfig::new(&engine, &probes);
+        cfg.sources = vec![3, 17, 3, 5];
+        let run = registry::find("bfs").unwrap().try_run(&cfg, &g).unwrap();
+        let doc = render_run_json(&RunJson {
+            dataset: "rmat7",
+            algo: "bfs",
+            policy: "adaptive",
+            mode: "atomic",
+            threads: 2,
+            n: g.num_vertices(),
+            m: g.num_edges(),
+            ms: 1.0,
+            load_ms: 0.1,
+            sources: &cfg.sources,
+            run: &run,
+        });
+        assert!(
+            doc.contains("\"sources\": [3, 17, 3, 5]"),
+            "configured list verbatim: {doc}"
+        );
+        assert!(
+            doc.contains("\"sources\": \"3,17,5\""),
+            "lane-order summary"
+        );
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+
+        // --metrics: per-source stats and per-round lane counts survive a
+        // parse + `ppgraph report` render.
+        let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
+        let mut cfg = RunConfig::new(&engine, &probes);
+        cfg.collect = MetricsLevel::Timing;
+        cfg.sources = vec![3, 17, 5];
+        let run = registry::find_counting("bfs")
+            .unwrap()
+            .try_run(&cfg, &g)
+            .unwrap();
+        let doc = render_metrics_json(
+            &RunJson {
+                dataset: "rmat7",
+                algo: "bfs",
+                policy: "adaptive",
+                mode: "atomic",
+                threads: 2,
+                n: g.num_vertices(),
+                m: g.num_edges(),
+                ms: 1.0,
+                load_ms: 0.1,
+                sources: &cfg.sources,
+                run: &run,
+            },
+            &probes.merged(),
+        );
+        let parsed = json::parse(&doc).expect("batched metrics JSON parses");
+        let stats = parsed.get("source_stats").unwrap().arr().unwrap();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].get("source").unwrap().u64(), Some(3));
+        let rounds = parsed.get("rounds").unwrap().arr().unwrap();
+        assert!(rounds
+            .iter()
+            .any(|r| r.get("lanes_active").unwrap().u64().unwrap() > 1));
+        let rendered = render_report(&parsed, &ReportThresholds::default())
+            .expect("batched rows render through ppgraph report");
+        assert!(rendered.contains("bfs adaptive on rmat7"));
     }
 
     #[test]
@@ -1419,6 +1551,7 @@ mod tests {
                 m: g.num_edges(),
                 ms: 1.0,
                 load_ms: 0.1,
+                sources: &[],
                 run: &run,
             },
             &probes.merged(),

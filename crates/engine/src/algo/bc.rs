@@ -1,32 +1,44 @@
 //! Brandes betweenness centrality as a [`Program`] (§3.5, Algorithm 5) —
-//! a forward/backward kernel state machine over the per-phase lifecycle.
+//! a forward/backward kernel state machine over the per-phase lifecycle,
+//! with the forward σ sweep batched over *waves* of up to 64 sources
+//! (PR 10, same lane calculus as [`crate::algo::msbfs`]).
 //!
-//! Per source, the run alternates two kernel families, dispatched on the
-//! program's internal forward/backward mode (advanced by
-//! [`Program::next_phase`], so the `&self` kernels only ever see settled
-//! state):
+//! Sources `0..limit` are processed in waves of [`MAX_LANES`]; within a
+//! wave, source `wave_base + l` owns lane bit `l`. The run alternates two
+//! kernel families, dispatched on the program's internal forward/backward
+//! mode (advanced by [`Program::next_phase`], so the `&self` kernels only
+//! ever see settled state):
 //!
-//! * **Forward** — one phase whose rounds are the BFS levels, counting
-//!   shortest-path multiplicities σ. Push claims the level with an integer
-//!   CAS and scatters σ with FAAs (the §4.5 W(i) conflicts); pull gathers
-//!   every frontier parent's σ into the owned cell. `begin_round` records
-//!   each consumed frontier — the level structure the backward walk needs.
-//! * **Backward** — one phase per level, deepest first, folding partial
-//!   dependencies `δ[v] += σ[v]/σ[w] · (1 + δ[w])` down the shortest-path
-//!   DAG. The push side scatters *floating-point* partials — the conflict
-//!   class the paper highlights (§4.9), resolved here with the CAS-loop
-//!   [`AtomicF64`] (each attempt counted as an atomic); the pull side
-//!   reads finished successor cells and writes only its own δ.
+//! * **Forward** — *one phase per wave* whose rounds are the union BFS
+//!   levels, counting shortest-path multiplicities σ per `(vertex, lane)`.
+//!   Per-vertex mask words carry lane membership: `visit` (lanes settled),
+//!   `cur_mask` (lanes whose frontier the round consumes — written only by
+//!   the pre-round fold, hence round-immutable) and `visit_next` (lanes
+//!   arriving). Push scatters σ with one FAA per arriving lane and claims
+//!   discovery with a mask `fetch_or` (the §4.5 W(i) conflicts, amortized
+//!   across the wave); pull gathers every frontier parent's per-lane σ
+//!   into owned cells. The fold in `begin_round` also records each lane's
+//!   level frontier — the structure the backward walk needs.
+//! * **Backward** — per *lane*, one phase per level, deepest first,
+//!   folding partial dependencies `δ[v] += σ[v]/σ[w] · (1 + δ[w])` down
+//!   that lane's shortest-path DAG. The push side scatters
+//!   *floating-point* partials — the conflict class the paper highlights
+//!   (§4.9), resolved here with the CAS-loop [`AtomicF64`] (each attempt
+//!   counted as an atomic); the pull side reads finished successor cells
+//!   and writes only its own δ.
 //!
-//! The forward σ-accumulation is the engine's one kernel whose default
-//! [`EdgeKernel::apply_owned`] would be *wrong* under
-//! [`crate::ExecutionMode::PartitionAware`]: the pull-candidate gate
-//! ("still unvisited") would drop every parent's contribution after the
-//! first delivered update. The override applies the level claim and the
-//! σ add separately — plain writes, owner-exclusive, still atomic-free.
+//! Batching fixes the one blemish the single-source program had: its
+//! forward pull gate ("still unvisited") was *mutated by the gather*, so
+//! the default owner-computes [`EdgeKernel::apply_owned`] would have
+//! dropped σ contributions and a hand-written override was required. The
+//! batched gate (`cur_mask[u] & !visit[v]`) reads only round-immutable
+//! words, so the default pull-delegating apply is correct as-is under
+//! [`crate::ExecutionMode::PartitionAware`] — owner-exclusive plain
+//! writes, zero RMWs, no override.
 //!
 //! Push float accumulation reorders, so scores match the sequential
-//! Brandes oracle to ε rather than bitwise (pull is deterministic).
+//! Brandes oracle to ε rather than bitwise (pull is deterministic: σ is
+//! integral and δ folds in neighbor order into owned cells).
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -36,6 +48,7 @@ use pp_core::sync::AtomicF64;
 use pp_graph::{CsrGraph, VertexId, Weight};
 use pp_telemetry::{addr_of_index, Probe};
 
+use crate::algo::msbfs::MAX_LANES;
 use crate::frontier::Frontier;
 use crate::ops::{EdgeKernel, Engine};
 use crate::policy::DirectionPolicy;
@@ -50,99 +63,216 @@ pub struct ParBcResult {
     /// Centrality scores (undirected convention: each unordered pair
     /// counted once).
     pub scores: Vec<f64>,
-    /// Per-round statistics: per source, one forward phase (rounds =
-    /// levels) followed by one backward phase per level, deepest first.
+    /// Per-round statistics: per wave, one forward phase (rounds = union
+    /// levels) followed, per lane, by one backward phase per level,
+    /// deepest first.
     pub report: RunReport,
 }
 
 /// Which sweep the kernels currently implement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum BcMode {
-    /// σ-counting BFS; `cur` is the level of the frontier being consumed.
+    /// Batched σ-counting BFS over the wave's lanes.
     Forward,
-    /// Dependency accumulation; `cur` is the *target* level receiving from
-    /// the `cur + 1` frontier.
+    /// Dependency accumulation for one lane; `cur` is the *target* level
+    /// receiving from the `cur + 1` frontier.
     Backward,
 }
 
-/// Brandes BC as a vertex program: a forward/backward kernel state machine.
+/// Brandes BC as a vertex program: a forward/backward kernel state machine
+/// whose forward sweeps run [`MAX_LANES`]-wide waves of sources.
 pub struct BcProgram {
     /// Number of sources ([`BcOptions::max_sources`]-capped).
     limit: usize,
-    /// Current source.
-    s: usize,
+    n: usize,
+    /// First source of the current wave.
+    wave_base: usize,
+    /// Lanes in the current wave (≤ [`MAX_LANES`]).
+    wave_len: usize,
+    /// Mask with the wave's `wave_len` low bits set.
+    full: u64,
+    /// Backward: the lane whose dependencies are being accumulated.
+    lane: usize,
     mode: BcMode,
-    /// Forward: level of the consumed frontier; backward: target level.
+    /// Forward: union levels recorded so far (the level the next fold
+    /// stamps); backward: target level.
     cur: u32,
-    level: Vec<AtomicU32>,
+    /// Lanes settled at any consumed level (round-immutable during a
+    /// round: only the pre-round fold writes it).
+    visit: Vec<AtomicU64>,
+    /// Lanes arriving this round (drained by the next fold).
+    visit_next: Vec<AtomicU64>,
+    /// Lanes whose current frontier contains the vertex (fold-written,
+    /// round-immutable — what makes the default owner-computes apply
+    /// safe here).
+    cur_mask: Vec<AtomicU64>,
+    /// Per-`(lane, vertex)` multiplicities, lane-major: `σ_l(v)` is
+    /// `sigma[l * n + v]`.
     sigma: Vec<AtomicU64>,
+    /// Per-`(lane, vertex)` BFS level, lane-major, `UNVISITED` when the
+    /// lane never reaches the vertex.
+    level: Vec<AtomicU32>,
     delta: Vec<AtomicF64>,
-    /// Accumulated scores across finished sources.
+    /// Accumulated scores across finished lanes.
     scores: Vec<f64>,
-    /// The current source's per-level frontiers, recorded as the forward
-    /// rounds consume them.
-    levels: Vec<Vec<VertexId>>,
+    /// The wave's per-lane per-level frontiers, recorded by the forward
+    /// folds; `wave_levels[l][r]` is lane `l`'s level-`r` frontier.
+    wave_levels: Vec<Vec<Vec<VertexId>>>,
+    /// Lanes concurrently in flight this round (forward: wave lanes with
+    /// arrivals; backward: 1).
+    round_lanes: u32,
 }
 
 impl BcProgram {
     /// A program accumulating dependencies from sources `0..limit`.
     pub fn new(g: &CsrGraph, opts: &BcOptions) -> Self {
         let n = g.num_vertices();
+        let limit = opts.max_sources.unwrap_or(n).min(n);
+        let cap = limit.min(MAX_LANES);
         Self {
-            limit: opts.max_sources.unwrap_or(n).min(n),
-            s: 0,
+            limit,
+            n,
+            wave_base: 0,
+            wave_len: 0,
+            full: 0,
+            lane: 0,
             mode: BcMode::Forward,
             cur: 0,
-            level: (0..n).map(|_| AtomicU32::new(UNVISITED)).collect(),
-            sigma: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            visit: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            visit_next: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            cur_mask: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sigma: (0..n * cap).map(|_| AtomicU64::new(0)).collect(),
+            level: (0..n * cap).map(|_| AtomicU32::new(UNVISITED)).collect(),
             delta: (0..n).map(|_| AtomicF64::new(0.0)).collect(),
             scores: vec![0.0; n],
-            levels: Vec::new(),
+            wave_levels: (0..cap).map(|_| Vec::new()).collect(),
+            round_lanes: 0,
         }
     }
 
+    /// The backward lane's level of `v`.
     #[inline]
     fn lv(&self, v: VertexId) -> u32 {
-        self.level[v as usize].load(Ordering::Relaxed)
+        // ORDERING: Relaxed — levels are stamped by the forward folds and
+        // immutable throughout the backward walk.
+        self.level[self.lane * self.n + v as usize].load(Ordering::Relaxed)
     }
 
-    /// The backward contribution of successor `u` to predecessor `v`.
+    /// The backward contribution of successor `u` to predecessor `v` in
+    /// the current lane.
     #[inline]
     fn partial(&self, v: VertexId, u: VertexId) -> f64 {
-        let su = self.sigma[u as usize].load(Ordering::Relaxed) as f64;
-        self.sigma[v as usize].load(Ordering::Relaxed) as f64
+        let base = self.lane * self.n;
+        // ORDERING: Relaxed — σ settled when the wave's forward sweep
+        // drained; the backward phases only read it.
+        let su = self.sigma[base + u as usize].load(Ordering::Relaxed) as f64;
+        self.sigma[base + v as usize].load(Ordering::Relaxed) as f64
             * ((1.0 + self.delta[u as usize].load()) / su)
     }
 
-    /// Fold the finished source's dependencies into the scores and seed the
-    /// next source, or return `None` when all sources are done.
-    fn advance_source<P: ShardProbe>(
+    /// Seed the wave's sources (lane `l` ↔ source `wave_base + l`) and
+    /// hand back their frontier.
+    fn seed_wave(&mut self, g: &CsrGraph) -> Frontier {
+        self.mode = BcMode::Forward;
+        self.cur = 0;
+        self.lane = 0;
+        let mut sources = Vec::with_capacity(self.wave_len);
+        for l in 0..self.wave_len {
+            let s = self.wave_base + l;
+            *self.visit_next[s].get_mut() |= 1 << l;
+            *self.sigma[l * self.n + s].get_mut() = 1;
+            sources.push(s as VertexId);
+        }
+        Frontier::from_vertices(g, sources)
+    }
+
+    /// Fold the finished lane's dependencies into the scores and clear δ
+    /// for the next lane.
+    fn fold_lane_scores<P: ShardProbe>(
+        &mut self,
+        g: &CsrGraph,
+        engine: &Engine,
+        probes: &ProbeShards<P>,
+    ) {
+        let s = self.wave_base + self.lane;
+        for v in 0..self.n {
+            if v != s {
+                self.scores[v] += self.delta[v].load();
+            }
+        }
+        let delta = &self.delta;
+        engine.map_vertices(g, probes, |v, _| delta[v as usize].store(0.0));
+    }
+
+    /// Enter the next lane's backward walk (skipping lanes whose source
+    /// reached nothing), or reseed the next wave, or finish.
+    fn backward_or_advance<P: ShardProbe>(
         &mut self,
         g: &CsrGraph,
         engine: &Engine,
         probes: &ProbeShards<P>,
     ) -> Option<Frontier> {
-        for v in 0..g.num_vertices() {
-            if v != self.s {
-                self.scores[v] += self.delta[v].load();
+        while self.lane < self.wave_len {
+            let depth = self.wave_levels[self.lane].len();
+            if depth > 1 {
+                self.mode = BcMode::Backward;
+                self.cur = (depth - 2) as u32;
+                // Each level list is consumed exactly once per wave (and
+                // cleared at the next wave), so hand it to the frontier
+                // instead of copying it.
+                let lvl = std::mem::take(&mut self.wave_levels[self.lane][depth - 1]);
+                return Some(Frontier::from_vertices(g, lvl));
             }
+            // Isolated source: nothing to accumulate (δ untouched).
+            self.lane += 1;
         }
-        self.s += 1;
-        if self.s >= self.limit {
+        self.advance_wave(g, engine, probes)
+    }
+
+    /// Reset the wave-scoped state and seed the next wave of sources, or
+    /// return `None` when all sources are done.
+    fn advance_wave<P: ShardProbe>(
+        &mut self,
+        g: &CsrGraph,
+        engine: &Engine,
+        probes: &ProbeShards<P>,
+    ) -> Option<Frontier> {
+        self.wave_base += self.wave_len;
+        if self.wave_base >= self.limit {
             return None;
         }
-        let (level, sigma, delta) = (&self.level, &self.sigma, &self.delta);
+        let prev = self.wave_len;
+        self.wave_len = (self.limit - self.wave_base).min(MAX_LANES);
+        self.full = full_mask(self.wave_len);
+        let n = self.n;
+        let (visit, visit_next, cur_mask) = (&self.visit, &self.visit_next, &self.cur_mask);
+        let (sigma, level) = (&self.sigma, &self.level);
         engine.map_vertices(g, probes, |v, _| {
-            level[v as usize].store(UNVISITED, Ordering::Relaxed);
-            sigma[v as usize].store(0, Ordering::Relaxed);
-            delta[v as usize].store(0.0);
+            let vi = v as usize;
+            // ORDERING: Relaxed — exclusive reseed between waves; the
+            // runner's phase barrier orders it against the kernels.
+            visit[vi].store(0, Ordering::Relaxed);
+            visit_next[vi].store(0, Ordering::Relaxed);
+            cur_mask[vi].store(0, Ordering::Relaxed);
+            for l in 0..prev {
+                sigma[l * n + vi].store(0, Ordering::Relaxed);
+                level[l * n + vi].store(UNVISITED, Ordering::Relaxed);
+            }
         });
-        self.mode = BcMode::Forward;
-        self.levels.clear();
-        let s = self.s as VertexId;
-        self.level[self.s].store(0, Ordering::Relaxed);
-        self.sigma[self.s].store(1, Ordering::Relaxed);
-        Some(Frontier::single(g, s))
+        for per_lane in &mut self.wave_levels {
+            per_lane.clear();
+        }
+        Some(self.seed_wave(g))
+    }
+}
+
+/// Mask with the `lanes` low bits set.
+#[inline]
+fn full_mask(lanes: usize) -> u64 {
+    if lanes >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
     }
 }
 
@@ -151,38 +281,43 @@ impl<P: Probe> EdgeKernel<P> for BcProgram {
         match self.mode {
             BcMode::Forward => {
                 probe.branch_cond();
-                probe.read(addr_of_index(&self.level, v as usize), 4);
-                let mut claimed = false;
-                if self.lv(v) == UNVISITED {
-                    // W(i): discovery race, integer CAS (§4.5).
-                    // ORDERING: AcqRel — the winning CAS is the claim
-                    // point: Release keeps the claimant's preceding
-                    // sigma/level reads ordered before the claim, Acquire
-                    // pairs with racing claimants so the loser's path
-                    // accumulation sees the established level.
-                    probe.atomic_rmw(addr_of_index(&self.level, v as usize), 4);
-                    claimed = self.level[v as usize]
-                        .compare_exchange(
-                            UNVISITED,
-                            self.cur + 1,
-                            Ordering::AcqRel,
-                            Ordering::Relaxed,
-                        )
-                        .is_ok();
+                probe.read(addr_of_index(&self.cur_mask, u as usize), 8);
+                probe.read(addr_of_index(&self.visit, v as usize), 8);
+                // ORDERING: Relaxed — cur_mask and visit are written only
+                // by the pre-round fold, so both loads are round-immutable
+                // snapshots: every frontier parent of v computes the same
+                // per-lane arrival condition.
+                let avail = self.cur_mask[u as usize].load(Ordering::Relaxed)
+                    & !self.visit[v as usize].load(Ordering::Relaxed);
+                if avail == 0 {
+                    return false;
                 }
-                if self.lv(v) == self.cur + 1 {
-                    // W(i): multiplicity scatter, integer FAA.
-                    probe.atomic_rmw(addr_of_index(&self.sigma, v as usize), 8);
-                    self.sigma[v as usize].fetch_add(
-                        self.sigma[u as usize].load(Ordering::Relaxed),
-                        Ordering::Relaxed,
-                    );
+                let mut m = avail;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    // W(i): multiplicity scatter, one integer FAA per
+                    // arriving lane (§4.5).
+                    probe.atomic_rmw(addr_of_index(&self.sigma, l * self.n + v as usize), 8);
+                    // ORDERING: Relaxed — σ_l(u) settled at a previous
+                    // level; the adds commute across racing parents.
+                    let su = self.sigma[l * self.n + u as usize].load(Ordering::Relaxed);
+                    self.sigma[l * self.n + v as usize].fetch_add(su, Ordering::Relaxed);
                 }
-                claimed
+                // W(i): discovery race — one mask fetch_or claims every
+                // arriving lane at once (the §4.5 CAS, batched).
+                probe.atomic_rmw(addr_of_index(&self.visit_next, v as usize), 8);
+                // ORDERING: Relaxed — the OR is commutative; the fold
+                // behind the round barrier sees the union.
+                let prev = self.visit_next[v as usize].fetch_or(avail, Ordering::Relaxed);
+                prev == 0
             }
             BcMode::Backward => {
                 probe.branch_cond();
-                probe.read(addr_of_index(&self.level, v as usize), 4);
+                probe.read(
+                    addr_of_index(&self.level, self.lane * self.n + v as usize),
+                    4,
+                );
                 if self.lv(v) == self.cur {
                     // W(f): float write conflict — the CAS-loop emulation,
                     // one atomic per attempt (§4.9).
@@ -199,25 +334,43 @@ impl<P: Probe> EdgeKernel<P> for BcProgram {
     fn pull_gather(&self, v: VertexId, u: VertexId, _w: Weight, probe: &P) -> bool {
         match self.mode {
             BcMode::Forward => {
-                // Own-cell level stamp + σ accumulate (§3.8): v gathers
-                // from every frontier parent, one thread owns it.
-                probe.read(addr_of_index(&self.sigma, u as usize), 8);
-                if self.lv(v) == UNVISITED {
-                    probe.write(addr_of_index(&self.level, v as usize), 4);
-                    self.level[v as usize].store(self.cur + 1, Ordering::Relaxed);
+                // Own-cell per-lane σ accumulate (§3.8): v gathers from
+                // every frontier parent, one thread owns it.
+                probe.read(addr_of_index(&self.cur_mask, u as usize), 8);
+                probe.read(addr_of_index(&self.visit, v as usize), 8);
+                // ORDERING: Relaxed — round-immutable fold-written words.
+                let avail = self.cur_mask[u as usize].load(Ordering::Relaxed)
+                    & !self.visit[v as usize].load(Ordering::Relaxed);
+                if avail == 0 {
+                    return false;
                 }
-                let su = self.sigma[u as usize].load(Ordering::Relaxed);
-                probe.write(addr_of_index(&self.sigma, v as usize), 8);
-                self.sigma[v as usize].store(
-                    self.sigma[v as usize].load(Ordering::Relaxed) + su,
-                    Ordering::Relaxed,
-                );
-                true
+                let mut m = avail;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    probe.read(addr_of_index(&self.sigma, l * self.n + u as usize), 8);
+                    probe.write(addr_of_index(&self.sigma, l * self.n + v as usize), 8);
+                    // ORDERING: Relaxed — σ_l(v) is an owned cell: only
+                    // v's thread touches it this round, in neighbor order
+                    // (what makes pull σ deterministic).
+                    let su = self.sigma[l * self.n + u as usize].load(Ordering::Relaxed);
+                    let sv = self.sigma[l * self.n + v as usize].load(Ordering::Relaxed);
+                    self.sigma[l * self.n + v as usize].store(sv + su, Ordering::Relaxed);
+                }
+                probe.write(addr_of_index(&self.visit_next, v as usize), 8);
+                // ORDERING: Relaxed — own-cell discovery bits, plain
+                // load/OR/store; the fold drains them behind the barrier.
+                let have = self.visit_next[v as usize].load(Ordering::Relaxed);
+                self.visit_next[v as usize].store(have | avail, Ordering::Relaxed);
+                avail & !have != 0
             }
             BcMode::Backward => {
                 // Pure reads of finished successor cells, own-cell δ write.
                 probe.read(addr_of_index(&self.delta, u as usize), 8);
-                probe.read(addr_of_index(&self.sigma, u as usize), 8);
+                probe.read(
+                    addr_of_index(&self.sigma, self.lane * self.n + u as usize),
+                    8,
+                );
                 let add = self.partial(v, u);
                 probe.write(addr_of_index(&self.delta, v as usize), 8);
                 self.delta[v as usize].store(self.delta[v as usize].load() + add);
@@ -229,46 +382,17 @@ impl<P: Probe> EdgeKernel<P> for BcProgram {
     fn pull_candidate(&self, v: VertexId, probe: &P) -> bool {
         probe.branch_cond();
         match self.mode {
-            BcMode::Forward => self.lv(v) == UNVISITED,
+            // ORDERING: Relaxed — visit is round-immutable (fold-written);
+            // a vertex every wave lane has settled has nothing to gather.
+            BcMode::Forward => self.visit[v as usize].load(Ordering::Relaxed) != self.full,
             BcMode::Backward => self.lv(v) == self.cur,
         }
     }
 
-    /// Owner-computes apply. The forward default (candidate-gated pull)
-    /// would drop every σ contribution after the first delivered parent —
-    /// the exact hazard the `apply_owned` contract documents — so both
-    /// sweeps are spelled out with plain owner-exclusive writes.
-    fn apply_owned(&self, v: VertexId, u: VertexId, _w: Weight, probe: &P) -> bool {
-        match self.mode {
-            BcMode::Forward => {
-                probe.branch_cond();
-                if self.lv(v) == UNVISITED {
-                    probe.write(addr_of_index(&self.level, v as usize), 4);
-                    self.level[v as usize].store(self.cur + 1, Ordering::Relaxed);
-                }
-                if self.lv(v) == self.cur + 1 {
-                    let su = self.sigma[u as usize].load(Ordering::Relaxed);
-                    probe.write(addr_of_index(&self.sigma, v as usize), 8);
-                    self.sigma[v as usize].store(
-                        self.sigma[v as usize].load(Ordering::Relaxed) + su,
-                        Ordering::Relaxed,
-                    );
-                    true
-                } else {
-                    false
-                }
-            }
-            BcMode::Backward => {
-                probe.branch_cond();
-                if self.lv(v) == self.cur {
-                    let add = self.partial(v, u);
-                    probe.write(addr_of_index(&self.delta, v as usize), 8);
-                    self.delta[v as usize].store(self.delta[v as usize].load() + add);
-                }
-                false
-            }
-        }
-    }
+    // No `apply_owned` override: both sweeps' pull gates read only
+    // round-immutable state (`cur_mask`/`visit` masks forward, `level`
+    // backward), so the default owner-computes delegate to the
+    // already-atomic-free pull side is exact — see the module docs.
 }
 
 impl<P: ShardProbe> Program<P> for BcProgram {
@@ -278,9 +402,9 @@ impl<P: ShardProbe> Program<P> for BcProgram {
         if self.limit == 0 || g.num_vertices() == 0 {
             return Frontier::empty(g.num_vertices());
         }
-        self.level[0].store(0, Ordering::Relaxed);
-        self.sigma[0].store(1, Ordering::Relaxed);
-        Frontier::single(g, 0)
+        self.wave_len = self.limit.min(MAX_LANES);
+        self.full = full_mask(self.wave_len);
+        self.seed_wave(g)
     }
 
     fn begin_round(
@@ -291,12 +415,44 @@ impl<P: ShardProbe> Program<P> for BcProgram {
         _engine: &Engine,
         _probes: &ProbeShards<P>,
     ) {
-        if self.mode == BcMode::Forward {
-            // Record the level structure for the backward walk; the round
-            // about to run consumes exactly level `cur`'s frontier.
-            self.levels.push(frontier.vertices().to_vec());
-            self.cur = (self.levels.len() - 1) as u32;
+        if self.mode == BcMode::Backward {
+            self.round_lanes = 1;
+            return;
         }
+        // Fold arrivals into the settled set, freeze the round's frontier
+        // masks, stamp per-lane levels and record each lane's level
+        // frontier for the backward walk. Runs on settled post-barrier
+        // state (`&mut self`, plain `get_mut` access). The round about to
+        // run consumes exactly level `cur`'s frontiers.
+        let r = self.cur as usize;
+        let n = self.n;
+        let mut union = 0u64;
+        for &v in frontier.vertices() {
+            let vi = v as usize;
+            let d = *self.visit_next[vi].get_mut() & !*self.visit[vi].get_mut();
+            *self.visit_next[vi].get_mut() = 0;
+            *self.visit[vi].get_mut() |= d;
+            *self.cur_mask[vi].get_mut() = d;
+            union |= d;
+            let mut m = d;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                *self.level[l * n + vi].get_mut() = r as u32;
+                // A lane's levels are contiguous (an arrival at r needs a
+                // parent at r-1), so at most one new list opens per lane.
+                if self.wave_levels[l].len() == r {
+                    self.wave_levels[l].push(Vec::new());
+                }
+                self.wave_levels[l][r].push(v);
+            }
+        }
+        self.round_lanes = union.count_ones();
+        self.cur += 1;
+    }
+
+    fn lanes_active(&self) -> Option<u32> {
+        Some(self.round_lanes)
     }
 
     fn next_phase(
@@ -307,26 +463,21 @@ impl<P: ShardProbe> Program<P> for BcProgram {
     ) -> Option<Frontier> {
         match self.mode {
             BcMode::Forward => {
-                // Forward drained: levels[0..=depth] are the BFS frontiers.
-                if self.levels.len() <= 1 {
-                    // Isolated source: nothing to accumulate.
-                    return self.advance_source(g, engine, probes);
-                }
-                self.mode = BcMode::Backward;
-                self.cur = (self.levels.len() - 2) as u32;
-                // Each level list is consumed exactly once per source (and
-                // the whole vec is cleared at the next source), so hand it
-                // to the frontier instead of copying it.
-                let lvl = std::mem::take(&mut self.levels[self.cur as usize + 1]);
-                Some(Frontier::from_vertices(g, lvl))
+                // Wave forward drained: every lane's level frontiers are
+                // recorded; walk the lanes' dependency DAGs in turn.
+                self.lane = 0;
+                self.backward_or_advance(g, engine, probes)
             }
             BcMode::Backward => {
                 if self.cur > 0 {
                     self.cur -= 1;
-                    let lvl = std::mem::take(&mut self.levels[self.cur as usize + 1]);
+                    let lvl =
+                        std::mem::take(&mut self.wave_levels[self.lane][self.cur as usize + 1]);
                     Some(Frontier::from_vertices(g, lvl))
                 } else {
-                    self.advance_source(g, engine, probes)
+                    self.fold_lane_scores(g, engine, probes);
+                    self.lane += 1;
+                    self.backward_or_advance(g, engine, probes)
                 }
             }
         }
@@ -461,6 +612,27 @@ mod tests {
     }
 
     #[test]
+    fn source_count_above_lane_width_spans_waves() {
+        // n = 128 > MAX_LANES forces two full waves (plus their backward
+        // walks) through the wave-reset path.
+        let g = gen::rmat(7, 3, 5);
+        let reference = betweenness_seq(&g, None);
+        let engine = Engine::new(4);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        for policy in policies() {
+            let r = betweenness(&engine, &g, policy, &BcOptions::default(), &probes);
+            assert_close(&r.scores, &reference, 1e-6, "two waves");
+        }
+        // An off-width cap exercises a short tail wave.
+        let opts = BcOptions {
+            max_sources: Some(MAX_LANES + 3),
+        };
+        let reference = betweenness_seq(&g, Some(MAX_LANES + 3));
+        let r = betweenness(&engine, &g, DirectionPolicy::adaptive(), &opts, &probes);
+        assert_close(&r.scores, &reference, 1e-6, "tail wave");
+    }
+
+    #[test]
     fn pull_is_deterministic_across_thread_counts() {
         let g = gen::rmat(6, 4, 7);
         let opts = BcOptions {
@@ -486,7 +658,8 @@ mod tests {
     #[test]
     fn phase_structure_per_source_is_forward_then_backward_levels() {
         // Path of 6: from each source the forward phase has `depth` rounds
-        // and is followed by `depth - 1` single-round backward phases.
+        // and is followed by `depth - 1` single-round backward phases. A
+        // wave of one source must reproduce the single-source structure.
         let g = gen::path(6);
         let engine = Engine::new(2);
         let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
@@ -510,6 +683,32 @@ mod tests {
     }
 
     #[test]
+    fn forward_rounds_report_wave_lanes() {
+        // Path of 6, all six sources in one wave: every lane is in flight
+        // in the seeding round, and the forward rounds carry lane counts.
+        let g = gen::path(6);
+        let engine = Engine::new(2);
+        let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
+        let r = betweenness(
+            &engine,
+            &g,
+            DirectionPolicy::Fixed(Direction::Push),
+            &BcOptions::default(),
+            &probes,
+        );
+        let forward: Vec<u32> = r.report.phase_rounds(0).map(|s| s.lanes_active).collect();
+        assert_eq!(forward[0], 6, "all lanes seed in round 0");
+        assert!(
+            forward.iter().all(|&l| l >= 1),
+            "forward rounds carry lane counts: {forward:?}"
+        );
+        // Backward phases accumulate one lane at a time.
+        for p in 1..r.report.phases {
+            assert!(r.report.phase_rounds(p).all(|s| s.lanes_active == 1));
+        }
+    }
+
+    #[test]
     fn push_uses_atomics_pull_and_pa_do_not() {
         let g = gen::rmat(6, 4, 4);
         let engine = Engine::new(4);
@@ -526,7 +725,10 @@ mod tests {
             &probes,
         );
         let push = probes.merged();
-        assert!(push.atomics > 0, "forward CAS/FAA + backward float CAS");
+        assert!(
+            push.atomics > 0,
+            "forward FAA/fetch_or + backward float CAS"
+        );
 
         let probes: ProbeShards<CountingProbe> = ProbeShards::new(engine.threads());
         betweenness(

@@ -23,6 +23,7 @@ pub mod coloring;
 pub mod components;
 pub mod kcore;
 pub mod labelprop;
+pub mod msbfs;
 pub mod mst;
 pub mod pagerank;
 pub mod sssp;

@@ -209,6 +209,38 @@
 //!   alone (the serve crate's accept loop is the one other spawn site);
 //!   nothing else may create threads, keeping lap accounting and the
 //!   barrier discipline total over all workers.
+//!
+//! ## Batched multi-source execution (PR 10)
+//!
+//! A run can now carry a *batch* of up to 64 sources end to end
+//! ([`algo::msbfs`]):
+//!
+//! * **Lane model.** An [`algo::msbfs::SourceBatch`] maps each distinct
+//!   source to one bit of a `u64` *lane mask*; the program keeps three
+//!   mask words per vertex (`visit` — lanes that reached it, `cur` — the
+//!   round's frontier lanes, `visit_next` — lanes arriving this round).
+//!   One push `fetch_or` (or one owner-computes buffered merge — the
+//!   PartitionAware path stays zero-RMW because `cur[u]` is a
+//!   round-immutable snapshot, exactly the `apply_owned` timing contract)
+//!   advances up to 64 frontiers per traversed edge. The
+//!   scheduler-visible [`Frontier`] is the per-lane union, so any
+//!   [`DirectionPolicy`] steers on the batch-aggregate `|F|`/`|E_F|`
+//!   unchanged.
+//! * **Reporting.** [`RoundStat`] gained `lanes_active` and `RunReport` a
+//!   per-source axis ([`SourceStat`]: `source`, `rounds_active`, `depth`),
+//!   filled through two defaulted [`Program`] hooks
+//!   ([`Program::lanes_active`], [`Program::source_stats`]) — single-source
+//!   programs report the exact pre-batch shape. Chrome traces carry
+//!   `lanes_active` as a round arg when non-zero.
+//! * **Dispatch.** [`registry::RunConfig`] gained `sources: Vec<u32>`
+//!   (deduplicated, validated against the 64-lane width); `bfs` with
+//!   multiple sources — or its `msbfs` alias — runs the batched program,
+//!   with a digest concatenated from per-source digests, each bit-equal
+//!   to its single-source run.
+//! * **BC waves.** Brandes betweenness drives its forward σ phase through
+//!   the same batched traversal in waves of ≤ 64 sources
+//!   (`algo::bc::BcProgram`), one traversal per wave instead of one per
+//!   source; backward dependency accumulation stays per-lane.
 
 pub mod algo;
 pub mod frontier;
@@ -231,5 +263,5 @@ pub use policy::{AdaptiveSwitch, DirectionPolicy, PolicyDecision};
 pub use pool::Pool;
 pub use probes::{ProbeShards, ShardProbe};
 pub use program::{PhaseKernel, Program, RoundCtx};
-pub use report::{RoundStat, RunReport};
+pub use report::{RoundStat, RunReport, SourceStat};
 pub use runner::{Run, Runner};

@@ -142,6 +142,25 @@ pub trait Program<P: ShardProbe>: EdgeKernel<P> + Sized {
         None
     }
 
+    /// How many batch lanes were active in the round just opened by
+    /// [`Program::begin_round`] — the per-round lane axis of a batched
+    /// multi-source run (see [`crate::algo::msbfs`]). The runner queries
+    /// this after each `begin_round` and records it as
+    /// [`crate::report::RoundStat::lanes_active`]. Default: `None` —
+    /// single-source programs have no lane axis and report 0.
+    fn lanes_active(&self) -> Option<u32> {
+        None
+    }
+
+    /// Per-source statistics of a batched run, queried by the runner once
+    /// the program has converged (just before [`Program::finish`], which
+    /// consumes `self`) and recorded as
+    /// [`crate::report::RunReport::sources`]. Default: empty — the
+    /// single-source report shape is unchanged.
+    fn source_stats(&self) -> Vec<crate::report::SourceStat> {
+        Vec::new()
+    }
+
     /// Consumes the program and extracts its result.
     fn finish(self, g: &CsrGraph) -> Self::Output;
 }

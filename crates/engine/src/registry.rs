@@ -17,9 +17,17 @@ use pp_graph::{CsrGraph, VertexId};
 use pp_telemetry::{CountingProbe, MetricsLevel, NullProbe};
 
 use crate::algo::{
-    bc::BcProgram, bfs::BfsProgram, coloring::ColoringProgram, components::CcProgram,
-    kcore::KCoreProgram, labelprop::LabelPropProgram, mst::MstProgram, pagerank::PageRankProgram,
-    sssp::SsspProgram, triangles::TcProgram,
+    bc::BcProgram,
+    bfs::BfsProgram,
+    coloring::ColoringProgram,
+    components::CcProgram,
+    kcore::KCoreProgram,
+    labelprop::LabelPropProgram,
+    msbfs::{MsBfsProgram, SourceBatch, MAX_LANES},
+    mst::MstProgram,
+    pagerank::PageRankProgram,
+    sssp::SsspProgram,
+    triangles::TcProgram,
 };
 use crate::partitioned::ExecutionMode;
 use crate::policy::DirectionPolicy;
@@ -50,6 +58,13 @@ pub struct RunConfig<'a, P: ShardProbe = NullProbe> {
     pub collect: MetricsLevel,
     /// Source vertex for rooted algorithms (BFS, SSSP).
     pub source: VertexId,
+    /// Source *batch* for batched multi-source execution (`bfs --sources`
+    /// / the `msbfs` alias): when non-empty, the run traverses all listed
+    /// sources in one bit-parallel pass ([`crate::algo::msbfs`]) and
+    /// `source` is ignored. Repeated sources share a lane; at most
+    /// [`MAX_LANES`] distinct sources validate. Empty (the default) keeps
+    /// the single-source path byte-identical to the pre-batch one.
+    pub sources: Vec<VertexId>,
     /// Iteration cap for label propagation.
     pub lp_iters: usize,
     /// Source cap for betweenness centrality (`None` = all sources; exact
@@ -68,6 +83,7 @@ impl<'a, P: ShardProbe> RunConfig<'a, P> {
             mode: ExecutionMode::Atomic,
             collect: MetricsLevel::Off,
             source: 0,
+            sources: Vec::new(),
             lp_iters: 20,
             bc_sources: Some(8),
         }
@@ -172,6 +188,10 @@ pub struct AlgoSpec<P: ShardProbe + 'static = NullProbe> {
     /// Whether the run is rooted at `cfg.source` (BFS, SSSP) — rooted
     /// algorithms validate the source against the graph's vertex count.
     pub rooted: bool,
+    /// Whether the algorithm accepts a multi-source batch
+    /// (`cfg.sources`) — only `bfs` dispatches the bit-parallel MS-BFS
+    /// path; everything else rejects a non-empty batch up front.
+    pub batched: bool,
     run: fn(&RunConfig<'_, P>, &CsrGraph) -> AlgoRun,
 }
 
@@ -185,11 +205,36 @@ impl<P: ShardProbe> AlgoSpec<P> {
         if self.needs_weights && !g.is_weighted() {
             return Err(RunError::NeedsWeights { algo: self.name });
         }
-        if self.rooted && (cfg.source as usize) >= g.num_vertices() {
+        if self.rooted && cfg.sources.is_empty() && (cfg.source as usize) >= g.num_vertices() {
             return Err(RunError::SourceOutOfRange {
                 source: cfg.source,
                 n: g.num_vertices(),
             });
+        }
+        if !cfg.sources.is_empty() {
+            if !self.batched {
+                return Err(RunError::InvalidParam {
+                    param: "sources",
+                    reason: "this algorithm runs single-source (a batch needs bfs/msbfs)",
+                });
+            }
+            for &s in &cfg.sources {
+                if (s as usize) >= g.num_vertices() {
+                    return Err(RunError::SourceOutOfRange {
+                        source: s,
+                        n: g.num_vertices(),
+                    });
+                }
+            }
+            // Repeated sources are legal (they fold onto one lane in the
+            // run path); only the *distinct* count is bounded by the lane
+            // width of the mask words.
+            if distinct(&cfg.sources) > MAX_LANES {
+                return Err(RunError::InvalidParam {
+                    param: "sources",
+                    reason: "a batch holds at most 64 distinct sources",
+                });
+            }
         }
         if cfg.lp_iters == 0 {
             return Err(RunError::InvalidParam {
@@ -278,10 +323,11 @@ macro_rules! registry_table {
         [
             AlgoSpec {
                 name: "bfs",
-                aliases: &[],
-                description: "breadth-first search from --source (§3.3)",
+                aliases: &["msbfs"],
+                description: "breadth-first search from --source, batched over --sources (§3.3)",
                 needs_weights: false,
                 rooted: true,
+                batched: true,
                 run: run_bfs::<$P>,
             },
             AlgoSpec {
@@ -290,6 +336,7 @@ macro_rules! registry_table {
                 description: "PageRank power iterations (§3.1)",
                 needs_weights: false,
                 rooted: false,
+                batched: false,
                 run: run_pagerank::<$P>,
             },
             AlgoSpec {
@@ -298,6 +345,7 @@ macro_rules! registry_table {
                 description: "Δ-stepping shortest paths from --source (§3.4)",
                 needs_weights: true,
                 rooted: true,
+                batched: false,
                 run: run_sssp::<$P>,
             },
             AlgoSpec {
@@ -306,6 +354,7 @@ macro_rules! registry_table {
                 description: "connected components by label-min propagation",
                 needs_weights: false,
                 rooted: false,
+                batched: false,
                 run: run_cc::<$P>,
             },
             AlgoSpec {
@@ -314,6 +363,7 @@ macro_rules! registry_table {
                 description: "k-core decomposition by iterative peeling",
                 needs_weights: false,
                 rooted: false,
+                batched: false,
                 run: run_kcore::<$P>,
             },
             AlgoSpec {
@@ -322,6 +372,7 @@ macro_rules! registry_table {
                 description: "synchronous community label propagation",
                 needs_weights: false,
                 rooted: false,
+                batched: false,
                 run: run_labelprop::<$P>,
             },
             AlgoSpec {
@@ -330,6 +381,7 @@ macro_rules! registry_table {
                 description: "Boman-style speculative graph coloring (§5)",
                 needs_weights: false,
                 rooted: false,
+                batched: false,
                 run: run_coloring::<$P>,
             },
             AlgoSpec {
@@ -338,6 +390,7 @@ macro_rules! registry_table {
                 description: "triangle counting by adjacency intersection (§3.2)",
                 needs_weights: false,
                 rooted: false,
+                batched: false,
                 run: run_tc::<$P>,
             },
             AlgoSpec {
@@ -346,6 +399,7 @@ macro_rules! registry_table {
                 description: "Boruvka minimum spanning forest (§3.7)",
                 needs_weights: true,
                 rooted: false,
+                batched: false,
                 run: run_mst::<$P>,
             },
             AlgoSpec {
@@ -354,6 +408,7 @@ macro_rules! registry_table {
                 description: "Brandes betweenness centrality (§3.5)",
                 needs_weights: false,
                 rooted: false,
+                batched: false,
                 run: run_bc::<$P>,
             },
         ]
@@ -371,17 +426,94 @@ fn distinct<T: Ord + Copy>(values: &[T]) -> usize {
 }
 
 fn run_bfs<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
+    if !cfg.sources.is_empty() {
+        return run_bfs_batched(cfg, g);
+    }
     let run = cfg.runner().run(g, BfsProgram::new(g, cfg.source));
     let (_, level) = run.output;
-    let reached = level.iter().filter(|&&l| l != u32::MAX).count();
-    let depth = level.iter().filter(|&&l| l != u32::MAX).max().copied();
+    let (reached, depth) = level_digest(&level);
     AlgoRun {
         report: run.report,
         summary: vec![
             ("reached", reached.to_string()),
-            ("depth", depth.unwrap_or(0).to_string()),
+            ("depth", depth.to_string()),
         ],
     }
+}
+
+/// `(reached, depth)` of one BFS level vector — the single-source summary
+/// digest, shared by the single and the batched path so a batch lane's
+/// digest is bit-equal to its single-source run.
+fn level_digest(level: &[u32]) -> (usize, u32) {
+    let reached = level.iter().filter(|&&l| l != u32::MAX).count();
+    let depth = level
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    (reached, depth)
+}
+
+/// One bit-parallel MS-BFS over `cfg.sources`. The digest is the
+/// concatenation of the per-source digests, in lane (deduplicated,
+/// first-occurrence) order, plus the lane list itself.
+fn run_bfs_batched<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
+    let batch = SourceBatch::new(g, &cfg.sources);
+    let lane_sources: Vec<String> = batch.sources().iter().map(u32::to_string).collect();
+    let run = cfg.runner().run(g, MsBfsProgram::new(g, batch));
+    let digests: Vec<(usize, u32)> = run.output.iter().map(|l| level_digest(l)).collect();
+    let join =
+        |f: &dyn Fn(&(usize, u32)) -> String| digests.iter().map(f).collect::<Vec<_>>().join(",");
+    AlgoRun {
+        report: run.report,
+        summary: vec![
+            ("sources", lane_sources.join(",")),
+            ("reached", join(&|d| d.0.to_string())),
+            ("depth", join(&|d| d.1.to_string())),
+        ],
+    }
+}
+
+/// Runs one batched MS-BFS over `cfg.sources` and slices a
+/// single-source-shaped [`AlgoRun`] per *configured* source (input order;
+/// repeated sources share a lane): each slice's summary is bit-equal to
+/// the corresponding single-source `bfs` run's, and each carries the
+/// shared batched report. This is the entry the `pp-serve` query
+/// coalescer uses to answer N queued queries with one traversal.
+pub fn run_bfs_sliced(
+    cfg: &RunConfig<'_, NullProbe>,
+    g: &CsrGraph,
+) -> Result<Vec<AlgoRun>, RunError> {
+    let spec = find("bfs").expect("bfs is registered");
+    if cfg.sources.is_empty() {
+        return Err(RunError::InvalidParam {
+            param: "sources",
+            reason: "a sliced batch needs at least one source",
+        });
+    }
+    spec.validate(cfg, g)?;
+    let batch = SourceBatch::new(g, &cfg.sources);
+    let run = cfg.runner().run(g, MsBfsProgram::new(g, batch.clone()));
+    let digests: Vec<(usize, u32)> = run.output.iter().map(|l| level_digest(l)).collect();
+    Ok(cfg
+        .sources
+        .iter()
+        .map(|&s| {
+            let lane = batch
+                .sources()
+                .iter()
+                .position(|&x| x == s)
+                .expect("every configured source has a lane");
+            AlgoRun {
+                report: run.report.clone(),
+                summary: vec![
+                    ("reached", digests[lane].0.to_string()),
+                    ("depth", digests[lane].1.to_string()),
+                ],
+            }
+        })
+        .collect())
 }
 
 fn run_pagerank<P: ShardProbe>(cfg: &RunConfig<'_, P>, g: &CsrGraph) -> AlgoRun {
@@ -710,6 +842,100 @@ mod tests {
         // A config that validates runs — and matches the panicking path.
         let ok = run_checked("bfs", &cfg, &g).unwrap();
         assert!(!ok.summary.is_empty());
+    }
+
+    #[test]
+    fn batched_sources_validate_dedupe_and_match_single_source_runs() {
+        let g = gen::rmat(7, 5, 3);
+        let engine = Engine::new(2);
+        let probes = ProbeShards::new(engine.threads());
+
+        // The msbfs alias resolves to bfs, which is the only batched spec.
+        assert_eq!(find("msbfs").unwrap().name, "bfs");
+        assert!(find("bfs").unwrap().batched);
+        assert!(all().iter().filter(|s| s.batched).count() == 1);
+
+        // More than 64 *distinct* sources is a structured bad_param...
+        let too_many = RunConfig {
+            sources: (0..65).collect(),
+            ..RunConfig::new(&engine, &probes)
+        };
+        let e = run_checked("bfs", &too_many, &g).unwrap_err();
+        assert_eq!(e.kind(), "bad_param");
+        assert!(e.to_string().contains("sources"));
+
+        // ...but 65 entries with ≤ 64 distinct values validate (duplicates
+        // fold onto one lane).
+        let dup_heavy = RunConfig {
+            sources: (0..65).map(|i| i % 64).collect(),
+            ..RunConfig::new(&engine, &probes)
+        };
+        assert!(run_checked("bfs", &dup_heavy, &g).is_ok());
+
+        // Every batch member is range-checked individually.
+        let far = RunConfig {
+            sources: vec![0, 9999],
+            ..RunConfig::new(&engine, &probes)
+        };
+        let e = run_checked("msbfs", &far, &g).unwrap_err();
+        assert_eq!(
+            e,
+            RunError::SourceOutOfRange {
+                source: 9999,
+                n: g.num_vertices()
+            }
+        );
+
+        // Non-batched algorithms reject a batch up front (sssp on a
+        // weighted graph, so the check under test is the one that fires).
+        let gw = gen::with_random_weights(&g, 1, 9, 4);
+        for name in ["cc", "sssp", "pagerank"] {
+            let cfg = RunConfig {
+                sources: vec![0, 1],
+                ..RunConfig::new(&engine, &probes)
+            };
+            let e = find(name).unwrap().validate(&cfg, &gw).unwrap_err();
+            assert_eq!(e.kind(), "bad_param", "{name}");
+        }
+
+        // A batched run dedupes repeated sources and its digest is the
+        // concatenation of per-source digests, bit-equal to single runs.
+        let batched = RunConfig {
+            sources: vec![3, 17, 3, 5],
+            ..RunConfig::new(&engine, &probes)
+        };
+        let run = run_checked("bfs", &batched, &g).unwrap();
+        assert_eq!(run.summary[0], ("sources", "3,17,5".to_string()));
+        let singles: Vec<AlgoRun> = [3u32, 17, 5]
+            .iter()
+            .map(|&s| {
+                let cfg = RunConfig {
+                    source: s,
+                    ..RunConfig::new(&engine, &probes)
+                };
+                run_checked("bfs", &cfg, &g).unwrap()
+            })
+            .collect();
+        let joined = |k: usize| {
+            singles
+                .iter()
+                .map(|r| r.summary[k].1.clone())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        assert_eq!(run.summary[1], ("reached", joined(0)));
+        assert_eq!(run.summary[2], ("depth", joined(1)));
+        assert!(run.report.sources.len() == 3, "per-lane report axis");
+
+        // The serve-facing slicer returns one single-source-shaped run per
+        // *configured* source, duplicates included, each digest-equal to
+        // its direct single-source run.
+        let slices = run_bfs_sliced(&batched, &g).unwrap();
+        assert_eq!(slices.len(), 4);
+        for (i, &s) in [3usize, 17, 3, 5].iter().enumerate() {
+            let single = &singles[[3, 17, 5].iter().position(|&x| x == s).unwrap()];
+            assert_eq!(slices[i].summary, single.summary, "source {s}");
+        }
     }
 
     #[test]

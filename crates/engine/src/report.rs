@@ -53,6 +53,23 @@ pub struct RoundStat {
     /// rounds only — vertex-step rounds reuse the current direction without
     /// observing, so there is no decision to record).
     pub decision: Option<PolicyDecision>,
+    /// Batch lanes active in the round's frontier (a batched multi-source
+    /// program reports its [`crate::Program::lanes_active`]); 0 for
+    /// single-source programs, which have no lane axis.
+    pub lanes_active: u32,
+}
+
+/// Per-source statistics of one batched multi-source run — the per-lane
+/// axis of a [`RunReport`] (see [`crate::algo::msbfs`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceStat {
+    /// The source vertex this lane traversed from.
+    pub source: u32,
+    /// Rounds in which the lane's sub-frontier was non-empty.
+    pub rounds_active: u32,
+    /// Deepest level the lane discovered (its eccentricity bound) —
+    /// distance for distance-style programs.
+    pub depth: u32,
 }
 
 /// Per-round statistics of one full run through the [`crate::Runner`].
@@ -81,6 +98,10 @@ pub struct RunReport {
     /// busy time inside `rounds[i]` — the substrate the per-worker Chrome
     /// trace tracks are drawn from.
     pub round_worker_busy: Vec<Vec<u64>>,
+    /// Per-source statistics of a batched multi-source run (one entry per
+    /// lane, in lane order); empty for single-source programs, keeping
+    /// their reports identical to the pre-batch shape.
+    pub sources: Vec<SourceStat>,
 }
 
 impl RunReport {
@@ -208,6 +229,9 @@ impl RunReport {
                 args.push(("share".to_string(), d.observed_share.into()));
                 args.push(("threshold".to_string(), d.threshold.into()));
             }
+            if r.lanes_active > 0 {
+                args.push(("lanes_active".to_string(), u64::from(r.lanes_active).into()));
+            }
             t.duration(
                 format!("round {}", r.round),
                 "round",
@@ -296,6 +320,7 @@ mod tests {
             start_ns: 0,
             duration_ns: 0,
             decision: None,
+            lanes_active: 0,
         }
     }
 
@@ -396,6 +421,7 @@ mod tests {
                 },
             ],
             round_worker_busy: vec![vec![80, 20], vec![250, 50], vec![150, 50]],
+            sources: Vec::new(),
         }
     }
 

@@ -147,6 +147,10 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
                 let start_ns = clock.as_ref().map_or(0, Clock::now_ns);
                 let ctx = RoundCtx { round, phase, dir };
                 program.begin_round(ctx, g, &mut frontier, self.engine, self.probes);
+                // Batched programs publish their per-round lane count in
+                // `begin_round` (where the lane fold happens); query it
+                // while the round's frontier is current.
+                let lanes_active = program.lanes_active().unwrap_or(0);
                 let (next, stats) = match (kernel, self.mode, dir) {
                     (PhaseKernel::VertexStep, _, _) => (Frontier::empty(g.num_vertices()), None),
                     (PhaseKernel::EdgeMap, ExecutionMode::PartitionAware, Direction::Push) => {
@@ -193,6 +197,7 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
                     start_ns,
                     duration_ns,
                     decision,
+                    lanes_active,
                 });
                 round += 1;
                 ran_this_phase = true;
@@ -217,6 +222,11 @@ impl<'a, P: ShardProbe> Runner<'a, P> {
         // that actually executed a round, so the zero-round run reports 0 —
         // identical to `RunReport::default()` — instead of a phantom 1.
         report.phases = phase + u32::from(ran_this_phase);
+        // The per-source axis must be read before `finish` consumes the
+        // program; single-source programs return the empty default, so
+        // their reports keep the pre-batch shape (and the zero-round run
+        // still equals `RunReport::default()`).
+        report.sources = program.source_stats();
         if let Some(c) = &clock {
             report.elapsed_ns = c.now_ns();
             report.worker_laps = pool.laps();

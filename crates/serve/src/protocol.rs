@@ -39,7 +39,8 @@
 //!  "algo": "bfs adaptive", "threads": 1, "ms": 1.25}],
 //!  "summary": {"reached": "1024", "depth": "9"},
 //!  "report": {"rounds": 10, ...},
-//!  "latency_ns": 1830211, "queue_ns": 120331, "run_ns": 1709880, "worker": 1}
+//!  "latency_ns": 1830211, "queue_ns": 120331, "run_ns": 1709880, "worker": 1,
+//!  "batched": 1}
 //! {"ok": false, "id": 8, "error": {"kind": "overloaded",
 //!  "message": "admission queue full (capacity 64)"}}
 //! ```
@@ -49,6 +50,12 @@
 //! transport-level tag: [`KIND_BAD_REQUEST`] (the line did not parse or
 //! validate), [`KIND_OVERLOADED`] (admission control refused the query),
 //! [`KIND_SHUTTING_DOWN`] (the server is draining).
+//!
+//! `batched` reports how many queries shared the traversal that produced
+//! the response (workers coalesce compatible queued `bfs` queries into one
+//! bit-parallel multi-source run — see [`crate::server`]). Everything else
+//! about a batched response — summary, report digests, `id` echo — is
+//! identical to the query running alone.
 
 use pp_core::Direction;
 use pp_engine::registry::{AlgoRun, RunError};
@@ -255,7 +262,7 @@ fn push_id(out: &mut String, id: Option<&str>) {
 /// The latency decomposition of one query's life: `queue_ns` (admission to
 /// dequeue by a worker runner) + `run_ns` (dequeue to completion) =
 /// `latency_ns` exactly (all three cut from the same clock readings).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LatencySplit {
     /// Nanoseconds spent waiting in the admission queue.
     pub queue_ns: u64,
@@ -265,6 +272,23 @@ pub struct LatencySplit {
     pub latency_ns: u64,
     /// The worker runner that executed the query.
     pub worker: usize,
+    /// How many queries shared the traversal that produced this response.
+    /// `1` means the query ran alone; `k > 1` means the worker coalesced it
+    /// with `k - 1` compatible queued queries into one bit-parallel batched
+    /// run (one lane per source), and `run_ns` is that shared run's time.
+    pub batched: usize,
+}
+
+impl Default for LatencySplit {
+    fn default() -> Self {
+        Self {
+            queue_ns: 0,
+            run_ns: 0,
+            latency_ns: 0,
+            worker: 0,
+            batched: 1,
+        }
+    }
 }
 
 /// Renders a successful run response: one `ppgraph run --json`-compatible
@@ -318,8 +342,9 @@ pub fn render_run_response(
         ));
     }
     out.push_str(&format!(
-        "}}, \"latency_ns\": {}, \"queue_ns\": {}, \"run_ns\": {}, \"worker\": {}}}",
-        split.latency_ns, split.queue_ns, split.run_ns, split.worker
+        "}}, \"latency_ns\": {}, \"queue_ns\": {}, \"run_ns\": {}, \"worker\": {}, \
+         \"batched\": {}}}",
+        split.latency_ns, split.queue_ns, split.run_ns, split.worker, split.batched
     ));
     out
 }
@@ -466,6 +491,12 @@ pub struct StatsSnapshot {
     pub per_algo: Vec<AlgoStats>,
     /// Per-worker-runner busy share (`0.0..=1.0`), sampled at dequeue.
     pub worker_utilization: Vec<f64>,
+    /// Batched runs executed (each covers ≥ 2 coalesced queries).
+    pub batches: u64,
+    /// Queries served through a shared batched run (each counted once).
+    pub coalesced: u64,
+    /// Largest batch executed so far (queries per run; 0 before any batch).
+    pub max_batch: u64,
 }
 
 impl StatsSnapshot {
@@ -545,6 +576,10 @@ pub fn render_stats(s: &StatsSnapshot) -> String {
         ));
     }
     out.push(']');
+    out.push_str(&format!(
+        ", \"batching\": {{\"batches\": {}, \"coalesced\": {}, \"max_batch\": {}}}",
+        s.batches, s.coalesced, s.max_batch
+    ));
     out.push_str(", \"workers_util\": [");
     for (i, u) in s.worker_utilization.iter().enumerate() {
         if i > 0 {
@@ -762,6 +797,9 @@ mod tests {
                 ..AlgoStats::default()
             }],
             worker_utilization: vec![0.75, 0.5],
+            batches: 4,
+            coalesced: 11,
+            max_batch: 5,
         };
         let rendered = render_stats(&snap);
         assert!(!rendered.contains('\n'));
@@ -804,6 +842,10 @@ mod tests {
         let util = doc.get("workers_util").unwrap().arr().unwrap();
         assert_eq!(util.len(), 2);
         assert_eq!(util[0].num(), Some(0.75));
+        let batching = doc.get("batching").unwrap();
+        assert_eq!(batching.get("batches").unwrap().u64(), Some(4));
+        assert_eq!(batching.get("coalesced").unwrap().u64(), Some(11));
+        assert_eq!(batching.get("max_batch").unwrap().u64(), Some(5));
     }
 
     #[test]

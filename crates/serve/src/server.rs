@@ -36,6 +36,19 @@
 //!   overlapping waits get sub-rows) and a run span on its worker's lane;
 //!   overload rejections appear as instants. The stitched
 //!   [`pp_telemetry::ChromeTrace`] is written when the serve loop drains.
+//! * **Query coalescing** — when a worker claims work it takes the front
+//!   job *and*, if that job is a batchable single-source query (`bfs` and
+//!   its aliases) with an in-range source, up to
+//!   [`pp_engine::algo::msbfs::MAX_LANES`]` - 1` queued queries that share
+//!   its execution config (direction/mode/metrics), wherever they sit in
+//!   the queue — all under one lock acquisition. The batch runs as one
+//!   bit-parallel multi-source traversal
+//!   ([`registry::run_bfs_sliced`]) and each query is answered with its
+//!   own `id` and a per-source summary bit-equal to running alone; the
+//!   only visible difference is the additive `batched` response field (the
+//!   batch size) and a shared `run_ns`. Admission control stays per-query.
+//!   Batch sizes feed the [`M_BATCH_SIZE`] histogram and the
+//!   [`M_COALESCED`] counter.
 //! * **Graceful shutdown** — EOF (stdio transport) or a `shutdown` request
 //!   (any transport) closes the queue: admitted queries still execute and
 //!   answer, new ones are refused as `shutting_down`, and the serve loop
@@ -51,9 +64,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use pp_engine::algo::msbfs::MAX_LANES;
 use pp_engine::registry::{self, RunConfig};
 use pp_engine::{Engine, ProbeShards};
-use pp_graph::CsrGraph;
+use pp_graph::{CsrGraph, VertexId};
 use pp_telemetry::timing::Clock;
 use pp_telemetry::trace::ArgValue;
 use pp_telemetry::{ChromeTrace, Labels, LogHistogram, MetricsLevel, MetricsRegistry, NullProbe};
@@ -82,6 +96,11 @@ pub const M_QUEUE_CAP: &str = "pp_serve_queue_capacity";
 pub const M_GRAPH_N: &str = "pp_serve_graph_vertices";
 /// Edges in the resident graph.
 pub const M_GRAPH_M: &str = "pp_serve_graph_edges";
+/// Queries per coalesced batched run (histogram; only batches of ≥ 2
+/// queries are recorded — solo runs are the baseline, not a batch).
+pub const M_BATCH_SIZE: &str = "pp_serve_batch_size";
+/// Queries answered through a shared batched run (each query counts once).
+pub const M_COALESCED: &str = "pp_serve_coalesced_total";
 
 /// Trace lane for admission events (queue-wait spans, rejection instants).
 const TID_ADMISSION: u32 = 0;
@@ -208,12 +227,39 @@ impl JobQueue {
         Ok(())
     }
 
-    /// Blocks for the next job; `None` once closed *and* drained.
-    fn pop(&self) -> Option<Job> {
+    /// Blocks for the next job and coalesces compatible queued queries
+    /// behind it: if the front job satisfies `batchable`, up to `max - 1`
+    /// other queued jobs that are batchable *and* share its execution
+    /// config (direction, mode, metrics, algorithm knobs) are removed from
+    /// the queue — wherever they sit; non-matching jobs keep their relative
+    /// order — and returned with it, all under one lock acquisition (no
+    /// waiting for more load: a batch is only what has already queued).
+    /// The returned batch has length ≥ 1. `None` once closed *and*
+    /// drained.
+    fn pop_batch(&self, max: usize, batchable: impl Fn(&QuerySpec) -> bool) -> Option<Vec<Job>> {
         let mut q = self.inner.lock().unwrap();
         loop {
-            if let Some(job) = q.jobs.pop_front() {
-                return Some(job);
+            if let Some(first) = q.jobs.pop_front() {
+                let mut batch = vec![first];
+                if max > 1 && batchable(&batch[0].spec) {
+                    let head = batch[0].spec.clone();
+                    let mut i = 0;
+                    while i < q.jobs.len() && batch.len() < max {
+                        let s = &q.jobs[i].spec;
+                        if batchable(s)
+                            && s.policy_name == head.policy_name
+                            && s.mode_name == head.mode_name
+                            && s.metrics == head.metrics
+                            && s.lp_iters == head.lp_iters
+                            && s.bc_sources == head.bc_sources
+                        {
+                            batch.push(q.jobs.remove(i).unwrap());
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                return Some(batch);
             }
             if q.closed {
                 return None;
@@ -256,6 +302,20 @@ struct Core {
     /// Monotonic query sequence — trace span correlation ids.
     seq: AtomicU64,
     stop: AtomicBool,
+    /// Coalesced batched runs executed (each covered ≥ 2 queries).
+    batches: AtomicU64,
+    /// Queries answered through a shared batched run.
+    coalesced: AtomicU64,
+    /// Largest batch executed so far (queries per run).
+    max_batch: AtomicU64,
+}
+
+/// Whether a query can join a coalesced batch: a batchable registry
+/// algorithm (`bfs` and its aliases) with an in-range source. Out-of-range
+/// sources are left to run solo so their structured error cannot poison a
+/// batch that would otherwise validate.
+fn coalescable(spec: &QuerySpec, n: usize) -> bool {
+    registry::find(&spec.algo).is_some_and(|s| s.batched) && (spec.source as usize) < n
 }
 
 impl Core {
@@ -328,6 +388,10 @@ impl Core {
             window_run_lat: LatencySummary::from(&run_split.windowed),
             per_algo,
             worker_utilization,
+            // ORDERING: Relaxed — same snapshot discipline as above.
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
         }
     }
 
@@ -597,6 +661,7 @@ impl Core {
                         run_ns,
                         latency_ns,
                         worker,
+                        batched: 1,
                     },
                 )
             }
@@ -613,6 +678,182 @@ impl Core {
             }
         };
         write_line(&out, &line);
+    }
+
+    /// Executes a claimed batch. A batch of one takes the plain
+    /// [`Core::execute`] path byte-for-byte; a real batch runs one
+    /// bit-parallel multi-source traversal through
+    /// [`registry::run_bfs_sliced`] and answers every query from its own
+    /// lane's slice — per-query `queue_ns` from its own admission stamp,
+    /// shared `run_ns`, and the batch size in the `batched` field.
+    fn execute_batch(
+        &self,
+        worker: usize,
+        engine: &Engine,
+        probes: &ProbeShards<NullProbe>,
+        mut jobs: Vec<Job>,
+    ) {
+        if jobs.len() == 1 {
+            return self.execute(worker, engine, probes, jobs.pop().unwrap());
+        }
+        let batch = jobs.len();
+        let dequeued_ns = self.clock.now_ns();
+        // The depth gauge samples at dequeue: the moment load is visible.
+        self.metrics.set_gauge(
+            M_QUEUE_DEPTH,
+            "Jobs waiting in the admission queue.",
+            &Labels::none(),
+            self.queue.depth() as f64,
+        );
+        let sources: Vec<VertexId> = jobs.iter().map(|j| j.spec.source).collect();
+        let head = &jobs[0].spec;
+        let cfg = RunConfig {
+            policy: head.policy,
+            mode: head.mode,
+            collect: if head.metrics {
+                MetricsLevel::Timing
+            } else {
+                MetricsLevel::Off
+            },
+            sources,
+            lp_iters: head.lp_iters,
+            bc_sources: head.bc_sources,
+            ..RunConfig::new(engine, probes)
+        };
+        let result = registry::run_bfs_sliced(&cfg, &self.graph);
+        let done_ns = self.clock.now_ns();
+        let run_ns = done_ns.saturating_sub(dequeued_ns);
+        let ms = run_ns as f64 / 1e6;
+        // One traversal ran, so the worker was busy for `run_ns` once —
+        // not once per answered query.
+        let busy = &self.worker_busy_ns[worker];
+        // ORDERING: Relaxed — per-worker statistics accumulator; only
+        // this worker writes it, others read it for gauges.
+        let busy_ns = busy.fetch_add(run_ns, Ordering::Relaxed) + run_ns;
+        self.metrics.set_gauge(
+            M_WORKER_UTIL,
+            "Share of wall-clock each worker runner spent executing queries.",
+            &Labels::new([("worker", worker.to_string())]),
+            (busy_ns as f64 / done_ns.max(1) as f64).min(1.0),
+        );
+        let outcome = if result.is_ok() { "ok" } else { "error" };
+        if result.is_ok() {
+            // ORDERING: Relaxed — statistics counters.
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.coalesced.fetch_add(batch as u64, Ordering::Relaxed);
+            self.max_batch.fetch_max(batch as u64, Ordering::Relaxed);
+            self.metrics.observe(
+                M_BATCH_SIZE,
+                "Queries per coalesced batched run.",
+                &Labels::none(),
+                done_ns,
+                batch as u64,
+            );
+            self.metrics.inc_counter(
+                M_COALESCED,
+                "Queries answered through a shared batched run.",
+                &Labels::none(),
+                batch as u64,
+            );
+        }
+        if let Some(trace) = &self.trace {
+            let mut t = trace.lock().unwrap();
+            // One queue span AND one run span per query — the trace
+            // invariant consumers rely on survives batching. The run spans
+            // of one batch share the same interval on the worker lane;
+            // their `batched` arg says why they overlap.
+            for job in &jobs {
+                let algo = algo_label(&job.spec.algo);
+                let wait = format!("queue {algo}");
+                t.async_begin(
+                    wait.clone(),
+                    "queue",
+                    TID_ADMISSION,
+                    job.admitted_ns,
+                    job.seq,
+                    vec![
+                        ("algo".to_string(), ArgValue::from(algo.as_str())),
+                        ("query".to_string(), ArgValue::from(job.seq)),
+                    ],
+                );
+                t.async_end(wait, "queue", TID_ADMISSION, dequeued_ns, job.seq);
+                let queue_ns = dequeued_ns.saturating_sub(job.admitted_ns);
+                let mut run_args = vec![
+                    ("algo".to_string(), ArgValue::from(algo.as_str())),
+                    ("outcome".to_string(), ArgValue::from(outcome)),
+                    ("query".to_string(), ArgValue::from(job.seq)),
+                    ("queue_ns".to_string(), ArgValue::from(queue_ns)),
+                    ("batched".to_string(), ArgValue::from(batch as u64)),
+                ];
+                if let Some(id) = &job.spec.id {
+                    run_args.push(("id".to_string(), ArgValue::from(id.as_str())));
+                }
+                t.duration(
+                    format!("run {algo} ×{batch}"),
+                    "run",
+                    TID_WORKER_BASE + worker as u32,
+                    dequeued_ns,
+                    run_ns,
+                    run_args,
+                );
+            }
+        }
+        // One slice per job, in claim order (`run_bfs_sliced` returns one
+        // run per configured source in input order).
+        for (i, job) in jobs.iter().enumerate() {
+            let queue_ns = dequeued_ns.saturating_sub(job.admitted_ns);
+            let latency_ns = queue_ns + run_ns;
+            let algo = algo_label(&job.spec.algo);
+            self.count_query(&algo, outcome);
+            let labels = Labels::new([("algo", algo.as_str()), ("outcome", outcome)]);
+            self.metrics.observe(
+                M_QUEUE_NS,
+                "Admission-to-dequeue wait in nanoseconds.",
+                &labels,
+                done_ns,
+                queue_ns,
+            );
+            self.metrics.observe(
+                M_RUN_NS,
+                "Dequeue-to-completion execution time in nanoseconds.",
+                &labels,
+                done_ns,
+                run_ns,
+            );
+            let line = match &result {
+                Ok(runs) => {
+                    // ORDERING: Relaxed — statistics counter.
+                    self.served.fetch_add(1, Ordering::Relaxed);
+                    self.latency.lock().unwrap().record(latency_ns);
+                    protocol::render_run_response(
+                        &job.spec,
+                        &self.cfg.name,
+                        engine.threads(),
+                        &runs[i],
+                        ms,
+                        LatencySplit {
+                            queue_ns,
+                            run_ns,
+                            latency_ns,
+                            worker,
+                            batched: batch,
+                        },
+                    )
+                }
+                Err(e) => {
+                    // ORDERING: Relaxed — statistics counter.
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    *self
+                        .errors_by_kind
+                        .lock()
+                        .unwrap()
+                        .entry(e.kind().to_string())
+                        .or_insert(0) += 1;
+                    protocol::render_run_error(job.spec.id.as_deref(), e)
+                }
+            };
+            write_line(&job.out, &line);
+        }
     }
 }
 
@@ -660,6 +901,9 @@ impl Server {
             trace,
             seq: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            batches: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers)
             .map(|w| {
@@ -671,8 +915,11 @@ impl Server {
                         // life — pool spin-up is paid once, not per query.
                         let engine = Engine::new(core.cfg.threads);
                         let probes: ProbeShards<NullProbe> = ProbeShards::new(engine.threads());
-                        while let Some(job) = core.queue.pop() {
-                            core.execute(w, &engine, &probes, job);
+                        let n = core.graph.num_vertices();
+                        while let Some(jobs) =
+                            core.queue.pop_batch(MAX_LANES, |spec| coalescable(spec, n))
+                        {
+                            core.execute_batch(w, &engine, &probes, jobs);
                         }
                     })
                     .expect("spawn worker")
@@ -1022,6 +1269,119 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("ph").and_then(Value::str) == Some("M")));
+    }
+
+    #[test]
+    fn pop_batch_coalesces_compatible_bfs_and_leaves_the_rest_in_order() {
+        let q = JobQueue::new(16);
+        let out: Out = Arc::new(Mutex::new(Box::new(Sink::default())));
+        let mk = |algo: &str, source: u32, mode_name: &'static str, seq: u64| Job {
+            spec: QuerySpec {
+                algo: algo.to_string(),
+                source,
+                mode_name,
+                ..QuerySpec::default()
+            },
+            out: out.clone(),
+            admitted_ns: seq,
+            seq,
+        };
+        let n = 128;
+        for job in [
+            mk("bfs", 1, "atomic", 0),
+            mk("cc", 0, "atomic", 1),
+            mk("msbfs", 2, "atomic", 2), // alias — joins the bfs batch
+            mk("bfs", 900, "atomic", 3), // out of range — must run solo
+            mk("bfs", 3, "pa", 4),       // different mode — must not join
+            mk("bfs", 4, "atomic", 5),
+        ] {
+            assert!(q.try_push(job).is_ok());
+        }
+        let seqs = |jobs: &[Job]| jobs.iter().map(|j| j.seq).collect::<Vec<_>>();
+        let batch = q.pop_batch(MAX_LANES, |s| coalescable(s, n)).unwrap();
+        assert_eq!(seqs(&batch), vec![0, 2, 5], "compatible bfs coalesce");
+        // The skipped jobs kept their relative order and come out solo.
+        for expect in [vec![1], vec![3], vec![4]] {
+            let b = q.pop_batch(MAX_LANES, |s| coalescable(s, n)).unwrap();
+            assert_eq!(seqs(&b), expect);
+        }
+        q.close();
+        assert!(q.pop_batch(MAX_LANES, |s| coalescable(s, n)).is_none());
+    }
+
+    #[test]
+    fn pop_batch_respects_the_claim_cap() {
+        let q = JobQueue::new(16);
+        let out: Out = Arc::new(Mutex::new(Box::new(Sink::default())));
+        for seq in 0..6u64 {
+            assert!(q
+                .try_push(Job {
+                    spec: QuerySpec {
+                        algo: "bfs".to_string(),
+                        source: seq as u32,
+                        ..QuerySpec::default()
+                    },
+                    out: out.clone(),
+                    admitted_ns: seq,
+                    seq,
+                })
+                .is_ok());
+        }
+        let batch = q.pop_batch(4, |s| coalescable(s, 128)).unwrap();
+        assert_eq!(batch.len(), 4);
+        let rest = q.pop_batch(4, |s| coalescable(s, 128)).unwrap();
+        assert_eq!(rest.len(), 2);
+    }
+
+    #[test]
+    fn queued_bfs_queries_coalesce_into_one_batched_run() {
+        let s = Server::new(
+            gen::rmat(7, 6, 3),
+            ServeConfig {
+                workers: 1,
+                threads: 1,
+                queue: 16,
+                name: "test".to_string(),
+                ..ServeConfig::default()
+            },
+        );
+        let sink = Sink::default();
+        let out: Out = Arc::new(Mutex::new(Box::new(sink.clone())));
+        // Occupy the single worker with a slow query so the bfs burst
+        // queues up behind it and gets claimed as one batch.
+        s.dispatch(
+            "{\"algo\": \"bc\", \"params\": {\"bc_sources\": 64}, \"id\": 0}",
+            &out,
+        );
+        for i in 1..=5 {
+            s.dispatch(
+                &format!("{{\"algo\": \"bfs\", \"source\": {i}, \"id\": {i}}}"),
+                &out,
+            );
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while s.stats().served < 6 {
+            assert!(Instant::now() < deadline, "workers never drained");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = s.stats();
+        assert!(stats.batches >= 1, "no batch formed: {stats:?}");
+        assert!(stats.coalesced >= 2);
+        assert!(stats.max_batch >= 2);
+        let lines = sink.lines();
+        for i in 1..=5u64 {
+            let resp = lines
+                .iter()
+                .find(|l| l.get("id").and_then(Value::u64) == Some(i))
+                .unwrap_or_else(|| panic!("no response with id {i}"));
+            assert_eq!(resp.get("ok").unwrap().bool(), Some(true));
+            assert!(resp.get("batched").unwrap().u64().unwrap() >= 1);
+            assert!(resp.get("summary").unwrap().get("reached").is_some());
+        }
+        // The batch histogram and coalesced counter made it to Prometheus.
+        let body = s.metrics_text();
+        assert!(body.contains(M_BATCH_SIZE));
+        assert!(body.contains(M_COALESCED));
     }
 
     #[test]

@@ -181,6 +181,100 @@ fn hundred_concurrent_queries_match_direct_runs_and_populate_percentiles() {
 }
 
 #[test]
+fn pipelined_bfs_flood_coalesces_and_stays_bit_equal_to_solo_runs() {
+    let g = test_graph();
+    let n = g.num_vertices();
+    let (addr, server) = boot(
+        g.clone(),
+        ServeConfig {
+            workers: 2,
+            threads: 1,
+            queue: 256,
+            name: "coalesce".to_string(),
+            ..ServeConfig::default()
+        },
+    );
+
+    // Three clients each pipeline 20 bfs queries (write all, then read
+    // all) so the admission queue floods and workers claim real batches.
+    const CLIENTS: usize = 3;
+    const PER_CLIENT: usize = 20;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut writer = stream.try_clone().expect("clone");
+                let mut burst = String::new();
+                for i in 0..PER_CLIENT {
+                    let id = t * PER_CLIENT + i;
+                    let source = (id * 37) % n;
+                    burst.push_str(&format!(
+                        "{{\"algo\": \"bfs\", \"source\": {source}, \"id\": {id}}}\n"
+                    ));
+                }
+                writer.write_all(burst.as_bytes()).expect("write burst");
+                writer.flush().expect("flush");
+                let reader = BufReader::new(stream);
+                reader
+                    .lines()
+                    .take(PER_CLIENT)
+                    .map(|l| l.expect("read response"))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut responses = Vec::new();
+    for h in handles {
+        responses.extend(h.join().expect("client thread"));
+    }
+    assert_eq!(responses.len(), CLIENTS * PER_CLIENT);
+
+    // Every response — batched or solo — is bit-equal to the direct
+    // single-source registry run of its own source; the batch a query
+    // rode in must be invisible everywhere but the `batched` field.
+    let mut max_batched = 0u64;
+    let mut truth: HashMap<u32, Vec<(String, String)>> = HashMap::new();
+    for line in &responses {
+        let v = json::parse(line).expect("response parses");
+        let id = v.get("id").and_then(Value::u64).expect("id echoed") as usize;
+        let source = ((id * 37) % n) as u32;
+        let expected = truth
+            .entry(source)
+            .or_insert_with(|| direct_summary(&g, "bfs", source));
+        assert_eq!(
+            &response_summary(line),
+            expected,
+            "served bfs from {source} diverged from the direct run"
+        );
+        max_batched = max_batched.max(
+            v.get("batched")
+                .and_then(Value::u64)
+                .expect("batched field"),
+        );
+    }
+    assert!(
+        max_batched >= 2,
+        "a 60-query pipelined flood into 2 workers must coalesce at least once"
+    );
+
+    let mut meta = Client::connect(addr).expect("connect");
+    let stats_line = meta.request("{\"op\": \"stats\"}").expect("stats");
+    let stats = json::parse(&stats_line).expect("stats parses");
+    let batching = stats.get("batching").expect("batching object");
+    assert!(batching.get("batches").and_then(Value::u64).unwrap() >= 1);
+    assert!(batching.get("max_batch").and_then(Value::u64).unwrap() >= 2);
+
+    let _ = meta
+        .request("{\"op\": \"shutdown\"}")
+        .expect("shutdown ack");
+    let final_stats = server.join().expect("server thread");
+    assert_eq!(final_stats.served, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(final_stats.errors, 0);
+    assert_eq!(final_stats.rejected, 0);
+    assert!(final_stats.coalesced >= 2);
+}
+
+#[test]
 fn flooding_a_tiny_queue_yields_structured_overload_not_hangs() {
     let (addr, server) = boot(
         test_graph(),
